@@ -1,0 +1,124 @@
+//! B3: catchpoint evaluation cost as the number of installed catchpoints
+//! grows. Catch conditions are evaluated on every token event, so their
+//! cost multiplies the data-exchange breakpoint overhead of E1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debuginfo::TypeTable;
+use dfdbg::{CatchCond, DfEvent, DfModel};
+use p2012::PeId;
+use pedf::{ActorId, ActorKind, ConnId, Dir, LinkClass};
+
+fn two_filter_model() -> DfModel {
+    let mut m = DfModel::new(TypeTable::new());
+    let mut stops = Vec::new();
+    for (i, (name, kind, parent)) in [
+        ("m", ActorKind::Module, None),
+        ("a", ActorKind::Filter, Some(0u32)),
+        ("b", ActorKind::Filter, Some(0)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        m.apply(
+            DfEvent::ActorRegistered {
+                id: i as u32,
+                name: name.into(),
+                kind,
+                parent,
+                pe: Some(PeId(i as u16)),
+                work: Some(10),
+            },
+            0,
+            &mut stops,
+        );
+    }
+    m.apply(
+        DfEvent::ConnRegistered {
+            id: 0,
+            actor: 1,
+            name: "out".into(),
+            dir: Dir::Out,
+            ty: TypeTable::U32,
+        },
+        0,
+        &mut stops,
+    );
+    m.apply(
+        DfEvent::ConnRegistered {
+            id: 1,
+            actor: 2,
+            name: "in".into(),
+            dir: Dir::In,
+            ty: TypeTable::U32,
+        },
+        0,
+        &mut stops,
+    );
+    m.apply(
+        DfEvent::LinkRegistered {
+            id: 0,
+            from: 0,
+            to: 1,
+            capacity: 4096,
+            class: LinkClass::Data,
+            fifo_base: 0,
+        },
+        0,
+        &mut stops,
+    );
+    m.apply(DfEvent::BootComplete, 0, &mut stops);
+    m
+}
+
+fn bench_catchpoints(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b3_catchpoint_evaluation");
+    for k in [0usize, 4, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut m = two_filter_model();
+                // K catchpoints that never fire (value conditions on an
+                // impossible payload).
+                for _ in 0..k {
+                    m.add_catch(
+                        CatchCond::TokenValueEq {
+                            conn: ConnId(1),
+                            value: u32::MAX,
+                        },
+                        false,
+                    );
+                }
+                let mut stops = Vec::new();
+                for i in 0..2_000u32 {
+                    m.apply(
+                        DfEvent::TokenPushed {
+                            conn: ConnId(0),
+                            words: vec![i],
+                        },
+                        0,
+                        &mut stops,
+                    );
+                    m.apply(
+                        DfEvent::TokenPopped {
+                            conn: ConnId(1),
+                            index: 0,
+                            words: vec![i],
+                        },
+                        0,
+                        &mut stops,
+                    );
+                    m.apply(
+                        DfEvent::WorkBegun { actor: ActorId(2) },
+                        0,
+                        &mut stops,
+                    );
+                    assert!(stops.is_empty());
+                }
+                m
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_catchpoints);
+criterion_main!(benches);

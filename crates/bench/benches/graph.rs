@@ -1,0 +1,112 @@
+//! B1: graph reconstruction and rendering cost vs application size.
+//!
+//! §IV-A notes that real-time graph updates "may introduce an additional
+//! delay, due to the graph generation time"; this bench quantifies both
+//! the event-driven reconstruction and the DOT rendering for growing
+//! synthetic pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debuginfo::TypeTable;
+use dfdbg::dataflow::graphviz;
+use dfdbg::{DfEvent, DfModel};
+use p2012::PeId;
+use pedf::{ActorKind, ConnId, Dir, LinkClass};
+
+/// Registration events for a chain of `n` filters inside one module.
+fn chain_events(n: u32) -> Vec<DfEvent> {
+    let mut evs = vec![DfEvent::ActorRegistered {
+        id: 0,
+        name: "m".into(),
+        kind: ActorKind::Module,
+        parent: None,
+        pe: None,
+        work: None,
+    }];
+    for i in 0..n {
+        evs.push(DfEvent::ActorRegistered {
+            id: i + 1,
+            name: format!("f{i}"),
+            kind: ActorKind::Filter,
+            parent: Some(0),
+            pe: Some(PeId((i % 8) as u16)),
+            work: Some(100 + i),
+        });
+    }
+    // Each filter: one input (conn 2i), one output (conn 2i+1).
+    for i in 0..n {
+        evs.push(DfEvent::ConnRegistered {
+            id: 2 * i,
+            actor: i + 1,
+            name: format!("in{i}"),
+            dir: Dir::In,
+            ty: TypeTable::U32,
+        });
+        evs.push(DfEvent::ConnRegistered {
+            id: 2 * i + 1,
+            actor: i + 1,
+            name: format!("out{i}"),
+            dir: Dir::Out,
+            ty: TypeTable::U32,
+        });
+    }
+    for i in 0..n.saturating_sub(1) {
+        evs.push(DfEvent::LinkRegistered {
+            id: i,
+            from: 2 * i + 1,
+            to: 2 * (i + 1),
+            capacity: 16,
+            class: LinkClass::Data,
+            fifo_base: 0x2000_0000 + 16 * i,
+        });
+    }
+    evs.push(DfEvent::BootComplete);
+    evs
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b1_graph_reconstruction");
+    for n in [8u32, 32, 128, 512] {
+        let evs = chain_events(n);
+        g.bench_with_input(BenchmarkId::new("rebuild", n), &evs, |b, evs| {
+            b.iter(|| {
+                let mut m = DfModel::new(TypeTable::new());
+                let mut stops = Vec::new();
+                for ev in evs {
+                    m.apply(ev.clone(), 0, &mut stops);
+                }
+                assert!(m.booted);
+                m
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b1_graph_dot_render");
+    for n in [8u32, 32, 128, 512] {
+        let mut m = DfModel::new(TypeTable::new());
+        let mut stops = Vec::new();
+        for ev in chain_events(n) {
+            m.apply(ev, 0, &mut stops);
+        }
+        // Populate some occupancy so labels are rendered.
+        for i in 0..n.saturating_sub(1) {
+            m.apply(
+                DfEvent::TokenPushed {
+                    conn: ConnId(2 * i + 1),
+                    words: vec![i],
+                },
+                1,
+                &mut stops,
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("to_dot", n), &m, |b, m| {
+            b.iter(|| graphviz::to_dot(m));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reconstruction, bench_dot);
+criterion_main!(benches);

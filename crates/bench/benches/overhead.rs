@@ -1,0 +1,20 @@
+//! E1 (criterion form): wall time of the same decode under each debugger
+//! configuration (§V). See also `cargo run -p bench --bin report` for the
+//! tabular version with slowdown factors.
+
+use bench::{run_overhead, DebugConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_debugger_overhead");
+    g.sample_size(10);
+    for cfg in DebugConfig::ALL {
+        g.bench_function(cfg.label(), |b| {
+            b.iter(|| run_overhead(cfg, 16));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! B4: raw substrate throughput — the platform interpreter, the token
+//! FIFOs and the full decoder — so the E1 overhead factors can be put in
+//! absolute terms (instructions/second, tokens/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use h264_pipeline::Bug;
+use p2012::{
+    memory::L2_BASE, Insn, NullHandler, PeId, Platform, PlatformConfig,
+    ProgramBuilder,
+};
+
+/// Tight arithmetic loop: the interpreter's peak instruction rate.
+fn bench_interpreter(c: &mut Criterion) {
+    let mut b = ProgramBuilder::new();
+    let entry = b.begin_func(0);
+    b.emit(Insn::Enter(1));
+    let top = b.here();
+    b.emit(Insn::LoadLocal(0));
+    b.emit(Insn::Const(1));
+    b.emit(Insn::Add);
+    b.emit(Insn::StoreLocal(0));
+    b.emit(Insn::Jump(top));
+    let prog = b.finish();
+
+    const CYCLES: u64 = 100_000;
+    let mut g = c.benchmark_group("b4_interpreter");
+    // 8 busy PEs, one instruction each per cycle.
+    g.throughput(Throughput::Elements(CYCLES * 8));
+    g.bench_function("8_pes_arith_loop", |bch| {
+        bch.iter(|| {
+            let mut p = Platform::new(PlatformConfig::default());
+            p.load(prog.clone());
+            for pe in 0..8u16 {
+                p.invoke(PeId(pe), entry, &[]);
+            }
+            p.run(&mut NullHandler, CYCLES)
+        });
+    });
+    g.finish();
+}
+
+/// FIFO push/pop through simulated memory.
+fn bench_fifo(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("b4_fifo");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("push_pop_l2", |bch| {
+        bch.iter(|| {
+            let mut mem =
+                p2012::Memory::new(p2012::MemoryMap::default());
+            let mut f = pedf::FifoState::new(L2_BASE, 64, 1);
+            let mut out = Vec::new();
+            for i in 0..N {
+                f.push(&mut mem, &[i as u32]).unwrap();
+                out.clear();
+                f.pop(&mut mem, &mut out).unwrap();
+            }
+            (f.pushed, f.popped)
+        });
+    });
+    g.finish();
+}
+
+/// The whole decoder, end to end (build + boot + decode).
+fn bench_decoder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b4_decoder");
+    g.sample_size(10);
+    g.bench_function("decode_16_mbs", |bch| {
+        bch.iter(|| {
+            h264_pipeline::run_decoder(Bug::None, 16, 0xbeef, 50_000_000)
+                .expect("decode")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_fifo, bench_decoder);
+criterion_main!(benches);

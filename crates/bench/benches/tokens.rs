@@ -1,0 +1,172 @@
+//! B2: token event processing and recording overhead (Contribution #3).
+//!
+//! §VI-D warns that recording token contents "may require a significant
+//! quantity of memory"; this bench measures the debugger model's cost per
+//! token with recording off, recording on, and with provenance tracking
+//! (splitter behaviour) enabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use debuginfo::TypeTable;
+use dfdbg::{DfEvent, DfModel, FlowBehavior};
+use p2012::PeId;
+use pedf::{ActorKind, ConnId, Dir, LinkClass};
+
+/// a -> b -> c pipeline.
+fn pipeline_model() -> DfModel {
+    let mut m = DfModel::new(TypeTable::new());
+    let mut stops = Vec::new();
+    let actors = [
+        ("m", ActorKind::Module, None),
+        ("a", ActorKind::Filter, Some(0)),
+        ("b", ActorKind::Filter, Some(0)),
+        ("c", ActorKind::Filter, Some(0)),
+    ];
+    for (i, (name, kind, parent)) in actors.into_iter().enumerate() {
+        m.apply(
+            DfEvent::ActorRegistered {
+                id: i as u32,
+                name: name.into(),
+                kind,
+                parent,
+                pe: Some(PeId(i as u16)),
+                work: Some(100),
+            },
+            0,
+            &mut stops,
+        );
+    }
+    // conns: a.out=0, b.in=1, b.out=2, c.in=3
+    let conns = [
+        (0u32, 1u32, "out", Dir::Out),
+        (1, 2, "in", Dir::In),
+        (2, 2, "out", Dir::Out),
+        (3, 3, "in", Dir::In),
+    ];
+    for (id, actor, name, dir) in conns {
+        m.apply(
+            DfEvent::ConnRegistered {
+                id,
+                actor,
+                name: name.into(),
+                dir,
+                ty: TypeTable::U32,
+            },
+            0,
+            &mut stops,
+        );
+    }
+    for (id, from, to) in [(0u32, 0u32, 1u32), (1, 2, 3)] {
+        m.apply(
+            DfEvent::LinkRegistered {
+                id,
+                from,
+                to,
+                capacity: 1024,
+                class: LinkClass::Data,
+                fifo_base: 0,
+            },
+            0,
+            &mut stops,
+        );
+    }
+    m.apply(DfEvent::BootComplete, 0, &mut stops);
+    m
+}
+
+/// Push/pop `n` tokens through both hops of the pipeline.
+fn storm(m: &mut DfModel, n: u64) {
+    let mut stops = Vec::new();
+    for i in 0..n {
+        m.apply(
+            DfEvent::TokenPushed {
+                conn: ConnId(0),
+                words: vec![i as u32],
+            },
+            i,
+            &mut stops,
+        );
+        m.apply(
+            DfEvent::TokenPopped {
+                conn: ConnId(1),
+                index: 0,
+                words: vec![i as u32],
+            },
+            i,
+            &mut stops,
+        );
+        // b forwards.
+        m.apply(
+            DfEvent::TokenPushed {
+                conn: ConnId(2),
+                words: vec![i as u32],
+            },
+            i,
+            &mut stops,
+        );
+        m.apply(
+            DfEvent::TokenPopped {
+                conn: ConnId(3),
+                index: 0,
+                words: vec![i as u32],
+            },
+            i,
+            &mut stops,
+        );
+        // Window resets so indexes stay at 0.
+        m.apply(DfEvent::WorkBegun { actor: pedf::ActorId(2) }, i, &mut stops);
+        m.apply(DfEvent::WorkBegun { actor: pedf::ActorId(3) }, i, &mut stops);
+        stops.clear();
+    }
+}
+
+fn bench_tokens(c: &mut Criterion) {
+    const N: u64 = 5_000;
+    let mut g = c.benchmark_group("b2_token_tracking");
+    g.throughput(Throughput::Elements(N * 2)); // 2 tokens per iteration hop
+
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut m = pipeline_model();
+            storm(&mut m, N);
+            m
+        });
+    });
+    g.bench_function("recording_on", |b| {
+        b.iter(|| {
+            let mut m = pipeline_model();
+            m.conns[0].record = true;
+            m.conns[2].record = true;
+            storm(&mut m, N);
+            m
+        });
+    });
+    g.bench_function("provenance_splitter", |b| {
+        b.iter(|| {
+            let mut m = pipeline_model();
+            m.actors[2].behavior = FlowBehavior::Splitter;
+            storm(&mut m, N);
+            m
+        });
+    });
+    g.finish();
+}
+
+fn bench_last_token_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b2_last_token_path");
+    for depth in [1u64, 8, 64] {
+        let mut m = pipeline_model();
+        m.actors[2].behavior = FlowBehavior::Pipeline;
+        storm(&mut m, depth);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &m,
+            |b, m| {
+                b.iter(|| m.last_token_path(pedf::ActorId(3)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokens, bench_last_token_path);
+criterion_main!(benches);

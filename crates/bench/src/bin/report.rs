@@ -1,0 +1,73 @@
+//! Regenerates the paper's evaluation as text tables (experiments E1 and
+//! E2 of DESIGN.md / EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p bench --bin report
+//! ```
+
+use bench::{localization, run_overhead, DebugConfig};
+
+fn main() {
+    let n_mbs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+
+    println!("=====================================================================");
+    println!("E1  Debugger intrusiveness (§V): decode of {n_mbs} macroblocks");
+    println!("=====================================================================");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9} {:>8}",
+        "configuration", "wall time", "sim cycles", "tokens", "slowdown"
+    );
+    let mut baseline_wall = None;
+    for cfg in DebugConfig::ALL {
+        // Warm-up run, then the measured run (reduces allocator noise).
+        let _ = run_overhead(cfg, n_mbs.min(8));
+        let r = run_overhead(cfg, n_mbs);
+        let base = *baseline_wall.get_or_insert(r.wall.as_secs_f64());
+        println!(
+            "{:<28} {:>10.2}ms {:>12} {:>9} {:>7.2}x",
+            cfg.label(),
+            r.wall.as_secs_f64() * 1e3,
+            r.cycles,
+            r.tokens_tracked,
+            r.wall.as_secs_f64() / base,
+        );
+    }
+    println!(
+        "\nShape check (paper §V): all-breakpoints is the most expensive \
+         mode;\nthe mitigations recover most of the gap while keeping the \
+         control\nbreakpoints (option 1) or full visibility (cooperation)."
+    );
+
+    println!();
+    println!("=====================================================================");
+    println!("E2  Bug localization (§VI-F): dataflow-aware vs source-level");
+    println!("=====================================================================");
+    println!(
+        "{:<16} {:<16} {:>13} {:>10}  verdict",
+        "bug class", "strategy", "interactions", "wall"
+    );
+    let mut results = localization::full_study();
+    results.sort_by_key(|r| {
+        (format!("{:?}", r.bug), r.strategy.label().to_string())
+    });
+    for r in &results {
+        println!(
+            "{:<16} {:<16} {:>13} {:>8.1}ms  {}{}",
+            format!("{:?}", r.bug),
+            r.strategy.label(),
+            r.interactions,
+            r.wall.as_secs_f64() * 1e3,
+            if r.located { "" } else { "NOT LOCATED: " },
+            r.verdict,
+        );
+    }
+    println!(
+        "\nShape check (paper §VI-F): the dataflow-aware debugger needs a \
+         handful\nof interactions per bug; the source-level procedure \
+         locates the same\nfaults but through manual counting and \
+         per-stop inspection."
+    );
+}

@@ -1,0 +1,18 @@
+//! Benchmark harnesses for the paper's performance discussion (§V) and
+//! the qualitative analysis it proposes (§VI-F).
+//!
+//! * [`overhead`] — experiment E1: the slowdown introduced by the
+//!   debugger's function breakpoints, and the two mitigations §V
+//!   describes (disable-until-critical; framework cooperation /
+//!   actor-specific breakpoints);
+//! * [`localization`] — experiment E2: the study §VI-F calls for,
+//!   "measure the time required to locate different kinds of bugs ...
+//!   compared against more common methods like source-level debuggers".
+//!   Both strategies are *scripted* debugger sessions; interaction counts
+//!   fall out of execution, they are not hard-coded.
+
+pub mod localization;
+pub mod overhead;
+
+pub use localization::{localize, LocalizationResult, Strategy};
+pub use overhead::{run_overhead, DebugConfig, OverheadResult};

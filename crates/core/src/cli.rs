@@ -1,0 +1,445 @@
+//! GDB-style command-line front end.
+//!
+//! Parses and executes the command language used throughout the paper's
+//! session transcripts (§VI), e.g.:
+//!
+//! ```text
+//! (gdb) filter pipe catch work
+//! (gdb) filter ipred catch Pipe_in=1, Hwcfg_in=1
+//! (gdb) filter ipred catch *in=1
+//! (gdb) iface hwcfg::pipe_MbType_out record
+//! (gdb) iface hwcfg::pipe_MbType_out print
+//! (gdb) filter red configure splitter
+//! (gdb) filter pipe info last_token
+//! (gdb) filter print last_token
+//! (gdb) step_both
+//! (gdb) print $1
+//! ```
+//!
+//! plus the classic low-level commands (`break`, `watch`, `step`, `next`,
+//! `finish`, `continue`, `list`, `backtrace`, `info ...`) and the
+//! execution-altering `token` commands of §III. [`Cli::complete`] provides
+//! the auto-completion the paper highlights in §IV-A.
+
+use debuginfo::Word;
+
+use crate::dataflow::model::FlowBehavior;
+use crate::session::{Session, Stop};
+
+/// The CLI wrapper: executes command strings against a session.
+pub struct Cli {
+    pub session: Session,
+    /// Echo of the last stop, if a command resumed execution.
+    pub last_stop: Option<Stop>,
+    /// Cycle budget per resuming command.
+    pub budget: u64,
+}
+
+impl Cli {
+    pub fn new(session: Session) -> Self {
+        Cli {
+            session,
+            last_stop: None,
+            budget: 10_000_000,
+        }
+    }
+
+    fn stop_to_text(&mut self, stop: Stop) -> String {
+        let text = self.session.describe(&stop);
+        self.last_stop = Some(stop);
+        text
+    }
+
+    /// Execute one command line; returns the printed output.
+    pub fn exec(&mut self, line: &str) -> String {
+        match self.try_exec(line) {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn try_exec(&mut self, line: &str) -> Result<String, String> {
+        let words: Vec<&str> = line
+            .split([' ', '\t'])
+            .filter(|w| !w.is_empty())
+            .collect();
+        let Some((&cmd, rest)) = words.split_first() else {
+            return Ok(String::new());
+        };
+        match cmd {
+            "run" | "r" => {
+                let cycles = rest
+                    .first()
+                    .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+                    .transpose()?
+                    .unwrap_or(self.budget);
+                let stop = self.session.run(cycles);
+                Ok(self.stop_to_text(stop))
+            }
+            "continue" | "c" => {
+                let stop = self.session.run(self.budget);
+                Ok(self.stop_to_text(stop))
+            }
+            "step" | "s" => {
+                let stop = self.session.step()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "next" | "n" => {
+                let stop = self.session.next()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "finish" => {
+                let stop = self.session.finish()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "stepi" | "si" => {
+                let stop = self.session.stepi()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "step_both" => {
+                let msgs = self.session.step_both()?;
+                Ok(msgs.join("\n"))
+            }
+            "break" | "b" => {
+                let spec = rest.first().ok_or("break needs a location")?;
+                let id = match spec.rsplit_once(':') {
+                    Some((file, line)) => {
+                        let line: u32 =
+                            line.parse().map_err(|_| "bad line number")?;
+                        self.session.break_line(file, line)?
+                    }
+                    None => self.session.break_symbol(spec)?,
+                };
+                Ok(format!("Breakpoint {id} set"))
+            }
+            "delete" => {
+                let id: u32 = rest
+                    .first()
+                    .ok_or("delete needs an id")?
+                    .parse()
+                    .map_err(|_| "bad id")?;
+                if self.session.remove_breakpoint(id)
+                    || self.session.delete_catch(id)
+                    || self.session.remove_watchpoint(id)
+                {
+                    Ok(format!("Deleted {id}"))
+                } else {
+                    Err(format!("no breakpoint/catchpoint {id}"))
+                }
+            }
+            "watch" => {
+                let sym = rest.first().ok_or("watch needs an object")?;
+                let id = self.session.watch_object(sym)?;
+                Ok(format!("Watchpoint {id}: {sym}"))
+            }
+            "focus" => {
+                let name = rest.first().ok_or("focus needs an actor")?;
+                let pe = self.session.focus_actor(name)?;
+                Ok(format!("Focused {pe} ({name})"))
+            }
+            "backtrace" | "bt" => {
+                let pe = self
+                    .session
+                    .focus()
+                    .ok_or("no focused PE")?;
+                Ok(self.session.backtrace(pe))
+            }
+            "where" | "frame" => {
+                let pe = self.session.focus().ok_or("no focused PE")?;
+                Ok(self.session.where_is(pe))
+            }
+            "list" | "l" => {
+                let at = match rest.first() {
+                    Some(spec) => {
+                        let (f, l) = spec
+                            .rsplit_once(':')
+                            .ok_or("list needs file:line")?;
+                        Some((
+                            f,
+                            l.parse::<u32>().map_err(|_| "bad line")?,
+                        ))
+                    }
+                    None => None,
+                };
+                self.session.list_source(at, 3)
+            }
+            "print" | "p" => {
+                let what = rest.first().ok_or("print needs an argument")?;
+                if let Some(n) = what.strip_prefix('$') {
+                    let n: usize =
+                        n.parse().map_err(|_| "bad history index")?;
+                    self.session.print_history(n)
+                } else {
+                    self.session.print_object(what)
+                }
+            }
+            "graph" => {
+                if rest.first() == Some(&"dot") {
+                    Ok(self.session.graph_dot())
+                } else {
+                    Ok(self.session.info_links())
+                }
+            }
+            "info" => match rest.first().copied() {
+                Some("filters") => Ok(self.session.info_filters()),
+                Some("links") => Ok(self.session.info_links()),
+                Some("platform") => Ok(self.session.info_platform()),
+                Some("breakpoints") => {
+                    let mut out = String::new();
+                    for b in self.session.breakpoints() {
+                        out.push_str(&format!(
+                            "{}  0x{:04x}  {}  hits={}\n",
+                            b.id, b.addr, b.label, b.hits
+                        ));
+                    }
+                    for c in &self.session.model.catchpoints {
+                        out.push_str(&format!(
+                            "catch {}  {:?}\n",
+                            c.id, c.cond
+                        ));
+                    }
+                    Ok(out)
+                }
+                Some("console") => {
+                    Ok(self.session.console().join("\n"))
+                }
+                other => Err(format!(
+                    "info what? (filters/links/platform/breakpoints), got {other:?}"
+                )),
+            },
+            "filter" => self.filter_cmd(rest),
+            "iface" => self.iface_cmd(rest),
+            "catch" => self.catch_cmd(rest),
+            "token" => self.token_cmd(rest),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    /// `filter <name> catch ... | configure ... | info last_token` and
+    /// `filter print last_token`.
+    fn filter_cmd(&mut self, rest: &[&str]) -> Result<String, String> {
+        let first = *rest.first().ok_or("filter needs arguments")?;
+        if first == "print" {
+            // `filter print last_token` — applies to the focused actor.
+            if rest.get(1) != Some(&"last_token") {
+                return Err("usage: filter print last_token".into());
+            }
+            let pe = self.session.focus().ok_or("no focused PE")?;
+            let name = self
+                .session
+                .model
+                .graph
+                .actors
+                .iter()
+                .find(|a| a.pe == Some(pe))
+                .map(|a| a.name.clone())
+                .ok_or("focused PE runs no actor")?;
+            return self.session.filter_print_last_token(&name);
+        }
+        let name = first;
+        match rest.get(1).copied() {
+            Some("catch") => {
+                let spec = rest[2..].join(" ");
+                let spec = spec.trim();
+                if spec == "work" {
+                    let id = self.session.catch_work(name)?;
+                    return Ok(format!(
+                        "Catchpoint {id}: WORK of filter {name}"
+                    ));
+                }
+                if let Some(n) = spec.strip_prefix("*in=") {
+                    let n: u32 = n.parse().map_err(|_| "bad count")?;
+                    let id = self.session.catch_receive_all(name, n)?;
+                    return Ok(format!(
+                        "Catchpoint {id}: {name} receives {n} token(s) \
+                         on every input"
+                    ));
+                }
+                // IFACE=N[, IFACE=N ...]
+                let mut conds = Vec::new();
+                for part in spec.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let (iface, n) = part
+                        .split_once('=')
+                        .ok_or("catch conditions look like Iface=N")?;
+                    conds.push((
+                        iface.trim(),
+                        n.trim()
+                            .parse::<u32>()
+                            .map_err(|_| "bad count")?,
+                    ));
+                }
+                if conds.is_empty() {
+                    return Err("empty catch condition".into());
+                }
+                let id = self.session.catch_receive(name, &conds)?;
+                Ok(format!("Catchpoint {id}: token counts on {name}"))
+            }
+            Some("configure") => {
+                let b = rest
+                    .get(2)
+                    .and_then(|s| FlowBehavior::parse(s))
+                    .ok_or("configure needs splitter/pipeline/merger")?;
+                self.session.configure_filter(name, b)?;
+                Ok(format!("Filter {name} configured as {b:?}"))
+            }
+            Some("info") => {
+                if rest.get(2) == Some(&"last_token") {
+                    self.session.info_last_token(name)
+                } else {
+                    Err("usage: filter <name> info last_token".into())
+                }
+            }
+            other => Err(format!(
+                "filter subcommand? (catch/configure/info), got {other:?}"
+            )),
+        }
+    }
+
+    /// `iface <actor::conn> record | print | stop`.
+    fn iface_cmd(&mut self, rest: &[&str]) -> Result<String, String> {
+        let spec = *rest.first().ok_or("iface needs actor::interface")?;
+        match rest.get(1).copied() {
+            Some("record") => {
+                self.session.iface_record(spec, true)?;
+                Ok(format!("Recording tokens on {spec}"))
+            }
+            Some("norecord") => {
+                self.session.iface_record(spec, false)?;
+                Ok(format!("Stopped recording on {spec}"))
+            }
+            Some("print") => self.session.iface_print(spec),
+            Some("stop") => {
+                let id = self.session.catch_iface_receive(spec)?;
+                Ok(format!("Catchpoint {id}: token received on {spec}"))
+            }
+            other => Err(format!(
+                "iface subcommand? (record/print/stop), got {other:?}"
+            )),
+        }
+    }
+
+    /// `catch recv|send|value|count|sched|step ...`.
+    fn catch_cmd(&mut self, rest: &[&str]) -> Result<String, String> {
+        match rest.first().copied() {
+            Some("recv") => {
+                let spec = rest.get(1).ok_or("catch recv <actor::iface>")?;
+                let id = self.session.catch_iface_receive(spec)?;
+                Ok(format!("Catchpoint {id}"))
+            }
+            Some("send") => {
+                let spec = rest.get(1).ok_or("catch send <actor::iface>")?;
+                let id = self.session.catch_iface_send(spec)?;
+                Ok(format!("Catchpoint {id}"))
+            }
+            Some("value") => {
+                let spec =
+                    rest.get(1).ok_or("catch value <actor::iface> <n>")?;
+                let v: Word = parse_word(
+                    rest.get(2).ok_or("catch value needs a value")?,
+                )?;
+                let id = self.session.catch_value(spec, v)?;
+                Ok(format!("Catchpoint {id}"))
+            }
+            Some("count") => {
+                let spec =
+                    rest.get(1).ok_or("catch count <actor::iface> <n>")?;
+                let n: u64 = rest
+                    .get(2)
+                    .ok_or("catch count needs a count")?
+                    .parse()
+                    .map_err(|_| "bad count")?;
+                let id = self.session.catch_count(spec, n)?;
+                Ok(format!("Catchpoint {id}"))
+            }
+            Some("sched") => {
+                let name = rest.get(1).ok_or("catch sched <filter>")?;
+                let id = self.session.catch_scheduled(name)?;
+                Ok(format!("Catchpoint {id}"))
+            }
+            Some("step") => {
+                let begin = match rest.get(1).copied() {
+                    Some("begin") | None => true,
+                    Some("end") => false,
+                    Some(other) => {
+                        return Err(format!(
+                            "catch step begin|end, got `{other}`"
+                        ))
+                    }
+                };
+                let module = rest.get(2).copied();
+                let id = self.session.catch_step(module, begin)?;
+                Ok(format!("Catchpoint {id}"))
+            }
+            other => Err(format!(
+                "catch what? (recv/send/value/count/sched/step), got {other:?}"
+            )),
+        }
+    }
+
+    /// `token inject|set|drop <actor::iface> ...`.
+    fn token_cmd(&mut self, rest: &[&str]) -> Result<String, String> {
+        match rest.first().copied() {
+            Some("inject") => {
+                let spec =
+                    rest.get(1).ok_or("token inject <actor::iface> <v>")?;
+                let words: Vec<Word> = rest[2..]
+                    .iter()
+                    .map(|s| parse_word(s))
+                    .collect::<Result<_, _>>()?;
+                if words.is_empty() {
+                    return Err("token inject needs a value".into());
+                }
+                let idx = self.session.token_inject(spec, &words)?;
+                Ok(format!("Injected token #{idx} on {spec}"))
+            }
+            Some("set") => {
+                let spec = rest
+                    .get(1)
+                    .ok_or("token set <actor::iface> <idx> <v>")?;
+                let idx: u32 = rest
+                    .get(2)
+                    .ok_or("token set needs an index")?
+                    .parse()
+                    .map_err(|_| "bad index")?;
+                let words: Vec<Word> = rest[3..]
+                    .iter()
+                    .map(|s| parse_word(s))
+                    .collect::<Result<_, _>>()?;
+                self.session.token_set(spec, idx, &words)?;
+                Ok(format!("Token {idx} on {spec} rewritten"))
+            }
+            Some("drop") => {
+                let spec =
+                    rest.get(1).ok_or("token drop <actor::iface> <idx>")?;
+                let idx: u32 = rest
+                    .get(2)
+                    .ok_or("token drop needs an index")?
+                    .parse()
+                    .map_err(|_| "bad index")?;
+                self.session.token_drop(spec, idx)?;
+                Ok(format!("Token {idx} on {spec} dropped"))
+            }
+            other => {
+                Err(format!("token what? (inject/set/drop), got {other:?}"))
+            }
+        }
+    }
+
+    /// Auto-completion over the last word of a partial command line.
+    pub fn complete(&self, partial: &str) -> Vec<String> {
+        let last = partial.rsplit(' ').next().unwrap_or("");
+        self.session.complete(last)
+    }
+}
+
+fn parse_word(s: &str) -> Result<Word, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        Word::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    } else {
+        s.parse().map_err(|_| format!("bad value `{s}`"))
+    }
+}

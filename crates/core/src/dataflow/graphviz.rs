@@ -1,0 +1,258 @@
+//! Graph rendering (Contributions #1 and the Fig. 2 / Fig. 4 displays).
+//!
+//! "In the current implementation, the graph is plotted with Graphviz DOT
+//! format" (§VI-A). We emit the same visual conventions as the paper's
+//! figures: modules as clusters, controllers as rectangles, filters as
+//! rounded boxes, plain arrows for data links, dotted for control links,
+//! dashed for DMA-assisted links — and the live token count on every
+//! non-empty link (Fig. 4 shows `pipe -> ipf` holding 20 tokens).
+
+use std::fmt::Write as _;
+
+use pedf::{ActorKind, LinkClass};
+
+use super::model::DfModel;
+
+/// Render the reconstructed graph as Graphviz DOT with live occupancy.
+pub fn to_dot(model: &DfModel) -> String {
+    let g = &model.graph;
+    let mut out = String::new();
+    out.push_str("digraph dataflow {\n  rankdir=LR;\n  node [fontsize=10];\n");
+
+    // Modules become clusters, nested by hierarchy. Emit recursively.
+    fn emit_module(
+        model: &DfModel,
+        module: pedf::ActorId,
+        out: &mut String,
+        indent: usize,
+    ) {
+        let g = &model.graph;
+        let pad = "  ".repeat(indent);
+        let m = g.actor(module);
+        let _ = writeln!(
+            out,
+            "{pad}subgraph cluster_{} {{\n{pad}  label=\"{}\";",
+            module.0, m.name
+        );
+        for child in g.children(module) {
+            match child.kind {
+                ActorKind::Module => {
+                    emit_module(model, child.id, out, indent + 1)
+                }
+                ActorKind::Controller => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}  a{} [label=\"{}\" shape=box \
+                         style=filled fillcolor=palegreen];",
+                        child.id.0, child.name
+                    );
+                }
+                ActorKind::Filter => {
+                    let state =
+                        model.actors[child.id.0 as usize].sched.label();
+                    let _ = writeln!(
+                        out,
+                        "{pad}  a{} [label=\"{}\\n({state})\" \
+                         shape=box style=rounded];",
+                        child.id.0, child.name
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "{pad}}}");
+    }
+
+    for m in g.modules() {
+        if m.parent.is_none() {
+            emit_module(model, m.id, &mut out, 1);
+        }
+    }
+    // Boundary ports of root modules as plain nodes.
+    for m in g.modules().filter(|m| m.parent.is_none()) {
+        for cid in m.conns() {
+            let c = g.conn(cid);
+            let _ = writeln!(
+                out,
+                "  p{} [label=\"{}\" shape=plaintext];",
+                cid.0, c.name
+            );
+        }
+    }
+
+    for l in &g.links {
+        let (fa, ta) = g.link_ends(l.id);
+        let from = if g.actor(fa).kind == ActorKind::Module {
+            format!("p{}", l.from.0)
+        } else {
+            format!("a{}", fa.0)
+        };
+        let to = if g.actor(ta).kind == ActorKind::Module {
+            format!("p{}", l.to.0)
+        } else {
+            format!("a{}", ta.0)
+        };
+        let style = match l.class {
+            LinkClass::Data => "solid",
+            LinkClass::Control => "dotted",
+            LinkClass::DmaControl => "dashed",
+        };
+        let occupancy = model.occupancy(l.id);
+        let label = if occupancy > 0 {
+            format!(" label=\"{occupancy}\" fontcolor=red")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  {from} -> {to} [style={style}{label}];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One-line-per-link occupancy table (`info links`), the textual version
+/// of Fig. 4's edge annotations.
+pub fn links_table(model: &DfModel) -> String {
+    let g = &model.graph;
+    let mut out = String::new();
+    for l in &g.links {
+        let dl = &model.links[l.id.0 as usize];
+        let _ = writeln!(
+            out,
+            "#{:<3} {:<48} {:>3}/{:<3} tokens (pushed {}, popped {})",
+            l.id.0,
+            g.link_label(l.id),
+            model.occupancy(l.id),
+            l.capacity,
+            dl.pushed,
+            dl.popped,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::model::DfEvent;
+    use debuginfo::TypeTable;
+    use p2012::PeId;
+    use pedf::{ActorId, ConnId, Dir};
+
+    fn tiny_model() -> DfModel {
+        let mut m = DfModel::new(TypeTable::new());
+        let mut stops = Vec::new();
+        for ev in [
+            DfEvent::ActorRegistered {
+                id: 0,
+                name: "front".into(),
+                kind: ActorKind::Module,
+                parent: None,
+                pe: None,
+                work: None,
+            },
+            DfEvent::ActorRegistered {
+                id: 1,
+                name: "front_controller".into(),
+                kind: ActorKind::Controller,
+                parent: Some(0),
+                pe: Some(PeId(0)),
+                work: Some(10),
+            },
+            DfEvent::ActorRegistered {
+                id: 2,
+                name: "pipe".into(),
+                kind: ActorKind::Filter,
+                parent: Some(0),
+                pe: Some(PeId(1)),
+                work: Some(20),
+            },
+            DfEvent::ActorRegistered {
+                id: 3,
+                name: "ipf".into(),
+                kind: ActorKind::Filter,
+                parent: Some(0),
+                pe: Some(PeId(2)),
+                work: Some(30),
+            },
+            DfEvent::ConnRegistered {
+                id: 0,
+                actor: 2,
+                name: "out".into(),
+                dir: Dir::Out,
+                ty: TypeTable::U32,
+            },
+            DfEvent::ConnRegistered {
+                id: 1,
+                actor: 3,
+                name: "in".into(),
+                dir: Dir::In,
+                ty: TypeTable::U32,
+            },
+            DfEvent::LinkRegistered {
+                id: 0,
+                from: 0,
+                to: 1,
+                capacity: 32,
+                class: LinkClass::Data,
+                fifo_base: 0,
+            },
+            DfEvent::BootComplete,
+        ] {
+            m.apply(ev, 0, &mut stops);
+        }
+        m
+    }
+
+    #[test]
+    fn dot_shows_clusters_styles_and_occupancy() {
+        let mut m = tiny_model();
+        let mut stops = Vec::new();
+        for _ in 0..20 {
+            m.apply(
+                DfEvent::TokenPushed {
+                    conn: ConnId(0),
+                    words: vec![1],
+                },
+                1,
+                &mut stops,
+            );
+        }
+        let dot = to_dot(&m);
+        assert!(dot.contains("subgraph cluster_0"), "{dot}");
+        assert!(dot.contains("label=\"front\""));
+        assert!(dot.contains("shape=box style=rounded"));
+        assert!(dot.contains("fillcolor=palegreen"));
+        // The Fig. 4 annotation: 20 queued tokens in red.
+        assert!(dot.contains("label=\"20\" fontcolor=red"), "{dot}");
+        assert!(dot.contains("style=solid"));
+    }
+
+    #[test]
+    fn links_table_reports_counters() {
+        let mut m = tiny_model();
+        let mut stops = Vec::new();
+        for v in [1, 2, 3] {
+            m.apply(
+                DfEvent::TokenPushed {
+                    conn: ConnId(0),
+                    words: vec![v],
+                },
+                1,
+                &mut stops,
+            );
+        }
+        m.apply(
+            DfEvent::TokenPopped {
+                conn: ConnId(1),
+                index: 0,
+                words: vec![1],
+            },
+            2,
+            &mut stops,
+        );
+        let table = links_table(&m);
+        assert!(table.contains("pipe::out -> ipf::in"), "{table}");
+        assert!(table.contains("2/32"), "{table}");
+        assert!(table.contains("pushed 3, popped 1"), "{table}");
+        let _ = ActorId(0);
+    }
+}

@@ -1,0 +1,18 @@
+//! The dataflow-awareness extension (the top box of Fig. 3).
+//!
+//! * [`model`] — the debugger's Actor/Connection/Link/Token objects,
+//!   scheduling monitor, catchpoints, token recording and provenance;
+//! * [`capture`] — the function-breakpoint engine that feeds the model by
+//!   observing the framework's exported functions;
+//! * [`graphviz`] — DOT rendering of the reconstructed graph with live
+//!   link occupancy (Figs. 2 and 4).
+
+pub mod capture;
+pub mod graphviz;
+pub mod model;
+
+pub use capture::{Capture, CaptureMode, StubKind};
+pub use model::{
+    CatchCond, Catchpoint, DfActor, DfEvent, DfModel, DfSched, DfStop,
+    FlowBehavior, TokenId, TokenRec,
+};

@@ -1,0 +1,1109 @@
+//! The debugger's internal representation of the running dataflow
+//! application — the top half of Fig. 3.
+//!
+//! * **Actor objects** mirror filters, controllers and modules, with their
+//!   execution context (PE), scheduling state and flow behaviour;
+//! * **Token objects** are "not associated with any framework object,
+//!   their state only corresponds to the logical implications of runtime
+//!   events" (§V) — they are created on observed pushes, consumed on
+//!   observed pops, and chained into provenance paths;
+//! * **Connection objects** track per-step windows, totals and recording;
+//! * **Link objects** hold the queued Token objects.
+//!
+//! The model is fed [`DfEvent`]s by the capture layer (function
+//! breakpoints) or, in the framework-cooperation ablation, by the
+//! runtime's direct event stream. It is deliberately independent of the
+//! `pedf::Runtime` internals: everything here is derivable from observed
+//! framework calls.
+
+use std::collections::VecDeque;
+
+use debuginfo::{TypeTable, Value, Word};
+use p2012::PeId;
+use pedf::{ActorId, ActorKind, AppGraph, ConnId, Dir, LinkClass, LinkId};
+
+/// Identity of one token for its whole life: dense, global.
+pub type TokenId = u64;
+
+/// Dataflow-level event, as observed by the capture layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfEvent {
+    ActorRegistered {
+        id: u32,
+        name: String,
+        kind: ActorKind,
+        parent: Option<u32>,
+        pe: Option<PeId>,
+        work: Option<u32>,
+    },
+    ConnRegistered {
+        id: u32,
+        actor: u32,
+        name: String,
+        dir: Dir,
+        ty: debuginfo::TypeId,
+    },
+    LinkRegistered {
+        id: u32,
+        from: u32,
+        to: u32,
+        capacity: u32,
+        class: LinkClass,
+        fifo_base: u32,
+    },
+    BootComplete,
+    /// A token entered the link bound to output connection `conn`.
+    TokenPushed { conn: ConnId, words: Vec<Word> },
+    /// `pedf.io.in[index]` completed on input connection `conn`: the read
+    /// window now holds `index + 1` tokens (tokens may have been consumed
+    /// from the link to satisfy it).
+    TokenPopped {
+        conn: ConnId,
+        index: u32,
+        words: Vec<Word>,
+    },
+    ActorStarted { actor: ActorId },
+    ActorSyncRequested { actor: ActorId },
+    WorkBegun { actor: ActorId },
+    WorkEnded { actor: ActorId },
+    /// The module's controller completed WAIT_FOR_ACTOR_SYNC: synced
+    /// filters reset for the next step.
+    WaitSyncCompleted { module: ActorId },
+    StepBegun { module: ActorId },
+    StepEnded { module: ActorId },
+}
+
+/// Scheduling state shown by the monitor (Contribution #2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DfSched {
+    #[default]
+    NotScheduled,
+    Scheduled,
+    Running,
+    Synced,
+}
+
+impl DfSched {
+    pub fn label(self) -> &'static str {
+        match self {
+            DfSched::NotScheduled => "not scheduled",
+            DfSched::Scheduled => "ready",
+            DfSched::Running => "running",
+            DfSched::Synced => "finished step",
+        }
+    }
+}
+
+/// Token-flow behaviour of a filter, provided by the developer (§VI-D:
+/// "as this behavior depends on the filter implementation, the debugger
+/// cannot automatically figure it out"). Without a declared behaviour the
+/// debugger does not guess provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowBehavior {
+    #[default]
+    Unknown,
+    /// One output token derives from the last input token.
+    Pipeline,
+    /// Every output token (across all interfaces) derives from the last
+    /// input token (the paper's `filter red configure splitter`).
+    Splitter,
+    /// An output token derives from all inputs consumed since the last
+    /// output.
+    Merger,
+}
+
+impl FlowBehavior {
+    pub fn parse(s: &str) -> Option<FlowBehavior> {
+        match s {
+            "pipeline" => Some(FlowBehavior::Pipeline),
+            "splitter" => Some(FlowBehavior::Splitter),
+            "merger" => Some(FlowBehavior::Merger),
+            "unknown" => Some(FlowBehavior::Unknown),
+            _ => None,
+        }
+    }
+}
+
+/// One token's life record.
+#[derive(Debug, Clone)]
+pub struct TokenRec {
+    pub id: TokenId,
+    pub link: LinkId,
+    /// Global FIFO index on its link.
+    pub index: u64,
+    pub value: Value,
+    /// Tokens this one was derived from (per the producer's behaviour).
+    pub provenance: Vec<TokenId>,
+    pub produced_at: u64,
+    pub consumed_at: Option<u64>,
+    /// True for tokens first seen at consumption (host-injected or pushed
+    /// while data-exchange capture was disabled).
+    pub synthesized: bool,
+}
+
+/// Debugger-side actor state.
+#[derive(Debug, Clone, Default)]
+pub struct DfActor {
+    pub sched: DfSched,
+    pub started: bool,
+    pub begun: bool,
+    pub sync_requested: bool,
+    pub steps_done: u64,
+    pub behavior: FlowBehavior,
+    pub last_received: Option<TokenId>,
+    pub last_sent: Option<TokenId>,
+    /// Inputs consumed since the last output (merger provenance), bounded.
+    pub pending_inputs: Vec<TokenId>,
+}
+
+/// Debugger-side connection state.
+#[derive(Debug, Clone, Default)]
+pub struct DfConn {
+    /// Tokens received this step (the catch `Pipe_in=1,Hwcfg_in=1` counts).
+    pub window_count: u32,
+    /// Tokens sent this step.
+    pub sent_this_step: u32,
+    /// Total tokens ever transmitted through this connection.
+    pub total: u64,
+    /// Recording enabled (`iface ... record`).
+    pub record: bool,
+    /// Recorded token history (bounded).
+    pub history: Vec<TokenId>,
+}
+
+/// Debugger-side link state: the queue of Token objects.
+#[derive(Debug, Clone, Default)]
+pub struct DfLink {
+    pub queue: VecDeque<TokenId>,
+    pub pushed: u64,
+    pub popped: u64,
+}
+
+/// A dataflow catchpoint.
+#[derive(Debug, Clone)]
+pub struct Catchpoint {
+    pub id: u32,
+    pub enabled: bool,
+    pub temporary: bool,
+    pub cond: CatchCond,
+}
+
+/// What a catchpoint waits for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatchCond {
+    /// Stop when the filter has received at least `n` tokens on each
+    /// listed interface within the current step
+    /// (`filter ipred catch Pipe_in=1,Hwcfg_in=1` / `catch *in=1`).
+    ReceiveCounts {
+        actor: ActorId,
+        conds: Vec<(ConnId, u32)>,
+    },
+    /// Stop after every token received on this connection.
+    TokenReceivedOn { conn: ConnId },
+    /// Stop after every token sent on this connection.
+    TokenSentOn { conn: ConnId },
+    /// Stop when a token whose head word equals `value` is received.
+    TokenValueEq { conn: ConnId, value: Word },
+    /// Stop when the connection's total transmitted count reaches `n`.
+    TotalCount { conn: ConnId, count: u64 },
+    /// Stop when a controller schedules this filter (ACTOR_START).
+    Scheduled { actor: ActorId },
+    /// Stop at the beginning of a module step (None = any module).
+    StepBegin { module: Option<ActorId> },
+    /// Stop at the end of a module step.
+    StepEnd { module: Option<ActorId> },
+}
+
+/// A triggered stop, to be surfaced to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfStop {
+    TokenReceived {
+        catch: u32,
+        actor: ActorId,
+        conn: ConnId,
+        token: TokenId,
+    },
+    TokenSent {
+        catch: u32,
+        actor: ActorId,
+        conn: ConnId,
+        token: TokenId,
+    },
+    ReceiveCountsReached { catch: u32, actor: ActorId },
+    Scheduled { catch: u32, actor: ActorId },
+    StepBegin { catch: u32, module: ActorId, step: u64 },
+    StepEnd { catch: u32, module: ActorId, step: u64 },
+}
+
+/// Bound on per-connection recorded history.
+const HISTORY_CAP: usize = 4096;
+/// Bound on merger pending-input provenance.
+const PENDING_CAP: usize = 32;
+
+/// The reconstructed model (graph + dynamic state + catchpoints).
+#[derive(Debug, Default)]
+pub struct DfModel {
+    pub graph: AppGraph,
+    pub types: TypeTable,
+    pub booted: bool,
+    pub actors: Vec<DfActor>,
+    pub conns: Vec<DfConn>,
+    pub links: Vec<DfLink>,
+    pub tokens: Vec<TokenRec>,
+    pub catchpoints: Vec<Catchpoint>,
+    next_catch: u32,
+    /// Registration problems observed (should be empty on healthy apps).
+    pub anomalies: Vec<String>,
+    /// Execution timeline (work/step begin-end events with cycles), for
+    /// the visualization extension the paper lists as future work.
+    /// Disabled by default; bounded.
+    pub timeline_enabled: bool,
+    pub timeline: Vec<TimelineEvent>,
+}
+
+/// One timeline sample: an actor's WORK or a module's step began or ended
+/// at `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    pub cycle: u64,
+    pub actor: ActorId,
+    pub kind: TimelineKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineKind {
+    WorkBegin,
+    WorkEnd,
+    StepBegin,
+    StepEnd,
+}
+
+impl DfModel {
+    pub fn new(types: TypeTable) -> Self {
+        DfModel {
+            types,
+            ..Default::default()
+        }
+    }
+
+    pub fn token(&self, id: TokenId) -> &TokenRec {
+        &self.tokens[id as usize]
+    }
+
+    pub fn occupancy(&self, link: LinkId) -> usize {
+        self.links[link.0 as usize].queue.len()
+    }
+
+    pub fn queued(&self, link: LinkId) -> impl Iterator<Item = &TokenRec> {
+        self.links[link.0 as usize]
+            .queue
+            .iter()
+            .map(|id| self.token(*id))
+    }
+
+    /// Install a catchpoint, returning its id.
+    pub fn add_catch(&mut self, cond: CatchCond, temporary: bool) -> u32 {
+        let id = self.next_catch;
+        self.next_catch += 1;
+        self.catchpoints.push(Catchpoint {
+            id,
+            enabled: true,
+            temporary,
+            cond,
+        });
+        id
+    }
+
+    pub fn delete_catch(&mut self, id: u32) -> bool {
+        let before = self.catchpoints.len();
+        self.catchpoints.retain(|c| c.id != id);
+        before != self.catchpoints.len()
+    }
+
+    const TIMELINE_CAP: usize = 1 << 20;
+
+    fn timeline_push(&mut self, actor: ActorId, kind: TimelineKind, cycle: u64) {
+        if self.timeline_enabled && self.timeline.len() < Self::TIMELINE_CAP {
+            self.timeline.push(TimelineEvent { cycle, actor, kind });
+        }
+    }
+
+    fn new_token(
+        &mut self,
+        link: LinkId,
+        value: Value,
+        provenance: Vec<TokenId>,
+        cycle: u64,
+        synthesized: bool,
+    ) -> TokenId {
+        let id = self.tokens.len() as TokenId;
+        let l = &mut self.links[link.0 as usize];
+        let index = l.pushed;
+        l.pushed += 1;
+        l.queue.push_back(id);
+        self.tokens.push(TokenRec {
+            id,
+            link,
+            index,
+            value,
+            provenance,
+            produced_at: cycle,
+            consumed_at: None,
+            synthesized,
+        });
+        id
+    }
+
+    /// Apply one event; append triggered stops to `stops`.
+    pub fn apply(&mut self, ev: DfEvent, cycle: u64, stops: &mut Vec<DfStop>) {
+        match ev {
+            DfEvent::ActorRegistered {
+                id,
+                name,
+                kind,
+                parent,
+                pe,
+                work,
+            } => {
+                if let Err(e) = self.graph.register_actor(
+                    id,
+                    &name,
+                    kind,
+                    parent.map(ActorId),
+                    pe,
+                    work,
+                ) {
+                    self.anomalies.push(e.to_string());
+                    return;
+                }
+                self.actors.push(DfActor::default());
+            }
+            DfEvent::ConnRegistered {
+                id,
+                actor,
+                name,
+                dir,
+                ty,
+            } => {
+                if let Err(e) = self
+                    .graph
+                    .register_conn(id, ActorId(actor), &name, dir, ty)
+                {
+                    self.anomalies.push(e.to_string());
+                    return;
+                }
+                self.conns.push(DfConn::default());
+            }
+            DfEvent::LinkRegistered {
+                id,
+                from,
+                to,
+                capacity,
+                class,
+                fifo_base,
+            } => {
+                if let Err(e) = self.graph.register_link(
+                    id,
+                    ConnId(from),
+                    ConnId(to),
+                    capacity,
+                    class,
+                    fifo_base,
+                ) {
+                    self.anomalies.push(e.to_string());
+                    return;
+                }
+                self.links.push(DfLink::default());
+            }
+            DfEvent::BootComplete => {
+                self.booted = true;
+                // Controllers start running at boot.
+                for a in &self.graph.actors {
+                    if a.kind == ActorKind::Controller {
+                        self.actors[a.id.0 as usize].sched = DfSched::Running;
+                    }
+                }
+            }
+
+            DfEvent::TokenPushed { conn, words } => {
+                self.on_push(conn, words, cycle, stops);
+            }
+            DfEvent::TokenPopped { conn, index, words } => {
+                self.on_pop(conn, index, words, cycle, stops);
+            }
+
+            DfEvent::ActorStarted { actor } => {
+                let a = &mut self.actors[actor.0 as usize];
+                a.started = true;
+                if a.sched != DfSched::Running {
+                    a.sched = DfSched::Scheduled;
+                    a.begun = false;
+                }
+                for c in &self.catchpoints {
+                    if c.enabled
+                        && c.cond == (CatchCond::Scheduled { actor })
+                    {
+                        stops.push(DfStop::Scheduled { catch: c.id, actor });
+                    }
+                }
+                self.reap_temporaries(stops);
+            }
+            DfEvent::ActorSyncRequested { actor } => {
+                let a = &mut self.actors[actor.0 as usize];
+                a.sync_requested = true;
+                if !a.started && a.sched == DfSched::NotScheduled {
+                    a.sched = DfSched::Synced;
+                }
+            }
+            DfEvent::WorkBegun { actor } => {
+                self.timeline_push(actor, TimelineKind::WorkBegin, cycle);
+                let a = &mut self.actors[actor.0 as usize];
+                a.begun = true;
+                a.sched = DfSched::Running;
+                // Step boundary for this filter: reset I/O windows.
+                let conns: Vec<ConnId> =
+                    self.graph.actor(actor).conns().collect();
+                for c in conns {
+                    let rc = &mut self.conns[c.0 as usize];
+                    rc.window_count = 0;
+                    rc.sent_this_step = 0;
+                }
+            }
+            DfEvent::WorkEnded { actor } => {
+                self.timeline_push(actor, TimelineKind::WorkEnd, cycle);
+                let a = &mut self.actors[actor.0 as usize];
+                a.steps_done += 1;
+                if a.sync_requested {
+                    a.sched = DfSched::Synced;
+                } else if !a.started {
+                    a.sched = DfSched::NotScheduled;
+                }
+                // Free-running filters stay Running (re-entry follows).
+            }
+            DfEvent::WaitSyncCompleted { module } => {
+                let filters: Vec<ActorId> = self
+                    .graph
+                    .children(module)
+                    .filter(|a| a.kind == ActorKind::Filter)
+                    .map(|a| a.id)
+                    .collect();
+                for f in filters {
+                    let a = &mut self.actors[f.0 as usize];
+                    if a.sync_requested {
+                        a.sync_requested = false;
+                        a.started = false;
+                        a.begun = false;
+                        a.sched = DfSched::NotScheduled;
+                    }
+                }
+            }
+            DfEvent::StepBegun { module } => {
+                self.timeline_push(module, TimelineKind::StepBegin, cycle);
+                // Controller step boundary: reset the controller's windows.
+                if let Some(ctrl) = self.graph.controller_of(module) {
+                    let conns: Vec<ConnId> = ctrl.conns().collect();
+                    for c in conns {
+                        let rc = &mut self.conns[c.0 as usize];
+                        rc.window_count = 0;
+                        rc.sent_this_step = 0;
+                    }
+                }
+                let step =
+                    self.actors[module.0 as usize].steps_done + 1;
+                self.actors[module.0 as usize].steps_done = step;
+                for c in &self.catchpoints {
+                    if !c.enabled {
+                        continue;
+                    }
+                    if let CatchCond::StepBegin { module: m } = &c.cond {
+                        if m.is_none() || *m == Some(module) {
+                            stops.push(DfStop::StepBegin {
+                                catch: c.id,
+                                module,
+                                step,
+                            });
+                        }
+                    }
+                }
+                self.reap_temporaries(stops);
+            }
+            DfEvent::StepEnded { module } => {
+                self.timeline_push(module, TimelineKind::StepEnd, cycle);
+                let step = self.actors[module.0 as usize].steps_done;
+                for c in &self.catchpoints {
+                    if !c.enabled {
+                        continue;
+                    }
+                    if let CatchCond::StepEnd { module: m } = &c.cond {
+                        if m.is_none() || *m == Some(module) {
+                            stops.push(DfStop::StepEnd {
+                                catch: c.id,
+                                module,
+                                step,
+                            });
+                        }
+                    }
+                }
+                self.reap_temporaries(stops);
+            }
+        }
+    }
+
+    fn on_push(
+        &mut self,
+        conn: ConnId,
+        words: Vec<Word>,
+        cycle: u64,
+        stops: &mut Vec<DfStop>,
+    ) {
+        let Some(c) = self.graph.conns.get(conn.0 as usize) else {
+            self.anomalies.push(format!("push on unknown conn {}", conn.0));
+            return;
+        };
+        let Some(link) = c.link else {
+            self.anomalies
+                .push(format!("push on unbound conn `{}`", c.name));
+            return;
+        };
+        let actor = c.actor;
+        let ty = c.ty;
+        let mut words = words;
+        words.resize(self.types.size_words(ty) as usize, 0);
+        let value = Value::record(ty, words);
+        // Provenance per the producer's declared behaviour.
+        let behavior = self.actors[actor.0 as usize].behavior;
+        let provenance = match behavior {
+            FlowBehavior::Unknown => Vec::new(),
+            FlowBehavior::Pipeline | FlowBehavior::Splitter => self.actors
+                [actor.0 as usize]
+                .last_received
+                .into_iter()
+                .collect(),
+            FlowBehavior::Merger => {
+                std::mem::take(&mut self.actors[actor.0 as usize].pending_inputs)
+            }
+        };
+        let token = self.new_token(link, value, provenance, cycle, false);
+        self.actors[actor.0 as usize].last_sent = Some(token);
+        let rc = &mut self.conns[conn.0 as usize];
+        rc.sent_this_step += 1;
+        rc.total += 1;
+        let total = rc.total;
+        if rc.record {
+            if rc.history.len() == HISTORY_CAP {
+                rc.history.remove(0);
+            }
+            rc.history.push(token);
+        }
+        for c in &self.catchpoints {
+            if !c.enabled {
+                continue;
+            }
+            match &c.cond {
+                CatchCond::TokenSentOn { conn: cc } if *cc == conn => {
+                    stops.push(DfStop::TokenSent {
+                        catch: c.id,
+                        actor,
+                        conn,
+                        token,
+                    });
+                }
+                CatchCond::TotalCount { conn: cc, count }
+                    if *cc == conn && total == *count =>
+                {
+                    stops.push(DfStop::TokenSent {
+                        catch: c.id,
+                        actor,
+                        conn,
+                        token,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.reap_temporaries(stops);
+    }
+
+    fn on_pop(
+        &mut self,
+        conn: ConnId,
+        index: u32,
+        words: Vec<Word>,
+        cycle: u64,
+        stops: &mut Vec<DfStop>,
+    ) {
+        let Some(c) = self.graph.conns.get(conn.0 as usize) else {
+            self.anomalies.push(format!("pop on unknown conn {}", conn.0));
+            return;
+        };
+        let Some(link) = c.link else {
+            self.anomalies
+                .push(format!("pop on unbound conn `{}`", c.name));
+            return;
+        };
+        let actor = c.actor;
+        let ty = c.ty;
+        let mut words = words;
+        words.resize(self.types.size_words(ty) as usize, 0);
+        // The read window must now hold `index + 1` tokens; consume the
+        // difference from the link queue.
+        let have = self.conns[conn.0 as usize].window_count;
+        let need = (index + 1).saturating_sub(have);
+        let mut last_token = None;
+        for k in 0..need {
+            let id = match self.links[link.0 as usize].queue.pop_front() {
+                Some(id) => id,
+                None => {
+                    // Token not observed at production (host-side push or
+                    // capture disabled): synthesize from the observed value.
+                    // Only the final token's value is known exactly.
+                    let v = if k + 1 == need {
+                        Value::record(ty, words.clone())
+                    } else {
+                        Value::record(
+                            ty,
+                            vec![
+                                0;
+                                self.types.size_words(ty) as usize
+                            ],
+                        )
+                    };
+                    let id = self.new_token(link, v, Vec::new(), cycle, true);
+                    self.links[link.0 as usize].queue.pop_front();
+                    id
+                }
+            };
+            self.links[link.0 as usize].popped += 1;
+            self.tokens[id as usize].consumed_at = Some(cycle);
+            last_token = Some(id);
+            let a = &mut self.actors[actor.0 as usize];
+            a.last_received = Some(id);
+            if a.pending_inputs.len() < PENDING_CAP {
+                a.pending_inputs.push(id);
+            }
+            let rc = &mut self.conns[conn.0 as usize];
+            rc.window_count += 1;
+            rc.total += 1;
+            if rc.record {
+                if rc.history.len() == HISTORY_CAP {
+                    rc.history.remove(0);
+                }
+                rc.history.push(id);
+            }
+        }
+        let Some(token) = last_token else {
+            return; // window re-read: nothing actually consumed
+        };
+        let head = self.token(token).value.head_word();
+        for c in &self.catchpoints {
+            if !c.enabled {
+                continue;
+            }
+            match &c.cond {
+                CatchCond::TokenReceivedOn { conn: cc } if *cc == conn => {
+                    stops.push(DfStop::TokenReceived {
+                        catch: c.id,
+                        actor,
+                        conn,
+                        token,
+                    });
+                }
+                CatchCond::TokenValueEq { conn: cc, value }
+                    if *cc == conn && head == *value =>
+                {
+                    stops.push(DfStop::TokenReceived {
+                        catch: c.id,
+                        actor,
+                        conn,
+                        token,
+                    });
+                }
+                CatchCond::ReceiveCounts { actor: a, conds }
+                    if *a == actor =>
+                {
+                    let ok = conds.iter().all(|(cc, n)| {
+                        self.conns[cc.0 as usize].window_count >= *n
+                    });
+                    if ok {
+                        stops.push(DfStop::ReceiveCountsReached {
+                            catch: c.id,
+                            actor,
+                        });
+                    }
+                }
+                CatchCond::TotalCount { conn: cc, count }
+                    if *cc == conn
+                        && self.conns[cc.0 as usize].total == *count =>
+                {
+                    stops.push(DfStop::TokenReceived {
+                        catch: c.id,
+                        actor,
+                        conn,
+                        token,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.reap_temporaries(stops);
+    }
+
+    /// Remove triggered temporary catchpoints.
+    fn reap_temporaries(&mut self, stops: &[DfStop]) {
+        if stops.is_empty() {
+            return;
+        }
+        let ids: Vec<u32> = stops
+            .iter()
+            .map(|s| match s {
+                DfStop::TokenReceived { catch, .. }
+                | DfStop::TokenSent { catch, .. }
+                | DfStop::ReceiveCountsReached { catch, .. }
+                | DfStop::Scheduled { catch, .. }
+                | DfStop::StepBegin { catch, .. }
+                | DfStop::StepEnd { catch, .. } => *catch,
+            })
+            .collect();
+        self.catchpoints
+            .retain(|c| !(c.temporary && ids.contains(&c.id)));
+    }
+
+    /// The provenance path of an actor's most recently received token, for
+    /// `filter X info last_token` (§VI-D): pairs of (token, hop label).
+    pub fn last_token_path(&self, actor: ActorId) -> Vec<&TokenRec> {
+        let mut out = Vec::new();
+        let mut cur = self.actors[actor.0 as usize].last_received;
+        while let Some(id) = cur {
+            let t = self.token(id);
+            out.push(t);
+            cur = t.provenance.first().copied();
+            if out.len() > 64 {
+                break; // defensive: cycles cannot happen, but cap anyway
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two filters A -> B, registered through events like boot would.
+    fn model() -> DfModel {
+        let mut m = DfModel::new(TypeTable::new());
+        let mut stops = Vec::new();
+        for ev in [
+            DfEvent::ActorRegistered {
+                id: 0,
+                name: "m".into(),
+                kind: ActorKind::Module,
+                parent: None,
+                pe: None,
+                work: None,
+            },
+            DfEvent::ActorRegistered {
+                id: 1,
+                name: "a".into(),
+                kind: ActorKind::Filter,
+                parent: Some(0),
+                pe: Some(PeId(1)),
+                work: Some(100),
+            },
+            DfEvent::ActorRegistered {
+                id: 2,
+                name: "b".into(),
+                kind: ActorKind::Filter,
+                parent: Some(0),
+                pe: Some(PeId(2)),
+                work: Some(200),
+            },
+            DfEvent::ConnRegistered {
+                id: 0,
+                actor: 1,
+                name: "o".into(),
+                dir: Dir::Out,
+                ty: TypeTable::U32,
+            },
+            DfEvent::ConnRegistered {
+                id: 1,
+                actor: 2,
+                name: "i".into(),
+                dir: Dir::In,
+                ty: TypeTable::U32,
+            },
+            DfEvent::ConnRegistered {
+                id: 2,
+                actor: 2,
+                name: "o2".into(),
+                dir: Dir::Out,
+                ty: TypeTable::U32,
+            },
+            DfEvent::ConnRegistered {
+                id: 3,
+                actor: 1,
+                name: "i0".into(),
+                dir: Dir::In,
+                ty: TypeTable::U32,
+            },
+            DfEvent::LinkRegistered {
+                id: 0,
+                from: 0,
+                to: 1,
+                capacity: 8,
+                class: LinkClass::Data,
+                fifo_base: 0,
+            },
+            DfEvent::LinkRegistered {
+                id: 1,
+                from: 2,
+                to: 3,
+                capacity: 8,
+                class: LinkClass::Data,
+                fifo_base: 64,
+            },
+            DfEvent::BootComplete,
+        ] {
+            m.apply(ev, 0, &mut stops);
+        }
+        assert!(stops.is_empty());
+        assert!(m.anomalies.is_empty(), "{:?}", m.anomalies);
+        assert!(m.booted);
+        m
+    }
+
+    fn push(m: &mut DfModel, conn: u32, v: Word, cyc: u64) -> Vec<DfStop> {
+        let mut stops = Vec::new();
+        m.apply(
+            DfEvent::TokenPushed {
+                conn: ConnId(conn),
+                words: vec![v],
+            },
+            cyc,
+            &mut stops,
+        );
+        stops
+    }
+
+    fn pop(m: &mut DfModel, conn: u32, idx: u32, v: Word, cyc: u64) -> Vec<DfStop> {
+        let mut stops = Vec::new();
+        m.apply(
+            DfEvent::TokenPopped {
+                conn: ConnId(conn),
+                index: idx,
+                words: vec![v],
+            },
+            cyc,
+            &mut stops,
+        );
+        stops
+    }
+
+    #[test]
+    fn tokens_flow_through_the_model() {
+        let mut m = model();
+        push(&mut m, 0, 11, 1);
+        push(&mut m, 0, 22, 2);
+        assert_eq!(m.occupancy(LinkId(0)), 2);
+        let vals: Vec<Word> =
+            m.queued(LinkId(0)).map(|t| t.value.head_word()).collect();
+        assert_eq!(vals, vec![11, 22]);
+
+        // b reads index 1: consumes both tokens into its window.
+        pop(&mut m, 1, 1, 22, 3);
+        assert_eq!(m.occupancy(LinkId(0)), 0);
+        assert_eq!(m.conns[1].window_count, 2);
+        // Re-reading index 0 consumes nothing.
+        pop(&mut m, 1, 0, 11, 4);
+        assert_eq!(m.conns[1].window_count, 2);
+        assert_eq!(m.conns[1].total, 2);
+        // Work re-entry resets the window.
+        let mut stops = Vec::new();
+        m.apply(DfEvent::WorkBegun { actor: ActorId(2) }, 5, &mut stops);
+        assert_eq!(m.conns[1].window_count, 0);
+    }
+
+    #[test]
+    fn receive_counts_catchpoint_matches_paper_semantics() {
+        let mut m = model();
+        let id = m.add_catch(
+            CatchCond::ReceiveCounts {
+                actor: ActorId(2),
+                conds: vec![(ConnId(1), 2)],
+            },
+            false,
+        );
+        push(&mut m, 0, 1, 1);
+        assert!(pop(&mut m, 1, 0, 1, 2).is_empty());
+        push(&mut m, 0, 2, 3);
+        let stops = pop(&mut m, 1, 1, 2, 4);
+        assert_eq!(
+            stops,
+            vec![DfStop::ReceiveCountsReached {
+                catch: id,
+                actor: ActorId(2)
+            }]
+        );
+        // Persistent catchpoint survives.
+        assert_eq!(m.catchpoints.len(), 1);
+    }
+
+    #[test]
+    fn temporary_catchpoints_self_delete() {
+        let mut m = model();
+        m.add_catch(CatchCond::TokenSentOn { conn: ConnId(0) }, true);
+        let stops = push(&mut m, 0, 9, 1);
+        assert_eq!(stops.len(), 1);
+        assert!(m.catchpoints.is_empty());
+        // No further stops.
+        assert!(push(&mut m, 0, 9, 2).is_empty());
+    }
+
+    #[test]
+    fn value_catchpoints_inspect_content() {
+        let mut m = model();
+        m.add_catch(
+            CatchCond::TokenValueEq {
+                conn: ConnId(1),
+                value: 127,
+            },
+            false,
+        );
+        push(&mut m, 0, 5, 1);
+        assert!(pop(&mut m, 1, 0, 5, 2).is_empty());
+        let mut stops = Vec::new();
+        m.apply(DfEvent::WorkBegun { actor: ActorId(2) }, 3, &mut stops);
+        push(&mut m, 0, 127, 4);
+        let stops = pop(&mut m, 1, 0, 127, 5);
+        assert_eq!(stops.len(), 1);
+    }
+
+    #[test]
+    fn provenance_requires_declared_behavior() {
+        let mut m = model();
+        // Without configuration: no provenance.
+        push(&mut m, 0, 7, 1);
+        pop(&mut m, 1, 0, 7, 2);
+        push(&mut m, 2, 14, 3); // b sends
+        let sent = m.actors[2].last_sent.unwrap();
+        assert!(m.token(sent).provenance.is_empty());
+
+        // Configure b as a splitter: provenance now recorded.
+        m.actors[2].behavior = FlowBehavior::Splitter;
+        let mut stops = Vec::new();
+        m.apply(DfEvent::WorkBegun { actor: ActorId(2) }, 4, &mut stops);
+        push(&mut m, 0, 8, 5);
+        pop(&mut m, 1, 0, 8, 6);
+        push(&mut m, 2, 16, 7);
+        let sent = m.actors[2].last_sent.unwrap();
+        let prov = &m.token(sent).provenance;
+        assert_eq!(prov.len(), 1);
+        assert_eq!(m.token(prov[0]).value.head_word(), 8);
+
+        // last_token path: b's last received chains to nothing further
+        // (a has Unknown behaviour).
+        let path = m.last_token_path(ActorId(2));
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].value.head_word(), 8);
+    }
+
+    #[test]
+    fn merger_provenance_collects_all_inputs() {
+        let mut m = model();
+        m.actors[2].behavior = FlowBehavior::Merger;
+        push(&mut m, 0, 1, 1);
+        push(&mut m, 0, 2, 2);
+        pop(&mut m, 1, 1, 2, 3);
+        push(&mut m, 2, 3, 4);
+        let sent = m.actors[2].last_sent.unwrap();
+        assert_eq!(m.token(sent).provenance.len(), 2);
+        // Inputs are drained: the next output has empty provenance.
+        push(&mut m, 2, 4, 5);
+        let sent = m.actors[2].last_sent.unwrap();
+        assert!(m.token(sent).provenance.is_empty());
+    }
+
+    #[test]
+    fn recording_is_opt_in_and_bounded() {
+        let mut m = model();
+        push(&mut m, 0, 1, 1);
+        assert!(m.conns[0].history.is_empty());
+        m.conns[0].record = true;
+        for v in [5, 10, 15] {
+            push(&mut m, 0, v, 2);
+        }
+        let vals: Vec<Word> = m.conns[0]
+            .history
+            .iter()
+            .map(|id| m.token(*id).value.head_word())
+            .collect();
+        assert_eq!(vals, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn unseen_tokens_are_synthesized_on_pop() {
+        let mut m = model();
+        // No push observed (capture was disabled); pop still succeeds.
+        let stops = pop(&mut m, 1, 0, 42, 1);
+        assert!(stops.is_empty());
+        let t = m.actors[2].last_received.unwrap();
+        assert!(m.token(t).synthesized);
+        assert_eq!(m.token(t).value.head_word(), 42);
+        assert_eq!(m.occupancy(LinkId(0)), 0);
+    }
+
+    #[test]
+    fn scheduling_state_machine() {
+        let mut m = model();
+        let a = ActorId(1);
+        let mut stops = Vec::new();
+        m.apply(DfEvent::ActorStarted { actor: a }, 1, &mut stops);
+        assert_eq!(m.actors[1].sched, DfSched::Scheduled);
+        m.apply(DfEvent::WorkBegun { actor: a }, 2, &mut stops);
+        assert_eq!(m.actors[1].sched, DfSched::Running);
+        m.apply(DfEvent::ActorSyncRequested { actor: a }, 3, &mut stops);
+        m.apply(DfEvent::WorkEnded { actor: a }, 4, &mut stops);
+        assert_eq!(m.actors[1].sched, DfSched::Synced);
+        assert_eq!(m.actors[1].steps_done, 1);
+        m.apply(
+            DfEvent::WaitSyncCompleted { module: ActorId(0) },
+            5,
+            &mut stops,
+        );
+        assert_eq!(m.actors[1].sched, DfSched::NotScheduled);
+        assert!(!m.actors[1].sync_requested);
+    }
+
+    #[test]
+    fn scheduled_catchpoint_fires() {
+        let mut m = model();
+        let id = m.add_catch(CatchCond::Scheduled { actor: ActorId(1) }, false);
+        let mut stops = Vec::new();
+        m.apply(DfEvent::ActorStarted { actor: ActorId(1) }, 1, &mut stops);
+        assert_eq!(
+            stops,
+            vec![DfStop::Scheduled {
+                catch: id,
+                actor: ActorId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn step_catchpoints() {
+        let mut m = model();
+        m.add_catch(CatchCond::StepBegin { module: None }, false);
+        m.add_catch(
+            CatchCond::StepEnd {
+                module: Some(ActorId(0)),
+            },
+            false,
+        );
+        let mut stops = Vec::new();
+        m.apply(DfEvent::StepBegun { module: ActorId(0) }, 1, &mut stops);
+        assert!(matches!(stops[0], DfStop::StepBegin { step: 1, .. }));
+        stops.clear();
+        m.apply(DfEvent::StepEnded { module: ActorId(0) }, 2, &mut stops);
+        assert!(matches!(stops[0], DfStop::StepEnd { step: 1, .. }));
+    }
+}

@@ -1,0 +1,1471 @@
+//! The debugging session: GDB-equivalent core plus the dataflow extension.
+//!
+//! A [`Session`] owns the machine ([`pedf::System`]) the way GDB owns an
+//! attached inferior (Fig. 3): it drives the simulator cycle by cycle and
+//! inspects it between cycles. The **low-level layer** provides everything
+//! §III's "Two-Level Debugging" requires — code/line breakpoints,
+//! watchpoints, per-PE stepping (`step`/`next`/`finish`/`stepi`), frames,
+//! source listing and typed value printing. The **dataflow layer**
+//! ([`crate::dataflow`]) feeds on the same run loop through the
+//! function-breakpoint capture engine.
+//!
+//! All inspection uses the non-intrusive `peek` paths: stopping the machine
+//! and examining it never advances the simulated clock, reproducing the
+//! paper's claim that debugger interaction does not alter the execution
+//! semantics.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use debuginfo::{CodeAddr, DebugInfo, Value, Word};
+use p2012::{PeId, PeStatus, VmFault};
+use pedf::{ActorId, ActorKind, ConnId, LinkId, RuntimeEvent, System};
+
+use crate::dataflow::capture::{Capture, CaptureMode};
+use crate::dataflow::model::{
+    CatchCond, DfEvent, DfModel, DfStop, FlowBehavior, TokenId,
+};
+use crate::dataflow::{graphviz, model};
+
+/// A code breakpoint (user-level; the dataflow capture has its own
+/// internal function breakpoints).
+#[derive(Debug, Clone)]
+pub struct Breakpoint {
+    pub id: u32,
+    pub addr: CodeAddr,
+    pub enabled: bool,
+    pub temporary: bool,
+    pub label: String,
+    /// Set when this breakpoint implements `filter X catch work`.
+    pub work_of: Option<ActorId>,
+    pub hits: u64,
+}
+
+/// An installed watchpoint.
+#[derive(Debug, Clone)]
+pub struct Watchpoint {
+    pub id: u32,
+    pub label: String,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// Why the session stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stop {
+    Breakpoint {
+        pe: PeId,
+        addr: CodeAddr,
+        bp: u32,
+        work_of: Option<ActorId>,
+    },
+    Watchpoint {
+        id: u32,
+        addr: u32,
+        old: Word,
+        new: Word,
+    },
+    Dataflow(DfStop),
+    StepDone { pe: PeId },
+    FinishDone { pe: PeId },
+    Fault { pe: PeId, fault: VmFault },
+    Deadlock,
+    Quiescent,
+    CycleLimit,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum StepMode {
+    None,
+    Insn {
+        pe: PeId,
+        target: u64,
+    },
+    Line {
+        pe: PeId,
+        start_line: Option<(debuginfo::FileId, u32)>,
+        start_depth: usize,
+        step_over: bool,
+    },
+    Finish {
+        pe: PeId,
+        target_depth: usize,
+    },
+}
+
+/// Errors from session commands (bad names, unresolved symbols, ...).
+pub type CmdResult<T> = Result<T, String>;
+
+/// The debugger.
+pub struct Session {
+    pub sys: System,
+    pub info: DebugInfo,
+    pub model: DfModel,
+    pub capture: Capture,
+    breakpoints: Vec<Breakpoint>,
+    bp_addrs: HashMap<CodeAddr, Vec<u32>>,
+    next_bp: u32,
+    skip: HashSet<(PeId, CodeAddr)>,
+    watchpoints: Vec<Watchpoint>,
+    next_watch: u32,
+    focus: Option<PeId>,
+    step_mode: StepMode,
+    stop_queue: VecDeque<Stop>,
+    graph_learned: bool,
+    /// Per-PE invocation counters, for entry breakpoints on runtime-
+    /// scheduled tasks (see `check_entry_breakpoints`).
+    inv_seen: Vec<u64>,
+    /// `$N` value history (1-based), as in GDB.
+    pub value_history: Vec<Value>,
+}
+
+impl Session {
+    /// Attach to a built system. The debug info comes from the tool-chain
+    /// (DWARF equivalent); everything else is observed at runtime.
+    pub fn attach(mut sys: System, info: DebugInfo) -> Self {
+        let capture =
+            Capture::new(&info, &sys.platform.program, sys.platform.pe_count());
+        // Host-side environment I/O is invisible to breakpoints (no fabric
+        // code runs it); subscribe to just those events.
+        sys.runtime.events.enable_env_only();
+        let model = DfModel::new(sys.runtime.types.clone());
+        let n_pes = sys.platform.pe_count();
+        Session {
+            sys,
+            info,
+            model,
+            capture,
+            breakpoints: Vec::new(),
+            bp_addrs: HashMap::new(),
+            next_bp: 1,
+            skip: HashSet::new(),
+            watchpoints: Vec::new(),
+            next_watch: 1,
+            focus: None,
+            step_mode: StepMode::None,
+            stop_queue: VecDeque::new(),
+            graph_learned: false,
+            inv_seen: vec![0; n_pes],
+            value_history: Vec::new(),
+        }
+    }
+
+    /// Switch to the framework-cooperation ablation (§V's second option):
+    /// the runtime publishes events directly; function breakpoints on data
+    /// exchanges are disabled.
+    pub fn use_framework_cooperation(&mut self) {
+        self.capture.mode = CaptureMode::RuntimeEvents;
+        self.sys.runtime.events.enable();
+    }
+
+    /// §V mitigation 1: toggle the data-exchange breakpoints.
+    pub fn set_data_exchange_breakpoints(&mut self, on: bool) {
+        self.capture.data_exchange = on;
+    }
+
+    /// §V mitigation 2: restrict data-exchange breakpoints to the named
+    /// actors ("actor-specific location for data exchange breakpoints").
+    pub fn set_actor_breakpoint_filter(
+        &mut self,
+        filters: Option<Vec<ActorId>>,
+    ) {
+        self.capture.actor_filter = filters;
+    }
+
+    /// Boot the application under debugger control; the graph is
+    /// reconstructed from the registration calls as they execute
+    /// (Contribution #1).
+    pub fn boot(&mut self, entry: CodeAddr) -> CmdResult<()> {
+        let host = self.sys.platform.host_id();
+        self.sys.platform.invoke(host, entry, &[]);
+        for _ in 0..2_000_000u64 {
+            match self.run(1) {
+                Stop::CycleLimit if self.model.booted => return Ok(()),
+                Stop::CycleLimit => {}
+                Stop::Fault { pe, fault } => {
+                    return Err(format!("boot fault on {pe}: {fault}"))
+                }
+                Stop::Quiescent => {
+                    return Err("boot program exited without registering \
+                                the application"
+                        .to_string())
+                }
+                _ => {}
+            }
+        }
+        Err("boot did not complete".to_string())
+    }
+
+    pub fn clock(&self) -> u64 {
+        self.sys.clock()
+    }
+
+    // ---- the run loop -----------------------------------------------------
+
+    /// Run until something stops the machine, for at most `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Stop {
+        if let Some(s) = self.stop_queue.pop_front() {
+            self.note_focus(&s);
+            return s;
+        }
+        for _ in 0..max_cycles {
+            // Breakpoints stop *before* the instruction executes.
+            if let Some(stop) = self.check_breakpoints() {
+                self.note_focus(&stop);
+                return stop;
+            }
+            let report = self.sys.step();
+            self.skip.clear();
+
+            // Watchpoints.
+            for hit in self.sys.platform.mem.take_hits() {
+                self.stop_queue.push_back(Stop::Watchpoint {
+                    id: hit.id,
+                    addr: hit.addr,
+                    old: hit.old,
+                    new: hit.new,
+                });
+            }
+
+            // Dataflow events: host-boundary stream + capture engine.
+            self.pump_dataflow();
+
+            // Entry breakpoints on runtime-scheduled tasks: when the
+            // runtime invokes a WORK method on a PE that the scheduler
+            // visits later in the same cycle, the entry instruction has
+            // already executed by the time we look — detect the invocation
+            // through the counter and stop "after the prologue", as GDB
+            // does for function breakpoints.
+            self.check_entry_breakpoints();
+
+            // Faults are always reported.
+            for (i, pe) in self.sys.platform.pes.iter().enumerate() {
+                if let PeStatus::Faulted(f) = pe.status {
+                    let stop = Stop::Fault {
+                        pe: PeId(i as u16),
+                        fault: f,
+                    };
+                    // Report each fault once.
+                    if !self.stop_queue.contains(&stop) {
+                        self.stop_queue.push_back(stop);
+                    }
+                }
+            }
+
+            // Stepping modes.
+            if let Some(stop) = self.check_step_mode() {
+                self.stop_queue.push_back(stop);
+            }
+
+            if let Some(s) = self.stop_queue.pop_front() {
+                self.note_focus(&s);
+                return s;
+            }
+
+            // Progress checks only when nothing executed.
+            if report.executed == 0 && report.completions == 0 {
+                if self.sys.platform.is_quiescent() {
+                    return Stop::Quiescent;
+                }
+                if self.sys.platform.is_deadlocked() {
+                    return Stop::Deadlock;
+                }
+            }
+        }
+        Stop::CycleLimit
+    }
+
+    /// `continue` with a default budget.
+    pub fn cont(&mut self) -> Stop {
+        self.run(10_000_000)
+    }
+
+    fn note_focus(&mut self, stop: &Stop) {
+        match stop {
+            Stop::Breakpoint { pe, .. }
+            | Stop::StepDone { pe }
+            | Stop::FinishDone { pe }
+            | Stop::Fault { pe, .. } => self.focus = Some(*pe),
+            Stop::Dataflow(df) => {
+                let actor = match df {
+                    DfStop::TokenReceived { actor, .. }
+                    | DfStop::TokenSent { actor, .. }
+                    | DfStop::ReceiveCountsReached { actor, .. }
+                    | DfStop::Scheduled { actor, .. } => Some(*actor),
+                    _ => None,
+                };
+                if let Some(a) = actor {
+                    if let Some(pe) = self.model.graph.actor(a).pe {
+                        self.focus = Some(pe);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn pump_dataflow(&mut self) {
+        let cycle = self.sys.clock();
+        // 1. Runtime event stream: env I/O always; everything in
+        //    cooperation mode.
+        let coop = self.capture.mode == CaptureMode::RuntimeEvents;
+        let evs = self.sys.runtime.events.drain();
+        let mut stops = Vec::new();
+        for ev in evs {
+            let mapped = match ev {
+                RuntimeEvent::TokenPushed { conn, value, .. } => {
+                    Some(DfEvent::TokenPushed {
+                        conn,
+                        words: value.words,
+                    })
+                }
+                RuntimeEvent::TokenPopped { conn, value, .. } => {
+                    let idx = self
+                        .model
+                        .conns
+                        .get(conn.0 as usize)
+                        .map_or(0, |c| c.window_count);
+                    Some(DfEvent::TokenPopped {
+                        conn,
+                        index: idx,
+                        words: value.words,
+                    })
+                }
+                RuntimeEvent::BootComplete if coop => {
+                    // Cooperation mode skips registration interception:
+                    // adopt the runtime's graph wholesale.
+                    self.model.graph = self.sys.runtime.graph.clone();
+                    self.model
+                        .actors
+                        .resize_with(self.model.graph.actors.len(), Default::default);
+                    self.model
+                        .conns
+                        .resize_with(self.model.graph.conns.len(), Default::default);
+                    self.model
+                        .links
+                        .resize_with(self.model.graph.links.len(), Default::default);
+                    Some(DfEvent::BootComplete)
+                }
+                RuntimeEvent::ActorStarted { actor } if coop => {
+                    Some(DfEvent::ActorStarted { actor })
+                }
+                RuntimeEvent::ActorSyncRequested { actor } if coop => {
+                    Some(DfEvent::ActorSyncRequested { actor })
+                }
+                RuntimeEvent::WorkBegun { actor } if coop => {
+                    Some(DfEvent::WorkBegun { actor })
+                }
+                RuntimeEvent::WorkEnded { actor, .. } if coop => {
+                    Some(DfEvent::WorkEnded { actor })
+                }
+                RuntimeEvent::StepBegun { module, .. } if coop => {
+                    Some(DfEvent::StepBegun { module })
+                }
+                RuntimeEvent::StepEnded { module, .. } if coop => {
+                    Some(DfEvent::StepEnded { module })
+                }
+                _ => None,
+            };
+            if let Some(ev) = mapped {
+                self.model.apply(ev, cycle, &mut stops);
+            }
+        }
+        // In cooperation mode WaitSync resets are invisible; mirror the
+        // runtime's filter states lazily instead (displays read them).
+
+        // 2. Function-breakpoint capture.
+        self.capture.observe(&self.sys.platform, &self.model.graph);
+        for ev in self.capture.drain() {
+            self.model.apply(ev, cycle, &mut stops);
+        }
+        if self.model.booted && !self.graph_learned {
+            self.capture.learn_graph(&self.model.graph);
+            self.graph_learned = true;
+        }
+        // Step-both second leg: arm the receive end when the send fires.
+        for s in &stops {
+            self.stop_queue.push_back(Stop::Dataflow(s.clone()));
+        }
+    }
+
+    // ---- breakpoints -------------------------------------------------------
+
+    fn check_breakpoints(&mut self) -> Option<Stop> {
+        if self.bp_addrs.is_empty() {
+            return None;
+        }
+        let mut found: Option<(PeId, CodeAddr, u32)> = None;
+        for (i, pe) in self.sys.platform.pes.iter().enumerate() {
+            if !matches!(pe.status, PeStatus::Running) || pe.stall > 0 {
+                continue;
+            }
+            let pe_id = PeId(i as u16);
+            if self.skip.contains(&(pe_id, pe.pc)) {
+                continue;
+            }
+            let Some(ids) = self.bp_addrs.get(&pe.pc) else {
+                continue;
+            };
+            let Some(&bp_id) = ids.iter().find(|id| {
+                self.breakpoints
+                    .iter()
+                    .any(|b| b.id == **id && b.enabled)
+            }) else {
+                continue;
+            };
+            found = Some((pe_id, pe.pc, bp_id));
+            break;
+        }
+        let (pe, addr, bp_id) = found?;
+        self.skip.insert((pe, addr));
+        Some(self.fire_breakpoint(pe, addr, bp_id))
+    }
+
+    fn fire_breakpoint(&mut self, pe: PeId, addr: CodeAddr, bp_id: u32) -> Stop {
+        let bp = self
+            .breakpoints
+            .iter_mut()
+            .find(|b| b.id == bp_id)
+            .expect("bp exists");
+        bp.hits += 1;
+        let work_of = bp.work_of;
+        if bp.temporary {
+            self.remove_breakpoint(bp_id);
+        }
+        Stop::Breakpoint {
+            pe,
+            addr,
+            bp: bp_id,
+            work_of,
+        }
+    }
+
+    /// Post-cycle detection of task entries that executed within the
+    /// invoking cycle (see the comment at the call site).
+    fn check_entry_breakpoints(&mut self) {
+        for i in 0..self.sys.platform.pes.len() {
+            let pe = &self.sys.platform.pes[i];
+            let inv = pe.invocations;
+            if inv == self.inv_seen[i] {
+                continue;
+            }
+            self.inv_seen[i] = inv;
+            if self.bp_addrs.is_empty() {
+                continue;
+            }
+            let Some(entry) = pe.frames.first().map(|f| f.func) else {
+                continue; // already finished again: too short to stop in
+            };
+            if pe.pc == entry {
+                continue; // not yet executed: the pre-cycle check will stop
+            }
+            let Some(ids) = self.bp_addrs.get(&entry) else {
+                continue;
+            };
+            let Some(&bp_id) = ids.iter().find(|id| {
+                self.breakpoints.iter().any(|b| b.id == **id && b.enabled)
+            }) else {
+                continue;
+            };
+            let stop = self.fire_breakpoint(PeId(i as u16), entry, bp_id);
+            self.stop_queue.push_back(stop);
+        }
+    }
+
+    fn add_breakpoint(
+        &mut self,
+        addr: CodeAddr,
+        label: String,
+        temporary: bool,
+        work_of: Option<ActorId>,
+    ) -> u32 {
+        let id = self.next_bp;
+        self.next_bp += 1;
+        self.breakpoints.push(Breakpoint {
+            id,
+            addr,
+            enabled: true,
+            temporary,
+            label,
+            work_of,
+            hits: 0,
+        });
+        self.bp_addrs.entry(addr).or_default().push(id);
+        id
+    }
+
+    /// `break <symbol>` — function entry.
+    pub fn break_symbol(&mut self, name: &str) -> CmdResult<u32> {
+        let sym = self
+            .info
+            .symbols
+            .resolve(name)
+            .ok_or_else(|| format!("no symbol `{name}`"))?;
+        let (addr, pretty) = (sym.addr, sym.pretty.clone());
+        Ok(self.add_breakpoint(addr, pretty, false, None))
+    }
+
+    /// `break <file>:<line>`.
+    pub fn break_line(&mut self, file: &str, line: u32) -> CmdResult<u32> {
+        let f = self
+            .info
+            .lines
+            .file_by_name(file)
+            .ok_or_else(|| format!("no source file `{file}`"))?;
+        let addr = self
+            .info
+            .lines
+            .addr_of_line(f, line)
+            .ok_or_else(|| format!("no code at {file}:{line}"))?;
+        Ok(self.add_breakpoint(addr, format!("{file}:{line}"), false, None))
+    }
+
+    pub fn remove_breakpoint(&mut self, id: u32) -> bool {
+        let Some(pos) = self.breakpoints.iter().position(|b| b.id == id)
+        else {
+            return false;
+        };
+        let bp = self.breakpoints.remove(pos);
+        if let Some(v) = self.bp_addrs.get_mut(&bp.addr) {
+            v.retain(|x| *x != id);
+            if v.is_empty() {
+                self.bp_addrs.remove(&bp.addr);
+            }
+        }
+        true
+    }
+
+    pub fn breakpoints(&self) -> &[Breakpoint] {
+        &self.breakpoints
+    }
+
+    // ---- watchpoints -------------------------------------------------------
+
+    /// `watch <object symbol>` — e.g. a filter's private data or attribute.
+    pub fn watch_object(&mut self, name: &str) -> CmdResult<u32> {
+        let sym = self
+            .info
+            .symbols
+            .resolve(name)
+            .ok_or_else(|| format!("no symbol `{name}`"))?;
+        if sym.kind != debuginfo::SymbolKind::Object {
+            return Err(format!("`{name}` is not a data object"));
+        }
+        let (lo, hi) = (sym.addr, sym.addr + sym.size - 1);
+        let label = sym.pretty.clone();
+        let id = self.next_watch;
+        self.next_watch += 1;
+        self.sys
+            .platform
+            .mem
+            .add_watch(id, lo, hi, p2012::WatchKind::Write);
+        self.watchpoints.push(Watchpoint { id, label, lo, hi });
+        Ok(id)
+    }
+
+    pub fn remove_watchpoint(&mut self, id: u32) -> bool {
+        let before = self.watchpoints.len();
+        self.watchpoints.retain(|w| w.id != id);
+        self.sys.platform.mem.remove_watch(id);
+        before != self.watchpoints.len()
+    }
+
+    pub fn watchpoints(&self) -> &[Watchpoint] {
+        &self.watchpoints
+    }
+
+    // ---- stepping ----------------------------------------------------------
+
+    pub fn focus(&self) -> Option<PeId> {
+        self.focus
+    }
+
+    pub fn set_focus(&mut self, pe: PeId) {
+        self.focus = Some(pe);
+    }
+
+    /// Focus the PE running a named actor.
+    pub fn focus_actor(&mut self, name: &str) -> CmdResult<PeId> {
+        let a = self
+            .model
+            .graph
+            .actor_by_name(name)
+            .ok_or_else(|| format!("no actor `{name}`"))?;
+        let pe = a.pe.ok_or_else(|| format!("`{name}` is not mapped"))?;
+        self.focus = Some(pe);
+        Ok(pe)
+    }
+
+    fn focused(&self) -> CmdResult<PeId> {
+        self.focus.ok_or_else(|| {
+            "no focused PE (stop somewhere first, or use `focus`)".to_string()
+        })
+    }
+
+    fn current_line(&self, pe: PeId) -> Option<(debuginfo::FileId, u32)> {
+        let pc = self.sys.platform.pes[pe.index()].pc;
+        self.info.lines.lookup(pc).map(|e| (e.file, e.line))
+    }
+
+    /// `stepi` — one machine instruction on the focused PE.
+    pub fn stepi(&mut self) -> CmdResult<Stop> {
+        let pe = self.focused()?;
+        let target = self.sys.platform.pes[pe.index()].retired + 1;
+        self.step_mode = StepMode::Insn { pe, target };
+        Ok(self.run(1_000_000))
+    }
+
+    /// `step` — to the next source line, entering calls.
+    pub fn step(&mut self) -> CmdResult<Stop> {
+        let pe = self.focused()?;
+        self.step_mode = StepMode::Line {
+            pe,
+            start_line: self.current_line(pe),
+            start_depth: self.sys.platform.pes[pe.index()].frame_depth(),
+            step_over: false,
+        };
+        Ok(self.run(10_000_000))
+    }
+
+    /// `next` — to the next source line, stepping over calls.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> CmdResult<Stop> {
+        let pe = self.focused()?;
+        self.step_mode = StepMode::Line {
+            pe,
+            start_line: self.current_line(pe),
+            start_depth: self.sys.platform.pes[pe.index()].frame_depth(),
+            step_over: true,
+        };
+        Ok(self.run(10_000_000))
+    }
+
+    /// `finish` — run until the current function returns.
+    pub fn finish(&mut self) -> CmdResult<Stop> {
+        let pe = self.focused()?;
+        let depth = self.sys.platform.pes[pe.index()].frame_depth();
+        if depth == 0 {
+            return Err("no frame to finish".to_string());
+        }
+        self.step_mode = StepMode::Finish {
+            pe,
+            target_depth: depth - 1,
+        };
+        Ok(self.run(10_000_000))
+    }
+
+    fn check_step_mode(&mut self) -> Option<Stop> {
+        match self.step_mode {
+            StepMode::None => None,
+            StepMode::Insn { pe, target } => {
+                let p = &self.sys.platform.pes[pe.index()];
+                if p.retired >= target
+                    || matches!(p.status, PeStatus::Idle | PeStatus::Halted)
+                {
+                    self.step_mode = StepMode::None;
+                    Some(Stop::StepDone { pe })
+                } else {
+                    None
+                }
+            }
+            StepMode::Line {
+                pe,
+                start_line,
+                start_depth,
+                step_over,
+            } => {
+                let p = &self.sys.platform.pes[pe.index()];
+                if matches!(p.status, PeStatus::Idle | PeStatus::Halted) {
+                    self.step_mode = StepMode::None;
+                    return Some(Stop::StepDone { pe });
+                }
+                if !matches!(p.status, PeStatus::Running) || p.stall > 0 {
+                    return None;
+                }
+                if step_over && p.frame_depth() > start_depth {
+                    return None;
+                }
+                let here = self.current_line(pe);
+                if here.is_some() && here != start_line {
+                    self.step_mode = StepMode::None;
+                    return Some(Stop::StepDone { pe });
+                }
+                None
+            }
+            StepMode::Finish { pe, target_depth } => {
+                let p = &self.sys.platform.pes[pe.index()];
+                if p.frame_depth() <= target_depth
+                    || matches!(p.status, PeStatus::Idle | PeStatus::Halted)
+                {
+                    self.step_mode = StepMode::None;
+                    Some(Stop::FinishDone { pe })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    // ---- inspection ---------------------------------------------------------
+
+    /// `backtrace` for a PE.
+    pub fn backtrace(&self, pe: PeId) -> String {
+        let p = &self.sys.platform.pes[pe.index()];
+        if p.frames.is_empty() {
+            return format!("{pe}: no stack (idle)\n");
+        }
+        let mut out = String::new();
+        for (i, f) in p.frames.iter().enumerate().rev() {
+            let pc = if i + 1 == p.frames.len() {
+                p.pc
+            } else {
+                p.frames[i + 1].ret_addr
+            };
+            let func = self
+                .info
+                .function_at(f.func)
+                .map(|s| s.pretty.clone())
+                .unwrap_or_else(|| format!("0x{:04x}", f.func));
+            out.push_str(&format!(
+                "#{depth}  {func} () at {loc}\n",
+                depth = p.frames.len() - 1 - i,
+                loc = self.info.describe_addr(pc),
+            ));
+        }
+        out
+    }
+
+    /// Where is a PE right now (`frame`): function + file:line.
+    pub fn where_is(&self, pe: PeId) -> String {
+        let p = &self.sys.platform.pes[pe.index()];
+        match p.status {
+            PeStatus::Idle => format!("{pe}: idle"),
+            PeStatus::Halted => format!("{pe}: halted"),
+            PeStatus::Faulted(f) => format!("{pe}: faulted ({f})"),
+            PeStatus::Blocked(r) => {
+                let func = self
+                    .info
+                    .function_at(
+                        p.frames.last().map(|f| f.func).unwrap_or(p.pc),
+                    )
+                    .map(|s| s.pretty.clone())
+                    .unwrap_or_default();
+                format!(
+                    "{pe}: blocked in {func} at {} ({r})",
+                    self.info.describe_addr(p.pc)
+                )
+            }
+            PeStatus::Running => {
+                let func = self
+                    .info
+                    .function_at(
+                        p.frames.last().map(|f| f.func).unwrap_or(p.pc),
+                    )
+                    .map(|s| s.pretty.clone())
+                    .unwrap_or_default();
+                format!(
+                    "{pe}: running {func} at {}",
+                    self.info.describe_addr(p.pc)
+                )
+            }
+        }
+    }
+
+    /// `list` around the focused PE's current line (or an explicit
+    /// file:line), returning numbered source lines.
+    pub fn list_source(
+        &self,
+        at: Option<(&str, u32)>,
+        context: u32,
+    ) -> CmdResult<String> {
+        let (file, line) = match at {
+            Some((f, l)) => {
+                let fid = self
+                    .info
+                    .lines
+                    .file_by_name(f)
+                    .ok_or_else(|| format!("no source file `{f}`"))?;
+                (fid, l)
+            }
+            None => {
+                let pe = self.focused()?;
+                self.current_line(pe)
+                    .ok_or_else(|| "no line information here".to_string())?
+            }
+        };
+        let src = self.info.lines.file(file);
+        let lo = line.saturating_sub(context).max(1);
+        let hi = (line + context).min(src.line_count());
+        let mut out = String::new();
+        for n in lo..=hi {
+            let marker = if n == line { "->" } else { "  " };
+            out.push_str(&format!(
+                "{n:>4} {marker} {}\n",
+                src.line(n).unwrap_or("")
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `print <object>` — read a data object from simulated memory.
+    pub fn print_object(&mut self, name: &str) -> CmdResult<String> {
+        let sym = self
+            .info
+            .symbols
+            .resolve(name)
+            .ok_or_else(|| format!("no symbol `{name}`"))?;
+        if sym.kind != debuginfo::SymbolKind::Object {
+            return Err(format!("`{name}` is not a data object"));
+        }
+        let mut words = Vec::with_capacity(sym.size as usize);
+        for i in 0..sym.size {
+            words.push(
+                self.sys
+                    .platform
+                    .mem
+                    .peek(sym.addr + i)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        let v = Value::record(debuginfo::TypeTable::U32, words.clone());
+        let v = if words.len() == 1 {
+            Value::scalar(debuginfo::TypeTable::U32, words[0])
+        } else {
+            v
+        };
+        let n = self.record_value(v.clone());
+        Ok(format!("${n} = {}", v.render_full(&self.model.types)))
+    }
+
+    /// `print $N` — re-render a value-history entry in full (the §VI-E
+    /// two-level example).
+    pub fn print_history(&mut self, n: usize) -> CmdResult<String> {
+        let v = self
+            .value_history
+            .get(n.checked_sub(1).ok_or("history starts at $1")?)
+            .cloned()
+            .ok_or_else(|| format!("no history value ${n}"))?;
+        let m = self.record_value(v.clone());
+        Ok(format!("${m} = {}", v.render_full(&self.model.types)))
+    }
+
+    pub fn record_value(&mut self, v: Value) -> usize {
+        self.value_history.push(v);
+        self.value_history.len()
+    }
+
+    // ---- dataflow commands ---------------------------------------------------
+
+    fn actor_named(&self, name: &str) -> CmdResult<ActorId> {
+        self.model
+            .graph
+            .actor_by_name(name)
+            .map(|a| a.id)
+            .ok_or_else(|| format!("no actor `{name}`"))
+    }
+
+    /// Resolve `actor::iface` (or `iface` of `actor`) to a connection.
+    pub fn conn_named(&self, spec: &str) -> CmdResult<ConnId> {
+        let (actor, conn) = spec
+            .split_once("::")
+            .ok_or_else(|| format!("`{spec}`: expected actor::interface"))?;
+        let a = self.actor_named(actor)?;
+        self.model
+            .graph
+            .conn_by_name(a, conn)
+            .map(|c| c.id)
+            .ok_or_else(|| format!("`{actor}` has no interface `{conn}`"))
+    }
+
+    /// `filter X catch work`.
+    pub fn catch_work(&mut self, filter: &str) -> CmdResult<u32> {
+        let a = self.actor_named(filter)?;
+        let work = self
+            .model
+            .graph
+            .actor(a)
+            .work_addr
+            .ok_or_else(|| format!("`{filter}` has no WORK method"))?;
+        Ok(self.add_breakpoint(
+            work,
+            format!("work of filter {filter}"),
+            false,
+            Some(a),
+        ))
+    }
+
+    /// `filter X catch IFACE=N,IFACE=N` — stop once the filter received
+    /// the given token counts within one step.
+    pub fn catch_receive(
+        &mut self,
+        filter: &str,
+        conds: &[(&str, u32)],
+    ) -> CmdResult<u32> {
+        let a = self.actor_named(filter)?;
+        let mut resolved = Vec::new();
+        for (iface, n) in conds {
+            let c = self
+                .model
+                .graph
+                .conn_by_name(a, iface)
+                .ok_or_else(|| format!("`{filter}` has no interface `{iface}`"))?;
+            if c.dir != pedf::Dir::In {
+                return Err(format!("`{iface}` is not an input interface"));
+            }
+            resolved.push((c.id, *n));
+        }
+        Ok(self.model.add_catch(
+            CatchCond::ReceiveCounts {
+                actor: a,
+                conds: resolved,
+            },
+            false,
+        ))
+    }
+
+    /// `filter X catch *in=N` — every inbound interface.
+    pub fn catch_receive_all(&mut self, filter: &str, n: u32) -> CmdResult<u32> {
+        let a = self.actor_named(filter)?;
+        let conds: Vec<(ConnId, u32)> = self
+            .model
+            .graph
+            .actor(a)
+            .inputs
+            .iter()
+            .map(|c| (*c, n))
+            .collect();
+        if conds.is_empty() {
+            return Err(format!("`{filter}` has no input interfaces"));
+        }
+        Ok(self
+            .model
+            .add_catch(CatchCond::ReceiveCounts { actor: a, conds }, false))
+    }
+
+    /// `filter X catch IFACE` — stop on every token received there.
+    pub fn catch_iface_receive(&mut self, spec: &str) -> CmdResult<u32> {
+        let conn = self.conn_named(spec)?;
+        Ok(self
+            .model
+            .add_catch(CatchCond::TokenReceivedOn { conn }, false))
+    }
+
+    pub fn catch_iface_send(&mut self, spec: &str) -> CmdResult<u32> {
+        let conn = self.conn_named(spec)?;
+        Ok(self.model.add_catch(CatchCond::TokenSentOn { conn }, false))
+    }
+
+    /// Conditional catchpoint on token content.
+    pub fn catch_value(&mut self, spec: &str, value: Word) -> CmdResult<u32> {
+        let conn = self.conn_named(spec)?;
+        Ok(self
+            .model
+            .add_catch(CatchCond::TokenValueEq { conn, value }, false))
+    }
+
+    /// Conditional catchpoint on transmitted-token count.
+    pub fn catch_count(&mut self, spec: &str, count: u64) -> CmdResult<u32> {
+        let conn = self.conn_named(spec)?;
+        Ok(self
+            .model
+            .add_catch(CatchCond::TotalCount { conn, count }, false))
+    }
+
+    /// Stop when a controller schedules the filter.
+    pub fn catch_scheduled(&mut self, filter: &str) -> CmdResult<u32> {
+        let a = self.actor_named(filter)?;
+        Ok(self.model.add_catch(CatchCond::Scheduled { actor: a }, false))
+    }
+
+    /// Stop at step begin/end of a module (None = any).
+    pub fn catch_step(
+        &mut self,
+        module: Option<&str>,
+        begin: bool,
+    ) -> CmdResult<u32> {
+        let module = match module {
+            Some(m) => Some(self.actor_named(m)?),
+            None => None,
+        };
+        let cond = if begin {
+            CatchCond::StepBegin { module }
+        } else {
+            CatchCond::StepEnd { module }
+        };
+        Ok(self.model.add_catch(cond, false))
+    }
+
+    pub fn delete_catch(&mut self, id: u32) -> bool {
+        self.model.delete_catch(id)
+    }
+
+    /// `iface X::Y record` (§VI-D) — enable token-content recording.
+    pub fn iface_record(&mut self, spec: &str, on: bool) -> CmdResult<()> {
+        let conn = self.conn_named(spec)?;
+        self.model.conns[conn.0 as usize].record = on;
+        if !on {
+            self.model.conns[conn.0 as usize].history.clear();
+        }
+        Ok(())
+    }
+
+    /// `iface X::Y print` — the recorded token history, formatted as in
+    /// the paper: `#1 (U16) 5`.
+    pub fn iface_print(&self, spec: &str) -> CmdResult<String> {
+        let conn = self.conn_named(spec)?;
+        let c = &self.model.conns[conn.0 as usize];
+        if !c.record {
+            return Err(format!(
+                "recording is not enabled on `{spec}` \
+                 (use `iface {spec} record`)"
+            ));
+        }
+        let mut out = String::new();
+        for (i, id) in c.history.iter().enumerate() {
+            let t = self.model.token(*id);
+            out.push_str(&format!(
+                "#{} {}\n",
+                i + 1,
+                t.value.render_short(&self.model.types)
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `filter X configure splitter` (§VI-D).
+    pub fn configure_filter(
+        &mut self,
+        filter: &str,
+        behavior: FlowBehavior,
+    ) -> CmdResult<()> {
+        let a = self.actor_named(filter)?;
+        self.model.actors[a.0 as usize].behavior = behavior;
+        Ok(())
+    }
+
+    /// `filter X info last_token` — the provenance path (§VI-D):
+    /// `#1 red -> pipe (CbCrMB_t) {Addr=0x145D,...}`.
+    pub fn info_last_token(&self, filter: &str) -> CmdResult<String> {
+        let a = self.actor_named(filter)?;
+        let path = self.model.last_token_path(a);
+        if path.is_empty() {
+            return Ok(format!("`{filter}` has not received any token\n"));
+        }
+        let mut out = String::new();
+        for (i, t) in path.iter().enumerate() {
+            let link = self.model.graph.link(t.link);
+            let from = self
+                .model
+                .graph
+                .actor(self.model.graph.conn(link.from).actor);
+            let to = self
+                .model
+                .graph
+                .actor(self.model.graph.conn(link.to).actor);
+            out.push_str(&format!(
+                "#{} {} -> {} {}\n",
+                i + 1,
+                from.name,
+                to.name,
+                t.value.render_short(&self.model.types)
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `filter print last_token` — push the last received token of the
+    /// focused (or named) filter into the value history (§VI-E).
+    pub fn filter_print_last_token(&mut self, filter: &str) -> CmdResult<String> {
+        let a = self.actor_named(filter)?;
+        let id = self.model.actors[a.0 as usize]
+            .last_received
+            .ok_or_else(|| format!("`{filter}` has not received any token"))?;
+        let v = self.model.token(id).value.clone();
+        let n = self.record_value(v.clone());
+        Ok(format!("${n} = {}", v.render_short(&self.model.types)))
+    }
+
+    /// `step_both` (§VI-C): the focused filter is about to execute a
+    /// dataflow assignment; insert temporary breakpoints at both ends of
+    /// the link. The output interface is parsed from the current source
+    /// line (falling back to all output interfaces of the actor).
+    pub fn step_both(&mut self) -> CmdResult<Vec<String>> {
+        let pe = self.focused()?;
+        let actor = self
+            .model
+            .graph
+            .actors
+            .iter()
+            .find(|a| a.pe == Some(pe))
+            .ok_or("focused PE runs no dataflow actor")?
+            .id;
+        // Find the interface named on the current source line.
+        let mut conns: Vec<ConnId> = Vec::new();
+        if let Some((file, line)) = self.current_line(pe) {
+            if let Some(text) = self.info.lines.file(file).line(line) {
+                if let Some(pos) = text.find("pedf.io.") {
+                    let rest = &text[pos + "pedf.io.".len()..];
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if let Some(c) =
+                        self.model.graph.conn_by_name(actor, &name)
+                    {
+                        if c.dir == pedf::Dir::Out {
+                            conns.push(c.id);
+                        }
+                    }
+                }
+            }
+        }
+        if conns.is_empty() {
+            conns = self.model.graph.actor(actor).outputs.clone();
+        }
+        if conns.is_empty() {
+            return Err("the focused filter has no output interface".into());
+        }
+        let mut messages = Vec::new();
+        for conn in conns {
+            let c = self.model.graph.conn(conn);
+            let Some(link) = c.link else { continue };
+            let other = self.model.graph.link(link).to;
+            let oc = self.model.graph.conn(other);
+            let other_actor = self.model.graph.actor(oc.actor);
+            let this_actor = self.model.graph.actor(actor);
+            messages.push(format!(
+                "[Temporary breakpoint inserted after input interface \
+                 `{}::{}']",
+                other_actor.name, oc.name
+            ));
+            messages.push(format!(
+                "[Temporary breakpoint inserted after output interface \
+                 `{}::{}']",
+                this_actor.name, c.name
+            ));
+            self.model
+                .add_catch(CatchCond::TokenSentOn { conn }, true);
+            self.model
+                .add_catch(CatchCond::TokenReceivedOn { conn: other }, true);
+        }
+        Ok(messages)
+    }
+
+    // ---- altering the execution (§III) ---------------------------------------
+
+    fn link_of(&self, spec: &str) -> CmdResult<LinkId> {
+        let conn = self.conn_named(spec)?;
+        self.model
+            .graph
+            .conn(conn)
+            .link
+            .ok_or_else(|| format!("`{spec}` is not bound to a link"))
+    }
+
+    /// `token inject <actor::iface> <value>` — e.g. to untie a deadlock.
+    pub fn token_inject(&mut self, spec: &str, words: &[Word]) -> CmdResult<u64> {
+        let link = self.link_of(spec)?;
+        let ty = self
+            .model
+            .graph
+            .conn(self.model.graph.link(link).from)
+            .ty;
+        let mut w = words.to_vec();
+        w.resize(self.model.types.size_words(ty) as usize, 0);
+        let value = Value::record(ty, w);
+        let index = self
+            .sys
+            .runtime
+            .inject_token(&mut self.sys.platform.mem, link, &value)?;
+        // Mirror in the debugger model so displays agree.
+        let mut stops = Vec::new();
+        self.model.apply(
+            DfEvent::TokenPushed {
+                conn: self.model.graph.link(link).from,
+                words: value.words,
+            },
+            self.clock(),
+            &mut stops,
+        );
+        for s in stops {
+            self.stop_queue.push_back(Stop::Dataflow(s));
+        }
+        Ok(index)
+    }
+
+    /// `token set <actor::iface> <idx> <value>`.
+    pub fn token_set(
+        &mut self,
+        spec: &str,
+        idx: u32,
+        words: &[Word],
+    ) -> CmdResult<()> {
+        let link = self.link_of(spec)?;
+        let ty = self
+            .model
+            .graph
+            .conn(self.model.graph.link(link).from)
+            .ty;
+        let mut w = words.to_vec();
+        w.resize(self.model.types.size_words(ty) as usize, 0);
+        let value = Value::record(ty, w);
+        self.sys
+            .runtime
+            .set_token(&mut self.sys.platform.mem, link, idx, &value)?;
+        // Mirror: rewrite the queued token's value in the model.
+        let qid = self.model.links[link.0 as usize]
+            .queue
+            .get(idx as usize)
+            .copied();
+        if let Some(id) = qid {
+            self.model.tokens[id as usize].value = value;
+        }
+        Ok(())
+    }
+
+    /// `token drop <actor::iface> <idx>`.
+    pub fn token_drop(&mut self, spec: &str, idx: u32) -> CmdResult<()> {
+        let link = self.link_of(spec)?;
+        self.sys
+            .runtime
+            .drop_token(&mut self.sys.platform.mem, link, idx)?;
+        let l = &mut self.model.links[link.0 as usize];
+        if (idx as usize) < l.queue.len() {
+            l.queue.remove(idx as usize);
+            l.pushed -= 1;
+        }
+        Ok(())
+    }
+
+    // ---- displays --------------------------------------------------------------
+
+    /// The application graph as Graphviz DOT (Figs. 2 and 4).
+    pub fn graph_dot(&self) -> String {
+        graphviz::to_dot(&self.model)
+    }
+
+    /// `info links` — the textual occupancy table.
+    pub fn info_links(&self) -> String {
+        graphviz::links_table(&self.model)
+    }
+
+    /// `info filters` — state of every filter (Contribution #2's monitor).
+    pub fn info_filters(&self) -> String {
+        let mut out = String::new();
+        for a in self.model.graph.filters() {
+            let df = &self.model.actors[a.id.0 as usize];
+            let place = match a.pe {
+                Some(pe) => {
+                    let p = &self.sys.platform.pes[pe.index()];
+                    match p.status {
+                        PeStatus::Blocked(r) => {
+                            format!("{pe}, blocked: {r}")
+                        }
+                        PeStatus::Running => format!(
+                            "{pe} at {}",
+                            self.info.describe_addr(p.pc)
+                        ),
+                        _ => format!("{pe}"),
+                    }
+                }
+                None => "unmapped".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<12} [{}] steps={} ({place})\n",
+                self.model.graph.qualified_name(a.id),
+                df.sched.label(),
+                df.steps_done,
+            ));
+        }
+        out
+    }
+
+    /// Human-readable stop description, phrased like the paper's session
+    /// transcripts.
+    pub fn describe(&self, stop: &Stop) -> String {
+        let g = &self.model.graph;
+        match stop {
+            Stop::Breakpoint {
+                pe,
+                addr,
+                bp,
+                work_of,
+            } => match work_of {
+                Some(a) => format!(
+                    "[Stopped: WORK of filter `{}' triggered on {pe}]",
+                    g.actor(*a).name
+                ),
+                None => format!(
+                    "Breakpoint {bp}, at {} on {pe}",
+                    self.info.describe_addr(*addr)
+                ),
+            },
+            Stop::Watchpoint { id, addr, old, new } => {
+                let label = self
+                    .watchpoints
+                    .iter()
+                    .find(|w| w.id == *id)
+                    .map(|w| w.label.clone())
+                    .unwrap_or_else(|| format!("0x{addr:08x}"));
+                format!(
+                    "Watchpoint {id}: {label}\nOld value = {old}\nNew value = {new}"
+                )
+            }
+            Stop::Dataflow(df) => match df {
+                DfStop::TokenReceived { actor, conn, .. } => format!(
+                    "[Stopped after receiving token from `{}::{}']",
+                    g.actor(*actor).name,
+                    g.conn(*conn).name
+                ),
+                DfStop::TokenSent { actor, conn, .. } => format!(
+                    "[Stopped after sending token on `{}::{}']",
+                    g.actor(*actor).name,
+                    g.conn(*conn).name
+                ),
+                DfStop::ReceiveCountsReached { actor, .. } => format!(
+                    "[Stopped: filter `{}' received the requested tokens]",
+                    g.actor(*actor).name
+                ),
+                DfStop::Scheduled { actor, .. } => format!(
+                    "[Stopped: controller scheduled filter `{}']",
+                    g.actor(*actor).name
+                ),
+                DfStop::StepBegin { module, step, .. } => format!(
+                    "[Stopped at beginning of step {step} of module `{}']",
+                    g.actor(*module).name
+                ),
+                DfStop::StepEnd { module, step, .. } => format!(
+                    "[Stopped at end of step {step} of module `{}']",
+                    g.actor(*module).name
+                ),
+            },
+            Stop::StepDone { pe } => self.where_is(*pe),
+            Stop::FinishDone { pe } => self.where_is(*pe),
+            Stop::Fault { pe, fault } => {
+                format!("Program fault on {pe}: {fault}")
+            }
+            Stop::Deadlock => "[Deadlock: every actor is blocked]".into(),
+            Stop::Quiescent => "[Program finished]".into(),
+            Stop::CycleLimit => "[Cycle budget exhausted]".into(),
+        }
+    }
+
+    /// Completion candidates for a prefix over actor names, interface
+    /// specs and symbols — the §IV-A auto-completion.
+    pub fn complete(&self, prefix: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for a in &self.model.graph.actors {
+            if a.name.starts_with(prefix) {
+                out.push(a.name.clone());
+            }
+            for c in a.conns() {
+                let spec =
+                    format!("{}::{}", a.name, self.model.graph.conn(c).name);
+                if spec.starts_with(prefix) {
+                    out.push(spec);
+                }
+            }
+        }
+        for s in self.info.symbols.complete(prefix) {
+            out.push(s.to_string());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The application's console output (pedf_print).
+    pub fn console(&self) -> &[String] {
+        &self.sys.runtime.console
+    }
+
+    /// In cooperation mode the model's scheduling states lag (runtime
+    /// resets are invisible); expose the runtime's view for displays.
+    pub fn runtime_sched(&self, actor: ActorId) -> pedf::FilterSched {
+        self.sys.runtime.filter_sched(actor)
+    }
+
+    /// Count of tokens currently queued on the link feeding/driven by the
+    /// given interface.
+    pub fn link_occupancy(&self, spec: &str) -> CmdResult<usize> {
+        let link = self.link_of(spec)?;
+        Ok(self.model.occupancy(link))
+    }
+
+    /// Queued token values on an interface's link (oldest first).
+    pub fn link_tokens(&self, spec: &str) -> CmdResult<Vec<Value>> {
+        let link = self.link_of(spec)?;
+        Ok(self
+            .model
+            .queued(link)
+            .map(|t| t.value.clone())
+            .collect())
+    }
+
+    /// Access the last token id received by an actor (tests).
+    pub fn last_received(&self, filter: &str) -> CmdResult<Option<TokenId>> {
+        let a = self.actor_named(filter)?;
+        Ok(self.model.actors[a.0 as usize].last_received)
+    }
+
+    /// Enable timeline recording (work/step begin-end events with their
+    /// cycles) — the visualization extension the paper lists as future
+    /// work.
+    pub fn enable_timeline(&mut self) {
+        self.model.timeline_enabled = true;
+    }
+
+    /// Export the recorded timeline in Chrome trace-event JSON (load in
+    /// `chrome://tracing` or Perfetto): one track per actor, grouped by
+    /// module, timestamps in simulated cycles.
+    pub fn export_chrome_trace(&self) -> String {
+        use crate::dataflow::model::TimelineKind;
+        let g = &self.model.graph;
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for ev in &self.model.timeline {
+            let actor = g.actor(ev.actor);
+            let module = actor
+                .parent
+                .map(|p| g.qualified_name(p))
+                .unwrap_or_else(|| "top".to_string());
+            let (ph, name) = match ev.kind {
+                TimelineKind::WorkBegin => ("B", actor.name.clone()),
+                TimelineKind::WorkEnd => ("E", actor.name.clone()),
+                TimelineKind::StepBegin => {
+                    ("B", format!("step:{}", actor.name))
+                }
+                TimelineKind::StepEnd => {
+                    ("E", format!("step:{}", actor.name))
+                }
+            };
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"ph\": \"{ph}\",                  \"ts\": {}, \"pid\": \"{module}\", \"tid\": \"{}\"}}",
+                ev.cycle, actor.name
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// The platform topology description (`info platform`).
+    pub fn info_platform(&self) -> String {
+        self.sys.platform.describe()
+    }
+
+    /// Actors in the reconstructed graph, for ActorKind-based listings.
+    pub fn actors_of_kind(&self, kind: ActorKind) -> Vec<String> {
+        self.model
+            .graph
+            .actors
+            .iter()
+            .filter(|a| a.kind == kind)
+            .map(|a| self.model.graph.qualified_name(a.id))
+            .collect()
+    }
+}
+
+pub use model::DfSched;

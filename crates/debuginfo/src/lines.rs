@@ -1,0 +1,280 @@
+//! Line tables: the address ↔ source-line mapping.
+//!
+//! Source-level breakpoints (`break the_source.c:221`), the `list` command
+//! and source-stepping (`step`/`next`) all go through this table. Unlike
+//! real DWARF we also keep the *source text* itself: the paper's workflow
+//! (`(gdb) list` before `step_both`, §VI-C) needs the debugger to show
+//! kernel source, and our kernels only exist in memory.
+
+use std::fmt;
+
+use crate::CodeAddr;
+
+/// Index of a source file inside a [`LineTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u32);
+
+/// A registered source file with its full text, split into lines once at
+/// registration so `list` is allocation-free afterwards.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub name: String,
+    lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// 1-based line access, like every debugger interface.
+    pub fn line(&self, n: u32) -> Option<&str> {
+        if n == 0 {
+            return None;
+        }
+        self.lines.get(n as usize - 1).map(String::as_str)
+    }
+
+    pub fn line_count(&self) -> u32 {
+        self.lines.len() as u32
+    }
+}
+
+/// One row of the line program: `addr` is the first instruction generated
+/// for source line `line` of `file`. `is_stmt` marks recommended breakpoint
+/// locations (statement starts), as in DWARF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineEntry {
+    pub addr: CodeAddr,
+    pub file: FileId,
+    pub line: u32,
+    pub is_stmt: bool,
+}
+
+impl fmt::Display for LineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:04x} -> line {}", self.addr, self.line)
+    }
+}
+
+/// The image-wide line table. Built unsorted by the compiler, then sealed
+/// (sorted by address) before the debugger uses it.
+#[derive(Debug, Clone, Default)]
+pub struct LineTable {
+    files: Vec<SourceFile>,
+    entries: Vec<LineEntry>,
+    sealed: bool,
+}
+
+impl LineTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source file with its text. Re-registering the same name
+    /// returns the original id (headers are included by several kernels).
+    pub fn add_file(&mut self, name: &str, text: &str) -> FileId {
+        if let Some(pos) = self.files.iter().position(|f| f.name == name) {
+            return FileId(pos as u32);
+        }
+        self.files.push(SourceFile {
+            name: name.to_string(),
+            lines: text.lines().map(str::to_string).collect(),
+        });
+        FileId(self.files.len() as u32 - 1)
+    }
+
+    pub fn add_entry(&mut self, e: LineEntry) {
+        debug_assert!(!self.sealed, "line table already sealed");
+        self.entries.push(e);
+    }
+
+    /// Sort by address; called once by [`crate::DebugInfoBuilder::finish`].
+    pub fn seal(&mut self) {
+        self.entries.sort_by_key(|e| e.addr);
+        self.sealed = true;
+    }
+
+    /// The line entry in effect at `addr`: the greatest entry with
+    /// `entry.addr <= addr` belonging to the same run of addresses.
+    pub fn lookup(&self, addr: CodeAddr) -> Option<LineEntry> {
+        match self.entries.binary_search_by_key(&addr, |e| e.addr) {
+            Ok(i) => Some(self.entries[i]),
+            Err(0) => None,
+            Err(i) => Some(self.entries[i - 1]),
+        }
+    }
+
+    /// First address generated for `file:line`, used by line breakpoints.
+    /// When the exact line has no code (blank/comment), the next line with
+    /// code in the same file is used, like GDB's sliding behaviour.
+    pub fn addr_of_line(&self, file: FileId, line: u32) -> Option<CodeAddr> {
+        self.entries
+            .iter()
+            .filter(|e| e.file == file && e.line >= line && e.is_stmt)
+            .min_by_key(|e| (e.line, e.addr))
+            .map(|e| e.addr)
+    }
+
+    pub fn file_by_name(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+
+    pub fn file_name(&self, id: FileId) -> &str {
+        &self.files[id.0 as usize].name
+    }
+
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    pub fn files(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FileId(i as u32), f))
+    }
+
+    pub fn entries(&self) -> &[LineEntry] {
+        &self.entries
+    }
+
+    /// Merge another table into this one, rebasing code addresses by
+    /// `addr_base`. Used by the ADL elaborator when linking several compiled
+    /// kernels into one image.
+    pub fn absorb(&mut self, other: &LineTable, addr_base: CodeAddr) {
+        debug_assert!(!self.sealed, "cannot absorb into a sealed table");
+        let mut file_map = Vec::with_capacity(other.files.len());
+        for f in &other.files {
+            let joined = f.lines.join("\n");
+            file_map.push(self.add_file(&f.name, &joined));
+        }
+        for e in &other.entries {
+            self.entries.push(LineEntry {
+                addr: e.addr + addr_base,
+                file: file_map[e.file.0 as usize],
+                line: e.line,
+                is_stmt: e.is_stmt,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (LineTable, FileId) {
+        let mut t = LineTable::new();
+        let f = t.add_file("k.c", "a;\n\nb;\nc;\n");
+        for (addr, line) in [(0u32, 1u32), (4, 3), (9, 4)] {
+            t.add_entry(LineEntry {
+                addr,
+                file: f,
+                line,
+                is_stmt: true,
+            });
+        }
+        t.seal();
+        (t, f)
+    }
+
+    #[test]
+    fn lookup_finds_covering_entry() {
+        let (t, _) = table();
+        assert_eq!(t.lookup(0).unwrap().line, 1);
+        assert_eq!(t.lookup(3).unwrap().line, 1);
+        assert_eq!(t.lookup(4).unwrap().line, 3);
+        assert_eq!(t.lookup(100).unwrap().line, 4);
+    }
+
+    #[test]
+    fn line_breakpoints_slide_to_next_code_line() {
+        let (t, f) = table();
+        assert_eq!(t.addr_of_line(f, 1), Some(0));
+        // line 2 has no code: slide to line 3.
+        assert_eq!(t.addr_of_line(f, 2), Some(4));
+        assert_eq!(t.addr_of_line(f, 99), None);
+    }
+
+    #[test]
+    fn source_text_available_for_list() {
+        let (t, f) = table();
+        assert_eq!(t.file(f).line(3), Some("b;"));
+        assert_eq!(t.file(f).line(0), None);
+        assert_eq!(t.file(f).line_count(), 4);
+    }
+
+    #[test]
+    fn absorb_rebases_addresses_and_merges_files() {
+        let (t1, _) = table();
+        let mut base = LineTable::new();
+        base.absorb(&t1, 100);
+        base.seal();
+        assert_eq!(base.lookup(104).unwrap().line, 3);
+        assert!(base.file_by_name("k.c").is_some());
+    }
+
+    #[test]
+    fn duplicate_file_registration_is_idempotent() {
+        let mut t = LineTable::new();
+        let a = t.add_file("h.h", "x\n");
+        let b = t.add_file("h.h", "ignored\n");
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For any monotone set of entries, `lookup` returns the greatest
+        /// entry at or below the queried address, and `addr_of_line` only
+        /// returns statement starts at or after the requested line.
+        #[test]
+        fn lookup_and_line_breakpoint_invariants(
+            mut addrs in prop::collection::btree_set(0u32..1000, 1..40),
+            query in 0u32..1100,
+            line_query in 1u32..50,
+        ) {
+            let mut t = LineTable::new();
+            let f = t.add_file("x.c", &"code;\n".repeat(50));
+            let sorted: Vec<u32> = std::mem::take(&mut addrs).into_iter().collect();
+            for (i, addr) in sorted.iter().enumerate() {
+                t.add_entry(LineEntry {
+                    addr: *addr,
+                    file: f,
+                    line: i as u32 + 1,
+                    is_stmt: true,
+                });
+            }
+            t.seal();
+
+            match t.lookup(query) {
+                Some(e) => {
+                    prop_assert!(e.addr <= query);
+                    // No entry lies strictly between e.addr and query.
+                    prop_assert!(!sorted
+                        .iter()
+                        .any(|a| *a > e.addr && *a <= query));
+                }
+                None => prop_assert!(sorted.iter().all(|a| *a > query)),
+            }
+
+            match t.addr_of_line(f, line_query) {
+                Some(addr) => {
+                    let e = t.lookup(addr).unwrap();
+                    prop_assert!(e.line >= line_query);
+                    prop_assert_eq!(e.addr, addr);
+                }
+                None => {
+                    // Only possible when every entry is below the line.
+                    prop_assert!(sorted.len() < line_query as usize);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The platform toolchain's name-mangling scheme.
+//!
+//! §VI-F quotes the mangled names a developer faces without a
+//! dataflow-aware debugger: filter `ipf`'s WORK method is linked as
+//! `IpfFilter_work_function`, while the controller of module `pred` becomes
+//! `_component_PredModule_anon_0_work`. We reproduce exactly these shapes so
+//! the qualitative-analysis experiment can show the same mangled/pretty
+//! mismatch, and provide the inverse mapping the debugger uses to present
+//! pretty names.
+
+/// Capitalize the first letter of each `_`-separated chunk and join:
+/// `pred_controller` → `PredController`, `ipf` → `Ipf`.
+fn camel(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for chunk in name.split('_') {
+        let mut chars = chunk.chars();
+        if let Some(c) = chars.next() {
+            out.extend(c.to_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    out
+}
+
+/// Mangled name of a filter's WORK method: `IpfFilter_work_function`.
+pub fn filter_work(filter: &str) -> String {
+    format!("{}Filter_work_function", camel(filter))
+}
+
+/// Mangled name of a module controller's WORK method:
+/// `_component_PredModule_anon_0_work`.
+pub fn controller_work(module: &str) -> String {
+    format!("_component_{}Module_anon_0_work", camel(module))
+}
+
+/// Mangled name of a PEDF runtime API function: `pedf_push_token`.
+pub fn runtime_api(function: &str) -> String {
+    format!("pedf_{function}")
+}
+
+/// Mangled name of a helper function inside a filter's kernel source:
+/// `IpfFilter_fn_clip`.
+pub fn filter_helper(filter: &str, function: &str) -> String {
+    format!("{}Filter_fn_{function}", camel(filter))
+}
+
+/// Mangled name of a helper function inside a controller's source:
+/// `_component_PredModule_fn_pick`.
+pub fn controller_helper(module: &str, function: &str) -> String {
+    format!("_component_{}Module_fn_{function}", camel(module))
+}
+
+/// Mangled name of a filter's private-data or attribute object:
+/// `IpfFilter_data_a_private_data`.
+pub fn filter_object(filter: &str, category: &str, name: &str) -> String {
+    format!("{}Filter_{category}_{name}", camel(filter))
+}
+
+/// Result of demangling a linker name back into toolchain concepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Demangled {
+    /// `<filter>::work`
+    FilterWork { filter: String },
+    /// `<module>_controller::work`
+    ControllerWork { module: String },
+    /// `pedf::<function>`
+    RuntimeApi { function: String },
+    /// Anything we do not recognise is passed through untouched, as GDB
+    /// does for foreign mangling schemes.
+    Opaque(String),
+}
+
+/// Lower a CamelCase chunk back to snake_case (`PredController` →
+/// `pred_controller`). Inverse of [`camel`] for names produced by it.
+fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Demangle a linker-level name.
+pub fn demangle(mangled: &str) -> Demangled {
+    if let Some(rest) = mangled.strip_prefix("_component_") {
+        if let Some(module) = rest.strip_suffix("Module_anon_0_work") {
+            return Demangled::ControllerWork {
+                module: snake(module),
+            };
+        }
+    }
+    if let Some(rest) = mangled.strip_suffix("Filter_work_function") {
+        return Demangled::FilterWork {
+            filter: snake(rest),
+        };
+    }
+    if let Some(rest) = mangled.strip_prefix("pedf_") {
+        return Demangled::RuntimeApi {
+            function: rest.to_string(),
+        };
+    }
+    Demangled::Opaque(mangled.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_names() {
+        // Both examples come verbatim from §VI-F.
+        assert_eq!(filter_work("ipf"), "IpfFilter_work_function");
+        assert_eq!(
+            controller_work("pred"),
+            "_component_PredModule_anon_0_work"
+        );
+    }
+
+    #[test]
+    fn roundtrip_filter() {
+        for name in ["ipf", "ipred", "hwcfg", "a_filter"] {
+            match demangle(&filter_work(name)) {
+                Demangled::FilterWork { filter } => assert_eq!(filter, name),
+                other => panic!("bad demangle: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_controller() {
+        for name in ["pred", "front", "a_module"] {
+            match demangle(&controller_work(name)) {
+                Demangled::ControllerWork { module } => {
+                    assert_eq!(module, name)
+                }
+                other => panic!("bad demangle: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_api_roundtrip() {
+        assert_eq!(runtime_api("push_token"), "pedf_push_token");
+        assert_eq!(
+            demangle("pedf_push_token"),
+            Demangled::RuntimeApi {
+                function: "push_token".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_names_pass_through() {
+        assert_eq!(
+            demangle("_ZN3foo3barE"),
+            Demangled::Opaque("_ZN3foo3barE".into())
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// snake_case identifiers as the tool-chain produces them.
+    fn snake_ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9]{0,6}(_[a-z][a-z0-9]{0,6}){0,3}"
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Mangling then demangling recovers the original names for every
+        /// well-formed snake_case filter/module identifier.
+        #[test]
+        fn filter_mangling_roundtrips(name in snake_ident()) {
+            prop_assert_eq!(
+                demangle(&filter_work(&name)),
+                Demangled::FilterWork { filter: name.clone() }
+            );
+            prop_assert_eq!(
+                demangle(&controller_work(&name)),
+                Demangled::ControllerWork { module: name }
+            );
+        }
+
+        /// Distinct names never collide after mangling.
+        #[test]
+        fn mangling_is_injective(a in snake_ident(), b in snake_ident()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(filter_work(&a), filter_work(&b));
+            prop_assert_ne!(controller_work(&a), controller_work(&b));
+        }
+    }
+}

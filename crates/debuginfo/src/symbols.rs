@@ -1,0 +1,233 @@
+//! Symbol tables: the link between machine addresses and names.
+//!
+//! Function breakpoints (§V) are planted on the *entry* address of the PEDF
+//! API functions and decode their arguments from parameter descriptors, so a
+//! symbol here carries more than a name/address pair: it also records its
+//! formal parameters (name + type) and its code extent, which `finish`
+//! breakpoints and the frame printer need.
+
+use std::collections::HashMap;
+
+use crate::types::TypeId;
+use crate::CodeAddr;
+
+/// Index of a symbol inside a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymbolId(pub u32);
+
+/// What a symbol names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// Executable code: kernel `WORK` methods, controller programs, PEDF
+    /// runtime stubs.
+    Function,
+    /// A data object in simulated memory (filter private data, attributes).
+    Object,
+}
+
+/// A formal parameter of a function symbol, in calling-convention order.
+/// The simulated calling convention passes arguments in the first stack
+/// slots of the callee frame, so `slot` is both the declaration index and
+/// the frame offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamInfo {
+    pub name: String,
+    pub ty: TypeId,
+    pub slot: u32,
+}
+
+/// One symbol table entry.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    pub id: SymbolId,
+    /// Mangled (linker-level) name, e.g. `IpfFilter_work_function`.
+    pub mangled: String,
+    /// Human-readable name, e.g. `ipf::work`.
+    pub pretty: String,
+    pub kind: SymbolKind,
+    pub addr: CodeAddr,
+    /// Code extent in instructions (functions) or words (objects).
+    pub size: u32,
+    pub params: Vec<ParamInfo>,
+}
+
+impl Symbol {
+    pub fn covers(&self, addr: CodeAddr) -> bool {
+        addr >= self.addr && addr < self.addr + self.size
+    }
+}
+
+/// The image's symbol table. Lookups by mangled name, pretty name and
+/// address are all required by the debugger, so all three indexes are kept.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+    by_mangled: HashMap<String, SymbolId>,
+    by_pretty: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a symbol. Returns `None` (and registers nothing) if another
+    /// symbol already claims the mangled name — duplicate link-level names
+    /// would make breakpoint placement ambiguous.
+    pub fn add(
+        &mut self,
+        mangled: &str,
+        pretty: &str,
+        kind: SymbolKind,
+        addr: CodeAddr,
+        size: u32,
+        params: Vec<ParamInfo>,
+    ) -> Option<SymbolId> {
+        if self.by_mangled.contains_key(mangled) {
+            return None;
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(Symbol {
+            id,
+            mangled: mangled.to_string(),
+            pretty: pretty.to_string(),
+            kind,
+            addr,
+            size,
+            params,
+        });
+        self.by_mangled.insert(mangled.to_string(), id);
+        self.by_pretty.insert(pretty.to_string(), id);
+        Some(id)
+    }
+
+    pub fn get(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.0 as usize]
+    }
+
+    /// Resolve a name the way GDB does: try the source-level (pretty) name
+    /// first, then the mangled one.
+    pub fn resolve(&self, name: &str) -> Option<&Symbol> {
+        self.by_pretty
+            .get(name)
+            .or_else(|| self.by_mangled.get(name))
+            .map(|id| self.get(*id))
+    }
+
+    pub fn by_mangled(&self, name: &str) -> Option<&Symbol> {
+        self.by_mangled.get(name).map(|id| self.get(*id))
+    }
+
+    /// The function whose extent covers `addr`, if any. Linear scan is fine:
+    /// tables are small and this is only on the slow (stopped) path.
+    pub fn function_covering(&self, addr: CodeAddr) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::Function)
+            .find(|s| s.covers(addr))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
+    }
+
+    /// All function symbols whose pretty or mangled name starts with
+    /// `prefix` — the workhorse of the CLI's autocompletion.
+    pub fn complete(&self, prefix: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .symbols
+            .iter()
+            .flat_map(|s| [s.pretty.as_str(), s.mangled.as_str()])
+            .filter(|n| n.starts_with(prefix))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeTable;
+
+    fn sample() -> SymbolTable {
+        let mut t = SymbolTable::new();
+        t.add(
+            "IpfFilter_work_function",
+            "ipf::work",
+            SymbolKind::Function,
+            100,
+            40,
+            vec![],
+        )
+        .unwrap();
+        t.add(
+            "pedf_push_token",
+            "pedf::push_token",
+            SymbolKind::Function,
+            10,
+            4,
+            vec![
+                ParamInfo {
+                    name: "conn".into(),
+                    ty: TypeTable::U32,
+                    slot: 0,
+                },
+                ParamInfo {
+                    name: "index".into(),
+                    ty: TypeTable::U32,
+                    slot: 1,
+                },
+            ],
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn resolve_both_names() {
+        let t = sample();
+        assert_eq!(t.resolve("ipf::work").unwrap().addr, 100);
+        assert_eq!(t.resolve("IpfFilter_work_function").unwrap().addr, 100);
+        assert!(t.resolve("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_mangled_names_rejected() {
+        let mut t = sample();
+        assert!(t
+            .add(
+                "pedf_push_token",
+                "other",
+                SymbolKind::Function,
+                50,
+                1,
+                vec![]
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn covering_lookup() {
+        let t = sample();
+        assert_eq!(t.function_covering(120).unwrap().pretty, "ipf::work");
+        assert_eq!(t.function_covering(139).unwrap().pretty, "ipf::work");
+        assert!(t.function_covering(140).is_none());
+    }
+
+    #[test]
+    fn completion_is_sorted_and_deduped() {
+        let t = sample();
+        let c = t.complete("pedf");
+        assert_eq!(c, vec!["pedf::push_token", "pedf_push_token"]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Type descriptions: the debugger's view of token and variable types.
+//!
+//! The PEDF toolchain deals with a small closed set of scalar types (the
+//! `stddefs.h` aliases quoted in the paper's ADL listings) plus user-declared
+//! record types such as `CbCrMB_t`. A [`TypeTable`] interns both and hands
+//! out stable [`TypeId`]s that the compiler embeds in symbols, token
+//! descriptors and connection metadata.
+
+use std::fmt;
+
+use crate::Word;
+
+/// Index of a type inside a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// The platform's scalar types, matching the `stddefs.h` aliases used
+/// throughout the paper (`U8`, `U16`, `U32`) plus a signed word for kernel
+/// arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    U8,
+    U16,
+    U32,
+    I32,
+}
+
+impl ScalarType {
+    /// Number of significant bits; values are stored in full words and
+    /// masked on store.
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarType::U8 => 8,
+            ScalarType::U16 => 16,
+            ScalarType::U32 | ScalarType::I32 => 32,
+        }
+    }
+
+    /// Mask a word down to this scalar's width (no-op for 32-bit types).
+    pub fn truncate(self, w: Word) -> Word {
+        match self.bits() {
+            8 => w & 0xff,
+            16 => w & 0xffff,
+            _ => w,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarType::U8 => "U8",
+            ScalarType::U16 => "U16",
+            ScalarType::U32 => "U32",
+            ScalarType::I32 => "I32",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ScalarType> {
+        match s {
+            "U8" => Some(ScalarType::U8),
+            "U16" => Some(ScalarType::U16),
+            "U32" => Some(ScalarType::U32),
+            "I32" => Some(ScalarType::I32),
+            _ => None,
+        }
+    }
+
+    /// Render a raw word as this scalar, honouring signedness.
+    pub fn render(self, w: Word) -> String {
+        match self {
+            ScalarType::I32 => format!("{}", w as i32),
+            _ => format!("{}", self.truncate(w)),
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One field of a record type. Offsets are in words: the simulated machine
+/// stores every field in its own 32-bit cell (padding-free layouts keep the
+/// kernel compiler and the expression printer simple and deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: TypeId,
+    pub word_offset: u32,
+}
+
+/// A type definition: scalar or record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDef {
+    Scalar(ScalarType),
+    /// A record ("struct") type, e.g. the case study's `CbCrMB_t`.
+    Struct { name: String, fields: Vec<FieldDef> },
+}
+
+impl TypeDef {
+    /// Size of a value of this type, in words.
+    pub fn size_words(&self) -> u32 {
+        match self {
+            TypeDef::Scalar(_) => 1,
+            TypeDef::Struct { fields, .. } => fields
+                .iter()
+                .map(|f| f.word_offset + 1)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        match self {
+            TypeDef::Scalar(s) => s.name(),
+            TypeDef::Struct { name, .. } => name,
+        }
+    }
+}
+
+/// Interned collection of type definitions shared by the whole image.
+///
+/// The four scalar types are pre-interned at fixed ids so producers and the
+/// debugger agree on them without a lookup.
+#[derive(Debug, Clone)]
+pub struct TypeTable {
+    defs: Vec<TypeDef>,
+}
+
+impl Default for TypeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeTable {
+    pub const U8: TypeId = TypeId(0);
+    pub const U16: TypeId = TypeId(1);
+    pub const U32: TypeId = TypeId(2);
+    pub const I32: TypeId = TypeId(3);
+
+    pub fn new() -> Self {
+        TypeTable {
+            defs: vec![
+                TypeDef::Scalar(ScalarType::U8),
+                TypeDef::Scalar(ScalarType::U16),
+                TypeDef::Scalar(ScalarType::U32),
+                TypeDef::Scalar(ScalarType::I32),
+            ],
+        }
+    }
+
+    pub fn scalar_id(s: ScalarType) -> TypeId {
+        match s {
+            ScalarType::U8 => Self::U8,
+            ScalarType::U16 => Self::U16,
+            ScalarType::U32 => Self::U32,
+            ScalarType::I32 => Self::I32,
+        }
+    }
+
+    /// Declare a struct type; field offsets are assigned sequentially.
+    /// Returns the existing id if an identical definition was already
+    /// interned (the elaborator may declare shared header types repeatedly).
+    pub fn declare_struct(
+        &mut self,
+        name: &str,
+        fields: &[(String, TypeId)],
+    ) -> TypeId {
+        let def = TypeDef::Struct {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .enumerate()
+                .map(|(i, (fname, fty))| FieldDef {
+                    name: fname.clone(),
+                    ty: *fty,
+                    word_offset: i as u32,
+                })
+                .collect(),
+        };
+        if let Some(pos) = self.defs.iter().position(|d| *d == def) {
+            return TypeId(pos as u32);
+        }
+        self.defs.push(def);
+        TypeId(self.defs.len() as u32 - 1)
+    }
+
+    pub fn get(&self, id: TypeId) -> &TypeDef {
+        &self.defs[id.0 as usize]
+    }
+
+    pub fn lookup_by_name(&self, name: &str) -> Option<TypeId> {
+        self.defs
+            .iter()
+            .position(|d| d.name() == name)
+            .map(|i| TypeId(i as u32))
+    }
+
+    pub fn size_words(&self, id: TypeId) -> u32 {
+        self.get(id).size_words()
+    }
+
+    pub fn name(&self, id: TypeId) -> &str {
+        self.get(id).name()
+    }
+
+    /// Field lookup for member-access expressions (`mb.Addr`).
+    pub fn field(&self, id: TypeId, field: &str) -> Option<&FieldDef> {
+        match self.get(id) {
+            TypeDef::Struct { fields, .. } => {
+                fields.iter().find(|f| f.name == field)
+            }
+            TypeDef::Scalar(_) => None,
+        }
+    }
+
+    pub fn fields(&self, id: TypeId) -> &[FieldDef] {
+        match self.get(id) {
+            TypeDef::Struct { fields, .. } => fields,
+            TypeDef::Scalar(_) => &[],
+        }
+    }
+
+    pub fn is_scalar(&self, id: TypeId) -> bool {
+        matches!(self.get(id), TypeDef::Scalar(_))
+    }
+
+    pub fn as_scalar(&self, id: TypeId) -> Option<ScalarType> {
+        match self.get(id) {
+            TypeDef::Scalar(s) => Some(*s),
+            TypeDef::Struct { .. } => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_masking() {
+        assert_eq!(ScalarType::U8.truncate(0x1ff), 0xff);
+        assert_eq!(ScalarType::U16.truncate(0x1_0005), 5);
+        assert_eq!(ScalarType::U32.truncate(u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn signed_rendering() {
+        assert_eq!(ScalarType::I32.render(u32::MAX), "-1");
+        assert_eq!(ScalarType::U32.render(u32::MAX), "4294967295");
+    }
+
+    #[test]
+    fn struct_declaration_and_lookup() {
+        let mut t = TypeTable::new();
+        let id = t.declare_struct(
+            "CbCrMB_t",
+            &[
+                ("Addr".into(), TypeTable::U32),
+                ("InterNotIntra".into(), TypeTable::U8),
+                ("Izz".into(), TypeTable::I32),
+            ],
+        );
+        assert_eq!(t.size_words(id), 3);
+        assert_eq!(t.field(id, "Izz").unwrap().word_offset, 2);
+        assert_eq!(t.lookup_by_name("CbCrMB_t"), Some(id));
+        // Re-declaring identically returns the same id.
+        let id2 = t.declare_struct(
+            "CbCrMB_t",
+            &[
+                ("Addr".into(), TypeTable::U32),
+                ("InterNotIntra".into(), TypeTable::U8),
+                ("Izz".into(), TypeTable::I32),
+            ],
+        );
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn preinterned_scalars() {
+        let t = TypeTable::new();
+        assert_eq!(t.name(TypeTable::U16), "U16");
+        assert!(t.is_scalar(TypeTable::U8));
+        assert_eq!(t.as_scalar(TypeTable::I32), Some(ScalarType::I32));
+    }
+}

@@ -1,0 +1,368 @@
+//! The decoder application: architecture description and kernel sources.
+//!
+//! The graph reproduces Fig. 4 of the paper: module `front` contains the
+//! filters `hwcfg`, `bh` and `pipe`; module `pred` contains `ipred`,
+//! `ipf`, `red` and `mc`. Interface names are taken from the paper's
+//! session transcripts (`pipe_MbType_out`, `Red2PipeCbMB_in`,
+//! `Add2Dblock_ipf_out`, `Pipe_in`, `Hwcfg_in`, ...), including the
+//! `CbCrMB_t` record type with the fields shown in §VI-E (`Addr`,
+//! `InterNotIntra`, `Izz`).
+//!
+//! The actual computation is a synthetic macroblock pipeline (the real
+//! H.264 kernels are proprietary; the substitution is documented in
+//! DESIGN.md): every step decodes one "macroblock" from one bitstream word
+//! and one config word, through bit-shuffling, a zigzag-flavoured residual
+//! transform, clipped intra prediction, a loop filter and motion
+//! compensation, producing one frame word. The [`crate::golden`] module
+//! mirrors the arithmetic exactly.
+
+use mind::SourceRegistry;
+
+/// Which seeded defect to build into the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bug {
+    /// Correct decoder.
+    None,
+    /// Architecture/rate bug: `pipe` pushes 3 tokens per step towards
+    /// `ipf`, which consumes one — the link backlog of Fig. 4.
+    RateMismatch,
+    /// Token-value bug: `red` mis-computes `Izz` for one specific
+    /// macroblock (the §VI-D "observable error" hunted via recording and
+    /// `info last_token`).
+    WrongValue,
+    /// Token-passing bug: `ipred` reads two tokens from `Red_in` while
+    /// `red` produces one per step — the application deadlocks (§III's
+    /// motivation for token injection).
+    Deadlock,
+}
+
+/// Architecture description (shared by every variant; behaviour bugs live
+/// in the kernels).
+pub const DECODER_ADL: &str = "\
+@Struct
+record CbCrMB_t {
+  U32 Addr;
+  U8  InterNotIntra;
+  I32 Izz;
+}
+
+@Module
+composite Decoder {
+  input U32 as bits_in;
+  input U32 as cfg_in;
+  output U32 as frame_out;
+  contains Front as front;
+  contains Pred as pred;
+  binds this.bits_in to front.bits_in;
+  binds this.cfg_in to front.cfg_in;
+  binds front.frame_out to this.frame_out;
+  binds front.pipe_ipf to pred.pipe_ipf cap 32;
+  binds front.pipe_ipred to pred.pipe_ipred;
+  binds front.hwcfg_ipred to pred.hwcfg_ipred;
+  binds front.bh_red to pred.bh_red;
+  binds pred.red_pipe to front.red_pipe;
+  binds pred.mb_pipe to front.mb_pipe;
+  binds pred.mc_pipe to front.mc_pipe;
+}
+
+@Module
+composite Front {
+  contains as controller {
+    source front_ctrl.c;
+  }
+  input U32 as bits_in;
+  input U32 as cfg_in;
+  output U32 as frame_out;
+  output U32 as pipe_ipf;
+  output U32 as pipe_ipred;
+  output U32 as hwcfg_ipred;
+  output U32 as bh_red;
+  input CbCrMB_t as red_pipe;
+  input I32 as mb_pipe;
+  input U32 as mc_pipe;
+  contains Hwcfg as hwcfg;
+  contains Bh as bh;
+  contains Pipe as pipe;
+  binds this.bits_in to bh.bits_in;
+  binds this.cfg_in to hwcfg.cfg_in;
+  binds hwcfg.pipe_MbType_out to pipe.MbType_in;
+  binds hwcfg.ipred_cfg_out to this.hwcfg_ipred;
+  binds bh.red_out to this.bh_red;
+  binds pipe.pipe_ipf_out to this.pipe_ipf;
+  binds pipe.pipe_ipred_out to this.pipe_ipred;
+  binds this.red_pipe to pipe.Red2PipeCbMB_in;
+  binds this.mb_pipe to pipe.mb_in;
+  binds this.mc_pipe to pipe.mc_in;
+  binds pipe.frame_out to this.frame_out;
+}
+
+@Module
+composite Pred {
+  contains as controller {
+    source pred_ctrl.c;
+  }
+  input U32 as pipe_ipf;
+  input U32 as pipe_ipred;
+  input U32 as hwcfg_ipred;
+  input U32 as bh_red;
+  output CbCrMB_t as red_pipe;
+  output I32 as mb_pipe;
+  output U32 as mc_pipe;
+  contains Red as red;
+  contains Ipred as ipred;
+  contains Ipf as ipf;
+  contains Mc as mc;
+  binds this.bh_red to red.bh_in;
+  binds red.Red2PipeCbMB_out to this.red_pipe;
+  binds red.red_ipred_out to ipred.Red_in;
+  binds red.red_mc_out to mc.red_in;
+  binds this.pipe_ipred to ipred.Pipe_in;
+  binds this.hwcfg_ipred to ipred.Hwcfg_in;
+  binds ipred.Add2Dblock_ipf_out to ipf.Add2Dblock_ipred_in;
+  binds ipred.Add2Dblock_MB_out to this.mb_pipe;
+  binds this.pipe_ipf to ipf.pipe_in cap 32;
+  binds ipf.ipf_mc_out to mc.ipf_in;
+  binds mc.mc_out to this.mc_pipe;
+}
+
+@Filter
+primitive Hwcfg {
+  data stddefs.h:U32 cfg_count;
+  source hwcfg.c;
+  input stddefs.h:U32 as cfg_in;
+  output stddefs.h:U16 as pipe_MbType_out;
+  output stddefs.h:U32 as ipred_cfg_out;
+}
+
+@Filter
+primitive Bh {
+  source bh.c;
+  input stddefs.h:U32 as bits_in;
+  output stddefs.h:U32 as red_out;
+}
+
+@Filter
+primitive Pipe {
+  data stddefs.h:U32 seq;
+  source pipe.c;
+  input stddefs.h:U16 as MbType_in;
+  input CbCrMB_t as Red2PipeCbMB_in;
+  input stddefs.h:I32 as mb_in;
+  input stddefs.h:U32 as mc_in;
+  output stddefs.h:U32 as pipe_ipf_out;
+  output stddefs.h:U32 as pipe_ipred_out;
+  output stddefs.h:U32 as frame_out;
+}
+
+@Filter
+primitive Red {
+  data stddefs.h:U32 mb_count;
+  source red.c;
+  input stddefs.h:U32 as bh_in;
+  output CbCrMB_t as Red2PipeCbMB_out;
+  output stddefs.h:U32 as red_ipred_out;
+  output stddefs.h:U32 as red_mc_out;
+}
+
+@Filter
+primitive Ipred {
+  source ipred.c;
+  input stddefs.h:U32 as Pipe_in;
+  input stddefs.h:U32 as Hwcfg_in;
+  input stddefs.h:U32 as Red_in;
+  output stddefs.h:I32 as Add2Dblock_ipf_out;
+  output stddefs.h:I32 as Add2Dblock_MB_out;
+}
+
+@Filter
+primitive Ipf {
+  source ipf.c;
+  input stddefs.h:U32 as pipe_in;
+  input stddefs.h:I32 as Add2Dblock_ipred_in;
+  output stddefs.h:U32 as ipf_mc_out;
+}
+
+@Filter
+primitive Mc {
+  source mc.c;
+  input stddefs.h:U32 as red_in;
+  input stddefs.h:U32 as ipf_in;
+  output stddefs.h:U32 as mc_out;
+}
+";
+
+const FRONT_CTRL: &str = "\
+void work() {
+    while (pedf.run()) {
+        pedf.step_begin();
+        pedf.fire(hwcfg);
+        pedf.fire(bh);
+        pedf.fire(pipe);
+        pedf.wait_init();
+        pedf.wait_sync();
+        pedf.step_end();
+    }
+}
+";
+
+const PRED_CTRL: &str = "\
+void work() {
+    while (pedf.run()) {
+        pedf.step_begin();
+        pedf.fire(red);
+        pedf.fire(ipred);
+        pedf.fire(ipf);
+        pedf.fire(mc);
+        pedf.wait_init();
+        pedf.wait_sync();
+        pedf.step_end();
+    }
+}
+";
+
+const HWCFG: &str = "\
+void work() {
+    U32 c = pedf.io.cfg_in[0];
+    // MB types cycle 5, 10, 15 (the values recorded in the paper's
+    // `iface hwcfg::pipe_MbType_out print` transcript).
+    pedf.io.pipe_MbType_out[0] = (c % 3 + 1) * 5;
+    pedf.io.ipred_cfg_out[0] = c & 7;
+    pedf.data.cfg_count = pedf.data.cfg_count + 1;
+}
+";
+
+const BH: &str = "\
+void work() {
+    // Bitstream unmasking: the entropy-decoding stand-in.
+    pedf.io.red_out[0] = pedf.io.bits_in[0] ^ 0x5A5A;
+}
+";
+
+/// The `pipe` kernel. Outputs are pushed *before* the pred-side results
+/// are consumed: the in-step feedback (pipe -> ipred/ipf -> mc -> pipe)
+/// resolves as a wavefront, which is exactly the dynamic-dataflow
+/// behaviour a decidable model would reject.
+fn pipe_src(bug: Bug) -> String {
+    let dispatch = if bug == Bug::RateMismatch {
+        // Architecture bug: three tokens pushed per step instead of one.
+        "    U32 i;
+    for (i = 0; i < 3; i = i + 1) {
+        pedf.io.pipe_ipf_out[i] = mbtype * 2 + 1;
+    }"
+    } else {
+        "    pedf.io.pipe_ipf_out[0] = mbtype * 2 + 1;"
+    };
+    format!(
+        "\
+void work() {{
+    U32 mbtype = pedf.io.MbType_in[0];
+    pedf.io.pipe_ipred_out[0] = mbtype + pedf.data.seq;
+{dispatch}
+    CbCrMB_t mb;
+    mb = pedf.io.Red2PipeCbMB_in[0];
+    I32 rec = pedf.io.mb_in[0];
+    U32 m = pedf.io.mc_in[0];
+    pedf.io.frame_out[0] = (mb.Izz + rec + m + mbtype) & 0xFFFFFF;
+    pedf.data.seq = pedf.data.seq + 1;
+}}
+"
+    )
+}
+
+fn red_src(bug: Bug) -> String {
+    let izz = if bug == Bug::WrongValue {
+        // Value bug: one specific macroblock gets a corrupted residual.
+        "    U32 izz = (v * 13 + 7) & 0xFFFF;
+    if (pedf.data.mb_count == 5) {
+        izz = izz + 0x4000;
+    }"
+    } else {
+        "    U32 izz = (v * 13 + 7) & 0xFFFF;"
+    };
+    format!(
+        "\
+void work() {{
+    U32 v = pedf.io.bh_in[0];
+{izz}
+    CbCrMB_t mb;
+    mb.Addr = pedf.data.mb_count * 16 + 0x1000;
+    mb.InterNotIntra = v & 1;
+    mb.Izz = izz;
+    pedf.io.Red2PipeCbMB_out[0] = mb;
+    pedf.io.red_ipred_out[0] = v >> 1;
+    pedf.io.red_mc_out[0] = v >> 2;
+    pedf.data.mb_count = pedf.data.mb_count + 1;
+}}
+"
+    )
+}
+
+const IPRED: &str = "\
+U32 clip255(U32 v) {
+    if (v > 255) { return 255; }
+    return v;
+}
+void work() {
+    U32 p = pedf.io.Pipe_in[0];
+    U32 h = pedf.io.Hwcfg_in[0];
+    U32 r = pedf.io.Red_in[0];
+    U32 pred = (p + h) * 2 + r;
+    pedf.io.Add2Dblock_ipf_out[0] = clip255(pred);
+    pedf.io.Add2Dblock_MB_out[0] = pred ^ 0xF;
+}
+";
+
+const IPRED_DEADLOCK: &str = "\
+U32 clip255(U32 v) {
+    if (v > 255) { return 255; }
+    return v;
+}
+void work() {
+    U32 p = pedf.io.Pipe_in[0];
+    U32 h = pedf.io.Hwcfg_in[0];
+    // Token-passing bug: reads a second residual token that red never
+    // produces; the pipeline starves and deadlocks.
+    U32 r = pedf.io.Red_in[0] + pedf.io.Red_in[1];
+    U32 pred = (p + h) * 2 + r;
+    pedf.io.Add2Dblock_ipf_out[0] = clip255(pred);
+    pedf.io.Add2Dblock_MB_out[0] = pred ^ 0xF;
+}
+";
+
+const IPF: &str = "\
+void work() {
+    U32 a = pedf.io.pipe_in[0];
+    I32 b = pedf.io.Add2Dblock_ipred_in[0];
+    pedf.io.ipf_mc_out[0] = (a + b) >> 1;
+}
+";
+
+const MC: &str = "\
+void work() {
+    U32 r = pedf.io.red_in[0];
+    U32 f = pedf.io.ipf_in[0];
+    pedf.io.mc_out[0] = r * 3 + f;
+}
+";
+
+/// Kernel sources for a decoder variant.
+pub fn decoder_sources(bug: Bug) -> SourceRegistry {
+    let mut s = SourceRegistry::new();
+    s.add("front_ctrl.c", FRONT_CTRL);
+    s.add("pred_ctrl.c", PRED_CTRL);
+    s.add("hwcfg.c", HWCFG);
+    s.add("bh.c", BH);
+    s.add("pipe.c", &pipe_src(bug));
+    s.add("red.c", &red_src(bug));
+    s.add(
+        "ipred.c",
+        if bug == Bug::Deadlock {
+            IPRED_DEADLOCK
+        } else {
+            IPRED
+        },
+    );
+    s.add("ipf.c", IPF);
+    s.add("mc.c", MC);
+    s
+}

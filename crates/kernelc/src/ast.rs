@@ -1,0 +1,193 @@
+//! Abstract syntax of the kernel language.
+//!
+//! Statements carry the source line they start on; the code generator turns
+//! those into line-table rows, one `is_stmt` entry per statement — the same
+//! granularity GDB steps at.
+
+use debuginfo::ScalarType;
+
+/// A syntactic type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeName {
+    Void,
+    Scalar(ScalarType),
+    /// A struct type, resolved against the shared type table at codegen.
+    Named(String),
+}
+
+/// A compiled unit: a list of functions (filters and controllers define at
+/// least `work`).
+#[derive(Debug, Clone)]
+pub struct Unit {
+    pub funcs: Vec<Func>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Func {
+    pub name: String,
+    pub ret: TypeName,
+    pub params: Vec<(String, TypeName)>,
+    pub body: Block,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    Decl {
+        name: String,
+        ty: TypeName,
+        init: Option<Expr>,
+        line: u32,
+    },
+    Assign {
+        target: LValue,
+        value: Expr,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Block,
+        line: u32,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+        line: u32,
+    },
+    Return {
+        value: Option<Expr>,
+        line: u32,
+    },
+    ExprStmt {
+        expr: Expr,
+        line: u32,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
+    Nested(Block),
+}
+
+impl Stmt {
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Decl { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::ExprStmt { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line } => *line,
+            Stmt::Nested(b) => b.stmts.first().map_or(0, Stmt::line),
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    /// Local variable (scalar or whole struct).
+    Var(String),
+    /// `var.field` on a struct local.
+    Field(String, String),
+    /// `pedf.io.conn[index] = ...` — a token push.
+    Io { conn: String, index: Box<Expr> },
+    /// `pedf.data.name = ...` — filter private data.
+    Data(String),
+    /// `pedf.attribute.name = ...` — filter attribute.
+    Attr(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LAnd,
+    LOr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Num(u32),
+    Var(String),
+    /// `var.field` read.
+    Field(String, String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Call of a previously defined helper function in the same unit.
+    Call { name: String, args: Vec<Expr> },
+    Pedf(PedfExpr),
+}
+
+/// Framework accesses: the `pedf.` namespace of §IV-C plus the controller
+/// scheduling primitives of §IV-B.
+#[derive(Debug, Clone)]
+pub enum PedfExpr {
+    /// `pedf.io.conn[index]` as an rvalue — a token pop.
+    IoRead { conn: String, index: Box<Expr> },
+    /// `pedf.data.name` read.
+    Data(String),
+    /// `pedf.attribute.name` read.
+    Attr(String),
+    /// `pedf.available(conn)` — tokens queued on the connection's link.
+    Available(String),
+    /// `pedf.space(conn)` — free slots on the connection's link.
+    Space(String),
+    /// `pedf.run()` — controller loop condition.
+    Run,
+    /// `pedf.print(expr)` — console output.
+    Print(Box<Expr>),
+    /// `pedf.start(filter)` — ACTOR_START.
+    Start(String),
+    /// `pedf.sync(filter)` — ACTOR_SYNC.
+    Sync(String),
+    /// `pedf.fire(filter)` — ACTOR_FIRE.
+    Fire(String),
+    /// `pedf.wait_init()` — WAIT_FOR_ACTOR_INIT.
+    WaitInit,
+    /// `pedf.wait_sync()` — WAIT_FOR_ACTOR_SYNC.
+    WaitSync,
+    /// `pedf.step_begin()`.
+    StepBegin,
+    /// `pedf.step_end()`.
+    StepEnd,
+}

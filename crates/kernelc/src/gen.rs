@@ -1,0 +1,898 @@
+//! Code generation: AST → stack-machine bytecode + line table.
+//!
+//! One pass over the AST with a scoped symbol table. Every statement start
+//! is recorded as an `is_stmt` line-table row, which is what makes `break
+//! file:line`, `step` and `list` behave like GDB on the kernels.
+//!
+//! Signedness follows a pragmatic C-subset rule: an expression is signed
+//! iff one of its operands has declared type `I32`; comparisons and
+//! right-shifts pick their signed/unsigned instruction accordingly.
+//! Division always uses the signed instruction (values below 2^31 behave
+//! identically; documented in DESIGN.md).
+
+use std::collections::HashMap;
+
+use debuginfo::{
+    FileId, LineEntry, ScalarType, TypeId, TypeTable, Word,
+};
+use p2012::{CodeAddr, Insn, ProgramBuilder};
+
+use crate::ast::*;
+use crate::{CompileEnv, CompileError};
+
+/// Value category tracked during generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VType {
+    Scalar(ScalarType),
+    Struct(TypeId),
+    Void,
+}
+
+impl VType {
+    fn is_signed(self) -> bool {
+        matches!(self, VType::Scalar(ScalarType::I32))
+    }
+
+    fn scalar(self) -> Option<ScalarType> {
+        match self {
+            VType::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LocalVar {
+    base: u16,
+    vt: VType,
+}
+
+/// Signature of an already-compiled function in this unit.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    pub addr: CodeAddr,
+    pub params: Vec<VType>,
+    pub ret: VType,
+}
+
+pub struct Gen<'a, 'b> {
+    pub b: &'a mut ProgramBuilder,
+    pub env: &'a CompileEnv<'b>,
+    pub file: FileId,
+    pub lines: &'a mut debuginfo::LineTable,
+    pub funcs: HashMap<String, FnSig>,
+    scopes: Vec<HashMap<String, LocalVar>>,
+    next_slot: u16,
+    max_slot: u16,
+    loops: Vec<(p2012::isa::Label, p2012::isa::Label)>,
+    ret: VType,
+}
+
+impl<'a, 'b> Gen<'a, 'b> {
+    pub fn new(
+        b: &'a mut ProgramBuilder,
+        env: &'a CompileEnv<'b>,
+        file: FileId,
+        lines: &'a mut debuginfo::LineTable,
+    ) -> Self {
+        Gen {
+            b,
+            env,
+            file,
+            lines,
+            funcs: HashMap::new(),
+            scopes: Vec::new(),
+            next_slot: 0,
+            max_slot: 0,
+            loops: Vec::new(),
+            ret: VType::Void,
+        }
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn mark(&mut self, line: u32) {
+        self.lines.add_entry(LineEntry {
+            addr: self.b.here(),
+            file: self.file,
+            line,
+            is_stmt: true,
+        });
+    }
+
+    fn resolve_type(
+        &self,
+        ty: &TypeName,
+        line: u32,
+    ) -> Result<VType, CompileError> {
+        match ty {
+            TypeName::Void => Ok(VType::Void),
+            TypeName::Scalar(s) => Ok(VType::Scalar(*s)),
+            TypeName::Named(n) => match self.env.types.lookup_by_name(n) {
+                Some(id) if !self.env.types.is_scalar(id) => {
+                    Ok(VType::Struct(id))
+                }
+                _ => self.err(line, format!("unknown struct type `{n}`")),
+            },
+        }
+    }
+
+    fn vtype_of(&self, ty: TypeId) -> VType {
+        match self.env.types.as_scalar(ty) {
+            Some(s) => VType::Scalar(s),
+            None => VType::Struct(ty),
+        }
+    }
+
+    fn size_of(&self, vt: VType) -> u16 {
+        match vt {
+            VType::Scalar(_) => 1,
+            VType::Struct(t) => self.env.types.size_words(t) as u16,
+            VType::Void => 0,
+        }
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        vt: VType,
+        line: u32,
+    ) -> Result<LocalVar, CompileError> {
+        if self
+            .scopes
+            .last()
+            .is_some_and(|s| s.contains_key(name))
+        {
+            return self.err(line, format!("`{name}` already declared"));
+        }
+        let base = self.next_slot;
+        let size = self.size_of(vt);
+        self.next_slot += size;
+        self.max_slot = self.max_slot.max(self.next_slot);
+        let var = LocalVar { base, vt };
+        self.scopes
+            .last_mut()
+            .expect("no scope")
+            .insert(name.to_string(), var);
+        Ok(var)
+    }
+
+    fn lookup(&self, name: &str) -> Option<LocalVar> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
+    }
+
+    fn conn(
+        &self,
+        name: &str,
+        line: u32,
+    ) -> Result<(u32, TypeId, pedf::Dir), CompileError> {
+        self.env.conns.get(name).copied().ok_or_else(|| CompileError {
+            line,
+            msg: format!("unknown connection `{name}` (check the architecture description)"),
+        })
+    }
+
+    fn actor(&self, name: &str, line: u32) -> Result<u32, CompileError> {
+        self.env.actors.get(name).copied().ok_or_else(|| CompileError {
+            line,
+            msg: format!("unknown filter `{name}` in scheduling call"),
+        })
+    }
+
+    /// Mask the top-of-stack value to a narrow scalar's width.
+    fn mask_store(&mut self, vt: VType) {
+        if let Some(s) = vt.scalar() {
+            if s.bits() < 32 {
+                self.b.emit(Insn::Const((1u32 << s.bits()) - 1));
+                self.b.emit(Insn::BitAnd);
+            }
+        }
+    }
+
+    // ---- functions -------------------------------------------------------
+
+    pub fn function(&mut self, f: &Func) -> Result<CodeAddr, CompileError> {
+        let ret = self.resolve_type(&f.ret, f.line)?;
+        let mut params = Vec::with_capacity(f.params.len());
+        for (_, pty) in &f.params {
+            let vt = self.resolve_type(pty, f.line)?;
+            if !matches!(vt, VType::Scalar(_)) {
+                return self
+                    .err(f.line, "function parameters must be scalar");
+            }
+            params.push(vt);
+        }
+        let addr = self.b.begin_func(params.len() as u8);
+        // Register before the body so recursion resolves.
+        self.funcs.insert(
+            f.name.clone(),
+            FnSig {
+                addr,
+                params: params.clone(),
+                ret,
+            },
+        );
+        let enter_at = self.b.emit(Insn::Enter(0));
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        self.next_slot = 0;
+        self.max_slot = 0;
+        self.ret = ret;
+        for ((pname, _), vt) in f.params.iter().zip(&params) {
+            self.declare(pname, *vt, f.line)?;
+        }
+        self.mark(f.line);
+        self.block(&f.body)?;
+        // Implicit return for fall-through ends.
+        match ret {
+            VType::Void => {
+                self.b.emit(Insn::Ret { retc: 0 });
+            }
+            _ => {
+                self.b.emit(Insn::Const(0));
+                self.b.emit(Insn::Ret { retc: 1 });
+            }
+        }
+        self.b.patch_enter(enter_at, self.max_slot);
+        self.scopes.pop();
+        Ok(addr)
+    }
+
+    fn block(&mut self, blk: &Block) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        let saved = self.next_slot;
+        for s in &blk.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        self.next_slot = saved;
+        Ok(())
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Nested(b) => return self.block(b),
+            _ => self.mark(s.line()),
+        }
+        match s {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let vt = self.resolve_type(ty, *line)?;
+                if vt == VType::Void {
+                    return self.err(*line, "void variable");
+                }
+                let var = self.declare(name, vt, *line)?;
+                if let Some(init) = init {
+                    self.assign_var(var, name, init, *line)?;
+                }
+                Ok(())
+            }
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => self.assign(target, value, *line),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                line,
+            } => {
+                self.expect_scalar(cond, *line)?;
+                let l_else = self.b.new_label();
+                self.b.jump_if_zero(l_else);
+                self.block(then_blk)?;
+                match else_blk {
+                    Some(e) => {
+                        let l_end = self.b.new_label();
+                        self.b.jump(l_end);
+                        self.b.bind(l_else);
+                        self.block(e)?;
+                        self.b.bind(l_end);
+                    }
+                    None => self.b.bind(l_else),
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let l_top = self.b.new_label();
+                let l_end = self.b.new_label();
+                self.b.bind(l_top);
+                self.mark(*line);
+                self.expect_scalar(cond, *line)?;
+                self.b.jump_if_zero(l_end);
+                self.loops.push((l_end, l_top));
+                self.block(body)?;
+                self.loops.pop();
+                self.b.jump(l_top);
+                self.b.bind(l_end);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let l_top = self.b.new_label();
+                let l_step = self.b.new_label();
+                let l_end = self.b.new_label();
+                self.b.bind(l_top);
+                if let Some(cond) = cond {
+                    self.mark(*line);
+                    self.expect_scalar(cond, *line)?;
+                    self.b.jump_if_zero(l_end);
+                }
+                self.loops.push((l_end, l_step));
+                self.block(body)?;
+                self.loops.pop();
+                self.b.bind(l_step);
+                if let Some(step) = step {
+                    self.stmt(step)?;
+                }
+                self.b.jump(l_top);
+                self.b.bind(l_end);
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                match (self.ret, value) {
+                    (VType::Void, None) => {
+                        self.b.emit(Insn::Ret { retc: 0 });
+                        Ok(())
+                    }
+                    (VType::Void, Some(_)) => {
+                        self.err(*line, "void function returns a value")
+                    }
+                    (VType::Scalar(_), Some(v)) => {
+                        self.expect_scalar(v, *line)?;
+                        self.b.emit(Insn::Ret { retc: 1 });
+                        Ok(())
+                    }
+                    (VType::Scalar(_), None) => {
+                        self.err(*line, "missing return value")
+                    }
+                    (VType::Struct(_), _) => {
+                        self.err(*line, "functions cannot return structs")
+                    }
+                }
+            }
+            Stmt::ExprStmt { expr, line } => {
+                let vt = self.expr(expr, *line)?;
+                if matches!(vt, VType::Scalar(_)) {
+                    self.b.emit(Insn::Drop);
+                }
+                Ok(())
+            }
+            Stmt::Break { line } => match self.loops.last() {
+                Some((l_end, _)) => {
+                    let l = *l_end;
+                    self.b.jump(l);
+                    Ok(())
+                }
+                None => self.err(*line, "break outside a loop"),
+            },
+            Stmt::Continue { line } => match self.loops.last() {
+                Some((_, l_cont)) => {
+                    let l = *l_cont;
+                    self.b.jump(l);
+                    Ok(())
+                }
+                None => self.err(*line, "continue outside a loop"),
+            },
+            Stmt::Nested(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// `var = value` where `var` may be a struct.
+    fn assign_var(
+        &mut self,
+        var: LocalVar,
+        name: &str,
+        value: &Expr,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        match var.vt {
+            VType::Scalar(_) => {
+                self.expect_scalar(value, line)?;
+                self.mask_store(var.vt);
+                self.b.emit(Insn::StoreLocal(var.base));
+                Ok(())
+            }
+            VType::Struct(ty) => match value {
+                Expr::Var(src) => {
+                    let s = self.lookup(src).ok_or_else(|| CompileError {
+                        line,
+                        msg: format!("unknown variable `{src}`"),
+                    })?;
+                    if s.vt != var.vt {
+                        return self.err(line, "struct type mismatch");
+                    }
+                    for i in 0..self.size_of(var.vt) {
+                        self.b.emit(Insn::LoadLocal(s.base + i));
+                        self.b.emit(Insn::StoreLocal(var.base + i));
+                    }
+                    Ok(())
+                }
+                Expr::Pedf(PedfExpr::IoRead { conn, index }) => {
+                    let (cid, cty, dir) = self.conn(conn, line)?;
+                    if dir != pedf::Dir::In {
+                        return self.err(
+                            line,
+                            format!("`{conn}` is not an input connection"),
+                        );
+                    }
+                    if cty != ty {
+                        return self.err(line, "token type mismatch");
+                    }
+                    self.b.emit(Insn::Const(cid));
+                    self.expect_scalar(index, line)?;
+                    self.b.emit(Insn::Const(u32::from(var.base)));
+                    self.b.emit(Insn::Call {
+                        addr: self.env.stubs.pop_struct,
+                        argc: 3,
+                    });
+                    Ok(())
+                }
+                _ => self.err(
+                    line,
+                    format!(
+                        "`{name}` is a struct: assign another struct \
+                         variable or a pedf.io read"
+                    ),
+                ),
+            },
+            VType::Void => unreachable!(),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        target: &LValue,
+        value: &Expr,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        match target {
+            LValue::Var(name) => {
+                let var = self.lookup(name).ok_or_else(|| CompileError {
+                    line,
+                    msg: format!("unknown variable `{name}`"),
+                })?;
+                self.assign_var(var, name, value, line)
+            }
+            LValue::Field(name, field) => {
+                let var = self.lookup(name).ok_or_else(|| CompileError {
+                    line,
+                    msg: format!("unknown variable `{name}`"),
+                })?;
+                let VType::Struct(ty) = var.vt else {
+                    return self
+                        .err(line, format!("`{name}` is not a struct"));
+                };
+                let Some(f) = self.env.types.field(ty, field) else {
+                    return self.err(
+                        line,
+                        format!(
+                            "no field `{field}` in `{}`",
+                            self.env.types.name(ty)
+                        ),
+                    );
+                };
+                let slot = var.base + f.word_offset as u16;
+                let fvt = self.vtype_of(f.ty);
+                self.expect_scalar(value, line)?;
+                self.mask_store(fvt);
+                self.b.emit(Insn::StoreLocal(slot));
+                Ok(())
+            }
+            LValue::Io { conn, index } => {
+                let (cid, cty, dir) = self.conn(conn, line)?;
+                if dir != pedf::Dir::Out {
+                    return self.err(
+                        line,
+                        format!("`{conn}` is not an output connection"),
+                    );
+                }
+                match self.vtype_of(cty) {
+                    VType::Scalar(s) => {
+                        self.b.emit(Insn::Const(cid));
+                        self.expect_scalar(index, line)?;
+                        self.expect_scalar(value, line)?;
+                        self.mask_store(VType::Scalar(s));
+                        self.b.emit(Insn::Call {
+                            addr: self.env.stubs.push_token,
+                            argc: 3,
+                        });
+                        Ok(())
+                    }
+                    VType::Struct(sty) => match value {
+                        Expr::Var(src) => {
+                            let v = self.lookup(src).ok_or_else(|| {
+                                CompileError {
+                                    line,
+                                    msg: format!("unknown variable `{src}`"),
+                                }
+                            })?;
+                            if v.vt != VType::Struct(sty) {
+                                return self
+                                    .err(line, "token type mismatch");
+                            }
+                            self.b.emit(Insn::Const(cid));
+                            self.expect_scalar(index, line)?;
+                            self.b.emit(Insn::Const(u32::from(v.base)));
+                            self.b.emit(Insn::Call {
+                                addr: self.env.stubs.push_struct,
+                                argc: 3,
+                            });
+                            Ok(())
+                        }
+                        _ => self.err(
+                            line,
+                            "struct connections take a struct variable",
+                        ),
+                    },
+                    VType::Void => unreachable!(),
+                }
+            }
+            LValue::Data(name) | LValue::Attr(name) => {
+                let table = if matches!(target, LValue::Data(_)) {
+                    &self.env.data
+                } else {
+                    &self.env.attrs
+                };
+                let kind = if matches!(target, LValue::Data(_)) {
+                    "data"
+                } else {
+                    "attribute"
+                };
+                let Some(&(addr, ty)) = table.get(name) else {
+                    return self.err(
+                        line,
+                        format!("unknown pedf.{kind}.{name}"),
+                    );
+                };
+                let vt = self.vtype_of(ty);
+                if !matches!(vt, VType::Scalar(_)) {
+                    return self
+                        .err(line, "struct data/attributes not supported");
+                }
+                self.b.emit(Insn::Const(addr));
+                self.expect_scalar(value, line)?;
+                self.mask_store(vt);
+                self.b.emit(Insn::StoreMem);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    /// Generate `e` and require a scalar result on the stack.
+    fn expect_scalar(
+        &mut self,
+        e: &Expr,
+        line: u32,
+    ) -> Result<VType, CompileError> {
+        let vt = self.expr(e, line)?;
+        match vt {
+            VType::Scalar(_) => Ok(vt),
+            VType::Struct(t) => self.err(
+                line,
+                format!(
+                    "struct value ({}) used where a scalar is required",
+                    self.env.types.name(t)
+                ),
+            ),
+            VType::Void => {
+                self.err(line, "void value used where a scalar is required")
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, line: u32) -> Result<VType, CompileError> {
+        match e {
+            Expr::Num(n) => {
+                self.b.emit(Insn::Const(*n));
+                Ok(VType::Scalar(ScalarType::U32))
+            }
+            Expr::Var(name) => {
+                let var = self.lookup(name).ok_or_else(|| CompileError {
+                    line,
+                    msg: format!("unknown variable `{name}`"),
+                })?;
+                match var.vt {
+                    VType::Scalar(_) => {
+                        self.b.emit(Insn::LoadLocal(var.base));
+                        Ok(var.vt)
+                    }
+                    other => Ok(other), // caller decides (struct contexts)
+                }
+            }
+            Expr::Field(name, field) => {
+                let var = self.lookup(name).ok_or_else(|| CompileError {
+                    line,
+                    msg: format!("unknown variable `{name}`"),
+                })?;
+                let VType::Struct(ty) = var.vt else {
+                    return self
+                        .err(line, format!("`{name}` is not a struct"));
+                };
+                let Some(f) = self.env.types.field(ty, field) else {
+                    return self.err(
+                        line,
+                        format!(
+                            "no field `{field}` in `{}`",
+                            self.env.types.name(ty)
+                        ),
+                    );
+                };
+                self.b
+                    .emit(Insn::LoadLocal(var.base + f.word_offset as u16));
+                Ok(self.vtype_of(f.ty))
+            }
+            Expr::Unary(op, inner) => {
+                let vt = self.expect_scalar(inner, line)?;
+                match op {
+                    UnOp::Neg => {
+                        self.b.emit(Insn::Neg);
+                        Ok(VType::Scalar(ScalarType::I32))
+                    }
+                    UnOp::Not => {
+                        self.b.emit(Insn::Not);
+                        Ok(VType::Scalar(ScalarType::U32))
+                    }
+                    UnOp::BitNot => {
+                        self.b.emit(Insn::BitNot);
+                        Ok(vt)
+                    }
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => self.binary(*op, lhs, rhs, line),
+            Expr::Call { name, args } => {
+                let sig = self
+                    .funcs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| CompileError {
+                        line,
+                        msg: format!(
+                            "unknown function `{name}` (helpers must be \
+                             defined before use)"
+                        ),
+                    })?;
+                if args.len() != sig.params.len() {
+                    return self.err(
+                        line,
+                        format!(
+                            "`{name}` takes {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                for a in args {
+                    self.expect_scalar(a, line)?;
+                }
+                self.b.emit(Insn::Call {
+                    addr: sig.addr,
+                    argc: args.len() as u8,
+                });
+                Ok(sig.ret)
+            }
+            Expr::Pedf(p) => self.pedf(p, line),
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<VType, CompileError> {
+        // Short-circuit logical operators first.
+        if op == BinOp::LAnd {
+            self.expect_scalar(lhs, line)?;
+            let l_false = self.b.new_label();
+            let l_end = self.b.new_label();
+            self.b.jump_if_zero(l_false);
+            self.expect_scalar(rhs, line)?;
+            self.b.emit(Insn::Const(0));
+            self.b.emit(Insn::Ne);
+            self.b.jump(l_end);
+            self.b.bind(l_false);
+            self.b.emit(Insn::Const(0));
+            self.b.bind(l_end);
+            return Ok(VType::Scalar(ScalarType::U32));
+        }
+        if op == BinOp::LOr {
+            self.expect_scalar(lhs, line)?;
+            let l_true = self.b.new_label();
+            let l_end = self.b.new_label();
+            self.b.jump_if_not(l_true);
+            self.expect_scalar(rhs, line)?;
+            self.b.emit(Insn::Const(0));
+            self.b.emit(Insn::Ne);
+            self.b.jump(l_end);
+            self.b.bind(l_true);
+            self.b.emit(Insn::Const(1));
+            self.b.bind(l_end);
+            return Ok(VType::Scalar(ScalarType::U32));
+        }
+
+        let lt = self.expect_scalar(lhs, line)?;
+        let rt = self.expect_scalar(rhs, line)?;
+        let signed = lt.is_signed() || rt.is_signed();
+        let arith = if signed {
+            VType::Scalar(ScalarType::I32)
+        } else {
+            VType::Scalar(ScalarType::U32)
+        };
+        let boolean = VType::Scalar(ScalarType::U32);
+        let (insns, vt): (&[Insn], VType) = match (op, signed) {
+            (BinOp::Add, _) => (&[Insn::Add], arith),
+            (BinOp::Sub, _) => (&[Insn::Sub], arith),
+            (BinOp::Mul, _) => (&[Insn::Mul], arith),
+            (BinOp::Div, _) => (&[Insn::Div], arith),
+            (BinOp::Rem, _) => (&[Insn::Rem], arith),
+            (BinOp::BitAnd, _) => (&[Insn::BitAnd], arith),
+            (BinOp::BitOr, _) => (&[Insn::BitOr], arith),
+            (BinOp::BitXor, _) => (&[Insn::BitXor], arith),
+            (BinOp::Shl, _) => (&[Insn::Shl], arith),
+            (BinOp::Shr, true) => (&[Insn::Sar], arith),
+            (BinOp::Shr, false) => (&[Insn::Shr], arith),
+            (BinOp::Eq, _) => (&[Insn::Eq], boolean),
+            (BinOp::Ne, _) => (&[Insn::Ne], boolean),
+            (BinOp::Lt, true) => (&[Insn::LtS], boolean),
+            (BinOp::Lt, false) => (&[Insn::LtU], boolean),
+            (BinOp::Le, true) => (&[Insn::LeS], boolean),
+            (BinOp::Le, false) => (&[Insn::Swap, Insn::GeU], boolean),
+            (BinOp::Gt, true) => (&[Insn::GtS], boolean),
+            (BinOp::Gt, false) => (&[Insn::Swap, Insn::LtU], boolean),
+            (BinOp::Ge, true) => (&[Insn::GeS], boolean),
+            (BinOp::Ge, false) => (&[Insn::GeU], boolean),
+            (BinOp::LAnd | BinOp::LOr, _) => unreachable!(),
+        };
+        for i in insns {
+            self.b.emit(*i);
+        }
+        Ok(vt)
+    }
+
+    fn pedf(
+        &mut self,
+        p: &PedfExpr,
+        line: u32,
+    ) -> Result<VType, CompileError> {
+        let stubs = self.env.stubs;
+        match p {
+            PedfExpr::IoRead { conn, index } => {
+                let (cid, cty, dir) = self.conn(conn, line)?;
+                if dir != pedf::Dir::In {
+                    return self.err(
+                        line,
+                        format!("`{conn}` is not an input connection"),
+                    );
+                }
+                match self.vtype_of(cty) {
+                    VType::Scalar(s) => {
+                        self.b.emit(Insn::Const(cid));
+                        self.expect_scalar(index, line)?;
+                        self.b.emit(Insn::Call {
+                            addr: stubs.pop_token,
+                            argc: 2,
+                        });
+                        Ok(VType::Scalar(s))
+                    }
+                    VType::Struct(_) => self.err(
+                        line,
+                        "struct tokens must be popped into a struct \
+                         variable (`mb = pedf.io.x[0];`)",
+                    ),
+                    VType::Void => unreachable!(),
+                }
+            }
+            PedfExpr::Data(name) | PedfExpr::Attr(name) => {
+                let (table, kind) = if matches!(p, PedfExpr::Data(_)) {
+                    (&self.env.data, "data")
+                } else {
+                    (&self.env.attrs, "attribute")
+                };
+                let Some(&(addr, ty)) = table.get(name) else {
+                    return self
+                        .err(line, format!("unknown pedf.{kind}.{name}"));
+                };
+                self.b.emit(Insn::Const(addr));
+                self.b.emit(Insn::LoadMem);
+                Ok(self.vtype_of(ty))
+            }
+            PedfExpr::Available(conn) | PedfExpr::Space(conn) => {
+                let (cid, _, _) = self.conn(conn, line)?;
+                self.b.emit(Insn::Const(cid));
+                self.b.emit(Insn::Call {
+                    addr: if matches!(p, PedfExpr::Available(_)) {
+                        stubs.tokens_available
+                    } else {
+                        stubs.link_space
+                    },
+                    argc: 1,
+                });
+                Ok(VType::Scalar(ScalarType::U32))
+            }
+            PedfExpr::Run => {
+                self.b.emit(Insn::Call {
+                    addr: stubs.continue_,
+                    argc: 0,
+                });
+                Ok(VType::Scalar(ScalarType::U32))
+            }
+            PedfExpr::Print(e) => {
+                self.expect_scalar(e, line)?;
+                self.b.emit(Insn::Call {
+                    addr: stubs.print,
+                    argc: 1,
+                });
+                Ok(VType::Void)
+            }
+            PedfExpr::Start(a) | PedfExpr::Sync(a) | PedfExpr::Fire(a) => {
+                let id = self.actor(a, line)?;
+                self.b.emit(Insn::Const(id));
+                self.b.emit(Insn::Call {
+                    addr: match p {
+                        PedfExpr::Start(_) => stubs.actor_start,
+                        PedfExpr::Sync(_) => stubs.actor_sync,
+                        _ => stubs.actor_fire,
+                    },
+                    argc: 1,
+                });
+                Ok(VType::Void)
+            }
+            PedfExpr::WaitInit
+            | PedfExpr::WaitSync
+            | PedfExpr::StepBegin
+            | PedfExpr::StepEnd => {
+                self.b.emit(Insn::Call {
+                    addr: match p {
+                        PedfExpr::WaitInit => stubs.wait_actor_init,
+                        PedfExpr::WaitSync => stubs.wait_actor_sync,
+                        PedfExpr::StepBegin => stubs.step_begin,
+                        _ => stubs.step_end,
+                    },
+                    argc: 0,
+                });
+                Ok(VType::Void)
+            }
+        }
+    }
+}
+
+/// Map a `VType` back to the debug-info type id (for symbol parameters).
+pub fn vtype_type_id(vt: VType) -> TypeId {
+    match vt {
+        VType::Scalar(s) => TypeTable::scalar_id(s),
+        VType::Struct(t) => t,
+        VType::Void => TypeTable::U32,
+    }
+}
+
+/// Placeholder needed by narrow-store masking: 32-bit all-ones.
+#[allow(dead_code)]
+const WORD_MASK: Word = u32::MAX;

@@ -1,0 +1,335 @@
+//! Lexer for the PEDF kernel language.
+//!
+//! The language is the restricted C subset the paper's filters are written
+//! in (§IV-C): scalar arithmetic, control flow, struct locals and the
+//! `pedf.io.* / pedf.data.* / pedf.attribute.*` framework accesses. Tokens
+//! carry their source line so the code generator can emit a faithful line
+//! table — source-level debugging of kernels is half the point.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Num(u32),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    // operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    // keywords
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "`{n}`"),
+            Tok::Eof => write!(f, "end of file"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Tokenize `src`. Comments (`//` and `/* */`) are skipped; an unterminated
+/// block comment is an error.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(LexError {
+                            line: start,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                push!(match word.as_str() {
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let value = if c == '0'
+                    && i + 1 < n
+                    && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X')
+                {
+                    i += 2;
+                    let hs = i;
+                    while i < n && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if hs == i {
+                        return Err(LexError {
+                            line,
+                            msg: "empty hex literal".into(),
+                        });
+                    }
+                    let s: String = bytes[hs..i].iter().collect();
+                    u32::from_str_radix(&s, 16).map_err(|_| LexError {
+                        line,
+                        msg: format!("hex literal 0x{s} out of range"),
+                    })?
+                } else {
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let s: String = bytes[start..i].iter().collect();
+                    s.parse::<u32>().map_err(|_| LexError {
+                        line,
+                        msg: format!("literal {s} out of range"),
+                    })?
+                };
+                push!(Tok::Num(value));
+            }
+            _ => {
+                let two = if i + 1 < n {
+                    Some((bytes[i], bytes[i + 1]))
+                } else {
+                    None
+                };
+                let (tok, width) = match two {
+                    Some(('<', '<')) => (Tok::Shl, 2),
+                    Some(('>', '>')) => (Tok::Shr, 2),
+                    Some(('<', '=')) => (Tok::Le, 2),
+                    Some(('>', '=')) => (Tok::Ge, 2),
+                    Some(('=', '=')) => (Tok::EqEq, 2),
+                    Some(('!', '=')) => (Tok::Ne, 2),
+                    Some(('&', '&')) => (Tok::AndAnd, 2),
+                    Some(('|', '|')) => (Tok::OrOr, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        '.' => (Tok::Dot, 1),
+                        '=' => (Tok::Assign, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '&' => (Tok::Amp, 1),
+                        '|' => (Tok::Pipe, 1),
+                        '^' => (Tok::Caret, 1),
+                        '~' => (Tok::Tilde, 1),
+                        '!' => (Tok::Bang, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        other => {
+                            return Err(LexError {
+                                line,
+                                msg: format!("unexpected character `{other}`"),
+                            })
+                        }
+                    },
+                };
+                push!(tok);
+                i += width;
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_idents_numbers() {
+        assert_eq!(
+            toks("void work() { U32 x = 0x1F; }"),
+            vec![
+                Tok::KwVoid,
+                Tok::Ident("work".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::Ident("U32".into()),
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(31),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a <= b >> 2 == c && d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Num(2),
+                Tok::EqEq,
+                Tok::Ident("c".into()),
+                Tok::AndAnd,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a; // one\n/* two\nthree */ b;").unwrap();
+        let b = spanned
+            .iter()
+            .find(|s| s.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn pedf_dotted_access() {
+        assert_eq!(
+            toks("pedf.io.an_input[n]"),
+            vec![
+                Tok::Ident("pedf".into()),
+                Tok::Dot,
+                Tok::Ident("io".into()),
+                Tok::Dot,
+                Tok::Ident("an_input".into()),
+                Tok::LBracket,
+                Tok::Ident("n".into()),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("a;\n@").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("/* never ends").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("99999999999").is_err());
+    }
+}

@@ -1,0 +1,620 @@
+//! `kernelc` — compiler for the PEDF kernel language.
+//!
+//! PEDF filters are written in "a restricted subset of the C language,
+//! which permits a direct transformation to RTL circuits" (§IV-C); module
+//! controllers are written in the same language plus the scheduling
+//! primitives of §IV-B. This crate compiles those kernels to the P2012
+//! stack-machine bytecode, emitting:
+//!
+//! * code via [`p2012::ProgramBuilder`] (framework accesses become `Call`s
+//!   into the `pedf_*` stubs — the functions the debugger breakpoints);
+//! * a line table (one `is_stmt` row per statement) and function symbols
+//!   with the platform's mangling, so source-level debugging of kernels
+//!   works exactly as with DWARF.
+//!
+//! Compilation context ([`CompileEnv`]) — connection ids, data/attribute
+//! addresses, sibling-filter ids — comes from the architecture elaborator
+//! (the `mind` crate), mirroring how the real tool-chain specializes each
+//! filter's generated C++.
+
+pub mod ast;
+pub mod gen;
+pub mod lexer;
+pub mod parser;
+
+use std::collections::HashMap;
+
+use debuginfo::{
+    mangle, DebugInfoBuilder, ParamInfo, SymbolKind, TypeId, TypeTable,
+};
+use p2012::{CodeAddr, ProgramBuilder};
+use pedf::{ApiStubs, Dir};
+
+pub use gen::VType;
+
+/// A compile-time diagnostic with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Who owns the kernel being compiled — determines symbol mangling
+/// (`IpfFilter_work_function` vs `_component_PredModule_anon_0_work`).
+#[derive(Debug, Clone)]
+pub enum KernelOwner {
+    Filter(String),
+    Controller { module: String },
+}
+
+impl KernelOwner {
+    fn mangled(&self, func: &str) -> String {
+        match (self, func) {
+            (KernelOwner::Filter(f), "work") => mangle::filter_work(f),
+            (KernelOwner::Filter(f), other) => {
+                mangle::filter_helper(f, other)
+            }
+            (KernelOwner::Controller { module }, "work") => {
+                mangle::controller_work(module)
+            }
+            (KernelOwner::Controller { module }, other) => {
+                mangle::controller_helper(module, other)
+            }
+        }
+    }
+
+    fn pretty(&self, func: &str) -> String {
+        match self {
+            KernelOwner::Filter(f) => format!("{f}::{func}"),
+            KernelOwner::Controller { module } => {
+                format!("{module}_controller::{func}")
+            }
+        }
+    }
+}
+
+/// Everything the compiler needs to know about the actor it compiles for.
+#[derive(Debug, Clone)]
+pub struct CompileEnv<'a> {
+    pub stubs: ApiStubs,
+    pub types: &'a TypeTable,
+    /// Connection name → (conn id, token type, direction), from the actor's
+    /// perspective.
+    pub conns: HashMap<String, (u32, TypeId, Dir)>,
+    /// `pedf.data.*` name → (memory address, type).
+    pub data: HashMap<String, (u32, TypeId)>,
+    /// `pedf.attribute.*` name → (memory address, type).
+    pub attrs: HashMap<String, (u32, TypeId)>,
+    /// Filter name → actor id (controllers schedule by name).
+    pub actors: HashMap<String, u32>,
+    /// Source file name recorded in the line table.
+    pub file: String,
+    pub owner: KernelOwner,
+}
+
+impl<'a> CompileEnv<'a> {
+    /// Minimal env for a kernel with no architecture context (tests,
+    /// standalone snippets).
+    pub fn bare(
+        stubs: ApiStubs,
+        types: &'a TypeTable,
+        file: &str,
+        owner: KernelOwner,
+    ) -> Self {
+        CompileEnv {
+            stubs,
+            types,
+            conns: HashMap::new(),
+            data: HashMap::new(),
+            attrs: HashMap::new(),
+            actors: HashMap::new(),
+            file: file.to_string(),
+            owner,
+        }
+    }
+}
+
+/// Result of compiling one kernel source unit.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Entry of the mandatory `void work()` function.
+    pub work: CodeAddr,
+    /// Every function with its entry address, in definition order.
+    pub funcs: Vec<(String, CodeAddr)>,
+}
+
+/// Compile a kernel unit into the image under construction.
+pub fn compile_kernel(
+    src: &str,
+    env: &CompileEnv<'_>,
+    b: &mut ProgramBuilder,
+    di: &mut DebugInfoBuilder,
+) -> Result<CompiledKernel, CompileError> {
+    let is_type = |s: &str| {
+        env.types
+            .lookup_by_name(s)
+            .is_some_and(|id| !env.types.is_scalar(id))
+    };
+    let unit = parser::parse(src, &is_type)?;
+
+    let file = di.lines_mut().add_file(&env.file, src);
+    // The line table lives inside `di`; the generator needs it mutably
+    // alongside the program builder, so detach it for the duration.
+    let mut lines = std::mem::take(di.lines_mut());
+    let mut g = gen::Gen::new(b, env, file, &mut lines);
+
+    let mut funcs = Vec::with_capacity(unit.funcs.len());
+    let mut work = None;
+    let mut symbols = Vec::new();
+    let mut failure = None;
+    for f in &unit.funcs {
+        if f.name == "work"
+            && (!f.params.is_empty() || f.ret != ast::TypeName::Void)
+        {
+            failure = Some(CompileError {
+                line: f.line,
+                msg: "work must be declared `void work()`".into(),
+            });
+            break;
+        }
+        match g.function(f) {
+            Ok(addr) => {
+                let end = g.b.here();
+                let sig = g.funcs[&f.name].clone();
+                symbols.push((f.name.clone(), addr, end, sig));
+                funcs.push((f.name.clone(), addr));
+                if f.name == "work" {
+                    work = Some(addr);
+                }
+            }
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    *di.lines_mut() = lines;
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
+    for (name, addr, end, sig) in symbols {
+        let params = sig
+            .params
+            .iter()
+            .enumerate()
+            .map(|(slot, vt)| ParamInfo {
+                name: format!("arg{slot}"),
+                ty: gen::vtype_type_id(*vt),
+                slot: slot as u32,
+            })
+            .collect();
+        di.symbols_mut().add(
+            &env.owner.mangled(&name),
+            &env.owner.pretty(&name),
+            SymbolKind::Function,
+            addr,
+            end - addr,
+            params,
+        );
+    }
+
+    let Some(work) = work else {
+        return Err(CompileError {
+            line: 1,
+            msg: "kernel defines no `void work()` function".into(),
+        });
+    };
+    Ok(CompiledKernel { work, funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debuginfo::Word;
+    use p2012::{
+        memory::L2_BASE, Insn, NullHandler, PeId, PeStatus, Platform,
+        PlatformConfig, StepEvent,
+    };
+
+    /// Compile `src` (which must define `fname`) plus a wrapper storing
+    /// `fname(args...)` to memory; run it and return the result.
+    fn run_fn(src: &str, fname: &str, args: &[Word]) -> Word {
+        let src_full = if src.contains("void work()") {
+            src.to_string()
+        } else {
+            format!("{src}\nvoid work() {{ }}")
+        };
+        let mut b = ProgramBuilder::new();
+        let mut di = DebugInfoBuilder::new();
+        let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+        let types = TypeTable::new();
+        let env = CompileEnv::bare(
+            stubs,
+            &types,
+            "t.c",
+            KernelOwner::Filter("t".into()),
+        );
+        let k = compile_kernel(&src_full, &env, &mut b, &mut di).unwrap();
+        let (_, f_addr) = *k
+            .funcs
+            .iter()
+            .find(|(n, _)| n == fname)
+            .expect("function not found");
+        let main = b.begin_func(0);
+        b.emit(Insn::Enter(0));
+        b.emit(Insn::Const(L2_BASE));
+        for a in args {
+            b.emit(Insn::Const(*a));
+        }
+        b.emit(Insn::Call {
+            addr: f_addr,
+            argc: args.len() as u8,
+        });
+        b.emit(Insn::StoreMem);
+        b.emit(Insn::Ret { retc: 0 });
+        let prog = b.finish();
+
+        let mut platform = Platform::new(PlatformConfig::default());
+        platform.load(prog);
+        platform.invoke(PeId(0), main, &[]);
+        let mut h = NullHandler;
+        for _ in 0..1_000_000u64 {
+            platform.step_cycle(&mut h);
+            match platform.pes[0].status {
+                PeStatus::Idle => {
+                    return platform.mem.peek(L2_BASE).unwrap()
+                }
+                PeStatus::Faulted(f) => panic!("fault: {f}"),
+                _ => {}
+            }
+        }
+        panic!("function did not terminate");
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let src = "U32 f(U32 a, U32 b) { return a + b * 3 - (a >> 1); }";
+        assert_eq!(run_fn(src, "f", &[10, 4]), 10 + 12 - 5);
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let src = "I32 f(I32 a, I32 b) { return a / b + a % b; }";
+        assert_eq!(
+            run_fn(src, "f", &[(-7i32) as u32, 2]) as i32,
+            -7 / 2 + -7 % 2
+        );
+    }
+
+    #[test]
+    fn signed_vs_unsigned_comparison() {
+        // -1 as U32 is huge; as I32 it is negative.
+        let u = "U32 f(U32 a) { if (a < 1) { return 1; } return 0; }";
+        assert_eq!(run_fn(u, "f", &[u32::MAX]), 0);
+        let s = "U32 f(I32 a) { if (a < 1) { return 1; } return 0; }";
+        assert_eq!(run_fn(s, "f", &[u32::MAX]), 1);
+    }
+
+    #[test]
+    fn unsigned_le_and_gt() {
+        let src = "U32 f(U32 a, U32 b) { return (a <= b) * 2 + (a > b); }";
+        assert_eq!(run_fn(src, "f", &[3, 3]), 2);
+        assert_eq!(run_fn(src, "f", &[4, 3]), 1);
+        assert_eq!(run_fn(src, "f", &[u32::MAX, 1]), 1);
+    }
+
+    #[test]
+    fn loops_break_continue() {
+        let src = "\
+U32 f(U32 n) {
+    U32 acc = 0;
+    U32 i;
+    for (i = 0; i < n; i = i + 1) {
+        if (i == 5) { continue; }
+        if (i == 8) { break; }
+        acc = acc + i;
+    }
+    return acc;
+}";
+        // 0+1+2+3+4+6+7 = 23
+        assert_eq!(run_fn(src, "f", &[100]), 23);
+    }
+
+    #[test]
+    fn while_loop_collatz() {
+        let src = "\
+U32 f(U32 n) {
+    U32 c = 0;
+    while (n > 1 && c < 1000) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        c = c + 1;
+    }
+    return c;
+}";
+        assert_eq!(run_fn(src, "f", &[27]), 111);
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        // If the RHS were evaluated it would divide by zero and fault.
+        let src = "U32 f(U32 a) { if (a == 0 || 10 / a > 100) { return 1; } return 0; }";
+        assert_eq!(run_fn(src, "f", &[0]), 1);
+        assert_eq!(run_fn(src, "f", &[5]), 0);
+        let src2 =
+            "U32 f(U32 a) { if (a != 0 && 10 / a == 2) { return 1; } return 0; }";
+        assert_eq!(run_fn(src2, "f", &[0]), 0);
+        assert_eq!(run_fn(src2, "f", &[5]), 1);
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "\
+U32 fact(U32 n) {
+    if (n < 2) { return 1; }
+    return n * fact(n - 1);
+}";
+        assert_eq!(run_fn(src, "fact", &[6]), 720);
+    }
+
+    #[test]
+    fn narrow_types_mask_on_store() {
+        let src = "\
+U32 f(U32 v) {
+    U8 narrow;
+    narrow = v;
+    return narrow;
+}";
+        assert_eq!(run_fn(src, "f", &[0x1ff]), 0xff);
+        let src16 = "\
+U32 f(U32 v) {
+    U16 narrow = v + 1;
+    return narrow;
+}";
+        assert_eq!(run_fn(src16, "f", &[0xffff]), 0);
+    }
+
+    #[test]
+    fn block_scoping_reuses_slots() {
+        let src = "\
+U32 f(U32 v) {
+    U32 r = 0;
+    if (v > 0) { U32 t = v * 2; r = t; }
+    if (v > 1) { U32 t = v * 3; r = r + t; }
+    return r;
+}";
+        assert_eq!(run_fn(src, "f", &[2]), 4 + 6);
+    }
+
+    #[test]
+    fn struct_locals_field_arithmetic() {
+        let mut types = TypeTable::new();
+        types.declare_struct(
+            "Pair_t",
+            &[("a".into(), TypeTable::U32), ("b".into(), TypeTable::U32)],
+        );
+        let src = "\
+U32 f(U32 x) {
+    Pair_t p;
+    Pair_t q;
+    p.a = x;
+    p.b = x * 2;
+    q = p;
+    q.b = q.b + 1;
+    return p.a + q.b;
+}
+void work() { }";
+        let mut b = ProgramBuilder::new();
+        let mut di = DebugInfoBuilder::new();
+        let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+        let env = CompileEnv::bare(
+            stubs,
+            &types,
+            "t.c",
+            KernelOwner::Filter("t".into()),
+        );
+        let k = compile_kernel(src, &env, &mut b, &mut di).unwrap();
+        let f_addr = k.funcs[0].1;
+        let main = b.begin_func(0);
+        b.emit(Insn::Enter(0));
+        b.emit(Insn::Const(L2_BASE));
+        b.emit(Insn::Const(10));
+        b.emit(Insn::Call {
+            addr: f_addr,
+            argc: 1,
+        });
+        b.emit(Insn::StoreMem);
+        b.emit(Insn::Ret { retc: 0 });
+        let prog = b.finish();
+        let mut platform = Platform::new(PlatformConfig::default());
+        platform.load(prog);
+        platform.invoke(PeId(0), main, &[]);
+        let mut h = NullHandler;
+        loop {
+            platform.step_cycle(&mut h);
+            match platform.pes[0].status {
+                PeStatus::Idle => break,
+                PeStatus::Faulted(f) => panic!("fault: {f}"),
+                _ => {}
+            }
+        }
+        assert_eq!(platform.mem.peek(L2_BASE).unwrap(), 10 + 21);
+    }
+
+    #[test]
+    fn line_table_marks_statements() {
+        let mut b = ProgramBuilder::new();
+        let mut di = DebugInfoBuilder::new();
+        let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+        let types = TypeTable::new();
+        let env = CompileEnv::bare(
+            stubs,
+            &types,
+            "k.c",
+            KernelOwner::Filter("ipf".into()),
+        );
+        let src = "\
+void work() {
+    U32 a = 1;
+    U32 b = 2;
+    a = a + b;
+}";
+        compile_kernel(src, &env, &mut b, &mut di).unwrap();
+        let info = di.finish();
+        let file = info.lines.file_by_name("k.c").unwrap();
+        for line in 1..=4 {
+            assert!(
+                info.lines.addr_of_line(file, line).is_some(),
+                "line {line} missing"
+            );
+        }
+        let sym = info.symbols.resolve("IpfFilter_work_function").unwrap();
+        assert_eq!(info.symbols.resolve("ipf::work").unwrap().addr, sym.addr);
+        // Source text available for `list`.
+        assert_eq!(info.lines.file(file).line(2), Some("    U32 a = 1;"));
+    }
+
+    #[test]
+    fn controller_mangling() {
+        let mut b = ProgramBuilder::new();
+        let mut di = DebugInfoBuilder::new();
+        let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+        let types = TypeTable::new();
+        let env = CompileEnv::bare(
+            stubs,
+            &types,
+            "c.c",
+            KernelOwner::Controller {
+                module: "pred".into(),
+            },
+        );
+        compile_kernel("void work() { }", &env, &mut b, &mut di).unwrap();
+        let info = di.finish();
+        assert!(info
+            .symbols
+            .resolve("_component_PredModule_anon_0_work")
+            .is_some());
+        assert!(info.symbols.resolve("pred_controller::work").is_some());
+    }
+
+    #[test]
+    fn compile_errors_are_helpful() {
+        let types = TypeTable::new();
+        for (src, needle) in [
+            ("void work() { y = 1; }", "unknown variable"),
+            ("void work() { pedf.io.zzz[0] = 1; }", "unknown connection"),
+            ("void work() { U32 a; U32 a; }", "already declared"),
+            ("void work() { break; }", "outside a loop"),
+            ("void f() { }", "no `void work()`"),
+            ("U32 work() { return 1; }", "void work()"),
+            ("void work() { pedf.data.np = 1; }", "unknown pedf.data"),
+            ("void work() { U32 a = g(); }", "unknown function"),
+            ("void work() { pedf.fire(nobody); }", "unknown filter"),
+            ("void work() { return 1; }", "void function returns"),
+            ("U32 f(U32 a) { }\nvoid work() { U32 x = f(1, 2); }", "argument"),
+        ] {
+            let mut b = ProgramBuilder::new();
+            let mut di = DebugInfoBuilder::new();
+            let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+            let env = CompileEnv::bare(
+                stubs,
+                &types,
+                "k.c",
+                KernelOwner::Filter("x".into()),
+            );
+            let e = compile_kernel(src, &env, &mut b, &mut di)
+                .expect_err(src);
+            assert!(
+                e.msg.contains(needle),
+                "src `{src}`: expected `{needle}` in `{}`",
+                e.msg
+            );
+        }
+    }
+
+    #[test]
+    fn step_events_fire_for_calls() {
+        // Compiled calls produce Called/Returned events the debugger's
+        // `step`/`finish` logic depends on.
+        let src = "\
+U32 half(U32 v) { return v / 2; }
+void work() { }";
+        let mut b = ProgramBuilder::new();
+        let mut di = DebugInfoBuilder::new();
+        let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+        let types = TypeTable::new();
+        let env = CompileEnv::bare(
+            stubs,
+            &types,
+            "t.c",
+            KernelOwner::Filter("t".into()),
+        );
+        let k = compile_kernel(src, &env, &mut b, &mut di).unwrap();
+        let half = k.funcs[0].1;
+        let main = b.begin_func(0);
+        b.emit(Insn::Enter(0));
+        b.emit(Insn::Const(8));
+        b.emit(Insn::Call {
+            addr: half,
+            argc: 1,
+        });
+        b.emit(Insn::Drop);
+        b.emit(Insn::Ret { retc: 0 });
+        let prog = b.finish();
+
+        let mut pe = p2012::PeState::default();
+        let mut mem = p2012::Memory::new(p2012::MemoryMap::default());
+        pe.invoke(main, &[]);
+        let mut saw_call = false;
+        loop {
+            match pe.step(&prog, &mut mem) {
+                StepEvent::Called { to, .. } if to == half => saw_call = true,
+                StepEvent::TaskComplete => break,
+                StepEvent::Fault(f) => panic!("{f}"),
+                _ => {}
+            }
+        }
+        assert!(saw_call);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Compiled arithmetic must agree with Rust's wrapping u32
+            /// semantics for a representative expression.
+            #[test]
+            fn compiled_matches_reference(a in any::<u32>(), b in 1u32..1000) {
+                let src = "U32 f(U32 a, U32 b) {\
+                    return (a + b * 7 ^ a >> 3) | (b & 0xFF);\
+                }";
+                let got = run_fn(src, "f", &[a, b]);
+                let expect = (a.wrapping_add(b.wrapping_mul(7)) ^ (a >> 3))
+                    | (b & 0xff);
+                prop_assert_eq!(got, expect);
+            }
+
+            /// Loop accumulation equals the closed form.
+            #[test]
+            fn sum_loop_matches(n in 0u32..200) {
+                let src = "U32 f(U32 n) {\
+                    U32 acc = 0; U32 i;\
+                    for (i = 1; i <= n; i = i + 1) { acc = acc + i; }\
+                    return acc;\
+                }";
+                prop_assert_eq!(run_fn(src, "f", &[n]), n * (n + 1) / 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! Parser for the MIND architecture description language with PEDF
+//! annotations (§IV-A).
+//!
+//! The grammar is taken from the paper's own listings:
+//!
+//! ```text
+//! @Module
+//! composite AModule {
+//!     contains as controller {
+//!         output U32 as cmd_out_1;
+//!         source ctrl_source.c;
+//!     }
+//!     input U32 as module_in;
+//!     output U32 as module_out;
+//!     contains AFilter as filter_1;
+//!     binds controller.cmd_out_1 to filter_1.cmd_in;
+//!     binds this.module_in to filter_1.an_input;
+//! }
+//!
+//! @Filter
+//! primitive AFilter {
+//!     data      stddefs.h:U32 a_private_data;
+//!     attribute stddefs.h:U32 an_attribute;
+//!     source    the_source.c;
+//!     input stddefs.h:U32 as an_input;
+//!     output stddefs.h:U32 as an_output;
+//! }
+//! ```
+//!
+//! Two documented extensions (DESIGN.md): `@Struct record T { ... }`
+//! declares token record types (the paper's `CbCrMB_t` exists in a header
+//! we do not have), and `binds ... to ... cap N;` overrides a link's FIFO
+//! capacity (needed to reproduce Fig. 4's 20-token backlog).
+
+use std::fmt;
+
+/// Parse error with 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdlError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for AdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ADL line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AdlError {}
+
+// ---- AST -------------------------------------------------------------
+
+/// A type reference, optionally qualified by a header (`stddefs.h:U32`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeRef {
+    pub header: Option<String>,
+    pub name: String,
+}
+
+/// A declared record type (extension).
+#[derive(Debug, Clone)]
+pub struct RecordDecl {
+    pub name: String,
+    pub fields: Vec<(String, TypeRef)>,
+    pub line: u32,
+}
+
+/// One port declaration.
+#[derive(Debug, Clone)]
+pub struct PortDecl {
+    pub is_input: bool,
+    pub ty: TypeRef,
+    pub name: String,
+    pub line: u32,
+}
+
+/// A `primitive` (filter type) declaration.
+#[derive(Debug, Clone)]
+pub struct FilterDecl {
+    pub name: String,
+    pub data: Vec<(String, TypeRef)>,
+    pub attributes: Vec<(String, TypeRef)>,
+    pub source: Option<String>,
+    pub ports: Vec<PortDecl>,
+    pub line: u32,
+}
+
+/// An inline controller inside a composite.
+#[derive(Debug, Clone)]
+pub struct ControllerDecl {
+    pub ports: Vec<PortDecl>,
+    pub attributes: Vec<(String, TypeRef)>,
+    pub source: Option<String>,
+    pub line: u32,
+}
+
+/// `contains TypeName as instance;`
+#[derive(Debug, Clone)]
+pub struct ContainsDecl {
+    pub type_name: String,
+    pub instance: String,
+    pub line: u32,
+}
+
+/// One endpoint of a `binds` clause: `this.x` or `instance.x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// `None` means `this` (the enclosing composite).
+    pub instance: Option<String>,
+    pub conn: String,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.instance {
+            Some(i) => write!(f, "{i}.{}", self.conn),
+            None => write!(f, "this.{}", self.conn),
+        }
+    }
+}
+
+/// `binds a.x to b.y [cap N];`
+#[derive(Debug, Clone)]
+pub struct BindDecl {
+    pub from: Endpoint,
+    pub to: Endpoint,
+    pub capacity: Option<u32>,
+    pub line: u32,
+}
+
+/// A `composite` (module type) declaration.
+#[derive(Debug, Clone)]
+pub struct ModuleDecl {
+    pub name: String,
+    pub controller: Option<ControllerDecl>,
+    pub ports: Vec<PortDecl>,
+    pub contains: Vec<ContainsDecl>,
+    pub binds: Vec<BindDecl>,
+    pub line: u32,
+}
+
+/// A parsed ADL file.
+#[derive(Debug, Clone, Default)]
+pub struct AdlFile {
+    pub records: Vec<RecordDecl>,
+    pub filters: Vec<FilterDecl>,
+    pub modules: Vec<ModuleDecl>,
+}
+
+impl AdlFile {
+    pub fn filter(&self, name: &str) -> Option<&FilterDecl> {
+        self.filters.iter().find(|f| f.name == name)
+    }
+
+    pub fn module(&self, name: &str) -> Option<&ModuleDecl> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The root composite: the unique module not contained by any other.
+    pub fn root(&self) -> Result<&ModuleDecl, AdlError> {
+        let contained: Vec<&str> = self
+            .modules
+            .iter()
+            .flat_map(|m| m.contains.iter().map(|c| c.type_name.as_str()))
+            .collect();
+        let mut roots = self
+            .modules
+            .iter()
+            .filter(|m| !contained.contains(&m.name.as_str()));
+        let root = roots.next().ok_or_else(|| AdlError {
+            line: 0,
+            msg: "no root composite (every module is contained)".into(),
+        })?;
+        if let Some(extra) = roots.next() {
+            return Err(AdlError {
+                line: extra.line,
+                msg: format!(
+                    "ambiguous root: both `{}` and `{}` are top-level",
+                    root.name, extra.name
+                ),
+            });
+        }
+        Ok(root)
+    }
+}
+
+// ---- lexer ------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum T {
+    Ident(String),
+    Num(u32),
+    At,
+    LBrace,
+    RBrace,
+    Semi,
+    Dot,
+    Colon,
+}
+
+impl fmt::Display for T {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            T::Ident(s) => write!(f, "`{s}`"),
+            T::Num(n) => write!(f, "`{n}`"),
+            T::At => write!(f, "`@`"),
+            T::LBrace => write!(f, "`{{`"),
+            T::RBrace => write!(f, "`}}`"),
+            T::Semi => write!(f, "`;`"),
+            T::Dot => write!(f, "`.`"),
+            T::Colon => write!(f, "`:`"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(T, u32)>, AdlError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < chars.len()
+                    && !(chars[i] == '*' && chars[i + 1] == '/')
+                {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(AdlError {
+                        line,
+                        msg: "unterminated comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '@' => {
+                out.push((T::At, line));
+                i += 1;
+            }
+            '{' => {
+                out.push((T::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                out.push((T::RBrace, line));
+                i += 1;
+            }
+            ';' => {
+                out.push((T::Semi, line));
+                i += 1;
+            }
+            '.' => {
+                out.push((T::Dot, line));
+                i += 1;
+            }
+            ':' => {
+                out.push((T::Colon, line));
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                out.push((T::Ident(chars[s..i].iter().collect()), line));
+            }
+            c if c.is_ascii_digit() => {
+                let s = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let txt: String = chars[s..i].iter().collect();
+                let n = txt.parse().map_err(|_| AdlError {
+                    line,
+                    msg: format!("number `{txt}` out of range"),
+                })?;
+                out.push((T::Num(n), line));
+            }
+            other => {
+                return Err(AdlError {
+                    line,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---- parser ------------------------------------------------------------
+
+struct P {
+    toks: Vec<(T, u32)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&T> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err<X>(&self, msg: impl Into<String>) -> Result<X, AdlError> {
+        Err(AdlError {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<T> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: T) -> Result<(), AdlError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected {want}, found {t}"))
+            }
+            None => self.err(format!("expected {want}, found end of file")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AdlError> {
+        match self.bump() {
+            Some(T::Ident(s)) => Ok(s),
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {t}"))
+            }
+            None => self.err("expected identifier, found end of file"),
+        }
+    }
+
+    /// Keyword = identifier with a fixed spelling.
+    fn keyword(&mut self, kw: &str) -> Result<(), AdlError> {
+        let line = self.line();
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(AdlError {
+                line,
+                msg: format!("expected `{kw}`, found `{got}`"),
+            })
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(T::Ident(s)) if s == kw)
+    }
+
+    /// `stddefs.h:U32` | `U32` | `CbCrMB_t` — also used for source file
+    /// names (`the_source.c`), returned joined with dots.
+    fn dotted_name(&mut self) -> Result<String, AdlError> {
+        let mut s = self.ident()?;
+        while self.peek() == Some(&T::Dot) {
+            self.bump();
+            s.push('.');
+            s.push_str(&self.ident()?);
+        }
+        Ok(s)
+    }
+
+    fn type_ref(&mut self) -> Result<TypeRef, AdlError> {
+        let first = self.dotted_name()?;
+        if self.peek() == Some(&T::Colon) {
+            self.bump();
+            let name = self.ident()?;
+            Ok(TypeRef {
+                header: Some(first),
+                name,
+            })
+        } else {
+            Ok(TypeRef {
+                header: None,
+                name: first,
+            })
+        }
+    }
+
+    fn port(&mut self, is_input: bool) -> Result<PortDecl, AdlError> {
+        let line = self.line();
+        self.bump(); // input/output keyword
+        let ty = self.type_ref()?;
+        self.keyword("as")?;
+        let name = self.ident()?;
+        self.expect(T::Semi)?;
+        Ok(PortDecl {
+            is_input,
+            ty,
+            name,
+            line,
+        })
+    }
+
+    fn record(&mut self) -> Result<RecordDecl, AdlError> {
+        let line = self.line();
+        self.keyword("record")?;
+        let name = self.ident()?;
+        self.expect(T::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != Some(&T::RBrace) {
+            let ty = self.type_ref()?;
+            let fname = self.ident()?;
+            self.expect(T::Semi)?;
+            fields.push((fname, ty));
+        }
+        self.expect(T::RBrace)?;
+        Ok(RecordDecl { name, fields, line })
+    }
+
+    fn filter(&mut self) -> Result<FilterDecl, AdlError> {
+        let line = self.line();
+        self.keyword("primitive")?;
+        let name = self.ident()?;
+        self.expect(T::LBrace)?;
+        let mut f = FilterDecl {
+            name,
+            data: Vec::new(),
+            attributes: Vec::new(),
+            source: None,
+            ports: Vec::new(),
+            line,
+        };
+        while self.peek() != Some(&T::RBrace) {
+            if self.at_ident("data") {
+                self.bump();
+                let ty = self.type_ref()?;
+                let n = self.ident()?;
+                self.expect(T::Semi)?;
+                f.data.push((n, ty));
+            } else if self.at_ident("attribute") {
+                self.bump();
+                let ty = self.type_ref()?;
+                let n = self.ident()?;
+                self.expect(T::Semi)?;
+                f.attributes.push((n, ty));
+            } else if self.at_ident("source") {
+                self.bump();
+                let src = self.dotted_name()?;
+                self.expect(T::Semi)?;
+                f.source = Some(src);
+            } else if self.at_ident("input") {
+                let p = self.port(true)?;
+                f.ports.push(p);
+            } else if self.at_ident("output") {
+                let p = self.port(false)?;
+                f.ports.push(p);
+            } else {
+                return self.err("expected data/attribute/source/input/output");
+            }
+        }
+        self.expect(T::RBrace)?;
+        Ok(f)
+    }
+
+    fn endpoint(&mut self) -> Result<Endpoint, AdlError> {
+        let first = self.ident()?;
+        self.expect(T::Dot)?;
+        let conn = self.ident()?;
+        Ok(Endpoint {
+            instance: if first == "this" { None } else { Some(first) },
+            conn,
+        })
+    }
+
+    fn module(&mut self) -> Result<ModuleDecl, AdlError> {
+        let line = self.line();
+        self.keyword("composite")?;
+        let name = self.ident()?;
+        self.expect(T::LBrace)?;
+        let mut m = ModuleDecl {
+            name,
+            controller: None,
+            ports: Vec::new(),
+            contains: Vec::new(),
+            binds: Vec::new(),
+            line,
+        };
+        while self.peek() != Some(&T::RBrace) {
+            if self.at_ident("contains") {
+                let cline = self.line();
+                self.bump();
+                if self.at_ident("as") {
+                    // inline controller: `contains as controller { ... }`
+                    self.bump();
+                    self.keyword("controller")?;
+                    self.expect(T::LBrace)?;
+                    let mut c = ControllerDecl {
+                        ports: Vec::new(),
+                        attributes: Vec::new(),
+                        source: None,
+                        line: cline,
+                    };
+                    while self.peek() != Some(&T::RBrace) {
+                        if self.at_ident("source") {
+                            self.bump();
+                            let s = self.dotted_name()?;
+                            self.expect(T::Semi)?;
+                            c.source = Some(s);
+                        } else if self.at_ident("attribute") {
+                            self.bump();
+                            let ty = self.type_ref()?;
+                            let n = self.ident()?;
+                            self.expect(T::Semi)?;
+                            c.attributes.push((n, ty));
+                        } else if self.at_ident("input") {
+                            let p = self.port(true)?;
+                            c.ports.push(p);
+                        } else if self.at_ident("output") {
+                            let p = self.port(false)?;
+                            c.ports.push(p);
+                        } else {
+                            return self
+                                .err("expected source/attribute/input/output");
+                        }
+                    }
+                    self.expect(T::RBrace)?;
+                    if m.controller.is_some() {
+                        return Err(AdlError {
+                            line: cline,
+                            msg: format!(
+                                "module `{}` has two controllers",
+                                m.name
+                            ),
+                        });
+                    }
+                    m.controller = Some(c);
+                } else {
+                    let type_name = self.ident()?;
+                    self.keyword("as")?;
+                    let instance = self.ident()?;
+                    self.expect(T::Semi)?;
+                    m.contains.push(ContainsDecl {
+                        type_name,
+                        instance,
+                        line: cline,
+                    });
+                }
+            } else if self.at_ident("input") {
+                let p = self.port(true)?;
+                m.ports.push(p);
+            } else if self.at_ident("output") {
+                let p = self.port(false)?;
+                m.ports.push(p);
+            } else if self.at_ident("binds") {
+                let bline = self.line();
+                self.bump();
+                let from = self.endpoint()?;
+                self.keyword("to")?;
+                let to = self.endpoint()?;
+                let capacity = if self.at_ident("cap") {
+                    self.bump();
+                    match self.bump() {
+                        Some(T::Num(n)) if n > 0 => Some(n),
+                        _ => {
+                            self.pos -= 1;
+                            return self.err("cap needs a positive number");
+                        }
+                    }
+                } else {
+                    None
+                };
+                self.expect(T::Semi)?;
+                m.binds.push(BindDecl {
+                    from,
+                    to,
+                    capacity,
+                    line: bline,
+                });
+            } else {
+                return self.err(
+                    "expected contains/input/output/binds inside composite",
+                );
+            }
+        }
+        self.expect(T::RBrace)?;
+        Ok(m)
+    }
+}
+
+/// Parse an ADL source file.
+pub fn parse(src: &str) -> Result<AdlFile, AdlError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut file = AdlFile::default();
+    while p.peek().is_some() {
+        p.expect(T::At)?;
+        let anno = p.ident()?;
+        match anno.as_str() {
+            "Struct" => file.records.push(p.record()?),
+            "Filter" => file.filters.push(p.filter()?),
+            "Module" => file.modules.push(p.module()?),
+            other => {
+                return Err(AdlError {
+                    line: p.line(),
+                    msg: format!(
+                        "unknown annotation `@{other}` \
+                         (expected @Struct/@Filter/@Module)"
+                    ),
+                })
+            }
+        }
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's own AModule/AFilter listing, §IV-A, verbatim modulo
+    /// whitespace.
+    pub const PAPER_LISTING: &str = "\
+@Module
+composite AModule {
+  contains as controller {
+    output U32 as cmd_out_1;
+    output U32 as cmd_out_2;
+    source ctrl_source.c;
+  }
+  // External connections
+  input U32 as module_in;
+  output U32 as module_out;
+  // Sub-components
+  contains AFilter as filter_1;
+  contains AFilter as filter_2;
+  // Connections
+  binds controller.cmd_out_1
+     to filter_1.cmd_in;
+  binds controller.cmd_out_2
+     to filter_2.cmd_in;
+  binds this.module_in
+     to filter_1.an_input;
+  binds filter_1.an_output
+     to filter_2.an_input;
+  binds filter_2.an_output
+     to this.module_out;
+}
+
+@Filter
+primitive AFilter {
+  data      stddefs.h:U32 a_private_data;
+  attribute stddefs.h:U32 an_attribute;
+  source    the_source.c;
+  input stddefs.h:U32 as an_input;
+  input stddefs.h:U8 as cmd_in;
+  output stddefs.h:U32 as an_output;
+}
+";
+
+    #[test]
+    fn parses_the_paper_listing() {
+        let f = parse(PAPER_LISTING).unwrap();
+        assert_eq!(f.modules.len(), 1);
+        assert_eq!(f.filters.len(), 1);
+        let m = &f.modules[0];
+        assert_eq!(m.name, "AModule");
+        assert_eq!(m.contains.len(), 2);
+        assert_eq!(m.binds.len(), 5);
+        assert_eq!(m.ports.len(), 2);
+        let c = m.controller.as_ref().unwrap();
+        assert_eq!(c.ports.len(), 2);
+        assert_eq!(c.source.as_deref(), Some("ctrl_source.c"));
+
+        let filt = &f.filters[0];
+        assert_eq!(filt.name, "AFilter");
+        assert_eq!(filt.data.len(), 1);
+        assert_eq!(filt.attributes.len(), 1);
+        assert_eq!(filt.source.as_deref(), Some("the_source.c"));
+        assert_eq!(filt.ports.len(), 3);
+        assert_eq!(
+            filt.ports[0].ty,
+            TypeRef {
+                header: Some("stddefs.h".into()),
+                name: "U32".into()
+            }
+        );
+        assert_eq!(f.root().unwrap().name, "AModule");
+    }
+
+    #[test]
+    fn this_endpoints_and_capacity() {
+        let f = parse(
+            "@Module composite M {\
+               input U32 as i; output U32 as o;\
+               contains F as f;\
+               binds this.i to f.x cap 20;\
+               binds f.y to this.o;\
+             }\
+             @Filter primitive F {\
+               input U32 as x; output U32 as y;\
+             }",
+        )
+        .unwrap();
+        let m = &f.modules[0];
+        assert_eq!(m.binds[0].capacity, Some(20));
+        assert_eq!(m.binds[0].from.instance, None);
+        assert_eq!(m.binds[1].to, Endpoint {
+            instance: None,
+            conn: "o".into()
+        });
+    }
+
+    #[test]
+    fn struct_records() {
+        let f = parse(
+            "@Struct record CbCrMB_t { U32 Addr; U8 InterNotIntra; I32 Izz; }",
+        )
+        .unwrap();
+        assert_eq!(f.records[0].fields.len(), 3);
+        assert_eq!(f.records[0].fields[1].0, "InterNotIntra");
+    }
+
+    #[test]
+    fn root_detection() {
+        let f = parse(
+            "@Module composite A { contains B as b; }\
+             @Module composite B { }",
+        )
+        .unwrap();
+        assert_eq!(f.root().unwrap().name, "A");
+        let g = parse(
+            "@Module composite A { }\
+             @Module composite B { }",
+        )
+        .unwrap();
+        assert!(g.root().is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("@Bogus primitive F { }").is_err());
+        assert!(parse("@Filter primitive F { junk x; }").is_err());
+        assert!(parse("@Module composite M { binds a.b to c.d cap 0; }")
+            .is_err());
+        assert!(parse("@Module composite M { contains as controller { } \
+                        contains as controller { } }")
+            .is_err());
+        let e = parse("@Module composite M {\n  whatever;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,985 @@
+//! Elaboration: ADL → placed, compiled, bootable application image.
+//!
+//! This is the MIND compiler's job in the paper's tool-chain (§IV-A): it
+//! "generates a C++ version of the architecture, based on PEDF and
+//! platform-specific templates". Our elaborator:
+//!
+//! 1. resolves record types into the shared [`TypeTable`];
+//! 2. instantiates the composite hierarchy into actors (modules,
+//!    controllers, filters) with stable, contiguous ids;
+//! 3. maps actors onto processing elements (one module per cluster,
+//!    controllers on general-purpose PEs, filters on PEs or hardware
+//!    accelerators);
+//! 4. allocates simulated memory: token FIFOs (L1 intra-cluster, L2
+//!    inter-cluster, L3 at the host boundary), filter private data and
+//!    attributes (with object symbols so watchpoints work on them);
+//! 5. **flattens bindings**: chains through module boundary ports are
+//!    collapsed so every link connects a concrete producer to a concrete
+//!    consumer (or a root boundary port — the host side);
+//! 6. compiles every kernel with [`kernelc`];
+//! 7. generates the *boot program*: host bytecode that registers the whole
+//!    graph through the `pedf_register_*` API and ends with
+//!    `pedf_boot_complete` — the very calls the debugger breakpoints to
+//!    reconstruct the graph (Contribution #1).
+
+use std::collections::HashMap;
+
+use debuginfo::{
+    mangle, CodeAddr, DebugInfo, DebugInfoBuilder, SymbolKind, TypeId,
+    TypeTable,
+};
+use kernelc::{CompileEnv, KernelOwner};
+use p2012::{
+    memory::{L2_BASE, L3_BASE},
+    Insn, PeClass, PeId, Platform, PlatformConfig, ProgramBuilder,
+};
+use pedf::{
+    api, ActorId, ActorKind, AppGraph, ConnId, Dir, LinkClass, Runtime,
+    StringPool, System,
+};
+
+use crate::adl::{self, AdlFile, ModuleDecl, TypeRef};
+
+/// Elaboration/compilation failure.
+#[derive(Debug, Clone)]
+pub struct BuildError {
+    pub msg: String,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<adl::AdlError> for BuildError {
+    fn from(e: adl::AdlError) -> Self {
+        BuildError { msg: e.to_string() }
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, BuildError> {
+    Err(BuildError { msg: msg.into() })
+}
+
+/// In-memory registry of kernel source files referenced by `source` ADL
+/// clauses (the tool-chain's sysroot).
+#[derive(Debug, Clone, Default)]
+pub struct SourceRegistry {
+    files: HashMap<String, String>,
+}
+
+impl SourceRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, name: &str, text: &str) -> &mut Self {
+        self.files.insert(name.to_string(), text.to_string());
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(String::as_str)
+    }
+}
+
+/// Everything the host tooling (debugger, examples, benchmarks) needs to
+/// know about a built application.
+#[derive(Debug)]
+pub struct CompiledApp {
+    pub info: DebugInfo,
+    pub types: TypeTable,
+    pub boot_entry: CodeAddr,
+    /// The statically elaborated graph — identical to what the runtime
+    /// rebuilds at boot (pinned by tests).
+    pub graph: AppGraph,
+    /// Root module ports: name → connection, for env source/sink hookup.
+    pub boundary_in: HashMap<String, ConnId>,
+    pub boundary_out: HashMap<String, ConnId>,
+    /// `pedf.data.*` / `pedf.attribute.*` placement: (actor, name) →
+    /// (address, type). Attributes are included with their own names.
+    pub data_addrs: HashMap<(ActorId, String), (u32, TypeId)>,
+}
+
+impl CompiledApp {
+    pub fn actor(&self, name: &str) -> Option<ActorId> {
+        self.graph.actor_by_name(name).map(|a| a.id)
+    }
+
+    /// Resolve `actor::conn` notation (the debugger's interface syntax).
+    pub fn conn(&self, spec: &str) -> Option<ConnId> {
+        let (actor, conn) = spec.split_once("::")?;
+        let a = self.graph.actor_by_name(actor)?;
+        self.graph.conn_by_name(a.id, conn).map(|c| c.id)
+    }
+
+    pub fn data_addr(&self, actor: ActorId, name: &str) -> Option<(u32, TypeId)> {
+        self.data_addrs.get(&(actor, name.to_string())).copied()
+    }
+}
+
+// ---- internal specs -----------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PortSpec {
+    name: String,
+    dir: Dir,
+    ty: TypeId,
+}
+
+#[derive(Debug)]
+struct ActorSpec {
+    kind: ActorKind,
+    /// Display name: instance name; controllers get `{module}_controller`.
+    short: String,
+    parent: Option<u32>,
+    ports: Vec<PortSpec>,
+    data: Vec<(String, TypeId)>,
+    attrs: Vec<(String, TypeId)>,
+    source: Option<String>,
+    /// Index of the enclosing scheduling module (self for modules).
+    sched_module: usize,
+    pe: Option<PeId>,
+    work: Option<CodeAddr>,
+    /// Name used in `binds` clauses (`controller`, instance name).
+    bind_name: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConnSpec {
+    actor: u32,
+    port: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkSpec {
+    from: u32,
+    to: u32,
+    cap: u32,
+    class: LinkClass,
+    base: u32,
+}
+
+/// Simple bump allocator over the platform memory map.
+struct Alloc {
+    l1_next: Vec<u32>,
+    l2_next: u32,
+    l3_next: u32,
+    l1_words: u32,
+    l2_words: u32,
+    l3_words: u32,
+}
+
+impl Alloc {
+    fn new(map: &p2012::MemoryMap) -> Self {
+        Alloc {
+            l1_next: (0..map.clusters).map(|c| map.l1_base(c) + 16).collect(),
+            l2_next: L2_BASE + 16,
+            l3_next: L3_BASE + 16,
+            l1_words: map.l1_words,
+            l2_words: map.l2_words,
+            l3_words: map.l3_words,
+        }
+    }
+
+    fn l1(&mut self, cluster: u16, words: u32) -> Result<u32, BuildError> {
+        let base = self.l1_next[cluster as usize];
+        let limit = p2012::memory::L1_BASE
+            + u32::from(cluster) * p2012::memory::L1_STRIDE
+            + self.l1_words;
+        if base + words > limit {
+            return err(format!("L1[{cluster}] exhausted"));
+        }
+        self.l1_next[cluster as usize] += words;
+        Ok(base)
+    }
+
+    fn l2(&mut self, words: u32) -> Result<u32, BuildError> {
+        let base = self.l2_next;
+        if base + words > L2_BASE + self.l2_words {
+            return err("L2 exhausted");
+        }
+        self.l2_next += words;
+        Ok(base)
+    }
+
+    fn l3(&mut self, words: u32) -> Result<u32, BuildError> {
+        let base = self.l3_next;
+        if base + words > L3_BASE + self.l3_words {
+            return err("L3 exhausted");
+        }
+        self.l3_next += words;
+        Ok(base)
+    }
+}
+
+/// PE pool: hands out processing elements cluster by cluster.
+struct PePool {
+    /// (pe, cluster, is_accel), free ones.
+    free: Vec<(PeId, u16, bool)>,
+}
+
+impl PePool {
+    fn new(platform: &Platform) -> Self {
+        PePool {
+            free: platform
+                .infos
+                .iter()
+                .filter(|i| i.class != PeClass::ArmHost)
+                .map(|i| (i.id, i.cluster, i.class == PeClass::HwAccel))
+                .collect(),
+        }
+    }
+
+    /// Take a general-purpose PE, preferring `cluster`.
+    fn take_cpu(&mut self, cluster: u16) -> Option<PeId> {
+        let pos = self
+            .free
+            .iter()
+            .position(|(_, c, acc)| !acc && *c == cluster)
+            .or_else(|| self.free.iter().position(|(_, _, acc)| !acc))?;
+        Some(self.free.remove(pos).0)
+    }
+
+    /// Take any PE (accelerators welcome — filters are meant to be
+    /// synthesized), preferring accelerators of `cluster`, then CPUs of
+    /// `cluster`, then anything.
+    fn take_filter(&mut self, cluster: u16) -> Option<PeId> {
+        let pos = self
+            .free
+            .iter()
+            .position(|(_, c, acc)| *acc && *c == cluster)
+            .or_else(|| {
+                self.free
+                    .iter()
+                    .position(|(_, c, acc)| !acc && *c == cluster)
+            })
+            .or_else(|| (!self.free.is_empty()).then_some(0))?;
+        Some(self.free.remove(pos).0)
+    }
+}
+
+// ---- elaboration ---------------------------------------------------------
+
+struct Elab<'a> {
+    adl: &'a AdlFile,
+    types: TypeTable,
+    actors: Vec<ActorSpec>,
+    conns: Vec<ConnSpec>,
+    /// (actor idx, port idx) -> conn id
+    conn_ids: HashMap<(u32, String), u32>,
+    /// Scheduling-module instances in traversal order (actor indices).
+    module_count: usize,
+}
+
+impl<'a> Elab<'a> {
+    fn resolve_type(&self, t: &TypeRef, ctx: &str) -> Result<TypeId, BuildError> {
+        if let Some(s) = debuginfo::ScalarType::parse(&t.name) {
+            return Ok(TypeTable::scalar_id(s));
+        }
+        self.types.lookup_by_name(&t.name).ok_or_else(|| BuildError {
+            msg: format!("unknown type `{}` in {ctx}", t.name),
+        })
+    }
+
+    fn add_conn(&mut self, actor: u32, port: usize) -> u32 {
+        let id = self.conns.len() as u32;
+        let name = self.actors[actor as usize].ports[port].name.clone();
+        self.conns.push(ConnSpec { actor, port });
+        self.conn_ids.insert((actor, name), id);
+        id
+    }
+
+    /// Instantiate a composite (recursively). `instance` is the name this
+    /// instance carries in its parent (root keeps its type name,
+    /// lower-cased).
+    fn instantiate(
+        &mut self,
+        decl: &ModuleDecl,
+        instance: &str,
+        parent: Option<u32>,
+    ) -> Result<u32, BuildError> {
+        let module_idx = self.actors.len();
+        let sched_module = module_idx;
+        let mut ports = Vec::new();
+        for p in &decl.ports {
+            ports.push(PortSpec {
+                name: p.name.clone(),
+                dir: if p.is_input { Dir::In } else { Dir::Out },
+                ty: self.resolve_type(&p.ty, &decl.name)?,
+            });
+        }
+        self.actors.push(ActorSpec {
+            kind: ActorKind::Module,
+            short: instance.to_string(),
+            parent,
+            ports,
+            data: Vec::new(),
+            attrs: Vec::new(),
+            source: None,
+            sched_module,
+            pe: None,
+            work: None,
+            bind_name: instance.to_string(),
+        });
+        self.module_count += 1;
+        let module_u32 = module_idx as u32;
+
+        // Inline controller first (ids stay stable and readable).
+        if let Some(c) = &decl.controller {
+            let mut ports = Vec::new();
+            for p in &c.ports {
+                ports.push(PortSpec {
+                    name: p.name.clone(),
+                    dir: if p.is_input { Dir::In } else { Dir::Out },
+                    ty: self.resolve_type(&p.ty, &decl.name)?,
+                });
+            }
+            let mut attrs = Vec::new();
+            for (n, t) in &c.attributes {
+                attrs.push((n.clone(), self.resolve_type(t, &decl.name)?));
+            }
+            self.actors.push(ActorSpec {
+                kind: ActorKind::Controller,
+                short: format!("{instance}_controller"),
+                parent: Some(module_u32),
+                ports,
+                data: Vec::new(),
+                attrs,
+                source: c.source.clone(),
+                sched_module,
+                pe: None,
+                work: None,
+                bind_name: "controller".to_string(),
+            });
+        }
+
+        for child in &decl.contains {
+            if let Some(fd) = self.adl.filter(&child.type_name) {
+                let mut ports = Vec::new();
+                for p in &fd.ports {
+                    ports.push(PortSpec {
+                        name: p.name.clone(),
+                        dir: if p.is_input { Dir::In } else { Dir::Out },
+                        ty: self.resolve_type(&p.ty, &fd.name)?,
+                    });
+                }
+                let mut data = Vec::new();
+                for (n, t) in &fd.data {
+                    data.push((n.clone(), self.resolve_type(t, &fd.name)?));
+                }
+                let mut attrs = Vec::new();
+                for (n, t) in &fd.attributes {
+                    attrs.push((n.clone(), self.resolve_type(t, &fd.name)?));
+                }
+                self.actors.push(ActorSpec {
+                    kind: ActorKind::Filter,
+                    short: child.instance.clone(),
+                    parent: Some(module_u32),
+                    ports,
+                    data,
+                    attrs,
+                    source: fd.source.clone(),
+                    sched_module,
+                    pe: None,
+                    work: None,
+                    bind_name: child.instance.clone(),
+                });
+            } else if let Some(md) = self.adl.module(&child.type_name) {
+                self.instantiate(md, &child.instance, Some(module_u32))?;
+            } else {
+                return err(format!(
+                    "line {}: `{}` names neither a primitive nor a composite",
+                    child.line, child.type_name
+                ));
+            }
+        }
+
+        // Sanity: filters need a controller to ever run.
+        let has_filter = self.actors.iter().any(|a| {
+            a.parent == Some(module_u32) && a.kind == ActorKind::Filter
+        });
+        let has_ctrl = self.actors.iter().any(|a| {
+            a.parent == Some(module_u32) && a.kind == ActorKind::Controller
+        });
+        if has_filter && !has_ctrl {
+            return err(format!(
+                "module `{}` contains filters but no controller",
+                decl.name
+            ));
+        }
+        Ok(module_u32)
+    }
+
+    /// Resolve a bind endpoint within composite instance `module` to a
+    /// global conn id.
+    fn resolve_endpoint(
+        &self,
+        module: u32,
+        ep: &adl::Endpoint,
+        line: u32,
+    ) -> Result<u32, BuildError> {
+        let owner: u32 = match &ep.instance {
+            None => module,
+            Some(name) => self
+                .actors
+                .iter()
+                .enumerate()
+                .find(|(_, a)| {
+                    a.parent == Some(module) && a.bind_name == *name
+                })
+                .map(|(i, _)| i as u32)
+                .ok_or_else(|| BuildError {
+                    msg: format!(
+                        "line {line}: unknown instance `{name}` in binds"
+                    ),
+                })?,
+        };
+        self.conn_ids
+            .get(&(owner, ep.conn.clone()))
+            .copied()
+            .ok_or_else(|| BuildError {
+                msg: format!(
+                    "line {line}: `{}` has no connection `{}`",
+                    self.actors[owner as usize].short, ep.conn
+                ),
+            })
+    }
+}
+
+/// Build the full application: platform, compiled image, boot program,
+/// runtime — ready for [`System::boot`].
+pub fn build(
+    adl_src: &str,
+    sources: &SourceRegistry,
+    config: PlatformConfig,
+) -> Result<(System, CompiledApp), BuildError> {
+    let adl = adl::parse(adl_src)?;
+    let root_decl = adl.root()?.clone();
+
+    // 1. Types.
+    let mut types = TypeTable::new();
+    for r in &adl.records {
+        let mut fields = Vec::new();
+        for (fname, ft) in &r.fields {
+            let Some(s) = debuginfo::ScalarType::parse(&ft.name) else {
+                return err(format!(
+                    "record `{}`: field `{fname}` must be scalar",
+                    r.name
+                ));
+            };
+            fields.push((fname.clone(), TypeTable::scalar_id(s)));
+        }
+        types.declare_struct(&r.name, &fields);
+    }
+
+    // 2. Instantiate hierarchy.
+    let mut elab = Elab {
+        adl: &adl,
+        types,
+        actors: Vec::new(),
+        conns: Vec::new(),
+        conn_ids: HashMap::new(),
+        module_count: 0,
+    };
+    let root_instance = root_decl.name.to_lowercase();
+    elab.instantiate(&root_decl, &root_instance, None)?;
+
+    // 3. Connection ids, in actor order then port order.
+    for a in 0..elab.actors.len() {
+        for p in 0..elab.actors[a].ports.len() {
+            elab.add_conn(a as u32, p);
+        }
+    }
+
+    // 4. Platform + PE placement.
+    let mut platform = Platform::new(config);
+    let mut pool = PePool::new(&platform);
+    let clusters = platform.config.clusters;
+    // Cluster of each scheduling module: modules with executable content
+    // get clusters round-robin, in traversal order.
+    let mut module_cluster: HashMap<usize, u16> = HashMap::new();
+    let mut next_cluster = 0u16;
+    for i in 0..elab.actors.len() {
+        if elab.actors[i].kind != ActorKind::Module {
+            continue;
+        }
+        let busy = elab
+            .actors
+            .iter()
+            .any(|a| a.sched_module == i && a.kind != ActorKind::Module);
+        if busy {
+            module_cluster.insert(i, next_cluster % clusters);
+            next_cluster += 1;
+        }
+    }
+    for i in 0..elab.actors.len() {
+        let (kind, sched) = (elab.actors[i].kind, elab.actors[i].sched_module);
+        let cluster = module_cluster.get(&sched).copied().unwrap_or(0);
+        let pe = match kind {
+            ActorKind::Controller => pool.take_cpu(cluster),
+            ActorKind::Filter => pool.take_filter(cluster),
+            ActorKind::Module => continue,
+        };
+        match pe {
+            Some(pe) => elab.actors[i].pe = Some(pe),
+            None => {
+                return err(format!(
+                    "not enough processing elements: `{}` cannot be placed",
+                    elab.actors[i].short
+                ))
+            }
+        }
+    }
+
+    // 5. Memory for data/attributes (+ object symbols later).
+    let mut alloc = Alloc::new(platform.mem.map());
+    let mut data_addrs: HashMap<(ActorId, String), (u32, TypeId)> =
+        HashMap::new();
+    for i in 0..elab.actors.len() {
+        let cluster = module_cluster
+            .get(&elab.actors[i].sched_module)
+            .copied()
+            .unwrap_or(0);
+        let all: Vec<(String, TypeId)> = elab.actors[i]
+            .data
+            .iter()
+            .chain(elab.actors[i].attrs.iter())
+            .cloned()
+            .collect();
+        for (name, ty) in all {
+            let words = elab.types.size_words(ty);
+            let addr = alloc.l1(cluster, words)?;
+            data_addrs.insert((ActorId(i as u32), name), (addr, ty));
+        }
+    }
+
+    // 6. Flatten bindings into links.
+    // Collect all edges: (from conn, to conn, cap, line), resolved globally.
+    let mut decl_of_instance: HashMap<u32, &ModuleDecl> = HashMap::new();
+    {
+        // Rebuild which decl each module instance came from by matching
+        // traversal order: instantiate() visited composites depth-first.
+        fn visit<'d>(
+            adl: &'d AdlFile,
+            decl: &'d ModuleDecl,
+            actors: &[ActorSpec],
+            cursor: &mut usize,
+            out: &mut HashMap<u32, &'d ModuleDecl>,
+        ) {
+            // Find the next module actor starting at cursor.
+            while *cursor < actors.len()
+                && actors[*cursor].kind != ActorKind::Module
+            {
+                *cursor += 1;
+            }
+            let me = *cursor as u32;
+            *cursor += 1;
+            out.insert(me, decl);
+            for child in &decl.contains {
+                if let Some(md) = adl.module(&child.type_name) {
+                    visit(adl, md, actors, cursor, out);
+                }
+            }
+        }
+        let mut cursor = 0usize;
+        visit(
+            &adl,
+            &root_decl,
+            &elab.actors,
+            &mut cursor,
+            &mut decl_of_instance,
+        );
+    }
+
+    struct Edge {
+        to: u32,
+        cap: Option<u32>,
+        line: u32,
+        used: bool,
+    }
+    let mut out_edges: HashMap<u32, Edge> = HashMap::new();
+    for (&module, decl) in &decl_of_instance {
+        for b in &decl.binds {
+            let from = elab.resolve_endpoint(module, &b.from, b.line)?;
+            let to = elab.resolve_endpoint(module, &b.to, b.line)?;
+            if out_edges
+                .insert(
+                    from,
+                    Edge {
+                        to,
+                        cap: b.capacity,
+                        line: b.line,
+                        used: false,
+                    },
+                )
+                .is_some()
+            {
+                return err(format!(
+                    "line {}: connection bound twice (fan-out is not \
+                     allowed in PEDF)",
+                    b.line
+                ));
+            }
+        }
+    }
+
+    // A conn is "concrete" if it belongs to a filter or controller; root
+    // ports are host-boundary endpoints; other module ports are aliases.
+    let root_actor = 0u32;
+    let is_alias = |conn: u32, elab: &Elab| -> bool {
+        let a = elab.conns[conn as usize].actor;
+        elab.actors[a as usize].kind == ActorKind::Module && a != root_actor
+    };
+    let conn_dir = |conn: u32, elab: &Elab| -> Dir {
+        let c = elab.conns[conn as usize];
+        elab.actors[c.actor as usize].ports[c.port].dir
+    };
+    let conn_ty = |conn: u32, elab: &Elab| -> TypeId {
+        let c = elab.conns[conn as usize];
+        elab.actors[c.actor as usize].ports[c.port].ty
+    };
+
+    // Chain starts: concrete outputs, or root inputs.
+    let mut links: Vec<LinkSpec> = Vec::new();
+    let start_keys: Vec<u32> = {
+        let mut keys: Vec<u32> = out_edges.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    };
+    for start in start_keys {
+        let start_is_root_in = elab.conns[start as usize].actor == root_actor
+            && conn_dir(start, &elab) == Dir::In;
+        let start_concrete = !is_alias(start, &elab)
+            && (conn_dir(start, &elab) == Dir::Out || start_is_root_in);
+        if !start_concrete && !start_is_root_in {
+            continue; // alias: consumed while walking a chain
+        }
+        // Walk the chain.
+        let mut cur = start;
+        let mut cap: Option<u32> = None;
+        loop {
+            let edge = out_edges.get_mut(&cur).ok_or_else(|| BuildError {
+                msg: format!(
+                    "binding chain starting at `{}` dangles at `{}`",
+                    conn_label(start, &elab),
+                    conn_label(cur, &elab)
+                ),
+            })?;
+            edge.used = true;
+            cap = match (cap, edge.cap) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let next = edge.to;
+            if is_alias(next, &elab) {
+                cur = next;
+                continue;
+            }
+            // Concrete end (filter/controller conn or root port).
+            let from_ty = conn_ty(start, &elab);
+            let to_ty = conn_ty(next, &elab);
+            if from_ty != to_ty {
+                return err(format!(
+                    "type mismatch on link {} -> {}",
+                    conn_label(start, &elab),
+                    conn_label(next, &elab)
+                ));
+            }
+            let capacity = cap.unwrap_or(64);
+            let token_words = elab.types.size_words(from_ty);
+            // Placement & class.
+            let from_actor = elab.conns[start as usize].actor;
+            let to_actor = elab.conns[next as usize].actor;
+            let boundary = from_actor == root_actor || to_actor == root_actor;
+            let class = if boundary {
+                LinkClass::DmaControl
+            } else if elab.actors[from_actor as usize].kind
+                == ActorKind::Controller
+            {
+                LinkClass::Control
+            } else {
+                LinkClass::Data
+            };
+            let cluster_of = |a: u32, elab: &Elab| {
+                module_cluster
+                    .get(&elab.actors[a as usize].sched_module)
+                    .copied()
+            };
+            let words = capacity * token_words;
+            let base = if boundary {
+                alloc.l3(words)?
+            } else {
+                match (
+                    cluster_of(from_actor, &elab),
+                    cluster_of(to_actor, &elab),
+                ) {
+                    (Some(a), Some(b)) if a == b => alloc.l1(a, words)?,
+                    _ => alloc.l2(words)?,
+                }
+            };
+            links.push(LinkSpec {
+                from: start,
+                to: next,
+                cap: capacity,
+                class,
+                base,
+            });
+            break;
+        }
+    }
+    if let Some((conn, edge)) = out_edges.iter().find(|(_, e)| !e.used) {
+        return err(format!(
+            "line {}: binding from `{}` is unreachable (no concrete \
+             producer feeds it)",
+            edge.line,
+            conn_label(*conn, &elab)
+        ));
+    }
+
+    // 7. Compile: stubs, kernels.
+    let mut b = ProgramBuilder::new();
+    let mut di = DebugInfoBuilder::new();
+    // Mirror the shared type table into the debug info.
+    *di.types_mut() = elab.types.clone();
+    let stubs = api::emit_stubs(&mut b, &mut di);
+
+    for i in 0..elab.actors.len() {
+        let (kind, short, parent) = {
+            let a = &elab.actors[i];
+            (a.kind, a.short.clone(), a.parent)
+        };
+        let Some(src_name) = elab.actors[i].source.clone() else {
+            if kind != ActorKind::Module {
+                return err(format!("`{short}` has no source file"));
+            }
+            continue;
+        };
+        let Some(src) = sources.get(&src_name) else {
+            return err(format!(
+                "source file `{src_name}` for `{short}` not found in the \
+                 registry"
+            ));
+        };
+        let owner = match kind {
+            ActorKind::Filter => KernelOwner::Filter(short.clone()),
+            ActorKind::Controller => KernelOwner::Controller {
+                module: elab.actors
+                    [parent.expect("controller has module") as usize]
+                    .short
+                    .clone(),
+            },
+            ActorKind::Module => unreachable!(),
+        };
+        let mut conns = HashMap::new();
+        for (p_idx, p) in elab.actors[i].ports.iter().enumerate() {
+            let cid = elab.conn_ids[&(i as u32, p.name.clone())];
+            let _ = p_idx;
+            conns.insert(p.name.clone(), (cid, p.ty, p.dir));
+        }
+        let mut data = HashMap::new();
+        for (n, _) in &elab.actors[i].data {
+            let (addr, ty) = data_addrs[&(ActorId(i as u32), n.clone())];
+            data.insert(n.clone(), (addr, ty));
+        }
+        let mut attrs = HashMap::new();
+        for (n, _) in &elab.actors[i].attrs {
+            let (addr, ty) = data_addrs[&(ActorId(i as u32), n.clone())];
+            attrs.insert(n.clone(), (addr, ty));
+        }
+        // Controllers (and filters) may schedule sibling filters by name.
+        let mut actor_names = HashMap::new();
+        if let Some(parent) = parent {
+            for (j, sib) in elab.actors.iter().enumerate() {
+                if sib.parent == Some(parent) && sib.kind == ActorKind::Filter
+                {
+                    actor_names.insert(sib.bind_name.clone(), j as u32);
+                }
+            }
+        }
+        let env = CompileEnv {
+            stubs,
+            types: &elab.types,
+            conns,
+            data,
+            attrs,
+            actors: actor_names,
+            file: src_name.clone(),
+            owner,
+        };
+        let compiled = kernelc::compile_kernel(src, &env, &mut b, &mut di)
+            .map_err(|e| BuildError {
+                msg: format!("{src_name} ({short}): {e}"),
+            })?;
+        elab.actors[i].work = Some(compiled.work);
+    }
+
+    // 8. Object symbols for data/attributes.
+    for ((actor, name), (addr, ty)) in &data_addrs {
+        let a = &elab.actors[actor.0 as usize];
+        let is_attr = a.attrs.iter().any(|(n, _)| n == name);
+        let category = if is_attr { "attribute" } else { "data" };
+        di.symbols_mut().add(
+            &mangle::filter_object(&a.short, category, name),
+            &format!("{}.{category}.{name}", a.short),
+            SymbolKind::Object,
+            *addr,
+            elab.types.size_words(*ty),
+            Vec::new(),
+        );
+    }
+
+    // 9. Boot program: registration calls mirroring the specs.
+    let mut pool_s = StringPool::new();
+    let actor_names: Vec<usize> = elab
+        .actors
+        .iter()
+        .map(|a| pool_s.intern(&a.short))
+        .collect();
+    let conn_names: Vec<usize> = elab
+        .conns
+        .iter()
+        .map(|c| {
+            let a = &elab.actors[c.actor as usize];
+            pool_s.intern(&a.ports[c.port].name)
+        })
+        .collect();
+    let pool_size = pool_s.layout(0);
+    let pool_base = alloc.l3(pool_size)?;
+    pool_s.layout(pool_base);
+
+    let boot_entry = b.begin_func(0);
+    b.emit(Insn::Enter(0));
+    for (i, a) in elab.actors.iter().enumerate() {
+        let (addr, len) = pool_s.addr_of(actor_names[i]);
+        let args = [
+            i as u32,
+            a.kind.code(),
+            api::encode_opt(a.parent),
+            addr,
+            len,
+            api::encode_opt(a.pe.map(|p| u32::from(p.0))),
+            api::encode_opt(a.work),
+        ];
+        for w in args {
+            b.emit(Insn::Const(w));
+        }
+        b.emit(Insn::Call {
+            addr: stubs.register_actor,
+            argc: 7,
+        });
+    }
+    for (i, c) in elab.conns.iter().enumerate() {
+        let a = &elab.actors[c.actor as usize];
+        let p = &a.ports[c.port];
+        let (addr, len) = pool_s.addr_of(conn_names[i]);
+        let args = [i as u32, c.actor, p.dir.code(), p.ty.0, addr, len];
+        for w in args {
+            b.emit(Insn::Const(w));
+        }
+        b.emit(Insn::Call {
+            addr: stubs.register_conn,
+            argc: 6,
+        });
+    }
+    for (i, l) in links.iter().enumerate() {
+        let args = [i as u32, l.from, l.to, l.cap, l.class.code(), l.base];
+        for w in args {
+            b.emit(Insn::Const(w));
+        }
+        b.emit(Insn::Call {
+            addr: stubs.register_link,
+            argc: 6,
+        });
+    }
+    b.emit(Insn::Call {
+        addr: stubs.boot_complete,
+        argc: 0,
+    });
+    b.emit(Insn::Ret { retc: 0 });
+    di.symbols_mut().add(
+        "pedf_app_init",
+        "pedf::app_init",
+        SymbolKind::Function,
+        boot_entry,
+        b.here() - boot_entry,
+        Vec::new(),
+    );
+
+    // 10. Build the static graph (must mirror what boot will register).
+    let mut graph = AppGraph::new();
+    for (i, a) in elab.actors.iter().enumerate() {
+        graph
+            .register_actor(
+                i as u32,
+                &a.short,
+                a.kind,
+                a.parent.map(ActorId),
+                a.pe,
+                a.work,
+            )
+            .map_err(|e| BuildError { msg: e.to_string() })?;
+    }
+    for (i, c) in elab.conns.iter().enumerate() {
+        let a = &elab.actors[c.actor as usize];
+        let p = &a.ports[c.port];
+        graph
+            .register_conn(i as u32, ActorId(c.actor), &p.name, p.dir, p.ty)
+            .map_err(|e| BuildError { msg: e.to_string() })?;
+    }
+    for (i, l) in links.iter().enumerate() {
+        graph
+            .register_link(
+                i as u32,
+                ConnId(l.from),
+                ConnId(l.to),
+                l.cap,
+                l.class,
+                l.base,
+            )
+            .map_err(|e| BuildError { msg: e.to_string() })?;
+    }
+
+    // 11. Boundary maps.
+    let mut boundary_in = HashMap::new();
+    let mut boundary_out = HashMap::new();
+    for (key, cid) in &elab.conn_ids {
+        if key.0 == root_actor {
+            let c = &elab.conns[*cid as usize];
+            let dir = elab.actors[c.actor as usize].ports[c.port].dir;
+            match dir {
+                Dir::In => boundary_in.insert(key.1.clone(), ConnId(*cid)),
+                Dir::Out => boundary_out.insert(key.1.clone(), ConnId(*cid)),
+            };
+        }
+    }
+
+    // 12. Assemble.
+    let program = b.finish();
+    let info = di.finish();
+    platform.load(program);
+    pool_s
+        .install(&mut platform.mem)
+        .map_err(|e| BuildError { msg: e })?;
+    let runtime = Runtime::new(elab.types.clone());
+    let system = System::new(platform, runtime);
+    let app = CompiledApp {
+        info,
+        types: elab.types,
+        boot_entry,
+        graph,
+        boundary_in,
+        boundary_out,
+        data_addrs,
+    };
+    Ok((system, app))
+}
+
+fn conn_label(conn: u32, elab: &Elab) -> String {
+    let c = elab.conns[conn as usize];
+    let a = &elab.actors[c.actor as usize];
+    format!("{}.{}", a.short, a.ports[c.port].name)
+}

@@ -1,0 +1,398 @@
+//! `mind` — the MIND architecture front end with PEDF annotations.
+//!
+//! "The PEDF dataflow graph is built with the MIND architecture compilation
+//! tool-chain, augmented with PEDF annotations. MIND provides a description
+//! language to specify filter's architecture and interfaces. Its compiler
+//! generates a C++ version of the architecture" (§IV-A). This crate is that
+//! tool-chain for our reproduction:
+//!
+//! * [`adl`] parses the paper's `@Module composite` / `@Filter primitive`
+//!   syntax (the §IV-A listings parse verbatim);
+//! * [`elaborate`] instantiates the hierarchy, places actors on the P2012,
+//!   allocates FIFOs and private data, compiles every kernel with
+//!   [`kernelc`] and generates the boot program.
+//!
+//! The output of [`build`] is a ready-to-boot [`pedf::System`] plus a
+//! [`CompiledApp`] carrying debug info and name maps — exactly what a
+//! debugging session needs to attach.
+
+pub mod adl;
+pub mod elaborate;
+
+pub use adl::{AdlError, AdlFile};
+pub use elaborate::{build, BuildError, CompiledApp, SourceRegistry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2012::PlatformConfig;
+    use pedf::{ActorKind, EnvSink, EnvSource, LinkClass, ValueGen};
+
+    /// A consistent version of the paper's AModule (the paper's own listing
+    /// has a U32 controller output bound to a U8 filter input; we align the
+    /// types so the link validates).
+    const AMODULE_ADL: &str = "\
+@Module
+composite AModule {
+  contains as controller {
+    output U32 as cmd_out_1;
+    output U32 as cmd_out_2;
+    source ctrl_source.c;
+  }
+  input U32 as module_in;
+  output U32 as module_out;
+  contains AFilter as filter_1;
+  contains AFilter as filter_2;
+  binds controller.cmd_out_1 to filter_1.cmd_in;
+  binds controller.cmd_out_2 to filter_2.cmd_in;
+  binds this.module_in to filter_1.an_input;
+  binds filter_1.an_output to filter_2.an_input;
+  binds filter_2.an_output to this.module_out;
+}
+
+@Filter
+primitive AFilter {
+  data      stddefs.h:U32 a_private_data;
+  attribute stddefs.h:U32 an_attribute;
+  source    the_source.c;
+  input stddefs.h:U32 as an_input;
+  input stddefs.h:U32 as cmd_in;
+  output stddefs.h:U32 as an_output;
+}
+";
+
+    const CTRL_SRC: &str = "\
+void work() {
+    while (pedf.run()) {
+        pedf.step_begin();
+        pedf.io.cmd_out_1[0] = 1;
+        pedf.io.cmd_out_2[0] = 2;
+        pedf.fire(filter_1);
+        pedf.fire(filter_2);
+        pedf.wait_init();
+        pedf.wait_sync();
+        pedf.step_end();
+    }
+}
+";
+
+    const FILTER_SRC: &str = "\
+void work() {
+    U32 cmd = pedf.io.cmd_in[0];
+    U32 v = pedf.io.an_input[0];
+    pedf.data.a_private_data = pedf.data.a_private_data + cmd;
+    pedf.io.an_output[0] = v + pedf.attribute.an_attribute;
+}
+";
+
+    fn sources() -> SourceRegistry {
+        let mut s = SourceRegistry::new();
+        s.add("ctrl_source.c", CTRL_SRC);
+        s.add("the_source.c", FILTER_SRC);
+        s
+    }
+
+    fn built() -> (pedf::System, CompiledApp) {
+        build(AMODULE_ADL, &sources(), PlatformConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn elaborates_the_amodule_architecture() {
+        let (_, app) = built();
+        let g = &app.graph;
+        // 1 module + controller + 2 filters.
+        assert_eq!(g.actors.len(), 4);
+        assert_eq!(g.filters().count(), 2);
+        let m = g.modules().next().unwrap();
+        assert_eq!(m.name, "amodule");
+        let ctrl = g.controller_of(m.id).unwrap();
+        assert_eq!(ctrl.name, "amodule_controller");
+        assert!(ctrl.pe.is_some());
+        // 5 binds -> 5 links (none flattened away at depth 1).
+        assert_eq!(g.links.len(), 5);
+        // Boundary links are DMA-assisted, control links marked, data plain.
+        let classes: Vec<LinkClass> =
+            g.links.iter().map(|l| l.class).collect();
+        assert_eq!(
+            classes
+                .iter()
+                .filter(|c| **c == LinkClass::DmaControl)
+                .count(),
+            2
+        );
+        assert_eq!(
+            classes
+                .iter()
+                .filter(|c| **c == LinkClass::Control)
+                .count(),
+            2
+        );
+        assert_eq!(
+            classes.iter().filter(|c| **c == LinkClass::Data).count(),
+            1
+        );
+        // Name maps.
+        assert!(app.actor("filter_1").is_some());
+        assert!(app.conn("filter_1::an_output").is_some());
+        assert!(app.boundary_in.contains_key("module_in"));
+        assert!(app.boundary_out.contains_key("module_out"));
+        // Debug info: mangled symbols exist for both filters + controller.
+        for sym in [
+            "Filter1Filter_work_function",
+            "Filter2Filter_work_function",
+            "_component_AmoduleModule_anon_0_work",
+            "pedf_app_init",
+        ] {
+            assert!(app.info.symbols.resolve(sym).is_some(), "{sym}");
+        }
+        // Data objects have symbols too.
+        assert!(app
+            .info
+            .symbols
+            .resolve("Filter1Filter_data_a_private_data")
+            .is_some());
+    }
+
+    #[test]
+    fn boots_and_matches_static_graph() {
+        let (mut sys, app) = built();
+        sys.boot(app.boot_entry).unwrap();
+        let rg = &sys.runtime.graph;
+        assert_eq!(rg.actors.len(), app.graph.actors.len());
+        assert_eq!(rg.conns.len(), app.graph.conns.len());
+        assert_eq!(rg.links.len(), app.graph.links.len());
+        for (a, b) in rg.actors.iter().zip(&app.graph.actors) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.pe, b.pe);
+            assert_eq!(a.work_addr, b.work_addr);
+        }
+        for (a, b) in rg.links.iter().zip(&app.graph.links) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.capacity, b.capacity);
+            assert_eq!(a.fifo_base, b.fifo_base);
+        }
+    }
+
+    #[test]
+    fn end_to_end_pipeline_with_env_io() {
+        let (mut sys, app) = built();
+        let module = app.actor("amodule").unwrap();
+        sys.runtime.set_max_steps(module, 3);
+        sys.boot(app.boot_entry).unwrap();
+        sys.runtime
+            .add_source(EnvSource::new(
+                app.boundary_in["module_in"],
+                5,
+                ValueGen::Counter { next: 10, step: 10 },
+            ))
+            .unwrap();
+        sys.runtime
+            .add_sink(EnvSink::new(app.boundary_out["module_out"], 1))
+            .unwrap();
+        assert!(sys.run_to_quiescence(200_000), "did not finish");
+        assert_eq!(sys.first_fault(), None);
+        let sink = sys
+            .runtime
+            .sink_for(app.boundary_out["module_out"])
+            .unwrap();
+        // Attributes are zero, so values pass through unchanged.
+        assert_eq!(sink.tail, vec![10, 20, 30]);
+        // Private data accumulated the command tokens (1 and 2 per step).
+        let f1 = app.actor("filter_1").unwrap();
+        let f2 = app.actor("filter_2").unwrap();
+        let (a1, _) = app.data_addr(f1, "a_private_data").unwrap();
+        let (a2, _) = app.data_addr(f2, "a_private_data").unwrap();
+        assert_eq!(sys.platform.mem.peek(a1).unwrap(), 3);
+        assert_eq!(sys.platform.mem.peek(a2).unwrap(), 6);
+        assert_eq!(sys.runtime.module_steps(module), 3);
+    }
+
+    #[test]
+    fn attributes_affect_computation() {
+        let (mut sys, app) = built();
+        let module = app.actor("amodule").unwrap();
+        sys.runtime.set_max_steps(module, 2);
+        sys.boot(app.boot_entry).unwrap();
+        // Poke filter_1's attribute: the kernel adds it to every token.
+        let f1 = app.actor("filter_1").unwrap();
+        let (attr, _) = app.data_addr(f1, "an_attribute").unwrap();
+        sys.platform.mem.poke(attr, 100).unwrap();
+        sys.runtime
+            .add_source(EnvSource::new(
+                app.boundary_in["module_in"],
+                5,
+                ValueGen::Constant(1),
+            ))
+            .unwrap();
+        sys.runtime
+            .add_sink(EnvSink::new(app.boundary_out["module_out"], 1))
+            .unwrap();
+        assert!(sys.run_to_quiescence(200_000));
+        let sink = sys
+            .runtime
+            .sink_for(app.boundary_out["module_out"])
+            .unwrap();
+        assert_eq!(sink.tail, vec![101, 101]);
+    }
+
+    #[test]
+    fn placement_respects_clusters() {
+        let (_, app) = built();
+        let g = &app.graph;
+        // All of AModule's actors live on cluster 0 (one module).
+        let ctrl = g.actor_by_name("amodule_controller").unwrap();
+        let f1 = g.actor_by_name("filter_1").unwrap();
+        let f2 = g.actor_by_name("filter_2").unwrap();
+        let pes = [ctrl.pe.unwrap(), f1.pe.unwrap(), f2.pe.unwrap()];
+        // Distinct PEs.
+        assert_ne!(pes[0], pes[1]);
+        assert_ne!(pes[1], pes[2]);
+        assert_ne!(pes[0], pes[2]);
+    }
+
+    #[test]
+    fn nested_modules_flatten_cross_module_links() {
+        let adl = "\
+@Module
+composite Top {
+  input U32 as in;
+  output U32 as out;
+  contains Left as left;
+  contains Right as right;
+  binds this.in to left.l_in;
+  binds left.l_out to right.r_in cap 20;
+  binds right.r_out to this.out;
+}
+@Module
+composite Left {
+  contains as controller { source c.c; }
+  input U32 as l_in;
+  output U32 as l_out;
+  contains Pass as p;
+  binds this.l_in to p.i;
+  binds p.o to this.l_out;
+}
+@Module
+composite Right {
+  contains as controller { source c.c; }
+  input U32 as r_in;
+  output U32 as r_out;
+  contains Pass as p;
+  binds this.r_in to p.i;
+  binds p.o to this.r_out;
+}
+@Filter
+primitive Pass {
+  source p.c;
+  input U32 as i;
+  output U32 as o;
+}
+";
+        let mut srcs = SourceRegistry::new();
+        srcs.add(
+            "c.c",
+            "void work() { while (pedf.run()) { pedf.step_begin();\
+             pedf.fire(p); pedf.wait_init(); pedf.wait_sync();\
+             pedf.step_end(); } }",
+        );
+        srcs.add("p.c", "void work() { pedf.io.o[0] = pedf.io.i[0] + 1; }");
+        let (mut sys, app) =
+            build(adl, &srcs, PlatformConfig::default()).unwrap();
+        // left.p and right.p share a short name but live in different
+        // modules; the flattened link connects them directly.
+        let g = &app.graph;
+        assert_eq!(g.links.len(), 3);
+        let mid = g
+            .links
+            .iter()
+            .find(|l| l.capacity == 20)
+            .expect("flattened link keeps its cap");
+        let (from, to) = g.link_ends(mid.id);
+        assert_eq!(g.qualified_name(from), "top.left.p");
+        assert_eq!(g.qualified_name(to), "top.right.p");
+        // Cross-cluster link lives in L2.
+        assert!(
+            (p2012::memory::L2_BASE
+                ..p2012::memory::L2_BASE + 0x1000_0000)
+                .contains(&mid.fifo_base),
+            "0x{:08x}",
+            mid.fifo_base
+        );
+
+        // And it runs: two +1 stages.
+        for m in ["left", "right"] {
+            let id = app.actor(m).unwrap();
+            sys.runtime.set_max_steps(id, 2);
+        }
+        sys.boot(app.boot_entry).unwrap();
+        sys.runtime
+            .add_source(EnvSource::new(
+                app.boundary_in["in"],
+                3,
+                ValueGen::Counter { next: 5, step: 5 },
+            ))
+            .unwrap();
+        sys.runtime
+            .add_sink(EnvSink::new(app.boundary_out["out"], 1))
+            .unwrap();
+        assert!(sys.run_to_quiescence(200_000));
+        assert_eq!(sys.first_fault(), None);
+        let sink = sys.runtime.sink_for(app.boundary_out["out"]).unwrap();
+        assert_eq!(sink.tail, vec![7, 12]);
+    }
+
+    #[test]
+    fn build_errors_are_descriptive() {
+        let cfg = PlatformConfig::default;
+        // Missing source file.
+        let e = build(AMODULE_ADL, &SourceRegistry::new(), cfg()).unwrap_err();
+        assert!(e.msg.contains("not found"), "{e}");
+        // Kernel compile error is attributed.
+        let mut bad = sources();
+        bad.add("the_source.c", "void work() { pedf.io.nope[0] = 1; }");
+        let e = build(AMODULE_ADL, &bad, cfg()).unwrap_err();
+        assert!(e.msg.contains("the_source.c"), "{e}");
+        assert!(e.msg.contains("unknown connection"), "{e}");
+        // Type mismatch across a link.
+        let adl_bad = AMODULE_ADL.replace(
+            "input stddefs.h:U32 as cmd_in;",
+            "input stddefs.h:U8 as cmd_in;",
+        );
+        let e = build(&adl_bad, &sources(), cfg()).unwrap_err();
+        assert!(e.msg.contains("type mismatch"), "{e}");
+        // Filters without a controller.
+        let adl_nc = "\
+@Module composite M { contains F as f; }
+@Filter primitive F { source f.c; input U32 as i; }";
+        let e = build(adl_nc, &sources(), cfg()).unwrap_err();
+        assert!(e.msg.contains("no controller"), "{e}");
+        // Dangling bind.
+        let adl_dangle = "\
+@Module composite M {
+  contains as controller { output U32 as c; source ctrl_source.c; }
+  output U32 as out;
+  binds this.out to controller.c;
+}";
+        assert!(build(adl_dangle, &sources(), cfg()).is_err());
+    }
+
+    #[test]
+    fn kinds_and_hierarchy_survive_the_boot_protocol() {
+        let (mut sys, app) = built();
+        sys.boot(app.boot_entry).unwrap();
+        let g = &sys.runtime.graph;
+        let m = g.actor_by_name("amodule").unwrap();
+        assert_eq!(m.kind, ActorKind::Module);
+        for f in ["filter_1", "filter_2"] {
+            let a = g.actor_by_name(f).unwrap();
+            assert_eq!(a.kind, ActorKind::Filter);
+            assert_eq!(a.parent, Some(m.id));
+        }
+        assert_eq!(
+            g.qualified_name(g.actor_by_name("filter_2").unwrap().id),
+            "amodule.filter_2"
+        );
+    }
+}

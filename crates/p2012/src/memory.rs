@@ -1,0 +1,378 @@
+//! The P2012 memory hierarchy (Fig. 1 of the paper).
+//!
+//! Three levels, word-addressed:
+//!
+//! * **L1** — one bank per cluster, shared by the cluster's PEs (lowest
+//!   latency; holds intra-cluster data links);
+//! * **L2** — chip-wide, used for inter-cluster communication;
+//! * **L3** — external memory reached through DMA, used for host↔fabric
+//!   exchanges.
+//!
+//! The debugger's *watchpoints* hook the store/load paths here: every access
+//! consults a (normally empty) watch list, and hits accumulate in a buffer
+//! that the debugger drains after each simulated cycle. When no watchpoints
+//! are set the check is a single branch on an empty `Vec`, keeping the
+//! undebuggged fast path honest for the overhead benchmarks (experiment E1).
+
+use debuginfo::Word;
+
+/// A level of the hierarchy plus its instance (cluster) when relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    L1 { cluster: u16 },
+    L2,
+    L3,
+}
+
+impl Region {
+    pub fn name(self) -> String {
+        match self {
+            Region::L1 { cluster } => format!("L1[{cluster}]"),
+            Region::L2 => "L2".to_string(),
+            Region::L3 => "L3".to_string(),
+        }
+    }
+}
+
+/// Fixed address-space layout (word addresses).
+///
+/// * L1 of cluster `c`: `0x1000_0000 + c * 0x0001_0000`
+/// * L2: `0x2000_0000`
+/// * L3: `0x3000_0000`
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    pub clusters: u16,
+    pub l1_words: u32,
+    pub l2_words: u32,
+    pub l3_words: u32,
+    pub l1_latency: u32,
+    pub l2_latency: u32,
+    pub l3_latency: u32,
+}
+
+pub const L1_BASE: u32 = 0x1000_0000;
+pub const L1_STRIDE: u32 = 0x0001_0000;
+pub const L2_BASE: u32 = 0x2000_0000;
+pub const L3_BASE: u32 = 0x3000_0000;
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap {
+            clusters: 2,
+            l1_words: 16 * 1024,
+            l2_words: 256 * 1024,
+            l3_words: 1024 * 1024,
+            l1_latency: 1,
+            l2_latency: 8,
+            l3_latency: 32,
+        }
+    }
+}
+
+impl MemoryMap {
+    pub fn l1_base(&self, cluster: u16) -> u32 {
+        L1_BASE + u32::from(cluster) * L1_STRIDE
+    }
+
+    /// Decode an address into (region, offset).
+    pub fn decode(&self, addr: u32) -> Result<(Region, u32), MemError> {
+        if (L1_BASE..L1_BASE + u32::from(self.clusters) * L1_STRIDE)
+            .contains(&addr)
+        {
+            let cluster = ((addr - L1_BASE) / L1_STRIDE) as u16;
+            let off = (addr - L1_BASE) % L1_STRIDE;
+            if off < self.l1_words {
+                return Ok((Region::L1 { cluster }, off));
+            }
+        } else if (L2_BASE..L2_BASE + self.l2_words).contains(&addr) {
+            return Ok((Region::L2, addr - L2_BASE));
+        } else if (L3_BASE..L3_BASE + self.l3_words).contains(&addr) {
+            return Ok((Region::L3, addr - L3_BASE));
+        }
+        Err(MemError::Unmapped { addr })
+    }
+
+    pub fn latency(&self, region: Region) -> u32 {
+        match region {
+            Region::L1 { .. } => self.l1_latency,
+            Region::L2 => self.l2_latency,
+            Region::L3 => self.l3_latency,
+        }
+    }
+}
+
+/// Memory access failure, surfaced to the debugger as a PE fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    Unmapped { addr: u32 },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => {
+                write!(f, "unmapped address 0x{addr:08x}")
+            }
+        }
+    }
+}
+
+/// Watchpoint trigger kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    Write,
+    Read,
+    Access,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    id: u32,
+    lo: u32,
+    hi: u32, // inclusive
+    kind: WatchKind,
+}
+
+/// One recorded watchpoint hit: which watch, where, the value involved and
+/// (for writes) the value it replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchHit {
+    pub id: u32,
+    pub addr: u32,
+    pub was_write: bool,
+    pub old: Word,
+    pub new: Word,
+}
+
+/// The simulated memory system.
+#[derive(Debug)]
+pub struct Memory {
+    map: MemoryMap,
+    l1: Vec<Vec<Word>>,
+    l2: Vec<Word>,
+    l3: Vec<Word>,
+    watches: Vec<Watch>,
+    hits: Vec<WatchHit>,
+    /// Total accesses, for the simulator-throughput benchmark (B4).
+    pub reads: u64,
+    pub writes: u64,
+}
+
+impl Memory {
+    pub fn new(map: MemoryMap) -> Self {
+        let l1 = (0..map.clusters)
+            .map(|_| vec![0; map.l1_words as usize])
+            .collect();
+        Memory {
+            l2: vec![0; map.l2_words as usize],
+            l3: vec![0; map.l3_words as usize],
+            l1,
+            map,
+            watches: Vec::new(),
+            hits: Vec::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    fn slot(&mut self, addr: u32) -> Result<(&mut Word, u32), MemError> {
+        let (region, off) = self.map.decode(addr)?;
+        let lat = self.map.latency(region);
+        let cell = match region {
+            Region::L1 { cluster } => {
+                &mut self.l1[cluster as usize][off as usize]
+            }
+            Region::L2 => &mut self.l2[off as usize],
+            Region::L3 => &mut self.l3[off as usize],
+        };
+        Ok((cell, lat))
+    }
+
+    /// Load a word; returns `(value, stall_cycles)`.
+    pub fn read(&mut self, addr: u32) -> Result<(Word, u32), MemError> {
+        self.reads += 1;
+        let watched = self.match_watch(addr, false);
+        let (cell, lat) = self.slot(addr)?;
+        let v = *cell;
+        if let Some(id) = watched {
+            self.hits.push(WatchHit {
+                id,
+                addr,
+                was_write: false,
+                old: v,
+                new: v,
+            });
+        }
+        Ok((v, lat))
+    }
+
+    /// Store a word; returns the stall cycles.
+    pub fn write(&mut self, addr: u32, value: Word) -> Result<u32, MemError> {
+        self.writes += 1;
+        let watched = self.match_watch(addr, true);
+        let (cell, lat) = self.slot(addr)?;
+        let old = *cell;
+        *cell = value;
+        if let Some(id) = watched {
+            self.hits.push(WatchHit {
+                id,
+                addr,
+                was_write: true,
+                old,
+                new: value,
+            });
+        }
+        Ok(lat)
+    }
+
+    /// Read without latency accounting or watch triggering: the debugger's
+    /// own inspection path (`print`, link occupancy displays) must not
+    /// perturb the simulation — the paper stresses that debugger slowdown
+    /// "does not alter the execution semantic".
+    pub fn peek(&self, addr: u32) -> Result<Word, MemError> {
+        let (region, off) = self.map.decode(addr)?;
+        Ok(match region {
+            Region::L1 { cluster } => self.l1[cluster as usize][off as usize],
+            Region::L2 => self.l2[off as usize],
+            Region::L3 => self.l3[off as usize],
+        })
+    }
+
+    /// Write without latency/watch side effects: used by loaders and by the
+    /// debugger's token-alteration commands (§III "Altering the Normal
+    /// Execution").
+    pub fn poke(&mut self, addr: u32, value: Word) -> Result<(), MemError> {
+        let (cell, _) = self.slot(addr)?;
+        *cell = value;
+        Ok(())
+    }
+
+    fn match_watch(&self, addr: u32, is_write: bool) -> Option<u32> {
+        if self.watches.is_empty() {
+            return None;
+        }
+        self.watches
+            .iter()
+            .find(|w| {
+                addr >= w.lo
+                    && addr <= w.hi
+                    && match w.kind {
+                        WatchKind::Write => is_write,
+                        WatchKind::Read => !is_write,
+                        WatchKind::Access => true,
+                    }
+            })
+            .map(|w| w.id)
+    }
+
+    /// Install a watch over `[lo, hi]` (inclusive, word addresses).
+    pub fn add_watch(&mut self, id: u32, lo: u32, hi: u32, kind: WatchKind) {
+        self.watches.push(Watch { id, lo, hi, kind });
+    }
+
+    pub fn remove_watch(&mut self, id: u32) {
+        self.watches.retain(|w| w.id != id);
+    }
+
+    /// Drain the accumulated watch hits (debugger, once per cycle).
+    pub fn take_hits(&mut self) -> Vec<WatchHit> {
+        std::mem::take(&mut self.hits)
+    }
+
+    pub fn has_hits(&self) -> bool {
+        !self.hits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(MemoryMap::default())
+    }
+
+    #[test]
+    fn decode_all_regions() {
+        let m = MemoryMap::default();
+        assert_eq!(m.decode(L1_BASE).unwrap().0, Region::L1 { cluster: 0 });
+        assert_eq!(
+            m.decode(L1_BASE + L1_STRIDE + 5).unwrap(),
+            (Region::L1 { cluster: 1 }, 5)
+        );
+        assert_eq!(m.decode(L2_BASE + 10).unwrap(), (Region::L2, 10));
+        assert_eq!(m.decode(L3_BASE).unwrap(), (Region::L3, 0));
+        assert!(m.decode(0xdead_beef).is_err());
+        // hole between end of L1 bank and next stride
+        assert!(m.decode(L1_BASE + m.l1_words).is_err());
+    }
+
+    #[test]
+    fn latency_increases_down_the_hierarchy() {
+        let mut m = mem();
+        let (_, l1) = m.read(L1_BASE).unwrap();
+        let (_, l2) = m.read(L2_BASE).unwrap();
+        let (_, l3) = m.read(L3_BASE).unwrap();
+        assert!(l1 < l2 && l2 < l3, "{l1} {l2} {l3}");
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = mem();
+        m.write(L2_BASE + 42, 0xabcd).unwrap();
+        assert_eq!(m.read(L2_BASE + 42).unwrap().0, 0xabcd);
+        assert_eq!(m.peek(L2_BASE + 42).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn watchpoints_record_old_and_new() {
+        let mut m = mem();
+        m.poke(L1_BASE + 7, 5).unwrap();
+        m.add_watch(3, L1_BASE + 7, L1_BASE + 7, WatchKind::Write);
+        m.read(L1_BASE + 7).unwrap(); // read: no hit for write watch
+        assert!(!m.has_hits());
+        m.write(L1_BASE + 7, 9).unwrap();
+        let hits = m.take_hits();
+        assert_eq!(
+            hits,
+            vec![WatchHit {
+                id: 3,
+                addr: L1_BASE + 7,
+                was_write: true,
+                old: 5,
+                new: 9
+            }]
+        );
+        assert!(!m.has_hits());
+    }
+
+    #[test]
+    fn access_watch_fires_on_reads_too() {
+        let mut m = mem();
+        m.add_watch(1, L3_BASE, L3_BASE + 10, WatchKind::Access);
+        m.read(L3_BASE + 4).unwrap();
+        assert_eq!(m.take_hits().len(), 1);
+    }
+
+    #[test]
+    fn peek_and_poke_bypass_watches() {
+        let mut m = mem();
+        m.add_watch(1, L2_BASE, L2_BASE, WatchKind::Access);
+        m.poke(L2_BASE, 1).unwrap();
+        let _ = m.peek(L2_BASE).unwrap();
+        assert!(!m.has_hits());
+    }
+
+    #[test]
+    fn remove_watch_stops_hits() {
+        let mut m = mem();
+        m.add_watch(1, L2_BASE, L2_BASE, WatchKind::Write);
+        m.remove_watch(1);
+        m.write(L2_BASE, 1).unwrap();
+        assert!(!m.has_hits());
+    }
+}

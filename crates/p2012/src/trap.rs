@@ -1,0 +1,112 @@
+//! The trap interface between programs and the runtime system.
+//!
+//! PEDF is a *software* framework: filter kernels call framework functions
+//! (`pedf_push_token`, `pedf_actor_start`, …). In the simulator these
+//! functions are bytecode stubs whose body is a single `Trap` instruction;
+//! the platform forwards the trap to a [`TrapHandler`] — the `pedf` crate's
+//! runtime — together with a [`TrapCtx`] granting access to the rest of the
+//! machine.
+//!
+//! Keeping the runtime *outside* the platform mirrors the paper's layering
+//! (Fig. 3): the debugger owns both the machine and the runtime, observes
+//! the machine through breakpoints, and never needs the runtime's
+//! cooperation (except in the `framework cooperation` ablation).
+
+use debuginfo::Word;
+
+use crate::dma::DmaEngine;
+use crate::memory::Memory;
+use crate::platform::PeId;
+use crate::vm::{BlockReason, PeState};
+
+/// Outcome of a trap, sized to avoid allocation on the token hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapResult {
+    /// Commit; the trap produces no result (retc must be 0).
+    Done,
+    /// Commit with one result word (retc must be 1).
+    Done1(Word),
+    /// The condition is not satisfiable this cycle; park the PE. The same
+    /// trap is re-presented every subsequent cycle until it completes.
+    Block(BlockReason),
+    /// The runtime detected a protocol violation (e.g. unknown trap id);
+    /// the PE faults and the debugger reports it.
+    Fault(&'static str),
+}
+
+/// Mutable view of the machine handed to the runtime during a trap.
+///
+/// `pes` contains **all** processing elements, but the slot of the PE
+/// currently trapping holds a placeholder (its state travels separately as
+/// the `current` argument of [`TrapHandler::trap`]); the runtime must not
+/// schedule work onto the trapping PE.
+pub struct TrapCtx<'a> {
+    pub mem: &'a mut Memory,
+    pub dma: &'a mut [DmaEngine],
+    pub pes: &'a mut [PeState],
+    pub clock: u64,
+}
+
+impl TrapCtx<'_> {
+    /// Start task `addr` on an idle PE (the runtime scheduling a filter's
+    /// WORK method after ACTOR_START).
+    pub fn invoke(&mut self, pe: PeId, addr: debuginfo::CodeAddr, args: &[Word]) {
+        self.pes[pe.index()].invoke(addr, args);
+    }
+
+    pub fn pe(&self, pe: PeId) -> &PeState {
+        &self.pes[pe.index()]
+    }
+
+    pub fn pe_mut(&mut self, pe: PeId) -> &mut PeState {
+        &mut self.pes[pe.index()]
+    }
+}
+
+/// The runtime system's side of the trap interface.
+pub trait TrapHandler {
+    /// Service trap `id` raised by `pe` with operands `args`.
+    fn trap(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        pe: PeId,
+        current: &mut PeState,
+        id: u16,
+        args: &[Word],
+    ) -> TrapResult;
+
+    /// A task started with [`TrapCtx::invoke`] (or
+    /// [`crate::Platform::invoke`]) ran to completion on `pe`.
+    fn on_task_complete(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        pe: PeId,
+        current: &mut PeState,
+    ) {
+        let _ = (ctx, pe, current);
+    }
+
+    /// Called once per cycle before any PE is stepped; the runtime uses it
+    /// for housekeeping such as feeding environment sources.
+    fn on_cycle(&mut self, ctx: &mut TrapCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// A handler that faults on every trap — used by platform-only tests and as
+/// the default when running bare programs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHandler;
+
+impl TrapHandler for NullHandler {
+    fn trap(
+        &mut self,
+        _ctx: &mut TrapCtx<'_>,
+        _pe: PeId,
+        _current: &mut PeState,
+        _id: u16,
+        _args: &[Word],
+    ) -> TrapResult {
+        TrapResult::Fault("no runtime installed")
+    }
+}

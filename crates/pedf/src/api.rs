@@ -1,0 +1,401 @@
+//! The PEDF framework API: trap numbers, exported bytecode stubs and the
+//! string pool used by boot-time registration.
+//!
+//! Every framework operation is exported as a tiny bytecode function (a
+//! *stub*) whose body is one `Trap` instruction. Stubs carry symbols and
+//! DWARF-style parameter descriptors, so the paper's capture mechanism —
+//! "internal function breakpoints set at the entry and exit points of the
+//! programming-model related functions exported by the dataflow framework"
+//! (§V) — works unchanged: the debugger resolves `pedf_push_token`, plants
+//! a breakpoint on its entry, and parses the call arguments out of the
+//! callee frame using only debug information.
+
+use debuginfo::{
+    mangle, DebugInfoBuilder, ParamInfo, SymbolKind, TypeTable, Word,
+};
+use p2012::{CodeAddr, Insn, Memory, ProgramBuilder};
+
+/// Trap numbers. Programs never use these directly — they call the stubs.
+pub mod traps {
+    pub const REGISTER_ACTOR: u16 = 1;
+    pub const REGISTER_CONN: u16 = 2;
+    pub const REGISTER_LINK: u16 = 3;
+    pub const BOOT_COMPLETE: u16 = 4;
+    pub const PUSH_TOKEN: u16 = 5;
+    pub const POP_TOKEN: u16 = 6;
+    pub const PUSH_STRUCT: u16 = 7;
+    pub const POP_STRUCT: u16 = 8;
+    pub const TOKENS_AVAILABLE: u16 = 9;
+    pub const LINK_SPACE: u16 = 10;
+    pub const ACTOR_START: u16 = 11;
+    pub const ACTOR_SYNC: u16 = 12;
+    pub const ACTOR_FIRE: u16 = 13;
+    pub const WAIT_ACTOR_INIT: u16 = 14;
+    pub const WAIT_ACTOR_SYNC: u16 = 15;
+    pub const STEP_BEGIN: u16 = 16;
+    pub const STEP_END: u16 = 17;
+    pub const CONTINUE: u16 = 18;
+    pub const PRINT: u16 = 19;
+}
+
+/// Sentinel for optional trap arguments encoded as `value + 1` (0 = none).
+pub fn encode_opt(v: Option<u32>) -> Word {
+    v.map_or(0, |x| x + 1)
+}
+
+pub fn decode_opt(w: Word) -> Option<u32> {
+    w.checked_sub(1)
+}
+
+/// Entry addresses of every exported framework function.
+///
+/// The kernel compiler emits `Call`s against these; the debugger resolves
+/// the same functions by *name* through the symbol table — the two must
+/// agree, which the round-trip tests below pin down.
+#[derive(Debug, Clone, Copy)]
+pub struct ApiStubs {
+    pub register_actor: CodeAddr,
+    pub register_conn: CodeAddr,
+    pub register_link: CodeAddr,
+    pub boot_complete: CodeAddr,
+    pub push_token: CodeAddr,
+    pub pop_token: CodeAddr,
+    pub push_struct: CodeAddr,
+    pub pop_struct: CodeAddr,
+    pub tokens_available: CodeAddr,
+    pub link_space: CodeAddr,
+    pub actor_start: CodeAddr,
+    pub actor_sync: CodeAddr,
+    pub actor_fire: CodeAddr,
+    pub wait_actor_init: CodeAddr,
+    pub wait_actor_sync: CodeAddr,
+    pub step_begin: CodeAddr,
+    pub step_end: CodeAddr,
+    pub continue_: CodeAddr,
+    pub print: CodeAddr,
+}
+
+/// The names of the data-exchange stubs, i.e. the breakpoints that §V
+/// identifies as the dominant source of debugger slowdown. The
+/// disable-until-critical mitigation toggles exactly this set.
+pub const DATA_EXCHANGE_FNS: [&str; 4] = [
+    "pedf_push_token",
+    "pedf_pop_token",
+    "pedf_push_struct",
+    "pedf_pop_struct",
+];
+
+/// Emit one stub: `name(args...) { trap; return }`, with symbol + params.
+fn stub(
+    b: &mut ProgramBuilder,
+    di: &mut DebugInfoBuilder,
+    name: &str,
+    params: &[&str],
+    trap: u16,
+    retc: u8,
+) -> CodeAddr {
+    let argc = params.len() as u8;
+    let entry = b.begin_func(argc);
+    b.emit(Insn::Enter(argc as u16));
+    for i in 0..argc {
+        b.emit(Insn::LoadLocal(i as u16));
+    }
+    b.emit(Insn::Trap {
+        id: trap,
+        argc,
+        retc,
+    });
+    b.emit(Insn::Ret { retc });
+    let end = b.here();
+    let mangled = mangle::runtime_api(name.strip_prefix("pedf_").unwrap());
+    debug_assert_eq!(mangled, name);
+    di.symbols_mut()
+        .add(
+            name,
+            &format!("pedf::{}", name.strip_prefix("pedf_").unwrap()),
+            SymbolKind::Function,
+            entry,
+            end - entry,
+            params
+                .iter()
+                .enumerate()
+                .map(|(slot, p)| ParamInfo {
+                    name: (*p).to_string(),
+                    ty: TypeTable::U32,
+                    slot: slot as u32,
+                })
+                .collect(),
+        )
+        .unwrap_or_else(|| panic!("duplicate stub {name}"));
+    entry
+}
+
+/// Emit all framework stubs into the image being built.
+pub fn emit_stubs(
+    b: &mut ProgramBuilder,
+    di: &mut DebugInfoBuilder,
+) -> ApiStubs {
+    ApiStubs {
+        register_actor: stub(
+            b,
+            di,
+            "pedf_register_actor",
+            &["id", "kind", "parent1", "name_addr", "name_len", "pe1", "work1"],
+            traps::REGISTER_ACTOR,
+            0,
+        ),
+        register_conn: stub(
+            b,
+            di,
+            "pedf_register_conn",
+            &["id", "actor", "dir", "type", "name_addr", "name_len"],
+            traps::REGISTER_CONN,
+            0,
+        ),
+        register_link: stub(
+            b,
+            di,
+            "pedf_register_link",
+            &["id", "from", "to", "capacity", "class", "fifo_base"],
+            traps::REGISTER_LINK,
+            0,
+        ),
+        boot_complete: stub(
+            b,
+            di,
+            "pedf_boot_complete",
+            &[],
+            traps::BOOT_COMPLETE,
+            0,
+        ),
+        push_token: stub(
+            b,
+            di,
+            "pedf_push_token",
+            &["conn", "index", "value"],
+            traps::PUSH_TOKEN,
+            0,
+        ),
+        pop_token: stub(
+            b,
+            di,
+            "pedf_pop_token",
+            &["conn", "index"],
+            traps::POP_TOKEN,
+            1,
+        ),
+        push_struct: stub(
+            b,
+            di,
+            "pedf_push_struct",
+            &["conn", "index", "local_base"],
+            traps::PUSH_STRUCT,
+            0,
+        ),
+        pop_struct: stub(
+            b,
+            di,
+            "pedf_pop_struct",
+            &["conn", "index", "local_base"],
+            traps::POP_STRUCT,
+            0,
+        ),
+        tokens_available: stub(
+            b,
+            di,
+            "pedf_tokens_available",
+            &["conn"],
+            traps::TOKENS_AVAILABLE,
+            1,
+        ),
+        link_space: stub(
+            b,
+            di,
+            "pedf_link_space",
+            &["conn"],
+            traps::LINK_SPACE,
+            1,
+        ),
+        actor_start: stub(
+            b,
+            di,
+            "pedf_actor_start",
+            &["actor"],
+            traps::ACTOR_START,
+            0,
+        ),
+        actor_sync: stub(
+            b,
+            di,
+            "pedf_actor_sync",
+            &["actor"],
+            traps::ACTOR_SYNC,
+            0,
+        ),
+        actor_fire: stub(
+            b,
+            di,
+            "pedf_actor_fire",
+            &["actor"],
+            traps::ACTOR_FIRE,
+            0,
+        ),
+        wait_actor_init: stub(
+            b,
+            di,
+            "pedf_wait_actor_init",
+            &[],
+            traps::WAIT_ACTOR_INIT,
+            0,
+        ),
+        wait_actor_sync: stub(
+            b,
+            di,
+            "pedf_wait_actor_sync",
+            &[],
+            traps::WAIT_ACTOR_SYNC,
+            0,
+        ),
+        step_begin: stub(b, di, "pedf_step_begin", &[], traps::STEP_BEGIN, 0),
+        step_end: stub(b, di, "pedf_step_end", &[], traps::STEP_END, 0),
+        continue_: stub(b, di, "pedf_continue", &[], traps::CONTINUE, 1),
+        print: stub(b, di, "pedf_print", &["value"], traps::PRINT, 0),
+    }
+}
+
+/// Boot-time string pool: actor and connection names live as packed words
+/// (one character per word) in L3, and registration traps pass
+/// `(addr, len)` pairs. This is how textual information crosses the
+/// program/runtime boundary without the debugger needing anything beyond
+/// memory reads.
+#[derive(Debug, Clone, Default)]
+pub struct StringPool {
+    strings: Vec<String>,
+    /// (addr, len) per string, assigned by `layout`.
+    placed: Vec<(u32, u32)>,
+    base: u32,
+}
+
+impl StringPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string; returns its pool slot.
+    pub fn intern(&mut self, s: &str) -> usize {
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return i;
+        }
+        self.strings.push(s.to_string());
+        self.strings.len() - 1
+    }
+
+    /// Assign addresses starting at `base`; returns the first free address
+    /// after the pool.
+    pub fn layout(&mut self, base: u32) -> u32 {
+        self.base = base;
+        self.placed.clear();
+        let mut cursor = base;
+        for s in &self.strings {
+            let len = s.chars().count() as u32;
+            self.placed.push((cursor, len));
+            cursor += len;
+        }
+        cursor
+    }
+
+    /// `(addr, len)` of pool slot `i` (after `layout`).
+    pub fn addr_of(&self, i: usize) -> (u32, u32) {
+        self.placed[i]
+    }
+
+    /// Write the pool into simulated memory (loader path; no latency).
+    pub fn install(&self, mem: &mut Memory) -> Result<(), String> {
+        for (s, (addr, _)) in self.strings.iter().zip(&self.placed) {
+            for (i, c) in s.chars().enumerate() {
+                mem.poke(addr + i as u32, c as u32)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read a pool string back out of simulated memory (runtime and debugger).
+pub fn read_string(mem: &Memory, addr: Word, len: Word) -> Option<String> {
+    let mut s = String::with_capacity(len as usize);
+    for i in 0..len {
+        let w = mem.peek(addr + i).ok()?;
+        s.push(char::from_u32(w)?);
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2012::MemoryMap;
+
+    #[test]
+    fn stubs_register_symbols_with_params() {
+        let mut b = ProgramBuilder::new();
+        let mut di = DebugInfoBuilder::new();
+        let stubs = emit_stubs(&mut b, &mut di);
+        let prog = b.finish();
+        let info = di.finish();
+
+        let sym = info.symbols.resolve("pedf_push_token").unwrap();
+        assert_eq!(sym.addr, stubs.push_token);
+        assert_eq!(sym.params.len(), 3);
+        assert_eq!(sym.params[2].name, "value");
+        // The stub body is Enter + loads + trap + ret.
+        assert_eq!(
+            prog.fetch(stubs.push_token),
+            Some(Insn::Enter(3))
+        );
+        assert_eq!(
+            prog.fetch(stubs.pop_token + 3),
+            Some(Insn::Trap {
+                id: traps::POP_TOKEN,
+                argc: 2,
+                retc: 1
+            })
+        );
+        // Pretty names resolve too.
+        assert!(info.symbols.resolve("pedf::actor_fire").is_some());
+        // All four data-exchange functions exist.
+        for name in DATA_EXCHANGE_FNS {
+            assert!(info.symbols.resolve(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn optional_encoding_round_trips() {
+        assert_eq!(decode_opt(encode_opt(None)), None);
+        assert_eq!(decode_opt(encode_opt(Some(0))), Some(0));
+        assert_eq!(decode_opt(encode_opt(Some(41))), Some(41));
+    }
+
+    #[test]
+    fn string_pool_round_trips_through_memory() {
+        let mut pool = StringPool::new();
+        let a = pool.intern("ipred");
+        let b = pool.intern("Add2Dblock_ipf_out");
+        let a2 = pool.intern("ipred");
+        assert_eq!(a, a2);
+        let end = pool.layout(p2012::memory::L3_BASE + 100);
+        assert_eq!(
+            end,
+            p2012::memory::L3_BASE + 100 + 5 + 18
+        );
+        let mut mem = Memory::new(MemoryMap::default());
+        pool.install(&mut mem).unwrap();
+        let (addr, len) = pool.addr_of(b);
+        assert_eq!(
+            read_string(&mem, addr, len).unwrap(),
+            "Add2Dblock_ipf_out"
+        );
+        let (addr, len) = pool.addr_of(a);
+        assert_eq!(read_string(&mem, addr, len).unwrap(), "ipred");
+    }
+}

@@ -1,0 +1,131 @@
+//! Direct runtime event stream — the *framework cooperation* path.
+//!
+//! The paper's debugger deliberately avoids modifying the framework and
+//! derives everything from breakpoints; §V then proposes "framework
+//! cooperation" as a future optimization. We implement both so the overhead
+//! benchmark (experiment E1) can quantify the gap: when [`EventBuffer`] is
+//! enabled the runtime publishes each dataflow event directly, and an
+//! observer (debugger or test) drains the buffer once per cycle instead of
+//! paying a breakpoint stop per framework call.
+
+use debuginfo::Value;
+
+use crate::graph::{ActorId, ConnId, LinkId};
+
+/// One dataflow-level event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    ActorRegistered { actor: ActorId },
+    LinkRegistered { link: LinkId },
+    BootComplete,
+    /// A token entered `link` through output connection `conn`.
+    TokenPushed {
+        conn: ConnId,
+        link: LinkId,
+        /// Global (monotonic) token index on this link.
+        index: u64,
+        value: Value,
+    },
+    /// A token left `link` through input connection `conn`.
+    TokenPopped {
+        conn: ConnId,
+        link: LinkId,
+        index: u64,
+        value: Value,
+    },
+    /// Controller scheduled the actor (ACTOR_START).
+    ActorStarted { actor: ActorId },
+    /// Controller requested end-of-step stop (ACTOR_SYNC).
+    ActorSyncRequested { actor: ActorId },
+    /// The actor's WORK method began executing.
+    WorkBegun { actor: ActorId },
+    /// The actor's WORK method returned (one step done).
+    WorkEnded { actor: ActorId, steps_done: u64 },
+    /// The actor reached its requested sync point.
+    ActorSynced { actor: ActorId },
+    StepBegun { module: ActorId, step: u64 },
+    StepEnded { module: ActorId, step: u64 },
+}
+
+/// Gated event sink. Disabled (the default) it costs one branch per event
+/// site, preserving the honest no-debugger baseline for benchmarks.
+///
+/// Two gates exist: `enabled` publishes everything (framework
+/// cooperation), `env_enabled` publishes only host-side environment I/O —
+/// the traffic a breakpoint-based debugger cannot observe because no
+/// fabric code executes it (the host feeds links directly through DMA).
+#[derive(Debug, Default)]
+pub struct EventBuffer {
+    enabled: bool,
+    env_enabled: bool,
+    events: Vec<RuntimeEvent>,
+}
+
+impl EventBuffer {
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Publish only environment (host-boundary) token events.
+    pub fn enable_env_only(&mut self) {
+        self.env_enabled = true;
+    }
+
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.env_enabled = false;
+        self.events.clear();
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    pub fn push(&mut self, f: impl FnOnce() -> RuntimeEvent) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+
+    /// Event site for host-side environment I/O.
+    #[inline]
+    pub fn push_env(&mut self, f: impl FnOnce() -> RuntimeEvent) {
+        if self.enabled || self.env_enabled {
+            self.events.push(f());
+        }
+    }
+
+    /// Drain accumulated events (observer, once per cycle).
+    pub fn drain(&mut self) -> Vec<RuntimeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut b = EventBuffer::default();
+        b.push(|| RuntimeEvent::BootComplete);
+        assert!(b.is_empty());
+        b.enable();
+        b.push(|| RuntimeEvent::BootComplete);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.drain(), vec![RuntimeEvent::BootComplete]);
+        assert!(b.is_empty());
+        b.disable();
+        b.push(|| RuntimeEvent::BootComplete);
+        assert!(b.is_empty());
+    }
+}

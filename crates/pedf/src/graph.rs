@@ -1,0 +1,598 @@
+//! The application structure: actors, connections and links.
+//!
+//! PEDF defines three entity classes (§IV): **filters** (computing actors),
+//! **controllers** (one per module, scheduling the module's filters) and
+//! **modules** (a sub-graph of filters plus a controller, hierarchically
+//! composable). Actors expose named, typed **connections** (ports); a
+//! **link** binds an output connection to an input connection and carries
+//! the token FIFO.
+//!
+//! An [`AppGraph`] is built incrementally through the same registration
+//! calls the framework makes at boot (`pedf_register_*`), which is exactly
+//! how both the runtime *and* the paper's debugger learn the structure — the
+//! debugger reconstructs its own copy by breakpointing those calls
+//! (Contribution #1), so this type is shared by the `pedf` and `dfdbg`
+//! crates.
+
+use debuginfo::{CodeAddr, TypeId};
+use p2012::PeId;
+
+/// Actor index within an [`AppGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+/// Connection (port) index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// Link index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// PEDF entity class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorKind {
+    Filter,
+    Controller,
+    Module,
+}
+
+impl ActorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ActorKind::Filter => "filter",
+            ActorKind::Controller => "controller",
+            ActorKind::Module => "module",
+        }
+    }
+
+    pub fn from_code(code: u32) -> Option<ActorKind> {
+        match code {
+            0 => Some(ActorKind::Filter),
+            1 => Some(ActorKind::Controller),
+            2 => Some(ActorKind::Module),
+            _ => None,
+        }
+    }
+
+    pub fn code(self) -> u32 {
+        match self {
+            ActorKind::Filter => 0,
+            ActorKind::Controller => 1,
+            ActorKind::Module => 2,
+        }
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    In,
+    Out,
+}
+
+impl Dir {
+    pub fn from_code(code: u32) -> Option<Dir> {
+        match code {
+            0 => Some(Dir::In),
+            1 => Some(Dir::Out),
+            _ => None,
+        }
+    }
+
+    pub fn code(self) -> u32 {
+        match self {
+            Dir::In => 0,
+            Dir::Out => 1,
+        }
+    }
+}
+
+/// Visual/transport class of a link, matching the three arrow styles of
+/// Fig. 4: plain data links between filters, control links from
+/// controllers, and DMA-assisted control links crossing the host boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    Data,
+    Control,
+    DmaControl,
+}
+
+impl LinkClass {
+    pub fn from_code(code: u32) -> Option<LinkClass> {
+        match code {
+            0 => Some(LinkClass::Data),
+            1 => Some(LinkClass::Control),
+            2 => Some(LinkClass::DmaControl),
+            _ => None,
+        }
+    }
+
+    pub fn code(self) -> u32 {
+        match self {
+            LinkClass::Data => 0,
+            LinkClass::Control => 1,
+            LinkClass::DmaControl => 2,
+        }
+    }
+}
+
+/// One actor (filter, controller or module).
+#[derive(Debug, Clone)]
+pub struct Actor {
+    pub id: ActorId,
+    /// Short name inside its module, e.g. `ipf`.
+    pub name: String,
+    pub kind: ActorKind,
+    /// Enclosing module, `None` for top-level modules.
+    pub parent: Option<ActorId>,
+    pub inputs: Vec<ConnId>,
+    pub outputs: Vec<ConnId>,
+    /// Processing element executing this actor (filters/controllers).
+    pub pe: Option<PeId>,
+    /// Entry address of the WORK method (filters/controllers).
+    pub work_addr: Option<CodeAddr>,
+}
+
+impl Actor {
+    /// All connections, inputs first.
+    pub fn conns(&self) -> impl Iterator<Item = ConnId> + '_ {
+        self.inputs.iter().chain(self.outputs.iter()).copied()
+    }
+}
+
+/// One named, typed port of an actor.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    pub id: ConnId,
+    pub actor: ActorId,
+    /// Port name, e.g. `Add2Dblock_ipf_out`.
+    pub name: String,
+    pub dir: Dir,
+    pub ty: TypeId,
+    /// Bound link, once `register_link` ran.
+    pub link: Option<LinkId>,
+}
+
+/// A bound pair of connections carrying a FIFO of tokens.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub id: LinkId,
+    /// Producer-side (output) connection.
+    pub from: ConnId,
+    /// Consumer-side (input) connection.
+    pub to: ConnId,
+    /// FIFO capacity in tokens.
+    pub capacity: u32,
+    pub class: LinkClass,
+    /// Base address of the FIFO storage in simulated memory.
+    pub fifo_base: u32,
+}
+
+/// Errors raised by graph registration — these surface as runtime faults at
+/// boot, mirroring the framework's own consistency checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    DuplicateActorName { name: String },
+    UnknownActor { id: u32 },
+    UnknownConn { id: u32 },
+    DirectionMismatch { from: ConnId, to: ConnId },
+    TypeMismatch { from: ConnId, to: ConnId },
+    AlreadyBound { conn: ConnId },
+    NonContiguousId { expected: u32, got: u32 },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DuplicateActorName { name } => {
+                write!(f, "duplicate actor name `{name}`")
+            }
+            GraphError::UnknownActor { id } => write!(f, "unknown actor #{id}"),
+            GraphError::UnknownConn { id } => {
+                write!(f, "unknown connection #{id}")
+            }
+            GraphError::DirectionMismatch { from, to } => write!(
+                f,
+                "link must go out->in (got conn #{} -> conn #{})",
+                from.0, to.0
+            ),
+            GraphError::TypeMismatch { from, to } => write!(
+                f,
+                "token type mismatch across link (conn #{} -> conn #{})",
+                from.0, to.0
+            ),
+            GraphError::AlreadyBound { conn } => {
+                write!(f, "connection #{} bound twice", conn.0)
+            }
+            GraphError::NonContiguousId { expected, got } => write!(
+                f,
+                "registration ids must be contiguous (expected {expected}, got {got})"
+            ),
+        }
+    }
+}
+
+/// The reconstructed application graph.
+#[derive(Debug, Clone, Default)]
+pub struct AppGraph {
+    pub actors: Vec<Actor>,
+    pub conns: Vec<Connection>,
+    pub links: Vec<Link>,
+}
+
+impl AppGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an actor. Ids must arrive contiguously (the boot code emits
+    /// them in order; the debugger relies on the same discipline).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_actor(
+        &mut self,
+        id: u32,
+        name: &str,
+        kind: ActorKind,
+        parent: Option<ActorId>,
+        pe: Option<PeId>,
+        work_addr: Option<CodeAddr>,
+    ) -> Result<ActorId, GraphError> {
+        if id != self.actors.len() as u32 {
+            return Err(GraphError::NonContiguousId {
+                expected: self.actors.len() as u32,
+                got: id,
+            });
+        }
+        if let Some(parent) = parent {
+            if parent.0 as usize >= self.actors.len() {
+                return Err(GraphError::UnknownActor { id: parent.0 });
+            }
+        }
+        if self
+            .actors
+            .iter()
+            .any(|a| a.name == name && a.parent == parent)
+        {
+            return Err(GraphError::DuplicateActorName {
+                name: name.to_string(),
+            });
+        }
+        let aid = ActorId(id);
+        self.actors.push(Actor {
+            id: aid,
+            name: name.to_string(),
+            kind,
+            parent,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            pe,
+            work_addr,
+        });
+        Ok(aid)
+    }
+
+    pub fn register_conn(
+        &mut self,
+        id: u32,
+        actor: ActorId,
+        name: &str,
+        dir: Dir,
+        ty: TypeId,
+    ) -> Result<ConnId, GraphError> {
+        if id != self.conns.len() as u32 {
+            return Err(GraphError::NonContiguousId {
+                expected: self.conns.len() as u32,
+                got: id,
+            });
+        }
+        let a = self
+            .actors
+            .get_mut(actor.0 as usize)
+            .ok_or(GraphError::UnknownActor { id: actor.0 })?;
+        let cid = ConnId(id);
+        match dir {
+            Dir::In => a.inputs.push(cid),
+            Dir::Out => a.outputs.push(cid),
+        }
+        self.conns.push(Connection {
+            id: cid,
+            actor,
+            name: name.to_string(),
+            dir,
+            ty,
+            link: None,
+        });
+        Ok(cid)
+    }
+
+    pub fn register_link(
+        &mut self,
+        id: u32,
+        from: ConnId,
+        to: ConnId,
+        capacity: u32,
+        class: LinkClass,
+        fifo_base: u32,
+    ) -> Result<LinkId, GraphError> {
+        if id != self.links.len() as u32 {
+            return Err(GraphError::NonContiguousId {
+                expected: self.links.len() as u32,
+                got: id,
+            });
+        }
+        let fc = self
+            .conns
+            .get(from.0 as usize)
+            .ok_or(GraphError::UnknownConn { id: from.0 })?;
+        let tc = self
+            .conns
+            .get(to.0 as usize)
+            .ok_or(GraphError::UnknownConn { id: to.0 })?;
+        // Normal links go out -> in. Module boundary conns act as
+        // pass-throughs: a module *input* feeds inner filters (producer
+        // side), a module *output* is fed by them (consumer side). This is
+        // the paper's `binds this.module_in to filter_1.an_input`.
+        let from_ok = fc.dir == Dir::Out
+            || (self.actor(fc.actor).kind == ActorKind::Module
+                && fc.dir == Dir::In);
+        let to_ok = tc.dir == Dir::In
+            || (self.actor(tc.actor).kind == ActorKind::Module
+                && tc.dir == Dir::Out);
+        if !from_ok || !to_ok {
+            return Err(GraphError::DirectionMismatch { from, to });
+        }
+        if fc.ty != tc.ty {
+            return Err(GraphError::TypeMismatch { from, to });
+        }
+        if fc.link.is_some() {
+            return Err(GraphError::AlreadyBound { conn: from });
+        }
+        if tc.link.is_some() {
+            return Err(GraphError::AlreadyBound { conn: to });
+        }
+        let lid = LinkId(id);
+        self.conns[from.0 as usize].link = Some(lid);
+        self.conns[to.0 as usize].link = Some(lid);
+        self.links.push(Link {
+            id: lid,
+            from,
+            to,
+            capacity,
+            class,
+            fifo_base,
+        });
+        Ok(lid)
+    }
+
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.0 as usize]
+    }
+
+    pub fn conn(&self, id: ConnId) -> &Connection {
+        &self.conns[id.0 as usize]
+    }
+
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Fully-qualified actor name, e.g. `pred.ipf`.
+    pub fn qualified_name(&self, id: ActorId) -> String {
+        let a = self.actor(id);
+        match a.parent {
+            Some(p) => format!("{}.{}", self.qualified_name(p), a.name),
+            None => a.name.clone(),
+        }
+    }
+
+    /// Find an actor by short name (unique short names are the common case
+    /// in the paper's sessions: `filter pipe catch work`). Falls back to
+    /// qualified-name match.
+    pub fn actor_by_name(&self, name: &str) -> Option<&Actor> {
+        self.actors
+            .iter()
+            .find(|a| a.name == name)
+            .or_else(|| {
+                self.actors
+                    .iter()
+                    .find(|a| self.qualified_name(a.id) == name)
+            })
+    }
+
+    /// Resolve `actor::conn` or `conn` within a given actor.
+    pub fn conn_by_name(&self, actor: ActorId, name: &str) -> Option<&Connection> {
+        self.actor(actor)
+            .conns()
+            .map(|c| self.conn(c))
+            .find(|c| c.name == name)
+    }
+
+    /// Actors directly contained in `module`.
+    pub fn children(&self, module: ActorId) -> impl Iterator<Item = &Actor> {
+        self.actors
+            .iter()
+            .filter(move |a| a.parent == Some(module))
+    }
+
+    /// The controller of `module`, if registered.
+    pub fn controller_of(&self, module: ActorId) -> Option<&Actor> {
+        self.children(module)
+            .find(|a| a.kind == ActorKind::Controller)
+    }
+
+    /// Top-level modules.
+    pub fn modules(&self) -> impl Iterator<Item = &Actor> {
+        self.actors
+            .iter()
+            .filter(|a| a.kind == ActorKind::Module)
+    }
+
+    /// All filters (any depth).
+    pub fn filters(&self) -> impl Iterator<Item = &Actor> {
+        self.actors.iter().filter(|a| a.kind == ActorKind::Filter)
+    }
+
+    /// The producing/consuming actors of a link, for displays like
+    /// `pipe -> ipf`.
+    pub fn link_ends(&self, id: LinkId) -> (ActorId, ActorId) {
+        let l = self.link(id);
+        (self.conn(l.from).actor, self.conn(l.to).actor)
+    }
+
+    /// Human-readable link label: `pipe::out_x -> ipf::in_y`.
+    pub fn link_label(&self, id: LinkId) -> String {
+        let l = self.link(id);
+        let (fa, ta) = self.link_ends(id);
+        format!(
+            "{}::{} -> {}::{}",
+            self.actor(fa).name,
+            self.conn(l.from).name,
+            self.actor(ta).name,
+            self.conn(l.to).name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debuginfo::TypeTable;
+
+    fn simple_graph() -> AppGraph {
+        // AModule from §IV-A: a module with a controller and two filters.
+        let mut g = AppGraph::new();
+        let m = g
+            .register_actor(0, "a_module", ActorKind::Module, None, None, None)
+            .unwrap();
+        let ctrl = g
+            .register_actor(
+                1,
+                "controller",
+                ActorKind::Controller,
+                Some(m),
+                Some(PeId(0)),
+                Some(100),
+            )
+            .unwrap();
+        let f1 = g
+            .register_actor(
+                2,
+                "filter_1",
+                ActorKind::Filter,
+                Some(m),
+                Some(PeId(1)),
+                Some(200),
+            )
+            .unwrap();
+        let f2 = g
+            .register_actor(
+                3,
+                "filter_2",
+                ActorKind::Filter,
+                Some(m),
+                Some(PeId(2)),
+                Some(300),
+            )
+            .unwrap();
+        let out = g
+            .register_conn(0, f1, "an_output", Dir::Out, TypeTable::U32)
+            .unwrap();
+        let inp = g
+            .register_conn(1, f2, "an_input", Dir::In, TypeTable::U32)
+            .unwrap();
+        let _ = g
+            .register_conn(2, ctrl, "cmd_out_1", Dir::Out, TypeTable::U8)
+            .unwrap();
+        let _ = g
+            .register_conn(3, f1, "cmd_in", Dir::In, TypeTable::U8)
+            .unwrap();
+        g.register_link(0, out, inp, 16, LinkClass::Data, 0x1000_0100)
+            .unwrap();
+        g.register_link(1, ConnId(2), ConnId(3), 4, LinkClass::Control, 0x1000_0200)
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn builds_and_navigates() {
+        let g = simple_graph();
+        assert_eq!(g.actors.len(), 4);
+        let f2 = g.actor_by_name("filter_2").unwrap();
+        assert_eq!(f2.inputs.len(), 1);
+        assert_eq!(g.qualified_name(f2.id), "a_module.filter_2");
+        assert_eq!(
+            g.controller_of(ActorId(0)).unwrap().name,
+            "controller"
+        );
+        assert_eq!(g.children(ActorId(0)).count(), 3);
+        assert_eq!(
+            g.link_label(LinkId(0)),
+            "filter_1::an_output -> filter_2::an_input"
+        );
+        assert_eq!(g.filters().count(), 2);
+        assert_eq!(g.modules().count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_links() {
+        let mut g = simple_graph();
+        // in -> in
+        assert_eq!(
+            g.register_link(2, ConnId(1), ConnId(1), 4, LinkClass::Data, 0),
+            Err(GraphError::DirectionMismatch {
+                from: ConnId(1),
+                to: ConnId(1)
+            })
+        );
+        // type mismatch: U32 out -> U8 in
+        assert_eq!(
+            g.register_link(2, ConnId(0), ConnId(3), 4, LinkClass::Data, 0),
+            Err(GraphError::TypeMismatch {
+                from: ConnId(0),
+                to: ConnId(3)
+            })
+        );
+        // double bind
+        assert_eq!(
+            g.register_link(2, ConnId(0), ConnId(1), 4, LinkClass::Data, 0),
+            Err(GraphError::AlreadyBound { conn: ConnId(0) })
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_registration() {
+        let mut g = AppGraph::new();
+        assert!(matches!(
+            g.register_actor(5, "x", ActorKind::Filter, None, None, None),
+            Err(GraphError::NonContiguousId { .. })
+        ));
+        g.register_actor(0, "x", ActorKind::Module, None, None, None)
+            .unwrap();
+        assert!(matches!(
+            g.register_actor(
+                1,
+                "x",
+                ActorKind::Module,
+                None,
+                None,
+                None
+            ),
+            Err(GraphError::DuplicateActorName { .. })
+        ));
+        // Same short name under different parents is fine.
+        let m = ActorId(0);
+        g.register_actor(1, "y", ActorKind::Module, None, None, None)
+            .unwrap();
+        g.register_actor(2, "x", ActorKind::Filter, Some(m), None, None)
+            .unwrap();
+    }
+
+    #[test]
+    fn conn_lookup_by_name() {
+        let g = simple_graph();
+        let f1 = g.actor_by_name("filter_1").unwrap().id;
+        assert!(g.conn_by_name(f1, "an_output").is_some());
+        assert!(g.conn_by_name(f1, "nope").is_none());
+    }
+}

@@ -1,0 +1,1109 @@
+//! The PEDF runtime system: scheduling, token transport and boot.
+//!
+//! This is the framework's "runtime" box in Fig. 3: it services every
+//! `pedf_*` trap raised by application bytecode, owns the dynamic state of
+//! the dataflow graph (FIFO counters, per-step read windows, filter
+//! scheduling states) and drives environment sources/sinks once per cycle.
+//!
+//! ## Execution model (§IV-B)
+//!
+//! Filters run *step-based*: one WORK invocation processes one step.
+//! A controller calls `ACTOR_START(f)` to schedule `f`; the runtime invokes
+//! `f`'s WORK on its processing element as soon as that PE is idle. Without
+//! a sync request the filter free-runs (WORK is re-invoked on completion).
+//! `ACTOR_SYNC(f)` asks `f` to stop at the end of its current step;
+//! `WAIT_FOR_ACTOR_INIT`/`WAIT_FOR_ACTOR_SYNC` block the controller until
+//! all started filters have begun / all synced filters have stopped.
+//! `ACTOR_FIRE` merges START and SYNC: exactly one step.
+//!
+//! ## Structure-model I/O (§IV-C)
+//!
+//! `pedf.io.in[n]` reads the *n-th token of the current step*: the runtime
+//! pops tokens from the link into a per-connection window on demand
+//! (blocking while the link is starved) and serves repeated reads from the
+//! window. Writes must be sequential (`out[k]` with `k` equal to the number
+//! already written this step) and push immediately — these eager pop/push
+//! points are precisely the events the paper's debugger intercepts.
+
+use std::collections::HashMap;
+
+use debuginfo::{TypeTable, Value, Word};
+use p2012::{
+    BlockReason, PeId, PeState, PeStatus, TrapCtx, TrapHandler, TrapResult,
+};
+
+use crate::api::{self, traps};
+use crate::envio::{EnvSink, EnvSource};
+use crate::events::{EventBuffer, RuntimeEvent};
+use crate::fifo::FifoState;
+use crate::graph::{ActorId, ActorKind, AppGraph, ConnId, Dir, LinkId};
+
+/// Scheduling state of a filter within the current step, phrased like the
+/// paper's scheduling monitor: "ready to be executed, not scheduled, or
+/// have already finished the step" (Contribution #2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterSched {
+    #[default]
+    NotScheduled,
+    /// START issued, WORK not yet running (PE was busy).
+    Scheduled,
+    Running,
+    /// Reached the requested sync point; idle until re-started.
+    Synced,
+}
+
+impl FilterSched {
+    pub fn label(self) -> &'static str {
+        match self {
+            FilterSched::NotScheduled => "not scheduled",
+            FilterSched::Scheduled => "ready",
+            FilterSched::Running => "running",
+            FilterSched::Synced => "finished step",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct ActorRt {
+    sched: FilterSched,
+    started: bool,
+    begun: bool,
+    sync_requested: bool,
+    steps_done: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ConnRt {
+    /// Flattened tokens popped into this step's read window (inputs).
+    window: Vec<Word>,
+    window_tokens: u32,
+    /// Tokens written this step (outputs).
+    written: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ModuleRt {
+    steps: u64,
+    stop: bool,
+    max_steps: Option<u64>,
+}
+
+/// Aggregate counters for benchmarks and reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeStats {
+    pub tokens_pushed: u64,
+    pub tokens_popped: u64,
+    pub work_invocations: u64,
+}
+
+/// The runtime system. Implements [`TrapHandler`]; owns all dynamic
+/// dataflow state.
+#[derive(Debug)]
+pub struct Runtime {
+    /// Shared type table (same ids as the image's debug info).
+    pub types: TypeTable,
+    /// The registered application graph.
+    pub graph: AppGraph,
+    actors_rt: Vec<ActorRt>,
+    conns_rt: Vec<ConnRt>,
+    /// FIFO state per link (parallel to `graph.links`).
+    pub fifos: Vec<FifoState>,
+    modules_rt: Vec<ModuleRt>,
+    pe_actor: HashMap<PeId, ActorId>,
+    pub booted: bool,
+    /// Output of `pedf_print` (the application's console).
+    pub console: Vec<String>,
+    /// Direct event stream (framework-cooperation ablation; disabled by
+    /// default so the baseline stays clean).
+    pub events: EventBuffer,
+    /// Human-readable details for trap-level protocol faults.
+    pub protocol_errors: Vec<String>,
+    sources: Vec<EnvSource>,
+    sinks: Vec<EnvSink>,
+    pub stats: RuntimeStats,
+    pop_buf: Vec<Word>,
+}
+
+impl Runtime {
+    pub fn new(types: TypeTable) -> Self {
+        Runtime {
+            types,
+            graph: AppGraph::new(),
+            actors_rt: Vec::new(),
+            conns_rt: Vec::new(),
+            fifos: Vec::new(),
+            modules_rt: Vec::new(),
+            pe_actor: HashMap::new(),
+            booted: false,
+            console: Vec::new(),
+            events: EventBuffer::default(),
+            protocol_errors: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            stats: RuntimeStats::default(),
+            pop_buf: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, detail: String, short: &'static str) -> TrapResult {
+        self.protocol_errors.push(detail);
+        TrapResult::Fault(short)
+    }
+
+    fn token_words(&self, conn: ConnId) -> u32 {
+        self.types.size_words(self.graph.conn(conn).ty)
+    }
+
+    // ---- registration ----------------------------------------------------
+
+    fn do_register_actor(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        args: &[Word],
+    ) -> TrapResult {
+        let [id, kind, parent1, name_addr, name_len, pe1, work1] = args else {
+            return TrapResult::Fault("register_actor arity");
+        };
+        let Some(kind) = ActorKind::from_code(*kind) else {
+            return self.fail(
+                format!("register_actor: bad kind {kind}"),
+                "bad actor kind",
+            );
+        };
+        let Some(name) = api::read_string(ctx.mem, *name_addr, *name_len)
+        else {
+            return self.fail(
+                "register_actor: unreadable name".into(),
+                "unreadable actor name",
+            );
+        };
+        let parent = api::decode_opt(*parent1).map(ActorId);
+        let pe = api::decode_opt(*pe1).map(|p| PeId(p as u16));
+        let work = api::decode_opt(*work1);
+        match self.graph.register_actor(*id, &name, kind, parent, pe, work)
+        {
+            Ok(aid) => {
+                self.actors_rt.push(ActorRt::default());
+                // May already exist if limits were configured pre-boot.
+                if self.modules_rt.len() <= aid.0 as usize {
+                    self.modules_rt
+                        .resize_with(aid.0 as usize + 1, ModuleRt::default);
+                }
+                if let Some(pe) = pe {
+                    self.pe_actor.insert(pe, aid);
+                }
+                self.events
+                    .push(|| RuntimeEvent::ActorRegistered { actor: aid });
+                TrapResult::Done
+            }
+            Err(e) => {
+                self.fail(format!("register_actor: {e}"), "graph registration")
+            }
+        }
+    }
+
+    fn do_register_conn(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        args: &[Word],
+    ) -> TrapResult {
+        let [id, actor, dir, ty, name_addr, name_len] = args else {
+            return TrapResult::Fault("register_conn arity");
+        };
+        let Some(dir) = Dir::from_code(*dir) else {
+            return self
+                .fail(format!("register_conn: bad dir {dir}"), "bad direction");
+        };
+        let Some(name) = api::read_string(ctx.mem, *name_addr, *name_len)
+        else {
+            return self.fail(
+                "register_conn: unreadable name".into(),
+                "unreadable conn name",
+            );
+        };
+        if *ty as usize >= self.types.len() {
+            return self
+                .fail(format!("register_conn: bad type {ty}"), "bad type id");
+        }
+        match self.graph.register_conn(
+            *id,
+            ActorId(*actor),
+            &name,
+            dir,
+            debuginfo::TypeId(*ty),
+        ) {
+            Ok(_) => {
+                self.conns_rt.push(ConnRt::default());
+                TrapResult::Done
+            }
+            Err(e) => {
+                self.fail(format!("register_conn: {e}"), "graph registration")
+            }
+        }
+    }
+
+    fn do_register_link(&mut self, args: &[Word]) -> TrapResult {
+        let [id, from, to, capacity, class, fifo_base] = args else {
+            return TrapResult::Fault("register_link arity");
+        };
+        let Some(class) = crate::graph::LinkClass::from_code(*class) else {
+            return self
+                .fail(format!("register_link: bad class {class}"), "bad class");
+        };
+        match self.graph.register_link(
+            *id,
+            ConnId(*from),
+            ConnId(*to),
+            *capacity,
+            class,
+            *fifo_base,
+        ) {
+            Ok(lid) => {
+                let tw = self.token_words(ConnId(*from));
+                self.fifos.push(FifoState::new(*fifo_base, *capacity, tw));
+                self.events
+                    .push(|| RuntimeEvent::LinkRegistered { link: lid });
+                TrapResult::Done
+            }
+            Err(e) => {
+                self.fail(format!("register_link: {e}"), "graph registration")
+            }
+        }
+    }
+
+    fn do_boot_complete(&mut self, ctx: &mut TrapCtx<'_>) -> TrapResult {
+        if self.booted {
+            return self.fail("boot_complete twice".into(), "double boot");
+        }
+        self.booted = true;
+        // Launch every controller on its processing element.
+        let controllers: Vec<(ActorId, PeId, u32)> = self
+            .graph
+            .actors
+            .iter()
+            .filter(|a| a.kind == ActorKind::Controller)
+            .filter_map(|a| Some((a.id, a.pe?, a.work_addr?)))
+            .collect();
+        for (actor, pe, work) in controllers {
+            if !matches!(ctx.pe(pe).status, PeStatus::Idle) {
+                return self.fail(
+                    format!("controller {} PE busy at boot", actor.0),
+                    "controller PE busy",
+                );
+            }
+            ctx.invoke(pe, work, &[]);
+            self.actors_rt[actor.0 as usize].sched = FilterSched::Running;
+            self.actors_rt[actor.0 as usize].begun = true;
+        }
+        self.events.push(|| RuntimeEvent::BootComplete);
+        TrapResult::Done
+    }
+
+    // ---- token transport ---------------------------------------------------
+
+    /// Push `words` through output connection `conn`; shared by the scalar
+    /// and struct push traps. `idx` enforces sequential writes.
+    fn push_words(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        current: &mut PeState,
+        conn: ConnId,
+        idx: Word,
+        words: &[Word],
+    ) -> TrapResult {
+        let Some(c) = self.graph.conns.get(conn.0 as usize) else {
+            return self.fail(format!("push: bad conn {}", conn.0), "bad conn");
+        };
+        if c.dir != Dir::Out {
+            return self.fail(
+                format!("push on input connection {}", c.name),
+                "push on input",
+            );
+        }
+        let Some(link) = c.link else {
+            return self
+                .fail(format!("push on unbound conn {}", c.name), "unbound");
+        };
+        let ty = c.ty;
+        let rt_written = self.conns_rt[conn.0 as usize].written;
+        if idx != rt_written {
+            return self.fail(
+                format!(
+                    "out-of-order write on {} (index {idx}, expected {rt_written})",
+                    c.name
+                ),
+                "out-of-order write",
+            );
+        }
+        let fifo = &mut self.fifos[link.0 as usize];
+        match fifo.push(ctx.mem, words) {
+            Ok(Some((index, stall))) => {
+                current.stall += stall;
+                self.conns_rt[conn.0 as usize].written += 1;
+                self.stats.tokens_pushed += 1;
+                self.events.push(|| RuntimeEvent::TokenPushed {
+                    conn,
+                    link,
+                    index,
+                    value: Value::record(ty, words.to_vec()),
+                });
+                TrapResult::Done
+            }
+            Ok(None) => TrapResult::Block(BlockReason::SpaceWait {
+                link: link.0,
+            }),
+            Err(e) => {
+                self.fail(format!("push: {e}"), "fifo memory fault")
+            }
+        }
+    }
+
+    /// Ensure the read window of `conn` holds at least `idx + 1` tokens,
+    /// popping from the link as needed. Returns the flattened window offset
+    /// of token `idx`, or a blocking result.
+    fn fill_window(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        current: &mut PeState,
+        conn: ConnId,
+        idx: Word,
+    ) -> Result<usize, TrapResult> {
+        let Some(c) = self.graph.conns.get(conn.0 as usize) else {
+            return Err(
+                self.fail(format!("pop: bad conn {}", conn.0), "bad conn")
+            );
+        };
+        if c.dir != Dir::In {
+            return Err(self.fail(
+                format!("pop on output connection {}", c.name),
+                "pop on output",
+            ));
+        }
+        let Some(link) = c.link else {
+            return Err(self
+                .fail(format!("pop on unbound conn {}", c.name), "unbound"));
+        };
+        let ty = c.ty;
+        let tw = self.types.size_words(ty) as usize;
+        while self.conns_rt[conn.0 as usize].window_tokens <= idx {
+            self.pop_buf.clear();
+            let fifo = &mut self.fifos[link.0 as usize];
+            match fifo.pop(ctx.mem, &mut self.pop_buf) {
+                Ok(Some((index, stall))) => {
+                    current.stall += stall;
+                    let rt = &mut self.conns_rt[conn.0 as usize];
+                    rt.window.extend_from_slice(&self.pop_buf);
+                    rt.window_tokens += 1;
+                    self.stats.tokens_popped += 1;
+                    let words = self.pop_buf.clone();
+                    self.events.push(|| RuntimeEvent::TokenPopped {
+                        conn,
+                        link,
+                        index,
+                        value: Value::record(ty, words),
+                    });
+                }
+                Ok(None) => {
+                    return Err(TrapResult::Block(BlockReason::TokenWait {
+                        link: link.0,
+                    }))
+                }
+                Err(e) => {
+                    return Err(
+                        self.fail(format!("pop: {e}"), "fifo memory fault")
+                    )
+                }
+            }
+        }
+        Ok(idx as usize * tw)
+    }
+
+    // ---- scheduling ------------------------------------------------------
+
+    fn filter_of(&mut self, id: Word) -> Result<ActorId, TrapResult> {
+        match self.graph.actors.get(id as usize) {
+            Some(a) if a.kind == ActorKind::Filter => Ok(a.id),
+            Some(a) => Err(self.fail(
+                format!("scheduling call on non-filter `{}`", a.name),
+                "not a filter",
+            )),
+            None => Err(self
+                .fail(format!("scheduling call on bad actor {id}"), "bad actor")),
+        }
+    }
+
+    fn do_actor_start(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        actor: ActorId,
+    ) -> TrapResult {
+        let a = self.graph.actor(actor);
+        let (Some(pe), Some(work)) = (a.pe, a.work_addr) else {
+            return self.fail(
+                format!("START on unmapped filter `{}`", a.name),
+                "unmapped filter",
+            );
+        };
+        let rt = &mut self.actors_rt[actor.0 as usize];
+        rt.started = true;
+        self.events
+            .push(|| RuntimeEvent::ActorStarted { actor });
+        if matches!(rt.sched, FilterSched::Running) {
+            // Free-running from a previous step; nothing more to do.
+            return TrapResult::Done;
+        }
+        if matches!(ctx.pe(pe).status, PeStatus::Idle) {
+            ctx.invoke(pe, work, &[]);
+            let rt = &mut self.actors_rt[actor.0 as usize];
+            rt.begun = true;
+            rt.sched = FilterSched::Running;
+            self.stats.work_invocations += 1;
+            self.events.push(|| RuntimeEvent::WorkBegun { actor });
+        } else {
+            let rt = &mut self.actors_rt[actor.0 as usize];
+            rt.begun = false;
+            rt.sched = FilterSched::Scheduled;
+        }
+        TrapResult::Done
+    }
+
+    fn do_actor_sync(&mut self, actor: ActorId) -> TrapResult {
+        let rt = &mut self.actors_rt[actor.0 as usize];
+        rt.sync_requested = true;
+        if !rt.started && rt.sched == FilterSched::NotScheduled {
+            // Vacuous sync on a filter that never ran this step.
+            rt.sched = FilterSched::Synced;
+        }
+        self.events
+            .push(|| RuntimeEvent::ActorSyncRequested { actor });
+        TrapResult::Done
+    }
+
+    /// The module whose controller is executing on `pe`.
+    fn controller_module(&mut self, pe: PeId) -> Result<ActorId, TrapResult> {
+        let Some(&actor) = self.pe_actor.get(&pe) else {
+            return Err(self.fail(
+                format!("controller call from unmapped {pe}"),
+                "not a controller",
+            ));
+        };
+        let a = self.graph.actor(actor);
+        if a.kind != ActorKind::Controller {
+            return Err(self.fail(
+                format!("controller call from non-controller `{}`", a.name),
+                "not a controller",
+            ));
+        }
+        a.parent.ok_or_else(|| {
+            self.fail(
+                "controller without module".into(),
+                "controller without module",
+            )
+        })
+    }
+
+    fn module_filters(&self, module: ActorId) -> Vec<ActorId> {
+        self.graph
+            .children(module)
+            .filter(|a| a.kind == ActorKind::Filter)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    // ---- trap servicing entry point ---------------------------------------
+
+    fn service(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        pe: PeId,
+        current: &mut PeState,
+        id: u16,
+        args: &[Word],
+    ) -> TrapResult {
+        match id {
+            traps::REGISTER_ACTOR => self.do_register_actor(ctx, args),
+            traps::REGISTER_CONN => self.do_register_conn(ctx, args),
+            traps::REGISTER_LINK => self.do_register_link(args),
+            traps::BOOT_COMPLETE => self.do_boot_complete(ctx),
+
+            traps::PUSH_TOKEN => {
+                let [conn, idx, value] = args else {
+                    return TrapResult::Fault("push_token arity");
+                };
+                let conn = ConnId(*conn);
+                if self.graph.conns.get(conn.0 as usize).is_some()
+                    && self.token_words(conn) != 1
+                {
+                    return self.fail(
+                        "scalar push on struct-typed connection".into(),
+                        "wrong token width",
+                    );
+                }
+                self.push_words(ctx, current, conn, *idx, &[*value])
+            }
+            traps::POP_TOKEN => {
+                let [conn, idx] = args else {
+                    return TrapResult::Fault("pop_token arity");
+                };
+                let conn = ConnId(*conn);
+                if self.graph.conns.get(conn.0 as usize).is_some()
+                    && self.token_words(conn) != 1
+                {
+                    return self.fail(
+                        "scalar pop on struct-typed connection".into(),
+                        "wrong token width",
+                    );
+                }
+                match self.fill_window(ctx, current, conn, *idx) {
+                    Ok(off) => TrapResult::Done1(
+                        self.conns_rt[conn.0 as usize].window[off],
+                    ),
+                    Err(r) => r,
+                }
+            }
+            traps::PUSH_STRUCT => {
+                let [conn, idx, local_base] = args else {
+                    return TrapResult::Fault("push_struct arity");
+                };
+                let conn = ConnId(*conn);
+                if self.graph.conns.get(conn.0 as usize).is_none() {
+                    return self
+                        .fail(format!("push: bad conn {}", conn.0), "bad conn");
+                }
+                let tw = self.token_words(conn) as usize;
+                // The stub's caller holds the struct in its locals.
+                let depth = current.frames.len();
+                if depth < 2 {
+                    return TrapResult::Fault("struct push without caller");
+                }
+                let caller = &current.frames[depth - 2];
+                let base = *local_base as usize;
+                if base + tw > caller.locals.len() {
+                    return self.fail(
+                        "struct push out of caller frame".into(),
+                        "bad struct slot",
+                    );
+                }
+                let words: Vec<Word> =
+                    caller.locals[base..base + tw].to_vec();
+                self.push_words(ctx, current, conn, *idx, &words)
+            }
+            traps::POP_STRUCT => {
+                let [conn, idx, local_base] = args else {
+                    return TrapResult::Fault("pop_struct arity");
+                };
+                let conn = ConnId(*conn);
+                if self.graph.conns.get(conn.0 as usize).is_none() {
+                    return self
+                        .fail(format!("pop: bad conn {}", conn.0), "bad conn");
+                }
+                let tw = self.token_words(conn) as usize;
+                match self.fill_window(ctx, current, conn, *idx) {
+                    Ok(off) => {
+                        let words: Vec<Word> = self.conns_rt[conn.0 as usize]
+                            .window[off..off + tw]
+                            .to_vec();
+                        let depth = current.frames.len();
+                        if depth < 2 {
+                            return TrapResult::Fault(
+                                "struct pop without caller",
+                            );
+                        }
+                        let caller = &mut current.frames[depth - 2];
+                        let base = *local_base as usize;
+                        if base + tw > caller.locals.len() {
+                            return self.fail(
+                                "struct pop out of caller frame".into(),
+                                "bad struct slot",
+                            );
+                        }
+                        caller.locals[base..base + tw]
+                            .copy_from_slice(&words);
+                        TrapResult::Done
+                    }
+                    Err(r) => r,
+                }
+            }
+            traps::TOKENS_AVAILABLE => {
+                let [conn] = args else {
+                    return TrapResult::Fault("tokens_available arity");
+                };
+                match self
+                    .graph
+                    .conns
+                    .get(*conn as usize)
+                    .and_then(|c| c.link)
+                {
+                    Some(link) => TrapResult::Done1(
+                        self.fifos[link.0 as usize].occupancy(),
+                    ),
+                    None => self.fail(
+                        format!("tokens_available: unbound conn {conn}"),
+                        "unbound",
+                    ),
+                }
+            }
+            traps::LINK_SPACE => {
+                let [conn] = args else {
+                    return TrapResult::Fault("link_space arity");
+                };
+                match self
+                    .graph
+                    .conns
+                    .get(*conn as usize)
+                    .and_then(|c| c.link)
+                {
+                    Some(link) => {
+                        let f = &self.fifos[link.0 as usize];
+                        TrapResult::Done1(f.capacity - f.occupancy())
+                    }
+                    None => self.fail(
+                        format!("link_space: unbound conn {conn}"),
+                        "unbound",
+                    ),
+                }
+            }
+
+            traps::ACTOR_START => {
+                let [actor] = args else {
+                    return TrapResult::Fault("actor_start arity");
+                };
+                match self.filter_of(*actor) {
+                    Ok(a) => self.do_actor_start(ctx, a),
+                    Err(r) => r,
+                }
+            }
+            traps::ACTOR_SYNC => {
+                let [actor] = args else {
+                    return TrapResult::Fault("actor_sync arity");
+                };
+                match self.filter_of(*actor) {
+                    Ok(a) => self.do_actor_sync(a),
+                    Err(r) => r,
+                }
+            }
+            traps::ACTOR_FIRE => {
+                let [actor] = args else {
+                    return TrapResult::Fault("actor_fire arity");
+                };
+                match self.filter_of(*actor) {
+                    Ok(a) => match self.do_actor_start(ctx, a) {
+                        TrapResult::Done => self.do_actor_sync(a),
+                        r => r,
+                    },
+                    Err(r) => r,
+                }
+            }
+            traps::WAIT_ACTOR_INIT => {
+                let module = match self.controller_module(pe) {
+                    Ok(m) => m,
+                    Err(r) => return r,
+                };
+                let pending = self
+                    .module_filters(module)
+                    .into_iter()
+                    .any(|f| {
+                        let rt = &self.actors_rt[f.0 as usize];
+                        rt.started && !rt.begun
+                    });
+                if pending {
+                    TrapResult::Block(BlockReason::InitWait)
+                } else {
+                    TrapResult::Done
+                }
+            }
+            traps::WAIT_ACTOR_SYNC => {
+                let module = match self.controller_module(pe) {
+                    Ok(m) => m,
+                    Err(r) => return r,
+                };
+                let filters = self.module_filters(module);
+                let pending = filters.iter().any(|f| {
+                    let rt = &self.actors_rt[f.0 as usize];
+                    rt.sync_requested && rt.sched != FilterSched::Synced
+                });
+                if pending {
+                    return TrapResult::Block(BlockReason::SyncWait);
+                }
+                // Step boundary: reset every synced filter for the next step.
+                for f in filters {
+                    let rt = &mut self.actors_rt[f.0 as usize];
+                    if rt.sync_requested {
+                        rt.sync_requested = false;
+                        rt.started = false;
+                        rt.begun = false;
+                        rt.sched = FilterSched::NotScheduled;
+                    }
+                }
+                TrapResult::Done
+            }
+            traps::STEP_BEGIN => {
+                let module = match self.controller_module(pe) {
+                    Ok(m) => m,
+                    Err(r) => return r,
+                };
+                // A controller's WORK never returns between steps (it loops
+                // until `pedf_continue` says stop), so its I/O windows reset
+                // at the step boundary it declares, not at task completion.
+                if let Some(&ctrl) = self.pe_actor.get(&pe) {
+                    let conns: Vec<ConnId> =
+                        self.graph.actor(ctrl).conns().collect();
+                    for c in conns {
+                        let rt = &mut self.conns_rt[c.0 as usize];
+                        rt.window.clear();
+                        rt.window_tokens = 0;
+                        rt.written = 0;
+                    }
+                }
+                let m = &mut self.modules_rt[module.0 as usize];
+                m.steps += 1;
+                let step = m.steps;
+                self.events
+                    .push(|| RuntimeEvent::StepBegun { module, step });
+                TrapResult::Done
+            }
+            traps::STEP_END => {
+                let module = match self.controller_module(pe) {
+                    Ok(m) => m,
+                    Err(r) => return r,
+                };
+                let step = self.modules_rt[module.0 as usize].steps;
+                self.events
+                    .push(|| RuntimeEvent::StepEnded { module, step });
+                TrapResult::Done
+            }
+            traps::CONTINUE => {
+                let module = match self.controller_module(pe) {
+                    Ok(m) => m,
+                    Err(r) => return r,
+                };
+                let m = &self.modules_rt[module.0 as usize];
+                let done = m.stop
+                    || m.max_steps.is_some_and(|max| m.steps >= max);
+                TrapResult::Done1(u32::from(!done))
+            }
+            traps::PRINT => {
+                let [value] = args else {
+                    return TrapResult::Fault("print arity");
+                };
+                self.console.push(format!("{value}"));
+                TrapResult::Done
+            }
+            other => self.fail(format!("unknown trap {other}"), "unknown trap"),
+        }
+    }
+
+    // ---- environment I/O ---------------------------------------------------
+
+    fn run_env(&mut self, ctx: &mut TrapCtx<'_>) {
+        let mut sources = std::mem::take(&mut self.sources);
+        for s in &mut sources {
+            // One token per cycle at most, catching up after stalls.
+            if !s.due(ctx.clock) {
+                continue;
+            }
+            let Some(link) = self.graph.conn(s.conn).link else {
+                continue;
+            };
+            let ty = self.graph.conn(s.conn).ty;
+            let fifo = &mut self.fifos[link.0 as usize];
+            if fifo.is_full() {
+                continue; // retry next cycle; order preserved
+            }
+            let v = s.gen.next();
+            if let Ok(Some((index, _))) = fifo.push(ctx.mem, &[v]) {
+                s.produced += 1;
+                self.stats.tokens_pushed += 1;
+                let conn = s.conn;
+                self.events.push_env(|| RuntimeEvent::TokenPushed {
+                    conn,
+                    link,
+                    index,
+                    value: Value::scalar(ty, v),
+                });
+            }
+        }
+        self.sources = sources;
+
+        let mut sinks = std::mem::take(&mut self.sinks);
+        for k in &mut sinks {
+            if !k.due(ctx.clock) {
+                continue;
+            }
+            let Some(link) = self.graph.conn(k.conn).link else {
+                continue;
+            };
+            let ty = self.graph.conn(k.conn).ty;
+            self.pop_buf.clear();
+            let fifo = &mut self.fifos[link.0 as usize];
+            if let Ok(Some((index, _))) = fifo.pop(ctx.mem, &mut self.pop_buf)
+            {
+                self.stats.tokens_popped += 1;
+                k.record(self.pop_buf.first().copied().unwrap_or(0));
+                let conn = k.conn;
+                let words = self.pop_buf.clone();
+                self.events.push_env(|| RuntimeEvent::TokenPopped {
+                    conn,
+                    link,
+                    index,
+                    value: Value::record(ty, words),
+                });
+            }
+        }
+        self.sinks = sinks;
+    }
+
+    // ---- public configuration & inspection API ----------------------------
+
+    /// Attach a source to a module input connection (post-boot).
+    pub fn add_source(&mut self, source: EnvSource) -> Result<(), String> {
+        let c = self
+            .graph
+            .conns
+            .get(source.conn.0 as usize)
+            .ok_or("no such connection")?;
+        if self.graph.actor(c.actor).kind != ActorKind::Module
+            || c.dir != Dir::In
+        {
+            return Err(format!(
+                "`{}` is not a module input connection",
+                c.name
+            ));
+        }
+        if c.link.is_none() {
+            return Err(format!("module input `{}` is unbound", c.name));
+        }
+        if self.types.size_words(c.ty) != 1 {
+            return Err("sources only feed scalar-typed links".into());
+        }
+        self.sources.push(source);
+        Ok(())
+    }
+
+    /// Attach a sink to a module output connection (post-boot).
+    pub fn add_sink(&mut self, sink: EnvSink) -> Result<(), String> {
+        let c = self
+            .graph
+            .conns
+            .get(sink.conn.0 as usize)
+            .ok_or("no such connection")?;
+        if self.graph.actor(c.actor).kind != ActorKind::Module
+            || c.dir != Dir::Out
+        {
+            return Err(format!(
+                "`{}` is not a module output connection",
+                c.name
+            ));
+        }
+        if c.link.is_none() {
+            return Err(format!("module output `{}` is unbound", c.name));
+        }
+        self.sinks.push(sink);
+        Ok(())
+    }
+
+    pub fn sink_for(&self, conn: ConnId) -> Option<&EnvSink> {
+        self.sinks.iter().find(|s| s.conn == conn)
+    }
+
+    pub fn source_for(&self, conn: ConnId) -> Option<&EnvSource> {
+        self.sources.iter().find(|s| s.conn == conn)
+    }
+
+    /// Tokens currently queued on `link`.
+    pub fn occupancy(&self, link: LinkId) -> u32 {
+        self.fifos[link.0 as usize].occupancy()
+    }
+
+    /// `(pushed, popped)` monotonic counters of `link`.
+    pub fn counters(&self, link: LinkId) -> (u64, u64) {
+        let f = &self.fifos[link.0 as usize];
+        (f.pushed, f.popped)
+    }
+
+    /// Typed snapshot of the queued tokens (debugger `graph`/`iface print`).
+    pub fn queued_tokens(
+        &self,
+        mem: &p2012::Memory,
+        link: LinkId,
+    ) -> Vec<Value> {
+        let f = &self.fifos[link.0 as usize];
+        let ty = self.graph.conn(self.graph.link(link).from).ty;
+        (0..f.occupancy())
+            .filter_map(|i| f.peek(mem, i))
+            .map(|words| Value::record(ty, words))
+            .collect()
+    }
+
+    pub fn filter_sched(&self, actor: ActorId) -> FilterSched {
+        self.actors_rt[actor.0 as usize].sched
+    }
+
+    pub fn steps_done(&self, actor: ActorId) -> u64 {
+        self.actors_rt[actor.0 as usize].steps_done
+    }
+
+    pub fn module_steps(&self, module: ActorId) -> u64 {
+        self.modules_rt
+            .get(module.0 as usize)
+            .map_or(0, |m| m.steps)
+    }
+
+    /// Grow-on-demand access: module limits may be configured before boot,
+    /// i.e. before the registration traps have sized the table.
+    fn module_rt_mut(&mut self, module: ActorId) -> &mut ModuleRt {
+        let idx = module.0 as usize;
+        if idx >= self.modules_rt.len() {
+            self.modules_rt.resize_with(idx + 1, ModuleRt::default);
+        }
+        &mut self.modules_rt[idx]
+    }
+
+    pub fn set_max_steps(&mut self, module: ActorId, max: u64) {
+        self.module_rt_mut(module).max_steps = Some(max);
+    }
+
+    pub fn request_stop(&mut self, module: ActorId) {
+        self.module_rt_mut(module).stop = true;
+    }
+
+    /// Debugger: append a token to `link` out of thin air (§III "Altering
+    /// the Normal Execution" — e.g. untying a deadlock).
+    pub fn inject_token(
+        &mut self,
+        mem: &mut p2012::Memory,
+        link: LinkId,
+        value: &Value,
+    ) -> Result<u64, String> {
+        let ty = self.graph.conn(self.graph.link(link).from).ty;
+        if value.ty != ty {
+            return Err(format!(
+                "type mismatch: link carries {}, got {}",
+                self.types.name(ty),
+                self.types.name(value.ty)
+            ));
+        }
+        self.fifos[link.0 as usize].inject(mem, &value.words)
+    }
+
+    /// Debugger: overwrite the `idx`-th queued token.
+    pub fn set_token(
+        &mut self,
+        mem: &mut p2012::Memory,
+        link: LinkId,
+        idx: u32,
+        value: &Value,
+    ) -> Result<(), String> {
+        let ty = self.graph.conn(self.graph.link(link).from).ty;
+        if value.ty != ty {
+            return Err("type mismatch".to_string());
+        }
+        self.fifos[link.0 as usize].overwrite(mem, idx, &value.words)
+    }
+
+    /// Debugger: delete the `idx`-th queued token.
+    pub fn drop_token(
+        &mut self,
+        mem: &mut p2012::Memory,
+        link: LinkId,
+        idx: u32,
+    ) -> Result<(), String> {
+        self.fifos[link.0 as usize].remove(mem, idx)
+    }
+}
+
+impl TrapHandler for Runtime {
+    fn trap(
+        &mut self,
+        ctx: &mut TrapCtx<'_>,
+        pe: PeId,
+        current: &mut PeState,
+        id: u16,
+        args: &[Word],
+    ) -> TrapResult {
+        self.service(ctx, pe, current, id, args)
+    }
+
+    fn on_task_complete(
+        &mut self,
+        _ctx: &mut TrapCtx<'_>,
+        pe: PeId,
+        current: &mut PeState,
+    ) {
+        let Some(&actor) = self.pe_actor.get(&pe) else {
+            return; // boot code finishing on the host
+        };
+        let kind = self.graph.actor(actor).kind;
+        if kind == ActorKind::Controller {
+            // Controller loop exited (pedf_continue returned 0).
+            self.actors_rt[actor.0 as usize].sched = FilterSched::Synced;
+            return;
+        }
+        // A filter finished one WORK step.
+        let steps_done = {
+            let rt = &mut self.actors_rt[actor.0 as usize];
+            rt.steps_done += 1;
+            rt.steps_done
+        };
+        // Step boundary: reset this filter's I/O windows.
+        let conns: Vec<ConnId> = self.graph.actor(actor).conns().collect();
+        for c in conns {
+            let rt = &mut self.conns_rt[c.0 as usize];
+            rt.window.clear();
+            rt.window_tokens = 0;
+            rt.written = 0;
+        }
+        self.events
+            .push(|| RuntimeEvent::WorkEnded { actor, steps_done });
+        let rt = &mut self.actors_rt[actor.0 as usize];
+        if rt.sync_requested {
+            rt.sched = FilterSched::Synced;
+            self.events.push(|| RuntimeEvent::ActorSynced { actor });
+        } else if rt.started {
+            // Free-running: immediately begin the next step.
+            let work = self.graph.actor(actor).work_addr.unwrap();
+            current.invoke(work, &[]);
+            let rt = &mut self.actors_rt[actor.0 as usize];
+            rt.begun = true;
+            rt.sched = FilterSched::Running;
+            self.stats.work_invocations += 1;
+            self.events.push(|| RuntimeEvent::WorkBegun { actor });
+        } else {
+            rt.sched = FilterSched::NotScheduled;
+        }
+    }
+
+    fn on_cycle(&mut self, ctx: &mut TrapCtx<'_>) {
+        if self.booted {
+            self.run_env(ctx);
+        }
+        // Late-start scheduled filters whose PE freed up outside
+        // on_task_complete (e.g. after a fault recovery).
+        if self.booted {
+            let pending: Vec<ActorId> = self
+                .graph
+                .filters()
+                .filter(|a| {
+                    self.actors_rt[a.id.0 as usize].sched
+                        == FilterSched::Scheduled
+                })
+                .map(|a| a.id)
+                .collect();
+            for actor in pending {
+                let a = self.graph.actor(actor);
+                let (Some(pe), Some(work)) = (a.pe, a.work_addr) else {
+                    continue;
+                };
+                if matches!(ctx.pe(pe).status, PeStatus::Idle) {
+                    ctx.invoke(pe, work, &[]);
+                    let rt = &mut self.actors_rt[actor.0 as usize];
+                    rt.begun = true;
+                    rt.sched = FilterSched::Running;
+                    self.stats.work_invocations += 1;
+                    self.events
+                        .push(|| RuntimeEvent::WorkBegun { actor });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! §III "Altering the Normal Execution": diagnosing a dataflow deadlock
+//! and untying it by injecting a token — then verifying the hypothesis by
+//! *dropping* and *rewriting* queued tokens.
+//!
+//! ```text
+//! cargo run --example deadlock_untangle
+//! ```
+
+use dataflow_debugger::dfdbg::{Session, Stop};
+use dataflow_debugger::h264::{build_decoder, Bug};
+use dataflow_debugger::p2012::PlatformConfig;
+use dataflow_debugger::pedf::{EnvSink, EnvSource, ValueGen};
+
+fn main() {
+    let (sys, app) =
+        build_decoder(Bug::Deadlock, 8, PlatformConfig::default()).unwrap();
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.boot(boot).expect("boot");
+    s.sys
+        .runtime
+        .add_source(
+            EnvSource::new(
+                app.boundary_in["bits_in"],
+                2,
+                ValueGen::Lcg { state: 1 },
+            )
+            .with_limit(8),
+        )
+        .unwrap();
+    s.sys
+        .runtime
+        .add_source(
+            EnvSource::new(
+                app.boundary_in["cfg_in"],
+                2,
+                ValueGen::Counter { next: 0, step: 1 },
+            )
+            .with_limit(8),
+        )
+        .unwrap();
+    s.sys
+        .runtime
+        .add_sink(EnvSink::new(app.boundary_out["frame_out"], 1))
+        .unwrap();
+
+    println!("(gdb) continue");
+    let stop = s.run(3_000_000);
+    println!("{}", s.describe(&stop));
+    assert_eq!(stop, Stop::Deadlock);
+
+    println!("\n(gdb) info filters");
+    print!("{}", s.info_filters());
+
+    println!("\n(gdb) info links");
+    print!("{}", s.info_links());
+
+    println!(
+        "\nDiagnosis: `ipred' waits for a second token on Red_in that \
+         `red' never produces."
+    );
+
+    // Hypothesis test 1: inject the missing token.
+    println!("\n(gdb) token inject red::red_ipred_out 42");
+    let idx = s.token_inject("red::red_ipred_out", &[42]).unwrap();
+    println!("[Injected token #{idx}]");
+    println!("(gdb) continue");
+    let stop = s.run(300_000);
+    println!("{}", s.describe(&stop));
+    let pred = s.model.graph.actor_by_name("pred").unwrap().id;
+    println!(
+        "pred module advanced to step {}",
+        s.sys.runtime.module_steps(pred)
+    );
+
+    // The next step deadlocks again (the bug reads two tokens per step);
+    // demonstrate token rewriting and deletion on a queued link.
+    let stop = s.run(3_000_000);
+    println!("\n(gdb) continue\n{}", s.describe(&stop));
+    let tokens = s.link_tokens("bh::red_out").unwrap_or_default();
+    if !tokens.is_empty() {
+        println!("\nQueued on bh::red_out: {} token(s)", tokens.len());
+        println!("(gdb) token set bh::red_out 0 999");
+        s.token_set("bh::red_out", 0, &[999]).unwrap();
+        println!("(gdb) token drop bh::red_out 0");
+        s.token_drop("bh::red_out", 0).unwrap();
+        println!(
+            "Now {} token(s) queued",
+            s.link_tokens("bh::red_out").unwrap().len()
+        );
+    }
+    println!("\nDone: the debugger altered the execution without touching \
+              the framework.");
+}

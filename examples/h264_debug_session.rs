@@ -1,0 +1,199 @@
+//! The paper's case study (§VI): debugging the H.264 decoder.
+//!
+//! Replays each session transcript from the paper against the
+//! reproduction. Select a scene (default: all):
+//!
+//! ```text
+//! cargo run --example h264_debug_session -- [catch|step_both|flow|two_level|fig4|sched]
+//! ```
+
+use dataflow_debugger::dfdbg::{FlowBehavior, Session, Stop};
+use dataflow_debugger::h264::{build_decoder, Bug};
+use dataflow_debugger::p2012::PlatformConfig;
+use dataflow_debugger::pedf::{EnvSink, EnvSource, ValueGen};
+
+fn session(bug: Bug, n_mbs: u64, constant_bits: Option<u32>) -> Session {
+    let (sys, app) =
+        build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.boot(boot).expect("boot under debugger");
+    let gen = match constant_bits {
+        Some(v) => ValueGen::Constant(v),
+        None => ValueGen::Lcg { state: 0xbeef },
+    };
+    s.sys
+        .runtime
+        .add_source(
+            EnvSource::new(app.boundary_in["bits_in"], 2, gen)
+                .with_limit(n_mbs),
+        )
+        .unwrap();
+    s.sys
+        .runtime
+        .add_source(
+            EnvSource::new(
+                app.boundary_in["cfg_in"],
+                2,
+                ValueGen::Counter { next: 0, step: 1 },
+            )
+            .with_limit(n_mbs),
+        )
+        .unwrap();
+    s.sys
+        .runtime
+        .add_sink(EnvSink::new(app.boundary_out["frame_out"], 1))
+        .unwrap();
+    s
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("== {title}");
+    println!("================================================================");
+}
+
+/// §VI-B: token-based execution firing.
+fn scene_catch() {
+    banner("§VI-B  Token-Based Execution Firing");
+    let mut s = session(Bug::None, 6, None);
+    println!("(gdb) filter pipe catch work");
+    s.catch_work("pipe").unwrap();
+    let stop = s.run(1_000_000);
+    println!("{}", s.describe(&stop));
+
+    let mut s = session(Bug::None, 6, None);
+    println!("\n(gdb) filter ipred catch Pipe_in=1, Hwcfg_in=1");
+    s.catch_receive("ipred", &[("Pipe_in", 1), ("Hwcfg_in", 1)])
+        .unwrap();
+    let stop = s.run(1_000_000);
+    println!("{}", s.describe(&stop));
+
+    let mut s = session(Bug::None, 6, None);
+    println!("\n(gdb) filter ipred catch *in=1");
+    s.catch_receive_all("ipred", 1).unwrap();
+    let stop = s.run(1_000_000);
+    println!("{}", s.describe(&stop));
+}
+
+/// §VI-C: non-linear execution, step_both.
+fn scene_step_both() {
+    banner("§VI-C  Non-Linear Execution (step_both)");
+    let mut s = session(Bug::None, 6, None);
+    s.break_line("ipred.c", 10).unwrap();
+    let stop = s.run(1_000_000);
+    println!("{}", s.describe(&stop));
+    println!("(gdb) list");
+    print!("{}", s.list_source(None, 1).unwrap());
+    println!("(gdb) step_both");
+    for m in s.step_both().unwrap() {
+        println!("{m}");
+    }
+    let stop = s.run(1_000_000);
+    println!("...\n{}", s.describe(&stop));
+    println!("(gdb) continue");
+    let stop = s.run(1_000_000);
+    println!("...\n{}", s.describe(&stop));
+}
+
+/// §VI-D: token recording, splitter configuration, last_token path.
+fn scene_flow() {
+    banner("§VI-D  Token-Based Application State and Information Flow");
+    // Constant bitstream chosen so bh emits 127, the paper's value.
+    let mut s = session(Bug::WrongValue, 8, Some(127 ^ 0x5a5a));
+    println!("(gdb) iface hwcfg::pipe_MbType_out record");
+    s.iface_record("hwcfg::pipe_MbType_out", true).unwrap();
+    println!("(gdb) filter red configure splitter");
+    s.configure_filter("red", FlowBehavior::Splitter).unwrap();
+    println!("(gdb) filter pipe catch Red2PipeCbMB_in");
+    s.catch_iface_receive("pipe::Red2PipeCbMB_in").unwrap();
+    let stop = s.run(2_000_000);
+    println!("...\n{}", s.describe(&stop));
+    println!("(gdb) iface hwcfg::pipe_MbType_out print");
+    print!("{}", s.iface_print("hwcfg::pipe_MbType_out").unwrap());
+    println!("(gdb) filter pipe info last_token");
+    print!("{}", s.info_last_token("pipe").unwrap());
+}
+
+/// §VI-E: two-level debugging.
+fn scene_two_level() {
+    banner("§VI-E  Two-Level Debugging");
+    let mut s = session(Bug::None, 6, Some(127 ^ 0x5a5a));
+    s.catch_iface_receive("pipe::Red2PipeCbMB_in").unwrap();
+    let stop = s.run(2_000_000);
+    println!("{}", s.describe(&stop));
+    println!("(gdb) filter print last_token");
+    println!("{}", s.filter_print_last_token("pipe").unwrap());
+    println!("(gdb) print $1");
+    println!("{}", s.print_history(1).unwrap());
+}
+
+/// Fig. 4: the rate-mismatch backlog snapshot.
+fn scene_fig4() {
+    banner("Fig. 4  Link Occupancy under the Rate-Mismatch Bug");
+    let mut s = session(Bug::RateMismatch, 16, None);
+    while s.link_occupancy("pipe::pipe_ipf_out").unwrap() < 10 {
+        if !matches!(s.run(200), Stop::CycleLimit) {
+            break;
+        }
+    }
+    for _ in 0..100_000 {
+        if s.link_occupancy("pipe::pipe_ipf_out").unwrap() == 20 {
+            break;
+        }
+        s.run(1);
+    }
+    println!("(gdb) info links");
+    print!("{}", s.info_links());
+    println!("(gdb) graph dot   # -> render with Graphviz");
+    println!("{}", s.graph_dot());
+}
+
+/// Contribution #2: the scheduling monitor + §III deadlock untying.
+fn scene_sched() {
+    banner("Scheduling Monitor + Deadlock (token injection)");
+    let mut s = session(Bug::Deadlock, 8, None);
+    let stop = s.run(3_000_000);
+    println!("{}", s.describe(&stop));
+    println!("(gdb) info filters");
+    print!("{}", s.info_filters());
+    println!("(gdb) token inject red::red_ipred_out 42");
+    let idx = s.token_inject("red::red_ipred_out", &[42]).unwrap();
+    println!("[Injected token #{idx}]");
+    let stop = s.run(500_000);
+    println!("(gdb) continue\n{}", s.describe(&stop));
+    print!("{}", s.info_filters());
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let scenes: Vec<(&str, fn())> = vec![
+        ("catch", scene_catch),
+        ("step_both", scene_step_both),
+        ("flow", scene_flow),
+        ("two_level", scene_two_level),
+        ("fig4", scene_fig4),
+        ("sched", scene_sched),
+    ];
+    match arg.as_deref() {
+        None | Some("all") => {
+            for (_, f) in &scenes {
+                f();
+            }
+        }
+        Some(name) => match scenes.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!(
+                    "unknown scene `{name}`; available: {}",
+                    scenes
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(1);
+            }
+        },
+    }
+}

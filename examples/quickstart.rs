@@ -1,0 +1,153 @@
+//! Quickstart: build the paper's own `AModule` example (§IV-A), boot it
+//! under the dataflow debugger, reconstruct its graph and run a first
+//! debugging session.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dataflow_debugger::dfdbg::{cli::Cli, Session};
+use dataflow_debugger::mind::{self, SourceRegistry};
+use dataflow_debugger::p2012::PlatformConfig;
+use dataflow_debugger::pedf::{EnvSink, EnvSource, ValueGen};
+
+/// The §IV-A architecture listing (with the controller command links typed
+/// consistently; see DESIGN.md).
+const AMODULE: &str = "\
+@Module
+composite AModule {
+  contains as controller {
+    output U32 as cmd_out_1;
+    output U32 as cmd_out_2;
+    source ctrl_source.c;
+  }
+  // External connections
+  input U32 as module_in;
+  output U32 as module_out;
+  // Sub-components
+  contains AFilter as filter_1;
+  contains AFilter as filter_2;
+  // Connections
+  binds controller.cmd_out_1 to filter_1.cmd_in;
+  binds controller.cmd_out_2 to filter_2.cmd_in;
+  binds this.module_in to filter_1.an_input;
+  binds filter_1.an_output to filter_2.an_input;
+  binds filter_2.an_output to this.module_out;
+}
+
+@Filter
+primitive AFilter {
+  data      stddefs.h:U32 a_private_data;
+  attribute stddefs.h:U32 an_attribute;
+  source    the_source.c;
+  input stddefs.h:U32 as an_input;
+  input stddefs.h:U32 as cmd_in;
+  output stddefs.h:U32 as an_output;
+}
+";
+
+const CTRL: &str = "\
+void work() {
+    while (pedf.run()) {
+        pedf.step_begin();
+        pedf.io.cmd_out_1[0] = 1;
+        pedf.io.cmd_out_2[0] = 2;
+        pedf.fire(filter_1);
+        pedf.fire(filter_2);
+        pedf.wait_init();
+        pedf.wait_sync();
+        pedf.step_end();
+    }
+}
+";
+
+const FILTER: &str = "\
+void work() {
+    U32 cmd = pedf.io.cmd_in[0];
+    U32 v = pedf.io.an_input[0];
+    pedf.data.a_private_data = pedf.data.a_private_data + cmd;
+    pedf.io.an_output[0] = v + pedf.attribute.an_attribute;
+}
+";
+
+fn main() {
+    // 1. Compile the architecture + kernels into a bootable image.
+    let mut sources = SourceRegistry::new();
+    sources.add("ctrl_source.c", CTRL);
+    sources.add("the_source.c", FILTER);
+    let (mut sys, app) =
+        mind::build(AMODULE, &sources, PlatformConfig::default())
+            .expect("build AModule");
+    let module = app.actor("amodule").unwrap();
+    sys.runtime.set_max_steps(module, 5);
+
+    println!("== Platform ==");
+    println!("{}", sys.platform.describe());
+
+    // 2. Attach the debugger and boot: the graph is reconstructed from the
+    //    framework's registration calls (Contribution #1).
+    let boot = app.boot_entry;
+    let mut session = Session::attach(sys, app.info);
+    session.boot(boot).expect("boot");
+    println!(
+        "== Graph reconstructed: {} actors, {} links ==",
+        session.model.graph.actors.len(),
+        session.model.graph.links.len()
+    );
+    println!("{}", session.info_links());
+
+    // 3. Feed the module from the host side.
+    session
+        .sys
+        .runtime
+        .add_source(
+            EnvSource::new(
+                app.boundary_in["module_in"],
+                3,
+                ValueGen::Counter { next: 100, step: 10 },
+            )
+            .with_limit(5),
+        )
+        .unwrap();
+    session
+        .sys
+        .runtime
+        .add_sink(EnvSink::new(app.boundary_out["module_out"], 1))
+        .unwrap();
+
+    // 4. A first dataflow-aware session, through the GDB-style CLI.
+    let mut cli = Cli::new(session);
+    for cmd in [
+        "filter filter_1 catch work",
+        "continue",
+        "info filters",
+        "delete 1",
+        "iface filter_1::an_output record",
+        "continue",
+        "info links",
+        "iface filter_1::an_output print",
+        "graph dot",
+    ] {
+        println!("(gdb) {cmd}");
+        let out = cli.exec(cmd);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+    }
+
+    // 5. Run to completion and show the decoded output.
+    loop {
+        let out = cli.exec("continue");
+        if out.contains("finished") || out.contains("Deadlock") {
+            println!("{out}");
+            break;
+        }
+    }
+    let sink = cli
+        .session
+        .sys
+        .runtime
+        .sink_for(app.boundary_out["module_out"])
+        .unwrap();
+    println!("module_out received: {:?}", sink.tail);
+}

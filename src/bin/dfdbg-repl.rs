@@ -1,0 +1,99 @@
+//! Interactive dataflow-debugger REPL.
+//!
+//! Boots the case-study decoder under the debugger and reads GDB-style
+//! commands from stdin:
+//!
+//! ```text
+//! cargo run --bin dfdbg-repl [-- none|rate|value|deadlock [n_mbs]]
+//! (gdb) filter pipe catch work
+//! (gdb) continue
+//! (gdb) info links
+//! (gdb) help
+//! ```
+
+use std::io::{BufRead, Write as _};
+
+use dataflow_debugger::dfdbg::cli::Cli;
+use dataflow_debugger::dfdbg::Session;
+use dataflow_debugger::h264::{attach_env, build_decoder, Bug};
+use dataflow_debugger::p2012::PlatformConfig;
+
+const HELP: &str = "\
+Dataflow commands:
+  graph [dot]                         link occupancy / Graphviz DOT
+  info filters|links|platform|breakpoints|console
+  filter <f> catch work               stop when <f>'s WORK fires
+  filter <f> catch In1=1, In2=1       stop on received-token counts
+  filter <f> catch *in=1              ... on every input interface
+  filter <f> configure splitter|pipeline|merger
+  filter <f> info last_token          provenance path
+  filter print last_token             last token of the focused filter -> $N
+  iface <a::c> record|print|stop
+  catch recv|send <a::c> | value <a::c> <v> | count <a::c> <n>
+  catch sched <f> | catch step [begin|end] [module]
+  step_both                           breakpoint both ends of the next send
+  token inject|set|drop <a::c> ...
+Low-level commands:
+  run [cycles] / continue / step / next / finish / stepi
+  break <symbol|file:line> / watch <object> / delete <id>
+  focus <actor> / where / backtrace / list [file:line]
+  print <object|$N>
+  quit";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bug = match args.next().as_deref() {
+        None | Some("none") => Bug::None,
+        Some("rate") => Bug::RateMismatch,
+        Some("value") => Bug::WrongValue,
+        Some("deadlock") => Bug::Deadlock,
+        Some(other) => {
+            eprintln!("unknown variant `{other}` (none|rate|value|deadlock)");
+            std::process::exit(1);
+        }
+    };
+    let n_mbs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+
+    let (sys, mut app) = build_decoder(bug, n_mbs, PlatformConfig::default())
+        .expect("build decoder");
+    let boot = app.boot_entry;
+    let info = std::mem::take(&mut app.info);
+    let mut session = Session::attach(sys, info);
+    session.boot(boot).expect("boot");
+    attach_env(&mut session.sys, &app, n_mbs, 0xbeef).expect("env");
+    println!(
+        "dfdbg: attached to the H.264 decoder ({:?}, {n_mbs} macroblocks), \
+         graph reconstructed: {} actors, {} links.\nType `help` for commands.",
+        bug,
+        session.model.graph.actors.len(),
+        session.model.graph.links.len()
+    );
+
+    let mut cli = Cli::new(session);
+    let stdin = std::io::stdin();
+    loop {
+        print!("(gdb) ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "quit" | "q" | "exit" => break,
+            "help" | "h" => println!("{HELP}"),
+            _ => {
+                let out = cli.exec(line);
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the dataflow-debugger workspace.
+//!
+//! Re-exports every layer of the stack so examples and integration tests
+//! can reach the whole system through a single dependency:
+//!
+//! * [`p2012`] — the Platform 2012 functional simulator (substrate);
+//! * [`kernelc`] — the C-subset kernel compiler (substrate);
+//! * [`pedf`] — the PEDF dynamic dataflow runtime (substrate);
+//! * [`mind`] — the architecture-description front end (substrate);
+//! * [`dfdbg`] — the dataflow-aware interactive debugger (the paper's
+//!   contribution);
+//! * [`h264`] — the H.264-style case-study application (§VI).
+
+pub use debuginfo;
+pub use dfdbg;
+pub use h264_pipeline as h264;
+pub use kernelc;
+pub use mind;
+pub use p2012;
+pub use pedf;

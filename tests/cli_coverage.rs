@@ -1,0 +1,165 @@
+//! CLI command-language coverage: every command family of the paper's
+//! transcripts driven through the textual front end.
+
+use dfdbg::cli::Cli;
+use dfdbg::Session;
+use h264_pipeline::{build_decoder, Bug};
+use p2012::PlatformConfig;
+
+fn cli(bug: Bug, n: u64) -> Cli {
+    let (sys, app) = build_decoder(bug, n, PlatformConfig::default()).unwrap();
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.boot(boot).unwrap();
+    let g = &s.model.graph;
+    let d = g.actor_by_name("decoder").unwrap();
+    let bits = g.conn_by_name(d.id, "bits_in").unwrap().id;
+    let cfg = g.conn_by_name(d.id, "cfg_in").unwrap().id;
+    s.sys
+        .runtime
+        .add_source(
+            pedf::EnvSource::new(bits, 2, pedf::ValueGen::Lcg { state: 7 })
+                .with_limit(n),
+        )
+        .unwrap();
+    s.sys
+        .runtime
+        .add_source(
+            pedf::EnvSource::new(
+                cfg,
+                2,
+                pedf::ValueGen::Counter { next: 0, step: 1 },
+            )
+            .with_limit(n),
+        )
+        .unwrap();
+    Cli::new(s)
+}
+
+#[test]
+fn catch_family_via_cli() {
+    let mut c = cli(Bug::None, 6);
+    assert!(c.exec("catch recv ipred::Red_in").contains("Catchpoint"));
+    let out = c.exec("continue");
+    assert!(
+        out.contains("receiving token from `ipred::Red_in'"),
+        "{out}"
+    );
+
+    let mut c = cli(Bug::None, 6);
+    assert!(c.exec("catch send bh::red_out").contains("Catchpoint"));
+    assert!(c.exec("continue").contains("sending token on `bh::red_out'"));
+
+    let mut c = cli(Bug::None, 6);
+    assert!(c.exec("catch count bh::red_out 2").contains("Catchpoint"));
+    assert!(c.exec("continue").contains("bh::red_out"));
+
+    let mut c = cli(Bug::None, 6);
+    assert!(c.exec("catch sched mc").contains("Catchpoint"));
+    assert!(c
+        .exec("continue")
+        .contains("controller scheduled filter `mc'"));
+
+    let mut c = cli(Bug::None, 6);
+    assert!(c.exec("catch step begin front").contains("Catchpoint"));
+    assert!(c
+        .exec("continue")
+        .contains("beginning of step 1 of module `front'"));
+    assert!(c.exec("catch step end pred").contains("Catchpoint"));
+}
+
+#[test]
+fn filter_catch_conditions_via_cli() {
+    let mut c = cli(Bug::None, 6);
+    let out = c.exec("filter ipred catch Pipe_in=1, Hwcfg_in=1");
+    assert!(out.contains("Catchpoint"), "{out}");
+    let out = c.exec("continue");
+    assert!(out.contains("received the requested tokens"), "{out}");
+
+    let mut c = cli(Bug::None, 6);
+    assert!(c.exec("filter ipred catch *in=1").contains("Catchpoint"));
+    assert!(c
+        .exec("continue")
+        .contains("received the requested tokens"));
+}
+
+#[test]
+fn token_commands_via_cli() {
+    let mut c = cli(Bug::Deadlock, 6);
+    let out = c.exec("continue");
+    assert!(out.contains("Deadlock"), "{out}");
+    let out = c.exec("token inject red::red_ipred_out 42");
+    assert!(out.contains("Injected token #"), "{out}");
+    // Hex values accepted.
+    let out = c.exec("token inject red::red_ipred_out 0x2A");
+    assert!(out.contains("Injected"), "{out}");
+    // Bad specs fail gracefully.
+    assert!(c.exec("token inject nowhere::x 1").starts_with("error:"));
+    assert!(c
+        .exec("token set red::red_ipred_out 99 1")
+        .starts_with("error:"));
+    assert!(c
+        .exec("token drop red::red_ipred_out 99")
+        .starts_with("error:"));
+}
+
+#[test]
+fn break_list_where_via_cli() {
+    let mut c = cli(Bug::None, 6);
+    let out = c.exec("break ipred.c:9");
+    assert!(out.contains("Breakpoint 1 set"), "{out}");
+    let out = c.exec("continue");
+    assert!(out.contains("Breakpoint 1"), "{out}");
+    let out = c.exec("list");
+    assert!(out.contains("pred = (p + h) * 2 + r"), "{out}");
+    let out = c.exec("list ipred.c:2");
+    assert!(out.contains("if (v > 255)"), "{out}");
+    let out = c.exec("where");
+    assert!(out.contains("ipred::work"), "{out}");
+    let out = c.exec("bt");
+    assert!(out.contains("#0"), "{out}");
+    // step/next/finish through the CLI.
+    let out = c.exec("next");
+    assert!(out.contains("ipred"), "{out}");
+    let out = c.exec("stepi");
+    assert!(!out.starts_with("error"), "{out}");
+    // step_both from the assignment line.
+    c.exec("delete 1");
+    let out = c.exec("break ipred.c:10");
+    assert!(out.contains("Breakpoint"), "{out}");
+    c.exec("continue");
+    let out = c.exec("step_both");
+    assert!(out.contains("Temporary breakpoint inserted"), "{out}");
+}
+
+#[test]
+fn focus_and_record_toggle_via_cli() {
+    let mut c = cli(Bug::None, 40);
+    let out = c.exec("focus hwcfg");
+    assert!(out.contains("Focused"), "{out}");
+    c.exec("iface hwcfg::pipe_MbType_out record");
+    c.exec("run 2000");
+    let out = c.exec("iface hwcfg::pipe_MbType_out print");
+    assert!(out.starts_with("#1 (U16)"), "{out}");
+    // norecord clears the history and disables recording.
+    c.exec("iface hwcfg::pipe_MbType_out norecord");
+    let out = c.exec("iface hwcfg::pipe_MbType_out print");
+    assert!(out.starts_with("error:"), "{out}");
+    // `iface ... stop` installs a receive catchpoint.
+    let out = c.exec("iface pipe::MbType_in stop");
+    assert!(out.contains("Catchpoint"), "{out}");
+    let out = c.exec("continue");
+    assert!(out.contains("receiving token from `pipe::MbType_in'"), "{out}");
+}
+
+#[test]
+fn info_breakpoints_lists_everything() {
+    let mut c = cli(Bug::None, 4);
+    c.exec("break ipred.c:9");
+    c.exec("filter pipe catch work");
+    c.exec("catch recv ipred::Red_in");
+    let out = c.exec("info breakpoints");
+    assert!(out.contains("ipred.c:9"), "{out}");
+    assert!(out.contains("work of filter pipe"), "{out}");
+    assert!(out.contains("TokenReceivedOn"), "{out}");
+}

@@ -1,0 +1,222 @@
+//! Predicated execution — the capability PEDF is named after (§IV):
+//! "advanced scheduling capabilities, allowing the modification of the
+//! dataflow graph behavior during its execution (based on a set of
+//! predicates) or run some parts of the graph at different rates."
+//!
+//! The controller below fires one of two filters depending on a runtime
+//! attribute, and fires a third filter only every other step. The
+//! debugger's scheduling monitor observes the changing shape.
+
+use dfdbg::{DfStop, Session, Stop};
+use p2012::PlatformConfig;
+use pedf::{ActorKind, EnvSink, EnvSource, ValueGen};
+
+const ADL: &str = "\
+@Module
+composite Pm {
+  contains as controller {
+    attribute stddefs.h:U32 mode;
+    attribute stddefs.h:U32 step_no;
+    source ctrl.c;
+  }
+  input U32 as in_a;
+  input U32 as in_b;
+  output U32 as out;
+  contains Fa as fa;
+  contains Fb as fb;
+  contains Fc as slow;
+  binds this.in_a to fa.i;
+  binds this.in_b to fb.i;
+  binds fa.o to this.out;
+  binds fb.o to slow.i;
+  binds slow.o to fb.back;
+}
+@Filter
+primitive Fa {
+  source fa.c;
+  input U32 as i;
+  output U32 as o;
+}
+@Filter
+primitive Fb {
+  source fb.c;
+  data stddefs.h:U32 acc;
+  input U32 as i;
+  input U32 as back;
+  output U32 as o;
+}
+@Filter
+primitive Fc {
+  source fc.c;
+  input U32 as i;
+  output U32 as o;
+}
+";
+
+/// Predicate-controlled schedule: `mode` picks the active branch; `slow`
+/// runs at half rate (a different-rate sub-graph).
+const CTRL: &str = "\
+void work() {
+    while (pedf.run()) {
+        pedf.step_begin();
+        if (pedf.attribute.mode == 1) {
+            pedf.fire(fa);
+        } else {
+            pedf.fire(fb);
+            if (pedf.attribute.step_no % 2 == 1) {
+                pedf.fire(slow);
+            }
+        }
+        pedf.wait_init();
+        pedf.wait_sync();
+        pedf.attribute.step_no = pedf.attribute.step_no + 1;
+        pedf.step_end();
+    }
+}
+";
+
+fn build() -> (pedf::System, mind::CompiledApp) {
+    let mut srcs = mind::SourceRegistry::new();
+    srcs.add("ctrl.c", CTRL);
+    srcs.add("fa.c", "void work() { pedf.io.o[0] = pedf.io.i[0] * 2; }");
+    // fb consumes the feedback token only when available (dynamic rates!).
+    srcs.add(
+        "fb.c",
+        "void work() {
+            U32 v = pedf.io.i[0];
+            U32 fb = 0;
+            if (pedf.available(back) > 0) {
+                fb = pedf.io.back[0];
+            }
+            pedf.data.acc = pedf.data.acc + v + fb;
+            pedf.io.o[0] = pedf.data.acc;
+        }",
+    );
+    srcs.add("fc.c", "void work() { pedf.io.o[0] = pedf.io.i[0] + 1; }");
+    mind::build(ADL, &srcs, PlatformConfig::default()).expect("build")
+}
+
+#[test]
+fn predicates_select_the_active_branch() {
+    // mode = 1: only fa runs; fb and slow never fire.
+    let (mut sys, app) = build();
+    let m = app.actor("pm").unwrap();
+    sys.runtime.set_max_steps(m, 4);
+    sys.boot(app.boot_entry).unwrap();
+    let ctrl = app.actor("pm_controller").unwrap();
+    let (mode_addr, _) = app.data_addr(ctrl, "mode").unwrap();
+    sys.platform.mem.poke(mode_addr, 1).unwrap();
+    sys.runtime
+        .add_source(
+            EnvSource::new(
+                app.boundary_in["in_a"],
+                2,
+                ValueGen::Counter { next: 1, step: 1 },
+            )
+            .with_limit(4),
+        )
+        .unwrap();
+    sys.runtime
+        .add_sink(EnvSink::new(app.boundary_out["out"], 1))
+        .unwrap();
+    assert!(sys.run_to_quiescence(500_000));
+    assert_eq!(sys.first_fault(), None);
+    let sink = sys.runtime.sink_for(app.boundary_out["out"]).unwrap();
+    assert_eq!(sink.tail, vec![2, 4, 6, 8]);
+    assert_eq!(sys.runtime.steps_done(app.actor("fa").unwrap()), 4);
+    assert_eq!(sys.runtime.steps_done(app.actor("fb").unwrap()), 0);
+    assert_eq!(sys.runtime.steps_done(app.actor("slow").unwrap()), 0);
+}
+
+#[test]
+fn different_rate_subgraph_fires_every_other_step() {
+    // mode = 0: fb runs every step, slow every second step.
+    let (mut sys, app) = build();
+    let m = app.actor("pm").unwrap();
+    sys.runtime.set_max_steps(m, 6);
+    sys.boot(app.boot_entry).unwrap();
+    sys.runtime
+        .add_source(
+            EnvSource::new(
+                app.boundary_in["in_b"],
+                2,
+                ValueGen::Constant(10),
+            )
+            .with_limit(6),
+        )
+        .unwrap();
+    assert!(sys.run_to_quiescence(1_000_000));
+    assert_eq!(sys.first_fault(), None);
+    assert_eq!(sys.runtime.steps_done(app.actor("fb").unwrap()), 6);
+    assert_eq!(sys.runtime.steps_done(app.actor("slow").unwrap()), 3);
+    assert_eq!(sys.runtime.steps_done(app.actor("fa").unwrap()), 0);
+}
+
+#[test]
+fn debugger_observes_the_predicate_switch() {
+    // Start in mode 0 (fb branch); after two steps flip the attribute to
+    // mode 1 from the debugger and watch the schedule change — "altering
+    // the normal execution" applied to a scheduling predicate.
+    let (mut sys, app) = build();
+    let m = app.actor("pm").unwrap();
+    sys.runtime.set_max_steps(m, 6);
+    let ctrl = app.actor("pm_controller").unwrap();
+    let (mode_addr, _) = app.data_addr(ctrl, "mode").unwrap();
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.boot(boot).unwrap();
+    for (port, v) in [("in_a", 1u32), ("in_b", 10)] {
+        let g = &s.model.graph;
+        let pm = g.actor_by_name("pm").unwrap();
+        let conn = g.conn_by_name(pm.id, port).unwrap().id;
+        s.sys
+            .runtime
+            .add_source(
+                EnvSource::new(conn, 2, ValueGen::Constant(v)).with_limit(6),
+            )
+            .unwrap();
+    }
+
+    // Stop at the end of step 2, flip the predicate via a debugger poke
+    // (the object symbol resolves it, like `print mode = 1` in GDB).
+    s.catch_step(Some("pm"), false).unwrap();
+    loop {
+        match s.run(1_000_000) {
+            Stop::Dataflow(DfStop::StepEnd { step: 2, .. }) => break,
+            Stop::Dataflow(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    let sym = s
+        .info
+        .symbols
+        .resolve("PmControllerFilter_attribute_mode")
+        .expect("attribute object symbol");
+    assert_eq!(sym.addr, mode_addr);
+    s.sys.platform.mem.poke(mode_addr, 1).unwrap();
+    s.delete_catch(0);
+
+    // Watch fa get scheduled for the first time.
+    s.catch_scheduled("fa").unwrap();
+    let stop = s.run(1_000_000);
+    assert!(
+        matches!(stop, Stop::Dataflow(DfStop::Scheduled { .. })),
+        "{stop:?}"
+    );
+    loop {
+        match s.run(10_000_000) {
+            Stop::Quiescent => break,
+            Stop::CycleLimit => panic!("stuck"),
+            _ => {}
+        }
+    }
+    // fb ran the first 2 steps, fa the remaining 4.
+    let fb = s.model.graph.actor_by_name("fb").unwrap().id;
+    let fa = s.model.graph.actor_by_name("fa").unwrap().id;
+    assert_eq!(s.sys.runtime.steps_done(fb), 2);
+    assert_eq!(s.sys.runtime.steps_done(fa), 4);
+    // The debugger's own model counted the same work.
+    assert_eq!(s.model.actors[fb.0 as usize].steps_done, 2);
+    assert_eq!(s.model.actors[fa.0 as usize].steps_done, 4);
+    let _ = ActorKind::Filter;
+}

@@ -1,0 +1,89 @@
+//! Framework protocol violations surface as debuggable faults: the
+//! runtime rejects malformed I/O (the structure model requires sequential
+//! writes), the PE faults, and the debugger reports where.
+
+use dfdbg::{Session, Stop};
+use p2012::PlatformConfig;
+use pedf::{EnvSource, ValueGen};
+
+fn build_bad_writer() -> (pedf::System, mind::CompiledApp) {
+    let adl = "\
+@Module composite M {
+  contains as controller { source c.c; }
+  input U32 as m_in;
+  output U32 as m_out;
+  contains F as f;
+  binds this.m_in to f.i;
+  binds f.o to this.m_out;
+}
+@Filter primitive F {
+  source f.c;
+  input U32 as i;
+  output U32 as o;
+}";
+    let mut srcs = mind::SourceRegistry::new();
+    srcs.add(
+        "c.c",
+        "void work() { while (pedf.run()) { pedf.step_begin(); \
+         pedf.fire(f); pedf.wait_init(); pedf.wait_sync(); \
+         pedf.step_end(); } }",
+    );
+    // Writes index 1 before index 0: out-of-order in the structure model.
+    srcs.add(
+        "f.c",
+        "void work() { U32 v = pedf.io.i[0]; pedf.io.o[1] = v; }",
+    );
+    mind::build(adl, &srcs, PlatformConfig::default()).expect("build")
+}
+
+#[test]
+fn out_of_order_write_faults_with_diagnostics() {
+    let (mut sys, app) = build_bad_writer();
+    sys.runtime.set_max_steps(app.actor("m").unwrap(), 2);
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.boot(boot).unwrap();
+    let g = &s.model.graph;
+    let m = g.actor_by_name("m").unwrap();
+    let m_in = g.conn_by_name(m.id, "m_in").unwrap().id;
+    s.sys
+        .runtime
+        .add_source(EnvSource::new(m_in, 1, ValueGen::Constant(5)))
+        .unwrap();
+    let stop = s.run(100_000);
+    let Stop::Fault { pe, fault } = stop else {
+        panic!("expected a fault, got {stop:?}");
+    };
+    assert!(fault.to_string().contains("out-of-order write"), "{fault}");
+    // The runtime recorded the detail, including the connection name.
+    let detail = s.sys.runtime.protocol_errors.last().unwrap();
+    assert!(detail.contains("out-of-order write on o"), "{detail}");
+    // The faulted PE is the filter's, inside its work method.
+    let f = s.model.graph.actor_by_name("f").unwrap();
+    assert_eq!(Some(pe), f.pe);
+    let loc = s.where_is(pe);
+    assert!(loc.contains("faulted"), "{loc}");
+}
+
+#[test]
+fn registration_anomalies_are_collected_not_fatal_for_the_debugger() {
+    // Feed the debugger model a duplicate registration: the model records
+    // an anomaly instead of panicking (a hostile/buggy framework must not
+    // take the debugger down).
+    use dfdbg::{DfEvent, DfModel};
+    let mut m = DfModel::new(debuginfo::TypeTable::new());
+    let mut stops = Vec::new();
+    let reg = DfEvent::ActorRegistered {
+        id: 0,
+        name: "x".into(),
+        kind: pedf::ActorKind::Module,
+        parent: None,
+        pe: None,
+        work: None,
+    };
+    m.apply(reg.clone(), 0, &mut stops);
+    m.apply(reg, 0, &mut stops);
+    assert_eq!(m.graph.actors.len(), 1);
+    assert_eq!(m.anomalies.len(), 1);
+    assert!(m.anomalies[0].contains("contiguous"), "{:?}", m.anomalies);
+}
