@@ -72,7 +72,7 @@ fn two_filter_model() -> DfModel {
 
 fn bench_catchpoints(c: &mut Criterion) {
     let mut g = c.benchmark_group("b3_catchpoint_evaluation");
-    for k in [0usize, 4, 16, 64, 256] {
+    for k in [0usize, 1, 4, 16, 64, 256] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let mut m = two_filter_model();
@@ -106,11 +106,7 @@ fn bench_catchpoints(c: &mut Criterion) {
                         0,
                         &mut stops,
                     );
-                    m.apply(
-                        DfEvent::WorkBegun { actor: ActorId(2) },
-                        0,
-                        &mut stops,
-                    );
+                    m.apply(DfEvent::WorkBegun { actor: ActorId(2) }, 0, &mut stops);
                     assert!(stops.is_empty());
                 }
                 m

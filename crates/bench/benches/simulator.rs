@@ -4,10 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use h264_pipeline::Bug;
-use p2012::{
-    memory::L2_BASE, Insn, NullHandler, PeId, Platform, PlatformConfig,
-    ProgramBuilder,
-};
+use p2012::{memory::L2_BASE, Insn, NullHandler, PeId, Platform, PlatformConfig, ProgramBuilder};
 
 /// Tight arithmetic loop: the interpreter's peak instruction rate.
 fn bench_interpreter(c: &mut Criterion) {
@@ -46,8 +43,7 @@ fn bench_fifo(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N));
     g.bench_function("push_pop_l2", |bch| {
         bch.iter(|| {
-            let mut mem =
-                p2012::Memory::new(p2012::MemoryMap::default());
+            let mut mem = p2012::Memory::new(p2012::MemoryMap::default());
             let mut f = pedf::FifoState::new(L2_BASE, 64, 1);
             let mut out = Vec::new();
             for i in 0..N {
@@ -66,10 +62,7 @@ fn bench_decoder(c: &mut Criterion) {
     let mut g = c.benchmark_group("b4_decoder");
     g.sample_size(10);
     g.bench_function("decode_16_mbs", |bch| {
-        bch.iter(|| {
-            h264_pipeline::run_decoder(Bug::None, 16, 0xbeef, 50_000_000)
-                .expect("decode")
-        });
+        bch.iter(|| h264_pipeline::run_decoder(Bug::None, 16, 0xbeef, 50_000_000).expect("decode"));
     });
     g.finish();
 }

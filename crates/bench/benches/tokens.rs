@@ -113,8 +113,20 @@ fn storm(m: &mut DfModel, n: u64) {
             &mut stops,
         );
         // Window resets so indexes stay at 0.
-        m.apply(DfEvent::WorkBegun { actor: pedf::ActorId(2) }, i, &mut stops);
-        m.apply(DfEvent::WorkBegun { actor: pedf::ActorId(3) }, i, &mut stops);
+        m.apply(
+            DfEvent::WorkBegun {
+                actor: pedf::ActorId(2),
+            },
+            i,
+            &mut stops,
+        );
+        m.apply(
+            DfEvent::WorkBegun {
+                actor: pedf::ActorId(3),
+            },
+            i,
+            &mut stops,
+        );
         stops.clear();
     }
 }
@@ -148,6 +160,17 @@ fn bench_tokens(c: &mut Criterion) {
             m
         });
     });
+    // Token storm against a small record limit: slot reuse plus eviction
+    // instead of unbounded growth. The assertion keeps the bench honest.
+    g.bench_function("bounded_limit_1k", |b| {
+        b.iter(|| {
+            let mut m = pipeline_model();
+            m.set_record_limit(1024);
+            storm(&mut m, N);
+            assert!(m.tokens.len() <= 1024);
+            m
+        });
+    });
     g.finish();
 }
 
@@ -157,13 +180,9 @@ fn bench_last_token_path(c: &mut Criterion) {
         let mut m = pipeline_model();
         m.actors[2].behavior = FlowBehavior::Pipeline;
         storm(&mut m, depth);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(depth),
-            &m,
-            |b, m| {
-                b.iter(|| m.last_token_path(pedf::ActorId(3)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &m, |b, m| {
+            b.iter(|| m.last_token_path(pedf::ActorId(3)));
+        });
     }
     g.finish();
 }

@@ -11,8 +11,13 @@
 //!   Both strategies are *scripted* debugger sessions; interaction counts
 //!   fall out of execution, they are not hard-coded.
 
+//! * [`scaling`] — experiment E3: event-capture hot-path scaling
+//!   (per-event cost vs. installed catchpoints; bounded token storms).
+
 pub mod localization;
 pub mod overhead;
+pub mod scaling;
 
 pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
+pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};

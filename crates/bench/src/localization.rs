@@ -54,20 +54,15 @@ const SEED: u32 = 0xbeef;
 const N_MBS: u64 = 12;
 
 fn make_session(bug: Bug) -> Session {
-    let (sys, app) =
-        build_decoder(bug, N_MBS, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(bug, N_MBS, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut s = Session::attach(sys, app.info);
     s.boot(boot).expect("boot");
     s.sys
         .runtime
         .add_source(
-            EnvSource::new(
-                app.boundary_in["bits_in"],
-                2,
-                ValueGen::Lcg { state: SEED },
-            )
-            .with_limit(N_MBS),
+            EnvSource::new(app.boundary_in["bits_in"], 2, ValueGen::Lcg { state: SEED })
+                .with_limit(N_MBS),
         )
         .unwrap();
     s.sys
@@ -138,35 +133,29 @@ fn dataflow_aware(bug: Bug) -> (u32, String, bool) {
             s.iface_record("pipe::Red2PipeCbMB_in", true).unwrap();
             // 2. declare red's behaviour for provenance
             n += 1;
-            s.configure_filter(
-                "red",
-                dfdbg::FlowBehavior::Splitter,
-            )
-            .unwrap();
+            s.configure_filter("red", dfdbg::FlowBehavior::Splitter)
+                .unwrap();
             // 3. continue to completion
             n += 1;
             loop {
                 match s.run(50_000_000) {
-                    Stop::Quiescent | Stop::Deadlock | Stop::CycleLimit => {
-                        break
-                    }
+                    Stop::Quiescent | Stop::Deadlock | Stop::CycleLimit => break,
                     _ => {}
                 }
             }
             // 4. print the recording, compare Izz with the expected stream
             n += 1;
             let conn = s.conn_named("pipe::Red2PipeCbMB_in").unwrap();
-            let hist: Vec<u64> = s.model.conns[conn.0 as usize]
-                .history
-                .clone();
+            let hist: Vec<u64> = s.model.conns[conn.0 as usize].history.clone();
             let mut bad_index = None;
             let mut lcg = golden::Lcg::new(SEED);
             for (i, id) in hist.iter().enumerate() {
                 let v = lcg.next() ^ 0x5a5a;
                 let expect_izz = v.wrapping_mul(13).wrapping_add(7) & 0xffff;
-                let got = s.model.tokens[*id as usize]
-                    .value
-                    .field(&s.model.types, "Izz")
+                let got = s
+                    .model
+                    .try_token(*id)
+                    .and_then(|t| t.value.field(&s.model.types, "Izz"))
                     .unwrap_or(0);
                 if got != expect_izz {
                     bad_index = Some(i);
@@ -205,11 +194,7 @@ fn dataflow_aware(bug: Bug) -> (u32, String, bool) {
                 .find(|l| l.contains("waiting for input tokens"))
                 .map(|l| l.split_whitespace().next().unwrap().to_string());
             match starved {
-                Some(actor) => (
-                    n,
-                    format!("`{actor}' starved on an input link"),
-                    true,
-                ),
+                Some(actor) => (n, format!("`{actor}' starved on an input link"), true),
                 None => (n, "no starved filter".into(), false),
             }
         }
@@ -241,8 +226,7 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
             let push_bp = s.break_symbol("pedf_push_token").unwrap();
             n += 1;
             let pop_bp = s.break_symbol("pedf_pop_token").unwrap();
-            let mut pushes: std::collections::HashMap<Word, i64> =
-                std::collections::HashMap::new();
+            let mut pushes: std::collections::HashMap<Word, i64> = std::collections::HashMap::new();
             let mut verdict = None;
             for _ in 0..400 {
                 n += 1; // continue
@@ -283,14 +267,15 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
             // caller frame — then recompute the residual by hand.
             n += 1;
             s.break_symbol("pedf_push_struct").unwrap();
-            let red_out_conn =
-                s.conn_named("red::Red2PipeCbMB_out").unwrap().0;
+            let red_out_conn = s.conn_named("red::Red2PipeCbMB_out").unwrap().0;
             let mut lcg = golden::Lcg::new(SEED);
             let mut verdict = None;
             for _ in 0..200 {
                 n += 1; // continue
                 let stop = s.run(50_000_000);
-                let Stop::Breakpoint { pe, .. } = stop else { break };
+                let Stop::Breakpoint { pe, .. } = stop else {
+                    break;
+                };
                 let p = &s.sys.platform.pes[pe.index()];
                 let Some(frame) = p.top_frame() else { continue };
                 if frame.locals.first().copied() != Some(red_out_conn) {
@@ -300,8 +285,7 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
                 let base = frame.locals.get(2).copied().unwrap_or(0) as usize;
                 let depth = p.frames.len();
                 let caller = &p.frames[depth - 2];
-                let got_izz =
-                    caller.locals.get(base + 2).copied().unwrap_or(0);
+                let got_izz = caller.locals.get(base + 2).copied().unwrap_or(0);
                 let v = lcg.next() ^ 0x5a5a;
                 let expect = v.wrapping_mul(13).wrapping_add(7) & 0xffff;
                 let mb = (caller
@@ -338,9 +322,7 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
                 n += 1; // thread <i>; bt
                 let pe = p2012::PeId(i as u16);
                 let frame = s.where_is(pe);
-                if frame.contains("waiting for input tokens")
-                    && blocked.is_none()
-                {
+                if frame.contains("waiting for input tokens") && blocked.is_none() {
                     // Identify the function from the backtrace.
                     let bt = s.backtrace(pe);
                     let func = bt
@@ -355,9 +337,7 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
                 }
             }
             match blocked {
-                Some(func) => {
-                    (n, format!("{func} blocked reading a starved FIFO"), true)
-                }
+                Some(func) => (n, format!("{func} blocked reading a starved FIFO"), true),
                 None => (n, "no blocked thread found".into(), false),
             }
         }
@@ -368,30 +348,22 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
 /// All six cells of the E2 table, computed in parallel (each cell is an
 /// independent deterministic simulation).
 pub fn full_study() -> Vec<LocalizationResult> {
-    let cases: Vec<(Bug, Strategy)> = [
-        Bug::RateMismatch,
-        Bug::WrongValue,
-        Bug::Deadlock,
-    ]
-    .into_iter()
-    .flat_map(|b| {
-        [Strategy::DataflowAware, Strategy::SourceLevel]
-            .into_iter()
-            .map(move |s| (b, s))
-    })
-    .collect();
-    let mut results: Vec<Option<LocalizationResult>> =
-        (0..cases.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, (bug, strategy)) in
-            results.iter_mut().zip(cases.iter().copied())
-        {
-            scope.spawn(move |_| {
+    let cases: Vec<(Bug, Strategy)> = [Bug::RateMismatch, Bug::WrongValue, Bug::Deadlock]
+        .into_iter()
+        .flat_map(|b| {
+            [Strategy::DataflowAware, Strategy::SourceLevel]
+                .into_iter()
+                .map(move |s| (b, s))
+        })
+        .collect();
+    let mut results: Vec<Option<LocalizationResult>> = (0..cases.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, (bug, strategy)) in results.iter_mut().zip(cases.iter().copied()) {
+            scope.spawn(move || {
                 *slot = Some(localize(bug, strategy));
             });
         }
-    })
-    .expect("threads");
+    });
     results.into_iter().map(Option::unwrap).collect()
 }
 

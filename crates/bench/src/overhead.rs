@@ -78,33 +78,23 @@ pub fn run_overhead(config: DebugConfig, n_mbs: u64) -> OverheadResult {
     let start = Instant::now();
     let (cycles, checksum, tokens) = match config {
         DebugConfig::Baseline => {
-            let r = h264_pipeline::run_decoder(
-                Bug::None,
-                n_mbs,
-                SEED,
-                200_000_000,
-            )
-            .expect("baseline decode");
+            let r = h264_pipeline::run_decoder(Bug::None, n_mbs, SEED, 200_000_000)
+                .expect("baseline decode");
             assert!(r.finished);
             (r.cycles, r.checksum, 0)
         }
         _ => {
             let (sys, app) =
-                build_decoder(Bug::None, n_mbs, PlatformConfig::default())
-                    .expect("build");
+                build_decoder(Bug::None, n_mbs, PlatformConfig::default()).expect("build");
             let boot = app.boot_entry;
             let mut s = Session::attach(sys, app.info);
             match config {
-                DebugConfig::DisabledUntilCritical => {
-                    s.set_data_exchange_breakpoints(false)
-                }
+                DebugConfig::DisabledUntilCritical => s.set_data_exchange_breakpoints(false),
                 DebugConfig::ActorSpecific => {
                     // The filter of interest is known only after boot; set
                     // it right after.
                 }
-                DebugConfig::FrameworkCooperation => {
-                    s.use_framework_cooperation()
-                }
+                DebugConfig::FrameworkCooperation => s.use_framework_cooperation(),
                 _ => {}
             }
             s.boot(boot).expect("boot");
@@ -115,12 +105,8 @@ pub fn run_overhead(config: DebugConfig, n_mbs: u64) -> OverheadResult {
             s.sys
                 .runtime
                 .add_source(
-                    EnvSource::new(
-                        app.boundary_in["bits_in"],
-                        2,
-                        ValueGen::Lcg { state: SEED },
-                    )
-                    .with_limit(n_mbs),
+                    EnvSource::new(app.boundary_in["bits_in"], 2, ValueGen::Lcg { state: SEED })
+                        .with_limit(n_mbs),
                 )
                 .unwrap();
             s.sys
@@ -151,12 +137,19 @@ pub fn run_overhead(config: DebugConfig, n_mbs: u64) -> OverheadResult {
                 .runtime
                 .sink_for(app.boundary_out["frame_out"])
                 .unwrap();
-            (s.clock(), sink.checksum, s.model.tokens.len())
+            // Total allocations, not live count: the bounded store may
+            // already have evicted old consumed tokens.
+            (
+                s.clock(),
+                sink.checksum,
+                s.model.tokens.allocated() as usize,
+            )
         }
     };
     let wall = start.elapsed();
     assert_eq!(
-        checksum, expect,
+        checksum,
+        expect,
         "{}: the debugger altered the execution!",
         config.label()
     );

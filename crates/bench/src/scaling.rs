@@ -1,0 +1,221 @@
+//! E3: event-capture hot-path scaling.
+//!
+//! Two measurements backing the hot-path rework:
+//!
+//! * [`catchpoint_scaling`] — per-event model cost as the number of
+//!   installed-but-idle catchpoints grows. With the indexed dispatch the
+//!   cost must stay roughly flat (idle catchpoints are never consulted);
+//!   the old linear scan made it grow with the catchpoint count.
+//! * [`bounded_storm`] — a long token storm against a small record
+//!   limit, reporting the store's live/allocated/evicted counters. Live
+//!   count must respect the limit no matter how long the storm runs.
+
+use std::time::Instant;
+
+use debuginfo::TypeTable;
+use dfdbg::{CatchCond, DfEvent, DfModel, FlowBehavior};
+use p2012::PeId;
+use pedf::{ActorId, ActorKind, ConnId, Dir, LinkClass};
+
+/// a -> b over one link, the same shape as the B3 bench.
+fn two_filter_model() -> DfModel {
+    let mut m = DfModel::new(TypeTable::new());
+    let mut stops = Vec::new();
+    for (i, (name, kind, parent)) in [
+        ("m", ActorKind::Module, None),
+        ("a", ActorKind::Filter, Some(0u32)),
+        ("b", ActorKind::Filter, Some(0)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        m.apply(
+            DfEvent::ActorRegistered {
+                id: i as u32,
+                name: name.into(),
+                kind,
+                parent,
+                pe: Some(PeId(i as u16)),
+                work: Some(10),
+            },
+            0,
+            &mut stops,
+        );
+    }
+    for (id, actor, name, dir) in [(0u32, 1u32, "out", Dir::Out), (1, 2, "in", Dir::In)] {
+        m.apply(
+            DfEvent::ConnRegistered {
+                id,
+                actor,
+                name: name.into(),
+                dir,
+                ty: TypeTable::U32,
+            },
+            0,
+            &mut stops,
+        );
+    }
+    m.apply(
+        DfEvent::LinkRegistered {
+            id: 0,
+            from: 0,
+            to: 1,
+            capacity: 4096,
+            class: LinkClass::Data,
+            fifo_base: 0,
+        },
+        0,
+        &mut stops,
+    );
+    m.apply(DfEvent::BootComplete, 0, &mut stops);
+    m
+}
+
+/// Drive `rounds` push/pop/work-begin rounds; none of the installed
+/// catchpoints may fire.
+fn drive(m: &mut DfModel, rounds: u32) {
+    let mut stops = Vec::new();
+    for i in 0..rounds {
+        m.apply(
+            DfEvent::TokenPushed {
+                conn: ConnId(0),
+                words: vec![i],
+            },
+            u64::from(i),
+            &mut stops,
+        );
+        m.apply(
+            DfEvent::TokenPopped {
+                conn: ConnId(1),
+                index: 0,
+                words: vec![i],
+            },
+            u64::from(i),
+            &mut stops,
+        );
+        m.apply(
+            DfEvent::WorkBegun { actor: ActorId(2) },
+            u64::from(i),
+            &mut stops,
+        );
+        assert!(stops.is_empty(), "idle catchpoints must not fire");
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Installed idle catchpoints.
+    pub catchpoints: usize,
+    /// Cost per model event (push + pop + work = 3 events per round).
+    pub ns_per_event: f64,
+}
+
+/// Measure per-event cost with `k` idle value catchpoints on the hot
+/// connection, for each `k` in `ks`. Takes the best of three runs to
+/// suppress allocator and scheduler noise.
+pub fn catchpoint_scaling(ks: &[usize], rounds: u32) -> Vec<ScalingPoint> {
+    ks.iter()
+        .map(|&k| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let mut m = two_filter_model();
+                for _ in 0..k {
+                    m.add_catch(
+                        CatchCond::TokenValueEq {
+                            conn: ConnId(1),
+                            value: u32::MAX,
+                        },
+                        false,
+                    );
+                }
+                let start = Instant::now();
+                drive(&mut m, rounds);
+                let ns = start.elapsed().as_nanos() as f64 / (f64::from(rounds) * 3.0);
+                best = best.min(ns);
+            }
+            ScalingPoint {
+                catchpoints: k,
+                ns_per_event: best,
+            }
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct StormResult {
+    pub allocated: u64,
+    pub live: usize,
+    pub evicted: u64,
+    pub limit: usize,
+    /// `info last_token` still resolves after eviction pressure.
+    pub provenance_intact: bool,
+}
+
+/// Run a `2 * n`-token storm (push + pop per round) against `limit`.
+pub fn bounded_storm(n: u64, limit: usize) -> StormResult {
+    let mut m = two_filter_model();
+    m.set_record_limit(limit);
+    m.actors[2].behavior = FlowBehavior::Pipeline;
+    let mut stops = Vec::new();
+    for i in 0..n {
+        m.apply(
+            DfEvent::TokenPushed {
+                conn: ConnId(0),
+                words: vec![i as u32],
+            },
+            i,
+            &mut stops,
+        );
+        m.apply(
+            DfEvent::TokenPopped {
+                conn: ConnId(1),
+                index: 0,
+                words: vec![i as u32],
+            },
+            i,
+            &mut stops,
+        );
+        m.apply(DfEvent::WorkBegun { actor: ActorId(2) }, i, &mut stops);
+        stops.clear();
+    }
+    let provenance_intact = m
+        .last_token_path(ActorId(2))
+        .first()
+        .is_some_and(|t| t.value.head_word() == (n - 1) as u32);
+    StormResult {
+        allocated: m.tokens.allocated(),
+        live: m.tokens.len(),
+        evicted: m.tokens.evicted(),
+        limit,
+        provenance_intact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_respects_record_limit() {
+        let r = bounded_storm(10_000, 256);
+        assert_eq!(r.allocated, 10_000);
+        assert!(r.live <= 256, "live {} > limit", r.live);
+        assert!(r.evicted >= 9_744 - 256);
+        assert!(r.provenance_intact);
+    }
+
+    #[test]
+    fn idle_catchpoints_cost_roughly_nothing() {
+        // Coarse guard against reintroducing the linear scan: with the
+        // index, 64 idle catchpoints cost about the same as none; the
+        // scan made them ~10x. The 5x bound leaves headroom for noisy
+        // CI machines while still catching a regression to O(K).
+        let pts = catchpoint_scaling(&[0, 64], 20_000);
+        let flat = pts[1].ns_per_event <= pts[0].ns_per_event * 5.0;
+        assert!(
+            flat,
+            "64 idle catchpoints cost {:.1} ns/event vs {:.1} with none",
+            pts[1].ns_per_event, pts[0].ns_per_event
+        );
+    }
+}

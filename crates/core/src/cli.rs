@@ -59,10 +59,7 @@ impl Cli {
     }
 
     fn try_exec(&mut self, line: &str) -> Result<String, String> {
-        let words: Vec<&str> = line
-            .split([' ', '\t'])
-            .filter(|w| !w.is_empty())
-            .collect();
+        let words: Vec<&str> = line.split([' ', '\t']).filter(|w| !w.is_empty()).collect();
         let Some((&cmd, rest)) = words.split_first() else {
             return Ok(String::new());
         };
@@ -104,8 +101,7 @@ impl Cli {
                 let spec = rest.first().ok_or("break needs a location")?;
                 let id = match spec.rsplit_once(':') {
                     Some((file, line)) => {
-                        let line: u32 =
-                            line.parse().map_err(|_| "bad line number")?;
+                        let line: u32 = line.parse().map_err(|_| "bad line number")?;
                         self.session.break_line(file, line)?
                     }
                     None => self.session.break_symbol(spec)?,
@@ -127,6 +123,21 @@ impl Cli {
                     Err(format!("no breakpoint/catchpoint {id}"))
                 }
             }
+            "enable" | "disable" => {
+                let on = cmd == "enable";
+                let id: u32 = rest
+                    .first()
+                    .ok_or("enable/disable needs an id")?
+                    .parse()
+                    .map_err(|_| "bad id")?;
+                if self.session.set_breakpoint_enabled(id, on)
+                    || self.session.set_catch_enabled(id, on)
+                {
+                    Ok(format!("{} {id}", if on { "Enabled" } else { "Disabled" }))
+                } else {
+                    Err(format!("no breakpoint/catchpoint {id}"))
+                }
+            }
             "watch" => {
                 let sym = rest.first().ok_or("watch needs an object")?;
                 let id = self.session.watch_object(sym)?;
@@ -138,10 +149,7 @@ impl Cli {
                 Ok(format!("Focused {pe} ({name})"))
             }
             "backtrace" | "bt" => {
-                let pe = self
-                    .session
-                    .focus()
-                    .ok_or("no focused PE")?;
+                let pe = self.session.focus().ok_or("no focused PE")?;
                 Ok(self.session.backtrace(pe))
             }
             "where" | "frame" => {
@@ -151,13 +159,8 @@ impl Cli {
             "list" | "l" => {
                 let at = match rest.first() {
                     Some(spec) => {
-                        let (f, l) = spec
-                            .rsplit_once(':')
-                            .ok_or("list needs file:line")?;
-                        Some((
-                            f,
-                            l.parse::<u32>().map_err(|_| "bad line")?,
-                        ))
+                        let (f, l) = spec.rsplit_once(':').ok_or("list needs file:line")?;
+                        Some((f, l.parse::<u32>().map_err(|_| "bad line")?))
                     }
                     None => None,
                 };
@@ -166,8 +169,7 @@ impl Cli {
             "print" | "p" => {
                 let what = rest.first().ok_or("print needs an argument")?;
                 if let Some(n) = what.strip_prefix('$') {
-                    let n: usize =
-                        n.parse().map_err(|_| "bad history index")?;
+                    let n: usize = n.parse().map_err(|_| "bad history index")?;
                     self.session.print_history(n)
                 } else {
                     self.session.print_object(what)
@@ -193,16 +195,11 @@ impl Cli {
                         ));
                     }
                     for c in &self.session.model.catchpoints {
-                        out.push_str(&format!(
-                            "catch {}  {:?}\n",
-                            c.id, c.cond
-                        ));
+                        out.push_str(&format!("catch {}  {:?}\n", c.id, c.cond));
                     }
                     Ok(out)
                 }
-                Some("console") => {
-                    Ok(self.session.console().join("\n"))
-                }
+                Some("console") => Ok(self.session.console().join("\n")),
                 other => Err(format!(
                     "info what? (filters/links/platform/breakpoints), got {other:?}"
                 )),
@@ -243,9 +240,7 @@ impl Cli {
                 let spec = spec.trim();
                 if spec == "work" {
                     let id = self.session.catch_work(name)?;
-                    return Ok(format!(
-                        "Catchpoint {id}: WORK of filter {name}"
-                    ));
+                    return Ok(format!("Catchpoint {id}: WORK of filter {name}"));
                 }
                 if let Some(n) = spec.strip_prefix("*in=") {
                     let n: u32 = n.parse().map_err(|_| "bad count")?;
@@ -267,9 +262,7 @@ impl Cli {
                         .ok_or("catch conditions look like Iface=N")?;
                     conds.push((
                         iface.trim(),
-                        n.trim()
-                            .parse::<u32>()
-                            .map_err(|_| "bad count")?,
+                        n.trim().parse::<u32>().map_err(|_| "bad count")?,
                     ));
                 }
                 if conds.is_empty() {
@@ -336,17 +329,13 @@ impl Cli {
                 Ok(format!("Catchpoint {id}"))
             }
             Some("value") => {
-                let spec =
-                    rest.get(1).ok_or("catch value <actor::iface> <n>")?;
-                let v: Word = parse_word(
-                    rest.get(2).ok_or("catch value needs a value")?,
-                )?;
+                let spec = rest.get(1).ok_or("catch value <actor::iface> <n>")?;
+                let v: Word = parse_word(rest.get(2).ok_or("catch value needs a value")?)?;
                 let id = self.session.catch_value(spec, v)?;
                 Ok(format!("Catchpoint {id}"))
             }
             Some("count") => {
-                let spec =
-                    rest.get(1).ok_or("catch count <actor::iface> <n>")?;
+                let spec = rest.get(1).ok_or("catch count <actor::iface> <n>")?;
                 let n: u64 = rest
                     .get(2)
                     .ok_or("catch count needs a count")?
@@ -364,11 +353,7 @@ impl Cli {
                 let begin = match rest.get(1).copied() {
                     Some("begin") | None => true,
                     Some("end") => false,
-                    Some(other) => {
-                        return Err(format!(
-                            "catch step begin|end, got `{other}`"
-                        ))
-                    }
+                    Some(other) => return Err(format!("catch step begin|end, got `{other}`")),
                 };
                 let module = rest.get(2).copied();
                 let id = self.session.catch_step(module, begin)?;
@@ -384,8 +369,7 @@ impl Cli {
     fn token_cmd(&mut self, rest: &[&str]) -> Result<String, String> {
         match rest.first().copied() {
             Some("inject") => {
-                let spec =
-                    rest.get(1).ok_or("token inject <actor::iface> <v>")?;
+                let spec = rest.get(1).ok_or("token inject <actor::iface> <v>")?;
                 let words: Vec<Word> = rest[2..]
                     .iter()
                     .map(|s| parse_word(s))
@@ -397,9 +381,7 @@ impl Cli {
                 Ok(format!("Injected token #{idx} on {spec}"))
             }
             Some("set") => {
-                let spec = rest
-                    .get(1)
-                    .ok_or("token set <actor::iface> <idx> <v>")?;
+                let spec = rest.get(1).ok_or("token set <actor::iface> <idx> <v>")?;
                 let idx: u32 = rest
                     .get(2)
                     .ok_or("token set needs an index")?
@@ -413,8 +395,7 @@ impl Cli {
                 Ok(format!("Token {idx} on {spec} rewritten"))
             }
             Some("drop") => {
-                let spec =
-                    rest.get(1).ok_or("token drop <actor::iface> <idx>")?;
+                let spec = rest.get(1).ok_or("token drop <actor::iface> <idx>")?;
                 let idx: u32 = rest
                     .get(2)
                     .ok_or("token drop needs an index")?
@@ -423,9 +404,7 @@ impl Cli {
                 self.session.token_drop(spec, idx)?;
                 Ok(format!("Token {idx} on {spec} dropped"))
             }
-            other => {
-                Err(format!("token what? (inject/set/drop), got {other:?}"))
-            }
+            other => Err(format!("token what? (inject/set/drop), got {other:?}")),
         }
     }
 

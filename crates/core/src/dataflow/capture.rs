@@ -90,10 +90,7 @@ impl StubKind {
     pub fn is_data_exchange(self) -> bool {
         matches!(
             self,
-            StubKind::Push
-                | StubKind::Pop
-                | StubKind::PushStruct
-                | StubKind::PopStruct
+            StubKind::Push | StubKind::Pop | StubKind::PushStruct | StubKind::PopStruct
         )
     }
 }
@@ -136,7 +133,12 @@ pub struct Capture {
     pub actor_filter: Option<Vec<ActorId>>,
     /// Sorted by entry address (stubs are emitted contiguously).
     stubs: Vec<StubInfo>,
-    by_entry: HashMap<CodeAddr, usize>,
+    /// Dense dispatch table over `[stub_lo, stub_hi)`: `lut[pc - stub_lo]`
+    /// is the covering stub's index, resolving any in-stub pc with one
+    /// load instead of a hash probe plus binary search. Empty when the
+    /// stub span is too sparse to justify the memory (then the sorted
+    /// table is searched).
+    stub_lut: Vec<u16>,
     /// Address range covering every stub: one comparison rules out the
     /// overwhelmingly common case (a PE executing kernel code).
     stub_lo: CodeAddr,
@@ -158,7 +160,6 @@ impl Capture {
     /// Resolve the framework stubs from debug information + program image.
     pub fn new(info: &DebugInfo, program: &Program, pes: usize) -> Self {
         let mut stubs = Vec::new();
-        let mut by_entry = HashMap::new();
         for sym in info.symbols.iter() {
             let Some(kind) = StubKind::from_name(&sym.mangled) else {
                 continue;
@@ -176,7 +177,6 @@ impl Capture {
             let Some(trap_pc) = trap_pc else {
                 continue; // not a stub-shaped function; ignore
             };
-            by_entry.insert(sym.addr, stubs.len());
             stubs.push(StubInfo {
                 kind,
                 entry: sym.addr,
@@ -186,19 +186,28 @@ impl Capture {
             });
         }
         stubs.sort_by_key(|s: &StubInfo| s.entry);
-        let by_entry = stubs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.entry, i))
-            .collect();
         let stub_lo = stubs.first().map_or(0, |s| s.entry);
         let stub_hi = stubs.iter().map(|s| s.end).max().unwrap_or(0);
+        // Stubs are emitted contiguously, so the span is a few words per
+        // stub; the dense table stays tiny. The cap is defensive against
+        // hand-laid images scattering stubs across the address space.
+        const LUT_SPAN_CAP: usize = 1 << 16;
+        let span = (stub_hi - stub_lo) as usize;
+        let mut stub_lut = Vec::new();
+        if !stubs.is_empty() && span <= LUT_SPAN_CAP && stubs.len() < u16::MAX as usize {
+            stub_lut = vec![u16::MAX; span];
+            for (i, s) in stubs.iter().enumerate() {
+                for pc in s.entry..s.end {
+                    stub_lut[(pc - stub_lo) as usize] = i as u16;
+                }
+            }
+        }
         Capture {
             mode: CaptureMode::FunctionBreakpoints,
             data_exchange: true,
             actor_filter: None,
             stubs,
-            by_entry,
+            stub_lut,
             stub_lo,
             stub_hi,
             pending: vec![None; pes],
@@ -225,18 +234,23 @@ impl Capture {
     }
 
     fn stub_covering(&self, pc: CodeAddr) -> Option<usize> {
-        // Fast path: exact entry. Otherwise binary-search the sorted stub
-        // table (mid-body pcs occur when interception is re-enabled or a
-        // call blocks).
-        if let Some(i) = self.by_entry.get(&pc) {
-            return Some(*i);
+        // One load in the dense table resolves entry *and* mid-body pcs
+        // (mid-body pcs occur when interception is re-enabled or a call
+        // blocks). Callers have already range-checked against
+        // `stub_lo..stub_hi`.
+        if !self.stub_lut.is_empty() {
+            let i = *self
+                .stub_lut
+                .get((pc.checked_sub(self.stub_lo)?) as usize)?;
+            return (i != u16::MAX).then_some(i as usize);
         }
+        // Sparse fallback: binary-search the sorted stub table.
         let i = self.stubs.partition_point(|s| s.entry <= pc);
         let s = self.stubs.get(i.checked_sub(1)?)?;
         (pc < s.end).then_some(i - 1)
     }
 
-    fn wants(&self, kind: StubKind, pe: PeId, graph: &AppGraph) -> bool {
+    fn wants(&self, kind: StubKind, pe: PeId) -> bool {
         if !kind.is_data_exchange() {
             return true;
         }
@@ -247,10 +261,8 @@ impl Capture {
             None => true,
             Some(actors) => match self.pe_actor.get(&pe) {
                 Some(a) => actors.contains(a),
-                None => {
-                    let _ = graph;
-                    true
-                }
+                // PE -> actor mapping not learned yet: keep capturing.
+                None => true,
             },
         }
     }
@@ -271,10 +283,7 @@ impl Capture {
             if let Some(p) = &self.pending[i] {
                 let stub = self.stubs[p.stub];
                 let gone = pe.frames.is_empty()
-                    || matches!(
-                        pe.status,
-                        PeStatus::Faulted(_) | PeStatus::Halted
-                    );
+                    || matches!(pe.status, PeStatus::Faulted(_) | PeStatus::Halted);
                 if gone {
                     self.pending[i] = None;
                 } else if pe.pc > stub.trap_pc || pe.pc < stub.entry {
@@ -290,10 +299,7 @@ impl Capture {
             if self.pending[i].is_none()
                 && pe.pc >= self.stub_lo
                 && pe.pc < self.stub_hi
-                && matches!(
-                    pe.status,
-                    PeStatus::Running | PeStatus::Blocked(_)
-                )
+                && matches!(pe.status, PeStatus::Running | PeStatus::Blocked(_))
             {
                 if let Some((lo, hi)) = self.ignore_region[i] {
                     if pe.pc >= lo && pe.pc < hi {
@@ -305,7 +311,7 @@ impl Capture {
                     let stub = self.stubs[si];
                     if pe.pc > stub.trap_pc {
                         // Missed the call (capture was off); ignore it.
-                    } else if self.wants(stub.kind, pe_id, graph) {
+                    } else if self.wants(stub.kind, pe_id) {
                         let frame = pe.frames.last().expect("in stub");
                         let mut args = [0; 8];
                         let n = (stub.argc as usize).min(frame.locals.len());
@@ -359,13 +365,7 @@ impl Capture {
     }
 
     /// A monitored call completed: decode it into a [`DfEvent`].
-    fn complete(
-        &mut self,
-        platform: &Platform,
-        graph: &AppGraph,
-        pe: PeId,
-        p: Pending,
-    ) {
+    fn complete(&mut self, platform: &Platform, graph: &AppGraph, pe: PeId, p: Pending) {
         // Controller-context calls report against the enclosing module.
         let module_of = |pe: PeId| -> Option<ActorId> {
             let ctrl = self.pe_actor.get(&pe)?;
@@ -375,14 +375,12 @@ impl Capture {
         let a = &p.args;
         let mem = &platform.mem;
         let pes = &platform.pes;
-        let read_str = |addr: Word, len: Word| {
-            api::read_string(mem, addr, len).unwrap_or_else(|| "?".into())
-        };
+        let read_str =
+            |addr: Word, len: Word| api::read_string(mem, addr, len).unwrap_or_else(|| "?".into());
         let ev = match stub.kind {
             StubKind::RegisterActor => Some(DfEvent::ActorRegistered {
                 id: a[0],
-                kind: pedf::ActorKind::from_code(a[1])
-                    .unwrap_or(ActorKind::Filter),
+                kind: pedf::ActorKind::from_code(a[1]).unwrap_or(ActorKind::Filter),
                 parent: api::decode_opt(a[2]),
                 name: read_str(a[3], a[4]),
                 pe: api::decode_opt(a[5]).map(|p| PeId(p as u16)),
@@ -400,8 +398,7 @@ impl Capture {
                 from: a[1],
                 to: a[2],
                 capacity: a[3],
-                class: LinkClass::from_code(a[4])
-                    .unwrap_or(LinkClass::Data),
+                class: LinkClass::from_code(a[4]).unwrap_or(LinkClass::Data),
                 fifo_base: a[5],
             }),
             StubKind::BootComplete => Some(DfEvent::BootComplete),
@@ -464,15 +461,9 @@ impl Capture {
                     actor: ActorId(a[0]),
                 })
             }
-            StubKind::WaitSync => {
-                module_of(pe).map(|module| DfEvent::WaitSyncCompleted { module })
-            }
-            StubKind::StepBegin => {
-                module_of(pe).map(|module| DfEvent::StepBegun { module })
-            }
-            StubKind::StepEnd => {
-                module_of(pe).map(|module| DfEvent::StepEnded { module })
-            }
+            StubKind::WaitSync => module_of(pe).map(|module| DfEvent::WaitSyncCompleted { module }),
+            StubKind::StepBegin => module_of(pe).map(|module| DfEvent::StepBegun { module }),
+            StubKind::StepEnd => module_of(pe).map(|module| DfEvent::StepEnded { module }),
             StubKind::WaitInit
             | StubKind::Continue
             | StubKind::TokensAvailable

@@ -20,12 +20,7 @@ pub fn to_dot(model: &DfModel) -> String {
     out.push_str("digraph dataflow {\n  rankdir=LR;\n  node [fontsize=10];\n");
 
     // Modules become clusters, nested by hierarchy. Emit recursively.
-    fn emit_module(
-        model: &DfModel,
-        module: pedf::ActorId,
-        out: &mut String,
-        indent: usize,
-    ) {
+    fn emit_module(model: &DfModel, module: pedf::ActorId, out: &mut String, indent: usize) {
         let g = &model.graph;
         let pad = "  ".repeat(indent);
         let m = g.actor(module);
@@ -36,9 +31,7 @@ pub fn to_dot(model: &DfModel) -> String {
         );
         for child in g.children(module) {
             match child.kind {
-                ActorKind::Module => {
-                    emit_module(model, child.id, out, indent + 1)
-                }
+                ActorKind::Module => emit_module(model, child.id, out, indent + 1),
                 ActorKind::Controller => {
                     let _ = writeln!(
                         out,
@@ -48,8 +41,7 @@ pub fn to_dot(model: &DfModel) -> String {
                     );
                 }
                 ActorKind::Filter => {
-                    let state =
-                        model.actors[child.id.0 as usize].sched.label();
+                    let state = model.actors[child.id.0 as usize].sched.label();
                     let _ = writeln!(
                         out,
                         "{pad}  a{} [label=\"{}\\n({state})\" \
@@ -71,11 +63,7 @@ pub fn to_dot(model: &DfModel) -> String {
     for m in g.modules().filter(|m| m.parent.is_none()) {
         for cid in m.conns() {
             let c = g.conn(cid);
-            let _ = writeln!(
-                out,
-                "  p{} [label=\"{}\" shape=plaintext];",
-                cid.0, c.name
-            );
+            let _ = writeln!(out, "  p{} [label=\"{}\" shape=plaintext];", cid.0, c.name);
         }
     }
 
@@ -126,6 +114,17 @@ pub fn links_table(model: &DfModel) -> String {
             dl.popped,
         );
     }
+    // Token-store footprint: how many Token objects are live vs. the
+    // total the run produced (the bounded store evicts the rest).
+    let t = &model.tokens;
+    let _ = writeln!(
+        out,
+        "token store: {} live / {} allocated ({} evicted, limit {})",
+        t.len(),
+        t.allocated(),
+        t.evicted(),
+        t.limit(),
+    );
     out
 }
 
@@ -253,6 +252,10 @@ mod tests {
         assert!(table.contains("pipe::out -> ipf::in"), "{table}");
         assert!(table.contains("2/32"), "{table}");
         assert!(table.contains("pushed 3, popped 1"), "{table}");
+        assert!(
+            table.contains("token store: 3 live / 3 allocated"),
+            "{table}"
+        );
         let _ = ActorId(0);
     }
 }

@@ -13,6 +13,6 @@ pub mod model;
 
 pub use capture::{Capture, CaptureMode, StubKind};
 pub use model::{
-    CatchCond, Catchpoint, DfActor, DfEvent, DfModel, DfSched, DfStop,
-    FlowBehavior, TokenId, TokenRec,
+    CatchCond, Catchpoint, DfActor, DfEvent, DfModel, DfSched, DfStop, FlowBehavior, TokenId,
+    TokenRec, TokenStore, RECORD_LIMIT,
 };

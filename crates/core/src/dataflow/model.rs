@@ -16,14 +16,27 @@
 //! `pedf::Runtime` internals: everything here is derivable from observed
 //! framework calls.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use debuginfo::{TypeTable, Value, Word};
 use p2012::PeId;
 use pedf::{ActorId, ActorKind, AppGraph, ConnId, Dir, LinkClass, LinkId};
 
-/// Identity of one token for its whole life: dense, global.
+/// Identity of one token for its whole life. Generational: the low 32
+/// bits name an arena slot, the high 32 bits the slot's generation at
+/// allocation time. A stale id (its token was evicted and the slot
+/// reused) never resolves to the slot's new occupant.
 pub type TokenId = u64;
+
+#[inline]
+fn token_slot(id: TokenId) -> u32 {
+    id as u32
+}
+
+#[inline]
+fn token_generation(id: TokenId) -> u32 {
+    (id >> 32) as u32
+}
 
 /// Dataflow-level event, as observed by the capture layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +66,10 @@ pub enum DfEvent {
     },
     BootComplete,
     /// A token entered the link bound to output connection `conn`.
-    TokenPushed { conn: ConnId, words: Vec<Word> },
+    TokenPushed {
+        conn: ConnId,
+        words: Vec<Word>,
+    },
     /// `pedf.io.in[index]` completed on input connection `conn`: the read
     /// window now holds `index + 1` tokens (tokens may have been consumed
     /// from the link to satisfy it).
@@ -62,15 +78,29 @@ pub enum DfEvent {
         index: u32,
         words: Vec<Word>,
     },
-    ActorStarted { actor: ActorId },
-    ActorSyncRequested { actor: ActorId },
-    WorkBegun { actor: ActorId },
-    WorkEnded { actor: ActorId },
+    ActorStarted {
+        actor: ActorId,
+    },
+    ActorSyncRequested {
+        actor: ActorId,
+    },
+    WorkBegun {
+        actor: ActorId,
+    },
+    WorkEnded {
+        actor: ActorId,
+    },
     /// The module's controller completed WAIT_FOR_ACTOR_SYNC: synced
     /// filters reset for the next step.
-    WaitSyncCompleted { module: ActorId },
-    StepBegun { module: ActorId },
-    StepEnded { module: ActorId },
+    WaitSyncCompleted {
+        module: ActorId,
+    },
+    StepBegun {
+        module: ActorId,
+    },
+    StepEnded {
+        module: ActorId,
+    },
 }
 
 /// Scheduling state shown by the monitor (Contribution #2).
@@ -229,19 +259,278 @@ pub enum DfStop {
         conn: ConnId,
         token: TokenId,
     },
-    ReceiveCountsReached { catch: u32, actor: ActorId },
-    Scheduled { catch: u32, actor: ActorId },
-    StepBegin { catch: u32, module: ActorId, step: u64 },
-    StepEnd { catch: u32, module: ActorId, step: u64 },
+    ReceiveCountsReached {
+        catch: u32,
+        actor: ActorId,
+    },
+    Scheduled {
+        catch: u32,
+        actor: ActorId,
+    },
+    StepBegin {
+        catch: u32,
+        module: ActorId,
+        step: u64,
+    },
+    StepEnd {
+        catch: u32,
+        module: ActorId,
+        step: u64,
+    },
 }
 
 /// Bound on per-connection recorded history.
 const HISTORY_CAP: usize = 4096;
 /// Bound on merger pending-input provenance.
 const PENDING_CAP: usize = 32;
+/// Default bound on the global token store and the timeline ring. A long
+/// non-recording run keeps at most this many live Token objects; older
+/// consumed tokens are evicted oldest-first.
+pub const RECORD_LIMIT: usize = 1 << 16;
+
+/// Generational slot-reuse arena for [`TokenRec`]s with a ring-buffer
+/// eviction policy.
+///
+/// Token objects are "created on observed pushes, consumed on observed
+/// pops" (§V); without a bound the store grows for the whole run even
+/// when nobody asked for recording. The arena keeps at most `limit` live
+/// tokens: when an allocation exceeds the bound, the oldest *consumed*
+/// tokens are evicted and their slots reused under a bumped generation.
+/// Tokens still queued on a link are never evicted (the occupancy model
+/// depends on them), and stale ids held by provenance chains, histories
+/// or `last_received` pointers simply stop resolving instead of aliasing
+/// a reused slot.
+#[derive(Debug)]
+pub struct TokenStore {
+    slots: Vec<TokenSlot>,
+    free: Vec<u32>,
+    /// Live tokens in allocation order: the eviction ring.
+    order: VecDeque<TokenId>,
+    limit: usize,
+    allocated: u64,
+    evicted: u64,
+}
+
+#[derive(Debug)]
+struct TokenSlot {
+    generation: u32,
+    rec: Option<TokenRec>,
+}
+
+impl Default for TokenStore {
+    fn default() -> Self {
+        TokenStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            order: VecDeque::new(),
+            limit: RECORD_LIMIT,
+            allocated: 0,
+            evicted: 0,
+        }
+    }
+}
+
+impl TokenStore {
+    /// Live (non-evicted) token count; never exceeds `limit` by more than
+    /// the number of still-queued (unevictable) tokens.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total tokens ever allocated (the pre-bounding `tokens.len()`).
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    pub fn set_limit(&mut self, limit: usize) {
+        self.limit = limit.max(1);
+        self.evict_excess();
+    }
+
+    pub fn get(&self, id: TokenId) -> Option<&TokenRec> {
+        let slot = self.slots.get(token_slot(id) as usize)?;
+        if slot.generation != token_generation(id) {
+            return None; // evicted, slot reused
+        }
+        slot.rec.as_ref()
+    }
+
+    pub fn get_mut(&mut self, id: TokenId) -> Option<&mut TokenRec> {
+        let slot = self.slots.get_mut(token_slot(id) as usize)?;
+        if slot.generation != token_generation(id) {
+            return None;
+        }
+        slot.rec.as_mut()
+    }
+
+    /// Allocate a slot, build the record (the closure receives the new
+    /// token's id), and evict past the bound.
+    fn alloc(&mut self, make: impl FnOnce(TokenId) -> TokenRec) -> TokenId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(TokenSlot {
+                    generation: 0,
+                    rec: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        let id = (u64::from(generation) << 32) | u64::from(slot);
+        self.slots[slot as usize].rec = Some(make(id));
+        self.order.push_back(id);
+        self.allocated += 1;
+        self.evict_excess();
+        id
+    }
+
+    /// Evict the oldest consumed tokens until at most `limit` live.
+    /// Unconsumed (still-queued) tokens are retained in place.
+    fn evict_excess(&mut self) {
+        if self.order.len() <= self.limit {
+            return;
+        }
+        let mut excess = self.order.len() - self.limit;
+        let mut retained: Vec<TokenId> = Vec::new();
+        while excess > 0 {
+            let Some(id) = self.order.pop_front() else {
+                break;
+            };
+            let slot = &mut self.slots[token_slot(id) as usize];
+            let consumed = slot.rec.as_ref().is_none_or(|r| r.consumed_at.is_some());
+            if consumed {
+                slot.rec = None;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(token_slot(id));
+                self.evicted += 1;
+                excess -= 1;
+            } else {
+                retained.push(id);
+            }
+        }
+        for id in retained.into_iter().rev() {
+            self.order.push_front(id);
+        }
+    }
+}
+
+/// Catchpoint lookup index: buckets of catchpoint ids keyed by the event
+/// source they watch, so an event consults only the catchpoints that
+/// could possibly fire on it instead of linear-scanning the whole list.
+/// Kept incrementally in sync by `add_catch` / `delete_catch` /
+/// `reap_temporaries`.
+#[derive(Debug, Default)]
+struct CatchIndex {
+    /// `TokenSentOn` + `TotalCount`, keyed by connection (push side).
+    sent_by_conn: HashMap<u32, Vec<u32>>,
+    /// `TokenReceivedOn` + `TotalCount`, keyed by connection (pop side).
+    recv_by_conn: HashMap<u32, Vec<u32>>,
+    /// `TokenValueEq`, keyed by (connection, watched head word): an
+    /// arriving token probes with its own head word, so idle value
+    /// catchpoints cost nothing at all.
+    value_eq: HashMap<(u32, Word), Vec<u32>>,
+    /// `ReceiveCounts`, keyed by the watched actor.
+    counts_by_actor: HashMap<u32, Vec<u32>>,
+    /// `Scheduled`, keyed by the watched actor.
+    sched_by_actor: HashMap<u32, Vec<u32>>,
+    step_begin_by_module: HashMap<u32, Vec<u32>>,
+    step_begin_any: Vec<u32>,
+    step_end_by_module: HashMap<u32, Vec<u32>>,
+    step_end_any: Vec<u32>,
+}
+
+fn bucket_add(map: &mut HashMap<u32, Vec<u32>>, key: u32, id: u32) {
+    map.entry(key).or_default().push(id);
+}
+
+fn bucket_remove(map: &mut HashMap<u32, Vec<u32>>, key: u32, id: u32) {
+    if let Some(v) = map.get_mut(&key) {
+        v.retain(|x| *x != id);
+        if v.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
+impl CatchIndex {
+    fn add(&mut self, c: &Catchpoint) {
+        let id = c.id;
+        match &c.cond {
+            CatchCond::ReceiveCounts { actor, .. } => {
+                bucket_add(&mut self.counts_by_actor, actor.0, id)
+            }
+            CatchCond::TokenReceivedOn { conn } => bucket_add(&mut self.recv_by_conn, conn.0, id),
+            CatchCond::TokenSentOn { conn } => bucket_add(&mut self.sent_by_conn, conn.0, id),
+            CatchCond::TokenValueEq { conn, value } => {
+                self.value_eq.entry((conn.0, *value)).or_default().push(id)
+            }
+            CatchCond::TotalCount { conn, .. } => {
+                // Totals advance on both sends and receives.
+                bucket_add(&mut self.sent_by_conn, conn.0, id);
+                bucket_add(&mut self.recv_by_conn, conn.0, id);
+            }
+            CatchCond::Scheduled { actor } => bucket_add(&mut self.sched_by_actor, actor.0, id),
+            CatchCond::StepBegin { module: None } => self.step_begin_any.push(id),
+            CatchCond::StepBegin { module: Some(m) } => {
+                bucket_add(&mut self.step_begin_by_module, m.0, id)
+            }
+            CatchCond::StepEnd { module: None } => self.step_end_any.push(id),
+            CatchCond::StepEnd { module: Some(m) } => {
+                bucket_add(&mut self.step_end_by_module, m.0, id)
+            }
+        }
+    }
+
+    fn remove(&mut self, c: &Catchpoint) {
+        let id = c.id;
+        match &c.cond {
+            CatchCond::ReceiveCounts { actor, .. } => {
+                bucket_remove(&mut self.counts_by_actor, actor.0, id)
+            }
+            CatchCond::TokenReceivedOn { conn } => {
+                bucket_remove(&mut self.recv_by_conn, conn.0, id)
+            }
+            CatchCond::TokenSentOn { conn } => bucket_remove(&mut self.sent_by_conn, conn.0, id),
+            CatchCond::TokenValueEq { conn, value } => {
+                if let Some(v) = self.value_eq.get_mut(&(conn.0, *value)) {
+                    v.retain(|x| *x != id);
+                    if v.is_empty() {
+                        self.value_eq.remove(&(conn.0, *value));
+                    }
+                }
+            }
+            CatchCond::TotalCount { conn, .. } => {
+                bucket_remove(&mut self.sent_by_conn, conn.0, id);
+                bucket_remove(&mut self.recv_by_conn, conn.0, id);
+            }
+            CatchCond::Scheduled { actor } => bucket_remove(&mut self.sched_by_actor, actor.0, id),
+            CatchCond::StepBegin { module: None } => self.step_begin_any.retain(|x| *x != id),
+            CatchCond::StepBegin { module: Some(m) } => {
+                bucket_remove(&mut self.step_begin_by_module, m.0, id)
+            }
+            CatchCond::StepEnd { module: None } => self.step_end_any.retain(|x| *x != id),
+            CatchCond::StepEnd { module: Some(m) } => {
+                bucket_remove(&mut self.step_end_by_module, m.0, id)
+            }
+        }
+    }
+}
 
 /// The reconstructed model (graph + dynamic state + catchpoints).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DfModel {
     pub graph: AppGraph,
     pub types: TypeTable,
@@ -249,16 +538,43 @@ pub struct DfModel {
     pub actors: Vec<DfActor>,
     pub conns: Vec<DfConn>,
     pub links: Vec<DfLink>,
-    pub tokens: Vec<TokenRec>,
+    pub tokens: TokenStore,
+    /// Installed catchpoints, sorted by id (ids are allocated
+    /// monotonically and deletion preserves order). Mutate only through
+    /// `add_catch` / `delete_catch` / the `enabled` flag — the catch
+    /// index mirrors `cond` fields.
     pub catchpoints: Vec<Catchpoint>,
+    catch_index: CatchIndex,
     next_catch: u32,
     /// Registration problems observed (should be empty on healthy apps).
     pub anomalies: Vec<String>,
     /// Execution timeline (work/step begin-end events with cycles), for
     /// the visualization extension the paper lists as future work.
-    /// Disabled by default; bounded.
+    /// Disabled by default; a bounded ring keeping the newest events.
     pub timeline_enabled: bool,
-    pub timeline: Vec<TimelineEvent>,
+    pub timeline: VecDeque<TimelineEvent>,
+    timeline_limit: usize,
+}
+
+impl Default for DfModel {
+    fn default() -> Self {
+        DfModel {
+            graph: AppGraph::default(),
+            types: TypeTable::default(),
+            booted: false,
+            actors: Vec::new(),
+            conns: Vec::new(),
+            links: Vec::new(),
+            tokens: TokenStore::default(),
+            catchpoints: Vec::new(),
+            catch_index: CatchIndex::default(),
+            next_catch: 0,
+            anomalies: Vec::new(),
+            timeline_enabled: false,
+            timeline: VecDeque::new(),
+            timeline_limit: RECORD_LIMIT,
+        }
+    }
 }
 
 /// One timeline sample: an actor's WORK or a module's step began or ended
@@ -286,8 +602,17 @@ impl DfModel {
         }
     }
 
+    /// Look up a live token; panics if evicted or unknown. Use only for
+    /// ids known to be live (e.g. still queued on a link).
     pub fn token(&self, id: TokenId) -> &TokenRec {
-        &self.tokens[id as usize]
+        self.tokens
+            .get(id)
+            .expect("token evicted from the bounded store")
+    }
+
+    /// Look up a token that may have been evicted from the bounded store.
+    pub fn try_token(&self, id: TokenId) -> Option<&TokenRec> {
+        self.tokens.get(id)
     }
 
     pub fn occupancy(&self, link: LinkId) -> usize {
@@ -301,31 +626,61 @@ impl DfModel {
             .map(|id| self.token(*id))
     }
 
+    /// Bound both the token store and the timeline ring.
+    pub fn set_record_limit(&mut self, limit: usize) {
+        self.tokens.set_limit(limit);
+        self.timeline_limit = limit.max(1);
+        while self.timeline.len() > self.timeline_limit {
+            self.timeline.pop_front();
+        }
+    }
+
+    pub fn record_limit(&self) -> usize {
+        self.tokens.limit()
+    }
+
     /// Install a catchpoint, returning its id.
     pub fn add_catch(&mut self, cond: CatchCond, temporary: bool) -> u32 {
         let id = self.next_catch;
         self.next_catch += 1;
-        self.catchpoints.push(Catchpoint {
+        let c = Catchpoint {
             id,
             enabled: true,
             temporary,
             cond,
-        });
+        };
+        self.catch_index.add(&c);
+        self.catchpoints.push(c);
         id
     }
 
     pub fn delete_catch(&mut self, id: u32) -> bool {
-        let before = self.catchpoints.len();
-        self.catchpoints.retain(|c| c.id != id);
-        before != self.catchpoints.len()
+        match self.catchpoints.binary_search_by_key(&id, |c| c.id) {
+            Ok(pos) => {
+                let c = self.catchpoints.remove(pos);
+                self.catch_index.remove(&c);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
-    const TIMELINE_CAP: usize = 1 << 20;
+    fn catch_by_id(&self, id: u32) -> Option<&Catchpoint> {
+        self.catchpoints
+            .binary_search_by_key(&id, |c| c.id)
+            .ok()
+            .map(|pos| &self.catchpoints[pos])
+    }
 
     fn timeline_push(&mut self, actor: ActorId, kind: TimelineKind, cycle: u64) {
-        if self.timeline_enabled && self.timeline.len() < Self::TIMELINE_CAP {
-            self.timeline.push(TimelineEvent { cycle, actor, kind });
+        if !self.timeline_enabled {
+            return;
         }
+        if self.timeline.len() == self.timeline_limit {
+            self.timeline.pop_front();
+        }
+        self.timeline
+            .push_back(TimelineEvent { cycle, actor, kind });
     }
 
     fn new_token(
@@ -336,12 +691,10 @@ impl DfModel {
         cycle: u64,
         synthesized: bool,
     ) -> TokenId {
-        let id = self.tokens.len() as TokenId;
         let l = &mut self.links[link.0 as usize];
         let index = l.pushed;
         l.pushed += 1;
-        l.queue.push_back(id);
-        self.tokens.push(TokenRec {
+        let id = self.tokens.alloc(|id| TokenRec {
             id,
             link,
             index,
@@ -351,6 +704,7 @@ impl DfModel {
             consumed_at: None,
             synthesized,
         });
+        self.links[link.0 as usize].queue.push_back(id);
         id
     }
 
@@ -365,14 +719,10 @@ impl DfModel {
                 pe,
                 work,
             } => {
-                if let Err(e) = self.graph.register_actor(
-                    id,
-                    &name,
-                    kind,
-                    parent.map(ActorId),
-                    pe,
-                    work,
-                ) {
+                if let Err(e) =
+                    self.graph
+                        .register_actor(id, &name, kind, parent.map(ActorId), pe, work)
+                {
                     self.anomalies.push(e.to_string());
                     return;
                 }
@@ -385,10 +735,7 @@ impl DfModel {
                 dir,
                 ty,
             } => {
-                if let Err(e) = self
-                    .graph
-                    .register_conn(id, ActorId(actor), &name, dir, ty)
-                {
+                if let Err(e) = self.graph.register_conn(id, ActorId(actor), &name, dir, ty) {
                     self.anomalies.push(e.to_string());
                     return;
                 }
@@ -439,11 +786,14 @@ impl DfModel {
                     a.sched = DfSched::Scheduled;
                     a.begun = false;
                 }
-                for c in &self.catchpoints {
-                    if c.enabled
-                        && c.cond == (CatchCond::Scheduled { actor })
-                    {
-                        stops.push(DfStop::Scheduled { catch: c.id, actor });
+                if let Some(ids) = self.catch_index.sched_by_actor.get(&actor.0) {
+                    for id in ids {
+                        let Some(c) = self.catch_by_id(*id) else {
+                            continue;
+                        };
+                        if c.enabled {
+                            stops.push(DfStop::Scheduled { catch: c.id, actor });
+                        }
                     }
                 }
                 self.reap_temporaries(stops);
@@ -461,8 +811,7 @@ impl DfModel {
                 a.begun = true;
                 a.sched = DfSched::Running;
                 // Step boundary for this filter: reset I/O windows.
-                let conns: Vec<ConnId> =
-                    self.graph.actor(actor).conns().collect();
+                let conns: Vec<ConnId> = self.graph.actor(actor).conns().collect();
                 for c in conns {
                     let rc = &mut self.conns[c.0 as usize];
                     rc.window_count = 0;
@@ -508,21 +857,22 @@ impl DfModel {
                         rc.sent_this_step = 0;
                     }
                 }
-                let step =
-                    self.actors[module.0 as usize].steps_done + 1;
+                let step = self.actors[module.0 as usize].steps_done + 1;
                 self.actors[module.0 as usize].steps_done = step;
-                for c in &self.catchpoints {
-                    if !c.enabled {
+                for id in self.step_candidates(
+                    &self.catch_index.step_begin_by_module,
+                    &self.catch_index.step_begin_any,
+                    module,
+                ) {
+                    let Some(c) = self.catch_by_id(id) else {
                         continue;
-                    }
-                    if let CatchCond::StepBegin { module: m } = &c.cond {
-                        if m.is_none() || *m == Some(module) {
-                            stops.push(DfStop::StepBegin {
-                                catch: c.id,
-                                module,
-                                step,
-                            });
-                        }
+                    };
+                    if c.enabled {
+                        stops.push(DfStop::StepBegin {
+                            catch: c.id,
+                            module,
+                            step,
+                        });
                     }
                 }
                 self.reap_temporaries(stops);
@@ -530,18 +880,20 @@ impl DfModel {
             DfEvent::StepEnded { module } => {
                 self.timeline_push(module, TimelineKind::StepEnd, cycle);
                 let step = self.actors[module.0 as usize].steps_done;
-                for c in &self.catchpoints {
-                    if !c.enabled {
+                for id in self.step_candidates(
+                    &self.catch_index.step_end_by_module,
+                    &self.catch_index.step_end_any,
+                    module,
+                ) {
+                    let Some(c) = self.catch_by_id(id) else {
                         continue;
-                    }
-                    if let CatchCond::StepEnd { module: m } = &c.cond {
-                        if m.is_none() || *m == Some(module) {
-                            stops.push(DfStop::StepEnd {
-                                catch: c.id,
-                                module,
-                                step,
-                            });
-                        }
+                    };
+                    if c.enabled {
+                        stops.push(DfStop::StepEnd {
+                            catch: c.id,
+                            module,
+                            step,
+                        });
                     }
                 }
                 self.reap_temporaries(stops);
@@ -549,15 +901,27 @@ impl DfModel {
         }
     }
 
-    fn on_push(
-        &mut self,
-        conn: ConnId,
-        words: Vec<Word>,
-        cycle: u64,
-        stops: &mut Vec<DfStop>,
-    ) {
+    /// Candidate catchpoint ids for a step event on `module`: the
+    /// module-specific bucket plus the wildcard list, in id order (the
+    /// order a linear scan would have fired them in).
+    fn step_candidates(
+        &self,
+        by_module: &HashMap<u32, Vec<u32>>,
+        any: &[u32],
+        module: ActorId,
+    ) -> Vec<u32> {
+        let mut ids: Vec<u32> = any.to_vec();
+        if let Some(v) = by_module.get(&module.0) {
+            ids.extend_from_slice(v);
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    fn on_push(&mut self, conn: ConnId, words: Vec<Word>, cycle: u64, stops: &mut Vec<DfStop>) {
         let Some(c) = self.graph.conns.get(conn.0 as usize) else {
-            self.anomalies.push(format!("push on unknown conn {}", conn.0));
+            self.anomalies
+                .push(format!("push on unknown conn {}", conn.0));
             return;
         };
         let Some(link) = c.link else {
@@ -574,8 +938,7 @@ impl DfModel {
         let behavior = self.actors[actor.0 as usize].behavior;
         let provenance = match behavior {
             FlowBehavior::Unknown => Vec::new(),
-            FlowBehavior::Pipeline | FlowBehavior::Splitter => self.actors
-                [actor.0 as usize]
+            FlowBehavior::Pipeline | FlowBehavior::Splitter => self.actors[actor.0 as usize]
                 .last_received
                 .into_iter()
                 .collect(),
@@ -595,30 +958,33 @@ impl DfModel {
             }
             rc.history.push(token);
         }
-        for c in &self.catchpoints {
-            if !c.enabled {
-                continue;
-            }
-            match &c.cond {
-                CatchCond::TokenSentOn { conn: cc } if *cc == conn => {
-                    stops.push(DfStop::TokenSent {
-                        catch: c.id,
-                        actor,
-                        conn,
-                        token,
-                    });
+        if let Some(ids) = self.catch_index.sent_by_conn.get(&conn.0) {
+            for &id in ids {
+                let Some(c) = self.catch_by_id(id) else {
+                    continue;
+                };
+                if !c.enabled {
+                    continue;
                 }
-                CatchCond::TotalCount { conn: cc, count }
-                    if *cc == conn && total == *count =>
-                {
-                    stops.push(DfStop::TokenSent {
-                        catch: c.id,
-                        actor,
-                        conn,
-                        token,
-                    });
+                match &c.cond {
+                    CatchCond::TokenSentOn { .. } => {
+                        stops.push(DfStop::TokenSent {
+                            catch: c.id,
+                            actor,
+                            conn,
+                            token,
+                        });
+                    }
+                    CatchCond::TotalCount { count, .. } if total == *count => {
+                        stops.push(DfStop::TokenSent {
+                            catch: c.id,
+                            actor,
+                            conn,
+                            token,
+                        });
+                    }
+                    _ => {}
                 }
-                _ => {}
             }
         }
         self.reap_temporaries(stops);
@@ -633,7 +999,8 @@ impl DfModel {
         stops: &mut Vec<DfStop>,
     ) {
         let Some(c) = self.graph.conns.get(conn.0 as usize) else {
-            self.anomalies.push(format!("pop on unknown conn {}", conn.0));
+            self.anomalies
+                .push(format!("pop on unknown conn {}", conn.0));
             return;
         };
         let Some(link) = c.link else {
@@ -660,13 +1027,7 @@ impl DfModel {
                     let v = if k + 1 == need {
                         Value::record(ty, words.clone())
                     } else {
-                        Value::record(
-                            ty,
-                            vec![
-                                0;
-                                self.types.size_words(ty) as usize
-                            ],
-                        )
+                        Value::record(ty, vec![0; self.types.size_words(ty) as usize])
                     };
                     let id = self.new_token(link, v, Vec::new(), cycle, true);
                     self.links[link.0 as usize].queue.pop_front();
@@ -674,7 +1035,9 @@ impl DfModel {
                 }
             };
             self.links[link.0 as usize].popped += 1;
-            self.tokens[id as usize].consumed_at = Some(cycle);
+            if let Some(t) = self.tokens.get_mut(id) {
+                t.consumed_at = Some(cycle);
+            }
             last_token = Some(id);
             let a = &mut self.actors[actor.0 as usize];
             a.last_received = Some(id);
@@ -695,12 +1058,32 @@ impl DfModel {
             return; // window re-read: nothing actually consumed
         };
         let head = self.token(token).value.head_word();
-        for c in &self.catchpoints {
+        // Candidates come from three buckets: receive/total watchers on
+        // this connection, value watchers keyed by the arriving head word
+        // (idle value catchpoints on other words are never consulted),
+        // and receive-count watchers on the consuming actor. Fire in id
+        // order, like the linear scan did.
+        let mut cand: Vec<u32> = Vec::new();
+        if let Some(v) = self.catch_index.recv_by_conn.get(&conn.0) {
+            cand.extend_from_slice(v);
+        }
+        if let Some(v) = self.catch_index.value_eq.get(&(conn.0, head)) {
+            cand.extend_from_slice(v);
+        }
+        if let Some(v) = self.catch_index.counts_by_actor.get(&actor.0) {
+            cand.extend_from_slice(v);
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        for id in cand {
+            let Some(c) = self.catch_by_id(id) else {
+                continue;
+            };
             if !c.enabled {
                 continue;
             }
             match &c.cond {
-                CatchCond::TokenReceivedOn { conn: cc } if *cc == conn => {
+                CatchCond::TokenReceivedOn { .. } => {
                     stops.push(DfStop::TokenReceived {
                         catch: c.id,
                         actor,
@@ -708,9 +1091,7 @@ impl DfModel {
                         token,
                     });
                 }
-                CatchCond::TokenValueEq { conn: cc, value }
-                    if *cc == conn && head == *value =>
-                {
+                CatchCond::TokenValueEq { value, .. } if head == *value => {
                     stops.push(DfStop::TokenReceived {
                         catch: c.id,
                         actor,
@@ -718,22 +1099,16 @@ impl DfModel {
                         token,
                     });
                 }
-                CatchCond::ReceiveCounts { actor: a, conds }
-                    if *a == actor =>
-                {
-                    let ok = conds.iter().all(|(cc, n)| {
-                        self.conns[cc.0 as usize].window_count >= *n
-                    });
+                CatchCond::ReceiveCounts { conds, .. } => {
+                    let ok = conds
+                        .iter()
+                        .all(|(cc, n)| self.conns[cc.0 as usize].window_count >= *n);
                     if ok {
-                        stops.push(DfStop::ReceiveCountsReached {
-                            catch: c.id,
-                            actor,
-                        });
+                        stops.push(DfStop::ReceiveCountsReached { catch: c.id, actor });
                     }
                 }
                 CatchCond::TotalCount { conn: cc, count }
-                    if *cc == conn
-                        && self.conns[cc.0 as usize].total == *count =>
+                    if self.conns[cc.0 as usize].total == *count =>
                 {
                     stops.push(DfStop::TokenReceived {
                         catch: c.id,
@@ -764,17 +1139,27 @@ impl DfModel {
                 | DfStop::StepEnd { catch, .. } => *catch,
             })
             .collect();
-        self.catchpoints
-            .retain(|c| !(c.temporary && ids.contains(&c.id)));
+        let mut i = 0;
+        while i < self.catchpoints.len() {
+            if self.catchpoints[i].temporary && ids.contains(&self.catchpoints[i].id) {
+                let c = self.catchpoints.remove(i);
+                self.catch_index.remove(&c);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// The provenance path of an actor's most recently received token, for
     /// `filter X info last_token` (§VI-D): pairs of (token, hop label).
+    /// The chain stops at the first hop evicted from the bounded store.
     pub fn last_token_path(&self, actor: ActorId) -> Vec<&TokenRec> {
         let mut out = Vec::new();
         let mut cur = self.actors[actor.0 as usize].last_received;
         while let Some(id) = cur {
-            let t = self.token(id);
+            let Some(t) = self.try_token(id) else {
+                break; // evicted: provenance beyond this point is gone
+            };
             out.push(t);
             cur = t.provenance.first().copied();
             if out.len() > 64 {
@@ -905,8 +1290,7 @@ mod tests {
         push(&mut m, 0, 11, 1);
         push(&mut m, 0, 22, 2);
         assert_eq!(m.occupancy(LinkId(0)), 2);
-        let vals: Vec<Word> =
-            m.queued(LinkId(0)).map(|t| t.value.head_word()).collect();
+        let vals: Vec<Word> = m.queued(LinkId(0)).map(|t| t.value.head_word()).collect();
         assert_eq!(vals, vec![11, 22]);
 
         // b reads index 1: consumes both tokens into its window.
@@ -1087,6 +1471,111 @@ mod tests {
                 actor: ActorId(1)
             }]
         );
+    }
+
+    #[test]
+    fn token_store_is_bounded_and_ids_stay_stale() {
+        let mut m = model();
+        m.set_record_limit(8);
+        // First token: consumed, then remember its id.
+        push(&mut m, 0, 999, 0);
+        pop(&mut m, 1, 0, 999, 0);
+        let first = m.actors[2].last_received.unwrap();
+        assert_eq!(m.try_token(first).unwrap().value.head_word(), 999);
+        // Storm far past the limit; each token is consumed promptly.
+        for i in 0..100u64 {
+            let mut stops = Vec::new();
+            m.apply(DfEvent::WorkBegun { actor: ActorId(2) }, i, &mut stops);
+            push(&mut m, 0, i as Word, i);
+            pop(&mut m, 1, 0, i as Word, i);
+        }
+        assert!(m.tokens.len() <= 8, "live {} > limit", m.tokens.len());
+        assert_eq!(m.tokens.allocated(), 101);
+        assert!(m.tokens.evicted() >= 93);
+        // The first token was evicted; its id must not alias a reused slot.
+        assert!(m.try_token(first).is_none());
+        // Occupancy bookkeeping is intact: nothing queued.
+        assert_eq!(m.occupancy(LinkId(0)), 0);
+    }
+
+    #[test]
+    fn queued_tokens_survive_eviction_pressure() {
+        let mut m = model();
+        m.set_record_limit(4);
+        // Ten unconsumed tokens sit on the link; none may be evicted even
+        // though the store is over its limit.
+        for i in 0..10u64 {
+            push(&mut m, 0, i as Word, i);
+        }
+        assert_eq!(m.occupancy(LinkId(0)), 10);
+        let vals: Vec<Word> = m.queued(LinkId(0)).map(|t| t.value.head_word()).collect();
+        assert_eq!(vals, (0..10).collect::<Vec<Word>>());
+    }
+
+    #[test]
+    fn deleted_catchpoints_never_fire_again() {
+        let mut m = model();
+        let id = m.add_catch(CatchCond::TokenSentOn { conn: ConnId(0) }, false);
+        assert_eq!(push(&mut m, 0, 1, 1).len(), 1);
+        assert!(m.delete_catch(id));
+        assert!(!m.delete_catch(id));
+        assert!(push(&mut m, 0, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn disabled_catchpoints_are_skipped_at_fire_time() {
+        let mut m = model();
+        let id = m.add_catch(CatchCond::TokenSentOn { conn: ConnId(0) }, false);
+        m.catchpoints
+            .iter_mut()
+            .find(|c| c.id == id)
+            .unwrap()
+            .enabled = false;
+        assert!(push(&mut m, 0, 1, 1).is_empty());
+        m.catchpoints
+            .iter_mut()
+            .find(|c| c.id == id)
+            .unwrap()
+            .enabled = true;
+        assert_eq!(push(&mut m, 0, 2, 2).len(), 1);
+    }
+
+    #[test]
+    fn multiple_catchpoints_fire_in_id_order() {
+        let mut m = model();
+        let c1 = m.add_catch(CatchCond::TokenReceivedOn { conn: ConnId(1) }, false);
+        let c2 = m.add_catch(
+            CatchCond::TokenValueEq {
+                conn: ConnId(1),
+                value: 7,
+            },
+            false,
+        );
+        push(&mut m, 0, 7, 1);
+        let stops = pop(&mut m, 1, 0, 7, 2);
+        let catches: Vec<u32> = stops
+            .iter()
+            .map(|s| match s {
+                DfStop::TokenReceived { catch, .. } => *catch,
+                other => panic!("unexpected stop {other:?}"),
+            })
+            .collect();
+        assert_eq!(catches, vec![c1, c2]);
+    }
+
+    #[test]
+    fn timeline_is_a_bounded_ring() {
+        let mut m = model();
+        m.timeline_enabled = true;
+        m.set_record_limit(16);
+        let mut stops = Vec::new();
+        for i in 0..100 {
+            m.apply(DfEvent::WorkBegun { actor: ActorId(1) }, i, &mut stops);
+        }
+        assert_eq!(m.timeline.len(), 16);
+        // The ring keeps the newest events.
+        assert_eq!(m.timeline.back().unwrap().cycle, 99);
+        assert_eq!(m.timeline.front().unwrap().cycle, 84);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod dataflow;
 pub mod session;
 
 pub use dataflow::{
-    CaptureMode, CatchCond, DfEvent, DfModel, DfSched, DfStop, FlowBehavior,
-    TokenId, TokenRec,
+    CaptureMode, CatchCond, DfEvent, DfModel, DfSched, DfStop, FlowBehavior, TokenId, TokenRec,
+    TokenStore, RECORD_LIMIT,
 };
 pub use session::{Breakpoint, CmdResult, Session, Stop, Watchpoint};

@@ -21,9 +21,7 @@ use p2012::{PeId, PeStatus, VmFault};
 use pedf::{ActorId, ActorKind, ConnId, LinkId, RuntimeEvent, System};
 
 use crate::dataflow::capture::{Capture, CaptureMode};
-use crate::dataflow::model::{
-    CatchCond, DfEvent, DfModel, DfStop, FlowBehavior, TokenId,
-};
+use crate::dataflow::model::{CatchCond, DfEvent, DfModel, DfStop, FlowBehavior, TokenId};
 use crate::dataflow::{graphviz, model};
 
 /// A code breakpoint (user-level; the dataflow capture has its own
@@ -65,9 +63,16 @@ pub enum Stop {
         new: Word,
     },
     Dataflow(DfStop),
-    StepDone { pe: PeId },
-    FinishDone { pe: PeId },
-    Fault { pe: PeId, fault: VmFault },
+    StepDone {
+        pe: PeId,
+    },
+    FinishDone {
+        pe: PeId,
+    },
+    Fault {
+        pe: PeId,
+        fault: VmFault,
+    },
     Deadlock,
     Quiescent,
     CycleLimit,
@@ -103,6 +108,11 @@ pub struct Session {
     pub capture: Capture,
     breakpoints: Vec<Breakpoint>,
     bp_addrs: HashMap<CodeAddr, Vec<u32>>,
+    /// Address range covered by *enabled* breakpoints: a one-compare gate
+    /// letting undisturbed cycles skip the `bp_addrs` probe entirely.
+    /// `bp_lo > bp_hi` means no enabled breakpoint exists.
+    bp_lo: CodeAddr,
+    bp_hi: CodeAddr,
     next_bp: u32,
     skip: HashSet<(PeId, CodeAddr)>,
     watchpoints: Vec<Watchpoint>,
@@ -122,8 +132,7 @@ impl Session {
     /// Attach to a built system. The debug info comes from the tool-chain
     /// (DWARF equivalent); everything else is observed at runtime.
     pub fn attach(mut sys: System, info: DebugInfo) -> Self {
-        let capture =
-            Capture::new(&info, &sys.platform.program, sys.platform.pe_count());
+        let capture = Capture::new(&info, &sys.platform.program, sys.platform.pe_count());
         // Host-side environment I/O is invisible to breakpoints (no fabric
         // code runs it); subscribe to just those events.
         sys.runtime.events.enable_env_only();
@@ -136,6 +145,8 @@ impl Session {
             capture,
             breakpoints: Vec::new(),
             bp_addrs: HashMap::new(),
+            bp_lo: CodeAddr::MAX,
+            bp_hi: 0,
             next_bp: 1,
             skip: HashSet::new(),
             watchpoints: Vec::new(),
@@ -164,10 +175,7 @@ impl Session {
 
     /// §V mitigation 2: restrict data-exchange breakpoints to the named
     /// actors ("actor-specific location for data exchange breakpoints").
-    pub fn set_actor_breakpoint_filter(
-        &mut self,
-        filters: Option<Vec<ActorId>>,
-    ) {
+    pub fn set_actor_breakpoint_filter(&mut self, filters: Option<Vec<ActorId>>) {
         self.capture.actor_filter = filters;
     }
 
@@ -181,9 +189,7 @@ impl Session {
             match self.run(1) {
                 Stop::CycleLimit if self.model.booted => return Ok(()),
                 Stop::CycleLimit => {}
-                Stop::Fault { pe, fault } => {
-                    return Err(format!("boot fault on {pe}: {fault}"))
-                }
+                Stop::Fault { pe, fault } => return Err(format!("boot fault on {pe}: {fault}")),
                 Stop::Quiescent => {
                     return Err("boot program exited without registering \
                                 the application"
@@ -312,12 +318,10 @@ impl Session {
         let mut stops = Vec::new();
         for ev in evs {
             let mapped = match ev {
-                RuntimeEvent::TokenPushed { conn, value, .. } => {
-                    Some(DfEvent::TokenPushed {
-                        conn,
-                        words: value.words,
-                    })
-                }
+                RuntimeEvent::TokenPushed { conn, value, .. } => Some(DfEvent::TokenPushed {
+                    conn,
+                    words: value.words,
+                }),
                 RuntimeEvent::TokenPopped { conn, value, .. } => {
                     let idx = self
                         .model
@@ -351,12 +355,8 @@ impl Session {
                 RuntimeEvent::ActorSyncRequested { actor } if coop => {
                     Some(DfEvent::ActorSyncRequested { actor })
                 }
-                RuntimeEvent::WorkBegun { actor } if coop => {
-                    Some(DfEvent::WorkBegun { actor })
-                }
-                RuntimeEvent::WorkEnded { actor, .. } if coop => {
-                    Some(DfEvent::WorkEnded { actor })
-                }
+                RuntimeEvent::WorkBegun { actor } if coop => Some(DfEvent::WorkBegun { actor }),
+                RuntimeEvent::WorkEnded { actor, .. } if coop => Some(DfEvent::WorkEnded { actor }),
                 RuntimeEvent::StepBegun { module, .. } if coop => {
                     Some(DfEvent::StepBegun { module })
                 }
@@ -389,27 +389,53 @@ impl Session {
 
     // ---- breakpoints -------------------------------------------------------
 
-    fn check_breakpoints(&mut self) -> Option<Stop> {
-        if self.bp_addrs.is_empty() {
+    /// Recompute the enabled-breakpoint address range gate.
+    fn rebuild_bp_range(&mut self) {
+        self.bp_lo = CodeAddr::MAX;
+        self.bp_hi = 0;
+        for b in &self.breakpoints {
+            if b.enabled {
+                self.bp_lo = self.bp_lo.min(b.addr);
+                self.bp_hi = self.bp_hi.max(b.addr);
+            }
+        }
+    }
+
+    /// The first enabled breakpoint installed at `addr`, if any. The one
+    /// lookup both breakpoint checks share.
+    fn enabled_bp_at(&self, addr: CodeAddr) -> Option<u32> {
+        if addr < self.bp_lo || addr > self.bp_hi {
             return None;
+        }
+        let ids = self.bp_addrs.get(&addr)?;
+        ids.iter()
+            .find(|id| {
+                self.breakpoints
+                    .binary_search_by_key(id, |b| &b.id)
+                    .is_ok_and(|pos| self.breakpoints[pos].enabled)
+            })
+            .copied()
+    }
+
+    fn check_breakpoints(&mut self) -> Option<Stop> {
+        if self.bp_lo > self.bp_hi {
+            return None; // no enabled breakpoint anywhere
         }
         let mut found: Option<(PeId, CodeAddr, u32)> = None;
         for (i, pe) in self.sys.platform.pes.iter().enumerate() {
             if !matches!(pe.status, PeStatus::Running) || pe.stall > 0 {
                 continue;
             }
+            // Cheap range gate before the skip-set and map probes: on
+            // undisturbed cycles every PE falls out right here.
+            if pe.pc < self.bp_lo || pe.pc > self.bp_hi {
+                continue;
+            }
             let pe_id = PeId(i as u16);
             if self.skip.contains(&(pe_id, pe.pc)) {
                 continue;
             }
-            let Some(ids) = self.bp_addrs.get(&pe.pc) else {
-                continue;
-            };
-            let Some(&bp_id) = ids.iter().find(|id| {
-                self.breakpoints
-                    .iter()
-                    .any(|b| b.id == **id && b.enabled)
-            }) else {
+            let Some(bp_id) = self.enabled_bp_at(pe.pc) else {
                 continue;
             };
             found = Some((pe_id, pe.pc, bp_id));
@@ -449,7 +475,7 @@ impl Session {
                 continue;
             }
             self.inv_seen[i] = inv;
-            if self.bp_addrs.is_empty() {
+            if self.bp_lo > self.bp_hi {
                 continue;
             }
             let Some(entry) = pe.frames.first().map(|f| f.func) else {
@@ -458,12 +484,7 @@ impl Session {
             if pe.pc == entry {
                 continue; // not yet executed: the pre-cycle check will stop
             }
-            let Some(ids) = self.bp_addrs.get(&entry) else {
-                continue;
-            };
-            let Some(&bp_id) = ids.iter().find(|id| {
-                self.breakpoints.iter().any(|b| b.id == **id && b.enabled)
-            }) else {
+            let Some(bp_id) = self.enabled_bp_at(entry) else {
                 continue;
             };
             let stop = self.fire_breakpoint(PeId(i as u16), entry, bp_id);
@@ -490,6 +511,8 @@ impl Session {
             hits: 0,
         });
         self.bp_addrs.entry(addr).or_default().push(id);
+        self.bp_lo = self.bp_lo.min(addr);
+        self.bp_hi = self.bp_hi.max(addr);
         id
     }
 
@@ -520,8 +543,7 @@ impl Session {
     }
 
     pub fn remove_breakpoint(&mut self, id: u32) -> bool {
-        let Some(pos) = self.breakpoints.iter().position(|b| b.id == id)
-        else {
+        let Some(pos) = self.breakpoints.iter().position(|b| b.id == id) else {
             return false;
         };
         let bp = self.breakpoints.remove(pos);
@@ -531,6 +553,18 @@ impl Session {
                 self.bp_addrs.remove(&bp.addr);
             }
         }
+        self.rebuild_bp_range();
+        true
+    }
+
+    /// `enable`/`disable <bp id>`. Disabled breakpoints stay installed
+    /// but are excluded from the fast-path gate.
+    pub fn set_breakpoint_enabled(&mut self, id: u32, enabled: bool) -> bool {
+        let Some(bp) = self.breakpoints.iter_mut().find(|b| b.id == id) else {
+            return false;
+        };
+        bp.enabled = enabled;
+        self.rebuild_bp_range();
         true
     }
 
@@ -596,9 +630,8 @@ impl Session {
     }
 
     fn focused(&self) -> CmdResult<PeId> {
-        self.focus.ok_or_else(|| {
-            "no focused PE (stop somewhere first, or use `focus`)".to_string()
-        })
+        self.focus
+            .ok_or_else(|| "no focused PE (stop somewhere first, or use `focus`)".to_string())
     }
 
     fn current_line(&self, pe: PeId) -> Option<(debuginfo::FileId, u32)> {
@@ -658,9 +691,7 @@ impl Session {
             StepMode::None => None,
             StepMode::Insn { pe, target } => {
                 let p = &self.sys.platform.pes[pe.index()];
-                if p.retired >= target
-                    || matches!(p.status, PeStatus::Idle | PeStatus::Halted)
-                {
+                if p.retired >= target || matches!(p.status, PeStatus::Idle | PeStatus::Halted) {
                     self.step_mode = StepMode::None;
                     Some(Stop::StepDone { pe })
                 } else {
@@ -744,9 +775,7 @@ impl Session {
             PeStatus::Blocked(r) => {
                 let func = self
                     .info
-                    .function_at(
-                        p.frames.last().map(|f| f.func).unwrap_or(p.pc),
-                    )
+                    .function_at(p.frames.last().map(|f| f.func).unwrap_or(p.pc))
                     .map(|s| s.pretty.clone())
                     .unwrap_or_default();
                 format!(
@@ -757,26 +786,17 @@ impl Session {
             PeStatus::Running => {
                 let func = self
                     .info
-                    .function_at(
-                        p.frames.last().map(|f| f.func).unwrap_or(p.pc),
-                    )
+                    .function_at(p.frames.last().map(|f| f.func).unwrap_or(p.pc))
                     .map(|s| s.pretty.clone())
                     .unwrap_or_default();
-                format!(
-                    "{pe}: running {func} at {}",
-                    self.info.describe_addr(p.pc)
-                )
+                format!("{pe}: running {func} at {}", self.info.describe_addr(p.pc))
             }
         }
     }
 
     /// `list` around the focused PE's current line (or an explicit
     /// file:line), returning numbered source lines.
-    pub fn list_source(
-        &self,
-        at: Option<(&str, u32)>,
-        context: u32,
-    ) -> CmdResult<String> {
+    pub fn list_source(&self, at: Option<(&str, u32)>, context: u32) -> CmdResult<String> {
         let (file, line) = match at {
             Some((f, l)) => {
                 let fid = self
@@ -798,10 +818,7 @@ impl Session {
         let mut out = String::new();
         for n in lo..=hi {
             let marker = if n == line { "->" } else { "  " };
-            out.push_str(&format!(
-                "{n:>4} {marker} {}\n",
-                src.line(n).unwrap_or("")
-            ));
+            out.push_str(&format!("{n:>4} {marker} {}\n", src.line(n).unwrap_or("")));
         }
         Ok(out)
     }
@@ -885,21 +902,12 @@ impl Session {
             .actor(a)
             .work_addr
             .ok_or_else(|| format!("`{filter}` has no WORK method"))?;
-        Ok(self.add_breakpoint(
-            work,
-            format!("work of filter {filter}"),
-            false,
-            Some(a),
-        ))
+        Ok(self.add_breakpoint(work, format!("work of filter {filter}"), false, Some(a)))
     }
 
     /// `filter X catch IFACE=N,IFACE=N` — stop once the filter received
     /// the given token counts within one step.
-    pub fn catch_receive(
-        &mut self,
-        filter: &str,
-        conds: &[(&str, u32)],
-    ) -> CmdResult<u32> {
+    pub fn catch_receive(&mut self, filter: &str, conds: &[(&str, u32)]) -> CmdResult<u32> {
         let a = self.actor_named(filter)?;
         let mut resolved = Vec::new();
         for (iface, n) in conds {
@@ -973,15 +981,13 @@ impl Session {
     /// Stop when a controller schedules the filter.
     pub fn catch_scheduled(&mut self, filter: &str) -> CmdResult<u32> {
         let a = self.actor_named(filter)?;
-        Ok(self.model.add_catch(CatchCond::Scheduled { actor: a }, false))
+        Ok(self
+            .model
+            .add_catch(CatchCond::Scheduled { actor: a }, false))
     }
 
     /// Stop at step begin/end of a module (None = any).
-    pub fn catch_step(
-        &mut self,
-        module: Option<&str>,
-        begin: bool,
-    ) -> CmdResult<u32> {
+    pub fn catch_step(&mut self, module: Option<&str>, begin: bool) -> CmdResult<u32> {
         let module = match module {
             Some(m) => Some(self.actor_named(m)?),
             None => None,
@@ -996,6 +1002,18 @@ impl Session {
 
     pub fn delete_catch(&mut self, id: u32) -> bool {
         self.model.delete_catch(id)
+    }
+
+    /// `enable`/`disable <catch id>`. The catch index keeps disabled
+    /// entries; they are skipped at fire time.
+    pub fn set_catch_enabled(&mut self, id: u32, enabled: bool) -> bool {
+        match self.model.catchpoints.iter_mut().find(|c| c.id == id) {
+            Some(c) => {
+                c.enabled = enabled;
+                true
+            }
+            None => false,
+        }
     }
 
     /// `iface X::Y record` (§VI-D) — enable token-content recording.
@@ -1021,22 +1039,21 @@ impl Session {
         }
         let mut out = String::new();
         for (i, id) in c.history.iter().enumerate() {
-            let t = self.model.token(*id);
-            out.push_str(&format!(
-                "#{} {}\n",
-                i + 1,
-                t.value.render_short(&self.model.types)
-            ));
+            match self.model.try_token(*id) {
+                Some(t) => out.push_str(&format!(
+                    "#{} {}\n",
+                    i + 1,
+                    t.value.render_short(&self.model.types)
+                )),
+                // History can outlive the bounded token store.
+                None => out.push_str(&format!("#{} (evicted)\n", i + 1)),
+            }
         }
         Ok(out)
     }
 
     /// `filter X configure splitter` (§VI-D).
-    pub fn configure_filter(
-        &mut self,
-        filter: &str,
-        behavior: FlowBehavior,
-    ) -> CmdResult<()> {
+    pub fn configure_filter(&mut self, filter: &str, behavior: FlowBehavior) -> CmdResult<()> {
         let a = self.actor_named(filter)?;
         self.model.actors[a.0 as usize].behavior = behavior;
         Ok(())
@@ -1057,10 +1074,7 @@ impl Session {
                 .model
                 .graph
                 .actor(self.model.graph.conn(link.from).actor);
-            let to = self
-                .model
-                .graph
-                .actor(self.model.graph.conn(link.to).actor);
+            let to = self.model.graph.actor(self.model.graph.conn(link.to).actor);
             out.push_str(&format!(
                 "#{} {} -> {} {}\n",
                 i + 1,
@@ -1079,7 +1093,12 @@ impl Session {
         let id = self.model.actors[a.0 as usize]
             .last_received
             .ok_or_else(|| format!("`{filter}` has not received any token"))?;
-        let v = self.model.token(id).value.clone();
+        let v = self
+            .model
+            .try_token(id)
+            .ok_or_else(|| format!("`{filter}`'s last token was evicted from the record"))?
+            .value
+            .clone();
         let n = self.record_value(v.clone());
         Ok(format!("${n} = {}", v.render_short(&self.model.types)))
     }
@@ -1108,9 +1127,7 @@ impl Session {
                         .chars()
                         .take_while(|c| c.is_alphanumeric() || *c == '_')
                         .collect();
-                    if let Some(c) =
-                        self.model.graph.conn_by_name(actor, &name)
-                    {
+                    if let Some(c) = self.model.graph.conn_by_name(actor, &name) {
                         if c.dir == pedf::Dir::Out {
                             conns.push(c.id);
                         }
@@ -1142,8 +1159,7 @@ impl Session {
                  `{}::{}']",
                 this_actor.name, c.name
             ));
-            self.model
-                .add_catch(CatchCond::TokenSentOn { conn }, true);
+            self.model.add_catch(CatchCond::TokenSentOn { conn }, true);
             self.model
                 .add_catch(CatchCond::TokenReceivedOn { conn: other }, true);
         }
@@ -1164,11 +1180,7 @@ impl Session {
     /// `token inject <actor::iface> <value>` — e.g. to untie a deadlock.
     pub fn token_inject(&mut self, spec: &str, words: &[Word]) -> CmdResult<u64> {
         let link = self.link_of(spec)?;
-        let ty = self
-            .model
-            .graph
-            .conn(self.model.graph.link(link).from)
-            .ty;
+        let ty = self.model.graph.conn(self.model.graph.link(link).from).ty;
         let mut w = words.to_vec();
         w.resize(self.model.types.size_words(ty) as usize, 0);
         let value = Value::record(ty, w);
@@ -1193,18 +1205,9 @@ impl Session {
     }
 
     /// `token set <actor::iface> <idx> <value>`.
-    pub fn token_set(
-        &mut self,
-        spec: &str,
-        idx: u32,
-        words: &[Word],
-    ) -> CmdResult<()> {
+    pub fn token_set(&mut self, spec: &str, idx: u32, words: &[Word]) -> CmdResult<()> {
         let link = self.link_of(spec)?;
-        let ty = self
-            .model
-            .graph
-            .conn(self.model.graph.link(link).from)
-            .ty;
+        let ty = self.model.graph.conn(self.model.graph.link(link).from).ty;
         let mut w = words.to_vec();
         w.resize(self.model.types.size_words(ty) as usize, 0);
         let value = Value::record(ty, w);
@@ -1217,7 +1220,9 @@ impl Session {
             .get(idx as usize)
             .copied();
         if let Some(id) = qid {
-            self.model.tokens[id as usize].value = value;
+            if let Some(t) = self.model.tokens.get_mut(id) {
+                t.value = value;
+            }
         }
         Ok(())
     }
@@ -1260,10 +1265,7 @@ impl Session {
                         PeStatus::Blocked(r) => {
                             format!("{pe}, blocked: {r}")
                         }
-                        PeStatus::Running => format!(
-                            "{pe} at {}",
-                            self.info.describe_addr(p.pc)
-                        ),
+                        PeStatus::Running => format!("{pe} at {}", self.info.describe_addr(p.pc)),
                         _ => format!("{pe}"),
                     }
                 }
@@ -1306,9 +1308,7 @@ impl Session {
                     .find(|w| w.id == *id)
                     .map(|w| w.label.clone())
                     .unwrap_or_else(|| format!("0x{addr:08x}"));
-                format!(
-                    "Watchpoint {id}: {label}\nOld value = {old}\nNew value = {new}"
-                )
+                format!("Watchpoint {id}: {label}\nOld value = {old}\nNew value = {new}")
             }
             Stop::Dataflow(df) => match df {
                 DfStop::TokenReceived { actor, conn, .. } => format!(
@@ -1358,8 +1358,7 @@ impl Session {
                 out.push(a.name.clone());
             }
             for c in a.conns() {
-                let spec =
-                    format!("{}::{}", a.name, self.model.graph.conn(c).name);
+                let spec = format!("{}::{}", a.name, self.model.graph.conn(c).name);
                 if spec.starts_with(prefix) {
                     out.push(spec);
                 }
@@ -1394,11 +1393,7 @@ impl Session {
     /// Queued token values on an interface's link (oldest first).
     pub fn link_tokens(&self, spec: &str) -> CmdResult<Vec<Value>> {
         let link = self.link_of(spec)?;
-        Ok(self
-            .model
-            .queued(link)
-            .map(|t| t.value.clone())
-            .collect())
+        Ok(self.model.queued(link).map(|t| t.value.clone()).collect())
     }
 
     /// Access the last token id received by an actor (tests).
@@ -1431,12 +1426,8 @@ impl Session {
             let (ph, name) = match ev.kind {
                 TimelineKind::WorkBegin => ("B", actor.name.clone()),
                 TimelineKind::WorkEnd => ("E", actor.name.clone()),
-                TimelineKind::StepBegin => {
-                    ("B", format!("step:{}", actor.name))
-                }
-                TimelineKind::StepEnd => {
-                    ("E", format!("step:{}", actor.name))
-                }
+                TimelineKind::StepBegin => ("B", format!("step:{}", actor.name)),
+                TimelineKind::StepEnd => ("E", format!("step:{}", actor.name)),
             };
             if !first {
                 out.push_str(",\n");

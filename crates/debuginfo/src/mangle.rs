@@ -117,10 +117,7 @@ mod tests {
     fn paper_quoted_names() {
         // Both examples come verbatim from §VI-F.
         assert_eq!(filter_work("ipf"), "IpfFilter_work_function");
-        assert_eq!(
-            controller_work("pred"),
-            "_component_PredModule_anon_0_work"
-        );
+        assert_eq!(controller_work("pred"), "_component_PredModule_anon_0_work");
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub struct FieldDef {
 pub enum TypeDef {
     Scalar(ScalarType),
     /// A record ("struct") type, e.g. the case study's `CbCrMB_t`.
-    Struct { name: String, fields: Vec<FieldDef> },
+    Struct {
+        name: String,
+        fields: Vec<FieldDef>,
+    },
 }
 
 impl TypeDef {
@@ -102,11 +105,9 @@ impl TypeDef {
     pub fn size_words(&self) -> u32 {
         match self {
             TypeDef::Scalar(_) => 1,
-            TypeDef::Struct { fields, .. } => fields
-                .iter()
-                .map(|f| f.word_offset + 1)
-                .max()
-                .unwrap_or(0),
+            TypeDef::Struct { fields, .. } => {
+                fields.iter().map(|f| f.word_offset + 1).max().unwrap_or(0)
+            }
         }
     }
 
@@ -162,11 +163,7 @@ impl TypeTable {
     /// Declare a struct type; field offsets are assigned sequentially.
     /// Returns the existing id if an identical definition was already
     /// interned (the elaborator may declare shared header types repeatedly).
-    pub fn declare_struct(
-        &mut self,
-        name: &str,
-        fields: &[(String, TypeId)],
-    ) -> TypeId {
+    pub fn declare_struct(&mut self, name: &str, fields: &[(String, TypeId)]) -> TypeId {
         let def = TypeDef::Struct {
             name: name.to_string(),
             fields: fields
@@ -208,9 +205,7 @@ impl TypeTable {
     /// Field lookup for member-access expressions (`mb.Addr`).
     pub fn field(&self, id: TypeId, field: &str) -> Option<&FieldDef> {
         match self.get(id) {
-            TypeDef::Struct { fields, .. } => {
-                fields.iter().find(|f| f.name == field)
-            }
+            TypeDef::Struct { fields, .. } => fields.iter().find(|f| f.name == field),
             TypeDef::Scalar(_) => None,
         }
     }

@@ -22,10 +22,7 @@ pub struct Value {
 
 impl Value {
     pub fn scalar(ty: TypeId, w: Word) -> Value {
-        Value {
-            ty,
-            words: vec![w],
-        }
+        Value { ty, words: vec![w] }
     }
 
     /// Convenience for unsigned 32-bit values, the lingua franca of the
@@ -65,10 +62,7 @@ impl Value {
                         format!(
                             "{}=0x{:X}",
                             f.name,
-                            self.words
-                                .get(f.word_offset as usize)
-                                .copied()
-                                .unwrap_or(0)
+                            self.words.get(f.word_offset as usize).copied().unwrap_or(0)
                         )
                     })
                     .unwrap_or_default();
@@ -88,11 +82,7 @@ impl Value {
                     if i > 0 {
                         out.push_str(",\n  ");
                     }
-                    let w = self
-                        .words
-                        .get(f.word_offset as usize)
-                        .copied()
-                        .unwrap_or(0);
+                    let w = self.words.get(f.word_offset as usize).copied().unwrap_or(0);
                     let rendered = match types.as_scalar(f.ty) {
                         Some(s) if f.name == "Addr" => {
                             // Addresses print hexadecimal, like GDB pointer

@@ -50,7 +50,10 @@ pub fn decode_mb(i: u32, bits: u32, cfg: u32) -> u32 {
     let p_ipred = mbtype.wrapping_add(i);
     let p_ipf = mbtype * 2 + 1;
     // ipred
-    let pred = p_ipred.wrapping_add(hcfg).wrapping_mul(2).wrapping_add(v >> 1);
+    let pred = p_ipred
+        .wrapping_add(hcfg)
+        .wrapping_mul(2)
+        .wrapping_add(v >> 1);
     let to_ipf = clip255(pred);
     let mb_out = pred ^ 0xf;
     // ipf (signed shift: Add2Dblock_ipred_in is I32)
@@ -73,9 +76,9 @@ pub fn decode_stream(n: u32, seed: u32) -> Vec<u32> {
 
 /// The same rolling checksum as [`pedf::EnvSink`] computes.
 pub fn checksum(values: &[u32]) -> u64 {
-    values
-        .iter()
-        .fold(0u64, |acc, v| acc.wrapping_mul(31).wrapping_add(u64::from(*v)))
+    values.iter().fold(0u64, |acc, v| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(*v))
+    })
 }
 
 #[cfg(test)]

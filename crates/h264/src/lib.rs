@@ -43,12 +43,8 @@ pub fn attach_env(
     seed: u32,
 ) -> Result<(), String> {
     sys.runtime.add_source(
-        EnvSource::new(
-            app.boundary_in["bits_in"],
-            2,
-            ValueGen::Lcg { state: seed },
-        )
-        .with_limit(n_mbs),
+        EnvSource::new(app.boundary_in["bits_in"], 2, ValueGen::Lcg { state: seed })
+            .with_limit(n_mbs),
     )?;
     sys.runtime.add_source(
         EnvSource::new(
@@ -81,8 +77,8 @@ pub fn run_decoder(
     seed: u32,
     max_cycles: u64,
 ) -> Result<DecodeResult, String> {
-    let (mut sys, app) = build_decoder(bug, n_mbs, PlatformConfig::default())
-        .map_err(|e| e.to_string())?;
+    let (mut sys, app) =
+        build_decoder(bug, n_mbs, PlatformConfig::default()).map_err(|e| e.to_string())?;
     sys.boot(app.boot_entry)?;
     attach_env(&mut sys, &app, n_mbs, seed)?;
     let finished = sys.run_to_quiescence(max_cycles);
@@ -134,8 +130,7 @@ mod tests {
 
     #[test]
     fn graph_matches_fig4_structure() {
-        let (_, app) = build_decoder(Bug::None, 1, PlatformConfig::default())
-            .unwrap();
+        let (_, app) = build_decoder(Bug::None, 1, PlatformConfig::default()).unwrap();
         let g = &app.graph;
         // Modules front & pred under the Decoder assembly.
         let front = g.actor_by_name("front").unwrap();
@@ -197,8 +192,7 @@ mod tests {
     #[test]
     fn rate_mismatch_accumulates_backlog() {
         let (mut sys, app) =
-            build_decoder(Bug::RateMismatch, 12, PlatformConfig::default())
-                .unwrap();
+            build_decoder(Bug::RateMismatch, 12, PlatformConfig::default()).unwrap();
         sys.boot(app.boot_entry).unwrap();
         attach_env(&mut sys, &app, 12, 1).unwrap();
         sys.run_to_quiescence(3_000_000);
@@ -211,9 +205,7 @@ mod tests {
 
     #[test]
     fn deadlock_bug_deadlocks() {
-        let (mut sys, app) =
-            build_decoder(Bug::Deadlock, 8, PlatformConfig::default())
-                .unwrap();
+        let (mut sys, app) = build_decoder(Bug::Deadlock, 8, PlatformConfig::default()).unwrap();
         sys.boot(app.boot_entry).unwrap();
         attach_env(&mut sys, &app, 8, 1).unwrap();
         let finished = sys.run_to_quiescence(500_000);

@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use debuginfo::{
-    FileId, LineEntry, ScalarType, TypeId, TypeTable, Word,
-};
+use debuginfo::{FileId, LineEntry, ScalarType, TypeId, TypeTable, Word};
 use p2012::{CodeAddr, Insn, ProgramBuilder};
 
 use crate::ast::*;
@@ -105,18 +103,12 @@ impl<'a, 'b> Gen<'a, 'b> {
         });
     }
 
-    fn resolve_type(
-        &self,
-        ty: &TypeName,
-        line: u32,
-    ) -> Result<VType, CompileError> {
+    fn resolve_type(&self, ty: &TypeName, line: u32) -> Result<VType, CompileError> {
         match ty {
             TypeName::Void => Ok(VType::Void),
             TypeName::Scalar(s) => Ok(VType::Scalar(*s)),
             TypeName::Named(n) => match self.env.types.lookup_by_name(n) {
-                Some(id) if !self.env.types.is_scalar(id) => {
-                    Ok(VType::Struct(id))
-                }
+                Some(id) if !self.env.types.is_scalar(id) => Ok(VType::Struct(id)),
                 _ => self.err(line, format!("unknown struct type `{n}`")),
             },
         }
@@ -137,17 +129,8 @@ impl<'a, 'b> Gen<'a, 'b> {
         }
     }
 
-    fn declare(
-        &mut self,
-        name: &str,
-        vt: VType,
-        line: u32,
-    ) -> Result<LocalVar, CompileError> {
-        if self
-            .scopes
-            .last()
-            .is_some_and(|s| s.contains_key(name))
-        {
+    fn declare(&mut self, name: &str, vt: VType, line: u32) -> Result<LocalVar, CompileError> {
+        if self.scopes.last().is_some_and(|s| s.contains_key(name)) {
             return self.err(line, format!("`{name}` already declared"));
         }
         let base = self.next_slot;
@@ -163,29 +146,29 @@ impl<'a, 'b> Gen<'a, 'b> {
     }
 
     fn lookup(&self, name: &str) -> Option<LocalVar> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name))
-            .copied()
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
     }
 
-    fn conn(
-        &self,
-        name: &str,
-        line: u32,
-    ) -> Result<(u32, TypeId, pedf::Dir), CompileError> {
-        self.env.conns.get(name).copied().ok_or_else(|| CompileError {
-            line,
-            msg: format!("unknown connection `{name}` (check the architecture description)"),
-        })
+    fn conn(&self, name: &str, line: u32) -> Result<(u32, TypeId, pedf::Dir), CompileError> {
+        self.env
+            .conns
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError {
+                line,
+                msg: format!("unknown connection `{name}` (check the architecture description)"),
+            })
     }
 
     fn actor(&self, name: &str, line: u32) -> Result<u32, CompileError> {
-        self.env.actors.get(name).copied().ok_or_else(|| CompileError {
-            line,
-            msg: format!("unknown filter `{name}` in scheduling call"),
-        })
+        self.env
+            .actors
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError {
+                line,
+                msg: format!("unknown filter `{name}` in scheduling call"),
+            })
     }
 
     /// Mask the top-of-stack value to a narrow scalar's width.
@@ -206,8 +189,7 @@ impl<'a, 'b> Gen<'a, 'b> {
         for (_, pty) in &f.params {
             let vt = self.resolve_type(pty, f.line)?;
             if !matches!(vt, VType::Scalar(_)) {
-                return self
-                    .err(f.line, "function parameters must be scalar");
+                return self.err(f.line, "function parameters must be scalar");
             }
             params.push(vt);
         }
@@ -353,28 +335,20 @@ impl<'a, 'b> Gen<'a, 'b> {
                 self.b.bind(l_end);
                 Ok(())
             }
-            Stmt::Return { value, line } => {
-                match (self.ret, value) {
-                    (VType::Void, None) => {
-                        self.b.emit(Insn::Ret { retc: 0 });
-                        Ok(())
-                    }
-                    (VType::Void, Some(_)) => {
-                        self.err(*line, "void function returns a value")
-                    }
-                    (VType::Scalar(_), Some(v)) => {
-                        self.expect_scalar(v, *line)?;
-                        self.b.emit(Insn::Ret { retc: 1 });
-                        Ok(())
-                    }
-                    (VType::Scalar(_), None) => {
-                        self.err(*line, "missing return value")
-                    }
-                    (VType::Struct(_), _) => {
-                        self.err(*line, "functions cannot return structs")
-                    }
+            Stmt::Return { value, line } => match (self.ret, value) {
+                (VType::Void, None) => {
+                    self.b.emit(Insn::Ret { retc: 0 });
+                    Ok(())
                 }
-            }
+                (VType::Void, Some(_)) => self.err(*line, "void function returns a value"),
+                (VType::Scalar(_), Some(v)) => {
+                    self.expect_scalar(v, *line)?;
+                    self.b.emit(Insn::Ret { retc: 1 });
+                    Ok(())
+                }
+                (VType::Scalar(_), None) => self.err(*line, "missing return value"),
+                (VType::Struct(_), _) => self.err(*line, "functions cannot return structs"),
+            },
             Stmt::ExprStmt { expr, line } => {
                 let vt = self.expr(expr, *line)?;
                 if matches!(vt, VType::Scalar(_)) {
@@ -435,10 +409,7 @@ impl<'a, 'b> Gen<'a, 'b> {
                 Expr::Pedf(PedfExpr::IoRead { conn, index }) => {
                     let (cid, cty, dir) = self.conn(conn, line)?;
                     if dir != pedf::Dir::In {
-                        return self.err(
-                            line,
-                            format!("`{conn}` is not an input connection"),
-                        );
+                        return self.err(line, format!("`{conn}` is not an input connection"));
                     }
                     if cty != ty {
                         return self.err(line, "token type mismatch");
@@ -464,12 +435,7 @@ impl<'a, 'b> Gen<'a, 'b> {
         }
     }
 
-    fn assign(
-        &mut self,
-        target: &LValue,
-        value: &Expr,
-        line: u32,
-    ) -> Result<(), CompileError> {
+    fn assign(&mut self, target: &LValue, value: &Expr, line: u32) -> Result<(), CompileError> {
         match target {
             LValue::Var(name) => {
                 let var = self.lookup(name).ok_or_else(|| CompileError {
@@ -484,16 +450,12 @@ impl<'a, 'b> Gen<'a, 'b> {
                     msg: format!("unknown variable `{name}`"),
                 })?;
                 let VType::Struct(ty) = var.vt else {
-                    return self
-                        .err(line, format!("`{name}` is not a struct"));
+                    return self.err(line, format!("`{name}` is not a struct"));
                 };
                 let Some(f) = self.env.types.field(ty, field) else {
                     return self.err(
                         line,
-                        format!(
-                            "no field `{field}` in `{}`",
-                            self.env.types.name(ty)
-                        ),
+                        format!("no field `{field}` in `{}`", self.env.types.name(ty)),
                     );
                 };
                 let slot = var.base + f.word_offset as u16;
@@ -506,10 +468,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             LValue::Io { conn, index } => {
                 let (cid, cty, dir) = self.conn(conn, line)?;
                 if dir != pedf::Dir::Out {
-                    return self.err(
-                        line,
-                        format!("`{conn}` is not an output connection"),
-                    );
+                    return self.err(line, format!("`{conn}` is not an output connection"));
                 }
                 match self.vtype_of(cty) {
                     VType::Scalar(s) => {
@@ -525,15 +484,12 @@ impl<'a, 'b> Gen<'a, 'b> {
                     }
                     VType::Struct(sty) => match value {
                         Expr::Var(src) => {
-                            let v = self.lookup(src).ok_or_else(|| {
-                                CompileError {
-                                    line,
-                                    msg: format!("unknown variable `{src}`"),
-                                }
+                            let v = self.lookup(src).ok_or_else(|| CompileError {
+                                line,
+                                msg: format!("unknown variable `{src}`"),
                             })?;
                             if v.vt != VType::Struct(sty) {
-                                return self
-                                    .err(line, "token type mismatch");
+                                return self.err(line, "token type mismatch");
                             }
                             self.b.emit(Insn::Const(cid));
                             self.expect_scalar(index, line)?;
@@ -544,10 +500,7 @@ impl<'a, 'b> Gen<'a, 'b> {
                             });
                             Ok(())
                         }
-                        _ => self.err(
-                            line,
-                            "struct connections take a struct variable",
-                        ),
+                        _ => self.err(line, "struct connections take a struct variable"),
                     },
                     VType::Void => unreachable!(),
                 }
@@ -564,15 +517,11 @@ impl<'a, 'b> Gen<'a, 'b> {
                     "attribute"
                 };
                 let Some(&(addr, ty)) = table.get(name) else {
-                    return self.err(
-                        line,
-                        format!("unknown pedf.{kind}.{name}"),
-                    );
+                    return self.err(line, format!("unknown pedf.{kind}.{name}"));
                 };
                 let vt = self.vtype_of(ty);
                 if !matches!(vt, VType::Scalar(_)) {
-                    return self
-                        .err(line, "struct data/attributes not supported");
+                    return self.err(line, "struct data/attributes not supported");
                 }
                 self.b.emit(Insn::Const(addr));
                 self.expect_scalar(value, line)?;
@@ -586,11 +535,7 @@ impl<'a, 'b> Gen<'a, 'b> {
     // ---- expressions -------------------------------------------------------
 
     /// Generate `e` and require a scalar result on the stack.
-    fn expect_scalar(
-        &mut self,
-        e: &Expr,
-        line: u32,
-    ) -> Result<VType, CompileError> {
+    fn expect_scalar(&mut self, e: &Expr, line: u32) -> Result<VType, CompileError> {
         let vt = self.expr(e, line)?;
         match vt {
             VType::Scalar(_) => Ok(vt),
@@ -601,9 +546,7 @@ impl<'a, 'b> Gen<'a, 'b> {
                     self.env.types.name(t)
                 ),
             ),
-            VType::Void => {
-                self.err(line, "void value used where a scalar is required")
-            }
+            VType::Void => self.err(line, "void value used where a scalar is required"),
         }
     }
 
@@ -632,16 +575,12 @@ impl<'a, 'b> Gen<'a, 'b> {
                     msg: format!("unknown variable `{name}`"),
                 })?;
                 let VType::Struct(ty) = var.vt else {
-                    return self
-                        .err(line, format!("`{name}` is not a struct"));
+                    return self.err(line, format!("`{name}` is not a struct"));
                 };
                 let Some(f) = self.env.types.field(ty, field) else {
                     return self.err(
                         line,
-                        format!(
-                            "no field `{field}` in `{}`",
-                            self.env.types.name(ty)
-                        ),
+                        format!("no field `{field}` in `{}`", self.env.types.name(ty)),
                     );
                 };
                 self.b
@@ -667,17 +606,13 @@ impl<'a, 'b> Gen<'a, 'b> {
             }
             Expr::Binary(op, lhs, rhs) => self.binary(*op, lhs, rhs, line),
             Expr::Call { name, args } => {
-                let sig = self
-                    .funcs
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| CompileError {
-                        line,
-                        msg: format!(
-                            "unknown function `{name}` (helpers must be \
+                let sig = self.funcs.get(name).cloned().ok_or_else(|| CompileError {
+                    line,
+                    msg: format!(
+                        "unknown function `{name}` (helpers must be \
                              defined before use)"
-                        ),
-                    })?;
+                    ),
+                })?;
                 if args.len() != sig.params.len() {
                     return self.err(
                         line,
@@ -777,20 +712,13 @@ impl<'a, 'b> Gen<'a, 'b> {
         Ok(vt)
     }
 
-    fn pedf(
-        &mut self,
-        p: &PedfExpr,
-        line: u32,
-    ) -> Result<VType, CompileError> {
+    fn pedf(&mut self, p: &PedfExpr, line: u32) -> Result<VType, CompileError> {
         let stubs = self.env.stubs;
         match p {
             PedfExpr::IoRead { conn, index } => {
                 let (cid, cty, dir) = self.conn(conn, line)?;
                 if dir != pedf::Dir::In {
-                    return self.err(
-                        line,
-                        format!("`{conn}` is not an input connection"),
-                    );
+                    return self.err(line, format!("`{conn}` is not an input connection"));
                 }
                 match self.vtype_of(cty) {
                     VType::Scalar(s) => {
@@ -817,8 +745,7 @@ impl<'a, 'b> Gen<'a, 'b> {
                     (&self.env.attrs, "attribute")
                 };
                 let Some(&(addr, ty)) = table.get(name) else {
-                    return self
-                        .err(line, format!("unknown pedf.{kind}.{name}"));
+                    return self.err(line, format!("unknown pedf.{kind}.{name}"));
                 };
                 self.b.emit(Insn::Const(addr));
                 self.b.emit(Insn::LoadMem);
@@ -865,10 +792,7 @@ impl<'a, 'b> Gen<'a, 'b> {
                 });
                 Ok(VType::Void)
             }
-            PedfExpr::WaitInit
-            | PedfExpr::WaitSync
-            | PedfExpr::StepBegin
-            | PedfExpr::StepEnd => {
+            PedfExpr::WaitInit | PedfExpr::WaitSync | PedfExpr::StepBegin | PedfExpr::StepEnd => {
                 self.b.emit(Insn::Call {
                     addr: match p {
                         PedfExpr::WaitInit => stubs.wait_actor_init,

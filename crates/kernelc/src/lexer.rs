@@ -138,9 +138,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < n
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
-                {
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
                 let word: String = bytes[start..i].iter().collect();
@@ -158,9 +156,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                let value = if c == '0'
-                    && i + 1 < n
-                    && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X')
+                let value = if c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X')
                 {
                     i += 2;
                     let hs = i;

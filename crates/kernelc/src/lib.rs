@@ -24,9 +24,7 @@ pub mod parser;
 
 use std::collections::HashMap;
 
-use debuginfo::{
-    mangle, DebugInfoBuilder, ParamInfo, SymbolKind, TypeId, TypeTable,
-};
+use debuginfo::{mangle, DebugInfoBuilder, ParamInfo, SymbolKind, TypeId, TypeTable};
 use p2012::{CodeAddr, ProgramBuilder};
 use pedf::{ApiStubs, Dir};
 
@@ -59,15 +57,9 @@ impl KernelOwner {
     fn mangled(&self, func: &str) -> String {
         match (self, func) {
             (KernelOwner::Filter(f), "work") => mangle::filter_work(f),
-            (KernelOwner::Filter(f), other) => {
-                mangle::filter_helper(f, other)
-            }
-            (KernelOwner::Controller { module }, "work") => {
-                mangle::controller_work(module)
-            }
-            (KernelOwner::Controller { module }, other) => {
-                mangle::controller_helper(module, other)
-            }
+            (KernelOwner::Filter(f), other) => mangle::filter_helper(f, other),
+            (KernelOwner::Controller { module }, "work") => mangle::controller_work(module),
+            (KernelOwner::Controller { module }, other) => mangle::controller_helper(module, other),
         }
     }
 
@@ -103,12 +95,7 @@ pub struct CompileEnv<'a> {
 impl<'a> CompileEnv<'a> {
     /// Minimal env for a kernel with no architecture context (tests,
     /// standalone snippets).
-    pub fn bare(
-        stubs: ApiStubs,
-        types: &'a TypeTable,
-        file: &str,
-        owner: KernelOwner,
-    ) -> Self {
+    pub fn bare(stubs: ApiStubs, types: &'a TypeTable, file: &str, owner: KernelOwner) -> Self {
         CompileEnv {
             stubs,
             types,
@@ -156,9 +143,7 @@ pub fn compile_kernel(
     let mut symbols = Vec::new();
     let mut failure = None;
     for f in &unit.funcs {
-        if f.name == "work"
-            && (!f.params.is_empty() || f.ret != ast::TypeName::Void)
-        {
+        if f.name == "work" && (!f.params.is_empty() || f.ret != ast::TypeName::Void) {
             failure = Some(CompileError {
                 line: f.line,
                 msg: "work must be declared `void work()`".into(),
@@ -221,8 +206,7 @@ mod tests {
     use super::*;
     use debuginfo::Word;
     use p2012::{
-        memory::L2_BASE, Insn, NullHandler, PeId, PeStatus, Platform,
-        PlatformConfig, StepEvent,
+        memory::L2_BASE, Insn, NullHandler, PeId, PeStatus, Platform, PlatformConfig, StepEvent,
     };
 
     /// Compile `src` (which must define `fname`) plus a wrapper storing
@@ -237,12 +221,7 @@ mod tests {
         let mut di = DebugInfoBuilder::new();
         let stubs = pedf::api::emit_stubs(&mut b, &mut di);
         let types = TypeTable::new();
-        let env = CompileEnv::bare(
-            stubs,
-            &types,
-            "t.c",
-            KernelOwner::Filter("t".into()),
-        );
+        let env = CompileEnv::bare(stubs, &types, "t.c", KernelOwner::Filter("t".into()));
         let k = compile_kernel(&src_full, &env, &mut b, &mut di).unwrap();
         let (_, f_addr) = *k
             .funcs
@@ -270,9 +249,7 @@ mod tests {
         for _ in 0..1_000_000u64 {
             platform.step_cycle(&mut h);
             match platform.pes[0].status {
-                PeStatus::Idle => {
-                    return platform.mem.peek(L2_BASE).unwrap()
-                }
+                PeStatus::Idle => return platform.mem.peek(L2_BASE).unwrap(),
                 PeStatus::Faulted(f) => panic!("fault: {f}"),
                 _ => {}
             }
@@ -349,8 +326,7 @@ U32 f(U32 n) {
         let src = "U32 f(U32 a) { if (a == 0 || 10 / a > 100) { return 1; } return 0; }";
         assert_eq!(run_fn(src, "f", &[0]), 1);
         assert_eq!(run_fn(src, "f", &[5]), 0);
-        let src2 =
-            "U32 f(U32 a) { if (a != 0 && 10 / a == 2) { return 1; } return 0; }";
+        let src2 = "U32 f(U32 a) { if (a != 0 && 10 / a == 2) { return 1; } return 0; }";
         assert_eq!(run_fn(src2, "f", &[0]), 0);
         assert_eq!(run_fn(src2, "f", &[5]), 1);
     }
@@ -415,12 +391,7 @@ void work() { }";
         let mut b = ProgramBuilder::new();
         let mut di = DebugInfoBuilder::new();
         let stubs = pedf::api::emit_stubs(&mut b, &mut di);
-        let env = CompileEnv::bare(
-            stubs,
-            &types,
-            "t.c",
-            KernelOwner::Filter("t".into()),
-        );
+        let env = CompileEnv::bare(stubs, &types, "t.c", KernelOwner::Filter("t".into()));
         let k = compile_kernel(src, &env, &mut b, &mut di).unwrap();
         let f_addr = k.funcs[0].1;
         let main = b.begin_func(0);
@@ -455,12 +426,7 @@ void work() { }";
         let mut di = DebugInfoBuilder::new();
         let stubs = pedf::api::emit_stubs(&mut b, &mut di);
         let types = TypeTable::new();
-        let env = CompileEnv::bare(
-            stubs,
-            &types,
-            "k.c",
-            KernelOwner::Filter("ipf".into()),
-        );
+        let env = CompileEnv::bare(stubs, &types, "k.c", KernelOwner::Filter("ipf".into()));
         let src = "\
 void work() {
     U32 a = 1;
@@ -519,19 +485,16 @@ void work() {
             ("void work() { U32 a = g(); }", "unknown function"),
             ("void work() { pedf.fire(nobody); }", "unknown filter"),
             ("void work() { return 1; }", "void function returns"),
-            ("U32 f(U32 a) { }\nvoid work() { U32 x = f(1, 2); }", "argument"),
+            (
+                "U32 f(U32 a) { }\nvoid work() { U32 x = f(1, 2); }",
+                "argument",
+            ),
         ] {
             let mut b = ProgramBuilder::new();
             let mut di = DebugInfoBuilder::new();
             let stubs = pedf::api::emit_stubs(&mut b, &mut di);
-            let env = CompileEnv::bare(
-                stubs,
-                &types,
-                "k.c",
-                KernelOwner::Filter("x".into()),
-            );
-            let e = compile_kernel(src, &env, &mut b, &mut di)
-                .expect_err(src);
+            let env = CompileEnv::bare(stubs, &types, "k.c", KernelOwner::Filter("x".into()));
+            let e = compile_kernel(src, &env, &mut b, &mut di).expect_err(src);
             assert!(
                 e.msg.contains(needle),
                 "src `{src}`: expected `{needle}` in `{}`",
@@ -551,12 +514,7 @@ void work() { }";
         let mut di = DebugInfoBuilder::new();
         let stubs = pedf::api::emit_stubs(&mut b, &mut di);
         let types = TypeTable::new();
-        let env = CompileEnv::bare(
-            stubs,
-            &types,
-            "t.c",
-            KernelOwner::Filter("t".into()),
-        );
+        let env = CompileEnv::bare(stubs, &types, "t.c", KernelOwner::Filter("t".into()));
         let k = compile_kernel(src, &env, &mut b, &mut di).unwrap();
         let half = k.funcs[0].1;
         let main = b.begin_func(0);

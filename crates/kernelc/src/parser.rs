@@ -17,10 +17,7 @@ pub struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    pub fn new(
-        src: &str,
-        is_type: &'a dyn Fn(&str) -> bool,
-    ) -> Result<Self, CompileError> {
+    pub fn new(src: &str, is_type: &'a dyn Fn(&str) -> bool) -> Result<Self, CompileError> {
         let toks = lex(src).map_err(|e| CompileError {
             line: e.line,
             msg: e.msg,
@@ -82,9 +79,7 @@ impl<'a> Parser<'a> {
     fn at_type(&self) -> bool {
         match self.peek() {
             Tok::KwVoid => true,
-            Tok::Ident(s) => {
-                ScalarType::parse(s).is_some() || (self.is_type)(s)
-            }
+            Tok::Ident(s) => ScalarType::parse(s).is_some() || (self.is_type)(s),
             _ => false,
         }
     }
@@ -179,9 +174,7 @@ impl<'a> Parser<'a> {
                     if *self.peek() == Tok::KwIf {
                         // `else if` sugar: wrap in a block.
                         let inner = self.stmt()?;
-                        Some(Block {
-                            stmts: vec![inner],
-                        })
+                        Some(Block { stmts: vec![inner] })
                     } else {
                         Some(self.block()?)
                     }
@@ -300,17 +293,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expr_to_lvalue(
-        &self,
-        e: Expr,
-        line: u32,
-    ) -> Result<LValue, CompileError> {
+    fn expr_to_lvalue(&self, e: Expr, line: u32) -> Result<LValue, CompileError> {
         match e {
             Expr::Var(name) => Ok(LValue::Var(name)),
             Expr::Field(base, field) => Ok(LValue::Field(base, field)),
-            Expr::Pedf(PedfExpr::IoRead { conn, index }) => {
-                Ok(LValue::Io { conn, index })
-            }
+            Expr::Pedf(PedfExpr::IoRead { conn, index }) => Ok(LValue::Io { conn, index }),
             Expr::Pedf(PedfExpr::Data(n)) => Ok(LValue::Data(n)),
             Expr::Pedf(PedfExpr::Attr(n)) => Ok(LValue::Attr(n)),
             _ => Err(CompileError {
@@ -478,32 +465,30 @@ impl<'a> Parser<'a> {
                 Ok(e)
             }
             Tok::Ident(name) if name == "pedf" => self.pedf_expr(),
-            Tok::Ident(name) => {
-                match self.peek() {
-                    Tok::LParen => {
-                        self.bump();
-                        let mut args = Vec::new();
-                        if *self.peek() != Tok::RParen {
-                            loop {
-                                args.push(self.expr()?);
-                                if *self.peek() == Tok::Comma {
-                                    self.bump();
-                                } else {
-                                    break;
-                                }
+            Tok::Ident(name) => match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
                             }
                         }
-                        self.expect(Tok::RParen)?;
-                        Ok(Expr::Call { name, args })
                     }
-                    Tok::Dot => {
-                        self.bump();
-                        let field = self.ident()?;
-                        Ok(Expr::Field(name, field))
-                    }
-                    _ => Ok(Expr::Var(name)),
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call { name, args })
                 }
-            }
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    Ok(Expr::Field(name, field))
+                }
+                _ => Ok(Expr::Var(name)),
+            },
             other => {
                 self.pos -= 1;
                 self.err(format!("expected expression, found {other}"))
@@ -564,19 +549,14 @@ impl<'a> Parser<'a> {
                     _ => PedfExpr::StepEnd,
                 }
             }
-            other => {
-                return self.err(format!("unknown pedf namespace `{other}`"))
-            }
+            other => return self.err(format!("unknown pedf namespace `{other}`")),
         };
         Ok(Expr::Pedf(e))
     }
 }
 
 /// Parse a full source unit.
-pub fn parse(
-    src: &str,
-    is_type: &dyn Fn(&str) -> bool,
-) -> Result<Unit, CompileError> {
+pub fn parse(src: &str, is_type: &dyn Fn(&str) -> bool) -> Result<Unit, CompileError> {
     Parser::new(src, is_type)?.unit()
 }
 
@@ -662,10 +642,8 @@ void work() {
 
     #[test]
     fn precedence_is_c_like() {
-        let u = parse("void f() { U32 x = 1 + 2 * 3 < 7 && 1; }", &no_types)
-            .unwrap();
-        let Stmt::Decl { init: Some(e), .. } = &u.funcs[0].body.stmts[0]
-        else {
+        let u = parse("void f() { U32 x = 1 + 2 * 3 < 7 && 1; }", &no_types).unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &u.funcs[0].body.stmts[0] else {
             panic!()
         };
         // (( (1 + (2*3)) < 7 ) && 1)

@@ -234,9 +234,7 @@ fn lex(src: &str) -> Result<Vec<(T, u32)>, AdlError> {
             }
             '/' if chars.get(i + 1) == Some(&'*') => {
                 i += 2;
-                while i + 1 < chars.len()
-                    && !(chars[i] == '*' && chars[i + 1] == '/')
-                {
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
                     if chars[i] == '\n' {
                         line += 1;
                     }
@@ -276,9 +274,7 @@ fn lex(src: &str) -> Result<Vec<(T, u32)>, AdlError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let s = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 out.push((T::Ident(chars[s..i].iter().collect()), line));
@@ -540,18 +536,14 @@ impl P {
                             let p = self.port(false)?;
                             c.ports.push(p);
                         } else {
-                            return self
-                                .err("expected source/attribute/input/output");
+                            return self.err("expected source/attribute/input/output");
                         }
                     }
                     self.expect(T::RBrace)?;
                     if m.controller.is_some() {
                         return Err(AdlError {
                             line: cline,
-                            msg: format!(
-                                "module `{}` has two controllers",
-                                m.name
-                            ),
+                            msg: format!("module `{}` has two controllers", m.name),
                         });
                     }
                     m.controller = Some(c);
@@ -598,9 +590,7 @@ impl P {
                     line: bline,
                 });
             } else {
-                return self.err(
-                    "expected contains/input/output/binds inside composite",
-                );
+                return self.err("expected contains/input/output/binds inside composite");
             }
         }
         self.expect(T::RBrace)?;
@@ -725,18 +715,18 @@ primitive AFilter {
         let m = &f.modules[0];
         assert_eq!(m.binds[0].capacity, Some(20));
         assert_eq!(m.binds[0].from.instance, None);
-        assert_eq!(m.binds[1].to, Endpoint {
-            instance: None,
-            conn: "o".into()
-        });
+        assert_eq!(
+            m.binds[1].to,
+            Endpoint {
+                instance: None,
+                conn: "o".into()
+            }
+        );
     }
 
     #[test]
     fn struct_records() {
-        let f = parse(
-            "@Struct record CbCrMB_t { U32 Addr; U8 InterNotIntra; I32 Izz; }",
-        )
-        .unwrap();
+        let f = parse("@Struct record CbCrMB_t { U32 Addr; U8 InterNotIntra; I32 Izz; }").unwrap();
         assert_eq!(f.records[0].fields.len(), 3);
         assert_eq!(f.records[0].fields[1].0, "InterNotIntra");
     }
@@ -761,11 +751,12 @@ primitive AFilter {
     fn error_cases() {
         assert!(parse("@Bogus primitive F { }").is_err());
         assert!(parse("@Filter primitive F { junk x; }").is_err());
-        assert!(parse("@Module composite M { binds a.b to c.d cap 0; }")
-            .is_err());
-        assert!(parse("@Module composite M { contains as controller { } \
-                        contains as controller { } }")
-            .is_err());
+        assert!(parse("@Module composite M { binds a.b to c.d cap 0; }").is_err());
+        assert!(parse(
+            "@Module composite M { contains as controller { } \
+                        contains as controller { } }"
+        )
+        .is_err());
         let e = parse("@Module composite M {\n  whatever;\n}").unwrap_err();
         assert_eq!(e.line, 2);
     }

@@ -24,18 +24,14 @@
 
 use std::collections::HashMap;
 
-use debuginfo::{
-    mangle, CodeAddr, DebugInfo, DebugInfoBuilder, SymbolKind, TypeId,
-    TypeTable,
-};
+use debuginfo::{mangle, CodeAddr, DebugInfo, DebugInfoBuilder, SymbolKind, TypeId, TypeTable};
 use kernelc::{CompileEnv, KernelOwner};
 use p2012::{
     memory::{L2_BASE, L3_BASE},
     Insn, PeClass, PeId, Platform, PlatformConfig, ProgramBuilder,
 };
 use pedf::{
-    api, ActorId, ActorKind, AppGraph, ConnId, Dir, LinkClass, Runtime,
-    StringPool, System,
+    api, ActorId, ActorKind, AppGraph, ConnId, Dir, LinkClass, Runtime, StringPool, System,
 };
 
 use crate::adl::{self, AdlFile, ModuleDecl, TypeRef};
@@ -187,9 +183,8 @@ impl Alloc {
 
     fn l1(&mut self, cluster: u16, words: u32) -> Result<u32, BuildError> {
         let base = self.l1_next[cluster as usize];
-        let limit = p2012::memory::L1_BASE
-            + u32::from(cluster) * p2012::memory::L1_STRIDE
-            + self.l1_words;
+        let limit =
+            p2012::memory::L1_BASE + u32::from(cluster) * p2012::memory::L1_STRIDE + self.l1_words;
         if base + words > limit {
             return err(format!("L1[{cluster}] exhausted"));
         }
@@ -280,9 +275,11 @@ impl<'a> Elab<'a> {
         if let Some(s) = debuginfo::ScalarType::parse(&t.name) {
             return Ok(TypeTable::scalar_id(s));
         }
-        self.types.lookup_by_name(&t.name).ok_or_else(|| BuildError {
-            msg: format!("unknown type `{}` in {ctx}", t.name),
-        })
+        self.types
+            .lookup_by_name(&t.name)
+            .ok_or_else(|| BuildError {
+                msg: format!("unknown type `{}` in {ctx}", t.name),
+            })
     }
 
     fn add_conn(&mut self, actor: u32, port: usize) -> u32 {
@@ -399,12 +396,14 @@ impl<'a> Elab<'a> {
         }
 
         // Sanity: filters need a controller to ever run.
-        let has_filter = self.actors.iter().any(|a| {
-            a.parent == Some(module_u32) && a.kind == ActorKind::Filter
-        });
-        let has_ctrl = self.actors.iter().any(|a| {
-            a.parent == Some(module_u32) && a.kind == ActorKind::Controller
-        });
+        let has_filter = self
+            .actors
+            .iter()
+            .any(|a| a.parent == Some(module_u32) && a.kind == ActorKind::Filter);
+        let has_ctrl = self
+            .actors
+            .iter()
+            .any(|a| a.parent == Some(module_u32) && a.kind == ActorKind::Controller);
         if has_filter && !has_ctrl {
             return err(format!(
                 "module `{}` contains filters but no controller",
@@ -428,14 +427,10 @@ impl<'a> Elab<'a> {
                 .actors
                 .iter()
                 .enumerate()
-                .find(|(_, a)| {
-                    a.parent == Some(module) && a.bind_name == *name
-                })
+                .find(|(_, a)| a.parent == Some(module) && a.bind_name == *name)
                 .map(|(i, _)| i as u32)
                 .ok_or_else(|| BuildError {
-                    msg: format!(
-                        "line {line}: unknown instance `{name}` in binds"
-                    ),
+                    msg: format!("line {line}: unknown instance `{name}` in binds"),
                 })?,
         };
         self.conn_ids
@@ -537,8 +532,7 @@ pub fn build(
 
     // 5. Memory for data/attributes (+ object symbols later).
     let mut alloc = Alloc::new(platform.mem.map());
-    let mut data_addrs: HashMap<(ActorId, String), (u32, TypeId)> =
-        HashMap::new();
+    let mut data_addrs: HashMap<(ActorId, String), (u32, TypeId)> = HashMap::new();
     for i in 0..elab.actors.len() {
         let cluster = module_cluster
             .get(&elab.actors[i].sched_module)
@@ -571,9 +565,7 @@ pub fn build(
             out: &mut HashMap<u32, &'d ModuleDecl>,
         ) {
             // Find the next module actor starting at cursor.
-            while *cursor < actors.len()
-                && actors[*cursor].kind != ActorKind::Module
-            {
+            while *cursor < actors.len() && actors[*cursor].kind != ActorKind::Module {
                 *cursor += 1;
             }
             let me = *cursor as u32;
@@ -651,10 +643,10 @@ pub fn build(
         keys
     };
     for start in start_keys {
-        let start_is_root_in = elab.conns[start as usize].actor == root_actor
-            && conn_dir(start, &elab) == Dir::In;
-        let start_concrete = !is_alias(start, &elab)
-            && (conn_dir(start, &elab) == Dir::Out || start_is_root_in);
+        let start_is_root_in =
+            elab.conns[start as usize].actor == root_actor && conn_dir(start, &elab) == Dir::In;
+        let start_concrete =
+            !is_alias(start, &elab) && (conn_dir(start, &elab) == Dir::Out || start_is_root_in);
         if !start_concrete && !start_is_root_in {
             continue; // alias: consumed while walking a chain
         }
@@ -697,9 +689,7 @@ pub fn build(
             let boundary = from_actor == root_actor || to_actor == root_actor;
             let class = if boundary {
                 LinkClass::DmaControl
-            } else if elab.actors[from_actor as usize].kind
-                == ActorKind::Controller
-            {
+            } else if elab.actors[from_actor as usize].kind == ActorKind::Controller {
                 LinkClass::Control
             } else {
                 LinkClass::Data
@@ -713,10 +703,7 @@ pub fn build(
             let base = if boundary {
                 alloc.l3(words)?
             } else {
-                match (
-                    cluster_of(from_actor, &elab),
-                    cluster_of(to_actor, &elab),
-                ) {
+                match (cluster_of(from_actor, &elab), cluster_of(to_actor, &elab)) {
                     (Some(a), Some(b)) if a == b => alloc.l1(a, words)?,
                     _ => alloc.l2(words)?,
                 }
@@ -767,8 +754,7 @@ pub fn build(
         let owner = match kind {
             ActorKind::Filter => KernelOwner::Filter(short.clone()),
             ActorKind::Controller => KernelOwner::Controller {
-                module: elab.actors
-                    [parent.expect("controller has module") as usize]
+                module: elab.actors[parent.expect("controller has module") as usize]
                     .short
                     .clone(),
             },
@@ -794,8 +780,7 @@ pub fn build(
         let mut actor_names = HashMap::new();
         if let Some(parent) = parent {
             for (j, sib) in elab.actors.iter().enumerate() {
-                if sib.parent == Some(parent) && sib.kind == ActorKind::Filter
-                {
+                if sib.parent == Some(parent) && sib.kind == ActorKind::Filter {
                     actor_names.insert(sib.bind_name.clone(), j as u32);
                 }
             }
@@ -810,8 +795,8 @@ pub fn build(
             file: src_name.clone(),
             owner,
         };
-        let compiled = kernelc::compile_kernel(src, &env, &mut b, &mut di)
-            .map_err(|e| BuildError {
+        let compiled =
+            kernelc::compile_kernel(src, &env, &mut b, &mut di).map_err(|e| BuildError {
                 msg: format!("{src_name} ({short}): {e}"),
             })?;
         elab.actors[i].work = Some(compiled.work);

@@ -111,8 +111,7 @@ void work() {
         // 5 binds -> 5 links (none flattened away at depth 1).
         assert_eq!(g.links.len(), 5);
         // Boundary links are DMA-assisted, control links marked, data plain.
-        let classes: Vec<LinkClass> =
-            g.links.iter().map(|l| l.class).collect();
+        let classes: Vec<LinkClass> = g.links.iter().map(|l| l.class).collect();
         assert_eq!(
             classes
                 .iter()
@@ -121,16 +120,10 @@ void work() {
             2
         );
         assert_eq!(
-            classes
-                .iter()
-                .filter(|c| **c == LinkClass::Control)
-                .count(),
+            classes.iter().filter(|c| **c == LinkClass::Control).count(),
             2
         );
-        assert_eq!(
-            classes.iter().filter(|c| **c == LinkClass::Data).count(),
-            1
-        );
+        assert_eq!(classes.iter().filter(|c| **c == LinkClass::Data).count(), 1);
         // Name maps.
         assert!(app.actor("filter_1").is_some());
         assert!(app.conn("filter_1::an_output").is_some());
@@ -298,8 +291,7 @@ primitive Pass {
              pedf.step_end(); } }",
         );
         srcs.add("p.c", "void work() { pedf.io.o[0] = pedf.io.i[0] + 1; }");
-        let (mut sys, app) =
-            build(adl, &srcs, PlatformConfig::default()).unwrap();
+        let (mut sys, app) = build(adl, &srcs, PlatformConfig::default()).unwrap();
         // left.p and right.p share a short name but live in different
         // modules; the flattened link connects them directly.
         let g = &app.graph;
@@ -314,9 +306,7 @@ primitive Pass {
         assert_eq!(g.qualified_name(to), "top.right.p");
         // Cross-cluster link lives in L2.
         assert!(
-            (p2012::memory::L2_BASE
-                ..p2012::memory::L2_BASE + 0x1000_0000)
-                .contains(&mid.fifo_base),
+            (p2012::memory::L2_BASE..p2012::memory::L2_BASE + 0x1000_0000).contains(&mid.fifo_base),
             "0x{:08x}",
             mid.fifo_base
         );

@@ -24,7 +24,9 @@ pub struct DmaRequest {
 /// Status of a submitted transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaStatus {
-    InFlight { remaining: u32 },
+    InFlight {
+        remaining: u32,
+    },
     Done,
     /// Unknown id, or already retired.
     Unknown,
@@ -84,10 +86,8 @@ impl DmaEngine {
 
     /// Drop a completed (or faulted) transfer from the table.
     pub fn retire(&mut self, id: u32) {
-        self.transfers.retain(|t| {
-            t.id != id
-                || matches!(t.state, DmaStatus::InFlight { .. })
-        });
+        self.transfers
+            .retain(|t| t.id != id || matches!(t.state, DmaStatus::InFlight { .. }));
     }
 
     /// Number of transfers still in flight.

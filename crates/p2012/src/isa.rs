@@ -80,10 +80,15 @@ pub enum Insn {
     JumpIfNot(CodeAddr),
     /// Call `addr`, popping `argc` arguments into the callee's first locals
     /// (argument 0 in slot 0).
-    Call { addr: CodeAddr, argc: u8 },
+    Call {
+        addr: CodeAddr,
+        argc: u8,
+    },
     /// Return, pushing `retc` (0 or 1) values from the callee stack onto the
     /// caller stack.
-    Ret { retc: u8 },
+    Ret {
+        retc: u8,
+    },
 
     /// Pop a word address, push the loaded word (goes through the memory
     /// hierarchy; stalls the PE by the region's latency).
@@ -94,7 +99,11 @@ pub enum Insn {
     /// Call into the runtime: `argc` operands are *peeked* (left on the
     /// stack) so a blocking trap can be retried; on completion the VM pops
     /// them and pushes `retc` results.
-    Trap { id: u16, argc: u8, retc: u8 },
+    Trap {
+        id: u16,
+        argc: u8,
+        retc: u8,
+    },
 
     /// Stop this PE permanently.
     Halt,
@@ -197,10 +206,7 @@ impl ProgramBuilder {
 
     /// Bind `label` to the current address.
     pub fn bind(&mut self, label: Label) {
-        debug_assert!(
-            self.labels[label.0 as usize].is_none(),
-            "label bound twice"
-        );
+        debug_assert!(self.labels[label.0 as usize].is_none(), "label bound twice");
         self.labels[label.0 as usize] = Some(self.here());
     }
 
@@ -239,12 +245,9 @@ impl ProgramBuilder {
     pub fn finish(mut self) -> Program {
         self.close_func();
         for (at, label) in &self.patches {
-            let target = self.labels[label.0 as usize]
-                .expect("unbound label referenced by a jump");
+            let target = self.labels[label.0 as usize].expect("unbound label referenced by a jump");
             match &mut self.insns[*at] {
-                Insn::Jump(t) | Insn::JumpIfZero(t) | Insn::JumpIfNot(t) => {
-                    *t = target
-                }
+                Insn::Jump(t) | Insn::JumpIfZero(t) | Insn::JumpIfNot(t) => *t = target,
                 other => panic!("patch target is not a jump: {other:?}"),
             }
         }

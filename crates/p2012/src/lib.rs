@@ -31,9 +31,7 @@ pub mod vm;
 pub use dma::{DmaEngine, DmaRequest, DmaStatus};
 pub use isa::{Insn, Program, ProgramBuilder};
 pub use memory::{MemError, Memory, MemoryMap, Region, WatchHit, WatchKind};
-pub use platform::{
-    ClusterId, CycleReport, PeClass, PeId, Platform, PlatformConfig,
-};
+pub use platform::{ClusterId, CycleReport, PeClass, PeId, Platform, PlatformConfig};
 pub use trap::{NullHandler, TrapCtx, TrapHandler, TrapResult};
 pub use vm::{BlockReason, Frame, PeState, PeStatus, StepEvent, VmFault};
 

@@ -76,9 +76,7 @@ impl MemoryMap {
 
     /// Decode an address into (region, offset).
     pub fn decode(&self, addr: u32) -> Result<(Region, u32), MemError> {
-        if (L1_BASE..L1_BASE + u32::from(self.clusters) * L1_STRIDE)
-            .contains(&addr)
-        {
+        if (L1_BASE..L1_BASE + u32::from(self.clusters) * L1_STRIDE).contains(&addr) {
             let cluster = ((addr - L1_BASE) / L1_STRIDE) as u16;
             let off = (addr - L1_BASE) % L1_STRIDE;
             if off < self.l1_words {
@@ -183,9 +181,7 @@ impl Memory {
         let (region, off) = self.map.decode(addr)?;
         let lat = self.map.latency(region);
         let cell = match region {
-            Region::L1 { cluster } => {
-                &mut self.l1[cluster as usize][off as usize]
-            }
+            Region::L1 { cluster } => &mut self.l1[cluster as usize][off as usize],
             Region::L2 => &mut self.l2[off as usize],
             Region::L3 => &mut self.l3[off as usize],
         };

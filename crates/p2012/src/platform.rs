@@ -165,7 +165,7 @@ impl Platform {
             dma,
             program: Program::default(),
             clock: 0,
-        config,
+            config,
         }
     }
 
@@ -228,29 +228,26 @@ impl Platform {
             let id = PeId(i as u16);
             match pe.status {
                 PeStatus::Blocked(_) => {
-                    if let Some((tid, argc, retc)) =
-                        pe.pending_trap(&self.program)
-                    {
+                    if let Some((tid, argc, retc)) = pe.pending_trap(&self.program) {
                         report.traps += 1;
-                        self.dispatch_trap(
-                            handler, id, &mut pe, tid, argc, retc,
-                        );
+                        self.dispatch_trap(handler, id, &mut pe, tid, argc, retc);
                     } else {
                         // Blocked without a pending trap cannot happen for
                         // well-formed runtimes; fault loudly instead of
                         // spinning forever.
-                        pe.status = PeStatus::Faulted(VmFault::Runtime(
-                            "blocked without pending trap",
-                        ));
+                        pe.status =
+                            PeStatus::Faulted(VmFault::Runtime("blocked without pending trap"));
                         report.faults += 1;
                     }
                 }
                 _ => match pe.step(&self.program, &mut self.mem) {
-                    StepEvent::TrapPending { id: tid, argc, retc } => {
+                    StepEvent::TrapPending {
+                        id: tid,
+                        argc,
+                        retc,
+                    } => {
                         report.traps += 1;
-                        self.dispatch_trap(
-                            handler, id, &mut pe, tid, argc, retc,
-                        );
+                        self.dispatch_trap(handler, id, &mut pe, tid, argc, retc);
                     }
                     StepEvent::TaskComplete => {
                         report.completions += 1;
@@ -265,13 +262,11 @@ impl Platform {
                             &mut pe,
                         );
                     }
-                    StepEvent::Executed
-                    | StepEvent::Called { .. }
-                    | StepEvent::Returned { .. } => report.executed += 1,
+                    StepEvent::Executed | StepEvent::Called { .. } | StepEvent::Returned { .. } => {
+                        report.executed += 1
+                    }
                     StepEvent::Fault(_) => report.faults += 1,
-                    StepEvent::Stalled
-                    | StepEvent::Idle
-                    | StepEvent::Halted => {}
+                    StepEvent::Stalled | StepEvent::Idle | StepEvent::Halted => {}
                 },
             }
             self.pes[i] = pe;
@@ -322,11 +317,7 @@ impl Platform {
     }
 
     /// Run for `cycles` cycles (fast path, no per-cycle inspection).
-    pub fn run(
-        &mut self,
-        handler: &mut dyn TrapHandler,
-        cycles: u64,
-    ) -> CycleReport {
+    pub fn run(&mut self, handler: &mut dyn TrapHandler, cycles: u64) -> CycleReport {
         let mut total = CycleReport::default();
         for _ in 0..cycles {
             total.merge(self.step_cycle(handler));
@@ -535,12 +526,7 @@ mod tests {
             ) -> TrapResult {
                 TrapResult::Fault("unexpected")
             }
-            fn on_task_complete(
-                &mut self,
-                _c: &mut TrapCtx<'_>,
-                pe: PeId,
-                _cur: &mut PeState,
-            ) {
+            fn on_task_complete(&mut self, _c: &mut TrapCtx<'_>, pe: PeId, _cur: &mut PeState) {
                 assert_eq!(pe, PeId(2));
                 self.done += 1;
             }

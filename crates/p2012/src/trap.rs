@@ -77,12 +77,7 @@ pub trait TrapHandler {
 
     /// A task started with [`TrapCtx::invoke`] (or
     /// [`crate::Platform::invoke`]) ran to completion on `pe`.
-    fn on_task_complete(
-        &mut self,
-        ctx: &mut TrapCtx<'_>,
-        pe: PeId,
-        current: &mut PeState,
-    ) {
+    fn on_task_complete(&mut self, ctx: &mut TrapCtx<'_>, pe: PeId, current: &mut PeState) {
         let _ = (ctx, pe, current);
     }
 

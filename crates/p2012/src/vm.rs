@@ -62,12 +62,18 @@ impl std::fmt::Display for BlockReason {
 pub enum VmFault {
     DivideByZero,
     StackUnderflow,
-    BadPc { pc: CodeAddr },
-    LocalOutOfRange { slot: u32 },
+    BadPc {
+        pc: CodeAddr,
+    },
+    LocalOutOfRange {
+        slot: u32,
+    },
     Mem(MemError),
     /// `Enter` executed anywhere but as a function's first instruction, or
     /// a call into an address with no `Enter`.
-    MalformedFunction { pc: CodeAddr },
+    MalformedFunction {
+        pc: CodeAddr,
+    },
     /// The runtime system rejected a trap (protocol violation).
     Runtime(&'static str),
 }
@@ -123,14 +129,23 @@ pub enum StepEvent {
     /// Nothing to run.
     Idle,
     /// A call frame was pushed (function entry).
-    Called { from: CodeAddr, to: CodeAddr },
+    Called {
+        from: CodeAddr,
+        to: CodeAddr,
+    },
     /// A frame was popped; execution resumed at `to` in the caller.
-    Returned { to: CodeAddr },
+    Returned {
+        to: CodeAddr,
+    },
     /// The outermost frame returned; the PE is Idle again and the runtime
     /// should be told the task finished.
     TaskComplete,
     /// A `Trap` instruction is pending; operands are still on the stack.
-    TrapPending { id: u16, argc: u8, retc: u8 },
+    TrapPending {
+        id: u16,
+        argc: u8,
+        retc: u8,
+    },
     Halted,
     Fault(VmFault),
 }
@@ -285,9 +300,7 @@ impl PeState {
             Insn::Enter(n) => {
                 let f = frame!();
                 if f.locals.len() > n as usize {
-                    return self.fault(VmFault::MalformedFunction {
-                        pc: self.pc,
-                    });
+                    return self.fault(VmFault::MalformedFunction { pc: self.pc });
                 }
                 f.locals.resize(n as usize, 0);
             }
@@ -299,11 +312,7 @@ impl PeState {
                         let v = *v;
                         f.stack.push(v)
                     }
-                    None => {
-                        return self.fault(VmFault::LocalOutOfRange {
-                            slot: n.into(),
-                        })
-                    }
+                    None => return self.fault(VmFault::LocalOutOfRange { slot: n.into() }),
                 }
             }
             Insn::StoreLocal(n) => {
@@ -314,11 +323,7 @@ impl PeState {
                 };
                 match f.locals.get_mut(n as usize) {
                     Some(slot) => *slot = v,
-                    None => {
-                        return self.fault(VmFault::LocalOutOfRange {
-                            slot: n.into(),
-                        })
-                    }
+                    None => return self.fault(VmFault::LocalOutOfRange { slot: n.into() }),
                 }
             }
             Insn::LoadLocalIdx(base) => {
@@ -333,9 +338,7 @@ impl PeState {
                         let v = *v;
                         f.stack.push(v)
                     }
-                    None => {
-                        return self.fault(VmFault::LocalOutOfRange { slot })
-                    }
+                    None => return self.fault(VmFault::LocalOutOfRange { slot }),
                 }
             }
             Insn::StoreLocalIdx(base) => {
@@ -351,9 +354,7 @@ impl PeState {
                 let slot = base as u32 + off;
                 match f.locals.get_mut(slot as usize) {
                     Some(s) => *s = v,
-                    None => {
-                        return self.fault(VmFault::LocalOutOfRange { slot })
-                    }
+                    None => return self.fault(VmFault::LocalOutOfRange { slot }),
                 }
             }
             Insn::Dup => {
@@ -394,8 +395,7 @@ impl PeState {
                 if b == 0 {
                     return self.fault(VmFault::DivideByZero);
                 }
-                f.stack
-                    .push((a as i32).wrapping_div(b as i32) as Word);
+                f.stack.push((a as i32).wrapping_div(b as i32) as Word);
             }
             Insn::Rem => {
                 let f = frame!();
@@ -410,8 +410,7 @@ impl PeState {
                 if b == 0 {
                     return self.fault(VmFault::DivideByZero);
                 }
-                f.stack
-                    .push((a as i32).wrapping_rem(b as i32) as Word);
+                f.stack.push((a as i32).wrapping_rem(b as i32) as Word);
             }
             Insn::BitAnd => binop!(|a, b| a & b),
             Insn::BitOr => binop!(|a, b| a | b),
@@ -554,19 +553,13 @@ mod tests {
     use crate::isa::ProgramBuilder;
     use crate::memory::{Memory, MemoryMap, L2_BASE};
 
-    fn run_to_completion(
-        prog: &Program,
-        entry: CodeAddr,
-        args: &[Word],
-    ) -> (PeState, Memory) {
+    fn run_to_completion(prog: &Program, entry: CodeAddr, args: &[Word]) -> (PeState, Memory) {
         let mut pe = PeState::default();
         let mut mem = Memory::new(MemoryMap::default());
         pe.invoke(entry, args);
         for _ in 0..10_000 {
             match pe.step(prog, &mut mem) {
-                StepEvent::TaskComplete
-                | StepEvent::Halted
-                | StepEvent::Fault(_) => break,
+                StepEvent::TaskComplete | StepEvent::Halted | StepEvent::Fault(_) => break,
                 _ => {}
             }
         }

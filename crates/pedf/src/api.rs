@@ -10,9 +10,7 @@
 //! a breakpoint on its entry, and parses the call arguments out of the
 //! callee frame using only debug information.
 
-use debuginfo::{
-    mangle, DebugInfoBuilder, ParamInfo, SymbolKind, TypeTable, Word,
-};
+use debuginfo::{mangle, DebugInfoBuilder, ParamInfo, SymbolKind, TypeTable, Word};
 use p2012::{CodeAddr, Insn, Memory, ProgramBuilder};
 
 /// Trap numbers. Programs never use these directly — they call the stubs.
@@ -131,16 +129,21 @@ fn stub(
 }
 
 /// Emit all framework stubs into the image being built.
-pub fn emit_stubs(
-    b: &mut ProgramBuilder,
-    di: &mut DebugInfoBuilder,
-) -> ApiStubs {
+pub fn emit_stubs(b: &mut ProgramBuilder, di: &mut DebugInfoBuilder) -> ApiStubs {
     ApiStubs {
         register_actor: stub(
             b,
             di,
             "pedf_register_actor",
-            &["id", "kind", "parent1", "name_addr", "name_len", "pe1", "work1"],
+            &[
+                "id",
+                "kind",
+                "parent1",
+                "name_addr",
+                "name_len",
+                "pe1",
+                "work1",
+            ],
             traps::REGISTER_ACTOR,
             0,
         ),
@@ -160,14 +163,7 @@ pub fn emit_stubs(
             traps::REGISTER_LINK,
             0,
         ),
-        boot_complete: stub(
-            b,
-            di,
-            "pedf_boot_complete",
-            &[],
-            traps::BOOT_COMPLETE,
-            0,
-        ),
+        boot_complete: stub(b, di, "pedf_boot_complete", &[], traps::BOOT_COMPLETE, 0),
         push_token: stub(
             b,
             di,
@@ -208,38 +204,10 @@ pub fn emit_stubs(
             traps::TOKENS_AVAILABLE,
             1,
         ),
-        link_space: stub(
-            b,
-            di,
-            "pedf_link_space",
-            &["conn"],
-            traps::LINK_SPACE,
-            1,
-        ),
-        actor_start: stub(
-            b,
-            di,
-            "pedf_actor_start",
-            &["actor"],
-            traps::ACTOR_START,
-            0,
-        ),
-        actor_sync: stub(
-            b,
-            di,
-            "pedf_actor_sync",
-            &["actor"],
-            traps::ACTOR_SYNC,
-            0,
-        ),
-        actor_fire: stub(
-            b,
-            di,
-            "pedf_actor_fire",
-            &["actor"],
-            traps::ACTOR_FIRE,
-            0,
-        ),
+        link_space: stub(b, di, "pedf_link_space", &["conn"], traps::LINK_SPACE, 1),
+        actor_start: stub(b, di, "pedf_actor_start", &["actor"], traps::ACTOR_START, 0),
+        actor_sync: stub(b, di, "pedf_actor_sync", &["actor"], traps::ACTOR_SYNC, 0),
+        actor_fire: stub(b, di, "pedf_actor_fire", &["actor"], traps::ACTOR_FIRE, 0),
         wait_actor_init: stub(
             b,
             di,
@@ -349,10 +317,7 @@ mod tests {
         assert_eq!(sym.params.len(), 3);
         assert_eq!(sym.params[2].name, "value");
         // The stub body is Enter + loads + trap + ret.
-        assert_eq!(
-            prog.fetch(stubs.push_token),
-            Some(Insn::Enter(3))
-        );
+        assert_eq!(prog.fetch(stubs.push_token), Some(Insn::Enter(3)));
         assert_eq!(
             prog.fetch(stubs.pop_token + 3),
             Some(Insn::Trap {
@@ -384,17 +349,11 @@ mod tests {
         let a2 = pool.intern("ipred");
         assert_eq!(a, a2);
         let end = pool.layout(p2012::memory::L3_BASE + 100);
-        assert_eq!(
-            end,
-            p2012::memory::L3_BASE + 100 + 5 + 18
-        );
+        assert_eq!(end, p2012::memory::L3_BASE + 100 + 5 + 18);
         let mut mem = Memory::new(MemoryMap::default());
         pool.install(&mut mem).unwrap();
         let (addr, len) = pool.addr_of(b);
-        assert_eq!(
-            read_string(&mem, addr, len).unwrap(),
-            "Add2Dblock_ipf_out"
-        );
+        assert_eq!(read_string(&mem, addr, len).unwrap(), "Add2Dblock_ipf_out");
         let (addr, len) = pool.addr_of(a);
         assert_eq!(read_string(&mem, addr, len).unwrap(), "ipred");
     }

@@ -179,8 +179,7 @@ mod tests {
 
     #[test]
     fn source_rate_and_limit() {
-        let mut s = EnvSource::new(ConnId(0), 3, ValueGen::Constant(1))
-            .with_limit(2);
+        let mut s = EnvSource::new(ConnId(0), 3, ValueGen::Constant(1)).with_limit(2);
         // clock 0: first token due
         assert!(s.due(0));
         s.produced += 1;
@@ -194,8 +193,7 @@ mod tests {
 
     #[test]
     fn source_start_offset() {
-        let s = EnvSource::new(ConnId(0), 1, ValueGen::Constant(0))
-            .with_start(10);
+        let s = EnvSource::new(ConnId(0), 1, ValueGen::Constant(0)).with_start(10);
         assert!(!s.due(9));
         assert!(s.due(10));
     }

@@ -15,8 +15,12 @@ use crate::graph::{ActorId, ConnId, LinkId};
 /// One dataflow-level event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeEvent {
-    ActorRegistered { actor: ActorId },
-    LinkRegistered { link: LinkId },
+    ActorRegistered {
+        actor: ActorId,
+    },
+    LinkRegistered {
+        link: LinkId,
+    },
     BootComplete,
     /// A token entered `link` through output connection `conn`.
     TokenPushed {
@@ -34,17 +38,34 @@ pub enum RuntimeEvent {
         value: Value,
     },
     /// Controller scheduled the actor (ACTOR_START).
-    ActorStarted { actor: ActorId },
+    ActorStarted {
+        actor: ActorId,
+    },
     /// Controller requested end-of-step stop (ACTOR_SYNC).
-    ActorSyncRequested { actor: ActorId },
+    ActorSyncRequested {
+        actor: ActorId,
+    },
     /// The actor's WORK method began executing.
-    WorkBegun { actor: ActorId },
+    WorkBegun {
+        actor: ActorId,
+    },
     /// The actor's WORK method returned (one step done).
-    WorkEnded { actor: ActorId, steps_done: u64 },
+    WorkEnded {
+        actor: ActorId,
+        steps_done: u64,
+    },
     /// The actor reached its requested sync point.
-    ActorSynced { actor: ActorId },
-    StepBegun { module: ActorId, step: u64 },
-    StepEnded { module: ActorId, step: u64 },
+    ActorSynced {
+        actor: ActorId,
+    },
+    StepBegun {
+        module: ActorId,
+        step: u64,
+    },
+    StepEnded {
+        module: ActorId,
+        step: u64,
+    },
 }
 
 /// Gated event sink. Disabled (the default) it costs one branch per event
@@ -54,11 +75,18 @@ pub enum RuntimeEvent {
 /// cooperation), `env_enabled` publishes only host-side environment I/O —
 /// the traffic a breakpoint-based debugger cannot observe because no
 /// fabric code executes it (the host feeds links directly through DMA).
+/// If the observer stops draining (or a cycle produces a pathological
+/// storm), the buffer keeps only the newest `EVENT_CAP` events and counts
+/// the overflow instead of growing without bound.
+pub const EVENT_CAP: usize = 1 << 16;
+
 #[derive(Debug, Default)]
 pub struct EventBuffer {
     enabled: bool,
     env_enabled: bool,
-    events: Vec<RuntimeEvent>,
+    events: std::collections::VecDeque<RuntimeEvent>,
+    /// Events discarded because the buffer was full.
+    dropped: u64,
 }
 
 impl EventBuffer {
@@ -84,7 +112,7 @@ impl EventBuffer {
     #[inline]
     pub fn push(&mut self, f: impl FnOnce() -> RuntimeEvent) {
         if self.enabled {
-            self.events.push(f());
+            self.push_bounded(f());
         }
     }
 
@@ -92,13 +120,26 @@ impl EventBuffer {
     #[inline]
     pub fn push_env(&mut self, f: impl FnOnce() -> RuntimeEvent) {
         if self.enabled || self.env_enabled {
-            self.events.push(f());
+            self.push_bounded(f());
         }
+    }
+
+    fn push_bounded(&mut self, ev: RuntimeEvent) {
+        if self.events.len() == EVENT_CAP {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events discarded because the observer fell behind the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Drain accumulated events (observer, once per cycle).
     pub fn drain(&mut self) -> Vec<RuntimeEvent> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut self.events).into_iter().collect()
     }
 
     pub fn len(&self) -> usize {
@@ -113,6 +154,17 @@ impl EventBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn full_buffer_drops_oldest_and_counts() {
+        let mut b = EventBuffer::default();
+        b.enable();
+        for _ in 0..EVENT_CAP + 3 {
+            b.push(|| RuntimeEvent::BootComplete);
+        }
+        assert_eq!(b.len(), EVENT_CAP);
+        assert_eq!(b.dropped(), 3);
+    }
 
     #[test]
     fn disabled_buffer_records_nothing() {

@@ -114,12 +114,7 @@ impl FifoState {
     }
 
     /// Overwrite the `idx`-th queued token (debugger `token set`).
-    pub fn overwrite(
-        &mut self,
-        mem: &mut Memory,
-        idx: u32,
-        words: &[Word],
-    ) -> Result<(), String> {
+    pub fn overwrite(&mut self, mem: &mut Memory, idx: u32, words: &[Word]) -> Result<(), String> {
         if idx >= self.occupancy() {
             return Err(format!(
                 "token index {idx} out of range (occupancy {})",
@@ -143,11 +138,7 @@ impl FifoState {
     /// Append a token from outside the dataflow (debugger `token inject`,
     /// §III "Altering the Normal Execution" — e.g. untying a deadlock).
     /// Uses `poke`: the debugger's action must not cost simulated time.
-    pub fn inject(
-        &mut self,
-        mem: &mut Memory,
-        words: &[Word],
-    ) -> Result<u64, String> {
+    pub fn inject(&mut self, mem: &mut Memory, words: &[Word]) -> Result<u64, String> {
         if self.is_full() {
             return Err("link is full".to_string());
         }
@@ -172,9 +163,7 @@ impl FifoState {
     pub fn remove(&mut self, mem: &mut Memory, idx: u32) -> Result<(), String> {
         let occ = self.occupancy();
         if idx >= occ {
-            return Err(format!(
-                "token index {idx} out of range (occupancy {occ})"
-            ));
+            return Err(format!("token index {idx} out of range (occupancy {occ})"));
         }
         // Shift every younger token one slot towards the tail.
         for i in idx..occ - 1 {
@@ -193,8 +182,8 @@ impl FifoState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2012::MemoryMap;
     use p2012::memory::L2_BASE;
+    use p2012::MemoryMap;
 
     fn setup(cap: u32, tw: u32) -> (FifoState, Memory) {
         (

@@ -334,11 +334,9 @@ impl AppGraph {
         // side), a module *output* is fed by them (consumer side). This is
         // the paper's `binds this.module_in to filter_1.an_input`.
         let from_ok = fc.dir == Dir::Out
-            || (self.actor(fc.actor).kind == ActorKind::Module
-                && fc.dir == Dir::In);
+            || (self.actor(fc.actor).kind == ActorKind::Module && fc.dir == Dir::In);
         let to_ok = tc.dir == Dir::In
-            || (self.actor(tc.actor).kind == ActorKind::Module
-                && tc.dir == Dir::Out);
+            || (self.actor(tc.actor).kind == ActorKind::Module && tc.dir == Dir::Out);
         if !from_ok || !to_ok {
             return Err(GraphError::DirectionMismatch { from, to });
         }
@@ -390,14 +388,11 @@ impl AppGraph {
     /// in the paper's sessions: `filter pipe catch work`). Falls back to
     /// qualified-name match.
     pub fn actor_by_name(&self, name: &str) -> Option<&Actor> {
-        self.actors
-            .iter()
-            .find(|a| a.name == name)
-            .or_else(|| {
-                self.actors
-                    .iter()
-                    .find(|a| self.qualified_name(a.id) == name)
-            })
+        self.actors.iter().find(|a| a.name == name).or_else(|| {
+            self.actors
+                .iter()
+                .find(|a| self.qualified_name(a.id) == name)
+        })
     }
 
     /// Resolve `actor::conn` or `conn` within a given actor.
@@ -410,9 +405,7 @@ impl AppGraph {
 
     /// Actors directly contained in `module`.
     pub fn children(&self, module: ActorId) -> impl Iterator<Item = &Actor> {
-        self.actors
-            .iter()
-            .filter(move |a| a.parent == Some(module))
+        self.actors.iter().filter(move |a| a.parent == Some(module))
     }
 
     /// The controller of `module`, if registered.
@@ -423,9 +416,7 @@ impl AppGraph {
 
     /// Top-level modules.
     pub fn modules(&self) -> impl Iterator<Item = &Actor> {
-        self.actors
-            .iter()
-            .filter(|a| a.kind == ActorKind::Module)
+        self.actors.iter().filter(|a| a.kind == ActorKind::Module)
     }
 
     /// All filters (any depth).
@@ -521,10 +512,7 @@ mod tests {
         let f2 = g.actor_by_name("filter_2").unwrap();
         assert_eq!(f2.inputs.len(), 1);
         assert_eq!(g.qualified_name(f2.id), "a_module.filter_2");
-        assert_eq!(
-            g.controller_of(ActorId(0)).unwrap().name,
-            "controller"
-        );
+        assert_eq!(g.controller_of(ActorId(0)).unwrap().name, "controller");
         assert_eq!(g.children(ActorId(0)).count(), 3);
         assert_eq!(
             g.link_label(LinkId(0)),
@@ -570,14 +558,7 @@ mod tests {
         g.register_actor(0, "x", ActorKind::Module, None, None, None)
             .unwrap();
         assert!(matches!(
-            g.register_actor(
-                1,
-                "x",
-                ActorKind::Module,
-                None,
-                None,
-                None
-            ),
+            g.register_actor(1, "x", ActorKind::Module, None, None, None),
             Err(GraphError::DuplicateActorName { .. })
         ));
         // Same short name under different parents is fine.

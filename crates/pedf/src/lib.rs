@@ -31,8 +31,8 @@ pub use envio::{EnvSink, EnvSource, ValueGen};
 pub use events::{EventBuffer, RuntimeEvent};
 pub use fifo::FifoState;
 pub use graph::{
-    Actor, ActorId, ActorKind, AppGraph, ConnId, Connection, Dir, GraphError,
-    Link, LinkClass, LinkId,
+    Actor, ActorId, ActorKind, AppGraph, ConnId, Connection, Dir, GraphError, Link, LinkClass,
+    LinkId,
 };
 pub use runtime::{FilterSched, Runtime, RuntimeStats};
 pub use system::System;

@@ -28,9 +28,7 @@
 use std::collections::HashMap;
 
 use debuginfo::{TypeTable, Value, Word};
-use p2012::{
-    BlockReason, PeId, PeState, PeStatus, TrapCtx, TrapHandler, TrapResult,
-};
+use p2012::{BlockReason, PeId, PeState, PeStatus, TrapCtx, TrapHandler, TrapResult};
 
 use crate::api::{self, traps};
 use crate::envio::{EnvSink, EnvSource};
@@ -156,22 +154,14 @@ impl Runtime {
 
     // ---- registration ----------------------------------------------------
 
-    fn do_register_actor(
-        &mut self,
-        ctx: &mut TrapCtx<'_>,
-        args: &[Word],
-    ) -> TrapResult {
+    fn do_register_actor(&mut self, ctx: &mut TrapCtx<'_>, args: &[Word]) -> TrapResult {
         let [id, kind, parent1, name_addr, name_len, pe1, work1] = args else {
             return TrapResult::Fault("register_actor arity");
         };
         let Some(kind) = ActorKind::from_code(*kind) else {
-            return self.fail(
-                format!("register_actor: bad kind {kind}"),
-                "bad actor kind",
-            );
+            return self.fail(format!("register_actor: bad kind {kind}"), "bad actor kind");
         };
-        let Some(name) = api::read_string(ctx.mem, *name_addr, *name_len)
-        else {
+        let Some(name) = api::read_string(ctx.mem, *name_addr, *name_len) else {
             return self.fail(
                 "register_actor: unreadable name".into(),
                 "unreadable actor name",
@@ -180,7 +170,9 @@ impl Runtime {
         let parent = api::decode_opt(*parent1).map(ActorId);
         let pe = api::decode_opt(*pe1).map(|p| PeId(p as u16));
         let work = api::decode_opt(*work1);
-        match self.graph.register_actor(*id, &name, kind, parent, pe, work)
+        match self
+            .graph
+            .register_actor(*id, &name, kind, parent, pe, work)
         {
             Ok(aid) => {
                 self.actors_rt.push(ActorRt::default());
@@ -196,49 +188,35 @@ impl Runtime {
                     .push(|| RuntimeEvent::ActorRegistered { actor: aid });
                 TrapResult::Done
             }
-            Err(e) => {
-                self.fail(format!("register_actor: {e}"), "graph registration")
-            }
+            Err(e) => self.fail(format!("register_actor: {e}"), "graph registration"),
         }
     }
 
-    fn do_register_conn(
-        &mut self,
-        ctx: &mut TrapCtx<'_>,
-        args: &[Word],
-    ) -> TrapResult {
+    fn do_register_conn(&mut self, ctx: &mut TrapCtx<'_>, args: &[Word]) -> TrapResult {
         let [id, actor, dir, ty, name_addr, name_len] = args else {
             return TrapResult::Fault("register_conn arity");
         };
         let Some(dir) = Dir::from_code(*dir) else {
-            return self
-                .fail(format!("register_conn: bad dir {dir}"), "bad direction");
+            return self.fail(format!("register_conn: bad dir {dir}"), "bad direction");
         };
-        let Some(name) = api::read_string(ctx.mem, *name_addr, *name_len)
-        else {
+        let Some(name) = api::read_string(ctx.mem, *name_addr, *name_len) else {
             return self.fail(
                 "register_conn: unreadable name".into(),
                 "unreadable conn name",
             );
         };
         if *ty as usize >= self.types.len() {
-            return self
-                .fail(format!("register_conn: bad type {ty}"), "bad type id");
+            return self.fail(format!("register_conn: bad type {ty}"), "bad type id");
         }
-        match self.graph.register_conn(
-            *id,
-            ActorId(*actor),
-            &name,
-            dir,
-            debuginfo::TypeId(*ty),
-        ) {
+        match self
+            .graph
+            .register_conn(*id, ActorId(*actor), &name, dir, debuginfo::TypeId(*ty))
+        {
             Ok(_) => {
                 self.conns_rt.push(ConnRt::default());
                 TrapResult::Done
             }
-            Err(e) => {
-                self.fail(format!("register_conn: {e}"), "graph registration")
-            }
+            Err(e) => self.fail(format!("register_conn: {e}"), "graph registration"),
         }
     }
 
@@ -247,8 +225,7 @@ impl Runtime {
             return TrapResult::Fault("register_link arity");
         };
         let Some(class) = crate::graph::LinkClass::from_code(*class) else {
-            return self
-                .fail(format!("register_link: bad class {class}"), "bad class");
+            return self.fail(format!("register_link: bad class {class}"), "bad class");
         };
         match self.graph.register_link(
             *id,
@@ -265,9 +242,7 @@ impl Runtime {
                     .push(|| RuntimeEvent::LinkRegistered { link: lid });
                 TrapResult::Done
             }
-            Err(e) => {
-                self.fail(format!("register_link: {e}"), "graph registration")
-            }
+            Err(e) => self.fail(format!("register_link: {e}"), "graph registration"),
         }
     }
 
@@ -321,8 +296,7 @@ impl Runtime {
             );
         }
         let Some(link) = c.link else {
-            return self
-                .fail(format!("push on unbound conn {}", c.name), "unbound");
+            return self.fail(format!("push on unbound conn {}", c.name), "unbound");
         };
         let ty = c.ty;
         let rt_written = self.conns_rt[conn.0 as usize].written;
@@ -349,12 +323,8 @@ impl Runtime {
                 });
                 TrapResult::Done
             }
-            Ok(None) => TrapResult::Block(BlockReason::SpaceWait {
-                link: link.0,
-            }),
-            Err(e) => {
-                self.fail(format!("push: {e}"), "fifo memory fault")
-            }
+            Ok(None) => TrapResult::Block(BlockReason::SpaceWait { link: link.0 }),
+            Err(e) => self.fail(format!("push: {e}"), "fifo memory fault"),
         }
     }
 
@@ -369,9 +339,7 @@ impl Runtime {
         idx: Word,
     ) -> Result<usize, TrapResult> {
         let Some(c) = self.graph.conns.get(conn.0 as usize) else {
-            return Err(
-                self.fail(format!("pop: bad conn {}", conn.0), "bad conn")
-            );
+            return Err(self.fail(format!("pop: bad conn {}", conn.0), "bad conn"));
         };
         if c.dir != Dir::In {
             return Err(self.fail(
@@ -380,8 +348,7 @@ impl Runtime {
             ));
         }
         let Some(link) = c.link else {
-            return Err(self
-                .fail(format!("pop on unbound conn {}", c.name), "unbound"));
+            return Err(self.fail(format!("pop on unbound conn {}", c.name), "unbound"));
         };
         let ty = c.ty;
         let tw = self.types.size_words(ty) as usize;
@@ -403,16 +370,8 @@ impl Runtime {
                         value: Value::record(ty, words),
                     });
                 }
-                Ok(None) => {
-                    return Err(TrapResult::Block(BlockReason::TokenWait {
-                        link: link.0,
-                    }))
-                }
-                Err(e) => {
-                    return Err(
-                        self.fail(format!("pop: {e}"), "fifo memory fault")
-                    )
-                }
+                Ok(None) => return Err(TrapResult::Block(BlockReason::TokenWait { link: link.0 })),
+                Err(e) => return Err(self.fail(format!("pop: {e}"), "fifo memory fault")),
             }
         }
         Ok(idx as usize * tw)
@@ -427,16 +386,11 @@ impl Runtime {
                 format!("scheduling call on non-filter `{}`", a.name),
                 "not a filter",
             )),
-            None => Err(self
-                .fail(format!("scheduling call on bad actor {id}"), "bad actor")),
+            None => Err(self.fail(format!("scheduling call on bad actor {id}"), "bad actor")),
         }
     }
 
-    fn do_actor_start(
-        &mut self,
-        ctx: &mut TrapCtx<'_>,
-        actor: ActorId,
-    ) -> TrapResult {
+    fn do_actor_start(&mut self, ctx: &mut TrapCtx<'_>, actor: ActorId) -> TrapResult {
         let a = self.graph.actor(actor);
         let (Some(pe), Some(work)) = (a.pe, a.work_addr) else {
             return self.fail(
@@ -446,8 +400,7 @@ impl Runtime {
         };
         let rt = &mut self.actors_rt[actor.0 as usize];
         rt.started = true;
-        self.events
-            .push(|| RuntimeEvent::ActorStarted { actor });
+        self.events.push(|| RuntimeEvent::ActorStarted { actor });
         if matches!(rt.sched, FilterSched::Running) {
             // Free-running from a previous step; nothing more to do.
             return TrapResult::Done;
@@ -531,9 +484,7 @@ impl Runtime {
                     return TrapResult::Fault("push_token arity");
                 };
                 let conn = ConnId(*conn);
-                if self.graph.conns.get(conn.0 as usize).is_some()
-                    && self.token_words(conn) != 1
-                {
+                if self.graph.conns.get(conn.0 as usize).is_some() && self.token_words(conn) != 1 {
                     return self.fail(
                         "scalar push on struct-typed connection".into(),
                         "wrong token width",
@@ -546,18 +497,14 @@ impl Runtime {
                     return TrapResult::Fault("pop_token arity");
                 };
                 let conn = ConnId(*conn);
-                if self.graph.conns.get(conn.0 as usize).is_some()
-                    && self.token_words(conn) != 1
-                {
+                if self.graph.conns.get(conn.0 as usize).is_some() && self.token_words(conn) != 1 {
                     return self.fail(
                         "scalar pop on struct-typed connection".into(),
                         "wrong token width",
                     );
                 }
                 match self.fill_window(ctx, current, conn, *idx) {
-                    Ok(off) => TrapResult::Done1(
-                        self.conns_rt[conn.0 as usize].window[off],
-                    ),
+                    Ok(off) => TrapResult::Done1(self.conns_rt[conn.0 as usize].window[off]),
                     Err(r) => r,
                 }
             }
@@ -567,8 +514,7 @@ impl Runtime {
                 };
                 let conn = ConnId(*conn);
                 if self.graph.conns.get(conn.0 as usize).is_none() {
-                    return self
-                        .fail(format!("push: bad conn {}", conn.0), "bad conn");
+                    return self.fail(format!("push: bad conn {}", conn.0), "bad conn");
                 }
                 let tw = self.token_words(conn) as usize;
                 // The stub's caller holds the struct in its locals.
@@ -579,13 +525,9 @@ impl Runtime {
                 let caller = &current.frames[depth - 2];
                 let base = *local_base as usize;
                 if base + tw > caller.locals.len() {
-                    return self.fail(
-                        "struct push out of caller frame".into(),
-                        "bad struct slot",
-                    );
+                    return self.fail("struct push out of caller frame".into(), "bad struct slot");
                 }
-                let words: Vec<Word> =
-                    caller.locals[base..base + tw].to_vec();
+                let words: Vec<Word> = caller.locals[base..base + tw].to_vec();
                 self.push_words(ctx, current, conn, *idx, &words)
             }
             traps::POP_STRUCT => {
@@ -594,31 +536,24 @@ impl Runtime {
                 };
                 let conn = ConnId(*conn);
                 if self.graph.conns.get(conn.0 as usize).is_none() {
-                    return self
-                        .fail(format!("pop: bad conn {}", conn.0), "bad conn");
+                    return self.fail(format!("pop: bad conn {}", conn.0), "bad conn");
                 }
                 let tw = self.token_words(conn) as usize;
                 match self.fill_window(ctx, current, conn, *idx) {
                     Ok(off) => {
-                        let words: Vec<Word> = self.conns_rt[conn.0 as usize]
-                            .window[off..off + tw]
-                            .to_vec();
+                        let words: Vec<Word> =
+                            self.conns_rt[conn.0 as usize].window[off..off + tw].to_vec();
                         let depth = current.frames.len();
                         if depth < 2 {
-                            return TrapResult::Fault(
-                                "struct pop without caller",
-                            );
+                            return TrapResult::Fault("struct pop without caller");
                         }
                         let caller = &mut current.frames[depth - 2];
                         let base = *local_base as usize;
                         if base + tw > caller.locals.len() {
-                            return self.fail(
-                                "struct pop out of caller frame".into(),
-                                "bad struct slot",
-                            );
+                            return self
+                                .fail("struct pop out of caller frame".into(), "bad struct slot");
                         }
-                        caller.locals[base..base + tw]
-                            .copy_from_slice(&words);
+                        caller.locals[base..base + tw].copy_from_slice(&words);
                         TrapResult::Done
                     }
                     Err(r) => r,
@@ -628,39 +563,21 @@ impl Runtime {
                 let [conn] = args else {
                     return TrapResult::Fault("tokens_available arity");
                 };
-                match self
-                    .graph
-                    .conns
-                    .get(*conn as usize)
-                    .and_then(|c| c.link)
-                {
-                    Some(link) => TrapResult::Done1(
-                        self.fifos[link.0 as usize].occupancy(),
-                    ),
-                    None => self.fail(
-                        format!("tokens_available: unbound conn {conn}"),
-                        "unbound",
-                    ),
+                match self.graph.conns.get(*conn as usize).and_then(|c| c.link) {
+                    Some(link) => TrapResult::Done1(self.fifos[link.0 as usize].occupancy()),
+                    None => self.fail(format!("tokens_available: unbound conn {conn}"), "unbound"),
                 }
             }
             traps::LINK_SPACE => {
                 let [conn] = args else {
                     return TrapResult::Fault("link_space arity");
                 };
-                match self
-                    .graph
-                    .conns
-                    .get(*conn as usize)
-                    .and_then(|c| c.link)
-                {
+                match self.graph.conns.get(*conn as usize).and_then(|c| c.link) {
                     Some(link) => {
                         let f = &self.fifos[link.0 as usize];
                         TrapResult::Done1(f.capacity - f.occupancy())
                     }
-                    None => self.fail(
-                        format!("link_space: unbound conn {conn}"),
-                        "unbound",
-                    ),
+                    None => self.fail(format!("link_space: unbound conn {conn}"), "unbound"),
                 }
             }
 
@@ -699,13 +616,10 @@ impl Runtime {
                     Ok(m) => m,
                     Err(r) => return r,
                 };
-                let pending = self
-                    .module_filters(module)
-                    .into_iter()
-                    .any(|f| {
-                        let rt = &self.actors_rt[f.0 as usize];
-                        rt.started && !rt.begun
-                    });
+                let pending = self.module_filters(module).into_iter().any(|f| {
+                    let rt = &self.actors_rt[f.0 as usize];
+                    rt.started && !rt.begun
+                });
                 if pending {
                     TrapResult::Block(BlockReason::InitWait)
                 } else {
@@ -746,8 +660,7 @@ impl Runtime {
                 // until `pedf_continue` says stop), so its I/O windows reset
                 // at the step boundary it declares, not at task completion.
                 if let Some(&ctrl) = self.pe_actor.get(&pe) {
-                    let conns: Vec<ConnId> =
-                        self.graph.actor(ctrl).conns().collect();
+                    let conns: Vec<ConnId> = self.graph.actor(ctrl).conns().collect();
                     for c in conns {
                         let rt = &mut self.conns_rt[c.0 as usize];
                         rt.window.clear();
@@ -778,8 +691,7 @@ impl Runtime {
                     Err(r) => return r,
                 };
                 let m = &self.modules_rt[module.0 as usize];
-                let done = m.stop
-                    || m.max_steps.is_some_and(|max| m.steps >= max);
+                let done = m.stop || m.max_steps.is_some_and(|max| m.steps >= max);
                 TrapResult::Done1(u32::from(!done))
             }
             traps::PRINT => {
@@ -836,8 +748,7 @@ impl Runtime {
             let ty = self.graph.conn(k.conn).ty;
             self.pop_buf.clear();
             let fifo = &mut self.fifos[link.0 as usize];
-            if let Ok(Some((index, _))) = fifo.pop(ctx.mem, &mut self.pop_buf)
-            {
+            if let Ok(Some((index, _))) = fifo.pop(ctx.mem, &mut self.pop_buf) {
                 self.stats.tokens_popped += 1;
                 k.record(self.pop_buf.first().copied().unwrap_or(0));
                 let conn = k.conn;
@@ -862,13 +773,8 @@ impl Runtime {
             .conns
             .get(source.conn.0 as usize)
             .ok_or("no such connection")?;
-        if self.graph.actor(c.actor).kind != ActorKind::Module
-            || c.dir != Dir::In
-        {
-            return Err(format!(
-                "`{}` is not a module input connection",
-                c.name
-            ));
+        if self.graph.actor(c.actor).kind != ActorKind::Module || c.dir != Dir::In {
+            return Err(format!("`{}` is not a module input connection", c.name));
         }
         if c.link.is_none() {
             return Err(format!("module input `{}` is unbound", c.name));
@@ -887,13 +793,8 @@ impl Runtime {
             .conns
             .get(sink.conn.0 as usize)
             .ok_or("no such connection")?;
-        if self.graph.actor(c.actor).kind != ActorKind::Module
-            || c.dir != Dir::Out
-        {
-            return Err(format!(
-                "`{}` is not a module output connection",
-                c.name
-            ));
+        if self.graph.actor(c.actor).kind != ActorKind::Module || c.dir != Dir::Out {
+            return Err(format!("`{}` is not a module output connection", c.name));
         }
         if c.link.is_none() {
             return Err(format!("module output `{}` is unbound", c.name));
@@ -922,11 +823,7 @@ impl Runtime {
     }
 
     /// Typed snapshot of the queued tokens (debugger `graph`/`iface print`).
-    pub fn queued_tokens(
-        &self,
-        mem: &p2012::Memory,
-        link: LinkId,
-    ) -> Vec<Value> {
+    pub fn queued_tokens(&self, mem: &p2012::Memory, link: LinkId) -> Vec<Value> {
         let f = &self.fifos[link.0 as usize];
         let ty = self.graph.conn(self.graph.link(link).from).ty;
         (0..f.occupancy())
@@ -1024,12 +921,7 @@ impl TrapHandler for Runtime {
         self.service(ctx, pe, current, id, args)
     }
 
-    fn on_task_complete(
-        &mut self,
-        _ctx: &mut TrapCtx<'_>,
-        pe: PeId,
-        current: &mut PeState,
-    ) {
+    fn on_task_complete(&mut self, _ctx: &mut TrapCtx<'_>, pe: PeId, current: &mut PeState) {
         let Some(&actor) = self.pe_actor.get(&pe) else {
             return; // boot code finishing on the host
         };
@@ -1083,10 +975,7 @@ impl TrapHandler for Runtime {
             let pending: Vec<ActorId> = self
                 .graph
                 .filters()
-                .filter(|a| {
-                    self.actors_rt[a.id.0 as usize].sched
-                        == FilterSched::Scheduled
-                })
+                .filter(|a| self.actors_rt[a.id.0 as usize].sched == FilterSched::Scheduled)
                 .map(|a| a.id)
                 .collect();
             for actor in pending {
@@ -1100,8 +989,7 @@ impl TrapHandler for Runtime {
                     rt.begun = true;
                     rt.sched = FilterSched::Running;
                     self.stats.work_invocations += 1;
-                    self.events
-                        .push(|| RuntimeEvent::WorkBegun { actor });
+                    self.events.push(|| RuntimeEvent::WorkBegun { actor });
                 }
             }
         }

@@ -6,7 +6,7 @@
 //! lock-step; the debugger crate drives it cycle by cycle, everything else
 //! (examples, benchmarks) uses the bulk `run*` helpers.
 
-use p2012::{Platform, PeId};
+use p2012::{PeId, Platform};
 
 use crate::runtime::Runtime;
 
@@ -50,9 +50,7 @@ impl System {
             if self.runtime.booted {
                 return Ok(());
             }
-            if let p2012::PeStatus::Faulted(f) =
-                self.platform.pes[host.index()].status
-            {
+            if let p2012::PeStatus::Faulted(f) = self.platform.pes[host.index()].status {
                 return Err(format!(
                     "boot fault: {f}{}",
                     self.runtime
@@ -99,12 +97,14 @@ impl System {
 
     /// First faulted PE, if any, with its fault.
     pub fn first_fault(&self) -> Option<(PeId, p2012::VmFault)> {
-        self.platform.pes.iter().enumerate().find_map(|(i, p)| {
-            match p.status {
+        self.platform
+            .pes
+            .iter()
+            .enumerate()
+            .find_map(|(i, p)| match p.status {
                 p2012::PeStatus::Faulted(f) => Some((PeId(i as u16), f)),
                 _ => None,
-            }
-        })
+            })
     }
 }
 
@@ -329,8 +329,7 @@ mod tests {
         assert!(p.sys.run_to_quiescence(100_000));
         assert_eq!(p.sys.first_fault(), None);
         assert_eq!(p.sys.runtime.occupancy(LinkId(0)), 6);
-        let tokens =
-            p.sys.runtime.queued_tokens(&p.sys.platform.mem, LinkId(0));
+        let tokens = p.sys.runtime.queued_tokens(&p.sys.platform.mem, LinkId(0));
         assert_eq!(tokens.len(), 6);
         assert!(tokens.iter().all(|t| t.head_word() == 7));
         let (pushed, popped) = p.sys.runtime.counters(LinkId(0));
@@ -397,9 +396,9 @@ mod tests {
             .count();
         assert_eq!(pushes, 1);
         assert_eq!(pops, 1);
-        assert!(evs.iter().any(
-            |e| matches!(e, RuntimeEvent::StepBegun { step: 1, .. })
-        ));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::StepBegun { step: 1, .. })));
         assert!(evs
             .iter()
             .any(|e| matches!(e, RuntimeEvent::WorkEnded { .. })));
@@ -416,11 +415,7 @@ mod tests {
         let err = p
             .sys
             .runtime
-            .add_source(EnvSource::new(
-                ConnId(0),
-                1,
-                ValueGen::Constant(1),
-            ))
+            .add_source(EnvSource::new(ConnId(0), 1, ValueGen::Constant(1)))
             .unwrap_err();
         assert!(err.contains("not a module input"), "{err}");
         let err = p
@@ -433,11 +428,7 @@ mod tests {
         let err = p
             .sys
             .runtime
-            .add_source(EnvSource::new(
-                ConnId(2),
-                1,
-                ValueGen::Constant(1),
-            ))
+            .add_source(EnvSource::new(ConnId(2), 1, ValueGen::Constant(1)))
             .unwrap_err();
         assert!(err.contains("unbound"), "{err}");
     }

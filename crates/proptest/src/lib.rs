@@ -1,0 +1,217 @@
+//! A self-contained, dependency-free subset of the `proptest` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `proptest` cannot be fetched from crates.io. This shim implements
+//! the slice of the API the workspace's property tests actually use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`Strategy`] for integer ranges, tuples, regex-subset string
+//!   literals, `any::<T>()`, `prop::collection::{vec, btree_set}`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Sampling is uniform (no shrinking, no edge-case bias) and seeded
+//! deterministically per test run so CI is reproducible.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the fields used here).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic xorshift64* RNG used by every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        TestRng {
+            state: seed | 1, // never zero
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{BTreeSetStrategy, Strategy, VecStrategy};
+        use std::ops::Range;
+
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { element, size }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Expands each contained function into a `#[test]` that samples its
+/// strategies `config.cases` times. The body runs inside a closure so
+/// `prop_assume!` can skip a case with `return`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? )
+        $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                // Different tests draw different streams: hash the name.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed = (seed ^ b as u64)
+                        .wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut rng = $crate::TestRng::seeded(seed);
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(
+                                &($strat), &mut rng);
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @impl ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when the assumption fails (plain `return` from
+/// the per-case closure the [`proptest!`] macro wraps bodies in).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seeded(7);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::seeded(42);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,6}(_[a-z][a-z0-9]{0,6}){0,3}".generate(&mut rng);
+            assert!(!s.is_empty());
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn btree_set_has_distinct_elements_in_size_range() {
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..100 {
+            let s = prop::collection::btree_set(0u32..1000, 1..40).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuples_and_vecs(
+            ops in prop::collection::vec((any::<bool>(), 0u32..10), 0..20),
+            n in 1u32..5,
+        ) {
+            prop_assume!(n != 4);
+            prop_assert!(ops.len() < 20);
+            for (_, v) in ops {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Value-generation strategies: the sampling half of proptest, without
+//! shrinking.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::TestRng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty strategy range {}..{}", self.start, self.end
+                );
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub element: S,
+    pub size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    pub element: S,
+    pub size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.clone().generate(rng);
+        let mut out = BTreeSet::new();
+        // A small element domain can make `target` unreachable; bound the
+        // attempts so generation always terminates.
+        for _ in 0..target.saturating_mul(16).max(16) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+/// String literals act as regex-subset strategies, like in real proptest.
+/// Supported syntax: literal chars, `[a-z0-9_]` classes (ranges and single
+/// chars), `( .. )` groups, and the `{n}`, `{m,n}`, `?`, `*`, `+`
+/// quantifiers.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat = parse_pattern(self);
+        let mut out = String::new();
+        gen_seq(&pat, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PatKind {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<PatNode>),
+}
+
+#[derive(Debug, Clone)]
+struct PatNode {
+    kind: PatKind,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatNode> {
+    let mut chars: Vec<char> = pat.chars().collect();
+    chars.reverse(); // pop() from the front
+    let seq = parse_seq(&mut chars, false);
+    assert!(chars.is_empty(), "unbalanced pattern `{pat}`");
+    seq
+}
+
+fn parse_seq(rest: &mut Vec<char>, in_group: bool) -> Vec<PatNode> {
+    let mut out = Vec::new();
+    while let Some(c) = rest.pop() {
+        let kind = match c {
+            ')' if in_group => return out,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let a = rest.pop().expect("unterminated class");
+                    if a == ']' {
+                        break;
+                    }
+                    if rest.last() == Some(&'-') {
+                        rest.pop();
+                        let b = rest.pop().expect("unterminated range");
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                PatKind::Class(ranges)
+            }
+            '(' => PatKind::Group(parse_seq(rest, true)),
+            '\\' => PatKind::Lit(rest.pop().expect("dangling escape")),
+            c => PatKind::Lit(c),
+        };
+        let (min, max) = parse_quant(rest);
+        out.push(PatNode { kind, min, max });
+    }
+    assert!(!in_group, "unterminated group");
+    out
+}
+
+fn parse_quant(rest: &mut Vec<char>) -> (u32, u32) {
+    match rest.last() {
+        Some('?') => {
+            rest.pop();
+            (0, 1)
+        }
+        Some('*') => {
+            rest.pop();
+            (0, 8)
+        }
+        Some('+') => {
+            rest.pop();
+            (1, 8)
+        }
+        Some('{') => {
+            rest.pop();
+            let mut body = String::new();
+            loop {
+                let c = rest.pop().expect("unterminated quantifier");
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn gen_seq(seq: &[PatNode], rng: &mut TestRng, out: &mut String) {
+    for node in seq {
+        let reps = node.min + rng.below(u64::from(node.max - node.min) + 1) as u32;
+        for _ in 0..reps {
+            match &node.kind {
+                PatKind::Lit(c) => out.push(*c),
+                PatKind::Class(ranges) => {
+                    let (a, b) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = (b as u32) - (a as u32) + 1;
+                    let c = char::from_u32(a as u32 + rng.below(u64::from(span)) as u32)
+                        .expect("class range stays in char space");
+                    out.push(c);
+                }
+                PatKind::Group(inner) => gen_seq(inner, rng, out),
+            }
+        }
+    }
+}

@@ -12,20 +12,14 @@ use dataflow_debugger::p2012::PlatformConfig;
 use dataflow_debugger::pedf::{EnvSink, EnvSource, ValueGen};
 
 fn main() {
-    let (sys, app) =
-        build_decoder(Bug::Deadlock, 8, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(Bug::Deadlock, 8, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut s = Session::attach(sys, app.info);
     s.boot(boot).expect("boot");
     s.sys
         .runtime
         .add_source(
-            EnvSource::new(
-                app.boundary_in["bits_in"],
-                2,
-                ValueGen::Lcg { state: 1 },
-            )
-            .with_limit(8),
+            EnvSource::new(app.boundary_in["bits_in"], 2, ValueGen::Lcg { state: 1 }).with_limit(8),
         )
         .unwrap();
     s.sys
@@ -89,6 +83,8 @@ fn main() {
             s.link_tokens("bh::red_out").unwrap().len()
         );
     }
-    println!("\nDone: the debugger altered the execution without touching \
-              the framework.");
+    println!(
+        "\nDone: the debugger altered the execution without touching \
+              the framework."
+    );
 }

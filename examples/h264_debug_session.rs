@@ -13,8 +13,7 @@ use dataflow_debugger::p2012::PlatformConfig;
 use dataflow_debugger::pedf::{EnvSink, EnvSource, ValueGen};
 
 fn session(bug: Bug, n_mbs: u64, constant_bits: Option<u32>) -> Session {
-    let (sys, app) =
-        build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut s = Session::attach(sys, app.info);
     s.boot(boot).expect("boot under debugger");
@@ -24,10 +23,7 @@ fn session(bug: Bug, n_mbs: u64, constant_bits: Option<u32>) -> Session {
     };
     s.sys
         .runtime
-        .add_source(
-            EnvSource::new(app.boundary_in["bits_in"], 2, gen)
-                .with_limit(n_mbs),
-        )
+        .add_source(EnvSource::new(app.boundary_in["bits_in"], 2, gen).with_limit(n_mbs))
         .unwrap();
     s.sys
         .runtime

@@ -7,8 +7,7 @@
 
 use dataflow_debugger::p2012::{
     memory::{L2_BASE, L3_BASE},
-    DmaRequest, Insn, NullHandler, PeId, Platform, PlatformConfig,
-    ProgramBuilder,
+    DmaRequest, Insn, NullHandler, PeId, Platform, PlatformConfig, ProgramBuilder,
 };
 
 fn main() {
@@ -18,11 +17,7 @@ fn main() {
 
     println!("\n== Memory latency gradient ==");
     let map = platform.mem.map().clone();
-    for (name, addr) in [
-        ("L1[0]", map.l1_base(0)),
-        ("L2", L2_BASE),
-        ("L3", L3_BASE),
-    ] {
+    for (name, addr) in [("L1[0]", map.l1_base(0)), ("L2", L2_BASE), ("L3", L3_BASE)] {
         let (_, lat) = platform.mem.read(addr).unwrap();
         println!("  {name:<6} read latency: {lat:>2} cycles");
     }

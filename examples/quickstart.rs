@@ -76,8 +76,7 @@ fn main() {
     sources.add("ctrl_source.c", CTRL);
     sources.add("the_source.c", FILTER);
     let (mut sys, app) =
-        mind::build(AMODULE, &sources, PlatformConfig::default())
-            .expect("build AModule");
+        mind::build(AMODULE, &sources, PlatformConfig::default()).expect("build AModule");
     let module = app.actor("amodule").unwrap();
     sys.runtime.set_max_steps(module, 5);
 
@@ -104,7 +103,10 @@ fn main() {
             EnvSource::new(
                 app.boundary_in["module_in"],
                 3,
-                ValueGen::Counter { next: 100, step: 10 },
+                ValueGen::Counter {
+                    next: 100,
+                    step: 10,
+                },
             )
             .with_limit(5),
         )

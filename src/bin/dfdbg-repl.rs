@@ -54,8 +54,8 @@ fn main() {
     };
     let n_mbs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
 
-    let (sys, mut app) = build_decoder(bug, n_mbs, PlatformConfig::default())
-        .expect("build decoder");
+    let (sys, mut app) =
+        build_decoder(bug, n_mbs, PlatformConfig::default()).expect("build decoder");
     let boot = app.boot_entry;
     let info = std::mem::take(&mut app.info);
     let mut session = Session::attach(sys, info);

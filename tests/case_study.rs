@@ -31,20 +31,15 @@ fn attach_env_via_model(session: &mut Session, n_mbs: u64, seed: u32) {
         .sys
         .runtime
         .add_source(
-            pedf::EnvSource::new(bits, 2, pedf::ValueGen::Lcg { state: seed })
-                .with_limit(n_mbs),
+            pedf::EnvSource::new(bits, 2, pedf::ValueGen::Lcg { state: seed }).with_limit(n_mbs),
         )
         .unwrap();
     session
         .sys
         .runtime
         .add_source(
-            pedf::EnvSource::new(
-                cfg,
-                2,
-                pedf::ValueGen::Counter { next: 0, step: 1 },
-            )
-            .with_limit(n_mbs),
+            pedf::EnvSource::new(cfg, 2, pedf::ValueGen::Counter { next: 0, step: 1 })
+                .with_limit(n_mbs),
         )
         .unwrap();
     session
@@ -55,8 +50,7 @@ fn attach_env_via_model(session: &mut Session, n_mbs: u64, seed: u32) {
 }
 
 fn session_with(bug: Bug, n_mbs: u64, seed: u32) -> Session {
-    let (sys, app) =
-        build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut session = Session::attach(sys, app.info);
     session.boot(boot).expect("boot under debugger");
@@ -66,8 +60,7 @@ fn session_with(bug: Bug, n_mbs: u64, seed: u32) -> Session {
 
 /// Like `session_with` but with a constant bitstream (bh always emits 127).
 fn session_with_127(bug: Bug, n_mbs: u64) -> Session {
-    let (sys, app) =
-        build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(bug, n_mbs, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut session = Session::attach(sys, app.info);
     session.boot(boot).expect("boot under debugger");
@@ -79,24 +72,15 @@ fn session_with_127(bug: Bug, n_mbs: u64) -> Session {
         .sys
         .runtime
         .add_source(
-            pedf::EnvSource::new(
-                bits,
-                2,
-                pedf::ValueGen::Constant(BITS_FOR_127),
-            )
-            .with_limit(n_mbs),
+            pedf::EnvSource::new(bits, 2, pedf::ValueGen::Constant(BITS_FOR_127)).with_limit(n_mbs),
         )
         .unwrap();
     session
         .sys
         .runtime
         .add_source(
-            pedf::EnvSource::new(
-                cfg,
-                2,
-                pedf::ValueGen::Counter { next: 0, step: 1 },
-            )
-            .with_limit(n_mbs),
+            pedf::EnvSource::new(cfg, 2, pedf::ValueGen::Counter { next: 0, step: 1 })
+                .with_limit(n_mbs),
         )
         .unwrap();
     session
@@ -106,15 +90,18 @@ fn session_with_127(bug: Bug, n_mbs: u64) -> Session {
 
 #[test]
 fn graph_is_reconstructed_from_function_breakpoints() {
-    let (sys, app) =
-        build_decoder(Bug::None, 4, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(Bug::None, 4, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut session = Session::attach(sys, app.info);
     session.boot(boot).unwrap();
 
     // The debugger never read the static graph; it observed the boot
     // program's registration calls. The two must agree exactly.
-    assert!(session.model.anomalies.is_empty(), "{:?}", session.model.anomalies);
+    assert!(
+        session.model.anomalies.is_empty(),
+        "{:?}",
+        session.model.anomalies
+    );
     let rg = &session.model.graph;
     assert_eq!(rg.actors.len(), app.graph.actors.len());
     assert_eq!(rg.conns.len(), app.graph.conns.len());
@@ -146,14 +133,14 @@ fn catch_work_stops_when_the_filter_fires() {
     s.catch_work("pipe").unwrap();
     let stop = s.run(1_000_000);
     match &stop {
-        Stop::Breakpoint { work_of: Some(a), .. } => {
+        Stop::Breakpoint {
+            work_of: Some(a), ..
+        } => {
             assert_eq!(s.model.graph.actor(*a).name, "pipe");
         }
         other => panic!("expected work breakpoint, got {other:?}"),
     }
-    assert!(s
-        .describe(&stop)
-        .contains("WORK of filter `pipe'"));
+    assert!(s.describe(&stop).contains("WORK of filter `pipe'"));
 }
 
 #[test]
@@ -218,15 +205,15 @@ fn step_both_breakpoints_both_ends_of_the_dependency() {
     let stop2 = s.run(1_000_000);
     let texts = [s.describe(&stop1), s.describe(&stop2)];
     assert!(
-        texts.iter().any(|t| t.contains(
-            "[Stopped after sending token on `ipred::Add2Dblock_ipf_out']"
-        )),
+        texts
+            .iter()
+            .any(|t| t.contains("[Stopped after sending token on `ipred::Add2Dblock_ipf_out']")),
         "{texts:?}"
     );
     assert!(
-        texts.iter().any(|t| t.contains(
-            "[Stopped after receiving token from `ipf::Add2Dblock_ipred_in']"
-        )),
+        texts
+            .iter()
+            .any(|t| t.contains("[Stopped after receiving token from `ipf::Add2Dblock_ipred_in']")),
         "{texts:?}"
     );
 }
@@ -242,7 +229,10 @@ fn token_recording_prints_the_papers_values() {
     s.run(2_000_000);
     let out = s.iface_print("hwcfg::pipe_MbType_out").unwrap();
     // cfg = 0,1,2 -> MB types 5, 10, 15: the exact paper transcript.
-    assert!(out.starts_with("#1 (U16) 5\n#2 (U16) 10\n#3 (U16) 15"), "{out}");
+    assert!(
+        out.starts_with("#1 (U16) 5\n#2 (U16) 10\n#3 (U16) 15"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -257,9 +247,7 @@ fn last_token_path_reproduces_the_papers_flow() {
     let stop = s.run(2_000_000);
     let text = s.describe(&stop);
     assert!(
-        text.contains(
-            "[Stopped after receiving token from `pipe::Red2PipeCbMB_in']"
-        ),
+        text.contains("[Stopped after receiving token from `pipe::Red2PipeCbMB_in']"),
         "{text}"
     );
 
@@ -292,7 +280,10 @@ fn two_level_debugging_expands_the_token_struct() {
 
     //   (gdb) filter print last_token
     let short = s.filter_print_last_token("pipe").unwrap();
-    assert!(short.starts_with("$1 = (CbCrMB_t) {Addr=0x1000,"), "{short}");
+    assert!(
+        short.starts_with("$1 = (CbCrMB_t) {Addr=0x1000,"),
+        "{short}"
+    );
 
     //   (gdb) print $1
     let full = s.print_history(1).unwrap();
@@ -355,9 +346,10 @@ fn deadlock_is_diagnosed_and_untied_by_token_injection() {
     );
 
     // Untie: inject the missing residual token.
-    let steps_before = s.sys.runtime.module_steps(
-        s.model.graph.actor_by_name("pred").unwrap().id,
-    );
+    let steps_before = s
+        .sys
+        .runtime
+        .module_steps(s.model.graph.actor_by_name("pred").unwrap().id);
     s.token_inject("red::red_ipred_out", &[42]).unwrap();
     let stop = s.run(100_000);
     let pred = s.model.graph.actor_by_name("pred").unwrap().id;
@@ -390,10 +382,7 @@ fn scheduling_catchpoint_and_monitor() {
     s.catch_step(Some("front"), true).unwrap();
     let stop = s.run(1_000_000);
     assert!(
-        matches!(
-            stop,
-            Stop::Dataflow(DfStop::StepBegin { step: 1, .. })
-        ),
+        matches!(stop, Stop::Dataflow(DfStop::StepBegin { step: 1, .. })),
         "{stop:?}"
     );
 }
@@ -412,9 +401,7 @@ fn watchpoint_on_filter_private_data() {
         }
         other => panic!("{other:?}"),
     }
-    assert!(s
-        .describe(&stop)
-        .contains("red.data.mb_count"));
+    assert!(s.describe(&stop).contains("red.data.mb_count"));
 }
 
 // ---- conditional catchpoints ----------------------------------------------------
@@ -447,8 +434,7 @@ fn value_and_count_catchpoints() {
 #[test]
 fn cooperation_mode_sees_the_same_dataflow() {
     let run = |coop: bool| {
-        let (sys, app) =
-            build_decoder(Bug::None, 6, PlatformConfig::default()).unwrap();
+        let (sys, app) = build_decoder(Bug::None, 6, PlatformConfig::default()).unwrap();
         let boot = app.boot_entry;
         let mut s = Session::attach(sys, app.info);
         if coop {
@@ -486,8 +472,7 @@ fn cooperation_mode_sees_the_same_dataflow() {
 #[test]
 fn debugger_does_not_alter_the_decode() {
     // Plain run.
-    let plain = h264_pipeline::run_decoder(Bug::None, 10, 77, 3_000_000)
-        .unwrap();
+    let plain = h264_pipeline::run_decoder(Bug::None, 10, 77, 3_000_000).unwrap();
     // Debugged run with catchpoints firing along the way.
     let mut s = session_with(Bug::None, 10, 77);
     s.catch_work("pipe").unwrap();

@@ -17,20 +17,13 @@ fn cli(bug: Bug, n: u64) -> Cli {
     let cfg = g.conn_by_name(d.id, "cfg_in").unwrap().id;
     s.sys
         .runtime
-        .add_source(
-            pedf::EnvSource::new(bits, 2, pedf::ValueGen::Lcg { state: 7 })
-                .with_limit(n),
-        )
+        .add_source(pedf::EnvSource::new(bits, 2, pedf::ValueGen::Lcg { state: 7 }).with_limit(n))
         .unwrap();
     s.sys
         .runtime
         .add_source(
-            pedf::EnvSource::new(
-                cfg,
-                2,
-                pedf::ValueGen::Counter { next: 0, step: 1 },
-            )
-            .with_limit(n),
+            pedf::EnvSource::new(cfg, 2, pedf::ValueGen::Counter { next: 0, step: 1 })
+                .with_limit(n),
         )
         .unwrap();
     Cli::new(s)
@@ -48,7 +41,9 @@ fn catch_family_via_cli() {
 
     let mut c = cli(Bug::None, 6);
     assert!(c.exec("catch send bh::red_out").contains("Catchpoint"));
-    assert!(c.exec("continue").contains("sending token on `bh::red_out'"));
+    assert!(c
+        .exec("continue")
+        .contains("sending token on `bh::red_out'"));
 
     let mut c = cli(Bug::None, 6);
     assert!(c.exec("catch count bh::red_out 2").contains("Catchpoint"));
@@ -78,9 +73,7 @@ fn filter_catch_conditions_via_cli() {
 
     let mut c = cli(Bug::None, 6);
     assert!(c.exec("filter ipred catch *in=1").contains("Catchpoint"));
-    assert!(c
-        .exec("continue")
-        .contains("received the requested tokens"));
+    assert!(c.exec("continue").contains("received the requested tokens"));
 }
 
 #[test]
@@ -149,7 +142,10 @@ fn focus_and_record_toggle_via_cli() {
     let out = c.exec("iface pipe::MbType_in stop");
     assert!(out.contains("Catchpoint"), "{out}");
     let out = c.exec("continue");
-    assert!(out.contains("receiving token from `pipe::MbType_in'"), "{out}");
+    assert!(
+        out.contains("receiving token from `pipe::MbType_in'"),
+        "{out}"
+    );
 }
 
 #[test]

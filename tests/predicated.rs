@@ -137,12 +137,7 @@ fn different_rate_subgraph_fires_every_other_step() {
     sys.boot(app.boot_entry).unwrap();
     sys.runtime
         .add_source(
-            EnvSource::new(
-                app.boundary_in["in_b"],
-                2,
-                ValueGen::Constant(10),
-            )
-            .with_limit(6),
+            EnvSource::new(app.boundary_in["in_b"], 2, ValueGen::Constant(10)).with_limit(6),
         )
         .unwrap();
     assert!(sys.run_to_quiescence(1_000_000));
@@ -171,9 +166,7 @@ fn debugger_observes_the_predicate_switch() {
         let conn = g.conn_by_name(pm.id, port).unwrap().id;
         s.sys
             .runtime
-            .add_source(
-                EnvSource::new(conn, 2, ValueGen::Constant(v)).with_limit(6),
-            )
+            .add_source(EnvSource::new(conn, 2, ValueGen::Constant(v)).with_limit(6))
             .unwrap();
     }
 

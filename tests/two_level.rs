@@ -8,8 +8,7 @@ use h264_pipeline::{build_decoder, Bug};
 use p2012::PlatformConfig;
 
 fn booted_session() -> Session {
-    let (sys, app) =
-        build_decoder(Bug::None, 4, PlatformConfig::default()).unwrap();
+    let (sys, app) = build_decoder(Bug::None, 4, PlatformConfig::default()).unwrap();
     let boot = app.boot_entry;
     let mut s = Session::attach(sys, app.info);
     s.boot(boot).unwrap();
@@ -19,20 +18,13 @@ fn booted_session() -> Session {
     let cfg = g.conn_by_name(d.id, "cfg_in").unwrap().id;
     s.sys
         .runtime
-        .add_source(
-            pedf::EnvSource::new(bits, 2, pedf::ValueGen::Constant(100))
-                .with_limit(4),
-        )
+        .add_source(pedf::EnvSource::new(bits, 2, pedf::ValueGen::Constant(100)).with_limit(4))
         .unwrap();
     s.sys
         .runtime
         .add_source(
-            pedf::EnvSource::new(
-                cfg,
-                2,
-                pedf::ValueGen::Counter { next: 0, step: 1 },
-            )
-            .with_limit(4),
+            pedf::EnvSource::new(cfg, 2, pedf::ValueGen::Counter { next: 0, step: 1 })
+                .with_limit(4),
         )
         .unwrap();
     s
@@ -97,18 +89,8 @@ fn breakpoints_on_mangled_and_pretty_names() {
     // Both name forms resolve to the same address (§VI-F's mangling).
     let b1 = s.break_symbol("IpfFilter_work_function").unwrap();
     let b2 = s.break_symbol("ipf::work").unwrap();
-    let a1 = s
-        .breakpoints()
-        .iter()
-        .find(|b| b.id == b1)
-        .unwrap()
-        .addr;
-    let a2 = s
-        .breakpoints()
-        .iter()
-        .find(|b| b.id == b2)
-        .unwrap()
-        .addr;
+    let a1 = s.breakpoints().iter().find(|b| b.id == b1).unwrap().addr;
+    let a2 = s.breakpoints().iter().find(|b| b.id == b2).unwrap().addr;
     assert_eq!(a1, a2);
     let stop = s.run(1_000_000);
     assert!(matches!(stop, Stop::Breakpoint { .. }), "{stop:?}");
@@ -189,9 +171,7 @@ fn cli_drives_a_whole_session() {
     let completions = cli.complete("filter ipred catch Pi");
     assert!(completions.is_empty() || !completions.contains(&"pipe".into()));
     let completions = cli.complete("hwcfg::");
-    assert!(completions
-        .iter()
-        .any(|c| c == "hwcfg::pipe_MbType_out"));
+    assert!(completions.iter().any(|c| c == "hwcfg::pipe_MbType_out"));
 }
 
 #[test]
@@ -232,10 +212,8 @@ fn fault_reporting_stops_the_session() {
          pedf.step_end(); } }",
     );
     srcs.add("f.c", "void work() { pedf.io.o[0] = 100 / pedf.io.i[0]; }");
-    let (mut sys, app) =
-        mind::build(adl, &srcs, PlatformConfig::default()).unwrap();
-    sys.runtime
-        .set_max_steps(app.actor("m").unwrap(), 3);
+    let (mut sys, app) = mind::build(adl, &srcs, PlatformConfig::default()).unwrap();
+    sys.runtime.set_max_steps(app.actor("m").unwrap(), 3);
     let boot = app.boot_entry;
     let mut s = Session::attach(sys, app.info);
     s.boot(boot).unwrap();
@@ -244,11 +222,7 @@ fn fault_reporting_stops_the_session() {
     let m_in = g.conn_by_name(m.id, "m_in").unwrap().id;
     s.sys
         .runtime
-        .add_source(pedf::EnvSource::new(
-            m_in,
-            1,
-            pedf::ValueGen::Constant(0),
-        ))
+        .add_source(pedf::EnvSource::new(m_in, 1, pedf::ValueGen::Constant(0)))
         .unwrap();
     let stop = s.run(100_000);
     match &stop {
