@@ -1,0 +1,33 @@
+//! B5: static analyzer throughput.
+//!
+//! The analyzer runs on every `analyze` command and (via the example
+//! workflows) on attach, so its cost must stay negligible next to the
+//! simulation it guards. Timed per decoder variant: the clean graph (all
+//! checks pass), the rate-mismatch and the deadlock variants (balance
+//! system fails, paint sets populated).
+
+use bench::analysis::decoder_input;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h264_pipeline::Bug;
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_analysis");
+    for bug in [Bug::None, Bug::RateMismatch, Bug::Deadlock] {
+        let (input, lines) = decoder_input(bug);
+        g.bench_with_input(
+            BenchmarkId::new("analyze", format!("{bug:?}")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut r = dfa::analyze(input);
+                    r.resolve_spans(&lines);
+                    r
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyze);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Experiment E4: static analyzer cost and coverage.
+//!
+//! The point of running the analyzer *inside* the debugger is that it is
+//! cheap enough to run on every attach — this harness measures the full
+//! `dfa::analyze` pass (kernel abstract interpretation + graph checks +
+//! span resolution) over the H.264 decoder variants and reports what each
+//! variant yields, so EXPERIMENTS.md can quote static-vs-dynamic numbers.
+
+use std::time::{Duration, Instant};
+
+use dfa::AnalysisInput;
+use h264_pipeline::{build_decoder, decoder_sources, Bug};
+use p2012::PlatformConfig;
+
+#[derive(Debug)]
+pub struct AnalysisResult {
+    pub bug: Bug,
+    /// Wall time of `dfa::analyze` + span resolution (build excluded).
+    pub wall: Duration,
+    pub actors: usize,
+    pub links: usize,
+    pub kernels: usize,
+    pub findings: usize,
+    pub errors: usize,
+    /// Rule ids hit, deduplicated, in id order.
+    pub rules_hit: Vec<&'static str>,
+}
+
+/// Build the `bug` decoder variant and return its analysis input plus the
+/// line table needed for span resolution.
+pub fn decoder_input(bug: Bug) -> (AnalysisInput, debuginfo::LineTable) {
+    let (_sys, app) = build_decoder(bug, 4, PlatformConfig::default()).expect("build");
+    let input = AnalysisInput::from_app(&app, &decoder_sources(bug));
+    (input, app.info.lines)
+}
+
+/// Time one full analysis of the `bug` decoder variant. The run is
+/// repeated `reps` times and the best wall time kept (the analyzer is
+/// sub-millisecond, so a single sample is mostly allocator noise).
+pub fn analyze_decoder(bug: Bug, reps: u32) -> AnalysisResult {
+    let (input, lines) = decoder_input(bug);
+    let mut best = Duration::MAX;
+    let mut report = dfa::Report::default();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let mut r = dfa::analyze(&input);
+        r.resolve_spans(&lines);
+        best = best.min(t0.elapsed());
+        report = r;
+    }
+    let mut rules_hit: Vec<&'static str> = report.findings.iter().map(|f| f.rule).collect();
+    rules_hit.sort_unstable();
+    rules_hit.dedup();
+    AnalysisResult {
+        bug,
+        wall: best,
+        actors: input.graph.actors.len(),
+        links: input.graph.links.len(),
+        kernels: input.kernels.len(),
+        findings: report.findings.len(),
+        errors: report
+            .findings
+            .iter()
+            .filter(|f| f.severity == dfa::Severity::Error)
+            .count(),
+        rules_hit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_variant_is_clean_and_fast() {
+        let r = analyze_decoder(Bug::None, 2);
+        assert_eq!(r.findings, 0);
+        assert_eq!(r.errors, 0);
+        assert!(r.kernels > 0 && r.links > 0);
+        // "Cheap enough to run on every attach": well under a second.
+        assert!(r.wall < Duration::from_secs(1), "{:?}", r.wall);
+    }
+
+    #[test]
+    fn seeded_bugs_are_found() {
+        let dl = analyze_decoder(Bug::Deadlock, 1);
+        assert!(dl.errors > 0);
+        assert!(dl.rules_hit.contains(&dfa::rules::RATE_INCONSISTENT));
+        let rm = analyze_decoder(Bug::RateMismatch, 1);
+        assert!(rm.errors > 0);
+    }
+}

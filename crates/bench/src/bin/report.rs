@@ -5,7 +5,8 @@
 //! cargo run --release -p bench --bin report
 //! ```
 
-use bench::{localization, run_overhead, scaling, DebugConfig};
+use bench::{analyze_decoder, localization, run_overhead, scaling, DebugConfig};
+use h264_pipeline::Bug;
 
 fn main() {
     let n_mbs: u64 = std::env::args()
@@ -102,5 +103,38 @@ fn main() {
         "\nShape check: per-event cost stays roughly flat as idle \
          catchpoints\ngrow (indexed dispatch, not a linear scan), and a \
          token storm far\npast the record limit keeps a bounded live set."
+    );
+
+    println!();
+    println!("=====================================================================");
+    println!("E4  Static analyzer: cost and coverage per decoder variant");
+    println!("=====================================================================");
+    println!(
+        "{:<14} {:>10} {:>7} {:>6} {:>8} {:>9} {:>7}  rules",
+        "variant", "wall", "actors", "links", "kernels", "findings", "errors"
+    );
+    for bug in [Bug::None, Bug::RateMismatch, Bug::Deadlock] {
+        let r = analyze_decoder(bug, 5);
+        println!(
+            "{:<14} {:>8.2}ms {:>7} {:>6} {:>8} {:>9} {:>7}  {}",
+            format!("{bug:?}"),
+            r.wall.as_secs_f64() * 1e3,
+            r.actors,
+            r.links,
+            r.kernels,
+            r.findings,
+            r.errors,
+            if r.rules_hit.is_empty() {
+                "-".to_string()
+            } else {
+                r.rules_hit.join(",")
+            },
+        );
+    }
+    println!(
+        "\nShape check: the clean variant reports nothing, both seeded \
+         bugs are\nflagged statically (DFA003), and a full pass costs \
+         about a millisecond —\northogonal to, and vastly cheaper than, \
+         the dynamic runs above."
     );
 }

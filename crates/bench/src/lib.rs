@@ -14,10 +14,15 @@
 //! * [`scaling`] — experiment E3: event-capture hot-path scaling
 //!   (per-event cost vs. installed catchpoints; bounded token storms).
 
+//! * [`analysis`] — experiment E4: static analyzer cost and coverage over
+//!   the decoder variants (the static half of static-vs-dynamic).
+
+pub mod analysis;
 pub mod localization;
 pub mod overhead;
 pub mod scaling;
 
+pub use analysis::{analyze_decoder, AnalysisResult};
 pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
 pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};

@@ -182,6 +182,18 @@ impl Cli {
                     Ok(self.session.info_links())
                 }
             }
+            "analyze" => match rest {
+                [] => self.session.analyze(false),
+                ["rules"] => {
+                    let mut out = String::new();
+                    for (id, summary) in dfa::rules::ALL {
+                        out.push_str(&format!("{id}  {summary}\n"));
+                    }
+                    Ok(out)
+                }
+                ["--deny", "warnings"] => self.session.analyze(true),
+                _ => Err("usage: analyze [rules | --deny warnings]".into()),
+            },
             "info" => match rest.first().copied() {
                 Some("filters") => Ok(self.session.info_filters()),
                 Some("links") => Ok(self.session.info_links()),

@@ -7,20 +7,75 @@
 //! dashed for DMA-assisted links — and the live token count on every
 //! non-empty link (Fig. 4 shows `pipe -> ipf` holding 20 tokens).
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use pedf::{ActorKind, LinkClass};
 
 use super::model::DfModel;
 
+/// Static-analysis paint for the DOT rendering: **red** marks members of a
+/// structurally deadlocked cycle, **yellow** marks endpoints of
+/// rate-inconsistent links. Red wins where both apply.
+#[derive(Debug, Clone, Default)]
+pub struct DotAnnotations {
+    pub red_actors: HashSet<u32>,
+    pub red_links: HashSet<u32>,
+    pub yellow_actors: HashSet<u32>,
+    pub yellow_links: HashSet<u32>,
+}
+
+/// Derive the DOT paint from a static-analysis report.
+pub fn annotations_from(report: &dfa::Report) -> DotAnnotations {
+    DotAnnotations {
+        red_actors: report.deadlock_actors.iter().copied().collect(),
+        red_links: report.deadlock_links.iter().copied().collect(),
+        yellow_actors: report.rate_actors.iter().copied().collect(),
+        yellow_links: report.rate_links.iter().copied().collect(),
+    }
+}
+
+impl DotAnnotations {
+    fn actor_fill(&self, id: u32) -> Option<&'static str> {
+        if self.red_actors.contains(&id) {
+            Some("red")
+        } else if self.yellow_actors.contains(&id) {
+            Some("yellow")
+        } else {
+            None
+        }
+    }
+
+    fn link_color(&self, id: u32) -> Option<&'static str> {
+        if self.red_links.contains(&id) {
+            Some("red")
+        } else if self.yellow_links.contains(&id) {
+            Some("goldenrod")
+        } else {
+            None
+        }
+    }
+}
+
 /// Render the reconstructed graph as Graphviz DOT with live occupancy.
 pub fn to_dot(model: &DfModel) -> String {
+    to_dot_annotated(model, None)
+}
+
+/// [`to_dot`] plus static-analysis paint (the `analyze`-aware `graph dot`).
+pub fn to_dot_annotated(model: &DfModel, ann: Option<&DotAnnotations>) -> String {
     let g = &model.graph;
     let mut out = String::new();
     out.push_str("digraph dataflow {\n  rankdir=LR;\n  node [fontsize=10];\n");
 
     // Modules become clusters, nested by hierarchy. Emit recursively.
-    fn emit_module(model: &DfModel, module: pedf::ActorId, out: &mut String, indent: usize) {
+    fn emit_module(
+        model: &DfModel,
+        module: pedf::ActorId,
+        ann: Option<&DotAnnotations>,
+        out: &mut String,
+        indent: usize,
+    ) {
         let g = &model.graph;
         let pad = "  ".repeat(indent);
         let m = g.actor(module);
@@ -31,7 +86,7 @@ pub fn to_dot(model: &DfModel) -> String {
         );
         for child in g.children(module) {
             match child.kind {
-                ActorKind::Module => emit_module(model, child.id, out, indent + 1),
+                ActorKind::Module => emit_module(model, child.id, ann, out, indent + 1),
                 ActorKind::Controller => {
                     let _ = writeln!(
                         out,
@@ -42,10 +97,13 @@ pub fn to_dot(model: &DfModel) -> String {
                 }
                 ActorKind::Filter => {
                     let state = model.actors[child.id.0 as usize].sched.label();
+                    let paint = match ann.and_then(|a| a.actor_fill(child.id.0)) {
+                        Some(color) => format!(" style=\"rounded,filled\" fillcolor={color}"),
+                        None => " style=rounded".to_string(),
+                    };
                     let _ = writeln!(
                         out,
-                        "{pad}  a{} [label=\"{}\\n({state})\" \
-                         shape=box style=rounded];",
+                        "{pad}  a{} [label=\"{}\\n({state})\" shape=box{paint}];",
                         child.id.0, child.name
                     );
                 }
@@ -56,7 +114,7 @@ pub fn to_dot(model: &DfModel) -> String {
 
     for m in g.modules() {
         if m.parent.is_none() {
-            emit_module(model, m.id, &mut out, 1);
+            emit_module(model, m.id, ann, &mut out, 1);
         }
     }
     // Boundary ports of root modules as plain nodes.
@@ -90,7 +148,11 @@ pub fn to_dot(model: &DfModel) -> String {
         } else {
             String::new()
         };
-        let _ = writeln!(out, "  {from} -> {to} [style={style}{label}];");
+        let paint = match ann.and_then(|a| a.link_color(l.id.0)) {
+            Some(color) => format!(" color={color} penwidth=2"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  {from} -> {to} [style={style}{label}{paint}];");
     }
     out.push_str("}\n");
     out
@@ -223,6 +285,26 @@ mod tests {
         // The Fig. 4 annotation: 20 queued tokens in red.
         assert!(dot.contains("label=\"20\" fontcolor=red"), "{dot}");
         assert!(dot.contains("style=solid"));
+    }
+
+    #[test]
+    fn annotations_paint_deadlock_red_and_rate_yellow() {
+        let m = tiny_model();
+        let mut report = dfa::Report::default();
+        report.deadlock_actors.insert(2); // pipe
+        report.deadlock_links.insert(0);
+        report.rate_actors.insert(2); // red wins over yellow
+        report.rate_actors.insert(3); // ipf
+        let ann = annotations_from(&report);
+        let dot = to_dot_annotated(&m, Some(&ann));
+        assert!(
+            dot.contains("a2 [label=\"pipe\\n(not scheduled)\" shape=box style=\"rounded,filled\" fillcolor=red]"),
+            "{dot}"
+        );
+        assert!(dot.contains("fillcolor=yellow"), "{dot}");
+        assert!(dot.contains("color=red penwidth=2"), "{dot}");
+        // Unannotated rendering is unchanged.
+        assert!(!to_dot(&m).contains("penwidth"));
     }
 
     #[test]

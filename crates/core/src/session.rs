@@ -126,6 +126,12 @@ pub struct Session {
     inv_seen: Vec<u64>,
     /// `$N` value history (1-based), as in GDB.
     pub value_history: Vec<Value>,
+    /// Static-analysis input (graph + kernel sources), loaded via
+    /// [`Session::load_analysis`] from the compiled app.
+    analysis: Option<dfa::AnalysisInput>,
+    /// Result of the most recent `analyze`, consumed by `graph dot` to
+    /// paint deadlocked (red) and rate-inconsistent (yellow) elements.
+    pub last_analysis: Option<dfa::Report>,
 }
 
 impl Session {
@@ -157,6 +163,42 @@ impl Session {
             graph_learned: false,
             inv_seen: vec![0; n_pes],
             value_history: Vec::new(),
+            analysis: None,
+            last_analysis: None,
+        }
+    }
+
+    /// Supply the static analyzer's input. Built from the [`mind`] output
+    /// (`dfa::AnalysisInput::from_app`) before the `CompiledApp` is handed
+    /// to `attach`; without it the `analyze` command reports an error.
+    pub fn load_analysis(&mut self, input: dfa::AnalysisInput) {
+        self.analysis = Some(input);
+    }
+
+    /// `analyze [--deny warnings]` — run the static dataflow analyzer over
+    /// the elaborated application, without executing an instruction.
+    /// Findings come back as a table with rule ids and source spans
+    /// resolved through the line tables; the result is remembered so
+    /// `graph dot` can paint the affected actors and links. With
+    /// `deny_warnings`, a report whose worst finding is Warning or Error
+    /// returns `Err` (the table is the error text) for CI-style gating.
+    pub fn analyze(&mut self, deny_warnings: bool) -> CmdResult<String> {
+        let input = self
+            .analysis
+            .as_ref()
+            .ok_or("no analysis input loaded (build one with dfa::AnalysisInput::from_app and call load_analysis)")?;
+        let mut report = dfa::analyze(input);
+        report.resolve_spans(&self.info.lines);
+        let table = report.table();
+        let worst = report.worst();
+        self.last_analysis = Some(report);
+        let deny_hit = deny_warnings && worst >= Some(dfa::Severity::Warning);
+        if deny_hit {
+            Err(format!(
+                "findings at or above warning level denied\n{table}"
+            ))
+        } else {
+            Ok(table)
         }
     }
 
@@ -1243,9 +1285,12 @@ impl Session {
 
     // ---- displays --------------------------------------------------------------
 
-    /// The application graph as Graphviz DOT (Figs. 2 and 4).
+    /// The application graph as Graphviz DOT (Figs. 2 and 4). When an
+    /// `analyze` report exists, deadlocked cycles render red and
+    /// rate-inconsistent endpoints yellow.
     pub fn graph_dot(&self) -> String {
-        graphviz::to_dot(&self.model)
+        let ann = self.last_analysis.as_ref().map(graphviz::annotations_from);
+        graphviz::to_dot_annotated(&self.model, ann.as_ref())
     }
 
     /// `info links` — the textual occupancy table.

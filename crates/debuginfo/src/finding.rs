@@ -1,0 +1,245 @@
+//! Shared diagnostic format for static findings.
+//!
+//! Both the kernel compiler (`kernelc`) and the static dataflow analyzer
+//! (`dfa`) report problems as [`Finding`]s: a stable rule id, a severity,
+//! the subject (an actor, port, link or variable) and an optional source
+//! [`Span`]. Spans resolve against the [`crate::LineTable`] to the code
+//! address of the spanned statement, so a finding can be turned into a
+//! breakpoint location directly — the point of doing the analysis inside
+//! a debugger.
+
+use std::fmt;
+
+use crate::lines::LineTable;
+use crate::CodeAddr;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`, so
+/// `--deny warnings` is `severity >= Severity::Warning`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A source location: file, 1-based line, 1-based column (0 = unknown),
+/// and — once [`Span::resolve`] ran against a line table — the code
+/// address of the statement covering the location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub addr: Option<CodeAddr>,
+}
+
+impl Span {
+    pub fn new(file: impl Into<String>, line: u32, col: u32) -> Self {
+        Span {
+            file: file.into(),
+            line,
+            col,
+            addr: None,
+        }
+    }
+
+    /// Attach the code address of the spanned statement, if the line table
+    /// knows the file and has an `is_stmt` row at (or after) the line.
+    pub fn resolve(&mut self, lines: &LineTable) {
+        if self.addr.is_none() {
+            if let Some(file) = lines.file_by_name(&self.file) {
+                self.addr = lines.addr_of_line(file, self.line);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)?;
+        if self.col > 0 {
+            write!(f, ":{}", self.col)?;
+        }
+        if let Some(addr) = self.addr {
+            write!(f, " @0x{addr:04x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One diagnostic: rule id (`DFA001`, `KC001`, ...), severity, subject
+/// (what the finding is about: `pred.ipred::Red_in`, a link label, a
+/// variable) and a human message, optionally anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub subject: String,
+    pub message: String,
+    pub span: Option<Span>,
+}
+
+impl Finding {
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule,
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.subject, self.message
+        )?;
+        if let Some(span) = &self.span {
+            write!(f, " ({span})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render findings as an aligned table with a severity tally footer.
+pub fn render_findings(findings: &[Finding]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if findings.is_empty() {
+        out.push_str("no findings\n");
+        return out;
+    }
+    let loc = |f: &Finding| f.span.as_ref().map_or(String::from("-"), Span::to_string);
+    let w_rule = findings
+        .iter()
+        .map(|f| f.rule.len())
+        .max()
+        .unwrap_or(4)
+        .max("RULE".len());
+    let w_sev = findings
+        .iter()
+        .map(|f| f.severity.label().len())
+        .max()
+        .unwrap_or(5)
+        .max("SEV".len());
+    let w_loc = findings
+        .iter()
+        .map(|f| loc(f).len())
+        .max()
+        .unwrap_or(1)
+        .max("LOCATION".len());
+    let w_subj = findings
+        .iter()
+        .map(|f| f.subject.len())
+        .max()
+        .unwrap_or(7)
+        .max("SUBJECT".len());
+    let _ = writeln!(
+        out,
+        "{:<w_rule$}  {:<w_sev$}  {:<w_loc$}  {:<w_subj$}  MESSAGE",
+        "RULE", "SEV", "LOCATION", "SUBJECT"
+    );
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{:<w_rule$}  {:<w_sev$}  {:<w_loc$}  {:<w_subj$}  {}",
+            f.rule,
+            f.severity.label(),
+            loc(f),
+            f.subject,
+            f.message
+        );
+    }
+    let count = |s: Severity| findings.iter().filter(|f| f.severity == s).count();
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s), {} info",
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DebugInfoBuilder, LineEntry};
+
+    #[test]
+    fn severity_orders_for_deny() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn span_resolves_through_the_line_table() {
+        let mut b = DebugInfoBuilder::new();
+        let f = b.lines_mut().add_file("ipred.c", "a;\nb;\n");
+        b.lines_mut().add_entry(LineEntry {
+            addr: 0x40,
+            file: f,
+            line: 2,
+            is_stmt: true,
+        });
+        let info = b.finish();
+        let mut span = Span::new("ipred.c", 2, 13);
+        span.resolve(&info.lines);
+        assert_eq!(span.addr, Some(0x40));
+        assert_eq!(span.to_string(), "ipred.c:2:13 @0x0040");
+        // Unknown file: resolution is a no-op, display has no address.
+        let mut other = Span::new("nope.c", 1, 0);
+        other.resolve(&info.lines);
+        assert_eq!(other.addr, None);
+        assert_eq!(other.to_string(), "nope.c:1");
+    }
+
+    #[test]
+    fn table_renders_and_tallies() {
+        let fs = vec![
+            Finding::new("DFA003", Severity::Error, "red -> ipred", "rate mismatch")
+                .with_span(Span::new("ipred.c", 10, 0)),
+            Finding::new(
+                "DFA104",
+                Severity::Warning,
+                "mc::spare_in",
+                "port never used",
+            ),
+        ];
+        let t = render_findings(&fs);
+        assert!(t.contains("DFA003"));
+        assert!(t.contains("ipred.c:10"));
+        assert!(t.contains("1 error(s), 1 warning(s), 0 info"));
+        assert_eq!(render_findings(&[]), "no findings\n");
+    }
+}

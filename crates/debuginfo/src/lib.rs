@@ -21,12 +21,14 @@
 //! All tables are immutable once built; producers (the kernel compiler and
 //! the ADL elaborator) assemble them through [`DebugInfoBuilder`].
 
+pub mod finding;
 pub mod lines;
 pub mod mangle;
 pub mod symbols;
 pub mod types;
 pub mod value;
 
+pub use finding::{render_findings, Finding, Severity, Span};
 pub use lines::{FileId, LineEntry, LineTable, SourceFile};
 pub use symbols::{ParamInfo, Symbol, SymbolId, SymbolKind, SymbolTable};
 pub use types::{ScalarType, TypeDef, TypeId, TypeTable};

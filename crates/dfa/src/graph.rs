@@ -1,0 +1,953 @@
+//! Pass 2 — graph analysis.
+//!
+//! Consumes the elaborated [`AppGraph`] plus the per-actor
+//! [`KernelReport`]s of pass 1 and checks the classic static-dataflow
+//! properties on the rate-consistent subgraph:
+//!
+//! * **SDF balance equations** (`DFA003`): over data links whose two
+//!   filter endpoints have exact per-firing rates ≥ 1, solve for rational
+//!   repetition counts by propagation; every eligible edge the solution
+//!   cannot balance is a rate inconsistency — the graph stalls or
+//!   accumulates tokens without bound once buffers fill.
+//! * **Structural deadlock** (`DFA004`): a directed cycle of token
+//!   dependencies in which every actor pops from the cycle before pushing
+//!   into it can never receive a first token.
+//! * Structural lints: unconnected ports (`DFA001`), zero-capacity links
+//!   (`DFA002`), per-firing demand exceeding FIFO capacity (`DFA005`),
+//!   links that are provably never fed or never drained (`DFA006`),
+//!   data-dependent rates excluded from the balance system (`DFA007`),
+//!   constant io indices beyond capacity (`DFA102`) and ADL ports the
+//!   kernel never touches (`DFA104`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use debuginfo::{Finding, Severity, Span};
+use pedf::graph::{ActorKind, AppGraph, LinkClass};
+use pedf::ActorId;
+
+use crate::kernel::KernelReport;
+use crate::rules;
+
+/// Pass-2 result: findings plus the actor/link id sets driving the
+/// graphviz annotation (red = deadlock member, yellow = rate-inconsistent).
+#[derive(Debug, Default)]
+pub struct GraphAnalysis {
+    pub findings: Vec<Finding>,
+    pub deadlock_actors: BTreeSet<u32>,
+    pub deadlock_links: BTreeSet<u32>,
+    pub rate_actors: BTreeSet<u32>,
+    pub rate_links: BTreeSet<u32>,
+}
+
+/// A non-negative rational repetition count, kept reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frac {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Frac {
+    const ONE: Frac = Frac { num: 1, den: 1 };
+
+    fn new(num: u64, den: u64) -> Frac {
+        let g = gcd(num, den.max(1));
+        Frac {
+            num: num / g,
+            den: den.max(1) / g,
+        }
+    }
+
+    /// `self * num / den`.
+    fn scale(self, num: u64, den: u64) -> Frac {
+        Frac::new(self.num.saturating_mul(num), self.den.saturating_mul(den))
+    }
+}
+
+fn span_at(file: &str, line: u32) -> Option<Span> {
+    (line > 0).then(|| Span::new(file, line, 0))
+}
+
+trait WithOptSpan {
+    fn with_opt_span(self, s: Option<Span>) -> Finding;
+}
+
+impl WithOptSpan for Finding {
+    fn with_opt_span(self, s: Option<Span>) -> Finding {
+        match s {
+            Some(s) => self.with_span(s),
+            None => self,
+        }
+    }
+}
+
+/// Run every graph-level rule. `reports` maps each actor that has a
+/// compiled kernel to its pass-1 report; actors without one (modules,
+/// boundary pass-throughs) are excluded from rate and deadlock reasoning.
+pub fn analyze_graph(g: &AppGraph, reports: &BTreeMap<ActorId, KernelReport>) -> GraphAnalysis {
+    let mut out = GraphAnalysis::default();
+    check_unconnected_ports(g, reports, &mut out);
+    check_links(g, reports, &mut out);
+    check_unused_ports(g, reports, &mut out);
+    check_balance(g, reports, &mut out);
+    check_deadlock(g, reports, &mut out);
+    out
+}
+
+/// DFA001 — a filter/controller port never bound to a link. Module-level
+/// ports are flattened boundary aliases and legitimately stay unbound.
+fn check_unconnected_ports(
+    g: &AppGraph,
+    reports: &BTreeMap<ActorId, KernelReport>,
+    out: &mut GraphAnalysis,
+) {
+    for c in g.unbound_conns() {
+        let a = g.actor(c.actor);
+        if a.kind == ActorKind::Module {
+            continue;
+        }
+        let used = reports
+            .get(&c.actor)
+            .and_then(|r| r.ports.get(&c.name))
+            .is_some_and(|p| p.used);
+        let (sev, extra) = if used {
+            (Severity::Error, "and the kernel accesses it")
+        } else {
+            (Severity::Warning, "and the kernel never accesses it")
+        };
+        out.findings.push(Finding::new(
+            rules::UNCONNECTED_PORT,
+            sev,
+            format!("{}::{}", a.name, c.name),
+            format!("port is not bound to any link ({extra})"),
+        ));
+    }
+}
+
+/// DFA002 / DFA005 / DFA006 / DFA102 — per-link checks against the
+/// endpoint kernels' access summaries.
+fn check_links(g: &AppGraph, reports: &BTreeMap<ActorId, KernelReport>, out: &mut GraphAnalysis) {
+    for l in &g.links {
+        if l.capacity == 0 {
+            out.findings.push(Finding::new(
+                rules::ZERO_CAPACITY,
+                Severity::Error,
+                g.link_label(l.id),
+                "link has zero FIFO capacity: any transfer stalls forever".to_string(),
+            ));
+            continue;
+        }
+        if l.class != LinkClass::Data {
+            continue;
+        }
+        let (pa, ca) = g.link_ends(l.id);
+        let prod = reports
+            .get(&pa)
+            .and_then(|r| r.ports.get(&g.conn(l.from).name).map(|p| (r, p)));
+        let cons = reports
+            .get(&ca)
+            .and_then(|r| r.ports.get(&g.conn(l.to).name).map(|p| (r, p)));
+
+        // DFA005: an indexed read window needs all its tokens queued at
+        // once, so a guaranteed per-firing demand above the FIFO capacity
+        // can never be satisfied.
+        if let Some((r, p)) = cons {
+            if u64::from(p.reads.min) > u64::from(l.capacity) {
+                out.findings.push(
+                    Finding::new(
+                        rules::DEMAND_EXCEEDS_CAPACITY,
+                        Severity::Error,
+                        g.link_label(l.id),
+                        format!(
+                            "consumer needs {} token(s) per firing but the FIFO holds only {}",
+                            p.reads.min, l.capacity
+                        ),
+                    )
+                    .with_opt_span(span_at(&r.file, p.read_line)),
+                );
+            }
+            // DFA102: a constant index is an exact witness of the same
+            // defect even when the overall rate is data-dependent.
+            if let Some((idx, line)) = p.max_const_read {
+                if u64::from(idx) >= u64::from(l.capacity)
+                    && u64::from(p.reads.min) <= u64::from(l.capacity)
+                {
+                    out.findings.push(
+                        Finding::new(
+                            rules::CONST_INDEX_OOB,
+                            Severity::Error,
+                            g.link_label(l.id),
+                            format!(
+                                "constant io index {idx} is out of bounds for capacity-{} FIFO",
+                                l.capacity
+                            ),
+                        )
+                        .with_opt_span(span_at(&r.file, line)),
+                    );
+                }
+            }
+        }
+        if let Some((r, p)) = prod {
+            if let Some((idx, line)) = p.max_const_write {
+                if u64::from(idx) >= u64::from(l.capacity) {
+                    out.findings.push(
+                        Finding::new(
+                            rules::CONST_INDEX_OOB,
+                            Severity::Error,
+                            g.link_label(l.id),
+                            format!(
+                                "constant io index {idx} is out of bounds for capacity-{} FIFO",
+                                l.capacity
+                            ),
+                        )
+                        .with_opt_span(span_at(&r.file, line)),
+                    );
+                }
+            }
+        }
+
+        // DFA006: a link whose producer provably never pushes starves a
+        // consumer that needs tokens — and symmetrically, tokens pushed
+        // into a never-popped FIFO eventually wedge the producer.
+        if let (Some((_, p)), Some((cr, c))) = (prod, cons) {
+            if p.writes.as_exact() == Some(0) && c.reads.min >= 1 {
+                out.findings.push(
+                    Finding::new(
+                        rules::STARVED_LINK,
+                        Severity::Error,
+                        g.link_label(l.id),
+                        "consumer requires tokens but the producer kernel never pushes any"
+                            .to_string(),
+                    )
+                    .with_opt_span(span_at(&cr.file, c.read_line)),
+                );
+            }
+        }
+        if let (Some((pr, p)), Some((_, c))) = (prod, cons) {
+            if c.reads.as_exact() == Some(0) && p.writes.min >= 1 {
+                out.findings.push(
+                    Finding::new(
+                        rules::STARVED_LINK,
+                        Severity::Error,
+                        g.link_label(l.id),
+                        "producer pushes tokens but the consumer kernel never pops any".to_string(),
+                    )
+                    .with_opt_span(span_at(&pr.file, p.write_line)),
+                );
+            }
+        }
+    }
+}
+
+/// DFA104 — an ADL-declared, data-linked port the kernel never touches.
+fn check_unused_ports(
+    g: &AppGraph,
+    reports: &BTreeMap<ActorId, KernelReport>,
+    out: &mut GraphAnalysis,
+) {
+    for c in &g.conns {
+        let Some(link) = c.link else { continue };
+        if g.link(link).class != LinkClass::Data {
+            continue;
+        }
+        let Some(r) = reports.get(&c.actor) else {
+            continue;
+        };
+        if r.ports.get(&c.name).is_some_and(|p| !p.used) {
+            out.findings.push(Finding::new(
+                rules::UNUSED_PORT,
+                Severity::Warning,
+                format!("{}::{}", g.actor(c.actor).name, c.name),
+                "port is declared in the ADL but the kernel never reads or writes it".to_string(),
+            ));
+        }
+    }
+}
+
+/// An edge eligible for the SDF balance system.
+struct SdfEdge {
+    link: u32,
+    from: ActorId,
+    to: ActorId,
+    prod: u64,
+    cons: u64,
+    cons_file: String,
+    cons_line: u32,
+}
+
+/// DFA003 / DFA007 — solve the balance equations `rep(from) * prod ==
+/// rep(to) * cons` over the exact-rate data subgraph by propagation, then
+/// flag every edge the solution cannot satisfy.
+fn check_balance(g: &AppGraph, reports: &BTreeMap<ActorId, KernelReport>, out: &mut GraphAnalysis) {
+    let mut edges: Vec<SdfEdge> = Vec::new();
+    for l in g.data_links() {
+        let (pa, ca) = g.link_ends(l.id);
+        if g.actor(pa).kind != ActorKind::Filter || g.actor(ca).kind != ActorKind::Filter {
+            continue;
+        }
+        let (Some(pr), Some(cr)) = (reports.get(&pa), reports.get(&ca)) else {
+            continue;
+        };
+        let (Some(pp), Some(cp)) = (
+            pr.ports.get(&g.conn(l.from).name),
+            cr.ports.get(&g.conn(l.to).name),
+        ) else {
+            continue;
+        };
+        match (pp.writes.as_exact(), cp.reads.as_exact()) {
+            (Some(p), Some(c)) if p >= 1 && c >= 1 => edges.push(SdfEdge {
+                link: l.id.0,
+                from: pa,
+                to: ca,
+                prod: u64::from(p),
+                cons: u64::from(c),
+                cons_file: cr.file.clone(),
+                cons_line: cp.read_line,
+            }),
+            (Some(_), Some(_)) => {
+                // An exact-zero side is either dead or a starvation case
+                // (DFA006); it contributes no balance constraint.
+            }
+            _ => {
+                out.findings.push(Finding::new(
+                    rules::DATA_DEPENDENT_RATE,
+                    Severity::Info,
+                    g.link_label(l.id),
+                    format!(
+                        "data-dependent rate (produce {}, consume {}): excluded from balance analysis",
+                        pp.writes, cp.reads
+                    ),
+                ));
+            }
+        }
+    }
+    if edges.is_empty() {
+        return;
+    }
+    edges.sort_by_key(|e| e.link);
+
+    // Propagate repetition fractions across edges in link order; when a
+    // sweep makes no progress, seed the lowest-id unassigned actor of the
+    // system with 1/1 (each connected component gets its own seed).
+    let mut rep: BTreeMap<ActorId, Frac> = BTreeMap::new();
+    loop {
+        let mut progress = false;
+        for e in &edges {
+            match (rep.get(&e.from).copied(), rep.get(&e.to).copied()) {
+                (Some(f), None) => {
+                    rep.insert(e.to, f.scale(e.prod, e.cons));
+                    progress = true;
+                }
+                (None, Some(t)) => {
+                    rep.insert(e.from, t.scale(e.cons, e.prod));
+                    progress = true;
+                }
+                _ => {}
+            }
+        }
+        if progress {
+            continue;
+        }
+        let unassigned = edges
+            .iter()
+            .flat_map(|e| [e.from, e.to])
+            .filter(|a| !rep.contains_key(a))
+            .min();
+        match unassigned {
+            Some(a) => {
+                rep.insert(a, Frac::ONE);
+            }
+            None => break,
+        }
+    }
+
+    for e in &edges {
+        let (f, t) = (rep[&e.from], rep[&e.to]);
+        // rep(from)*prod == rep(to)*cons, cross-multiplied in u128.
+        let lhs = u128::from(f.num) * u128::from(e.prod) * u128::from(t.den);
+        let rhs = u128::from(t.num) * u128::from(e.cons) * u128::from(f.den);
+        if lhs != rhs {
+            out.findings.push(
+                Finding::new(
+                    rules::RATE_INCONSISTENT,
+                    Severity::Error,
+                    g.link_label(pedf::graph::LinkId(e.link)),
+                    format!(
+                        "balance equation fails: producer emits {} token(s) per firing, consumer takes {} (repetition {}/{} vs {}/{})",
+                        e.prod, e.cons, f.num, f.den, t.num, t.den
+                    ),
+                )
+                .with_opt_span(span_at(&e.cons_file, e.cons_line)),
+            );
+            out.rate_actors.insert(e.from.0);
+            out.rate_actors.insert(e.to.0);
+            out.rate_links.insert(e.link);
+        }
+    }
+}
+
+/// DFA004 — strongly connected components of the token-dependency graph
+/// (producer → consumer over data links whose consumer must pop ≥ 1 token
+/// per firing). A cyclic component deadlocks structurally unless some
+/// member is a *breaker*: an actor whose kernel pushes into the cycle
+/// before popping from it, injecting the first tokens.
+fn check_deadlock(
+    g: &AppGraph,
+    reports: &BTreeMap<ActorId, KernelReport>,
+    out: &mut GraphAnalysis,
+) {
+    struct DepEdge {
+        link: u32,
+        from: ActorId,
+        to: ActorId,
+        from_conn: String,
+        to_conn: String,
+    }
+    let mut edges: Vec<DepEdge> = Vec::new();
+    for l in g.data_links() {
+        let (pa, ca) = g.link_ends(l.id);
+        if g.actor(pa).kind != ActorKind::Filter || g.actor(ca).kind != ActorKind::Filter {
+            continue;
+        }
+        let (Some(_), Some(cr)) = (reports.get(&pa), reports.get(&ca)) else {
+            continue;
+        };
+        let needs = cr
+            .ports
+            .get(&g.conn(l.to).name)
+            .is_some_and(|p| p.reads.min >= 1);
+        if needs {
+            edges.push(DepEdge {
+                link: l.id.0,
+                from: pa,
+                to: ca,
+                from_conn: g.conn(l.from).name.clone(),
+                to_conn: g.conn(l.to).name.clone(),
+            });
+        }
+    }
+    if edges.is_empty() {
+        return;
+    }
+
+    let n = g.actors.len();
+    let mut adj = vec![Vec::new(); n];
+    let mut radj = vec![Vec::new(); n];
+    for e in &edges {
+        adj[e.from.0 as usize].push(e.to.0 as usize);
+        radj[e.to.0 as usize].push(e.from.0 as usize);
+    }
+
+    // Kosaraju, iterative.
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for s in 0..n {
+        if visited[s] {
+            continue;
+        }
+        visited[s] = true;
+        let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+        while let Some(top) = stack.last_mut() {
+            let (u, i) = *top;
+            if i < adj[u].len() {
+                top.1 += 1;
+                let v = adj[u][i];
+                if !visited[v] {
+                    visited[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut n_comps = 0;
+    for &s in order.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let c = n_comps;
+        n_comps += 1;
+        let mut stack = vec![s];
+        comp[s] = c;
+        while let Some(u) = stack.pop() {
+            for &v in &radj[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = c;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+
+    for c in 0..n_comps {
+        let members: Vec<usize> = (0..n).filter(|&u| comp[u] == c).collect();
+        let in_scc: Vec<&DepEdge> = edges
+            .iter()
+            .filter(|e| comp[e.from.0 as usize] == c && comp[e.to.0 as usize] == c)
+            .collect();
+        let cyclic = members.len() > 1 || in_scc.iter().any(|e| e.from == e.to);
+        if !cyclic {
+            continue;
+        }
+        let mut breaker = false;
+        for &m in &members {
+            let aid = ActorId(m as u32);
+            let Some(r) = reports.get(&aid) else { continue };
+            let w = in_scc
+                .iter()
+                .filter(|e| e.from == aid)
+                .filter_map(|e| r.ports.get(&e.from_conn).and_then(|p| p.first_write))
+                .min();
+            let rd = in_scc
+                .iter()
+                .filter(|e| e.to == aid)
+                .filter_map(|e| r.ports.get(&e.to_conn).and_then(|p| p.first_read))
+                .min();
+            if let Some(w) = w {
+                if rd.is_none_or(|rd| w < rd) {
+                    breaker = true;
+                    break;
+                }
+            }
+        }
+        if breaker {
+            continue;
+        }
+        let names: Vec<String> = members
+            .iter()
+            .map(|&m| g.actor(ActorId(m as u32)).name.clone())
+            .collect();
+        let cycle = format!("{} -> {}", names.join(" -> "), names[0]);
+        let first = ActorId(members[0] as u32);
+        let span = reports.get(&first).and_then(|r| {
+            in_scc
+                .iter()
+                .filter(|e| e.to == first)
+                .filter_map(|e| r.ports.get(&e.to_conn))
+                .find(|p| p.read_line > 0)
+                .and_then(|p| span_at(&r.file, p.read_line))
+        });
+        let mut f = Finding::new(
+            rules::STRUCTURAL_DEADLOCK,
+            Severity::Error,
+            cycle,
+            "structural deadlock: every actor in the cycle pops before pushing, so no token can ever enter it".to_string(),
+        );
+        if let Some(s) = span {
+            f = f.with_span(s);
+        }
+        out.findings.push(f);
+        for &m in &members {
+            out.deadlock_actors.insert(m as u32);
+        }
+        for e in &in_scc {
+            out.deadlock_links.insert(e.link);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{PortUse, Rate};
+    use debuginfo::TypeTable;
+    use pedf::graph::{ConnId, Dir};
+
+    fn filter(g: &mut AppGraph, id: u32, name: &str) -> ActorId {
+        g.register_actor(id, name, ActorKind::Filter, None, None, None)
+            .unwrap()
+    }
+
+    fn conn(g: &mut AppGraph, id: u32, a: ActorId, name: &str, dir: Dir) -> ConnId {
+        g.register_conn(id, a, name, dir, TypeTable::U32).unwrap()
+    }
+
+    fn link(g: &mut AppGraph, id: u32, from: ConnId, to: ConnId, cap: u32) {
+        g.register_link(id, from, to, cap, LinkClass::Data, 0)
+            .unwrap();
+    }
+
+    struct PortSpec {
+        name: &'static str,
+        reads: Rate,
+        writes: Rate,
+        first_read: Option<u32>,
+        first_write: Option<u32>,
+    }
+
+    fn rd(name: &'static str, r: Rate, seq: u32) -> PortSpec {
+        PortSpec {
+            name,
+            reads: r,
+            writes: Rate::ZERO,
+            first_read: Some(seq),
+            first_write: None,
+        }
+    }
+
+    fn wr(name: &'static str, w: Rate, seq: u32) -> PortSpec {
+        PortSpec {
+            name,
+            reads: Rate::ZERO,
+            writes: w,
+            first_read: None,
+            first_write: Some(seq),
+        }
+    }
+
+    fn report(ports: Vec<PortSpec>) -> KernelReport {
+        let mut r = KernelReport {
+            file: "k.c".to_string(),
+            ..Default::default()
+        };
+        for p in ports {
+            r.ports.insert(
+                p.name.to_string(),
+                PortUse {
+                    reads: p.reads,
+                    writes: p.writes,
+                    first_read: p.first_read,
+                    first_write: p.first_write,
+                    read_line: if p.first_read.is_some() { 3 } else { 0 },
+                    write_line: if p.first_write.is_some() { 5 } else { 0 },
+                    max_const_read: p.first_read.map(|_| (p.reads.min.saturating_sub(1), 3)),
+                    max_const_write: p.first_write.map(|_| (p.writes.min.saturating_sub(1), 5)),
+                    used: p.first_read.is_some() || p.first_write.is_some(),
+                },
+            );
+        }
+        r
+    }
+
+    /// a.out --(cap)--> b.inp
+    fn pipeline(cap: u32) -> AppGraph {
+        let mut g = AppGraph::new();
+        let a = filter(&mut g, 0, "a");
+        let b = filter(&mut g, 1, "b");
+        let o = conn(&mut g, 0, a, "out", Dir::Out);
+        let i = conn(&mut g, 1, b, "inp", Dir::In);
+        link(&mut g, 0, o, i, cap);
+        g
+    }
+
+    fn rules_of(an: &GraphAnalysis) -> Vec<&'static str> {
+        an.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn dfa001_unbound_filter_port() {
+        let mut g = pipeline(4);
+        conn(&mut g, 2, ActorId(1), "dangling", Dir::Out);
+        let mut reports = BTreeMap::new();
+        reports.insert(ActorId(0), report(vec![wr("out", Rate::exact(1), 1)]));
+        reports.insert(
+            ActorId(1),
+            report(vec![
+                rd("inp", Rate::exact(1), 1),
+                wr("dangling", Rate::exact(1), 2),
+            ]),
+        );
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::UNCONNECTED_PORT)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.subject, "b::dangling");
+    }
+
+    #[test]
+    fn dfa001_module_boundary_alias_is_exempt() {
+        let mut g = AppGraph::new();
+        g.register_actor(0, "m", ActorKind::Module, None, None, None)
+            .unwrap();
+        conn(&mut g, 0, ActorId(0), "boundary_in", Dir::In);
+        let an = analyze_graph(&g, &BTreeMap::new());
+        assert!(an.findings.is_empty(), "{:?}", an.findings);
+    }
+
+    #[test]
+    fn dfa002_zero_capacity_link() {
+        let g = pipeline(0);
+        let an = analyze_graph(&g, &BTreeMap::new());
+        assert_eq!(rules_of(&an), vec![rules::ZERO_CAPACITY]);
+        assert_eq!(an.findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dfa003_rate_mismatch_flagged_and_painted() {
+        // Reconvergent paths constrain the repetition vector: a feeds c
+        // both directly (1:1) and through b (1:1 then 1:2). A single free
+        // edge can always be balanced; this system cannot.
+        let mut g = AppGraph::new();
+        let a = filter(&mut g, 0, "a");
+        let b = filter(&mut g, 1, "b");
+        let c = filter(&mut g, 2, "c");
+        let ao1 = conn(&mut g, 0, a, "out1", Dir::Out);
+        let ao2 = conn(&mut g, 1, a, "out2", Dir::Out);
+        let bi = conn(&mut g, 2, b, "inp", Dir::In);
+        let bo = conn(&mut g, 3, b, "out", Dir::Out);
+        let ci1 = conn(&mut g, 4, c, "inp1", Dir::In);
+        let ci2 = conn(&mut g, 5, c, "inp2", Dir::In);
+        link(&mut g, 0, ao1, bi, 8);
+        link(&mut g, 1, ao2, ci1, 8);
+        link(&mut g, 2, bo, ci2, 8);
+        let mut reports = BTreeMap::new();
+        reports.insert(
+            ActorId(0),
+            report(vec![
+                wr("out1", Rate::exact(1), 1),
+                wr("out2", Rate::exact(1), 2),
+            ]),
+        );
+        reports.insert(
+            ActorId(1),
+            report(vec![
+                rd("inp", Rate::exact(1), 1),
+                wr("out", Rate::exact(1), 2),
+            ]),
+        );
+        reports.insert(
+            ActorId(2),
+            report(vec![
+                rd("inp1", Rate::exact(1), 1),
+                rd("inp2", Rate::exact(2), 2),
+            ]),
+        );
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::RATE_INCONSISTENT)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.subject, "b::out -> c::inp2");
+        assert_eq!(f.span.as_ref().unwrap().line, 3);
+        assert_eq!(an.rate_actors, BTreeSet::from([1, 2]));
+        assert_eq!(an.rate_links, BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn dfa003_negative_multirate_chain_balances() {
+        // a -2/1-> b -1/2-> c : b fires twice per a/c firing; consistent.
+        let mut g = AppGraph::new();
+        let a = filter(&mut g, 0, "a");
+        let b = filter(&mut g, 1, "b");
+        let c = filter(&mut g, 2, "c");
+        let ao = conn(&mut g, 0, a, "out", Dir::Out);
+        let bi = conn(&mut g, 1, b, "inp", Dir::In);
+        let bo = conn(&mut g, 2, b, "out", Dir::Out);
+        let ci = conn(&mut g, 3, c, "inp", Dir::In);
+        link(&mut g, 0, ao, bi, 8);
+        link(&mut g, 1, bo, ci, 8);
+        let mut reports = BTreeMap::new();
+        reports.insert(ActorId(0), report(vec![wr("out", Rate::exact(2), 1)]));
+        reports.insert(
+            ActorId(1),
+            report(vec![
+                rd("inp", Rate::exact(1), 1),
+                wr("out", Rate::exact(1), 2),
+            ]),
+        );
+        reports.insert(ActorId(2), report(vec![rd("inp", Rate::exact(2), 1)]));
+        let an = analyze_graph(&g, &reports);
+        assert!(
+            !rules_of(&an).contains(&rules::RATE_INCONSISTENT),
+            "{:?}",
+            an.findings
+        );
+        assert!(an.rate_links.is_empty());
+    }
+
+    fn two_filter_cycle() -> AppGraph {
+        let mut g = AppGraph::new();
+        let a = filter(&mut g, 0, "a");
+        let b = filter(&mut g, 1, "b");
+        let ao = conn(&mut g, 0, a, "out", Dir::Out);
+        let bi = conn(&mut g, 1, b, "inp", Dir::In);
+        let bo = conn(&mut g, 2, b, "out", Dir::Out);
+        let ai = conn(&mut g, 3, a, "inp", Dir::In);
+        link(&mut g, 0, ao, bi, 4);
+        link(&mut g, 1, bo, ai, 4);
+        g
+    }
+
+    #[test]
+    fn dfa004_cycle_with_no_breaker_deadlocks() {
+        let g = two_filter_cycle();
+        let mut reports = BTreeMap::new();
+        // Both actors pop (seq 1) before pushing (seq 2).
+        reports.insert(
+            ActorId(0),
+            report(vec![
+                rd("inp", Rate::exact(1), 1),
+                wr("out", Rate::exact(1), 2),
+            ]),
+        );
+        reports.insert(
+            ActorId(1),
+            report(vec![
+                rd("inp", Rate::exact(1), 1),
+                wr("out", Rate::exact(1), 2),
+            ]),
+        );
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::STRUCTURAL_DEADLOCK)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert!(f.subject.contains("a -> b"), "{}", f.subject);
+        assert_eq!(an.deadlock_actors, BTreeSet::from([0, 1]));
+        assert_eq!(an.deadlock_links, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn dfa004_negative_breaker_primes_the_cycle() {
+        let g = two_filter_cycle();
+        let mut reports = BTreeMap::new();
+        // Actor a pushes (seq 1) before popping (seq 2): it primes the loop.
+        reports.insert(
+            ActorId(0),
+            report(vec![
+                wr("out", Rate::exact(1), 1),
+                rd("inp", Rate::exact(1), 2),
+            ]),
+        );
+        reports.insert(
+            ActorId(1),
+            report(vec![
+                rd("inp", Rate::exact(1), 1),
+                wr("out", Rate::exact(1), 2),
+            ]),
+        );
+        let an = analyze_graph(&g, &reports);
+        assert!(
+            !rules_of(&an).contains(&rules::STRUCTURAL_DEADLOCK),
+            "{:?}",
+            an.findings
+        );
+        assert!(an.deadlock_actors.is_empty());
+    }
+
+    #[test]
+    fn dfa005_demand_beyond_capacity() {
+        let g = pipeline(2);
+        let mut reports = BTreeMap::new();
+        reports.insert(ActorId(0), report(vec![wr("out", Rate::exact(5), 1)]));
+        reports.insert(ActorId(1), report(vec![rd("inp", Rate::exact(5), 1)]));
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::DEMAND_EXCEEDS_CAPACITY)
+            .unwrap();
+        assert!(f.message.contains("5 token(s)"), "{}", f.message);
+        assert!(f.message.contains("only 2"), "{}", f.message);
+    }
+
+    #[test]
+    fn dfa006_starved_consumer() {
+        let g = pipeline(4);
+        let mut reports = BTreeMap::new();
+        // Producer declares the port but pushes nothing.
+        reports.insert(ActorId(0), report(vec![wr("out", Rate::ZERO, 1)]));
+        reports.insert(ActorId(1), report(vec![rd("inp", Rate::exact(1), 1)]));
+        let an = analyze_graph(&g, &reports);
+        assert!(
+            rules_of(&an).contains(&rules::STARVED_LINK),
+            "{:?}",
+            an.findings
+        );
+    }
+
+    #[test]
+    fn dfa007_data_dependent_rate_is_informational() {
+        let g = pipeline(4);
+        let mut reports = BTreeMap::new();
+        reports.insert(
+            ActorId(0),
+            report(vec![wr(
+                "out",
+                Rate {
+                    min: 0,
+                    max: Some(1),
+                },
+                1,
+            )]),
+        );
+        reports.insert(ActorId(1), report(vec![rd("inp", Rate::exact(1), 1)]));
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::DATA_DEPENDENT_RATE)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Info);
+        assert!(f.message.contains("[0,1]"), "{}", f.message);
+        // Not part of the balance system, so no DFA003 either.
+        assert!(!rules_of(&an).contains(&rules::RATE_INCONSISTENT));
+    }
+
+    #[test]
+    fn dfa102_constant_index_out_of_bounds() {
+        let g = pipeline(4);
+        let mut reports = BTreeMap::new();
+        let mut prod = report(vec![wr("out", Rate::exact(1), 1)]);
+        prod.ports.get_mut("out").unwrap().max_const_write = Some((6, 9));
+        reports.insert(ActorId(0), prod);
+        reports.insert(ActorId(1), report(vec![rd("inp", Rate::exact(1), 1)]));
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::CONST_INDEX_OOB)
+            .unwrap();
+        assert!(f.message.contains("index 6"), "{}", f.message);
+        assert_eq!(f.span.as_ref().unwrap().line, 9);
+    }
+
+    #[test]
+    fn dfa104_declared_but_untouched_port() {
+        let g = pipeline(4);
+        let mut reports = BTreeMap::new();
+        reports.insert(ActorId(0), report(vec![wr("out", Rate::exact(1), 1)]));
+        // Consumer report knows the port exists but never accesses it.
+        let mut cons = KernelReport {
+            file: "k.c".to_string(),
+            ..Default::default()
+        };
+        cons.ports.insert("inp".to_string(), PortUse::default());
+        reports.insert(ActorId(1), cons);
+        let an = analyze_graph(&g, &reports);
+        let f = an
+            .findings
+            .iter()
+            .find(|f| f.rule == rules::UNUSED_PORT)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.subject, "b::inp");
+    }
+
+    #[test]
+    fn clean_pipeline_has_no_findings() {
+        let g = pipeline(4);
+        let mut reports = BTreeMap::new();
+        reports.insert(ActorId(0), report(vec![wr("out", Rate::exact(1), 1)]));
+        reports.insert(ActorId(1), report(vec![rd("inp", Rate::exact(1), 1)]));
+        let an = analyze_graph(&g, &reports);
+        assert!(an.findings.is_empty(), "{:?}", an.findings);
+    }
+}

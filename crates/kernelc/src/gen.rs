@@ -89,6 +89,7 @@ impl<'a, 'b> Gen<'a, 'b> {
 
     fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, CompileError> {
         Err(CompileError {
+            col: 0,
             line,
             msg: msg.into(),
         })
@@ -155,6 +156,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             .get(name)
             .copied()
             .ok_or_else(|| CompileError {
+                col: 0,
                 line,
                 msg: format!("unknown connection `{name}` (check the architecture description)"),
             })
@@ -166,6 +168,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             .get(name)
             .copied()
             .ok_or_else(|| CompileError {
+                col: 0,
                 line,
                 msg: format!("unknown filter `{name}` in scheduling call"),
             })
@@ -394,6 +397,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             VType::Struct(ty) => match value {
                 Expr::Var(src) => {
                     let s = self.lookup(src).ok_or_else(|| CompileError {
+                        col: 0,
                         line,
                         msg: format!("unknown variable `{src}`"),
                     })?;
@@ -439,6 +443,7 @@ impl<'a, 'b> Gen<'a, 'b> {
         match target {
             LValue::Var(name) => {
                 let var = self.lookup(name).ok_or_else(|| CompileError {
+                    col: 0,
                     line,
                     msg: format!("unknown variable `{name}`"),
                 })?;
@@ -446,6 +451,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             }
             LValue::Field(name, field) => {
                 let var = self.lookup(name).ok_or_else(|| CompileError {
+                    col: 0,
                     line,
                     msg: format!("unknown variable `{name}`"),
                 })?;
@@ -485,6 +491,7 @@ impl<'a, 'b> Gen<'a, 'b> {
                     VType::Struct(sty) => match value {
                         Expr::Var(src) => {
                             let v = self.lookup(src).ok_or_else(|| CompileError {
+                                col: 0,
                                 line,
                                 msg: format!("unknown variable `{src}`"),
                             })?;
@@ -558,6 +565,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             }
             Expr::Var(name) => {
                 let var = self.lookup(name).ok_or_else(|| CompileError {
+                    col: 0,
                     line,
                     msg: format!("unknown variable `{name}`"),
                 })?;
@@ -571,6 +579,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             }
             Expr::Field(name, field) => {
                 let var = self.lookup(name).ok_or_else(|| CompileError {
+                    col: 0,
                     line,
                     msg: format!("unknown variable `{name}`"),
                 })?;
@@ -607,6 +616,7 @@ impl<'a, 'b> Gen<'a, 'b> {
             Expr::Binary(op, lhs, rhs) => self.binary(*op, lhs, rhs, line),
             Expr::Call { name, args } => {
                 let sig = self.funcs.get(name).cloned().ok_or_else(|| CompileError {
+                    col: 0,
                     line,
                     msg: format!(
                         "unknown function `{name}` (helpers must be \

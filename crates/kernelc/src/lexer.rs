@@ -68,23 +68,25 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its 1-based source line.
+/// A token with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     pub tok: Tok,
     pub line: u32,
+    pub col: u32,
 }
 
 /// Lexing failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
     pub line: u32,
+    pub col: u32,
     pub msg: String,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
     }
 }
 
@@ -95,20 +97,29 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0;
     let mut line: u32 = 1;
+    // Index of the first character of the current line; columns are 1-based
+    // offsets from it.
+    let mut line_start = 0usize;
     let n = bytes.len();
 
     macro_rules! push {
-        ($t:expr) => {
-            out.push(Spanned { tok: $t, line })
+        ($t:expr, $col:expr) => {
+            out.push(Spanned {
+                tok: $t,
+                line,
+                col: $col,
+            })
         };
     }
 
     while i < n {
         let c = bytes[i];
+        let col = (i - line_start + 1) as u32;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '/' if i + 1 < n && bytes[i + 1] == '/' => {
@@ -123,11 +134,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     if i + 1 >= n {
                         return Err(LexError {
                             line: start,
+                            col,
                             msg: "unterminated block comment".into(),
                         });
                     }
                     if bytes[i] == '\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if bytes[i] == '*' && bytes[i + 1] == '/' {
                         i += 2;
@@ -142,17 +155,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let word: String = bytes[start..i].iter().collect();
-                push!(match word.as_str() {
-                    "void" => Tok::KwVoid,
-                    "if" => Tok::KwIf,
-                    "else" => Tok::KwElse,
-                    "while" => Tok::KwWhile,
-                    "for" => Tok::KwFor,
-                    "return" => Tok::KwReturn,
-                    "break" => Tok::KwBreak,
-                    "continue" => Tok::KwContinue,
-                    _ => Tok::Ident(word),
-                });
+                push!(
+                    match word.as_str() {
+                        "void" => Tok::KwVoid,
+                        "if" => Tok::KwIf,
+                        "else" => Tok::KwElse,
+                        "while" => Tok::KwWhile,
+                        "for" => Tok::KwFor,
+                        "return" => Tok::KwReturn,
+                        "break" => Tok::KwBreak,
+                        "continue" => Tok::KwContinue,
+                        _ => Tok::Ident(word),
+                    },
+                    col
+                );
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -166,12 +182,14 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     if hs == i {
                         return Err(LexError {
                             line,
+                            col,
                             msg: "empty hex literal".into(),
                         });
                     }
                     let s: String = bytes[hs..i].iter().collect();
                     u32::from_str_radix(&s, 16).map_err(|_| LexError {
                         line,
+                        col,
                         msg: format!("hex literal 0x{s} out of range"),
                     })?
                 } else {
@@ -181,10 +199,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     let s: String = bytes[start..i].iter().collect();
                     s.parse::<u32>().map_err(|_| LexError {
                         line,
+                        col,
                         msg: format!("literal {s} out of range"),
                     })?
                 };
-                push!(Tok::Num(value));
+                push!(Tok::Num(value), col);
             }
             _ => {
                 let two = if i + 1 < n {
@@ -227,12 +246,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         other => {
                             return Err(LexError {
                                 line,
+                                col,
                                 msg: format!("unexpected character `{other}`"),
                             })
                         }
                     },
                 };
-                push!(tok);
+                push!(tok, col);
                 i += width;
             }
         }
@@ -240,6 +260,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     out.push(Spanned {
         tok: Tok::Eof,
         line,
+        col: (i - line_start + 1) as u32,
     });
     Ok(out)
 }
@@ -327,5 +348,19 @@ mod tests {
         assert!(lex("/* never ends").is_err());
         assert!(lex("0x").is_err());
         assert!(lex("99999999999").is_err());
+    }
+
+    #[test]
+    fn tokens_and_errors_carry_columns() {
+        let spanned = lex("ab = 7;\n  cd;").unwrap();
+        let at = |t: &Tok| spanned.iter().find(|s| s.tok == *t).unwrap();
+        assert_eq!(at(&Tok::Ident("ab".into())).col, 1);
+        assert_eq!(at(&Tok::Assign).col, 4);
+        assert_eq!(at(&Tok::Num(7)).col, 6);
+        assert_eq!(at(&Tok::Ident("cd".into())).col, 3);
+
+        let e = lex("x;\n  @").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+        assert_eq!(e.to_string(), "line 2:3: unexpected character `@`");
     }
 }

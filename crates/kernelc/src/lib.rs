@@ -30,20 +30,37 @@ use pedf::{ApiStubs, Dir};
 
 pub use gen::VType;
 
-/// A compile-time diagnostic with its 1-based source line.
+/// A compile-time diagnostic with its 1-based source line and column
+/// (column 0 means "unknown": diagnostics raised past parsing only track
+/// the statement line).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileError {
     pub line: u32,
+    pub col: u32,
     pub msg: String,
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        if self.col > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
     }
 }
 
 impl std::error::Error for CompileError {}
+
+impl CompileError {
+    /// Render as a `KC001` finding in the shared diagnostic format, so the
+    /// static analyzer and CLI report compile failures in the same table as
+    /// `DFA*` rules.
+    pub fn finding(&self, file: &str) -> debuginfo::Finding {
+        debuginfo::Finding::new("KC001", debuginfo::Severity::Error, file, self.msg.clone())
+            .with_span(debuginfo::Span::new(file, self.line, self.col))
+    }
+}
 
 /// Who owns the kernel being compiled — determines symbol mangling
 /// (`IpfFilter_work_function` vs `_component_PredModule_anon_0_work`).
@@ -146,6 +163,7 @@ pub fn compile_kernel(
         if f.name == "work" && (!f.params.is_empty() || f.ret != ast::TypeName::Void) {
             failure = Some(CompileError {
                 line: f.line,
+                col: 0,
                 msg: "work must be declared `void work()`".into(),
             });
             break;
@@ -195,6 +213,7 @@ pub fn compile_kernel(
     let Some(work) = work else {
         return Err(CompileError {
             line: 1,
+            col: 0,
             msg: "kernel defines no `void work()` function".into(),
         });
     };

@@ -20,6 +20,7 @@ impl<'a> Parser<'a> {
     pub fn new(src: &str, is_type: &'a dyn Fn(&str) -> bool) -> Result<Self, CompileError> {
         let toks = lex(src).map_err(|e| CompileError {
             line: e.line,
+            col: e.col,
             msg: e.msg,
         })?;
         Ok(Parser {
@@ -41,6 +42,10 @@ impl<'a> Parser<'a> {
         self.toks[self.pos].line
     }
 
+    fn col(&self) -> u32 {
+        self.toks[self.pos].col
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
@@ -52,6 +57,7 @@ impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
         Err(CompileError {
             line: self.line(),
+            col: self.col(),
             msg: msg.into(),
         })
     }
@@ -302,6 +308,7 @@ impl<'a> Parser<'a> {
             Expr::Pedf(PedfExpr::Attr(n)) => Ok(LValue::Attr(n)),
             _ => Err(CompileError {
                 line,
+                col: 0,
                 msg: "left-hand side is not assignable".into(),
             }),
         }

@@ -98,6 +98,10 @@ pub struct CompiledApp {
     /// `pedf.data.*` / `pedf.attribute.*` placement: (actor, name) →
     /// (address, type). Attributes are included with their own names.
     pub data_addrs: HashMap<(ActorId, String), (u32, TypeId)>,
+    /// Kernel source file compiled for each actor (filters and
+    /// controllers; modules have none). Consumed by the static analyzer
+    /// to re-parse kernels and attribute findings to files.
+    pub kernel_files: HashMap<ActorId, String>,
 }
 
 impl CompiledApp {
@@ -734,6 +738,7 @@ pub fn build(
     *di.types_mut() = elab.types.clone();
     let stubs = api::emit_stubs(&mut b, &mut di);
 
+    let mut kernel_files: HashMap<ActorId, String> = HashMap::new();
     for i in 0..elab.actors.len() {
         let (kind, short, parent) = {
             let a = &elab.actors[i];
@@ -800,6 +805,7 @@ pub fn build(
                 msg: format!("{src_name} ({short}): {e}"),
             })?;
         elab.actors[i].work = Some(compiled.work);
+        kernel_files.insert(ActorId(i as u32), src_name);
     }
 
     // 8. Object symbols for data/attributes.
@@ -959,6 +965,7 @@ pub fn build(
         boundary_in,
         boundary_out,
         data_addrs,
+        kernel_files,
     };
     Ok((system, app))
 }

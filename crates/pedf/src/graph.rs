@@ -431,6 +431,19 @@ impl AppGraph {
         (self.conn(l.from).actor, self.conn(l.to).actor)
     }
 
+    /// Token-carrying links only (the edges SDF rate analysis runs over);
+    /// control and DMA-control links schedule, they don't stream.
+    pub fn data_links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(|l| l.class == LinkClass::Data)
+    }
+
+    /// Connections not bound to any link. On filters and controllers these
+    /// are genuinely dangling ports; on modules they are the flattened
+    /// boundary aliases the elaborator leaves unlinked by design.
+    pub fn unbound_conns(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.iter().filter(|c| c.link.is_none())
+    }
+
     /// Human-readable link label: `pipe::out_x -> ipf::in_y`.
     pub fn link_label(&self, id: LinkId) -> String {
         let l = self.link(id);

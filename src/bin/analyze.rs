@@ -1,0 +1,75 @@
+//! `analyze` — run the static dataflow analyzer over the H.264 case-study
+//! graphs from the command line, for CI gating and quick inspection.
+//!
+//! ```text
+//! analyze [clean|deadlock|rate] [--deny warnings] [--expect-findings]
+//! ```
+//!
+//! Exit status is non-zero when `--deny warnings` sees a finding at
+//! warning level or above, or when `--expect-findings` sees none — the
+//! two directions a CI gate needs (clean graphs must stay clean, known-bad
+//! graphs must stay detected).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dataflow_debugger::dfa;
+use dataflow_debugger::h264::{build_decoder, decoder_sources, Bug};
+use dataflow_debugger::p2012::PlatformConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut variant = Bug::None;
+    let mut deny_warnings = false;
+    let mut expect_findings = false;
+    for a in &args {
+        match a.as_str() {
+            "clean" => variant = Bug::None,
+            "deadlock" => variant = Bug::Deadlock,
+            "rate" => variant = Bug::RateMismatch,
+            "--deny" => {}
+            "warnings" => deny_warnings = true,
+            "--expect-findings" => expect_findings = true,
+            other => {
+                eprintln!("usage: analyze [clean|deadlock|rate] [--deny warnings] [--expect-findings] (got `{other}`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (_sys, app) = match build_decoder(variant, 4, PlatformConfig::default()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sources = decoder_sources(variant);
+    let input = dfa::AnalysisInput::from_app(&app, &sources);
+
+    let t0 = Instant::now();
+    let mut report = dfa::analyze(&input);
+    let wall = t0.elapsed();
+    report.resolve_spans(&app.info.lines);
+
+    println!(
+        "analyzed {:?}: {} actors, {} links, {} kernels in {:.2?}",
+        variant,
+        input.graph.actors.len(),
+        input.graph.links.len(),
+        input.kernels.len(),
+        wall
+    );
+    print!("{}", report.table());
+
+    let worst = report.worst();
+    if deny_warnings && worst >= Some(dfa::Severity::Warning) {
+        eprintln!("error: findings at or above warning level (denied)");
+        return ExitCode::FAILURE;
+    }
+    if expect_findings && report.findings.is_empty() {
+        eprintln!("error: expected findings, analyzer reported none");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -13,14 +13,16 @@
 
 use std::io::{BufRead, Write as _};
 
+use dataflow_debugger::dfa::AnalysisInput;
 use dataflow_debugger::dfdbg::cli::Cli;
 use dataflow_debugger::dfdbg::Session;
-use dataflow_debugger::h264::{attach_env, build_decoder, Bug};
+use dataflow_debugger::h264::{attach_env, build_decoder, decoder_sources, Bug};
 use dataflow_debugger::p2012::PlatformConfig;
 
 const HELP: &str = "\
 Dataflow commands:
   graph [dot]                         link occupancy / Graphviz DOT
+  analyze [rules | --deny warnings]   static analysis (paints `graph dot`)
   info filters|links|platform|breakpoints|console
   filter <f> catch work               stop when <f>'s WORK fires
   filter <f> catch In1=1, In2=1       stop on received-token counts
@@ -57,8 +59,10 @@ fn main() {
     let (sys, mut app) =
         build_decoder(bug, n_mbs, PlatformConfig::default()).expect("build decoder");
     let boot = app.boot_entry;
+    let analysis = AnalysisInput::from_app(&app, &decoder_sources(bug));
     let info = std::mem::take(&mut app.info);
     let mut session = Session::attach(sys, info);
+    session.load_analysis(analysis);
     session.boot(boot).expect("boot");
     attach_env(&mut session.sys, &app, n_mbs, 0xbeef).expect("env");
     println!(

@@ -7,11 +7,14 @@
 //! * [`kernelc`] — the C-subset kernel compiler (substrate);
 //! * [`pedf`] — the PEDF dynamic dataflow runtime (substrate);
 //! * [`mind`] — the architecture-description front end (substrate);
+//! * [`dfa`] — the static dataflow analyzer (deadlock/rate checking and
+//!   kernel lints before execution);
 //! * [`dfdbg`] — the dataflow-aware interactive debugger (the paper's
 //!   contribution);
 //! * [`h264`] — the H.264-style case-study application (§VI).
 
 pub use debuginfo;
+pub use dfa;
 pub use dfdbg;
 pub use h264_pipeline as h264;
 pub use kernelc;

@@ -1,0 +1,238 @@
+//! Integration tests for the static dataflow analyzer: the `dfa` crate
+//! run over the H.264 case-study graphs, its wiring into the debugger CLI
+//! (`analyze`, `--deny warnings`, painted `graph dot`), and property
+//! tests over generated graphs.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+use debuginfo::TypeTable;
+use dfa::{rules, AnalysisInput, Severity};
+use dfdbg::cli::Cli;
+use dfdbg::Session;
+use h264_pipeline::{build_decoder, decoder_sources, Bug};
+use p2012::PlatformConfig;
+use pedf::graph::{ActorKind, AppGraph, Dir, LinkClass};
+use pedf::ActorId;
+
+fn analyze_decoder(bug: Bug) -> dfa::Report {
+    let (_sys, app) = build_decoder(bug, 4, PlatformConfig::default()).unwrap();
+    let input = AnalysisInput::from_app(&app, &decoder_sources(bug));
+    let mut report = dfa::analyze(&input);
+    report.resolve_spans(&app.info.lines);
+    report
+}
+
+#[test]
+fn clean_decoder_has_no_findings() {
+    let r = analyze_decoder(Bug::None);
+    assert!(
+        r.findings.is_empty(),
+        "expected clean report:\n{}",
+        r.table()
+    );
+    assert_eq!(r.worst(), None);
+    assert!(r.rate_links.is_empty() && r.deadlock_links.is_empty());
+}
+
+#[test]
+fn deadlock_variant_is_flagged_before_execution() {
+    // The §VI deadlock: `ipred' demands two tokens per firing on Red_in,
+    // `red' produces one. The static report must name the same actors the
+    // dynamic session blames, with a span into the consumer's source.
+    let r = analyze_decoder(Bug::Deadlock);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == rules::RATE_INCONSISTENT || f.rule == rules::STRUCTURAL_DEADLOCK)
+        .unwrap_or_else(|| panic!("no deadlock/rate finding:\n{}", r.table()));
+    assert_eq!(f.severity, Severity::Error);
+    assert!(
+        f.subject.contains("red") && f.subject.contains("ipred"),
+        "finding should name red and ipred: {}",
+        f.subject
+    );
+    let span = f.span.as_ref().expect("finding carries a source span");
+    assert_eq!(span.file, "ipred.c");
+    assert!(span.addr.is_some(), "span resolves to a code address");
+    // The paint sets drive the `graph dot` highlighting.
+    assert!(!r.rate_links.is_empty() || !r.deadlock_links.is_empty());
+}
+
+#[test]
+fn rate_mismatch_variant_reports_dfa003() {
+    let r = analyze_decoder(Bug::RateMismatch);
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::RATE_INCONSISTENT)
+        .collect();
+    assert!(!hits.is_empty(), "{}", r.table());
+    assert!(
+        hits.iter().any(|f| f.subject.contains("ipf")),
+        "the mis-rated `ipf' chain should be blamed:\n{}",
+        r.table()
+    );
+    assert!(!r.rate_links.is_empty());
+}
+
+fn cli(bug: Bug) -> Cli {
+    let (sys, app) = build_decoder(bug, 4, PlatformConfig::default()).unwrap();
+    let input = AnalysisInput::from_app(&app, &decoder_sources(bug));
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.load_analysis(input);
+    s.boot(boot).unwrap();
+    Cli::new(s)
+}
+
+#[test]
+fn analyze_command_in_the_cli() {
+    let mut c = cli(Bug::Deadlock);
+    let out = c.exec("analyze");
+    assert!(out.contains("DFA003"), "{out}");
+    assert!(out.contains("ipred.c:"), "{out}");
+
+    // After `analyze`, the DOT rendering paints the offending edge.
+    let dot = c.exec("graph dot");
+    assert!(
+        dot.contains("goldenrod") || dot.contains("color=red"),
+        "{dot}"
+    );
+    assert!(
+        dot.contains("fillcolor=yellow") || dot.contains("fillcolor=red"),
+        "{dot}"
+    );
+
+    // `--deny warnings` turns findings into a failing command.
+    let denied = c.exec("analyze --deny warnings");
+    assert!(denied.starts_with("error:"), "{denied}");
+
+    // The rule table lists every stable id.
+    let rules_out = c.exec("analyze rules");
+    for (id, _) in rules::ALL {
+        assert!(rules_out.contains(id), "missing {id} in:\n{rules_out}");
+    }
+}
+
+#[test]
+fn clean_graph_passes_deny_warnings_via_cli() {
+    let mut c = cli(Bug::None);
+    assert_eq!(c.exec("analyze"), "no findings\n");
+    assert_eq!(c.exec("analyze --deny warnings"), "no findings\n");
+    // No analysis paint on a clean graph.
+    let dot = c.exec("graph dot");
+    assert!(!dot.contains("penwidth"), "{dot}");
+}
+
+/// Build a linear `stages`-long pipeline where stage `i` forwards
+/// `rates[i]` tokens per firing and every FIFO is big enough. Such a chain
+/// is always balanceable (one repetition-vector degree of freedom per
+/// edge), so the analyzer must stay silent.
+fn clean_chain(rates: &[u32]) -> AnalysisInput {
+    let mut g = AppGraph::new();
+    let mut kernels = BTreeMap::new();
+    let n = rates.len(); // number of links; n + 1 actors
+    let mut conn_id = 0;
+    for i in 0..=n {
+        let a = g
+            .register_actor(
+                i as u32,
+                &format!("f{i}"),
+                ActorKind::Filter,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+        let mut body = String::new();
+        if i > 0 {
+            let r = rates[i - 1];
+            body.push_str(&format!("U32 v = pedf.io.inp[{}]; pedf.print(v); ", r - 1));
+        }
+        if i < n {
+            let r = rates[i];
+            g.register_conn(conn_id, a, "out", Dir::Out, TypeTable::U32)
+                .unwrap();
+            conn_id += 1;
+            body.push_str(&format!("pedf.io.out[{}] = 1; ", r - 1));
+        }
+        if i > 0 {
+            g.register_conn(conn_id, a, "inp", Dir::In, TypeTable::U32)
+                .unwrap();
+            conn_id += 1;
+        }
+        kernels.insert(
+            ActorId(i as u32),
+            (format!("f{i}.c"), format!("void work() {{ {body}}}")),
+        );
+    }
+    for (i, &r) in rates.iter().enumerate() {
+        let out = g.actor(ActorId(i as u32)).outputs[0];
+        let inp = g.actor(ActorId(i as u32 + 1)).inputs[0];
+        g.register_link(i as u32, out, inp, r.max(1) * 2, LinkClass::Data, 0)
+            .unwrap();
+    }
+    AnalysisInput {
+        graph: g,
+        struct_types: BTreeSet::new(),
+        kernels,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Balanced pipelines of any shape stay clean: no deadlock, no rate
+    /// finding, no capacity or lint noise.
+    #[test]
+    fn generated_clean_pipelines_stay_clean(
+        rates in prop::collection::vec(1u32..5, 1..6),
+    ) {
+        let input = clean_chain(&rates);
+        let r = dfa::analyze(&input);
+        prop_assert!(r.findings.is_empty(), "{}", r.table());
+    }
+
+    /// Arbitrary graphs — random wiring, zero capacities, kernels picked
+    /// from a grab-bag of shapes — never panic the analyzer, and the
+    /// report always comes out sorted most-severe-first.
+    #[test]
+    fn random_graphs_never_panic(
+        n_actors in 1usize..6,
+        edges in prop::collection::vec((0u32..6, 0u32..6, 0u32..5), 0..8),
+        kinds in prop::collection::vec(0u8..5, 1..6),
+    ) {
+        let mut g = AppGraph::new();
+        let mut kernels = BTreeMap::new();
+        for i in 0..n_actors {
+            let a = g
+                .register_actor(i as u32, &format!("a{i}"), ActorKind::Filter, None, None, None)
+                .unwrap();
+            g.register_conn(2 * i as u32, a, "out", Dir::Out, TypeTable::U32).unwrap();
+            g.register_conn(2 * i as u32 + 1, a, "inp", Dir::In, TypeTable::U32).unwrap();
+            let src = match kinds[i % kinds.len()] {
+                0 => "void work() { pedf.io.out[0] = pedf.io.inp[0]; }",
+                1 => "void work() { U32 i; for (i = 0; i < 3; i = i + 1) { pedf.io.out[i] = i; } }",
+                2 => "void work() { U32 c = pedf.data.cfg; if (c > 0) { pedf.io.out[0] = c; } }",
+                3 => "void work() { U32 v; pedf.print(v); }",
+                _ => "void work() { while (1) { } pedf.io.out[0] = 1; }",
+            };
+            kernels.insert(ActorId(i as u32), (format!("a{i}.c"), src.to_string()));
+        }
+        let mut link_id = 0;
+        for (f, t, cap) in edges {
+            let (f, t) = (f as usize % n_actors, t as usize % n_actors);
+            let out = g.actor(ActorId(f as u32)).outputs[0];
+            let inp = g.actor(ActorId(t as u32)).inputs[0];
+            if g.register_link(link_id, out, inp, cap, LinkClass::Data, 0).is_ok() {
+                link_id += 1;
+            }
+        }
+        let input = AnalysisInput { graph: g, struct_types: BTreeSet::new(), kernels };
+        let r = dfa::analyze(&input);
+        for w in r.findings.windows(2) {
+            prop_assert!(w[0].severity >= w[1].severity);
+        }
+    }
+}
