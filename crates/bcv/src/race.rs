@@ -1,0 +1,174 @@
+//! Static happens-before and shared-memory overlap analysis.
+//!
+//! PEDF's execution model gives the verifier a cheap partial order: two
+//! firings are ordered when they run on the same PE (the cooperative
+//! scheduler serializes them) or when a chain of FIFO token dependencies
+//! connects their actors — a consumer firing cannot start before the
+//! producer firing that fed it. Any other pair of firings may interleave
+//! freely, so two raw accesses to overlapping word ranges with at least
+//! one write are a data race (RACE401).
+//!
+//! Host-side DMA transfers are ordered with *nothing* on the fabric: the
+//! engine copies boundary-FIFO windows whenever requests are pending. A
+//! kernel that touches such a window with raw loads/stores (instead of
+//! push/pop traps) races the engine itself (RACE402).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use debuginfo::{Finding, LineTable, Severity, TypeTable};
+use pedf::graph::{ActorKind, LinkClass};
+use pedf::{ActorId, AppGraph};
+
+use crate::image::{describe_pc, span_at, Access};
+use crate::rules;
+
+/// Per-actor view the race pass needs.
+pub struct ActorAccesses {
+    pub id: ActorId,
+    pub accesses: Vec<Access>,
+}
+
+/// Transitive reachability over data links, treating module actors as
+/// opaque (a module's boundary conns are aliases resolved by the
+/// elaborator; routing *through* a module node would invent false
+/// orderings between unrelated streams).
+fn reach_map(graph: &AppGraph) -> BTreeMap<ActorId, BTreeSet<ActorId>> {
+    let mut edges: BTreeMap<ActorId, BTreeSet<ActorId>> = BTreeMap::new();
+    for l in graph.data_links() {
+        let (fa, ta) = graph.link_ends(l.id);
+        if graph.actor(fa).kind == ActorKind::Module || graph.actor(ta).kind == ActorKind::Module {
+            continue;
+        }
+        edges.entry(fa).or_default().insert(ta);
+    }
+    let mut reach = BTreeMap::new();
+    for a in &graph.actors {
+        let mut seen = BTreeSet::new();
+        let mut work = vec![a.id];
+        while let Some(x) = work.pop() {
+            if let Some(next) = edges.get(&x) {
+                for &n in next {
+                    if seen.insert(n) {
+                        work.push(n);
+                    }
+                }
+            }
+        }
+        reach.insert(a.id, seen);
+    }
+    reach
+}
+
+/// Detect RACE401/RACE402 over the collected per-actor accesses. Returns
+/// the findings plus the offending actor pairs (for graph annotation).
+pub fn find_races(
+    graph: &AppGraph,
+    types: &TypeTable,
+    actors: &[ActorAccesses],
+    lines: &LineTable,
+) -> (Vec<Finding>, Vec<(u32, u32)>) {
+    let mut findings = Vec::new();
+    let mut pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let reach = reach_map(graph);
+    let same_pe = |a: ActorId, b: ActorId| {
+        let (pa, pb) = (graph.actor(a).pe, graph.actor(b).pe);
+        pa.is_some() && pa == pb
+    };
+    let ordered =
+        |a: ActorId, b: ActorId| same_pe(a, b) || reach[&a].contains(&b) || reach[&b].contains(&a);
+
+    // RACE401: unordered actor pairs with overlapping accesses, one a write.
+    for (i, a) in actors.iter().enumerate() {
+        for b in &actors[i + 1..] {
+            if ordered(a.id, b.id) {
+                continue;
+            }
+            let hit = a.accesses.iter().find_map(|x| {
+                b.accesses
+                    .iter()
+                    .find(|y| x.overlaps(y.lo, y.hi) && (x.write || y.write))
+                    .map(|y| (x, y))
+            });
+            let Some((x, y)) = hit else { continue };
+            let (qa, qb) = (graph.qualified_name(a.id), graph.qualified_name(b.id));
+            let verb = |w: bool| if w { "writes" } else { "reads" };
+            let mut fi = Finding::new(
+                rules::UNORDERED_SHARED_ACCESS,
+                Severity::Error,
+                format!("{qa} <-> {qb}"),
+                format!(
+                    "`{qa}` {} [0x{:08x}, 0x{:08x}] while `{qb}` {} [0x{:08x}, 0x{:08x}] at {} \
+                     (0x{:04x}); no token dependency or PE orders the firings",
+                    verb(x.write),
+                    x.lo,
+                    x.hi,
+                    verb(y.write),
+                    y.lo,
+                    y.hi,
+                    describe_pc(lines, y.pc),
+                    y.pc
+                ),
+            );
+            if let Some(sp) = span_at(lines, x.pc) {
+                fi = fi.with_span(sp);
+            }
+            findings.push(fi);
+            let (lo, hi) = if a.id.0 <= b.id.0 {
+                (a.id.0, b.id.0)
+            } else {
+                (b.id.0, a.id.0)
+            };
+            pairs.insert((lo, hi));
+        }
+    }
+
+    // RACE402: raw kernel accesses into a DMA-managed boundary FIFO window.
+    for l in graph
+        .links
+        .iter()
+        .filter(|l| l.class == LinkClass::DmaControl)
+    {
+        let words = l.capacity * types.size_words(graph.conn(l.from).ty);
+        if words == 0 {
+            continue;
+        }
+        let (win_lo, win_hi) = (l.fifo_base, l.fifo_base + words - 1);
+        let (fa, ta) = graph.link_ends(l.id);
+        let fabric_end = [fa, ta]
+            .into_iter()
+            .find(|&x| graph.actor(x).kind != ActorKind::Module);
+        for a in actors {
+            let Some(x) = a.accesses.iter().find(|x| x.overlaps(win_lo, win_hi)) else {
+                continue;
+            };
+            let qa = graph.qualified_name(a.id);
+            let mut fi = Finding::new(
+                rules::DMA_WINDOW_OVERLAP,
+                Severity::Error,
+                format!("{qa} <-> dma"),
+                format!(
+                    "raw {} of [0x{:08x}, 0x{:08x}] overlaps the DMA transfer window \
+                     [0x{win_lo:08x}, 0x{win_hi:08x}] of link `{}`; host DMA is not ordered \
+                     with this firing",
+                    if x.write { "store" } else { "load" },
+                    x.lo,
+                    x.hi,
+                    graph.link_label(l.id)
+                ),
+            );
+            if let Some(sp) = span_at(lines, x.pc) {
+                fi = fi.with_span(sp);
+            }
+            findings.push(fi);
+            if let Some(other) = fabric_end {
+                let (lo, hi) = if a.id.0 <= other.0 {
+                    (a.id.0, other.0)
+                } else {
+                    (other.0, a.id.0)
+                };
+                pairs.insert((lo, hi));
+            }
+        }
+    }
+    (findings, pairs.into_iter().collect())
+}

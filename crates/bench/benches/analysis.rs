@@ -1,12 +1,16 @@
-//! B5: static analyzer throughput.
+//! B5: static analyzer throughput. B6: bytecode verifier throughput.
 //!
-//! The analyzer runs on every `analyze` command and (via the example
-//! workflows) on attach, so its cost must stay negligible next to the
-//! simulation it guards. Timed per decoder variant: the clean graph (all
-//! checks pass), the rate-mismatch and the deadlock variants (balance
-//! system fails, paint sets populated).
+//! Both analyzers run on every `analyze` command and (via the example
+//! workflows) on attach, so their cost must stay negligible next to the
+//! simulation they guard. B5 times the dataflow analyzer per decoder
+//! variant: the clean graph (all checks pass), the rate-mismatch and the
+//! deadlock variants (balance system fails, paint sets populated). B6
+//! times the full `bcv::verify` pass — CFG construction, stack-depth
+//! verification, interval abstract interpretation of every function and
+//! the happens-before race analysis — over the clean graph and the three
+//! seeded memory/race bugs.
 
-use bench::analysis::decoder_input;
+use bench::analysis::{bcv_decoder_input, decoder_input};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use h264_pipeline::Bug;
 
@@ -29,5 +33,23 @@ fn bench_analyze(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_analyze);
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bytecode_verifier");
+    for bug in [
+        Bug::None,
+        Bug::OobStore,
+        Bug::SharedScratch,
+        Bug::DmaOverlap,
+    ] {
+        let input = bcv_decoder_input(bug);
+        g.bench_with_input(
+            BenchmarkId::new("verify", format!("{bug:?}")),
+            &input,
+            |b, input| b.iter(|| bcv::verify(input)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyze, bench_verify);
 criterion_main!(benches);

@@ -34,6 +34,57 @@ pub fn decoder_input(bug: Bug) -> (AnalysisInput, debuginfo::LineTable) {
     (input, app.info.lines)
 }
 
+/// Build the `bug` decoder variant and return the bytecode-verifier input
+/// (linked image + elaborated platform).
+pub fn bcv_decoder_input(bug: Bug) -> bcv::AnalysisInput {
+    let (_sys, app) = build_decoder(bug, 4, PlatformConfig::default()).expect("build");
+    bcv::AnalysisInput::from_app(&app)
+}
+
+#[derive(Debug)]
+pub struct VerifyResult {
+    pub bug: Bug,
+    /// Wall time of one full `bcv::verify` pass (build excluded).
+    pub wall: Duration,
+    pub functions: usize,
+    pub findings: usize,
+    pub errors: usize,
+    pub race_pairs: usize,
+    /// Rule ids hit, deduplicated, in id order.
+    pub rules_hit: Vec<&'static str>,
+}
+
+/// Time one full bytecode-verification pass (CFG + stack depths + interval
+/// abstract interpretation + happens-before race analysis) of the `bug`
+/// decoder variant, keeping the best of `reps` runs.
+pub fn verify_decoder(bug: Bug, reps: u32) -> VerifyResult {
+    let input = bcv_decoder_input(bug);
+    let mut best = Duration::MAX;
+    let mut report = bcv::Report::default();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = bcv::verify(&input);
+        best = best.min(t0.elapsed());
+        report = r;
+    }
+    let mut rules_hit: Vec<&'static str> = report.findings.iter().map(|f| f.rule).collect();
+    rules_hit.sort_unstable();
+    rules_hit.dedup();
+    VerifyResult {
+        bug,
+        wall: best,
+        functions: input.program.funcs.len(),
+        findings: report.findings.len(),
+        errors: report
+            .findings
+            .iter()
+            .filter(|f| f.severity == dfa::Severity::Error)
+            .count(),
+        race_pairs: report.race_pairs.len(),
+        rules_hit,
+    }
+}
+
 /// Time one full analysis of the `bug` decoder variant. The run is
 /// repeated `reps` times and the best wall time kept (the analyzer is
 /// sub-millisecond, so a single sample is mostly allocator noise).

@@ -5,7 +5,7 @@
 //! cargo run --release -p bench --bin report
 //! ```
 
-use bench::{analyze_decoder, localization, run_overhead, scaling, DebugConfig};
+use bench::{analyze_decoder, localization, run_overhead, scaling, verify_decoder, DebugConfig};
 use h264_pipeline::Bug;
 
 fn main() {
@@ -136,5 +136,43 @@ fn main() {
          bugs are\nflagged statically (DFA003), and a full pass costs \
          about a millisecond —\northogonal to, and vastly cheaper than, \
          the dynamic runs above."
+    );
+
+    println!();
+    println!("=====================================================================");
+    println!("E5  Bytecode verifier: memory-safety and race analysis cost");
+    println!("=====================================================================");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>7} {:>6}  rules",
+        "variant", "wall", "functions", "findings", "errors", "races"
+    );
+    for bug in [
+        Bug::None,
+        Bug::OobStore,
+        Bug::SharedScratch,
+        Bug::DmaOverlap,
+    ] {
+        let r = verify_decoder(bug, 5);
+        println!(
+            "{:<14} {:>8.2}ms {:>10} {:>9} {:>7} {:>6}  {}",
+            format!("{bug:?}"),
+            r.wall.as_secs_f64() * 1e3,
+            r.functions,
+            r.findings,
+            r.errors,
+            r.race_pairs,
+            if r.rules_hit.is_empty() {
+                "-".to_string()
+            } else {
+                r.rules_hit.join(",")
+            },
+        );
+    }
+    println!(
+        "\nShape check: the clean image verifies clean; the out-of-bounds \
+         store,\nthe unsynchronised shared scratch and the DMA-window \
+         overlap are each\ncaught before the first instruction executes, \
+         for about a millisecond\nper full pass — the static half of the \
+         watchpoint sessions in E2."
     );
 }

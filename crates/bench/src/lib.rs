@@ -14,15 +14,16 @@
 //! * [`scaling`] — experiment E3: event-capture hot-path scaling
 //!   (per-event cost vs. installed catchpoints; bounded token storms).
 
-//! * [`analysis`] — experiment E4: static analyzer cost and coverage over
-//!   the decoder variants (the static half of static-vs-dynamic).
+//! * [`analysis`] — experiments E4/E5: static analyzer and bytecode
+//!   verifier cost and coverage over the decoder variants (the static
+//!   half of static-vs-dynamic).
 
 pub mod analysis;
 pub mod localization;
 pub mod overhead;
 pub mod scaling;
 
-pub use analysis::{analyze_decoder, AnalysisResult};
+pub use analysis::{analyze_decoder, verify_decoder, AnalysisResult, VerifyResult};
 pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
 pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};

@@ -198,7 +198,11 @@ fn dataflow_aware(bug: Bug) -> (u32, String, bool) {
                 None => (n, "no starved filter".into(), false),
             }
         }
-        Bug::None => (0, "nothing to find".into(), false),
+        // The memory/race bugs are static-analysis targets (see `bcv`), not
+        // interactive-localization subjects.
+        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap => {
+            (0, "nothing to find".into(), false)
+        }
     }
 }
 
@@ -341,7 +345,9 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
                 None => (n, "no blocked thread found".into(), false),
             }
         }
-        Bug::None => (0, "nothing to find".into(), false),
+        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap => {
+            (0, "nothing to find".into(), false)
+        }
     }
 }
 

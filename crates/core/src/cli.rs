@@ -186,13 +186,14 @@ impl Cli {
                 [] => self.session.analyze(false),
                 ["rules"] => {
                     let mut out = String::new();
-                    for (id, summary) in dfa::rules::ALL {
+                    for (id, summary) in dfa::rules::ALL.iter().chain(bcv::rules::ALL) {
                         out.push_str(&format!("{id}  {summary}\n"));
                     }
                     Ok(out)
                 }
+                ["--json"] => self.session.analyze_json(),
                 ["--deny", "warnings"] => self.session.analyze(true),
-                _ => Err("usage: analyze [rules | --deny warnings]".into()),
+                _ => Err("usage: analyze [rules | --json | --deny warnings]".into()),
             },
             "info" => match rest.first().copied() {
                 Some("filters") => Ok(self.session.info_filters()),

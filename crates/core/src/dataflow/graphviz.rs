@@ -16,13 +16,16 @@ use super::model::DfModel;
 
 /// Static-analysis paint for the DOT rendering: **red** marks members of a
 /// structurally deadlocked cycle, **yellow** marks endpoints of
-/// rate-inconsistent links. Red wins where both apply.
+/// rate-inconsistent links. Red wins where both apply. `race_pairs` draws
+/// an extra dashed red edge between each pair of actors the bytecode
+/// verifier found racing on shared memory.
 #[derive(Debug, Clone, Default)]
 pub struct DotAnnotations {
     pub red_actors: HashSet<u32>,
     pub red_links: HashSet<u32>,
     pub yellow_actors: HashSet<u32>,
     pub yellow_links: HashSet<u32>,
+    pub race_pairs: Vec<(u32, u32)>,
 }
 
 /// Derive the DOT paint from a static-analysis report.
@@ -32,6 +35,7 @@ pub fn annotations_from(report: &dfa::Report) -> DotAnnotations {
         red_links: report.deadlock_links.iter().copied().collect(),
         yellow_actors: report.rate_actors.iter().copied().collect(),
         yellow_links: report.rate_links.iter().copied().collect(),
+        race_pairs: Vec::new(),
     }
 }
 
@@ -153,6 +157,17 @@ pub fn to_dot_annotated(model: &DfModel, ann: Option<&DotAnnotations>) -> String
             None => String::new(),
         };
         let _ = writeln!(out, "  {from} -> {to} [style={style}{label}{paint}];");
+    }
+    // Race pairs from the bytecode verifier: an undirected dashed red edge
+    // between the two actors whose firings may interleave on shared memory.
+    if let Some(ann) = ann {
+        for &(a, b) in &ann.race_pairs {
+            let _ = writeln!(
+                out,
+                "  a{a} -> a{b} [dir=none style=dashed color=red \
+                 constraint=false label=\"race\" fontcolor=red];"
+            );
+        }
     }
     out.push_str("}\n");
     out
@@ -305,6 +320,22 @@ mod tests {
         assert!(dot.contains("color=red penwidth=2"), "{dot}");
         // Unannotated rendering is unchanged.
         assert!(!to_dot(&m).contains("penwidth"));
+    }
+
+    #[test]
+    fn race_pairs_render_as_dashed_red_edges() {
+        let m = tiny_model();
+        let ann = DotAnnotations {
+            race_pairs: vec![(2, 3)],
+            ..Default::default()
+        };
+        let dot = to_dot_annotated(&m, Some(&ann));
+        assert!(
+            dot.contains("a2 -> a3 [dir=none style=dashed color=red"),
+            "{dot}"
+        );
+        // No race paint without annotations.
+        assert!(!to_dot(&m).contains("label=\"race\""));
     }
 
     #[test]

@@ -132,6 +132,12 @@ pub struct Session {
     /// Result of the most recent `analyze`, consumed by `graph dot` to
     /// paint deadlocked (red) and rate-inconsistent (yellow) elements.
     pub last_analysis: Option<dfa::Report>,
+    /// Bytecode-verifier input (linked image + platform map), loaded via
+    /// [`Session::load_bcv_input`]; `analyze` runs it alongside `dfa`.
+    bcv_input: Option<bcv::AnalysisInput>,
+    /// Result of the most recent bytecode verification, consumed by
+    /// `graph dot` to draw race pairs as dashed red edges.
+    pub last_bcv: Option<bcv::Report>,
 }
 
 impl Session {
@@ -165,6 +171,8 @@ impl Session {
             value_history: Vec::new(),
             analysis: None,
             last_analysis: None,
+            bcv_input: None,
+            last_bcv: None,
         }
     }
 
@@ -175,6 +183,14 @@ impl Session {
         self.analysis = Some(input);
     }
 
+    /// Supply the bytecode verifier's input (built with
+    /// `bcv::AnalysisInput::from_app`). Once loaded, `analyze` also runs
+    /// the image verification and race analysis, merging its findings
+    /// into the same table.
+    pub fn load_bcv_input(&mut self, input: bcv::AnalysisInput) {
+        self.bcv_input = Some(input);
+    }
+
     /// `analyze [--deny warnings]` — run the static dataflow analyzer over
     /// the elaborated application, without executing an instruction.
     /// Findings come back as a table with rule ids and source spans
@@ -183,15 +199,9 @@ impl Session {
     /// `deny_warnings`, a report whose worst finding is Warning or Error
     /// returns `Err` (the table is the error text) for CI-style gating.
     pub fn analyze(&mut self, deny_warnings: bool) -> CmdResult<String> {
-        let input = self
-            .analysis
-            .as_ref()
-            .ok_or("no analysis input loaded (build one with dfa::AnalysisInput::from_app and call load_analysis)")?;
-        let mut report = dfa::analyze(input);
-        report.resolve_spans(&self.info.lines);
-        let table = report.table();
-        let worst = report.worst();
-        self.last_analysis = Some(report);
+        let findings = self.run_analyzers()?;
+        let table = debuginfo::render_findings(&findings);
+        let worst = findings.iter().map(|f| f.severity).max();
         let deny_hit = deny_warnings && worst >= Some(dfa::Severity::Warning);
         if deny_hit {
             Err(format!(
@@ -200,6 +210,34 @@ impl Session {
         } else {
             Ok(table)
         }
+    }
+
+    /// `analyze --json` — same findings as [`Session::analyze`], rendered
+    /// machine-readable (stable field names, deterministic order).
+    pub fn analyze_json(&mut self) -> CmdResult<String> {
+        let findings = self.run_analyzers()?;
+        Ok(debuginfo::render_findings_json(&findings))
+    }
+
+    /// Run the dataflow analyzer and (when its input is loaded) the
+    /// bytecode verifier, remember both reports for `graph dot`, and
+    /// return the merged, deterministically ordered findings.
+    fn run_analyzers(&mut self) -> CmdResult<Vec<dfa::Finding>> {
+        let input = self
+            .analysis
+            .as_ref()
+            .ok_or("no analysis input loaded (build one with dfa::AnalysisInput::from_app and call load_analysis)")?;
+        let mut report = dfa::analyze(input);
+        report.resolve_spans(&self.info.lines);
+        let mut findings = report.findings.clone();
+        self.last_analysis = Some(report);
+        if let Some(bi) = &self.bcv_input {
+            let br = bcv::verify(bi);
+            findings.extend(br.findings.iter().cloned());
+            self.last_bcv = Some(br);
+        }
+        debuginfo::sort_and_dedup_findings(&mut findings);
+        Ok(findings)
     }
 
     /// Switch to the framework-cooperation ablation (§V's second option):
@@ -1286,10 +1324,18 @@ impl Session {
     // ---- displays --------------------------------------------------------------
 
     /// The application graph as Graphviz DOT (Figs. 2 and 4). When an
-    /// `analyze` report exists, deadlocked cycles render red and
-    /// rate-inconsistent endpoints yellow.
+    /// `analyze` report exists, deadlocked cycles render red,
+    /// rate-inconsistent endpoints yellow, and statically detected race
+    /// pairs as dashed red edges between the offending actors.
     pub fn graph_dot(&self) -> String {
-        let ann = self.last_analysis.as_ref().map(graphviz::annotations_from);
+        let mut ann = self.last_analysis.as_ref().map(graphviz::annotations_from);
+        if let Some(b) = &self.last_bcv {
+            if !b.race_pairs.is_empty() {
+                ann.get_or_insert_with(Default::default)
+                    .race_pairs
+                    .extend(b.race_pairs.iter().copied());
+            }
+        }
         graphviz::to_dot_annotated(&self.model, ann.as_ref())
     }
 

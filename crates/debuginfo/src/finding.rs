@@ -131,6 +131,123 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Canonical deterministic ordering for every analysis pass: most severe
+/// first, then (rule, subject, file, line, col, address, message). Exact
+/// duplicates are removed, so repeated runs render byte-identical output.
+pub fn sort_and_dedup_findings(findings: &mut Vec<Finding>) {
+    fn key(
+        f: &Finding,
+    ) -> (
+        std::cmp::Reverse<Severity>,
+        &str,
+        &str,
+        &str,
+        u32,
+        u32,
+        u64,
+        &str,
+    ) {
+        let (file, line, col, addr) = match &f.span {
+            Some(s) => (
+                s.file.as_str(),
+                s.line,
+                s.col,
+                s.addr.map_or(u64::MAX, u64::from),
+            ),
+            None => ("", 0, 0, u64::MAX),
+        };
+        (
+            std::cmp::Reverse(f.severity),
+            f.rule,
+            f.subject.as_str(),
+            file,
+            line,
+            col,
+            addr,
+            f.message.as_str(),
+        )
+    }
+    findings.sort_by(|a, b| key(a).cmp(&key(b)));
+    findings.dedup();
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as machine-readable JSON with stable field names,
+/// sorted by rule id then resolved code address (then the remaining span
+/// coordinates), so CI runs diff byte-for-byte.
+pub fn render_findings_json(findings: &[Finding]) -> String {
+    use std::fmt::Write as _;
+    let mut fs: Vec<&Finding> = findings.iter().collect();
+    fs.sort_by_key(|f| {
+        let (file, line, col, addr) = match &f.span {
+            Some(s) => (
+                s.file.clone(),
+                s.line,
+                s.col,
+                s.addr.map_or(u64::MAX, u64::from),
+            ),
+            None => (String::new(), 0, 0, u64::MAX),
+        };
+        (f.rule, addr, file, line, col, f.subject.clone())
+    });
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in fs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        let _ = write!(
+            out,
+            "{{\"rule\": \"{}\", \"severity\": \"{}\", \"subject\": \"{}\", \"message\": \"{}\"",
+            json_escape(f.rule),
+            f.severity.label(),
+            json_escape(&f.subject),
+            json_escape(&f.message),
+        );
+        match &f.span {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"addr\": ",
+                    json_escape(&s.file),
+                    s.line,
+                    s.col
+                );
+                match s.addr {
+                    Some(a) => {
+                        let _ = write!(out, "{a}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            None => {
+                out.push_str(", \"file\": null, \"line\": null, \"col\": null, \"addr\": null");
+            }
+        }
+        out.push('}');
+    }
+    if !fs.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 /// Render findings as an aligned table with a severity tally footer.
 pub fn render_findings(findings: &[Finding]) -> String {
     use std::fmt::Write as _;

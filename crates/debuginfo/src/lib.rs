@@ -28,7 +28,9 @@ pub mod symbols;
 pub mod types;
 pub mod value;
 
-pub use finding::{render_findings, Finding, Severity, Span};
+pub use finding::{
+    render_findings, render_findings_json, sort_and_dedup_findings, Finding, Severity, Span,
+};
 pub use lines::{FileId, LineEntry, LineTable, SourceFile};
 pub use symbols::{ParamInfo, Symbol, SymbolId, SymbolKind, SymbolTable};
 pub use types::{ScalarType, TypeDef, TypeId, TypeTable};

@@ -451,6 +451,12 @@ impl<'a> Interp<'a> {
                 Iv::top()
             }
             PedfExpr::Data(_) | PedfExpr::Attr(_) => Iv::top(),
+            PedfExpr::Mem(addr) => {
+                // Raw memory contents are opaque here; the bytecode-level
+                // verifier (`bcv`) classifies the address itself.
+                self.eval(addr, st);
+                Iv::top()
+            }
             PedfExpr::Available(_) | PedfExpr::Space(_) => Iv::top(),
             PedfExpr::Run => Iv::boolean(),
             PedfExpr::Print(e) => {
@@ -599,6 +605,10 @@ impl<'a> Interp<'a> {
                         self.io_access(conn, idx, true, st);
                     }
                     LValue::Data(_) | LValue::Attr(_) => {
+                        self.eval(value, st);
+                    }
+                    LValue::Mem(addr) => {
+                        self.eval(addr, st);
                         self.eval(value, st);
                     }
                 }

@@ -183,16 +183,7 @@ pub fn analyze(input: &AnalysisInput) -> Report {
     }
     let ga = analyze_graph(&input.graph, &reports);
     findings.extend(ga.findings);
-    findings.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
-            .then_with(|| a.rule.cmp(b.rule))
-            .then_with(|| a.subject.cmp(&b.subject))
-            .then_with(|| {
-                let line = |f: &Finding| f.span.as_ref().map_or(0, |s| s.line);
-                line(a).cmp(&line(b))
-            })
-    });
+    debuginfo::sort_and_dedup_findings(&mut findings);
     Report {
         findings,
         deadlock_actors: ga.deadlock_actors,

@@ -34,6 +34,16 @@ pub enum Bug {
     /// `red` produces one per step — the application deadlocks (§III's
     /// motivation for token injection).
     Deadlock,
+    /// Memory bug: `hwcfg` stores through a raw pointer into the unbacked
+    /// hole just past its cluster's L1 bank (bcv: MEM302; at runtime the
+    /// PE faults on the unmapped address).
+    OobStore,
+    /// Race bug: `hwcfg` writes a "scratch" L2 word that `bh` reads, with
+    /// no token dependency ordering their firings (bcv: RACE401).
+    SharedScratch,
+    /// DMA bug: `mc` pokes a word inside a host-boundary FIFO window that
+    /// the DMA engine copies asynchronously (bcv: RACE402).
+    DmaOverlap,
 }
 
 /// Architecture description (shared by every variant; behaviour bugs live
@@ -220,23 +230,46 @@ void work() {
 }
 ";
 
-const HWCFG: &str = "\
-void work() {
-    U32 c = pedf.io.cfg_in[0];
+fn hwcfg_src(bug: Bug) -> String {
+    let extra = match bug {
+        // Memory bug: one word past the cluster-0 L1 bank (16Ki words at
+        // 0x10000000) — a statically provable unbacked-hole store.
+        Bug::OobStore => "\n    pedf.mem[0x10004000] = c;",
+        // Race bug: publish the config word through a raw L2 scratch word
+        // instead of a FIFO; nothing orders `bh` against this store.
+        Bug::SharedScratch => "\n    pedf.mem[0x2000F000] = c;",
+        _ => "",
+    };
+    format!(
+        "\
+void work() {{
+    U32 c = pedf.io.cfg_in[0];{extra}
     // MB types cycle 5, 10, 15 (the values recorded in the paper's
     // `iface hwcfg::pipe_MbType_out print` transcript).
     pedf.io.pipe_MbType_out[0] = (c % 3 + 1) * 5;
     pedf.io.ipred_cfg_out[0] = c & 7;
     pedf.data.cfg_count = pedf.data.cfg_count + 1;
+}}
+"
+    )
 }
-";
 
-const BH: &str = "\
-void work() {
+fn bh_src(bug: Bug) -> String {
+    let mask = if bug == Bug::SharedScratch {
+        // Race bug (consumer side): read hwcfg's scratch word raw.
+        "pedf.mem[0x2000F000]"
+    } else {
+        "0x5A5A"
+    };
+    format!(
+        "\
+void work() {{
     // Bitstream unmasking: the entropy-decoding stand-in.
-    pedf.io.red_out[0] = pedf.io.bits_in[0] ^ 0x5A5A;
+    pedf.io.red_out[0] = pedf.io.bits_in[0] ^ {mask};
+}}
+"
+    )
 }
-";
 
 /// The `pipe` kernel. Outputs are pushed *before* the pred-side results
 /// are consumed: the in-step feedback (pipe -> ipred/ipf -> mc -> pipe)
@@ -337,21 +370,32 @@ void work() {
 }
 ";
 
-const MC: &str = "\
-void work() {
+fn mc_src(bug: Bug) -> String {
+    let extra = if bug == Bug::DmaOverlap {
+        // DMA bug: 0x30000010 sits inside the first host-boundary FIFO
+        // window in L3, which the DMA engine fills asynchronously.
+        "\n    pedf.mem[0x30000010] = r;"
+    } else {
+        ""
+    };
+    format!(
+        "\
+void work() {{
     U32 r = pedf.io.red_in[0];
-    U32 f = pedf.io.ipf_in[0];
+    U32 f = pedf.io.ipf_in[0];{extra}
     pedf.io.mc_out[0] = r * 3 + f;
+}}
+"
+    )
 }
-";
 
 /// Kernel sources for a decoder variant.
 pub fn decoder_sources(bug: Bug) -> SourceRegistry {
     let mut s = SourceRegistry::new();
     s.add("front_ctrl.c", FRONT_CTRL);
     s.add("pred_ctrl.c", PRED_CTRL);
-    s.add("hwcfg.c", HWCFG);
-    s.add("bh.c", BH);
+    s.add("hwcfg.c", &hwcfg_src(bug));
+    s.add("bh.c", &bh_src(bug));
     s.add("pipe.c", &pipe_src(bug));
     s.add("red.c", &red_src(bug));
     s.add(
@@ -363,6 +407,6 @@ pub fn decoder_sources(bug: Bug) -> SourceRegistry {
         },
     );
     s.add("ipf.c", IPF);
-    s.add("mc.c", MC);
+    s.add("mc.c", &mc_src(bug));
     s
 }

@@ -114,6 +114,8 @@ pub enum LValue {
     Data(String),
     /// `pedf.attribute.name = ...` — filter attribute.
     Attr(String),
+    /// `pedf.mem[addr] = ...` — raw shared-memory store.
+    Mem(Box<Expr>),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +173,8 @@ pub enum PedfExpr {
     Data(String),
     /// `pedf.attribute.name` read.
     Attr(String),
+    /// `pedf.mem[addr]` — raw shared-memory load.
+    Mem(Box<Expr>),
     /// `pedf.available(conn)` — tokens queued on the connection's link.
     Available(String),
     /// `pedf.space(conn)` — free slots on the connection's link.

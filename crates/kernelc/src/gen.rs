@@ -536,6 +536,13 @@ impl<'a, 'b> Gen<'a, 'b> {
                 self.b.emit(Insn::StoreMem);
                 Ok(())
             }
+            LValue::Mem(addr) => {
+                // StoreMem pops value then address: push the address first.
+                self.expect_scalar(addr, line)?;
+                self.expect_scalar(value, line)?;
+                self.b.emit(Insn::StoreMem);
+                Ok(())
+            }
         }
     }
 
@@ -760,6 +767,11 @@ impl<'a, 'b> Gen<'a, 'b> {
                 self.b.emit(Insn::Const(addr));
                 self.b.emit(Insn::LoadMem);
                 Ok(self.vtype_of(ty))
+            }
+            PedfExpr::Mem(addr) => {
+                self.expect_scalar(addr, line)?;
+                self.b.emit(Insn::LoadMem);
+                Ok(VType::Scalar(ScalarType::U32))
             }
             PedfExpr::Available(conn) | PedfExpr::Space(conn) => {
                 let (cid, _, _) = self.conn(conn, line)?;

@@ -440,6 +440,19 @@ void work() { }";
     }
 
     #[test]
+    fn raw_memory_access_round_trips() {
+        // pedf.mem[addr] stores then loads through the shared memory; the
+        // address expression is arbitrary (not a compile-time constant).
+        let src = "\
+U32 f(U32 v) {
+    U32 base = 0x20000008;
+    pedf.mem[base + 1] = v * 3;
+    return pedf.mem[base + 1] + 1;
+}";
+        assert_eq!(run_fn(src, "f", &[5]), 16);
+    }
+
+    #[test]
     fn line_table_marks_statements() {
         let mut b = ProgramBuilder::new();
         let mut di = DebugInfoBuilder::new();

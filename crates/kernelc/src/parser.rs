@@ -306,6 +306,7 @@ impl<'a> Parser<'a> {
             Expr::Pedf(PedfExpr::IoRead { conn, index }) => Ok(LValue::Io { conn, index }),
             Expr::Pedf(PedfExpr::Data(n)) => Ok(LValue::Data(n)),
             Expr::Pedf(PedfExpr::Attr(n)) => Ok(LValue::Attr(n)),
+            Expr::Pedf(PedfExpr::Mem(addr)) => Ok(LValue::Mem(addr)),
             _ => Err(CompileError {
                 line,
                 col: 0,
@@ -526,6 +527,12 @@ impl<'a> Parser<'a> {
             "attribute" => {
                 self.expect(Tok::Dot)?;
                 PedfExpr::Attr(self.ident()?)
+            }
+            "mem" => {
+                self.expect(Tok::LBracket)?;
+                let addr = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                PedfExpr::Mem(Box::new(addr))
             }
             "available" | "space" | "start" | "sync" | "fire" => {
                 self.expect(Tok::LParen)?;

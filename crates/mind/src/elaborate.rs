@@ -28,7 +28,7 @@ use debuginfo::{mangle, CodeAddr, DebugInfo, DebugInfoBuilder, SymbolKind, TypeI
 use kernelc::{CompileEnv, KernelOwner};
 use p2012::{
     memory::{L2_BASE, L3_BASE},
-    Insn, PeClass, PeId, Platform, PlatformConfig, ProgramBuilder,
+    Insn, MemoryMap, PeClass, PeId, Platform, PlatformConfig, Program, ProgramBuilder,
 };
 use pedf::{
     api, ActorId, ActorKind, AppGraph, ConnId, Dir, LinkClass, Runtime, StringPool, System,
@@ -102,6 +102,14 @@ pub struct CompiledApp {
     /// controllers; modules have none). Consumed by the static analyzer
     /// to re-parse kernels and attribute findings to files.
     pub kernel_files: HashMap<ActorId, String>,
+    /// The linked bytecode image, identical to what the platform runs.
+    /// Consumed by the bytecode verifier (`bcv`).
+    pub program: Program,
+    /// PE → cluster placement (every PE the platform exposes, including
+    /// the host pseudo-cluster `u16::MAX`).
+    pub pe_clusters: Vec<(PeId, u16)>,
+    /// The elaborated memory layout the image was linked against.
+    pub mem_map: MemoryMap,
 }
 
 impl CompiledApp {
@@ -951,7 +959,13 @@ pub fn build(
     // 12. Assemble.
     let program = b.finish();
     let info = di.finish();
-    platform.load(program);
+    let pe_clusters = platform
+        .infos
+        .iter()
+        .map(|i| (i.id, i.cluster))
+        .collect::<Vec<_>>();
+    let mem_map = platform.mem.map().clone();
+    platform.load(program.clone());
     pool_s
         .install(&mut platform.mem)
         .map_err(|e| BuildError { msg: e })?;
@@ -966,6 +980,9 @@ pub fn build(
         boundary_out,
         data_addrs,
         kernel_files,
+        program,
+        pe_clusters,
+        mem_map,
     };
     Ok((system, app))
 }

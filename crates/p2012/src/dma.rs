@@ -195,6 +195,71 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_transfer_is_done_after_one_step() {
+        // Pinned behavior: a zero-length request is accepted, copies
+        // nothing, and completes on the first step (copied == len == 0).
+        let mut mem = Memory::new(MemoryMap::default());
+        let mut dma = DmaEngine::new(4);
+        let id = dma.submit(DmaRequest {
+            src: L3_BASE,
+            dst: L2_BASE,
+            len: 0,
+        });
+        assert_eq!(dma.status(id), DmaStatus::InFlight { remaining: 0 });
+        assert_eq!(dma.in_flight(), 1);
+        dma.step(&mut mem);
+        assert_eq!(dma.status(id), DmaStatus::Done);
+        assert_eq!(dma.words_copied, 0);
+    }
+
+    #[test]
+    fn overlapping_src_dst_copies_sequentially() {
+        // Pinned behavior: words move one at a time in ascending order, so
+        // a forward-overlapping copy (dst = src + 1) propagates the first
+        // word through the whole destination window — memmove semantics
+        // are NOT provided.
+        let mut mem = Memory::new(MemoryMap::default());
+        for i in 0..4 {
+            mem.poke(L2_BASE + i, 10 + i).unwrap();
+        }
+        let mut dma = DmaEngine::new(8);
+        let id = dma.submit(DmaRequest {
+            src: L2_BASE,
+            dst: L2_BASE + 1,
+            len: 3,
+        });
+        dma.step(&mut mem);
+        assert_eq!(dma.status(id), DmaStatus::Done);
+        // [10, 11, 12, 13] -> [10, 10, 10, 10]: each copied word is the
+        // one the previous iteration just wrote.
+        for i in 0..4 {
+            assert_eq!(mem.peek(L2_BASE + i).unwrap(), 10);
+        }
+    }
+
+    #[test]
+    fn retire_of_unknown_id_is_a_noop() {
+        // Pinned behavior: retiring an id that was never submitted (or was
+        // already retired) does nothing and disturbs no live transfer.
+        let mut mem = Memory::new(MemoryMap::default());
+        let mut dma = DmaEngine::new(1);
+        let live = dma.submit(DmaRequest {
+            src: L3_BASE,
+            dst: L2_BASE,
+            len: 2,
+        });
+        dma.retire(live + 99);
+        assert_eq!(dma.status(live + 99), DmaStatus::Unknown);
+        assert_eq!(dma.in_flight(), 1);
+        // An in-flight transfer survives even a retire of its own id.
+        dma.retire(live);
+        assert!(matches!(dma.status(live), DmaStatus::InFlight { .. }));
+        dma.step(&mut mem);
+        dma.step(&mut mem);
+        assert_eq!(dma.status(live), DmaStatus::Done);
+    }
+
+    #[test]
     fn several_concurrent_transfers() {
         let mut mem = Memory::new(MemoryMap::default());
         let mut dma = DmaEngine::new(1);

@@ -33,6 +33,8 @@ pub use isa::{Insn, Program, ProgramBuilder};
 pub use memory::{MemError, Memory, MemoryMap, Region, WatchHit, WatchKind};
 pub use platform::{ClusterId, CycleReport, PeClass, PeId, Platform, PlatformConfig};
 pub use trap::{NullHandler, TrapCtx, TrapHandler, TrapResult};
-pub use vm::{BlockReason, Frame, PeState, PeStatus, StepEvent, VmFault};
+pub use vm::{
+    BlockReason, Frame, PeState, PeStatus, StepEvent, VmFault, MAX_CALL_DEPTH, MAX_OPERAND_STACK,
+};
 
 pub use debuginfo::{CodeAddr, Word};

@@ -19,6 +19,16 @@ use debuginfo::{CodeAddr, Word};
 use crate::isa::{Insn, Program};
 use crate::memory::{MemError, Memory};
 
+/// Maximum call-frame depth per PE. A `Call` that would exceed this faults
+/// with [`VmFault::CallDepthExceeded`]; the static verifier (`bcv`) bounds
+/// worst-case depth against the same constant (BCV205).
+pub const MAX_CALL_DEPTH: usize = 64;
+
+/// Nominal per-frame operand-stack budget. The interpreter itself grows
+/// stacks on demand; the static verifier flags functions whose worst-case
+/// operand depth exceeds this bound (BCV202).
+pub const MAX_OPERAND_STACK: usize = 256;
+
 /// Why a PE is blocked inside the runtime. Worded from the dataflow
 /// perspective because the debugger surfaces these verbatim
 /// (`state: blocked, waiting for input tokens on <link>`).
@@ -74,6 +84,8 @@ pub enum VmFault {
     MalformedFunction {
         pc: CodeAddr,
     },
+    /// A `Call` would push past [`MAX_CALL_DEPTH`] frames.
+    CallDepthExceeded,
     /// The runtime system rejected a trap (protocol violation).
     Runtime(&'static str),
 }
@@ -90,6 +102,9 @@ impl std::fmt::Display for VmFault {
             VmFault::Mem(e) => write!(f, "memory fault: {e}"),
             VmFault::MalformedFunction { pc } => {
                 write!(f, "malformed function at 0x{pc:04x}")
+            }
+            VmFault::CallDepthExceeded => {
+                write!(f, "call depth exceeds {MAX_CALL_DEPTH} frames")
             }
             VmFault::Runtime(msg) => write!(f, "runtime fault: {msg}"),
         }
@@ -458,6 +473,9 @@ impl PeState {
                 }
             }
             Insn::Call { addr, argc } => {
+                if self.frames.len() >= MAX_CALL_DEPTH {
+                    return self.fault(VmFault::CallDepthExceeded);
+                }
                 let from = self.pc;
                 let f = frame!();
                 let n = f.stack.len();
@@ -697,10 +715,29 @@ mod tests {
             VmFault::BadPc { pc: 9 },
             VmFault::LocalOutOfRange { slot: 1 },
             VmFault::MalformedFunction { pc: 0 },
+            VmFault::CallDepthExceeded,
             VmFault::Runtime("x"),
         ] {
             assert!(!f.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn unbounded_recursion_faults_at_depth_limit() {
+        // f() { f(); } — no base case: the VM must fault instead of
+        // growing the frame stack forever.
+        let mut b = ProgramBuilder::new();
+        let entry = b.begin_func(0);
+        b.emit(Insn::Enter(0));
+        b.emit(Insn::Call {
+            addr: entry,
+            argc: 0,
+        });
+        b.emit(Insn::Ret { retc: 0 });
+        let prog = b.finish();
+        let (pe, _) = run_to_completion(&prog, entry, &[]);
+        assert_eq!(pe.status, PeStatus::Faulted(VmFault::CallDepthExceeded));
+        assert_eq!(pe.frames.len(), MAX_CALL_DEPTH);
     }
 
     #[test]

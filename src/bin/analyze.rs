@@ -1,37 +1,48 @@
-//! `analyze` — run the static dataflow analyzer over the H.264 case-study
-//! graphs from the command line, for CI gating and quick inspection.
+//! `analyze` — run the static analyzers (dataflow `dfa` + bytecode
+//! verifier `bcv`) over the H.264 case-study graphs from the command line,
+//! for CI gating and quick inspection.
 //!
 //! ```text
-//! analyze [clean|deadlock|rate] [--deny warnings] [--expect-findings]
+//! analyze [clean|deadlock|rate|oob|race|dma] [--deny warnings]
+//!         [--expect-findings] [--json]
 //! ```
 //!
 //! Exit status is non-zero when `--deny warnings` sees a finding at
 //! warning level or above, or when `--expect-findings` sees none — the
 //! two directions a CI gate needs (clean graphs must stay clean, known-bad
-//! graphs must stay detected).
+//! graphs must stay detected). `--json` replaces the human-readable output
+//! with machine-readable findings in a deterministic, byte-stable order.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dataflow_debugger::dfa;
 use dataflow_debugger::h264::{build_decoder, decoder_sources, Bug};
 use dataflow_debugger::p2012::PlatformConfig;
+use dataflow_debugger::{bcv, dfa};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut variant = Bug::None;
     let mut deny_warnings = false;
     let mut expect_findings = false;
+    let mut json = false;
     for a in &args {
         match a.as_str() {
             "clean" => variant = Bug::None,
             "deadlock" => variant = Bug::Deadlock,
             "rate" => variant = Bug::RateMismatch,
+            "oob" => variant = Bug::OobStore,
+            "race" => variant = Bug::SharedScratch,
+            "dma" => variant = Bug::DmaOverlap,
             "--deny" => {}
             "warnings" => deny_warnings = true,
             "--expect-findings" => expect_findings = true,
+            "--json" => json = true,
             other => {
-                eprintln!("usage: analyze [clean|deadlock|rate] [--deny warnings] [--expect-findings] (got `{other}`)");
+                eprintln!(
+                    "usage: analyze [clean|deadlock|rate|oob|race|dma] \
+                     [--deny warnings] [--expect-findings] [--json] (got `{other}`)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -46,28 +57,63 @@ fn main() -> ExitCode {
     };
     let sources = decoder_sources(variant);
     let input = dfa::AnalysisInput::from_app(&app, &sources);
+    let bcv_input = bcv::AnalysisInput::from_app(&app);
 
     let t0 = Instant::now();
     let mut report = dfa::analyze(&input);
-    let wall = t0.elapsed();
     report.resolve_spans(&app.info.lines);
+    let bcv_report = bcv::verify(&bcv_input);
+    let wall = t0.elapsed();
 
-    println!(
-        "analyzed {:?}: {} actors, {} links, {} kernels in {:.2?}",
-        variant,
-        input.graph.actors.len(),
-        input.graph.links.len(),
-        input.kernels.len(),
-        wall
-    );
-    print!("{}", report.table());
+    let mut findings = report.findings.clone();
+    findings.extend(bcv_report.findings.iter().cloned());
+    dataflow_debugger::debuginfo::sort_and_dedup_findings(&mut findings);
 
-    let worst = report.worst();
+    if json {
+        print!(
+            "{}",
+            dataflow_debugger::debuginfo::render_findings_json(&findings)
+        );
+    } else {
+        println!(
+            "analyzed {:?}: {} actors, {} links, {} kernels, {} functions in {:.2?}",
+            variant,
+            input.graph.actors.len(),
+            input.graph.links.len(),
+            input.kernels.len(),
+            bcv_input.program.funcs.len(),
+            wall
+        );
+        print!(
+            "{}",
+            dataflow_debugger::debuginfo::render_findings(&findings)
+        );
+        if !bcv_report.race_pairs.is_empty() {
+            let names: Vec<String> = bcv_report
+                .race_pairs
+                .iter()
+                .map(|&(a, b)| {
+                    format!(
+                        "{} <-> {}",
+                        input
+                            .graph
+                            .qualified_name(dataflow_debugger::pedf::ActorId(a)),
+                        input
+                            .graph
+                            .qualified_name(dataflow_debugger::pedf::ActorId(b))
+                    )
+                })
+                .collect();
+            println!("race pairs: {}", names.join(", "));
+        }
+    }
+
+    let worst = findings.iter().map(|f| f.severity).max();
     if deny_warnings && worst >= Some(dfa::Severity::Warning) {
         eprintln!("error: findings at or above warning level (denied)");
         return ExitCode::FAILURE;
     }
-    if expect_findings && report.findings.is_empty() {
+    if expect_findings && findings.is_empty() {
         eprintln!("error: expected findings, analyzer reported none");
         return ExitCode::FAILURE;
     }

@@ -4,7 +4,7 @@
 //! commands from stdin:
 //!
 //! ```text
-//! cargo run --bin dfdbg-repl [-- none|rate|value|deadlock [n_mbs]]
+//! cargo run --bin dfdbg-repl [-- none|rate|value|deadlock|oob|race|dma [n_mbs]]
 //! (gdb) filter pipe catch work
 //! (gdb) continue
 //! (gdb) info links
@@ -13,6 +13,7 @@
 
 use std::io::{BufRead, Write as _};
 
+use dataflow_debugger::bcv;
 use dataflow_debugger::dfa::AnalysisInput;
 use dataflow_debugger::dfdbg::cli::Cli;
 use dataflow_debugger::dfdbg::Session;
@@ -22,7 +23,7 @@ use dataflow_debugger::p2012::PlatformConfig;
 const HELP: &str = "\
 Dataflow commands:
   graph [dot]                         link occupancy / Graphviz DOT
-  analyze [rules | --deny warnings]   static analysis (paints `graph dot`)
+  analyze [rules|--json|--deny warnings]  static analysis (paints `graph dot`)
   info filters|links|platform|breakpoints|console
   filter <f> catch work               stop when <f>'s WORK fires
   filter <f> catch In1=1, In2=1       stop on received-token counts
@@ -49,8 +50,11 @@ fn main() {
         Some("rate") => Bug::RateMismatch,
         Some("value") => Bug::WrongValue,
         Some("deadlock") => Bug::Deadlock,
+        Some("oob") => Bug::OobStore,
+        Some("race") => Bug::SharedScratch,
+        Some("dma") => Bug::DmaOverlap,
         Some(other) => {
-            eprintln!("unknown variant `{other}` (none|rate|value|deadlock)");
+            eprintln!("unknown variant `{other}` (none|rate|value|deadlock|oob|race|dma)");
             std::process::exit(1);
         }
     };
@@ -60,9 +64,11 @@ fn main() {
         build_decoder(bug, n_mbs, PlatformConfig::default()).expect("build decoder");
     let boot = app.boot_entry;
     let analysis = AnalysisInput::from_app(&app, &decoder_sources(bug));
+    let bcv_input = bcv::AnalysisInput::from_app(&app);
     let info = std::mem::take(&mut app.info);
     let mut session = Session::attach(sys, info);
     session.load_analysis(analysis);
+    session.load_bcv_input(bcv_input);
     session.boot(boot).expect("boot");
     attach_env(&mut session.sys, &app, n_mbs, 0xbeef).expect("env");
     println!(

@@ -9,10 +9,13 @@
 //! * [`mind`] — the architecture-description front end (substrate);
 //! * [`dfa`] — the static dataflow analyzer (deadlock/rate checking and
 //!   kernel lints before execution);
+//! * [`bcv`] — the bytecode verifier and static shared-memory race/DMA
+//!   analysis over the linked image;
 //! * [`dfdbg`] — the dataflow-aware interactive debugger (the paper's
 //!   contribution);
 //! * [`h264`] — the H.264-style case-study application (§VI).
 
+pub use bcv;
 pub use debuginfo;
 pub use dfa;
 pub use dfdbg;

@@ -1,0 +1,222 @@
+//! Integration tests for the bytecode verifier (`bcv`): the full pass over
+//! the linked H.264 decoder image, the three seeded memory/race bugs, the
+//! debugger CLI wiring (`analyze`, `analyze --json`, race edges in
+//! `graph dot`) and the byte-stability of the `analyze` binary's output.
+
+use bcv::rules;
+use dfa::Severity;
+use dfdbg::cli::Cli;
+use dfdbg::Session;
+use h264_pipeline::{build_decoder, decoder_sources, Bug};
+use p2012::PlatformConfig;
+
+fn verify_decoder(bug: Bug) -> bcv::Report {
+    let (_sys, app) = build_decoder(bug, 4, PlatformConfig::default()).unwrap();
+    bcv::verify(&bcv::AnalysisInput::from_app(&app))
+}
+
+#[test]
+fn clean_decoder_image_verifies_clean() {
+    let r = verify_decoder(Bug::None);
+    assert!(
+        r.findings.is_empty(),
+        "expected a clean report:\n{}",
+        r.table()
+    );
+    assert!(r.race_pairs.is_empty());
+    assert_eq!(r.worst(), None);
+}
+
+#[test]
+fn oob_store_is_mem302_with_source_line() {
+    // `hwcfg' stores one word past its cluster's L1 bank: inside the L1
+    // window, but in the unbacked hole between banks.
+    let r = verify_decoder(Bug::OobStore);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == rules::REGION_HOLE)
+        .unwrap_or_else(|| panic!("no MEM302 finding:\n{}", r.table()));
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.subject.contains("hwcfg"), "{}", f.subject);
+    let span = f.span.as_ref().expect("finding carries a source span");
+    assert_eq!(span.file, "hwcfg.c");
+    assert!(span.addr.is_some(), "span resolves to a code address");
+    // A memory bug is not a race: no pairs to paint.
+    assert!(r.race_pairs.is_empty());
+}
+
+#[test]
+fn shared_scratch_race_is_race401_naming_both_sides() {
+    // `hwcfg' writes an L2 scratch word that `bh' reads. No token
+    // dependency connects them and they sit on different PEs, so no
+    // happens-before edge orders the firings.
+    let r = verify_decoder(Bug::SharedScratch);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == rules::UNORDERED_SHARED_ACCESS)
+        .unwrap_or_else(|| panic!("no RACE401 finding:\n{}", r.table()));
+    assert_eq!(f.severity, Severity::Error);
+    assert!(
+        f.subject.contains("hwcfg") && f.subject.contains("bh"),
+        "both actors named: {}",
+        f.subject
+    );
+    // The message carries the *other* access's source location.
+    assert!(f.message.contains("bh.c:"), "{}", f.message);
+    assert_eq!(r.race_pairs.len(), 1, "{:?}", r.race_pairs);
+}
+
+#[test]
+fn token_ordered_sharing_is_not_a_race() {
+    // The clean decoder shares plenty of memory (FIFO buffers, DMA
+    // windows) but every access is ordered by token dependencies or
+    // issued through the runtime — zero RACE4xx findings.
+    let r = verify_decoder(Bug::None);
+    assert!(
+        !r.findings.iter().any(|f| f.rule.starts_with("RACE")),
+        "{}",
+        r.table()
+    );
+}
+
+#[test]
+fn dma_window_overlap_is_race402_naming_the_link() {
+    let r = verify_decoder(Bug::DmaOverlap);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == rules::DMA_WINDOW_OVERLAP)
+        .unwrap_or_else(|| panic!("no RACE402 finding:\n{}", r.table()));
+    assert_eq!(f.severity, Severity::Error);
+    assert!(
+        f.subject.contains("mc") && f.subject.contains("dma"),
+        "{}",
+        f.subject
+    );
+    assert!(
+        f.message.contains("bits_in"),
+        "the DMA link is named: {}",
+        f.message
+    );
+    let span = f.span.as_ref().expect("finding carries a source span");
+    assert_eq!(span.file, "mc.c");
+}
+
+// ---- CLI wiring ------------------------------------------------------------
+
+fn cli(bug: Bug) -> Cli {
+    let (sys, app) = build_decoder(bug, 4, PlatformConfig::default()).unwrap();
+    let input = dfa::AnalysisInput::from_app(&app, &decoder_sources(bug));
+    let bcv_input = bcv::AnalysisInput::from_app(&app);
+    let boot = app.boot_entry;
+    let mut s = Session::attach(sys, app.info);
+    s.load_analysis(input);
+    s.load_bcv_input(bcv_input);
+    s.boot(boot).unwrap();
+    Cli::new(s)
+}
+
+#[test]
+fn analyze_command_reports_bcv_findings_and_paints_race_edges() {
+    let mut c = cli(Bug::SharedScratch);
+    let out = c.exec("analyze");
+    assert!(out.contains("RACE401"), "{out}");
+    assert!(out.contains("hwcfg.c:"), "{out}");
+
+    // After `analyze`, the DOT rendering draws the racing pair as a
+    // dashed red undirected edge.
+    let dot = c.exec("graph dot");
+    assert!(
+        dot.contains("style=dashed color=red") && dot.contains("label=\"race\""),
+        "{dot}"
+    );
+
+    // `--deny warnings` turns the race into a failing command.
+    let denied = c.exec("analyze --deny warnings");
+    assert!(denied.starts_with("error:"), "{denied}");
+
+    // The rule table lists the verifier's stable ids next to the dfa ones.
+    let rules_out = c.exec("analyze rules");
+    for (id, _) in rules::ALL {
+        assert!(rules_out.contains(id), "missing {id} in:\n{rules_out}");
+    }
+}
+
+#[test]
+fn clean_session_stays_clean_with_bcv_loaded() {
+    let mut c = cli(Bug::None);
+    assert_eq!(c.exec("analyze"), "no findings\n");
+    let dot = c.exec("graph dot");
+    assert!(!dot.contains("race"), "{dot}");
+}
+
+#[test]
+fn analyze_json_in_the_cli_is_machine_readable() {
+    let mut c = cli(Bug::OobStore);
+    let out = c.exec("analyze --json");
+    assert!(out.starts_with("{\n  \"findings\": ["), "{out}");
+    assert!(out.contains("\"rule\": \"MEM302\""), "{out}");
+    assert!(out.contains("\"file\": \"hwcfg.c\""), "{out}");
+    assert!(out.trim_end().ends_with('}'), "{out}");
+}
+
+// ---- the `analyze` binary --------------------------------------------------
+
+fn run_analyze(args: &[&str]) -> (String, bool) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(args)
+        .output()
+        .expect("spawn analyze");
+    (String::from_utf8(out.stdout).unwrap(), out.status.success())
+}
+
+#[test]
+fn analyze_binary_gates_both_directions() {
+    // Clean must pass --deny warnings; every seeded bug must trip
+    // --expect-findings. These are the exact CI invocations.
+    let (_, ok) = run_analyze(&["clean", "--deny", "warnings"]);
+    assert!(ok, "clean graph must pass the deny gate");
+    for variant in ["oob", "race", "dma", "deadlock", "rate"] {
+        let (_, ok) = run_analyze(&[variant, "--expect-findings"]);
+        assert!(ok, "{variant}: expected findings");
+        let (_, ok) = run_analyze(&[variant, "--deny", "warnings"]);
+        assert!(!ok, "{variant}: the deny gate must fail");
+    }
+}
+
+#[test]
+fn analyze_json_output_is_byte_stable_across_runs() {
+    // The whole point of `--json`: deterministic, diffable output. Two
+    // fresh processes must produce identical bytes for every variant.
+    for variant in ["clean", "oob", "race", "dma", "deadlock", "rate"] {
+        let (a, _) = run_analyze(&[variant, "--json"]);
+        let (b, _) = run_analyze(&[variant, "--json"]);
+        assert_eq!(a, b, "{variant}: --json output drifted between runs");
+        assert!(a.ends_with('\n'), "{variant}: output ends with a newline");
+    }
+}
+
+#[test]
+fn analyze_json_golden_oob() {
+    // Golden file for the machine-readable format. If this changes,
+    // downstream consumers (CI annotations, editors) break — update it
+    // deliberately.
+    let (got, ok) = run_analyze(&["oob", "--json"]);
+    assert!(ok);
+    let want = r#"{
+  "findings": [
+    {"rule": "MEM302", "severity": "error", "subject": "decoder.front.hwcfg", "message": "store to [0x10004000, 0x10004000] lands in an unbacked hole of the L1 window (each bank maps 16384 words)", "file": "hwcfg.c", "line": 3, "col": 0, "addr": 115}
+  ]
+}
+"#;
+    assert_eq!(got, want);
+}
+
+#[test]
+fn analyze_json_golden_clean() {
+    let (got, ok) = run_analyze(&["clean", "--json"]);
+    assert!(ok);
+    assert_eq!(got, "{\n  \"findings\": []\n}\n");
+}
