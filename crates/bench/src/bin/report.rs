@@ -1,18 +1,59 @@
-//! Regenerates the paper's evaluation as text tables (experiments E1 and
-//! E2 of DESIGN.md / EXPERIMENTS.md).
+//! Regenerates the paper's evaluation as text tables (experiments E1–E6
+//! of DESIGN.md / EXPERIMENTS.md).
 //!
 //! ```text
-//! cargo run --release -p bench --bin report
+//! cargo run --release -p bench --bin report [n_mbs] [--json]
 //! ```
+//!
+//! With `--json`, each experiment additionally writes a machine-readable
+//! `BENCH_E<n>.json` next to the working directory (hand-rolled writer —
+//! the build environment is offline, no serde).
 
-use bench::{analyze_decoder, localization, run_overhead, scaling, verify_decoder, DebugConfig};
+use std::fmt::Write as _;
+
+use bench::{
+    analyze_decoder, checkpoint_overhead, localization, reverse_continue_latency, run_overhead,
+    scaling, verify_decoder, DebugConfig,
+};
 use h264_pipeline::Bug;
 
+/// Minimal JSON string escaping for our label/verdict strings.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_json(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
 fn main() {
-    let n_mbs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let mut n_mbs: u64 = 64;
+    let mut json = false;
+    for a in std::env::args().skip(1) {
+        if a == "--json" {
+            json = true;
+        } else if let Ok(n) = a.parse() {
+            n_mbs = n;
+        } else {
+            eprintln!("usage: report [n_mbs] [--json] (got `{a}`)");
+            std::process::exit(1);
+        }
+    }
 
     println!("=====================================================================");
     println!("E1  Debugger intrusiveness (§V): decode of {n_mbs} macroblocks");
@@ -22,18 +63,38 @@ fn main() {
         "configuration", "wall time", "sim cycles", "tokens", "slowdown"
     );
     let mut baseline_wall = None;
+    let mut e1 = Vec::new();
     for cfg in DebugConfig::ALL {
         // Warm-up run, then the measured run (reduces allocator noise).
         let _ = run_overhead(cfg, n_mbs.min(8));
         let r = run_overhead(cfg, n_mbs);
         let base = *baseline_wall.get_or_insert(r.wall.as_secs_f64());
+        let slowdown = r.wall.as_secs_f64() / base;
         println!(
             "{:<28} {:>10.2}ms {:>12} {:>9} {:>7.2}x",
             cfg.label(),
             r.wall.as_secs_f64() * 1e3,
             r.cycles,
             r.tokens_tracked,
-            r.wall.as_secs_f64() / base,
+            slowdown,
+        );
+        e1.push(format!(
+            "{{\"config\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \
+             \"tokens\": {}, \"slowdown\": {:.3}}}",
+            jstr(cfg.label()),
+            r.wall.as_secs_f64() * 1e3,
+            r.cycles,
+            r.tokens_tracked,
+            slowdown,
+        ));
+    }
+    if json {
+        write_json(
+            "BENCH_E1.json",
+            &format!(
+                "{{\"experiment\": \"E1\", \"n_mbs\": {n_mbs}, \"rows\": [{}]}}\n",
+                e1.join(", ")
+            ),
         );
     }
     println!(
@@ -52,6 +113,7 @@ fn main() {
     );
     let mut results = localization::full_study();
     results.sort_by_key(|r| (format!("{:?}", r.bug), r.strategy.label().to_string()));
+    let mut e2 = Vec::new();
     for r in &results {
         println!(
             "{:<16} {:<16} {:>13} {:>8.1}ms  {}{}",
@@ -61,6 +123,25 @@ fn main() {
             r.wall.as_secs_f64() * 1e3,
             if r.located { "" } else { "NOT LOCATED: " },
             r.verdict,
+        );
+        e2.push(format!(
+            "{{\"bug\": {}, \"strategy\": {}, \"interactions\": {}, \
+             \"wall_ms\": {:.3}, \"located\": {}, \"verdict\": {}}}",
+            jstr(&format!("{:?}", r.bug)),
+            jstr(r.strategy.label()),
+            r.interactions,
+            r.wall.as_secs_f64() * 1e3,
+            r.located,
+            jstr(&r.verdict),
+        ));
+    }
+    if json {
+        write_json(
+            "BENCH_E2.json",
+            &format!(
+                "{{\"experiment\": \"E2\", \"rows\": [{}]}}\n",
+                e2.join(", ")
+            ),
         );
     }
     println!(
@@ -77,6 +158,7 @@ fn main() {
     println!("{:<16} {:>14}", "catchpoints", "per event");
     let pts = scaling::catchpoint_scaling(&[0, 1, 4, 16, 64, 256], 50_000);
     let base = pts[0].ns_per_event;
+    let mut e3 = Vec::new();
     for p in &pts {
         println!(
             "{:<16} {:>11.1} ns  ({:.2}x)",
@@ -84,6 +166,10 @@ fn main() {
             p.ns_per_event,
             p.ns_per_event / base,
         );
+        e3.push(format!(
+            "{{\"catchpoints\": {}, \"ns_per_event\": {:.2}}}",
+            p.catchpoints, p.ns_per_event
+        ));
     }
     let storm = scaling::bounded_storm(200_000, 1 << 10);
     println!(
@@ -99,6 +185,22 @@ fn main() {
             "BROKEN"
         },
     );
+    if json {
+        write_json(
+            "BENCH_E3.json",
+            &format!(
+                "{{\"experiment\": \"E3\", \"points\": [{}], \"storm\": \
+                 {{\"allocated\": {}, \"live\": {}, \"limit\": {}, \
+                 \"evicted\": {}, \"provenance_intact\": {}}}}}\n",
+                e3.join(", "),
+                storm.allocated,
+                storm.live,
+                storm.limit,
+                storm.evicted,
+                storm.provenance_intact,
+            ),
+        );
+    }
     println!(
         "\nShape check: per-event cost stays roughly flat as idle \
          catchpoints\ngrow (indexed dispatch, not a linear scan), and a \
@@ -113,6 +215,7 @@ fn main() {
         "{:<14} {:>10} {:>7} {:>6} {:>8} {:>9} {:>7}  rules",
         "variant", "wall", "actors", "links", "kernels", "findings", "errors"
     );
+    let mut e4 = Vec::new();
     for bug in [Bug::None, Bug::RateMismatch, Bug::Deadlock] {
         let r = analyze_decoder(bug, 5);
         println!(
@@ -130,6 +233,32 @@ fn main() {
                 r.rules_hit.join(",")
             },
         );
+        e4.push(format!(
+            "{{\"variant\": {}, \"wall_ms\": {:.3}, \"actors\": {}, \
+             \"links\": {}, \"kernels\": {}, \"findings\": {}, \
+             \"errors\": {}, \"rules\": [{}]}}",
+            jstr(&format!("{bug:?}")),
+            r.wall.as_secs_f64() * 1e3,
+            r.actors,
+            r.links,
+            r.kernels,
+            r.findings,
+            r.errors,
+            r.rules_hit
+                .iter()
+                .map(|s| jstr(s))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    if json {
+        write_json(
+            "BENCH_E4.json",
+            &format!(
+                "{{\"experiment\": \"E4\", \"rows\": [{}]}}\n",
+                e4.join(", ")
+            ),
+        );
     }
     println!(
         "\nShape check: the clean variant reports nothing, both seeded \
@@ -146,6 +275,7 @@ fn main() {
         "{:<14} {:>10} {:>10} {:>9} {:>7} {:>6}  rules",
         "variant", "wall", "functions", "findings", "errors", "races"
     );
+    let mut e5 = Vec::new();
     for bug in [
         Bug::None,
         Bug::OobStore,
@@ -167,6 +297,31 @@ fn main() {
                 r.rules_hit.join(",")
             },
         );
+        e5.push(format!(
+            "{{\"variant\": {}, \"wall_ms\": {:.3}, \"functions\": {}, \
+             \"findings\": {}, \"errors\": {}, \"races\": {}, \
+             \"rules\": [{}]}}",
+            jstr(&format!("{bug:?}")),
+            r.wall.as_secs_f64() * 1e3,
+            r.functions,
+            r.findings,
+            r.errors,
+            r.race_pairs,
+            r.rules_hit
+                .iter()
+                .map(|s| jstr(s))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    if json {
+        write_json(
+            "BENCH_E5.json",
+            &format!(
+                "{{\"experiment\": \"E5\", \"rows\": [{}]}}\n",
+                e5.join(", ")
+            ),
+        );
     }
     println!(
         "\nShape check: the clean image verifies clean; the out-of-bounds \
@@ -174,5 +329,72 @@ fn main() {
          overlap are each\ncaught before the first instruction executes, \
          for about a millisecond\nper full pass — the static half of the \
          watchpoint sessions in E2."
+    );
+
+    println!();
+    println!("=====================================================================");
+    println!("E6  Time travel: recording cost per interval, reverse latency");
+    println!("=====================================================================");
+    println!(
+        "{:<16} {:>10} {:>12} {:>13} {:>8} {:>9}",
+        "interval", "setup", "run wall", "checkpoints", "pages", "overhead"
+    );
+    let curve = checkpoint_overhead(n_mbs, &[1_000, 5_000, 10_000, 50_000]);
+    let mut e6 = Vec::new();
+    for p in &curve {
+        println!(
+            "{:<16} {:>8.2}ms {:>10.2}ms {:>13} {:>8} {:>8.2}x",
+            if p.interval == 0 {
+                "off (control)".to_string()
+            } else {
+                format!("{} cycles", p.interval)
+            },
+            p.setup.as_secs_f64() * 1e3,
+            p.wall.as_secs_f64() * 1e3,
+            p.checkpoints,
+            p.pages_stored,
+            p.overhead,
+        );
+        e6.push(format!(
+            "{{\"interval\": {}, \"setup_ms\": {:.3}, \"wall_ms\": {:.3}, \
+             \"cycles\": {}, \"checkpoints\": {}, \"pages_stored\": {}, \
+             \"overhead\": {:.4}}}",
+            p.interval,
+            p.setup.as_secs_f64() * 1e3,
+            p.wall.as_secs_f64() * 1e3,
+            p.cycles,
+            p.checkpoints,
+            p.pages_stored,
+            p.overhead,
+        ));
+    }
+    let rev = reverse_continue_latency(n_mbs, 10_000);
+    println!(
+        "\nreverse-continue from the end (interval 10k): {:.2}ms, rewound \
+         {} cycles",
+        rev.wall.as_secs_f64() * 1e3,
+        rev.rewound_cycles,
+    );
+    if json {
+        write_json(
+            "BENCH_E6.json",
+            &format!(
+                "{{\"experiment\": \"E6\", \"n_mbs\": {n_mbs}, \
+                 \"points\": [{}], \"reverse_continue\": {{\"interval\": {}, \
+                 \"wall_ms\": {:.3}, \"rewound_cycles\": {}}}}}\n",
+                e6.join(", "),
+                rev.interval,
+                rev.wall.as_secs_f64() * 1e3,
+                rev.rewound_cycles,
+            ),
+        );
+    }
+    println!(
+        "\nShape check (EXPERIMENTS.md E6): setup (full baseline image + \
+         hash) is\na one-time per-session cost; the steady-state \
+         recording overhead at the\ndefault 10k-cycle interval stays \
+         within the 10% gate. Denser intervals\nbuy shorter replays \
+         (reverse latency is bounded by one restore plus at\nmost two \
+         interval-long replays) at a steeper recording cost."
     );
 }

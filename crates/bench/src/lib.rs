@@ -18,12 +18,17 @@
 //!   verifier cost and coverage over the decoder variants (the static
 //!   half of static-vs-dynamic).
 
+//! * [`replay`] — experiment E6: time-travel recording cost per
+//!   checkpoint interval, and reverse-execution latency.
+
 pub mod analysis;
 pub mod localization;
 pub mod overhead;
+pub mod replay;
 pub mod scaling;
 
 pub use analysis::{analyze_decoder, verify_decoder, AnalysisResult, VerifyResult};
 pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
+pub use replay::{checkpoint_overhead, reverse_continue_latency, ReplayPoint, ReverseLatency};
 pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};

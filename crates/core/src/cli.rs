@@ -26,6 +26,87 @@ use debuginfo::Word;
 use crate::dataflow::model::FlowBehavior;
 use crate::session::{Session, Stop};
 
+/// One entry of the command language. The dispatcher validates the first
+/// word of every line against this table and `help` is rendered from it,
+/// so a command cannot exist without a help entry (and vice versa — the
+/// CLI coverage test drives every row through the dispatcher).
+pub struct CommandSpec {
+    pub name: &'static str,
+    pub aliases: &'static [&'static str],
+    pub usage: &'static str,
+    pub help: &'static str,
+    pub group: &'static str,
+}
+
+const EXEC: &str = "Execution";
+const TT: &str = "Time travel";
+const BP: &str = "Breakpoints and catchpoints";
+const INSPECT: &str = "Inspection";
+const DF: &str = "Dataflow";
+const SHELL: &str = "Session";
+
+/// The single source of truth for the command language.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec { name: "run", aliases: &["r"], usage: "run [cycles]", help: "resume for at most [cycles]", group: EXEC },
+    CommandSpec { name: "continue", aliases: &["c"], usage: "continue", help: "resume until the next stop", group: EXEC },
+    CommandSpec { name: "step", aliases: &["s"], usage: "step", help: "next source line, entering calls", group: EXEC },
+    CommandSpec { name: "next", aliases: &["n"], usage: "next", help: "next source line, over calls", group: EXEC },
+    CommandSpec { name: "finish", aliases: &[], usage: "finish", help: "run until the current function returns", group: EXEC },
+    CommandSpec { name: "stepi", aliases: &["si"], usage: "stepi", help: "one machine instruction", group: EXEC },
+    CommandSpec { name: "step_both", aliases: &[], usage: "step_both", help: "breakpoint both ends of the next send", group: EXEC },
+    CommandSpec { name: "checkpoint", aliases: &[], usage: "checkpoint", help: "record a restore point (enables time travel)", group: TT },
+    CommandSpec { name: "restart", aliases: &[], usage: "restart <id>", help: "rewind the whole platform to a checkpoint", group: TT },
+    CommandSpec { name: "goto", aliases: &[], usage: "goto <cycle>", help: "land on an exact recorded cycle", group: TT },
+    CommandSpec { name: "reverse-continue", aliases: &["rc"], usage: "reverse-continue", help: "back to the most recent stop before now", group: TT },
+    CommandSpec { name: "reverse-step", aliases: &["rs"], usage: "reverse-step", help: "back to the previous source line", group: TT },
+    CommandSpec { name: "reverse-next", aliases: &["rn"], usage: "reverse-next", help: "like reverse-step, staying in the frame", group: TT },
+    CommandSpec { name: "reverse-stepi", aliases: &["rsi"], usage: "reverse-stepi", help: "undo one machine instruction", group: TT },
+    CommandSpec { name: "replay", aliases: &[], usage: "replay findings", help: "REPLAY501 divergence findings from replays", group: TT },
+    CommandSpec { name: "break", aliases: &["b"], usage: "break <symbol|file:line>", help: "set a code breakpoint", group: BP },
+    CommandSpec { name: "watch", aliases: &[], usage: "watch <object>", help: "stop when a data object is written", group: BP },
+    CommandSpec { name: "delete", aliases: &[], usage: "delete <id>", help: "remove a break/catch/watchpoint", group: BP },
+    CommandSpec { name: "enable", aliases: &[], usage: "enable <id>", help: "re-enable a break/catchpoint", group: BP },
+    CommandSpec { name: "disable", aliases: &[], usage: "disable <id>", help: "disable without removing", group: BP },
+    CommandSpec { name: "catch", aliases: &[], usage: "catch recv|send <a::c> | value <a::c> <v> | count <a::c> <n> | sched <f> | step [begin|end] [module]", help: "dataflow catchpoints", group: BP },
+    CommandSpec { name: "focus", aliases: &[], usage: "focus <actor>", help: "focus the PE running an actor", group: INSPECT },
+    CommandSpec { name: "where", aliases: &["frame"], usage: "where", help: "where the focused PE is", group: INSPECT },
+    CommandSpec { name: "backtrace", aliases: &["bt"], usage: "backtrace", help: "call stack of the focused PE", group: INSPECT },
+    CommandSpec { name: "list", aliases: &["l"], usage: "list [file:line]", help: "show source around the focus", group: INSPECT },
+    CommandSpec { name: "print", aliases: &["p"], usage: "print <object|$N>", help: "read an object / value history", group: INSPECT },
+    CommandSpec { name: "info", aliases: &[], usage: "info filters|links|platform|breakpoints|checkpoints|console", help: "state tables", group: INSPECT },
+    CommandSpec { name: "graph", aliases: &[], usage: "graph [dot]", help: "link occupancy / Graphviz DOT", group: INSPECT },
+    CommandSpec { name: "analyze", aliases: &[], usage: "analyze [rules|--json|--deny warnings]", help: "static analysis (paints `graph dot`)", group: INSPECT },
+    CommandSpec { name: "filter", aliases: &[], usage: "filter <f> catch work | catch In=1,... | catch *in=1 | configure splitter|pipeline|merger | info last_token; filter print last_token", help: "per-filter commands", group: DF },
+    CommandSpec { name: "iface", aliases: &[], usage: "iface <a::c> record|norecord|print|stop", help: "interface recording and stops", group: DF },
+    CommandSpec { name: "token", aliases: &[], usage: "token inject|set|drop <a::c> ... | token origin <id>", help: "alter the execution / trace a token's origin", group: DF },
+    CommandSpec { name: "help", aliases: &["h"], usage: "help", help: "this text", group: SHELL },
+    CommandSpec { name: "quit", aliases: &["q", "exit"], usage: "quit", help: "leave the debugger", group: SHELL },
+];
+
+/// Render `help` from the command table, grouped.
+pub fn render_help() -> String {
+    let mut out = String::new();
+    for group in [EXEC, TT, BP, INSPECT, DF, SHELL] {
+        out.push_str(group);
+        out.push_str(":\n");
+        for c in COMMANDS.iter().filter(|c| c.group == group) {
+            let alias = if c.aliases.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", c.aliases.join(", "))
+            };
+            out.push_str(&format!("  {:<44} {}{alias}\n", c.usage, c.help));
+        }
+    }
+    out
+}
+
+fn known_command(word: &str) -> bool {
+    COMMANDS
+        .iter()
+        .any(|c| c.name == word || c.aliases.contains(&word))
+}
+
 /// The CLI wrapper: executes command strings against a session.
 pub struct Cli {
     pub session: Session,
@@ -63,6 +144,9 @@ impl Cli {
         let Some((&cmd, rest)) = words.split_first() else {
             return Ok(String::new());
         };
+        if !known_command(cmd) {
+            return Err(format!("unknown command `{cmd}` (try `help`)"));
+        }
         match cmd {
             "run" | "r" => {
                 let cycles = rest
@@ -97,6 +181,57 @@ impl Cli {
                 let msgs = self.session.step_both()?;
                 Ok(msgs.join("\n"))
             }
+            "checkpoint" => {
+                let id = self.session.checkpoint_now()?;
+                Ok(format!("Checkpoint {id} at cycle {}", self.session.clock()))
+            }
+            "restart" => {
+                let id: u32 = rest
+                    .first()
+                    .ok_or("restart needs a checkpoint id")?
+                    .parse()
+                    .map_err(|_| "bad checkpoint id")?;
+                let clock = self.session.restart(id)?;
+                Ok(format!("Restored checkpoint {id} (cycle {clock})"))
+            }
+            "goto" => {
+                let cycle: u64 = rest
+                    .first()
+                    .ok_or("goto needs a cycle")?
+                    .parse()
+                    .map_err(|_| "bad cycle")?;
+                self.session.goto_cycle(cycle)?;
+                Ok(format!("At cycle {}", self.session.clock()))
+            }
+            "reverse-continue" | "rc" => {
+                let stop = self.session.reverse_continue()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "reverse-step" | "rs" => {
+                let stop = self.session.reverse_step()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "reverse-next" | "rn" => {
+                let stop = self.session.reverse_next()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "reverse-stepi" | "rsi" => {
+                let stop = self.session.reverse_stepi()?;
+                Ok(self.stop_to_text(stop))
+            }
+            "replay" => {
+                if rest.first() != Some(&"findings") {
+                    return Err("usage: replay findings".into());
+                }
+                let fs = self.session.replay_findings();
+                if fs.is_empty() {
+                    Ok("no replay divergence detected".into())
+                } else {
+                    Ok(debuginfo::render_findings(fs))
+                }
+            }
+            "help" | "h" => Ok(render_help()),
+            "quit" | "q" | "exit" => Ok(String::new()),
             "break" | "b" => {
                 let spec = rest.first().ok_or("break needs a location")?;
                 let id = match spec.rsplit_once(':') {
@@ -213,8 +348,9 @@ impl Cli {
                     Ok(out)
                 }
                 Some("console") => Ok(self.session.console().join("\n")),
+                Some("checkpoints") => self.session.checkpoints_info(),
                 other => Err(format!(
-                    "info what? (filters/links/platform/breakpoints), got {other:?}"
+                    "info what? (filters/links/platform/breakpoints/checkpoints), got {other:?}"
                 )),
             },
             "filter" => self.filter_cmd(rest),
@@ -417,7 +553,17 @@ impl Cli {
                 self.session.token_drop(spec, idx)?;
                 Ok(format!("Token {idx} on {spec} dropped"))
             }
-            other => Err(format!("token what? (inject/set/drop), got {other:?}")),
+            Some("origin") => {
+                let id: u64 = rest
+                    .get(1)
+                    .ok_or("token origin <token id>")?
+                    .parse()
+                    .map_err(|_| "bad token id")?;
+                self.session.token_origin(id)
+            }
+            other => Err(format!(
+                "token what? (inject/set/drop/origin), got {other:?}"
+            )),
         }
     }
 

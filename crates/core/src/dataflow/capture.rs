@@ -122,8 +122,10 @@ pub enum CaptureMode {
     RuntimeEvents,
 }
 
-/// The capture engine.
-#[derive(Debug)]
+/// The capture engine. `Clone` is load-bearing: checkpoints snapshot the
+/// capture state (pending calls, per-PE counters) so replays resume
+/// observation mid-call without double-reporting.
+#[derive(Debug, Clone)]
 pub struct Capture {
     pub mode: CaptureMode,
     /// §V mitigation 1: data-exchange breakpoints can be toggled.

@@ -300,7 +300,7 @@ pub const RECORD_LIMIT: usize = 1 << 16;
 /// depends on them), and stale ids held by provenance chains, histories
 /// or `last_received` pointers simply stop resolving instead of aliasing
 /// a reused slot.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TokenStore {
     slots: Vec<TokenSlot>,
     free: Vec<u32>,
@@ -311,7 +311,7 @@ pub struct TokenStore {
     evicted: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TokenSlot {
     generation: u32,
     rec: Option<TokenRec>,
@@ -432,7 +432,7 @@ impl TokenStore {
 /// could possibly fire on it instead of linear-scanning the whole list.
 /// Kept incrementally in sync by `add_catch` / `delete_catch` /
 /// `reap_temporaries`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CatchIndex {
     /// `TokenSentOn` + `TotalCount`, keyed by connection (push side).
     sent_by_conn: HashMap<u32, Vec<u32>>,
@@ -530,7 +530,10 @@ impl CatchIndex {
 }
 
 /// The reconstructed model (graph + dynamic state + catchpoints).
-#[derive(Debug)]
+/// `Clone` is load-bearing: the time-travel engine snapshots the whole
+/// model per checkpoint so rewinding restores Token objects, windows and
+/// counters alongside the machine.
+#[derive(Debug, Clone)]
 pub struct DfModel {
     pub graph: AppGraph,
     pub types: TypeTable,
@@ -652,6 +655,23 @@ impl DfModel {
         self.catch_index.add(&c);
         self.catchpoints.push(c);
         id
+    }
+
+    /// Replace the installed catchpoints wholesale, rebuilding the lookup
+    /// index. The time-travel engine uses this so catchpoints — like GDB
+    /// breakpoints — survive restores to snapshots taken before they were
+    /// installed.
+    pub fn set_catchpoints(&mut self, catchpoints: Vec<Catchpoint>, next_catch: u32) {
+        self.catch_index = CatchIndex::default();
+        for c in &catchpoints {
+            self.catch_index.add(c);
+        }
+        self.catchpoints = catchpoints;
+        self.next_catch = next_catch;
+    }
+
+    pub fn next_catch_id(&self) -> u32 {
+        self.next_catch
     }
 
     pub fn delete_catch(&mut self, id: u32) -> bool {

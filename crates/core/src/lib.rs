@@ -22,7 +22,11 @@
 //!   tokens (e.g. to untie a deadlock);
 //! * **Two-level debugging** — all the language-level machinery
 //!   (breakpoints, watchpoints, frames, typed printing with a `$N` value
-//!   history) remains available at any stop.
+//!   history) remains available at any stop;
+//! * **Time travel** — deterministic checkpoint/replay (the [`replay`]
+//!   crate) behind `checkpoint`/`restart`/`goto` and the GDB-style
+//!   `reverse-continue`/`reverse-step`/`reverse-next`/`reverse-stepi`,
+//!   plus `token origin` composing replay with token provenance.
 //!
 //! Entry point: [`Session::attach`] on a [`pedf::System`] built by the
 //! `mind` tool-chain, then [`Session::boot`] — the graph is reconstructed

@@ -20,6 +20,8 @@ use debuginfo::{CodeAddr, DebugInfo, Value, Word};
 use p2012::{PeId, PeStatus, VmFault};
 use pedf::{ActorId, ActorKind, ConnId, LinkId, RuntimeEvent, System};
 
+use replay::CheckpointManager;
+
 use crate::dataflow::capture::{Capture, CaptureMode};
 use crate::dataflow::model::{CatchCond, DfEvent, DfModel, DfStop, FlowBehavior, TokenId};
 use crate::dataflow::{graphviz, model};
@@ -100,6 +102,24 @@ enum StepMode {
 /// Errors from session commands (bad names, unresolved symbols, ...).
 pub type CmdResult<T> = Result<T, String>;
 
+/// The debugger-side state a checkpoint must carry beyond the machine:
+/// the reconstructed dataflow model (Token objects, windows, counters),
+/// the capture engine (pending calls, per-PE counters) and the run loop's
+/// transient state. Breakpoints, watchpoints and the value history
+/// deliberately stay *outside* — like GDB's, they survive time travel.
+#[derive(Clone)]
+struct SessionSnap {
+    model: DfModel,
+    capture: Capture,
+    inv_seen: Vec<u64>,
+    skip: HashSet<(PeId, CodeAddr)>,
+    stop_queue: VecDeque<Stop>,
+    step_mode: StepMode,
+    graph_learned: bool,
+}
+
+const TT_DISABLED: &str = "time travel is not enabled (use `checkpoint` first)";
+
 /// The debugger.
 pub struct Session {
     pub sys: System,
@@ -138,6 +158,10 @@ pub struct Session {
     /// Result of the most recent bytecode verification, consumed by
     /// `graph dot` to draw race pairs as dashed red edges.
     pub last_bcv: Option<bcv::Report>,
+    /// The time-travel engine (checkpoint chain + divergence findings),
+    /// present once `enable_time_travel` ran. Taken out of the session
+    /// while the run-loop hook uses it (it needs `&mut self` alongside).
+    tt: Option<CheckpointManager<SessionSnap>>,
 }
 
 impl Session {
@@ -173,6 +197,7 @@ impl Session {
             last_analysis: None,
             bcv_input: None,
             last_bcv: None,
+            tt: None,
         }
     }
 
@@ -340,6 +365,25 @@ impl Session {
             // Stepping modes.
             if let Some(stop) = self.check_step_mode() {
                 self.stop_queue.push_back(stop);
+            }
+
+            // Time travel: at a recorded boundary, verify the replayed
+            // hash chain (divergence -> REPLAY501); on new ground, create
+            // the periodic checkpoint. Runs before the stop queue pops so
+            // pending stops are part of the snapshot.
+            if let Some(mgr) = &self.tt {
+                let clock = self.sys.clock();
+                if mgr.has_checkpoint_at(clock) {
+                    // `tt` and `sys` are disjoint fields, so the manager
+                    // can be re-borrowed mutably alongside the system.
+                    self.tt
+                        .as_mut()
+                        .unwrap()
+                        .verify_boundary(&mut self.sys, clock);
+                } else if mgr.creation_due(clock) {
+                    let snap = self.snap();
+                    self.tt.as_mut().unwrap().checkpoint_at(&mut self.sys, snap);
+                }
             }
 
             if let Some(s) = self.stop_queue.pop_front() {
@@ -1281,6 +1325,7 @@ impl Session {
         for s in stops {
             self.stop_queue.push_back(Stop::Dataflow(s));
         }
+        self.note_history_mutation();
         Ok(index)
     }
 
@@ -1304,6 +1349,7 @@ impl Session {
                 t.value = value;
             }
         }
+        self.note_history_mutation();
         Ok(())
     }
 
@@ -1318,7 +1364,366 @@ impl Session {
             l.queue.remove(idx as usize);
             l.pushed -= 1;
         }
+        self.note_history_mutation();
         Ok(())
+    }
+
+    // ---- time travel (checkpoint / replay / reverse execution) ---------------
+
+    /// Capture the debugger-side checkpoint payload.
+    fn snap(&self) -> SessionSnap {
+        SessionSnap {
+            model: self.model.clone(),
+            capture: self.capture.clone(),
+            inv_seen: self.inv_seen.clone(),
+            skip: self.skip.clone(),
+            stop_queue: self.stop_queue.clone(),
+            step_mode: self.step_mode,
+            graph_learned: self.graph_learned,
+        }
+    }
+
+    fn apply_snap(&mut self, s: SessionSnap) {
+        // Catchpoints are user-installed stop conditions, not recorded
+        // history: like breakpoints they survive time travel, even when
+        // the snapshot predates their installation.
+        let catchpoints = std::mem::take(&mut self.model.catchpoints);
+        let next_catch = self.model.next_catch_id();
+        self.model = s.model;
+        self.model.set_catchpoints(catchpoints, next_catch);
+        self.capture = s.capture;
+        self.inv_seen = s.inv_seen;
+        self.skip = s.skip;
+        self.stop_queue = s.stop_queue;
+        self.step_mode = s.step_mode;
+        self.graph_learned = s.graph_learned;
+    }
+
+    /// Turn on deterministic checkpointing: the current state becomes the
+    /// baseline (checkpoint 0, full memory image) and the run loop records
+    /// a delta checkpoint every `interval` cycles. Usually called right
+    /// after [`Session::boot`].
+    pub fn enable_time_travel(&mut self, interval: u64) -> u32 {
+        let mut mgr = CheckpointManager::new(interval);
+        let snap = self.snap();
+        let id = mgr.baseline(&mut self.sys, snap);
+        self.tt = Some(mgr);
+        id
+    }
+
+    pub fn time_travel_enabled(&self) -> bool {
+        self.tt.is_some()
+    }
+
+    /// `checkpoint` — record a checkpoint right now. Enables time travel
+    /// (with the default interval) on first use, exactly like GDB's
+    /// `checkpoint` starts bookkeeping lazily.
+    pub fn checkpoint_now(&mut self) -> CmdResult<u32> {
+        const DEFAULT_INTERVAL: u64 = 10_000;
+        if self.tt.is_none() {
+            return Ok(self.enable_time_travel(DEFAULT_INTERVAL));
+        }
+        let clock = self.sys.clock();
+        let mgr = self.tt.as_ref().unwrap();
+        if let Some(cp) = mgr.checkpoints().find(|c| c.clock == clock) {
+            return Ok(cp.id); // already have a boundary at this cycle
+        }
+        if mgr.checkpoints().any(|c| c.clock > clock) {
+            return Err("cannot create a checkpoint while inside recorded \
+                        history (run forward past the last checkpoint first)"
+                .to_string());
+        }
+        let snap = self.snap();
+        Ok(self.tt.as_mut().unwrap().checkpoint_at(&mut self.sys, snap))
+    }
+
+    /// `info checkpoints` — the recorded chain.
+    pub fn checkpoints_info(&self) -> CmdResult<String> {
+        let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+        let mut out = String::from("Id   Cycle        Pages  Hash\n");
+        for c in mgr.checkpoints() {
+            out.push_str(&format!(
+                "{:<4} {:<12} {:<6} {:#018x}\n",
+                c.id, c.clock, c.pages, c.hash
+            ));
+        }
+        if !mgr.findings().is_empty() {
+            out.push_str(&format!(
+                "{} replay divergence finding(s) — see `replay findings`\n",
+                mgr.findings().len()
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `restart <id>` — rewind the whole platform (VMs, memories, FIFOs,
+    /// in-flight DMA, scheduler, env-I/O cursors) and the debugger model
+    /// to the checkpoint. Breakpoints, watchpoints and `$N` history
+    /// survive, as in GDB's `restart`.
+    pub fn restart(&mut self, id: u32) -> CmdResult<u64> {
+        let snap = {
+            let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+            let cp = mgr
+                .restore(&mut self.sys, id)
+                .ok_or_else(|| format!("no checkpoint {id}"))?;
+            cp.payload.clone()
+        };
+        self.apply_snap(snap);
+        Ok(self.sys.clock())
+    }
+
+    /// Land on an exact cycle: restore the nearest checkpoint at or before
+    /// `target`, then replay forward deterministically. Replays re-verify
+    /// every recorded boundary they cross.
+    pub fn goto_cycle(&mut self, target: u64) -> CmdResult<()> {
+        let id = {
+            let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+            mgr.nearest_at_or_before(target)
+                .ok_or("target cycle predates the recorded history")?
+        };
+        self.restart(id)?;
+        while self.sys.clock() < target {
+            // Stops pop without consuming cycles; re-issuing with the
+            // remaining budget always makes progress toward `target`.
+            let _ = self.run(target - self.sys.clock());
+        }
+        Ok(())
+    }
+
+    /// Stops `reverse-continue` rewinds to (the ones a user would have
+    /// stopped at going forward).
+    fn reversible_stop(s: &Stop) -> bool {
+        matches!(
+            s,
+            Stop::Breakpoint { .. } | Stop::Watchpoint { .. } | Stop::Dataflow(_)
+        )
+    }
+
+    /// `reverse-continue` — run backwards to the most recent breakpoint,
+    /// watchpoint or catchpoint hit before the current cycle. Implemented
+    /// the GDB record/replay way: restore the nearest checkpoint, replay
+    /// forward counting hits, then replay again up to the last one.
+    pub fn reverse_continue(&mut self) -> CmdResult<Stop> {
+        let origin = self.sys.clock();
+        if self.tt.is_none() {
+            return Err(TT_DISABLED.into());
+        }
+        // Replays reap temporary catchpoints as they fire; both counting
+        // passes must start from the same set or the hit counts drift.
+        let saved_catch = self.model.catchpoints.clone();
+        let saved_next = self.model.next_catch_id();
+        let mut window_hi = origin;
+        while let Some(cp) = self.tt.as_ref().unwrap().nearest_strictly_before(window_hi) {
+            self.model.set_catchpoints(saved_catch.clone(), saved_next);
+            let cp_clock = self.restart(cp)?;
+            // Pass 1: count reversible hits strictly inside the window.
+            let mut hits = 0u64;
+            while self.sys.clock() < window_hi {
+                let s = self.run(window_hi - self.sys.clock());
+                if Self::reversible_stop(&s) && self.sys.clock() < window_hi {
+                    hits += 1;
+                }
+            }
+            if hits > 0 {
+                // Pass 2: replay to the last hit.
+                self.model.set_catchpoints(saved_catch.clone(), saved_next);
+                self.restart(cp)?;
+                let mut n = 0u64;
+                while self.sys.clock() <= window_hi {
+                    let budget = (window_hi - self.sys.clock()).max(1);
+                    let s = self.run(budget);
+                    if Self::reversible_stop(&s) {
+                        n += 1;
+                        if n == hits {
+                            self.note_focus(&s);
+                            return Ok(s);
+                        }
+                    }
+                }
+                return Err("replay diverged while rewinding (see `replay findings`)".into());
+            }
+            window_hi = cp_clock;
+        }
+        // No recorded hit anywhere before `origin`: put the user back.
+        self.model.set_catchpoints(saved_catch, saved_next);
+        self.goto_cycle(origin)?;
+        Err("no earlier breakpoint, watchpoint or catchpoint hit in recorded history".into())
+    }
+
+    /// Drive the replay forward by exactly one cycle, swallowing stops.
+    fn replay_one_cycle(&mut self) {
+        let c = self.sys.clock();
+        while self.sys.clock() == c {
+            let _ = self.run(1);
+        }
+    }
+
+    /// `reverse-stepi` — undo one machine instruction on the focused PE.
+    pub fn reverse_stepi(&mut self) -> CmdResult<Stop> {
+        let pe = self.focused()?;
+        let now = self.sys.clock();
+        let r_now = self.sys.platform.pes[pe.index()].retired;
+        let cp = {
+            let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+            let mut cand = None;
+            for info in mgr.checkpoints() {
+                if info.clock > now {
+                    break;
+                }
+                let c = mgr.get(info.id).expect("listed checkpoint");
+                if c.machine.platform.pes[pe.index()].retired < r_now {
+                    cand = Some(info.id);
+                }
+            }
+            cand.ok_or("already at the beginning of recorded history")?
+        };
+        self.restart(cp)?;
+        // A PE retires at most one instruction per cycle: walk forward to
+        // the cycle whose step brought `retired` up to the current count,
+        // then land just before it.
+        while self.sys.platform.pes[pe.index()].retired < r_now {
+            if self.sys.clock() >= now {
+                return Err("replay diverged while rewinding (see `replay findings`)".into());
+            }
+            self.replay_one_cycle();
+        }
+        let t_hit = self.sys.clock() - 1;
+        self.goto_cycle(t_hit)?;
+        self.focus = Some(pe);
+        Ok(Stop::StepDone { pe })
+    }
+
+    /// `reverse-step` / `reverse-next` — run backwards to the previous
+    /// source line on the focused PE (`step_over` additionally refuses to
+    /// descend into deeper frames, like `next`).
+    fn reverse_line_step(&mut self, step_over: bool) -> CmdResult<Stop> {
+        let pe = self.focused()?;
+        let origin = self.sys.clock();
+        if self.tt.is_none() {
+            return Err(TT_DISABLED.into());
+        }
+        let now_line = self.current_line(pe);
+        let now_depth = self.sys.platform.pes[pe.index()].frame_depth();
+        let mut window_hi = origin;
+        while let Some(cp) = self.tt.as_ref().unwrap().nearest_strictly_before(window_hi) {
+            let cp_clock = self.restart(cp)?;
+            // Sample (line, depth) of the focused PE at every cycle of the
+            // window; the last differing line is where we land.
+            let mut best: Option<u64> = None;
+            while self.sys.clock() < window_hi {
+                let line = self.current_line(pe);
+                let depth = self.sys.platform.pes[pe.index()].frame_depth();
+                if line.is_some() && line != now_line && (!step_over || depth <= now_depth) {
+                    best = Some(self.sys.clock());
+                }
+                self.replay_one_cycle();
+            }
+            if let Some(c) = best {
+                self.goto_cycle(c)?;
+                self.focus = Some(pe);
+                return Ok(Stop::StepDone { pe });
+            }
+            window_hi = cp_clock;
+        }
+        self.goto_cycle(origin)?;
+        Err("no earlier source line in recorded history".into())
+    }
+
+    pub fn reverse_step(&mut self) -> CmdResult<Stop> {
+        self.reverse_line_step(false)
+    }
+
+    pub fn reverse_next(&mut self) -> CmdResult<Stop> {
+        self.reverse_line_step(true)
+    }
+
+    /// `token origin <id>` — jump to the cycle a recorded token was
+    /// produced and name the producing firing's source location. Composes
+    /// the provenance machinery (§VI-D) with the replay engine: the
+    /// producing PE is still inside the push stub at that cycle, so the
+    /// call site is the stub frame's return address.
+    pub fn token_origin(&mut self, tok: TokenId) -> CmdResult<String> {
+        let (produced_at, producer, value_s) = {
+            let t = self
+                .model
+                .try_token(tok)
+                .ok_or("no such token in the record (it may have been evicted)")?;
+            let producer = self
+                .model
+                .graph
+                .conn(self.model.graph.link(t.link).from)
+                .actor;
+            (
+                t.produced_at,
+                producer,
+                t.value.render_short(&self.model.types),
+            )
+        };
+        if produced_at > self.sys.clock() {
+            return Err("token is newer than the current cycle".into());
+        }
+        self.goto_cycle(produced_at)?;
+        let name = self.model.graph.qualified_name(producer);
+        let loc = match self.model.graph.actor(producer).pe {
+            Some(pe) => {
+                let p = &self.sys.platform.pes[pe.index()];
+                // Inside the push stub the call site is ret_addr - 1;
+                // fall back to the raw pc if the frame is already gone.
+                let addr = p
+                    .frames
+                    .last()
+                    .map(|f| f.ret_addr.saturating_sub(1))
+                    .unwrap_or(p.pc);
+                self.focus = Some(pe);
+                self.info.describe_addr(addr)
+            }
+            None => "<unmapped>".to_string(),
+        };
+        Ok(format!(
+            "token {value_s} produced by `{name}' at cycle {produced_at}, {loc}"
+        ))
+    }
+
+    /// FNV-chained hash of the complete current state (machine + full
+    /// memory) — the strong equality tests and the CI determinism gate
+    /// compare across runs.
+    pub fn state_hash(&self) -> u64 {
+        replay::full_state_hash(&self.sys)
+    }
+
+    /// Divergence findings (`REPLAY501`) accumulated by boundary
+    /// verification during replays.
+    /// `(checkpoints, delta pages stored)` — the E6 bench reports the
+    /// recording footprint per interval.
+    pub fn checkpoint_footprint(&self) -> (usize, usize) {
+        match &self.tt {
+            Some(m) => (
+                m.checkpoints().count(),
+                m.checkpoints().map(|c| c.pages).sum(),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    pub fn replay_findings(&self) -> &[debuginfo::Finding] {
+        self.tt.as_ref().map_or(&[], |m| m.findings())
+    }
+
+    /// The execution-altering commands (§III: token inject/set/drop)
+    /// change the timeline: checkpoints recorded after this point describe
+    /// a history that no longer exists. Drop them and re-anchor at the
+    /// mutated state so restores and replays at or after the mutation stay
+    /// exact. Replays *crossing* the mutation from an earlier checkpoint
+    /// legitimately report REPLAY501 — the timeline really did change.
+    fn note_history_mutation(&mut self) {
+        if self.tt.is_none() {
+            return;
+        }
+        let clock = self.sys.clock();
+        let snap = self.snap();
+        let mgr = self.tt.as_mut().unwrap();
+        mgr.invalidate_after(clock.saturating_sub(1));
+        mgr.checkpoint_at(&mut self.sys, snap);
     }
 
     // ---- displays --------------------------------------------------------------

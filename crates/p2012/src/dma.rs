@@ -98,6 +98,24 @@ impl DmaEngine {
             .count()
     }
 
+    /// Feed the engine's state (including every queued transfer) to a
+    /// hasher, for the replay engine's divergence check. `Clone` of the
+    /// whole engine is the snapshot; this is its fingerprint.
+    pub fn hash_state(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u32(self.words_per_cycle);
+        h.write_u32(self.next_id);
+        h.write_u64(self.words_copied);
+        h.write_usize(self.transfers.len());
+        for t in &self.transfers {
+            h.write_u32(t.id);
+            h.write_u32(t.req.src);
+            h.write_u32(t.req.dst);
+            h.write_u32(t.req.len);
+            h.write_u32(t.copied);
+            h.write(format!("{:?}", t.state).as_bytes());
+        }
+    }
+
     /// Advance every in-flight transfer by one cycle.
     pub fn step(&mut self, mem: &mut Memory) {
         for t in &mut self.transfers {
@@ -257,6 +275,81 @@ mod tests {
         dma.step(&mut mem);
         dma.step(&mut mem);
         assert_eq!(dma.status(live), DmaStatus::Done);
+    }
+
+    fn engine_hash(d: &DmaEngine) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        d.hash_state(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn checkpoint_mid_transfer_replays_completion_at_same_cycle() {
+        // A checkpoint taken while a transfer is in flight must capture the
+        // pending retire: restoring the snapshot (engine clone + memory
+        // image) and re-stepping completes the transfer after exactly the
+        // same number of cycles, with identical memory and state hash.
+        let mut mem = Memory::new(MemoryMap::default());
+        for i in 0..12 {
+            mem.poke(L3_BASE + i, 200 + i).unwrap();
+        }
+        let mut dma = DmaEngine::new(4);
+        let id = dma.submit(DmaRequest {
+            src: L3_BASE,
+            dst: L2_BASE,
+            len: 12,
+        });
+        dma.step(&mut mem); // 4 of 12 words copied
+        assert_eq!(dma.status(id), DmaStatus::InFlight { remaining: 8 });
+
+        // Checkpoint: whole-engine clone plus full memory image.
+        let snap_dma = dma.clone();
+        let snap_mem = mem.snapshot_full();
+
+        // Original timeline: completes after two more steps.
+        dma.step(&mut mem);
+        dma.step(&mut mem);
+        assert_eq!(dma.status(id), DmaStatus::Done);
+        let final_hash = engine_hash(&dma);
+
+        // Restore and replay: the pending retire is still there, the
+        // remaining words land on the same cycles, the hash matches.
+        let mut dma2 = snap_dma;
+        mem.restore_full(&snap_mem);
+        assert_eq!(dma2.status(id), DmaStatus::InFlight { remaining: 8 });
+        assert_eq!(dma2.in_flight(), 1);
+        dma2.step(&mut mem);
+        assert_eq!(dma2.status(id), DmaStatus::InFlight { remaining: 4 });
+        dma2.step(&mut mem);
+        assert_eq!(dma2.status(id), DmaStatus::Done);
+        for i in 0..12 {
+            assert_eq!(mem.peek(L2_BASE + i).unwrap(), 200 + i);
+        }
+        assert_eq!(engine_hash(&dma2), final_hash);
+        // Retiring in the replay works exactly like the original.
+        dma2.retire(id);
+        assert_eq!(dma2.status(id), DmaStatus::Unknown);
+    }
+
+    #[test]
+    fn hash_distinguishes_transfer_progress() {
+        let mut mem = Memory::new(MemoryMap::default());
+        let mut dma = DmaEngine::new(1);
+        dma.submit(DmaRequest {
+            src: L3_BASE,
+            dst: L2_BASE,
+            len: 3,
+        });
+        let h0 = engine_hash(&dma);
+        dma.step(&mut mem);
+        let h1 = engine_hash(&dma);
+        assert_ne!(h0, h1, "progress must change the fingerprint");
+        assert_eq!(
+            engine_hash(&dma.clone()),
+            h1,
+            "clone is a faithful snapshot"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use debuginfo::Word;
 
 /// A level of the hierarchy plus its instance (cluster) when relevant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Region {
     L1 { cluster: u16 },
     L2,
@@ -115,6 +115,46 @@ impl std::fmt::Display for MemError {
     }
 }
 
+/// Granularity of the dirty-page tracking used by checkpoint/replay: a
+/// bank is split into pages of this many words, and only pages written
+/// since the last checkpoint boundary are copied into the next delta.
+pub const PAGE_WORDS: u32 = 1024;
+
+/// One dirty-trackable page: a bank (region) plus the page index within
+/// it. Ordered so page sets hash and compare deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    pub region: Region,
+    pub page: u32,
+}
+
+/// A full copy of every memory bank — the base image a checkpoint chain
+/// starts from. Deltas (dirty pages) apply on top of this.
+#[derive(Debug, Clone)]
+pub struct MemImage {
+    l1: Vec<Vec<Word>>,
+    l2: Vec<Word>,
+    l3: Vec<Word>,
+}
+
+impl MemImage {
+    /// The words of `page` within this image (last page may be partial).
+    pub fn page_data(&self, p: PageId) -> &[Word] {
+        let bank: &[Word] = match p.region {
+            Region::L1 { cluster } => &self.l1[cluster as usize],
+            Region::L2 => &self.l2,
+            Region::L3 => &self.l3,
+        };
+        page_slice(bank, p.page)
+    }
+}
+
+fn page_slice(bank: &[Word], page: u32) -> &[Word] {
+    let lo = (page * PAGE_WORDS) as usize;
+    let hi = (lo + PAGE_WORDS as usize).min(bank.len());
+    &bank[lo..hi]
+}
+
 /// Watchpoint trigger kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WatchKind {
@@ -151,9 +191,21 @@ pub struct Memory {
     l3: Vec<Word>,
     watches: Vec<Watch>,
     hits: Vec<WatchHit>,
+    /// Dirty-page flags per bank, mirroring the bank layout above, plus an
+    /// append-only list of first-touched pages — O(1) marking per store,
+    /// and a checkpoint boundary drains the list instead of scanning the
+    /// full (mostly idle) hierarchy.
+    dirty_l1: Vec<Vec<bool>>,
+    dirty_l2: Vec<bool>,
+    dirty_l3: Vec<bool>,
+    dirty_list: Vec<PageId>,
     /// Total accesses, for the simulator-throughput benchmark (B4).
     pub reads: u64,
     pub writes: u64,
+}
+
+fn pages_for(words: u32) -> usize {
+    words.div_ceil(PAGE_WORDS) as usize
 }
 
 impl Memory {
@@ -165,6 +217,12 @@ impl Memory {
             l2: vec![0; map.l2_words as usize],
             l3: vec![0; map.l3_words as usize],
             l1,
+            dirty_l1: (0..map.clusters)
+                .map(|_| vec![false; pages_for(map.l1_words)])
+                .collect(),
+            dirty_l2: vec![false; pages_for(map.l2_words)],
+            dirty_l3: vec![false; pages_for(map.l3_words)],
+            dirty_list: Vec::new(),
             map,
             watches: Vec::new(),
             hits: Vec::new(),
@@ -177,8 +235,24 @@ impl Memory {
         &self.map
     }
 
-    fn slot(&mut self, addr: u32) -> Result<(&mut Word, u32), MemError> {
+    fn mark_dirty(&mut self, region: Region, off: u32) {
+        let page = off / PAGE_WORDS;
+        let flag = match region {
+            Region::L1 { cluster } => &mut self.dirty_l1[cluster as usize][page as usize],
+            Region::L2 => &mut self.dirty_l2[page as usize],
+            Region::L3 => &mut self.dirty_l3[page as usize],
+        };
+        if !*flag {
+            *flag = true;
+            self.dirty_list.push(PageId { region, page });
+        }
+    }
+
+    fn slot(&mut self, addr: u32, mutate: bool) -> Result<(&mut Word, u32), MemError> {
         let (region, off) = self.map.decode(addr)?;
+        if mutate {
+            self.mark_dirty(region, off);
+        }
         let lat = self.map.latency(region);
         let cell = match region {
             Region::L1 { cluster } => &mut self.l1[cluster as usize][off as usize],
@@ -192,7 +266,7 @@ impl Memory {
     pub fn read(&mut self, addr: u32) -> Result<(Word, u32), MemError> {
         self.reads += 1;
         let watched = self.match_watch(addr, false);
-        let (cell, lat) = self.slot(addr)?;
+        let (cell, lat) = self.slot(addr, false)?;
         let v = *cell;
         if let Some(id) = watched {
             self.hits.push(WatchHit {
@@ -210,7 +284,7 @@ impl Memory {
     pub fn write(&mut self, addr: u32, value: Word) -> Result<u32, MemError> {
         self.writes += 1;
         let watched = self.match_watch(addr, true);
-        let (cell, lat) = self.slot(addr)?;
+        let (cell, lat) = self.slot(addr, true)?;
         let old = *cell;
         *cell = value;
         if let Some(id) = watched {
@@ -242,7 +316,7 @@ impl Memory {
     /// debugger's token-alteration commands (§III "Altering the Normal
     /// Execution").
     pub fn poke(&mut self, addr: u32, value: Word) -> Result<(), MemError> {
-        let (cell, _) = self.slot(addr)?;
+        let (cell, _) = self.slot(addr, true)?;
         *cell = value;
         Ok(())
     }
@@ -281,6 +355,85 @@ impl Memory {
 
     pub fn has_hits(&self) -> bool {
         !self.hits.is_empty()
+    }
+
+    // ---- checkpoint/replay support ----------------------------------------
+
+    /// Drain the dirty-page set (sorted) and clear all flags. Called at
+    /// each checkpoint boundary so the next interval starts clean.
+    pub fn take_dirty(&mut self) -> Vec<PageId> {
+        let mut list = std::mem::take(&mut self.dirty_list);
+        for p in &list {
+            match p.region {
+                Region::L1 { cluster } => {
+                    self.dirty_l1[cluster as usize][p.page as usize] = false;
+                }
+                Region::L2 => self.dirty_l2[p.page as usize] = false,
+                Region::L3 => self.dirty_l3[p.page as usize] = false,
+            }
+        }
+        list.sort_unstable();
+        list
+    }
+
+    /// The live words of `page` (last page of a bank may be partial).
+    pub fn page_data(&self, p: PageId) -> &[Word] {
+        let bank: &[Word] = match p.region {
+            Region::L1 { cluster } => &self.l1[cluster as usize],
+            Region::L2 => &self.l2,
+            Region::L3 => &self.l3,
+        };
+        page_slice(bank, p.page)
+    }
+
+    /// Overwrite one page with checkpointed content. Bypasses dirty
+    /// marking: a restore rewinds the memory image, it is not a write the
+    /// replayed execution performed.
+    pub fn restore_page(&mut self, p: PageId, data: &[Word]) {
+        let bank: &mut Vec<Word> = match p.region {
+            Region::L1 { cluster } => &mut self.l1[cluster as usize],
+            Region::L2 => &mut self.l2,
+            Region::L3 => &mut self.l3,
+        };
+        let lo = (p.page * PAGE_WORDS) as usize;
+        bank[lo..lo + data.len()].copy_from_slice(data);
+    }
+
+    /// Full copy of all banks (checkpoint base image).
+    pub fn snapshot_full(&self) -> MemImage {
+        MemImage {
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            l3: self.l3.clone(),
+        }
+    }
+
+    /// Restore every bank from a full image. Clears pending watch hits
+    /// (they belong to the abandoned timeline) but keeps the installed
+    /// watches — like GDB, watchpoints survive time travel.
+    pub fn restore_full(&mut self, img: &MemImage) {
+        self.l1.clone_from(&img.l1);
+        self.l2.clone_from(&img.l2);
+        self.l3.clone_from(&img.l3);
+        self.hits.clear();
+    }
+
+    /// Feed the complete memory content to a hasher (baseline hash of a
+    /// checkpoint chain; boundary hashes only cover dirty pages). Generic
+    /// (not `dyn`) on purpose: this walks every word of every bank, and
+    /// monomorphisation lets the hasher's word fast path inline.
+    pub fn hash_full<H: std::hash::Hasher>(&self, h: &mut H) {
+        for bank in &self.l1 {
+            for w in bank {
+                h.write_u32(*w);
+            }
+        }
+        for w in &self.l2 {
+            h.write_u32(*w);
+        }
+        for w in &self.l3 {
+            h.write_u32(*w);
+        }
     }
 }
 
@@ -370,5 +523,82 @@ mod tests {
         m.remove_watch(1);
         m.write(L2_BASE, 1).unwrap();
         assert!(!m.has_hits());
+    }
+
+    #[test]
+    fn writes_mark_pages_dirty_reads_do_not() {
+        let mut m = mem();
+        m.read(L2_BASE).unwrap();
+        assert!(m.take_dirty().is_empty(), "reads must not dirty pages");
+        m.write(L2_BASE, 1).unwrap();
+        m.write(L2_BASE + 1, 2).unwrap(); // same page: no second entry
+        m.poke(L3_BASE + PAGE_WORDS, 3).unwrap(); // pokes dirty too
+        let dirty = m.take_dirty();
+        assert_eq!(
+            dirty,
+            vec![
+                PageId {
+                    region: Region::L2,
+                    page: 0
+                },
+                PageId {
+                    region: Region::L3,
+                    page: 1
+                },
+            ]
+        );
+        // Drained: flags reset, next write re-marks.
+        assert!(m.take_dirty().is_empty());
+        m.write(L2_BASE, 9).unwrap();
+        assert_eq!(m.take_dirty().len(), 1);
+    }
+
+    #[test]
+    fn restore_page_bypasses_dirty_marking() {
+        let mut m = mem();
+        m.write(L1_BASE + 3, 77).unwrap();
+        let page = PageId {
+            region: Region::L1 { cluster: 0 },
+            page: 0,
+        };
+        let saved: Vec<Word> = m.page_data(page).to_vec();
+        assert_eq!(saved[3], 77);
+        m.take_dirty();
+        m.restore_page(page, &saved);
+        assert!(m.take_dirty().is_empty(), "restore is not an app write");
+    }
+
+    #[test]
+    fn full_image_round_trip() {
+        let mut m = mem();
+        m.write(L1_BASE + 1, 11).unwrap();
+        m.write(L2_BASE + 2, 22).unwrap();
+        let img = m.snapshot_full();
+        m.write(L1_BASE + 1, 99).unwrap();
+        m.write(L3_BASE, 5).unwrap();
+        m.restore_full(&img);
+        assert_eq!(m.peek(L1_BASE + 1).unwrap(), 11);
+        assert_eq!(m.peek(L2_BASE + 2).unwrap(), 22);
+        assert_eq!(m.peek(L3_BASE).unwrap(), 0);
+        assert_eq!(
+            img.page_data(PageId {
+                region: Region::L2,
+                page: 0
+            })[2],
+            22
+        );
+    }
+
+    #[test]
+    fn last_partial_page_has_short_slice() {
+        let map = MemoryMap {
+            l2_words: PAGE_WORDS + 10,
+            ..MemoryMap::default()
+        };
+        let mut m = Memory::new(map);
+        m.write(L2_BASE + PAGE_WORDS + 3, 1).unwrap();
+        let dirty = m.take_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(m.page_data(dirty[0]).len(), 10);
     }
 }

@@ -114,6 +114,19 @@ impl CycleReport {
     }
 }
 
+/// A snapshot of the machine minus memory content: clock, every PE's
+/// execution state, every DMA engine (including in-flight transfers) and
+/// the access counters. Memory is checkpointed separately (base image +
+/// dirty-page deltas) by the replay engine.
+#[derive(Debug, Clone)]
+pub struct PlatformState {
+    pub clock: u64,
+    pub pes: Vec<PeState>,
+    pub dma: Vec<DmaEngine>,
+    pub mem_reads: u64,
+    pub mem_writes: u64,
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Platform {
@@ -351,6 +364,43 @@ impl Platform {
             }
         }
         any_blocked && self.dma.iter().all(|d| d.in_flight() == 0)
+    }
+
+    /// Capture everything about the machine except memory content, which
+    /// the replay engine tracks separately via dirty pages.
+    pub fn capture_state(&self) -> PlatformState {
+        PlatformState {
+            clock: self.clock,
+            pes: self.pes.clone(),
+            dma: self.dma.clone(),
+            mem_reads: self.mem.reads,
+            mem_writes: self.mem.writes,
+        }
+    }
+
+    /// Restore a previously captured machine state (memory content is
+    /// restored separately). Pending watch hits belong to the abandoned
+    /// timeline and are dropped.
+    pub fn restore_state(&mut self, s: &PlatformState) {
+        self.clock = s.clock;
+        self.pes.clone_from(&s.pes);
+        self.dma.clone_from(&s.dma);
+        self.mem.reads = s.mem_reads;
+        self.mem.writes = s.mem_writes;
+        let _ = self.mem.take_hits();
+    }
+
+    /// Feed the full machine state (sans memory content) to a hasher.
+    pub fn hash_state(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u64(self.clock);
+        h.write_u64(self.mem.reads);
+        h.write_u64(self.mem.writes);
+        for pe in &self.pes {
+            pe.hash_state(h);
+        }
+        for d in &self.dma {
+            d.hash_state(h);
+        }
     }
 
     /// Human-readable topology description (the `platform_tour` example and

@@ -211,6 +211,32 @@ impl PeState {
         self.frames.len()
     }
 
+    /// Feed every observable piece of PE state to a hasher. Used by the
+    /// replay engine's divergence check: two executions with equal hashes
+    /// at every checkpoint boundary are byte-identical machines.
+    pub fn hash_state(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u32(self.pc);
+        // Status carries enums with payloads; its Debug form is a stable,
+        // collision-safe encoding without hand-maintaining a discriminant.
+        h.write(format!("{:?}", self.status).as_bytes());
+        h.write_u32(self.stall);
+        h.write_u64(self.retired);
+        h.write_u64(self.invocations);
+        h.write_usize(self.frames.len());
+        for f in &self.frames {
+            h.write_u32(f.func);
+            h.write_u32(f.ret_addr);
+            h.write_usize(f.locals.len());
+            for w in &f.locals {
+                h.write_u32(*w);
+            }
+            h.write_usize(f.stack.len());
+            for w in &f.stack {
+                h.write_u32(*w);
+            }
+        }
+    }
+
     pub fn top_frame(&self) -> Option<&Frame> {
         self.frames.last()
     }

@@ -65,6 +65,15 @@ pub struct EnvSource {
     pub gen: ValueGen,
     /// Cycles to wait before the first token.
     pub start_at: u64,
+    /// Every value ever emitted, in emission order. The environment is
+    /// outside the deterministic machine, so time travel must *replay*
+    /// recorded inputs rather than pull fresh ones (the list is append-only
+    /// and shared by all timelines — rewinding `produced` re-serves it).
+    pub recorded: Vec<Word>,
+    /// Test-only nondeterminism seed: always pull fresh values and refuse
+    /// to rewind the generator, modelling an un-rewindable environment.
+    /// Replays then diverge, which the REPLAY501 check must catch.
+    pub re_pull: bool,
 }
 
 impl EnvSource {
@@ -77,6 +86,8 @@ impl EnvSource {
             produced: 0,
             gen,
             start_at: 0,
+            recorded: Vec::new(),
+            re_pull: false,
         }
     }
 
@@ -88,6 +99,46 @@ impl EnvSource {
     pub fn with_start(mut self, start_at: u64) -> Self {
         self.start_at = start_at;
         self
+    }
+
+    /// Test-only: disable record/replay (see [`EnvSource::re_pull`]).
+    pub fn with_re_pull(mut self) -> Self {
+        self.re_pull = true;
+        self
+    }
+
+    /// The value of emission number `produced`. Always advances the
+    /// generator (keeping it in lock-step with the emission count), but
+    /// serves the recorded value when this emission already happened on a
+    /// previous timeline.
+    pub fn pull(&mut self) -> Word {
+        let fresh = self.gen.next();
+        if self.re_pull {
+            return fresh;
+        }
+        let idx = self.produced as usize;
+        if let Some(&v) = self.recorded.get(idx) {
+            return v;
+        }
+        debug_assert_eq!(idx, self.recorded.len());
+        self.recorded.push(fresh);
+        fresh
+    }
+
+    /// Checkpointable state: the emission cursor plus the generator. The
+    /// recording itself is append-only and shared across timelines.
+    pub fn capture_state(&self) -> EnvSourceState {
+        EnvSourceState {
+            produced: self.produced,
+            gen: self.gen.clone(),
+        }
+    }
+
+    pub fn restore_state(&mut self, s: &EnvSourceState) {
+        self.produced = s.produced;
+        if !self.re_pull {
+            self.gen = s.gen.clone();
+        }
     }
 
     /// Should this source emit at `clock`? (The runtime also checks link
@@ -105,6 +156,21 @@ impl EnvSource {
         let elapsed = clock - self.start_at;
         self.produced < elapsed / u64::from(self.period) + 1
     }
+}
+
+/// Checkpointable part of an [`EnvSource`] (see [`EnvSource::capture_state`]).
+#[derive(Debug, Clone)]
+pub struct EnvSourceState {
+    pub produced: u64,
+    pub gen: ValueGen,
+}
+
+/// Checkpointable part of an [`EnvSink`].
+#[derive(Debug, Clone)]
+pub struct EnvSinkState {
+    pub consumed: u64,
+    pub checksum: u64,
+    pub tail: Vec<Word>,
 }
 
 /// Drains tokens from a boundary link, recording a bounded tail of values
@@ -138,6 +204,20 @@ impl EnvSink {
 
     pub fn due(&self, clock: u64) -> bool {
         self.consumed < clock / u64::from(self.period) + 1
+    }
+
+    pub fn capture_state(&self) -> EnvSinkState {
+        EnvSinkState {
+            consumed: self.consumed,
+            checksum: self.checksum,
+            tail: self.tail.clone(),
+        }
+    }
+
+    pub fn restore_state(&mut self, s: &EnvSinkState) {
+        self.consumed = s.consumed;
+        self.checksum = s.checksum;
+        self.tail.clone_from(&s.tail);
     }
 
     pub fn record(&mut self, head_word: Word) {
@@ -208,6 +288,57 @@ mod tests {
         assert!(s.due(9));
         s.produced = 5;
         assert!(!s.due(9));
+    }
+
+    #[test]
+    fn source_replays_recorded_values_after_rewind() {
+        let mut s = EnvSource::new(ConnId(0), 1, ValueGen::Lcg { state: 7 });
+        let snap = s.capture_state();
+        let mut first = Vec::new();
+        for _ in 0..5 {
+            first.push(s.pull());
+            s.produced += 1;
+        }
+        // Rewind to the start and replay: identical values, even though the
+        // generator was advanced past them.
+        s.restore_state(&snap);
+        for v in &first {
+            assert_eq!(s.pull(), *v);
+            s.produced += 1;
+        }
+        // Continuing past the recording stays on the original sequence.
+        let a = s.pull();
+        s.produced += 1;
+        s.restore_state(&snap);
+        for _ in 0..5 {
+            s.pull();
+            s.produced += 1;
+        }
+        assert_eq!(s.pull(), a, "6th value must match across timelines");
+    }
+
+    #[test]
+    fn re_pull_source_diverges_on_replay() {
+        let mut s = EnvSource::new(ConnId(0), 1, ValueGen::Lcg { state: 7 }).with_re_pull();
+        let snap = s.capture_state();
+        let first = s.pull();
+        s.produced += 1;
+        s.restore_state(&snap); // generator NOT rewound: environment moved on
+        let replayed = s.pull();
+        assert_ne!(first, replayed, "re-pull must not reproduce history");
+    }
+
+    #[test]
+    fn sink_state_round_trips() {
+        let mut k = EnvSink::new(ConnId(1), 1);
+        k.record(7);
+        let snap = k.capture_state();
+        k.record(8);
+        k.record(9);
+        k.restore_state(&snap);
+        assert_eq!(k.consumed, 1);
+        assert_eq!(k.checksum, 7);
+        assert_eq!(k.tail, vec![7]);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub enum RuntimeEvent {
 /// the overflow instead of growing without bound.
 pub const EVENT_CAP: usize = 1 << 16;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventBuffer {
     enabled: bool,
     env_enabled: bool,

@@ -27,12 +27,12 @@ pub mod runtime;
 pub mod system;
 
 pub use api::{ApiStubs, StringPool};
-pub use envio::{EnvSink, EnvSource, ValueGen};
+pub use envio::{EnvSink, EnvSinkState, EnvSource, EnvSourceState, ValueGen};
 pub use events::{EventBuffer, RuntimeEvent};
 pub use fifo::FifoState;
 pub use graph::{
     Actor, ActorId, ActorKind, AppGraph, ConnId, Connection, Dir, GraphError, Link, LinkClass,
     LinkId,
 };
-pub use runtime::{FilterSched, Runtime, RuntimeStats};
+pub use runtime::{FilterSched, Runtime, RuntimeState, RuntimeStats};
 pub use system::System;

@@ -94,6 +94,24 @@ pub struct RuntimeStats {
     pub work_invocations: u64,
 }
 
+/// Opaque snapshot of the runtime's dynamic state, for checkpoint/replay.
+/// The static parts (graph, type table, PE↔actor mapping) are excluded:
+/// checkpoints are only taken after boot, when those no longer change.
+#[derive(Debug, Clone)]
+pub struct RuntimeState {
+    actors_rt: Vec<ActorRt>,
+    conns_rt: Vec<ConnRt>,
+    fifos: Vec<FifoState>,
+    modules_rt: Vec<ModuleRt>,
+    booted: bool,
+    console: Vec<String>,
+    events: EventBuffer,
+    protocol_errors: Vec<String>,
+    stats: RuntimeStats,
+    sources: Vec<crate::envio::EnvSourceState>,
+    sinks: Vec<crate::envio::EnvSinkState>,
+}
+
 /// The runtime system. Implements [`TrapHandler`]; owns all dynamic
 /// dataflow state.
 #[derive(Debug)]
@@ -722,7 +740,11 @@ impl Runtime {
             if fifo.is_full() {
                 continue; // retry next cycle; order preserved
             }
-            let v = s.gen.next();
+            // Record/replay point: on a first-run cycle this pulls a fresh
+            // value and records it; on a replayed cycle it re-serves the
+            // recorded value, because the environment is outside the
+            // deterministic machine and cannot be re-executed.
+            let v = s.pull();
             if let Ok(Some((index, _))) = fifo.push(ctx.mem, &[v]) {
                 s.produced += 1;
                 self.stats.tokens_pushed += 1;
@@ -906,6 +928,87 @@ impl Runtime {
         idx: u32,
     ) -> Result<(), String> {
         self.fifos[link.0 as usize].remove(mem, idx)
+    }
+
+    // ---- checkpoint/replay -------------------------------------------------
+
+    /// Capture the dynamic runtime state (see [`RuntimeState`]).
+    pub fn capture_state(&self) -> RuntimeState {
+        RuntimeState {
+            actors_rt: self.actors_rt.clone(),
+            conns_rt: self.conns_rt.clone(),
+            fifos: self.fifos.clone(),
+            modules_rt: self.modules_rt.clone(),
+            booted: self.booted,
+            console: self.console.clone(),
+            events: self.events.clone(),
+            protocol_errors: self.protocol_errors.clone(),
+            stats: self.stats,
+            sources: self.sources.iter().map(EnvSource::capture_state).collect(),
+            sinks: self.sinks.iter().map(EnvSink::capture_state).collect(),
+        }
+    }
+
+    /// Restore a captured runtime state. The graph, type table and
+    /// PE↔actor mapping are static after boot and left untouched; env
+    /// sources rewind to their recorded position (unless they are
+    /// `re_pull` test sources, which model an un-rewindable environment).
+    pub fn restore_state(&mut self, s: &RuntimeState) {
+        self.actors_rt.clone_from(&s.actors_rt);
+        self.conns_rt.clone_from(&s.conns_rt);
+        self.fifos.clone_from(&s.fifos);
+        self.modules_rt.clone_from(&s.modules_rt);
+        self.booted = s.booted;
+        self.console.clone_from(&s.console);
+        self.events = s.events.clone();
+        self.protocol_errors.clone_from(&s.protocol_errors);
+        self.stats = s.stats;
+        for (src, st) in self.sources.iter_mut().zip(&s.sources) {
+            src.restore_state(st);
+        }
+        for (snk, st) in self.sinks.iter_mut().zip(&s.sinks) {
+            snk.restore_state(st);
+        }
+        self.pop_buf.clear();
+    }
+
+    /// Feed the dynamic runtime state to a hasher (divergence check).
+    pub fn hash_state(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u8(u8::from(self.booted));
+        h.write_u64(self.stats.tokens_pushed);
+        h.write_u64(self.stats.tokens_popped);
+        h.write_u64(self.stats.work_invocations);
+        for a in &self.actors_rt {
+            h.write(format!("{:?}", a.sched).as_bytes());
+            h.write_u8(u8::from(a.started));
+            h.write_u8(u8::from(a.begun));
+            h.write_u8(u8::from(a.sync_requested));
+            h.write_u64(a.steps_done);
+        }
+        for c in &self.conns_rt {
+            h.write_u32(c.window_tokens);
+            h.write_u32(c.written);
+            for w in &c.window {
+                h.write_u32(*w);
+            }
+        }
+        for f in &self.fifos {
+            h.write_u64(f.pushed);
+            h.write_u64(f.popped);
+        }
+        for m in &self.modules_rt {
+            h.write_u64(m.steps);
+            h.write_u8(u8::from(m.stop));
+        }
+        h.write_usize(self.console.len());
+        h.write_usize(self.protocol_errors.len());
+        for s in &self.sources {
+            h.write_u64(s.produced);
+        }
+        for k in &self.sinks {
+            h.write_u64(k.consumed);
+            h.write_u64(k.checksum);
+        }
     }
 }
 

@@ -1,0 +1,548 @@
+//! Deterministic checkpoint/replay for the P2012 + PEDF simulator.
+//!
+//! The simulator is cycle-stepped and fully deterministic: the same
+//! machine state and the same (recorded) environment inputs always
+//! produce the same execution. Reverse debugging therefore reduces to
+//! *checkpoint + forward replay* — exactly GDB's record/replay strategy,
+//! and the enabling primitive of multiverse debugging (MIO, PAPERS.md).
+//!
+//! A [`CheckpointManager`] owns a chain of checkpoints:
+//!
+//! * the **baseline** holds a full [`MemImage`] plus the complete machine
+//!   state ([`MachineState`]: every PE's VM state, DMA engines with
+//!   in-flight transfers, the PEDF runtime with FIFO counters, scheduler
+//!   state and env-I/O cursors);
+//! * every later checkpoint stores the machine state plus only the
+//!   **dirty pages** written since the previous boundary (copy-on-write
+//!   keyed by the `MemoryMap` regions — idle banks cost nothing);
+//! * each boundary carries a **chained state hash**: `hash[i] =
+//!   fnv64(hash[i-1], machine, dirty pages)`. A replayed execution
+//!   recomputes the chain and any mismatch is reported as a `REPLAY501`
+//!   finding through the shared `debuginfo::Finding` pipeline — the
+//!   engine doubles as a divergence detector proving the simulator stays
+//!   deterministic.
+//!
+//! Restoring to checkpoint `C` rewinds the machine state wholesale and
+//! rewinds memory page-wise: only pages written after `C` are touched,
+//! each taken from the most recent delta at or before `C` (falling back
+//! to the baseline image). Later checkpoints are *kept*, so the replay
+//! that follows verifies the hash chain boundary by boundary.
+
+use debuginfo::{Finding, Severity, Word};
+use p2012::{MemImage, PageId};
+use pedf::{RuntimeState, System};
+
+pub const RULE_DIVERGENCE: &str = "REPLAY501";
+
+// ---- hashing ---------------------------------------------------------------
+
+/// FNV-1a 64-bit, as a [`std::hash::Hasher`]. `DefaultHasher` is not
+/// guaranteed stable across releases; divergence hashes must be, so runs
+/// can be compared across processes (the CI determinism gate).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Continue a hash chain from a previous boundary value.
+    pub fn chained(prev: u64) -> Self {
+        let mut h = Fnv64::new();
+        std::hash::Hasher::write_u64(&mut h, prev);
+        h
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    // Word-at-a-time fast path: one absorb per integer instead of one per
+    // byte. The checkpoint engine hashes megabytes of memory content per
+    // baseline, and the byte loop dominated `enable_time_travel`. Mixing a
+    // whole word per multiply is plenty for divergence detection, stays
+    // process-stable, and (unlike the default `to_ne_bytes` forwarding) is
+    // endian-independent.
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+// ---- machine state ---------------------------------------------------------
+
+/// Everything about the simulated machine except memory *content*:
+/// platform (clock, PEs, DMA, access counters) and the PEDF runtime's
+/// dynamic state (FIFOs, scheduler, env-I/O cursors, counters).
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    pub platform: p2012::PlatformState,
+    pub runtime: RuntimeState,
+}
+
+/// Capture the machine (memory content is tracked separately).
+pub fn capture_machine(sys: &System) -> MachineState {
+    MachineState {
+        platform: sys.platform.capture_state(),
+        runtime: sys.runtime.capture_state(),
+    }
+}
+
+/// Restore a captured machine.
+pub fn restore_machine(sys: &mut System, m: &MachineState) {
+    sys.platform.restore_state(&m.platform);
+    sys.runtime.restore_state(&m.runtime);
+}
+
+fn hash_machine_into(sys: &System, h: &mut Fnv64) {
+    sys.platform.hash_state(h);
+    sys.runtime.hash_state(h);
+}
+
+/// Hash of the complete system state, *including* full memory content.
+/// This is the strong equality used by tests and the CI determinism gate;
+/// boundary hashes inside the chain only cover dirty pages (cheap).
+pub fn full_state_hash(sys: &System) -> u64 {
+    use std::hash::Hasher;
+    let mut h = Fnv64::new();
+    hash_machine_into(sys, &mut h);
+    sys.platform.mem.hash_full(&mut h);
+    h.finish()
+}
+
+// ---- checkpoints -----------------------------------------------------------
+
+/// One checkpoint: machine state + the pages dirtied since the previous
+/// boundary + the chained hash at this boundary + a client payload (the
+/// debugger stores its session-model snapshot there).
+#[derive(Debug, Clone)]
+pub struct Checkpoint<X> {
+    pub id: u32,
+    pub clock: u64,
+    /// Chained boundary hash (see module docs).
+    pub hash: u64,
+    pub machine: MachineState,
+    /// Sorted by [`PageId`]; content as of `clock`.
+    pub pages: Vec<(PageId, Vec<Word>)>,
+    pub payload: X,
+}
+
+/// Summary row for `info checkpoints`.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointInfo {
+    pub id: u32,
+    pub clock: u64,
+    pub pages: usize,
+    pub hash: u64,
+}
+
+/// The checkpoint chain plus divergence findings.
+#[derive(Debug)]
+pub struct CheckpointManager<X> {
+    /// Auto-checkpoint interval in cycles.
+    pub interval: u64,
+    base: Option<MemImage>,
+    checkpoints: Vec<Checkpoint<X>>,
+    findings: Vec<Finding>,
+    next_id: u32,
+}
+
+impl<X> CheckpointManager<X> {
+    pub fn new(interval: u64) -> Self {
+        assert!(interval >= 1, "checkpoint interval must be positive");
+        CheckpointManager {
+            interval,
+            base: None,
+            checkpoints: Vec::new(),
+            findings: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    pub fn is_initialized(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Establish the baseline: full memory image, full-memory hash, reset
+    /// dirty tracking. Becomes checkpoint 0 (with no delta pages).
+    pub fn baseline(&mut self, sys: &mut System, payload: X) -> u32 {
+        use std::hash::Hasher;
+        let _ = sys.platform.mem.take_dirty();
+        let mut h = Fnv64::new();
+        hash_machine_into(sys, &mut h);
+        sys.platform.mem.hash_full(&mut h);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.base = Some(sys.platform.mem.snapshot_full());
+        self.checkpoints.push(Checkpoint {
+            id,
+            clock: sys.clock(),
+            hash: h.finish(),
+            machine: capture_machine(sys),
+            pages: Vec::new(),
+            payload,
+        });
+        id
+    }
+
+    pub fn checkpoints(&self) -> impl Iterator<Item = CheckpointInfo> + '_ {
+        self.checkpoints.iter().map(|c| CheckpointInfo {
+            id: c.id,
+            clock: c.clock,
+            pages: c.pages.len(),
+            hash: c.hash,
+        })
+    }
+
+    pub fn get(&self, id: u32) -> Option<&Checkpoint<X>> {
+        self.checkpoints.iter().find(|c| c.id == id)
+    }
+
+    fn last_clock(&self) -> u64 {
+        self.checkpoints.last().map_or(0, |c| c.clock)
+    }
+
+    /// Is there a recorded boundary at exactly this clock? (During replay
+    /// the run loop verifies instead of re-creating.)
+    pub fn has_checkpoint_at(&self, clock: u64) -> bool {
+        self.checkpoints
+            .binary_search_by_key(&clock, |c| c.clock)
+            .is_ok()
+    }
+
+    /// Should the auto-policy create a checkpoint at this clock? (Only on
+    /// first-run ground, i.e. past every recorded boundary.)
+    pub fn creation_due(&self, clock: u64) -> bool {
+        self.is_initialized() && clock >= self.last_clock() + self.interval
+    }
+
+    /// The latest checkpoint with `clock <= target`.
+    pub fn nearest_at_or_before(&self, target: u64) -> Option<u32> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.clock <= target)
+            .map(|c| c.id)
+    }
+
+    /// The latest checkpoint with `clock < target`.
+    pub fn nearest_strictly_before(&self, target: u64) -> Option<u32> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.clock < target)
+            .map(|c| c.id)
+    }
+
+    /// The chained hash over machine state + a dirty-page set.
+    fn boundary_hash(prev: u64, sys: &System, pages: &[PageId]) -> u64 {
+        use std::hash::Hasher;
+        let mut h = Fnv64::chained(prev);
+        hash_machine_into(sys, &mut h);
+        for p in pages {
+            h.write(format!("{p:?}").as_bytes());
+            for w in sys.platform.mem.page_data(*p) {
+                h.write_u32(*w);
+            }
+        }
+        h.finish()
+    }
+
+    /// Record a new checkpoint at the current clock (first-run ground).
+    pub fn checkpoint_at(&mut self, sys: &mut System, payload: X) -> u32 {
+        debug_assert!(self.is_initialized(), "baseline() first");
+        let dirty = sys.platform.mem.take_dirty();
+        let prev = self.checkpoints.last().map_or(0, |c| c.hash);
+        let hash = Self::boundary_hash(prev, sys, &dirty);
+        let pages = dirty
+            .into_iter()
+            .map(|p| (p, sys.platform.mem.page_data(p).to_vec()))
+            .collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.checkpoints.push(Checkpoint {
+            id,
+            clock: sys.clock(),
+            hash,
+            machine: capture_machine(sys),
+            pages,
+            payload,
+        });
+        id
+    }
+
+    /// A replayed execution reached a recorded boundary: recompute the
+    /// chained hash from the replay's own dirty set and compare. On
+    /// mismatch, record a `REPLAY501` finding naming the diverging cycle.
+    /// Either way the dirty tracking resets, exactly as the original
+    /// checkpoint creation did.
+    pub fn verify_boundary(&mut self, sys: &mut System, clock: u64) {
+        let Ok(idx) = self.checkpoints.binary_search_by_key(&clock, |c| c.clock) else {
+            return;
+        };
+        let dirty = sys.platform.mem.take_dirty();
+        if idx == 0 {
+            // Baseline boundary: replays never land here (restores target
+            // it directly), so there is nothing to verify.
+            return;
+        }
+        let prev = self.checkpoints[idx - 1].hash;
+        let replay_hash = Self::boundary_hash(prev, sys, &dirty);
+        let expect = self.checkpoints[idx].hash;
+        if replay_hash != expect {
+            self.findings.push(Finding::new(
+                RULE_DIVERGENCE,
+                Severity::Error,
+                format!("cycle {clock}"),
+                format!(
+                    "replay diverged from the recorded execution at checkpoint \
+                     boundary {} (cycle {clock}): recorded hash {expect:#018x}, \
+                     replayed hash {replay_hash:#018x} — a nondeterministic \
+                     input reached the simulation",
+                    self.checkpoints[idx].id
+                ),
+            ));
+        }
+    }
+
+    /// Rewind the system to checkpoint `id`. Machine state is restored
+    /// wholesale; memory is rewound page-wise (only pages written after
+    /// the checkpoint are touched). Later checkpoints are kept so the
+    /// subsequent replay verifies against them.
+    pub fn restore(&self, sys: &mut System, id: u32) -> Option<&Checkpoint<X>> {
+        let pos = self.checkpoints.iter().position(|c| c.id == id)?;
+        let cp = &self.checkpoints[pos];
+        let base = self.base.as_ref()?;
+
+        // Pages possibly newer than the checkpoint: everything dirtied
+        // since the last boundary, plus every page in later checkpoints.
+        let mut affected = sys.platform.mem.take_dirty();
+        for later in &self.checkpoints[pos + 1..] {
+            affected.extend(later.pages.iter().map(|(p, _)| *p));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        for page in affected {
+            // Content at cp.clock: the most recent delta at or before the
+            // checkpoint, falling back to the baseline image.
+            let mut data: Option<&[Word]> = None;
+            for earlier in self.checkpoints[..=pos].iter().rev() {
+                if let Ok(i) = earlier.pages.binary_search_by_key(&page, |(p, _)| *p) {
+                    data = Some(&earlier.pages[i].1);
+                    break;
+                }
+            }
+            let data = data.unwrap_or_else(|| base.page_data(page));
+            sys.platform.mem.restore_page(page, data);
+        }
+
+        restore_machine(sys, &cp.machine);
+        // Restore writes bypass dirty marking, but be explicit: the replay
+        // must regenerate the same dirty sets the original run did.
+        debug_assert!(sys.platform.mem.take_dirty().is_empty());
+        Some(cp)
+    }
+
+    /// Drop every checkpoint after `clock`: the debugger mutated history
+    /// (token injection/alteration), so later boundaries describe a
+    /// timeline that no longer exists. The baseline is always retained —
+    /// without it no memory restore is possible.
+    pub fn invalidate_after(&mut self, clock: u64) {
+        let mut first = true;
+        self.checkpoints.retain(|c| {
+            let keep = first || c.clock <= clock;
+            first = false;
+            keep
+        });
+    }
+
+    /// Divergence findings accumulated by [`Self::verify_boundary`].
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    pub fn clear_findings(&mut self) {
+        self.findings.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debuginfo::TypeTable;
+    use p2012::memory::L2_BASE;
+    use p2012::{Insn, PeId, Platform, PlatformConfig, ProgramBuilder};
+    use pedf::Runtime;
+
+    /// A minimal system: one PE incrementing a counter in L2 forever.
+    /// No dataflow graph — the runtime is a passive trap handler here.
+    fn counter_system() -> System {
+        let mut b = ProgramBuilder::new();
+        let entry = b.begin_func(1);
+        b.emit(Insn::Enter(1));
+        let top = b.here();
+        b.emit(Insn::LoadLocal(0));
+        b.emit(Insn::LoadLocal(0));
+        b.emit(Insn::LoadMem);
+        b.emit(Insn::Const(1));
+        b.emit(Insn::Add);
+        b.emit(Insn::StoreMem);
+        b.emit(Insn::Jump(top));
+        let prog = b.finish();
+        let mut platform = Platform::new(PlatformConfig::default());
+        platform.load(prog);
+        platform.invoke(PeId(0), entry, &[L2_BASE]);
+        platform.invoke(PeId(1), entry, &[L2_BASE + 5000]);
+        System::new(platform, Runtime::new(TypeTable::new()))
+    }
+
+    #[test]
+    fn restore_and_replay_reproduce_the_exact_state() {
+        let mut sys = counter_system();
+        let mut mgr: CheckpointManager<()> = CheckpointManager::new(100);
+        mgr.baseline(&mut sys, ());
+        sys.run(100);
+        let cp = mgr.checkpoint_at(&mut sys, ());
+        sys.run(250);
+        let final_hash = full_state_hash(&sys);
+        let final_counter = sys.platform.mem.peek(L2_BASE).unwrap();
+
+        // Rewind to the checkpoint: memory, PEs and clock all go back.
+        mgr.restore(&mut sys, cp).expect("checkpoint exists");
+        assert_eq!(sys.clock(), 100);
+        assert!(sys.platform.mem.peek(L2_BASE).unwrap() < final_counter);
+
+        // Replay the same 250 cycles: bit-identical outcome.
+        sys.run(250);
+        assert_eq!(full_state_hash(&sys), final_hash);
+        assert_eq!(sys.platform.mem.peek(L2_BASE).unwrap(), final_counter);
+    }
+
+    #[test]
+    fn restore_to_baseline_rewinds_everything() {
+        let mut sys = counter_system();
+        let mut mgr: CheckpointManager<()> = CheckpointManager::new(50);
+        let h0 = full_state_hash(&sys);
+        let base = mgr.baseline(&mut sys, ());
+        sys.run(50);
+        mgr.checkpoint_at(&mut sys, ());
+        sys.run(75);
+        mgr.restore(&mut sys, base).unwrap();
+        assert_eq!(sys.clock(), 0);
+        assert_eq!(full_state_hash(&sys), h0);
+    }
+
+    #[test]
+    fn verify_boundary_accepts_faithful_replays() {
+        let mut sys = counter_system();
+        let mut mgr: CheckpointManager<()> = CheckpointManager::new(100);
+        mgr.baseline(&mut sys, ());
+        sys.run(100);
+        let cp1 = mgr.checkpoint_at(&mut sys, ());
+        sys.run(100);
+        mgr.checkpoint_at(&mut sys, ());
+
+        mgr.restore(&mut sys, cp1).unwrap();
+        sys.run(100);
+        mgr.verify_boundary(&mut sys, 200);
+        assert!(mgr.findings().is_empty(), "{:?}", mgr.findings());
+    }
+
+    #[test]
+    fn verify_boundary_catches_divergence() {
+        let mut sys = counter_system();
+        let mut mgr: CheckpointManager<()> = CheckpointManager::new(100);
+        mgr.baseline(&mut sys, ());
+        sys.run(100);
+        let cp1 = mgr.checkpoint_at(&mut sys, ());
+        sys.run(100);
+        mgr.checkpoint_at(&mut sys, ());
+
+        mgr.restore(&mut sys, cp1).unwrap();
+        // Corrupt one word the program is working on: the replayed
+        // execution now differs from the recorded one.
+        sys.platform.mem.poke(L2_BASE, 424_242).unwrap();
+        sys.run(100);
+        mgr.verify_boundary(&mut sys, 200);
+        let fs = mgr.findings();
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, RULE_DIVERGENCE);
+        assert!(fs[0].message.contains("cycle 200"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn nearest_queries_and_invalidation() {
+        let mut sys = counter_system();
+        let mut mgr: CheckpointManager<()> = CheckpointManager::new(10);
+        let c0 = mgr.baseline(&mut sys, ());
+        sys.run(10);
+        let c1 = mgr.checkpoint_at(&mut sys, ());
+        sys.run(10);
+        let c2 = mgr.checkpoint_at(&mut sys, ());
+        assert_eq!(mgr.nearest_at_or_before(20), Some(c2));
+        assert_eq!(mgr.nearest_strictly_before(20), Some(c1));
+        assert_eq!(mgr.nearest_strictly_before(1), Some(c0));
+        assert_eq!(mgr.nearest_strictly_before(0), None);
+        assert!(mgr.has_checkpoint_at(10));
+        assert!(!mgr.has_checkpoint_at(11));
+        assert!(mgr.creation_due(30));
+        assert!(!mgr.creation_due(29));
+        mgr.invalidate_after(10);
+        assert_eq!(mgr.nearest_at_or_before(u64::MAX), Some(c1));
+        assert_eq!(mgr.checkpoints().count(), 2);
+    }
+
+    #[test]
+    fn fnv64_is_stable_across_runs() {
+        use std::hash::Hasher;
+        let mut h = Fnv64::new();
+        h.write(b"determinism");
+        // Pinned: this value must never change between releases, or CI
+        // hash comparisons across binaries break.
+        assert_eq!(h.finish(), 0x3100_2e8e_b74a_e062);
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::new();
+        a.write(b"xyz");
+        b.write(b"xyz");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::chained(a.finish());
+        let mut d = Fnv64::chained(b.finish());
+        c.write_u32(7);
+        d.write_u32(7);
+        assert_eq!(c.finish(), d.finish());
+        d.write_u32(8);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

@@ -12,11 +12,19 @@
 //! two directions a CI gate needs (clean graphs must stay clean, known-bad
 //! graphs must stay detected). `--json` replaces the human-readable output
 //! with machine-readable findings in a deterministic, byte-stable order.
+//!
+//! `--replay-check` instead *executes* the variant under the debugger with
+//! time travel enabled, drives a `reverse-continue` round trip, and prints
+//! byte-stable state hashes plus the findings JSON. CI runs it twice and
+//! byte-compares the outputs: any nondeterminism in the simulator, the
+//! replay engine or the analyzers shows up as a diff or as a `REPLAY501`
+//! finding (non-zero exit).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dataflow_debugger::h264::{build_decoder, decoder_sources, Bug};
+use dataflow_debugger::dfdbg::{Session, Stop};
+use dataflow_debugger::h264::{attach_env, build_decoder, decoder_sources, Bug};
 use dataflow_debugger::p2012::PlatformConfig;
 use dataflow_debugger::{bcv, dfa};
 
@@ -26,6 +34,7 @@ fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut expect_findings = false;
     let mut json = false;
+    let mut replay_check = false;
     for a in &args {
         match a.as_str() {
             "clean" => variant = Bug::None,
@@ -38,14 +47,19 @@ fn main() -> ExitCode {
             "warnings" => deny_warnings = true,
             "--expect-findings" => expect_findings = true,
             "--json" => json = true,
+            "--replay-check" => replay_check = true,
             other => {
                 eprintln!(
                     "usage: analyze [clean|deadlock|rate|oob|race|dma] \
-                     [--deny warnings] [--expect-findings] [--json] (got `{other}`)"
+                     [--deny warnings] [--expect-findings] [--json] \
+                     [--replay-check] (got `{other}`)"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if replay_check {
+        return run_replay_check(variant);
     }
 
     let (_sys, app) = match build_decoder(variant, 4, PlatformConfig::default()) {
@@ -118,4 +132,108 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The CI determinism gate: execute `variant` under the debugger with
+/// time travel enabled, catch every module step begin, run to a terminal
+/// stop, then drive a `reverse-continue` + replay round trip. Everything
+/// printed is byte-stable across runs (no wall-clock, no addresses), so
+/// CI can diff two invocations; within one invocation the final state
+/// hash must survive restore + replay unchanged and the replay engine
+/// must report zero `REPLAY501` divergences.
+fn run_replay_check(variant: Bug) -> ExitCode {
+    const N_MBS: u64 = 8;
+    const INTERVAL: u64 = 2_000;
+
+    let (sys, mut app) = match build_decoder(variant, N_MBS, PlatformConfig::default()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let boot = app.boot_entry;
+    let info = std::mem::take(&mut app.info);
+    let mut session = Session::attach(sys, info);
+    if let Err(e) = session.boot(boot) {
+        eprintln!("boot failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = attach_env(&mut session.sys, &app, N_MBS, 0xbeef) {
+        eprintln!("env attach failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    session.enable_time_travel(INTERVAL);
+    if let Err(e) = session.catch_step(None, true) {
+        eprintln!("catch step failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut hits = 0u64;
+    let terminal = loop {
+        match session.run(50_000_000) {
+            Stop::Dataflow(_) => hits += 1,
+            s @ (Stop::Deadlock | Stop::Quiescent | Stop::CycleLimit | Stop::Fault { .. }) => {
+                break s;
+            }
+            _ => hits += 1,
+        }
+        if hits > 1_000_000 {
+            eprintln!("error: runaway stop loop");
+            return ExitCode::FAILURE;
+        }
+    };
+    let terminal = match terminal {
+        Stop::Deadlock => "deadlock",
+        Stop::Quiescent => "quiescent",
+        Stop::Fault { .. } => "fault",
+        _ => "cycle-limit",
+    };
+    let end_clock = session.sys.clock();
+    let end_hash = session.state_hash();
+    println!("replay-check {variant:?}: {hits} stops, terminal {terminal}");
+    println!("end cycle {end_clock} hash {end_hash:#018x}");
+
+    let landed = match session.reverse_continue() {
+        Ok(_) => session.sys.clock(),
+        Err(e) => {
+            eprintln!("reverse-continue failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("reverse-continue landed at cycle {landed}");
+
+    if let Err(e) = session.goto_cycle(end_clock) {
+        eprintln!("replay to end failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let replayed_hash = session.state_hash();
+    println!(
+        "replayed to cycle {} hash {replayed_hash:#018x}",
+        session.sys.clock()
+    );
+
+    let findings = session.replay_findings();
+    println!("replay findings: {}", findings.len());
+    let mut ok = true;
+    if !findings.is_empty() {
+        print!(
+            "{}",
+            dataflow_debugger::debuginfo::render_findings(findings)
+        );
+        ok = false;
+    }
+    if replayed_hash != end_hash {
+        eprintln!("error: state hash diverged across the reverse-continue round trip");
+        ok = false;
+    }
+    if session.sys.clock() != end_clock {
+        eprintln!("error: replay overshot the original cycle");
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

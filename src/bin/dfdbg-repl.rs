@@ -15,33 +15,15 @@ use std::io::{BufRead, Write as _};
 
 use dataflow_debugger::bcv;
 use dataflow_debugger::dfa::AnalysisInput;
-use dataflow_debugger::dfdbg::cli::Cli;
+use dataflow_debugger::dfdbg::cli::{render_help, Cli};
 use dataflow_debugger::dfdbg::Session;
 use dataflow_debugger::h264::{attach_env, build_decoder, decoder_sources, Bug};
 use dataflow_debugger::p2012::PlatformConfig;
 
-const HELP: &str = "\
-Dataflow commands:
-  graph [dot]                         link occupancy / Graphviz DOT
-  analyze [rules|--json|--deny warnings]  static analysis (paints `graph dot`)
-  info filters|links|platform|breakpoints|console
-  filter <f> catch work               stop when <f>'s WORK fires
-  filter <f> catch In1=1, In2=1       stop on received-token counts
-  filter <f> catch *in=1              ... on every input interface
-  filter <f> configure splitter|pipeline|merger
-  filter <f> info last_token          provenance path
-  filter print last_token             last token of the focused filter -> $N
-  iface <a::c> record|print|stop
-  catch recv|send <a::c> | value <a::c> <v> | count <a::c> <n>
-  catch sched <f> | catch step [begin|end] [module]
-  step_both                           breakpoint both ends of the next send
-  token inject|set|drop <a::c> ...
-Low-level commands:
-  run [cycles] / continue / step / next / finish / stepi
-  break <symbol|file:line> / watch <object> / delete <id>
-  focus <actor> / where / backtrace / list [file:line]
-  print <object|$N>
-  quit";
+/// Auto-checkpoint interval for the interactive session: cheap enough to
+/// be invisible (see EXPERIMENTS.md E6), close enough that reverse
+/// execution replays at most this many cycles.
+const CHECKPOINT_INTERVAL: u64 = 10_000;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -71,6 +53,7 @@ fn main() {
     session.load_bcv_input(bcv_input);
     session.boot(boot).expect("boot");
     attach_env(&mut session.sys, &app, n_mbs, 0xbeef).expect("env");
+    session.enable_time_travel(CHECKPOINT_INTERVAL);
     println!(
         "dfdbg: attached to the H.264 decoder ({:?}, {n_mbs} macroblocks), \
          graph reconstructed: {} actors, {} links.\nType `help` for commands.",
@@ -97,7 +80,7 @@ fn main() {
         match line {
             "" => continue,
             "quit" | "q" | "exit" => break,
-            "help" | "h" => println!("{HELP}"),
+            "help" | "h" => println!("{}", render_help()),
             _ => {
                 let out = cli.exec(line);
                 if !out.is_empty() {

@@ -11,6 +11,8 @@
 //!   kernel lints before execution);
 //! * [`bcv`] — the bytecode verifier and static shared-memory race/DMA
 //!   analysis over the linked image;
+//! * [`replay`] — the deterministic checkpoint/replay engine behind the
+//!   debugger's time-travel commands;
 //! * [`dfdbg`] — the dataflow-aware interactive debugger (the paper's
 //!   contribution);
 //! * [`h264`] — the H.264-style case-study application (§VI).
@@ -24,3 +26,4 @@ pub use kernelc;
 pub use mind;
 pub use p2012;
 pub use pedf;
+pub use replay;

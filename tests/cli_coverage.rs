@@ -159,3 +159,56 @@ fn info_breakpoints_lists_everything() {
     assert!(out.contains("work of filter pipe"), "{out}");
     assert!(out.contains("TokenReceivedOn"), "{out}");
 }
+
+// ---- structural drift prevention: the command table IS the interface ----
+
+/// Every command (and alias) in the table must reach its dispatch arm:
+/// the dispatcher may complain about arguments or state, but never
+/// `unknown command`. This is what keeps `help` and the dispatcher from
+/// drifting apart again.
+#[test]
+fn every_listed_command_reaches_its_dispatch_arm() {
+    use dfdbg::cli::COMMANDS;
+    for spec in COMMANDS {
+        for name in std::iter::once(spec.name).chain(spec.aliases.iter().copied()) {
+            // Fresh session per word: executing one command must not be
+            // able to mask a dispatch failure of the next.
+            let mut c = cli(Bug::None, 4);
+            let out = c.exec(name);
+            assert!(
+                !out.contains("unknown command"),
+                "`{name}` fell through the dispatcher: {out}"
+            );
+        }
+    }
+    // And the negative direction still works.
+    let mut c = cli(Bug::None, 4);
+    let out = c.exec("frobnicate");
+    assert!(out.contains("unknown command"), "{out}");
+}
+
+/// `help` is rendered from the same table the dispatcher validates
+/// against, so every usage line appears verbatim.
+#[test]
+fn help_is_generated_from_the_command_table() {
+    use dfdbg::cli::{render_help, COMMANDS};
+    let help = render_help();
+    for spec in COMMANDS {
+        assert!(
+            help.contains(spec.usage),
+            "`{}` usage missing from help: {}",
+            spec.name,
+            spec.usage
+        );
+        for alias in spec.aliases {
+            assert!(
+                help.contains(alias),
+                "alias `{alias}` of `{}` missing from help",
+                spec.name
+            );
+        }
+    }
+    // Group headers structure the output.
+    assert!(help.contains("Time travel"), "{help}");
+    assert!(help.contains("Execution"), "{help}");
+}

@@ -167,4 +167,61 @@ proptest! {
             prop_assert_eq!(dl.popped, popped);
         }
     }
+
+    /// Time travel is invisible to the execution: `forward(n)` reaches the
+    /// same state (by full state hash) as `forward(n); reverse(k);
+    /// forward(k)`, for arbitrary run lengths, rewind distances and
+    /// checkpoint intervals.
+    #[test]
+    fn reverse_then_forward_replays_to_the_identical_state(
+        seed in any::<u32>(),
+        n in 50u64..2_000,
+        k_pct in 0u64..101,
+        interval_sel in 0u64..3,
+    ) {
+        let interval = [100u64, 300, 1_000][interval_sel as usize];
+        let (sys, app) = build_decoder(
+            Bug::None, 6, PlatformConfig::default(),
+        ).unwrap();
+        let boot = app.boot_entry;
+        let mut s = Session::attach(sys, app.info);
+        s.boot(boot).unwrap();
+        s.sys.runtime.add_source(
+            pedf::EnvSource::new(
+                app.boundary_in["bits_in"], 2,
+                pedf::ValueGen::Lcg { state: seed },
+            ).with_limit(6),
+        ).unwrap();
+        s.sys.runtime.add_source(
+            pedf::EnvSource::new(
+                app.boundary_in["cfg_in"], 2,
+                pedf::ValueGen::Counter { next: 0, step: 1 },
+            ).with_limit(6),
+        ).unwrap();
+        s.sys.runtime.add_sink(
+            pedf::EnvSink::new(app.boundary_out["frame_out"], 1),
+        ).unwrap();
+        s.enable_time_travel(interval);
+
+        // forward(n)
+        let target = s.sys.clock() + n;
+        while s.sys.clock() < target {
+            s.run(target - s.sys.clock());
+        }
+        let hash_n = s.state_hash();
+
+        // reverse(k): land k cycles back, then forward(k) again.
+        let k = n * k_pct / 100;
+        s.goto_cycle(target - k).unwrap();
+        prop_assert_eq!(s.sys.clock(), target - k);
+        while s.sys.clock() < target {
+            s.run(target - s.sys.clock());
+        }
+        prop_assert_eq!(s.sys.clock(), target);
+        prop_assert_eq!(s.state_hash(), hash_n, "replay must be bit-exact");
+        prop_assert!(
+            s.replay_findings().is_empty(),
+            "{:?}", s.replay_findings()
+        );
+    }
 }
