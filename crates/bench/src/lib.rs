@@ -21,14 +21,20 @@
 //! * [`replay`] — experiment E6: time-travel recording cost per
 //!   checkpoint interval, and reverse-execution latency.
 
+//! * [`server`] — experiment E7: remote debug-server load — N concurrent
+//!   TCP sessions each replaying the scripted deadlock diagnosis, with
+//!   throughput, latency quantiles and transcript-isolation checks.
+
 pub mod analysis;
 pub mod localization;
 pub mod overhead;
 pub mod replay;
 pub mod scaling;
+pub mod server;
 
 pub use analysis::{analyze_decoder, verify_decoder, AnalysisResult, VerifyResult};
 pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
 pub use replay::{checkpoint_overhead, reverse_continue_latency, ReplayPoint, ReverseLatency};
 pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};
+pub use server::{server_load, ServerLoadResult};

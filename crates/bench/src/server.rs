@@ -1,0 +1,151 @@
+//! Experiment E7: remote debug-server load.
+//!
+//! Drives N concurrent TCP sessions, each replaying the scripted §III
+//! deadlock diagnosis end to end (attach, static analysis, run to the
+//! deadlock, inspect filters/links, inject the missing token, run to
+//! completion, checkpoint). The harness reports throughput
+//! (sessions/sec), per-command latency quantiles, and — the property the
+//! server exists to guarantee — *isolation*: every remote transcript must
+//! be byte-identical to the in-process run of the same script.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use h264_pipeline::Bug;
+
+// The bench crate's own module is also called `server`, so the debug
+// server crate must be named from the crate root.
+use ::server::{local_transcript, Client, Server, ServerConfig, DEADLOCK_SCRIPT};
+
+/// Aggregate result of one load run.
+#[derive(Debug, Clone)]
+pub struct ServerLoadResult {
+    pub sessions: usize,
+    /// Wall time from releasing all clients to the last disconnect.
+    pub wall: Duration,
+    pub sessions_per_sec: f64,
+    /// Total debug commands executed across all sessions (excludes
+    /// `attach`, which is timed separately).
+    pub commands: u64,
+    /// Commands the server answered with `ok: false`.
+    pub errors: u64,
+    /// Mean `attach` latency — the dominant per-session cost (builds the
+    /// whole simulator, runs both static analyses).
+    pub attach_mean: Duration,
+    /// Per-command latency quantiles across every session's commands.
+    pub p50: Duration,
+    pub p99: Duration,
+    /// True iff every remote transcript was byte-identical to the
+    /// in-process reference run (zero cross-session interference).
+    pub isolated: bool,
+}
+
+struct WorkerResult {
+    attach: Duration,
+    latencies: Vec<Duration>,
+    transcript: String,
+    errors: u64,
+}
+
+fn drive_session(addr: std::net::SocketAddr, n_mbs: u64) -> Result<WorkerResult, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    let reply = client.request(&format!("attach deadlock {n_mbs}"))?;
+    let attach = t.elapsed();
+    if !reply.ok {
+        return Err(format!("attach failed: {}", reply.output));
+    }
+    let mut latencies = Vec::with_capacity(DEADLOCK_SCRIPT.len());
+    let mut transcript = String::new();
+    let mut errors = 0;
+    for cmd in DEADLOCK_SCRIPT {
+        let t = Instant::now();
+        let reply = client.request(cmd)?;
+        latencies.push(t.elapsed());
+        if !reply.ok {
+            errors += 1;
+        }
+        transcript.push_str(&reply.output);
+        transcript.push('\n');
+    }
+    let _ = client.request("quit");
+    Ok(WorkerResult {
+        attach,
+        latencies,
+        transcript,
+        errors,
+    })
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run `n_sessions` concurrent scripted diagnoses against one server
+/// instance and aggregate throughput, latency and isolation.
+pub fn server_load(n_sessions: usize, n_mbs: u64) -> ServerLoadResult {
+    let reference = local_transcript(Bug::Deadlock, n_mbs, DEADLOCK_SCRIPT)
+        .expect("in-process reference transcript");
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let shared = server.shared();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // All clients connect behind a barrier so the measured window starts
+    // with every session in flight, not with a connect ramp.
+    let start_line = Arc::new(Barrier::new(n_sessions + 1));
+    let workers: Vec<_> = (0..n_sessions)
+        .map(|_| {
+            let start_line = Arc::clone(&start_line);
+            std::thread::spawn(move || {
+                start_line.wait();
+                drive_session(addr, n_mbs)
+            })
+        })
+        .collect();
+    start_line.wait();
+    let t0 = Instant::now();
+    let results: Vec<WorkerResult> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker panicked").expect("session failed"))
+        .collect();
+    let wall = t0.elapsed();
+
+    shared.request_shutdown();
+    let _ = server_thread.join();
+
+    let mut latencies: Vec<Duration> = results.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort();
+    let attach_total: Duration = results.iter().map(|r| r.attach).sum();
+    ServerLoadResult {
+        sessions: n_sessions,
+        wall,
+        sessions_per_sec: n_sessions as f64 / wall.as_secs_f64(),
+        commands: latencies.len() as u64,
+        errors: results.iter().map(|r| r.errors).sum(),
+        attach_mean: attach_total / n_sessions.max(1) as u32,
+        p50: quantile(&latencies, 0.50),
+        p99: quantile(&latencies, 0.99),
+        isolated: results.iter().all(|r| r.transcript == reference),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_sessions_stay_isolated() {
+        let r = server_load(4, 4);
+        assert_eq!(r.sessions, 4);
+        assert_eq!(r.commands, 4 * DEADLOCK_SCRIPT.len() as u64);
+        assert_eq!(r.errors, 0, "scripted diagnosis should not error");
+        assert!(r.isolated, "remote transcripts diverged from in-process");
+        assert!(r.p50 <= r.p99);
+    }
+}

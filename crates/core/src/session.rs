@@ -370,20 +370,19 @@ impl Session {
             // Time travel: at a recorded boundary, verify the replayed
             // hash chain (divergence -> REPLAY501); on new ground, create
             // the periodic checkpoint. Runs before the stop queue pops so
-            // pending stops are part of the snapshot.
-            if let Some(mgr) = &self.tt {
+            // pending stops are part of the snapshot. The manager is
+            // *taken* for the duration of the hook (it is a few words;
+            // the checkpoint payloads live behind its Vec) so there is a
+            // single `if let` and no `is_some`/`unwrap` pair to desync.
+            if let Some(mut mgr) = self.tt.take() {
                 let clock = self.sys.clock();
                 if mgr.has_checkpoint_at(clock) {
-                    // `tt` and `sys` are disjoint fields, so the manager
-                    // can be re-borrowed mutably alongside the system.
-                    self.tt
-                        .as_mut()
-                        .unwrap()
-                        .verify_boundary(&mut self.sys, clock);
+                    mgr.verify_boundary(&mut self.sys, clock);
                 } else if mgr.creation_due(clock) {
                     let snap = self.snap();
-                    self.tt.as_mut().unwrap().checkpoint_at(&mut self.sys, snap);
+                    mgr.checkpoint_at(&mut self.sys, snap);
                 }
+                self.tt = Some(mgr);
             }
 
             if let Some(s) = self.stop_queue.pop_front() {
@@ -1415,31 +1414,42 @@ impl Session {
         self.tt.is_some()
     }
 
+    /// The checkpoint manager, or the canonical "not enabled" diagnostic.
+    /// Every reverse/restore entry point goes through this accessor (or
+    /// takes the manager outright) instead of pairing an `is_some` guard
+    /// with later `unwrap`s that a refactor could desync.
+    fn tt_mgr(&self) -> Result<&CheckpointManager<SessionSnap>, String> {
+        self.tt.as_ref().ok_or_else(|| TT_DISABLED.to_string())
+    }
+
     /// `checkpoint` — record a checkpoint right now. Enables time travel
     /// (with the default interval) on first use, exactly like GDB's
     /// `checkpoint` starts bookkeeping lazily.
     pub fn checkpoint_now(&mut self) -> CmdResult<u32> {
         const DEFAULT_INTERVAL: u64 = 10_000;
-        if self.tt.is_none() {
+        let Some(mut mgr) = self.tt.take() else {
             return Ok(self.enable_time_travel(DEFAULT_INTERVAL));
-        }
+        };
         let clock = self.sys.clock();
-        let mgr = self.tt.as_ref().unwrap();
-        if let Some(cp) = mgr.checkpoints().find(|c| c.clock == clock) {
-            return Ok(cp.id); // already have a boundary at this cycle
-        }
-        if mgr.checkpoints().any(|c| c.clock > clock) {
-            return Err("cannot create a checkpoint while inside recorded \
-                        history (run forward past the last checkpoint first)"
-                .to_string());
-        }
-        let snap = self.snap();
-        Ok(self.tt.as_mut().unwrap().checkpoint_at(&mut self.sys, snap))
+        let existing = mgr.checkpoints().find(|c| c.clock == clock).map(|c| c.id);
+        let inside_history = mgr.checkpoints().any(|c| c.clock > clock);
+        let result = if let Some(id) = existing {
+            Ok(id) // already have a boundary at this cycle
+        } else if inside_history {
+            Err("cannot create a checkpoint while inside recorded \
+                 history (run forward past the last checkpoint first)"
+                .to_string())
+        } else {
+            let snap = self.snap();
+            Ok(mgr.checkpoint_at(&mut self.sys, snap))
+        };
+        self.tt = Some(mgr);
+        result
     }
 
     /// `info checkpoints` — the recorded chain.
     pub fn checkpoints_info(&self) -> CmdResult<String> {
-        let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+        let mgr = self.tt_mgr()?;
         let mut out = String::from("Id   Cycle        Pages  Hash\n");
         for c in mgr.checkpoints() {
             out.push_str(&format!(
@@ -1462,6 +1472,9 @@ impl Session {
     /// survive, as in GDB's `restart`.
     pub fn restart(&mut self, id: u32) -> CmdResult<u64> {
         let snap = {
+            // Field access, not `tt_mgr()`: the manager must stay
+            // borrowed from `self.tt` alone so `self.sys` can be handed
+            // to `restore` mutably alongside it.
             let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
             let cp = mgr
                 .restore(&mut self.sys, id)
@@ -1477,7 +1490,7 @@ impl Session {
     /// every recorded boundary they cross.
     pub fn goto_cycle(&mut self, target: u64) -> CmdResult<()> {
         let id = {
-            let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+            let mgr = self.tt_mgr()?;
             mgr.nearest_at_or_before(target)
                 .ok_or("target cycle predates the recorded history")?
         };
@@ -1505,15 +1518,12 @@ impl Session {
     /// forward counting hits, then replay again up to the last one.
     pub fn reverse_continue(&mut self) -> CmdResult<Stop> {
         let origin = self.sys.clock();
-        if self.tt.is_none() {
-            return Err(TT_DISABLED.into());
-        }
         // Replays reap temporary catchpoints as they fire; both counting
         // passes must start from the same set or the hit counts drift.
         let saved_catch = self.model.catchpoints.clone();
         let saved_next = self.model.next_catch_id();
         let mut window_hi = origin;
-        while let Some(cp) = self.tt.as_ref().unwrap().nearest_strictly_before(window_hi) {
+        while let Some(cp) = self.tt_mgr()?.nearest_strictly_before(window_hi) {
             self.model.set_catchpoints(saved_catch.clone(), saved_next);
             let cp_clock = self.restart(cp)?;
             // Pass 1: count reversible hits strictly inside the window.
@@ -1564,7 +1574,7 @@ impl Session {
         let now = self.sys.clock();
         let r_now = self.sys.platform.pes[pe.index()].retired;
         let cp = {
-            let mgr = self.tt.as_ref().ok_or(TT_DISABLED)?;
+            let mgr = self.tt_mgr()?;
             let mut cand = None;
             for info in mgr.checkpoints() {
                 if info.clock > now {
@@ -1599,13 +1609,10 @@ impl Session {
     fn reverse_line_step(&mut self, step_over: bool) -> CmdResult<Stop> {
         let pe = self.focused()?;
         let origin = self.sys.clock();
-        if self.tt.is_none() {
-            return Err(TT_DISABLED.into());
-        }
         let now_line = self.current_line(pe);
         let now_depth = self.sys.platform.pes[pe.index()].frame_depth();
         let mut window_hi = origin;
-        while let Some(cp) = self.tt.as_ref().unwrap().nearest_strictly_before(window_hi) {
+        while let Some(cp) = self.tt_mgr()?.nearest_strictly_before(window_hi) {
             let cp_clock = self.restart(cp)?;
             // Sample (line, depth) of the focused PE at every cycle of the
             // window; the last differing line is where we land.
@@ -1716,14 +1723,14 @@ impl Session {
     /// exact. Replays *crossing* the mutation from an earlier checkpoint
     /// legitimately report REPLAY501 — the timeline really did change.
     fn note_history_mutation(&mut self) {
-        if self.tt.is_none() {
+        let Some(mut mgr) = self.tt.take() else {
             return;
-        }
+        };
         let clock = self.sys.clock();
         let snap = self.snap();
-        let mgr = self.tt.as_mut().unwrap();
         mgr.invalidate_after(clock.saturating_sub(1));
         mgr.checkpoint_at(&mut self.sys, snap);
+        self.tt = Some(mgr);
     }
 
     // ---- displays --------------------------------------------------------------

@@ -1,0 +1,146 @@
+//! The client half of the wire protocol: used by `dfdbg-repl --connect`,
+//! the E7 load bench, the concurrency tests and the CI transcript gate.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use h264_pipeline::Bug;
+
+use crate::proto::{Frame, Request};
+use crate::session::variant_name;
+
+/// A connected protocol client. Asynchronous event frames received while
+/// waiting for a response are collected in [`Client::events`] rather than
+/// dropped.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    /// Async notifications received so far, as `(event, detail)`.
+    pub events: Vec<(String, String)>,
+}
+
+/// One response, as the caller sees it.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    pub ok: bool,
+    pub output: String,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        // Generous ceiling so a hung server cannot wedge the client
+        // forever; real commands answer in well under this.
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 1,
+            events: Vec::new(),
+        })
+    }
+
+    /// Read one frame (blocking up to the read timeout).
+    pub fn recv_frame(&mut self) -> Result<Frame, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed".into());
+        }
+        Frame::decode(line.trim_end())
+    }
+
+    /// Send one command and wait for its response, collecting any events
+    /// that arrive in between.
+    pub fn request(&mut self, cmd: &str) -> Result<Reply, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = Request {
+            id,
+            cmd: cmd.to_string(),
+        }
+        .encode();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        loop {
+            match self.recv_frame()? {
+                Frame::Event { event, detail } => self.events.push((event, detail)),
+                Frame::Response {
+                    id: rid,
+                    ok,
+                    output,
+                } => {
+                    if rid != id {
+                        return Err(format!("response id {rid} does not match request {id}"));
+                    }
+                    return Ok(Reply { ok, output });
+                }
+            }
+        }
+    }
+
+    /// Drain frames until the server closes the connection, collecting
+    /// events; used to observe the shutdown/idle notifications.
+    pub fn drain_events(&mut self) {
+        while let Ok(frame) = self.recv_frame() {
+            if let Frame::Event { event, detail } = frame {
+                self.events.push((event, detail));
+            }
+        }
+    }
+}
+
+/// Drive a scripted session over TCP and return the transcript assembled
+/// exactly like [`crate::session::local_transcript`] does in-process: for
+/// each command, the response `output` followed by one newline. Requests
+/// `quit` at the end (best-effort) so the server sees a clean close.
+pub fn remote_transcript(
+    addr: impl ToSocketAddrs,
+    bug: Bug,
+    n_mbs: u64,
+    script: &[&str],
+) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let attach = client.request(&format!("attach {} {n_mbs}", variant_name(bug)))?;
+    if !attach.ok {
+        return Err(format!("attach failed: {}", attach.output));
+    }
+    let mut transcript = String::new();
+    for cmd in script {
+        let reply = client.request(cmd)?;
+        transcript.push_str(&reply.output);
+        transcript.push('\n');
+    }
+    let _ = client.request("quit");
+    Ok(transcript)
+}
+
+/// Fetch the text `/metrics` endpoint over plain HTTP.
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    use std::io::Read as _;
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(format!("malformed HTTP response: {response}"));
+    };
+    if !head.starts_with("HTTP/1.0 200") {
+        return Err(format!("unexpected status: {head}"));
+    }
+    Ok(body.to_string())
+}

@@ -1,0 +1,129 @@
+//! Structured per-session event log.
+//!
+//! Every lifecycle transition and command execution is appended as one
+//! [`LogEvent`]; the buffer is bounded (oldest entries evicted) so a
+//! long-lived server cannot grow without limit — the same discipline the
+//! debugger applies to its own token timeline (`RECORD_LIMIT`). The `log`
+//! wire command renders the tail, optionally filtered to one session.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    Connected,
+    Attached,
+    Command,
+    CommandTimeout,
+    IdleTimeout,
+    Truncated,
+    ShutdownCheckpoint,
+    Disconnected,
+}
+
+impl EventKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Connected => "connected",
+            EventKind::Attached => "attached",
+            EventKind::Command => "command",
+            EventKind::CommandTimeout => "command-timeout",
+            EventKind::IdleTimeout => "idle-timeout",
+            EventKind::Truncated => "truncated",
+            EventKind::ShutdownCheckpoint => "shutdown-checkpoint",
+            EventKind::Disconnected => "disconnected",
+        }
+    }
+}
+
+/// One structured entry.
+#[derive(Debug, Clone)]
+pub struct LogEvent {
+    /// Milliseconds since the server started (monotonic).
+    pub at_ms: u64,
+    pub session: u64,
+    pub kind: EventKind,
+    pub detail: String,
+}
+
+/// Bounded, thread-shared event log.
+pub struct EventLog {
+    entries: Mutex<VecDeque<LogEvent>>,
+    capacity: usize,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn push(&self, at_ms: u64, session: u64, kind: EventKind, detail: impl Into<String>) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(LogEvent {
+            at_ms,
+            session,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Render the most recent `limit` events (oldest first), optionally
+    /// restricted to one session.
+    pub fn render_tail(&self, limit: usize, session: Option<u64>) -> String {
+        let entries = self.entries.lock().unwrap();
+        let selected: Vec<&LogEvent> = entries
+            .iter()
+            .filter(|e| session.is_none_or(|s| e.session == s))
+            .collect();
+        let skip = selected.len().saturating_sub(limit);
+        let mut out = String::new();
+        for e in &selected[skip..] {
+            out.push_str(&format!(
+                "{:>8}ms  session {:<4} {:<20} {}\n",
+                e.at_ms,
+                e.session,
+                e.kind.label(),
+                e.detail
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("no events recorded\n");
+        }
+        out
+    }
+
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_filterable() {
+        let log = EventLog::new(4);
+        for i in 0..10u64 {
+            log.push(i, i % 2, EventKind::Command, format!("cmd {i}"));
+        }
+        let tail = log.render_tail(100, None);
+        assert!(!tail.contains("cmd 5"), "evicted entries linger: {tail}");
+        assert!(tail.contains("cmd 9"));
+        let s0 = log.render_tail(100, Some(0));
+        assert!(s0.contains("cmd 8") && !s0.contains("cmd 9"), "{s0}");
+        assert_eq!(log.count(EventKind::Command), 4);
+    }
+}

@@ -1,0 +1,335 @@
+//! The wire protocol: newline-delimited JSON, GDB/MI in spirit.
+//!
+//! One frame per line, UTF-8, no embedded newlines (they are escaped):
+//!
+//! ```text
+//! client -> server   {"id": 3, "cmd": "continue"}
+//! server -> client   {"id": 3, "ok": true, "output": "Deadlock..."}
+//! server -> client   {"event": "shutdown", "detail": "checkpoint 2 at cycle 1361"}
+//! ```
+//!
+//! Responses always echo the request `id`; frames without an `id` are
+//! **asynchronous notifications** (GDB/MI's `*stopped`-style records) the
+//! client must be prepared to receive between a request and its response.
+//! A request the server cannot parse at all is answered with `id: 0`.
+//!
+//! The build environment is offline (no serde), so both directions are
+//! hand-rolled here: a minimal, strict JSON object reader covering the
+//! subset the protocol uses (flat objects of string / integer / bool
+//! fields) and an escaping writer. Everything is round-trip tested.
+
+use std::fmt::Write as _;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub id: u64,
+    pub cmd: String,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Reply to the request carrying the same `id`.
+    Response { id: u64, ok: bool, output: String },
+    /// Asynchronous notification (no `id`).
+    Event { event: String, detail: String },
+}
+
+impl Request {
+    pub fn encode(&self) -> String {
+        format!(
+            "{{\"id\": {}, \"cmd\": {}}}",
+            self.id,
+            json_string(&self.cmd)
+        )
+    }
+
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let fields = parse_object(line)?;
+        let id = match fields.iter().find(|(k, _)| k == "id") {
+            Some((_, JsonValue::Int(n))) => *n,
+            Some(_) => return Err("`id` must be an integer".into()),
+            None => return Err("request is missing `id`".into()),
+        };
+        let cmd = match fields.iter().find(|(k, _)| k == "cmd") {
+            Some((_, JsonValue::Str(s))) => s.clone(),
+            Some(_) => return Err("`cmd` must be a string".into()),
+            None => return Err("request is missing `cmd`".into()),
+        };
+        Ok(Request { id, cmd })
+    }
+}
+
+impl Frame {
+    pub fn encode(&self) -> String {
+        match self {
+            Frame::Response { id, ok, output } => format!(
+                "{{\"id\": {id}, \"ok\": {ok}, \"output\": {}}}",
+                json_string(output)
+            ),
+            Frame::Event { event, detail } => format!(
+                "{{\"event\": {}, \"detail\": {}}}",
+                json_string(event),
+                json_string(detail)
+            ),
+        }
+    }
+
+    pub fn decode(line: &str) -> Result<Frame, String> {
+        let fields = parse_object(line)?;
+        if let Some((_, v)) = fields.iter().find(|(k, _)| k == "event") {
+            let JsonValue::Str(event) = v else {
+                return Err("`event` must be a string".into());
+            };
+            let detail = match fields.iter().find(|(k, _)| k == "detail") {
+                Some((_, JsonValue::Str(s))) => s.clone(),
+                _ => String::new(),
+            };
+            return Ok(Frame::Event {
+                event: event.clone(),
+                detail,
+            });
+        }
+        let id = match fields.iter().find(|(k, _)| k == "id") {
+            Some((_, JsonValue::Int(n))) => *n,
+            _ => return Err("response is missing `id`".into()),
+        };
+        let ok = match fields.iter().find(|(k, _)| k == "ok") {
+            Some((_, JsonValue::Bool(b))) => *b,
+            _ => return Err("response is missing `ok`".into()),
+        };
+        let output = match fields.iter().find(|(k, _)| k == "output") {
+            Some((_, JsonValue::Str(s))) => s.clone(),
+            _ => return Err("response is missing `output`".into()),
+        };
+        Ok(Frame::Response { id, ok, output })
+    }
+}
+
+/// JSON-escape a string, including the quotes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The value subset the protocol uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+}
+
+/// Parse one flat JSON object (`{"k": v, ...}`) into its fields.
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        chars: line.trim().char_indices().peekable(),
+        src: line.trim(),
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.next();
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err("trailing characters after the object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected `{want}`, got {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let c = self.next().ok_or("truncated \\u escape")?;
+                            v = v * 16 + c.to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        // The protocol never emits surrogate pairs (it
+                        // escapes only control characters), but reject
+                        // rather than mangle if a foreign client does.
+                        out.push(char::from_u32(v).ok_or("\\u escape is not a scalar value")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some('"') => Ok(JsonValue::Str(self.string()?)),
+            Some('t') => self.literal("true", JsonValue::Bool(true)),
+            Some('f') => self.literal("false", JsonValue::Bool(false)),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n = 0u64;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    let d = self.next().unwrap().to_digit(10).unwrap() as u64;
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d))
+                        .ok_or("integer out of range")?;
+                }
+                Ok(JsonValue::Int(n))
+            }
+            other => Err(format!(
+                "unsupported value starting with {other:?} in {}",
+                self.src
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        for want in word.chars() {
+            if self.next() != Some(want) {
+                return Err(format!("bad literal (expected `{word}`)"));
+            }
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let r = Request {
+            id: 42,
+            cmd: "filter ipred catch Pipe_in=1, Hwcfg_in=1".into(),
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn response_round_trip_with_escapes() {
+        let f = Frame::Response {
+            id: 7,
+            ok: false,
+            output: "line 1\nline 2\t\"quoted\" \\ backslash \u{1}".into(),
+        };
+        let line = f.encode();
+        assert!(!line.contains('\n'), "frames must stay on one line: {line}");
+        assert_eq!(Frame::decode(&line).unwrap(), f);
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let f = Frame::Event {
+            event: "shutdown".into(),
+            detail: "checkpoint 2 at cycle 1361".into(),
+        };
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn foreign_field_order_and_whitespace_accepted() {
+        let r = Request::decode(" { \"cmd\" : \"info links\" , \"id\" : 9 } ").unwrap();
+        assert_eq!(r.id, 9);
+        assert_eq!(r.cmd, "info links");
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "nonsense",
+            "{\"id\": 1}",
+            "{\"cmd\": \"x\"}",
+            "{\"id\": \"one\", \"cmd\": \"x\"}",
+            "{\"id\": 1, \"cmd\": \"x\"} trailing",
+            "{\"id\": 99999999999999999999999, \"cmd\": \"x\"}",
+            "{\"id\": 1, \"cmd\": \"\\ud800\"}",
+        ] {
+            assert!(Request::decode(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let r = Request {
+            id: 1,
+            cmd: "print grüße \u{1F41B}".into(),
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+}

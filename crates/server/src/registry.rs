@@ -1,0 +1,125 @@
+//! The shared session registry.
+//!
+//! Session threads own their [`dfdbg::cli::Cli`] outright (no cross-thread
+//! sharing of simulator state — isolation is structural); the registry
+//! holds only the metadata other parties need: the `sessions` wire
+//! command, the graceful drain (which waits for this map to empty), and
+//! the event log's session ids.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Where a session slot is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connected, no application attached yet.
+    Connected,
+    /// Attached to a decoder variant and accepting debug commands.
+    Attached,
+    /// Draining: a shutdown was requested and the session is closing.
+    Draining,
+}
+
+/// Metadata for one live session.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    pub id: u64,
+    pub peer: String,
+    pub state: SessionState,
+    /// Decoder variant label once attached (e.g. `deadlock`).
+    pub variant: Option<String>,
+    pub n_mbs: u64,
+    pub commands: u64,
+    /// Milliseconds since server start when the connection arrived.
+    pub since_ms: u64,
+}
+
+/// Thread-shared map of live sessions.
+#[derive(Default)]
+pub struct Registry {
+    sessions: Mutex<BTreeMap<u64, SessionInfo>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&self, info: SessionInfo) {
+        self.sessions.lock().unwrap().insert(info.id, info);
+    }
+
+    pub fn remove(&self, id: u64) {
+        self.sessions.lock().unwrap().remove(&id);
+    }
+
+    pub fn update(&self, id: u64, f: impl FnOnce(&mut SessionInfo)) {
+        if let Some(info) = self.sessions.lock().unwrap().get_mut(&id) {
+            f(info);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `sessions` wire command: one line per live session.
+    pub fn render(&self) -> String {
+        let sessions = self.sessions.lock().unwrap();
+        let mut out = String::from(
+            "Id    Peer                  State      Variant    MBs  Commands  Since\n",
+        );
+        for s in sessions.values() {
+            out.push_str(&format!(
+                "{:<5} {:<21} {:<10} {:<10} {:<4} {:<9} {}ms\n",
+                s.id,
+                s.peer,
+                format!("{:?}", s.state).to_lowercase(),
+                s.variant.as_deref().unwrap_or("-"),
+                s.n_mbs,
+                s.commands,
+                s.since_ms
+            ));
+        }
+        if sessions.is_empty() {
+            out.push_str("no live sessions\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_rendering() {
+        let r = Registry::new();
+        r.insert(SessionInfo {
+            id: 1,
+            peer: "127.0.0.1:5000".into(),
+            state: SessionState::Connected,
+            variant: None,
+            n_mbs: 0,
+            commands: 0,
+            since_ms: 12,
+        });
+        assert_eq!(r.len(), 1);
+        r.update(1, |s| {
+            s.state = SessionState::Attached;
+            s.variant = Some("deadlock".into());
+            s.n_mbs = 8;
+            s.commands = 3;
+        });
+        let table = r.render();
+        assert!(table.contains("attached"), "{table}");
+        assert!(table.contains("deadlock"), "{table}");
+        r.remove(1);
+        assert!(r.is_empty());
+        assert!(r.render().contains("no live sessions"));
+    }
+}

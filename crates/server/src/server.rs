@@ -1,0 +1,651 @@
+//! The TCP debug server: thread-per-session over the [`dfdbg::cli::Cli`]
+//! machinery.
+//!
+//! Each accepted connection is one debug session slot. The connection
+//! thread owns its simulator outright — isolation between concurrent
+//! sessions is structural, not locked — and everything shared (metrics,
+//! registry, event log, the shutdown flag) lives in [`Shared`] behind
+//! atomics or short-lived mutexes.
+//!
+//! Robustness knobs ([`ServerConfig`]): a per-session **idle timeout**
+//! (the session is closed, with an async `idle-timeout` event, when no
+//! request arrives in time), a per-session **command timeout** (commands
+//! are bounded by the cycle budget so they always return; one that still
+//! overruns the wall-clock limit is flagged with an async event and
+//! counted), a **bounded request line** and **bounded response output**
+//! (oversized outputs are truncated with an explicit marker, never
+//! silently).
+//!
+//! Graceful drain: `shutdown` (or SIGTERM in `dfdbg-serve`) flips the
+//! shared flag; every session thread notices within one poll slice,
+//! checkpoints its live time-travel session, emits a `shutdown` event
+//! frame and closes; [`Server::run`] then joins them all before
+//! returning.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dfdbg::cli::Cli;
+use dfdbg::Stop;
+
+use crate::eventlog::{EventKind, EventLog};
+use crate::metrics::Metrics;
+use crate::proto::{Frame, Request};
+use crate::registry::{Registry, SessionInfo, SessionState};
+use crate::session::{attach_banner, build_cli, parse_variant, variant_name, DEFAULT_N_MBS};
+
+/// How often blocked reads wake up to poll the shutdown flag and the
+/// idle clock.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Server tuning; the defaults suit both interactive use and CI.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Close a session when no request arrives for this long.
+    pub idle_timeout: Duration,
+    /// Flag (event + metric) commands that run longer than this.
+    pub cmd_timeout: Duration,
+    /// Truncate a single response output beyond this many bytes.
+    pub max_output_bytes: usize,
+    /// Reject a request line longer than this many bytes.
+    pub max_request_bytes: usize,
+    /// Clamp on the per-session cycle budget of resuming commands.
+    pub cycle_budget: u64,
+    /// Bounded event-log capacity.
+    pub log_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(300),
+            cmd_timeout: Duration::from_secs(30),
+            max_output_bytes: 1 << 20,
+            max_request_bytes: 1 << 16,
+            cycle_budget: 10_000_000,
+            log_capacity: 4096,
+        }
+    }
+}
+
+/// State shared between the accept loop, every session thread and the
+/// operator (signal handler, `/metrics` scraper, tests).
+pub struct Shared {
+    pub metrics: Metrics,
+    pub registry: Registry,
+    pub log: EventLog,
+    pub cfg: ServerConfig,
+    shutdown: AtomicBool,
+    start: Instant,
+    next_session: AtomicU64,
+}
+
+impl Shared {
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Relaxed);
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Relaxed)
+    }
+
+    pub fn uptime_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// The server-side command surface, rendered into the remote `help` next
+/// to the debugger's own table (the debugger table is reused verbatim, so
+/// the remote surface cannot drift from the local one).
+pub struct ServerCommandSpec {
+    pub name: &'static str,
+    pub usage: &'static str,
+    pub help: &'static str,
+}
+
+pub const SERVER_COMMANDS: &[ServerCommandSpec] = &[
+    ServerCommandSpec {
+        name: "attach",
+        usage: "attach <none|rate|value|deadlock|oob|race|dma> [n_mbs]",
+        help: "boot a decoder variant under this session",
+    },
+    ServerCommandSpec {
+        name: "detach",
+        usage: "detach",
+        help: "drop the attached session, keep the connection",
+    },
+    ServerCommandSpec {
+        name: "sessions",
+        usage: "sessions",
+        help: "list live sessions on this server",
+    },
+    ServerCommandSpec {
+        name: "metrics",
+        usage: "metrics",
+        help: "server metrics (also served as HTTP GET /metrics)",
+    },
+    ServerCommandSpec {
+        name: "log",
+        usage: "log [n]",
+        help: "tail of the structured session event log",
+    },
+    ServerCommandSpec {
+        name: "shutdown",
+        usage: "shutdown",
+        help: "drain all sessions (checkpointing them) and stop the server",
+    },
+];
+
+/// The remote `help`: the full local command table plus the server
+/// section.
+pub fn render_remote_help() -> String {
+    let mut out = dfdbg::cli::render_help();
+    out.push_str("Server:\n");
+    for c in SERVER_COMMANDS {
+        out.push_str(&format!("  {:<44} {}\n", c.usage, c.help));
+    }
+    out
+}
+
+/// A bound TCP debug server. `run` blocks until a shutdown is requested
+/// and every session has drained.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let log_capacity = cfg.log_capacity;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                metrics: Metrics::new(),
+                registry: Registry::new(),
+                log: EventLog::new(log_capacity),
+                cfg,
+                shutdown: AtomicBool::new(false),
+                start: Instant::now(),
+                next_session: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    pub fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Accept loop; returns after a graceful drain.
+    pub fn run(self) {
+        let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let id = shared.next_session.fetch_add(1, Relaxed);
+                    threads.push(std::thread::spawn(move || {
+                        Connection::serve(id, stream, peer, shared);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_SLICE / 2);
+                }
+                Err(_) => std::thread::sleep(POLL_SLICE / 2),
+            }
+            threads.retain(|t| !t.is_finished());
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One connection = one session slot, owned by its thread.
+struct Connection {
+    id: u64,
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    cli: Option<Cli>,
+    commands: u64,
+}
+
+/// What the dispatcher asks the connection loop to do next.
+enum Disposition {
+    Continue,
+    Close,
+}
+
+impl Connection {
+    fn serve(id: u64, stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>) {
+        shared.metrics.sessions_open.fetch_add(1, Relaxed);
+        shared.metrics.sessions_total.fetch_add(1, Relaxed);
+        shared.registry.insert(SessionInfo {
+            id,
+            peer: peer.to_string(),
+            state: SessionState::Connected,
+            variant: None,
+            n_mbs: 0,
+            commands: 0,
+            since_ms: shared.uptime_ms(),
+        });
+        shared.log.push(
+            shared.uptime_ms(),
+            id,
+            EventKind::Connected,
+            peer.to_string(),
+        );
+        let mut conn = Connection {
+            id,
+            stream,
+            shared,
+            cli: None,
+            commands: 0,
+        };
+        conn.read_loop();
+        conn.shared
+            .log
+            .push(conn.shared.uptime_ms(), id, EventKind::Disconnected, "");
+        conn.shared.registry.remove(id);
+        conn.shared.metrics.sessions_open.fetch_sub(1, Relaxed);
+    }
+
+    fn read_loop(&mut self) {
+        if self.stream.set_read_timeout(Some(POLL_SLICE)).is_err() {
+            return;
+        }
+        let _ = self.stream.set_nodelay(true);
+        let mut reader = match self.stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return,
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        let mut last_activity = Instant::now();
+        let mut first_line = true;
+        loop {
+            if self.shared.shutdown_requested() {
+                self.drain();
+                return;
+            }
+            if last_activity.elapsed() > self.shared.cfg.idle_timeout {
+                self.shared
+                    .metrics
+                    .idle_timeouts_total
+                    .fetch_add(1, Relaxed);
+                self.shared
+                    .log
+                    .push(self.shared.uptime_ms(), self.id, EventKind::IdleTimeout, "");
+                self.send(&Frame::Event {
+                    event: "idle-timeout".into(),
+                    detail: format!(
+                        "no request for {:?}; closing the session",
+                        self.shared.cfg.idle_timeout
+                    ),
+                });
+                return;
+            }
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => return, // EOF
+                Ok(n) => {
+                    self.shared
+                        .metrics
+                        .bytes_in_total
+                        .fetch_add(n as u64, Relaxed);
+                    if !buf.ends_with(b"\n") {
+                        // Mid-line EOF races the poll slice; loop once more
+                        // to pick up the true EOF.
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if buf.len() > self.shared.cfg.max_request_bytes {
+                        self.send(&Frame::Response {
+                            id: 0,
+                            ok: false,
+                            output: format!(
+                                "request line exceeds {} bytes; closing",
+                                self.shared.cfg.max_request_bytes
+                            ),
+                        });
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            }
+            let line = String::from_utf8_lossy(&buf).trim().to_string();
+            buf.clear();
+            last_activity = Instant::now();
+            if line.is_empty() {
+                continue;
+            }
+            if first_line && line.starts_with("GET ") {
+                self.serve_http(&line);
+                return;
+            }
+            first_line = false;
+            if line.len() > self.shared.cfg.max_request_bytes {
+                self.send(&Frame::Response {
+                    id: 0,
+                    ok: false,
+                    output: format!(
+                        "request line exceeds {} bytes; closing",
+                        self.shared.cfg.max_request_bytes
+                    ),
+                });
+                return;
+            }
+            let req = match Request::decode(&line) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.send(&Frame::Response {
+                        id: 0,
+                        ok: false,
+                        output: format!("bad request: {e}"),
+                    });
+                    continue;
+                }
+            };
+            match self.dispatch(&req) {
+                Disposition::Continue => {}
+                Disposition::Close => return,
+            }
+        }
+    }
+
+    /// Execute one request and send its response (plus any async event it
+    /// triggers).
+    fn dispatch(&mut self, req: &Request) -> Disposition {
+        let words: Vec<&str> = req.cmd.split_whitespace().collect();
+        let Some(&head) = words.first() else {
+            self.respond(req.id, true, String::new());
+            return Disposition::Continue;
+        };
+        match head {
+            "attach" => {
+                let (ok, output) = self.cmd_attach(&words[1..]);
+                self.respond(req.id, ok, output);
+                Disposition::Continue
+            }
+            "detach" => {
+                let had = self.cli.take().is_some();
+                self.shared.registry.update(self.id, |s| {
+                    s.state = SessionState::Connected;
+                    s.variant = None;
+                    s.n_mbs = 0;
+                });
+                self.respond(
+                    req.id,
+                    had,
+                    if had {
+                        "detached".into()
+                    } else {
+                        "error: no session attached".into()
+                    },
+                );
+                Disposition::Continue
+            }
+            "sessions" => {
+                let out = self.shared.registry.render();
+                self.respond(req.id, true, out);
+                Disposition::Continue
+            }
+            "metrics" => {
+                let out = self.shared.metrics.render();
+                self.respond(req.id, true, out);
+                Disposition::Continue
+            }
+            "log" => {
+                let limit = words
+                    .get(1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or(32);
+                let out = self.shared.log.render_tail(limit, None);
+                self.respond(req.id, true, out);
+                Disposition::Continue
+            }
+            "shutdown" => {
+                self.shared.request_shutdown();
+                let n = self.shared.registry.len();
+                self.respond(req.id, true, format!("draining {n} session(s)"));
+                // The next loop iteration sees the flag and drains this
+                // connection too.
+                Disposition::Continue
+            }
+            "help" | "h" => {
+                self.respond(req.id, true, render_remote_help());
+                Disposition::Continue
+            }
+            "quit" | "q" | "exit" => {
+                self.respond(req.id, true, String::new());
+                Disposition::Close
+            }
+            _ => {
+                self.cmd_debug(req);
+                Disposition::Continue
+            }
+        }
+    }
+
+    fn cmd_attach(&mut self, args: &[&str]) -> (bool, String) {
+        if self.cli.is_some() {
+            return (false, "error: already attached (use `detach` first)".into());
+        }
+        let Some(&variant) = args.first() else {
+            return (
+                false,
+                "error: usage: attach <none|rate|value|deadlock|oob|race|dma> [n_mbs]".into(),
+            );
+        };
+        let Some(bug) = parse_variant(variant) else {
+            return (
+                false,
+                format!(
+                    "error: unknown variant `{variant}` (none|rate|value|deadlock|oob|race|dma)"
+                ),
+            );
+        };
+        let n_mbs = match args.get(1) {
+            None => DEFAULT_N_MBS,
+            Some(s) => match s.parse::<u64>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return (
+                        false,
+                        format!("error: bad n_mbs `{s}`: expected a positive integer"),
+                    )
+                }
+            },
+        };
+        let t0 = Instant::now();
+        match build_cli(bug, n_mbs) {
+            Ok(mut cli) => {
+                cli.budget = cli.budget.min(self.shared.cfg.cycle_budget);
+                let banner = attach_banner(bug, n_mbs, &cli);
+                self.cli = Some(cli);
+                self.shared.registry.update(self.id, |s| {
+                    s.state = SessionState::Attached;
+                    s.variant = Some(variant_name(bug).to_string());
+                    s.n_mbs = n_mbs;
+                });
+                self.shared.log.push(
+                    self.shared.uptime_ms(),
+                    self.id,
+                    EventKind::Attached,
+                    format!("{} ({n_mbs} MBs) in {:?}", variant_name(bug), t0.elapsed()),
+                );
+                (true, banner)
+            }
+            Err(e) => (false, format!("error: {e}")),
+        }
+    }
+
+    /// A debugger command proper: forwarded verbatim to the session CLI.
+    fn cmd_debug(&mut self, req: &Request) {
+        let Some(cli) = self.cli.as_mut() else {
+            self.respond(
+                req.id,
+                false,
+                "error: no session attached (use `attach <variant> [n_mbs]`)".into(),
+            );
+            return;
+        };
+        let fault_before = matches!(cli.last_stop, Some(Stop::Fault { .. }));
+        let t0 = Instant::now();
+        let output = cli.exec(&req.cmd);
+        let elapsed = t0.elapsed();
+        let ok = !output.starts_with("error:");
+        if matches!(cli.last_stop, Some(Stop::Fault { .. })) && !fault_before {
+            self.shared.metrics.faults_total.fetch_add(1, Relaxed);
+        }
+        self.commands += 1;
+        self.shared.metrics.commands_total.fetch_add(1, Relaxed);
+        if !ok {
+            self.shared
+                .metrics
+                .command_errors_total
+                .fetch_add(1, Relaxed);
+        }
+        self.shared.metrics.observe_latency(elapsed);
+        let commands = self.commands;
+        self.shared
+            .registry
+            .update(self.id, |s| s.commands = commands);
+        self.shared.log.push(
+            self.shared.uptime_ms(),
+            self.id,
+            EventKind::Command,
+            format!("`{}` in {:?}", req.cmd, elapsed),
+        );
+        self.respond(req.id, ok, output);
+        if elapsed > self.shared.cfg.cmd_timeout {
+            self.shared
+                .metrics
+                .command_timeouts_total
+                .fetch_add(1, Relaxed);
+            self.shared.log.push(
+                self.shared.uptime_ms(),
+                self.id,
+                EventKind::CommandTimeout,
+                format!("`{}` took {:?}", req.cmd, elapsed),
+            );
+            self.send(&Frame::Event {
+                event: "command-timeout".into(),
+                detail: format!(
+                    "`{}` took {:?} (limit {:?})",
+                    req.cmd, elapsed, self.shared.cfg.cmd_timeout
+                ),
+            });
+        }
+    }
+
+    /// Graceful drain: checkpoint a live time-travel session, announce,
+    /// close.
+    fn drain(&mut self) {
+        self.shared
+            .registry
+            .update(self.id, |s| s.state = SessionState::Draining);
+        let detail = match self.cli.as_mut() {
+            Some(cli) if cli.session.time_travel_enabled() => match cli.session.checkpoint_now() {
+                Ok(id) => {
+                    let d = format!("checkpoint {id} at cycle {}", cli.session.clock());
+                    self.shared.log.push(
+                        self.shared.uptime_ms(),
+                        self.id,
+                        EventKind::ShutdownCheckpoint,
+                        d.clone(),
+                    );
+                    d
+                }
+                Err(e) => format!("checkpoint failed: {e}"),
+            },
+            Some(_) => "session had no time travel enabled".into(),
+            None => "server draining".into(),
+        };
+        self.send(&Frame::Event {
+            event: "shutdown".into(),
+            detail,
+        });
+    }
+
+    /// Bound, then send, a response frame.
+    fn respond(&mut self, id: u64, ok: bool, mut output: String) {
+        let max = self.shared.cfg.max_output_bytes;
+        if output.len() > max {
+            let mut cut = max;
+            while !output.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let dropped = output.len() - cut;
+            output.truncate(cut);
+            output.push_str(&format!("\n...[output truncated: {dropped} bytes dropped]"));
+            self.shared
+                .metrics
+                .output_truncated_total
+                .fetch_add(1, Relaxed);
+            self.shared.log.push(
+                self.shared.uptime_ms(),
+                self.id,
+                EventKind::Truncated,
+                format!("{dropped} bytes dropped"),
+            );
+        }
+        self.send(&Frame::Response { id, ok, output });
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        let mut line = frame.encode();
+        line.push('\n');
+        if self.stream.write_all(line.as_bytes()).is_ok() {
+            self.shared
+                .metrics
+                .bytes_out_total
+                .fetch_add(line.len() as u64, Relaxed);
+        }
+    }
+
+    /// Minimal HTTP for observability scrapers: `GET /metrics` answers
+    /// with the Prometheus text format, anything else 404s. The request
+    /// headers (if any) are drained best-effort before closing.
+    fn serve_http(&mut self, request_line: &str) {
+        // An HTTP scrape is not a debug session; take it back out of the
+        // session counter (the open-gauge is balanced by the normal
+        // connection cleanup).
+        self.shared.metrics.sessions_total.fetch_sub(1, Relaxed);
+        let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+        let (status, body) = if path == "/metrics" {
+            self.shared.metrics.scrapes_total.fetch_add(1, Relaxed);
+            ("200 OK", self.shared.metrics.render())
+        } else {
+            (
+                "404 Not Found",
+                format!("no such path {path} (try /metrics)\n"),
+            )
+        };
+        let response = format!(
+            "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        if self.stream.write_all(response.as_bytes()).is_ok() {
+            self.shared
+                .metrics
+                .bytes_out_total
+                .fetch_add(response.len() as u64, Relaxed);
+        }
+        let _ = self.stream.flush();
+        // Give the client a beat to read before the socket drops.
+        let mut sink = [0u8; 512];
+        let _ = self.stream.read(&mut sink);
+    }
+}

@@ -1,0 +1,153 @@
+//! Session construction shared by every front end.
+//!
+//! The local REPL, the TCP server and the in-process reference path of
+//! the transcript-diff gate all build their debug sessions through
+//! [`build_cli`], so "remote" and "local" cannot drift apart in how a
+//! session is booted — the CI byte-compare (Guo et al.'s differential
+//! discipline, PAPERS.md) then only has to catch wire-level mangling.
+
+use bcv;
+use dfa::AnalysisInput;
+use dfdbg::cli::Cli;
+use dfdbg::Session;
+use h264_pipeline::{attach_env, build_decoder, decoder_sources, Bug};
+use p2012::PlatformConfig;
+
+/// Auto-checkpoint interval used by every interactive front end: cheap
+/// enough to be invisible (EXPERIMENTS.md E6), close enough that reverse
+/// execution replays at most this many cycles.
+pub const CHECKPOINT_INTERVAL: u64 = 10_000;
+
+/// Default macroblock count when a front end does not specify one.
+pub const DEFAULT_N_MBS: u64 = 32;
+
+/// The environment seed every front end uses (same as the REPL always
+/// has), part of what keeps transcripts reproducible across processes.
+pub const ENV_SEED: u32 = 0xbeef;
+
+/// Parse a decoder-variant name as accepted on the REPL/server command
+/// line.
+pub fn parse_variant(s: &str) -> Option<Bug> {
+    Some(match s {
+        "none" | "clean" => Bug::None,
+        "rate" => Bug::RateMismatch,
+        "value" => Bug::WrongValue,
+        "deadlock" => Bug::Deadlock,
+        "oob" => Bug::OobStore,
+        "race" => Bug::SharedScratch,
+        "dma" => Bug::DmaOverlap,
+        _ => return None,
+    })
+}
+
+/// The canonical command-line spelling of a variant.
+pub fn variant_name(bug: Bug) -> &'static str {
+    match bug {
+        Bug::None => "none",
+        Bug::RateMismatch => "rate",
+        Bug::WrongValue => "value",
+        Bug::Deadlock => "deadlock",
+        Bug::OobStore => "oob",
+        Bug::SharedScratch => "race",
+        Bug::DmaOverlap => "dma",
+    }
+}
+
+/// Build, boot and instrument a decoder debug session, returning the CLI
+/// wrapper ready to execute command lines. Identical to what the local
+/// REPL does on startup: static-analysis inputs loaded, environment
+/// attached, time travel enabled.
+pub fn build_cli(bug: Bug, n_mbs: u64) -> Result<Cli, String> {
+    let (sys, mut app) = build_decoder(bug, n_mbs, PlatformConfig::default())
+        .map_err(|e| format!("building the decoder failed: {e}"))?;
+    let boot = app.boot_entry;
+    let analysis = AnalysisInput::from_app(&app, &decoder_sources(bug));
+    let bcv_input = bcv::AnalysisInput::from_app(&app);
+    let info = std::mem::take(&mut app.info);
+    let mut session = Session::attach(sys, info);
+    session.load_analysis(analysis);
+    session.load_bcv_input(bcv_input);
+    session
+        .boot(boot)
+        .map_err(|e| format!("boot under debugger failed: {e}"))?;
+    attach_env(&mut session.sys, &app, n_mbs, ENV_SEED)
+        .map_err(|e| format!("attaching the environment failed: {e}"))?;
+    session.enable_time_travel(CHECKPOINT_INTERVAL);
+    Ok(Cli::new(session))
+}
+
+/// The banner a session front end prints after attaching.
+pub fn attach_banner(bug: Bug, n_mbs: u64, cli: &Cli) -> String {
+    format!(
+        "attached to the H.264 decoder ({}, {n_mbs} macroblocks), \
+         graph reconstructed: {} actors, {} links",
+        variant_name(bug),
+        cli.session.model.graph.actors.len(),
+        cli.session.model.graph.links.len()
+    )
+}
+
+/// The scripted §III deadlock-diagnosis transcript: run to the deadlock,
+/// inspect the stuck filters and links, untie it by injecting the token
+/// `red` never produced, run on, and leave a restore point. Every command
+/// produces deterministic output, so the same script drives the E7 load
+/// bench, the ≥16-session concurrency test and the CI remote-vs-local
+/// byte-compare.
+pub const DEADLOCK_SCRIPT: &[&str] = &[
+    "analyze",
+    "continue",
+    "info filters",
+    "info links",
+    "token inject red::red_ipred_out 42",
+    "continue",
+    "checkpoint",
+    "info checkpoints",
+];
+
+/// Decoder size the scripted diagnosis runs at (the §III scenario).
+pub const SCRIPT_N_MBS: u64 = 8;
+
+/// Execute a script against an in-process session and return the
+/// transcript: for each command, its exact output followed by one
+/// newline. The remote transcript is assembled the same way from the
+/// `output` fields of the responses, so equal bytes mean the server
+/// forwarded every command and every output unmangled.
+pub fn local_transcript(bug: Bug, n_mbs: u64, script: &[&str]) -> Result<String, String> {
+    let mut cli = build_cli(bug, n_mbs)?;
+    let mut out = String::new();
+    for cmd in script {
+        out.push_str(&cli.exec(cmd));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_round_trip() {
+        for bug in [
+            Bug::None,
+            Bug::RateMismatch,
+            Bug::WrongValue,
+            Bug::Deadlock,
+            Bug::OobStore,
+            Bug::SharedScratch,
+            Bug::DmaOverlap,
+        ] {
+            assert_eq!(parse_variant(variant_name(bug)), Some(bug));
+        }
+        assert_eq!(parse_variant("frobnicate"), None);
+    }
+
+    #[test]
+    fn scripted_diagnosis_is_deterministic_in_process() {
+        let a = local_transcript(Bug::Deadlock, SCRIPT_N_MBS, DEADLOCK_SCRIPT).unwrap();
+        let b = local_transcript(Bug::Deadlock, SCRIPT_N_MBS, DEADLOCK_SCRIPT).unwrap();
+        assert_eq!(a, b, "in-process transcript must be run-to-run stable");
+        assert!(a.contains("Deadlock"), "{a}");
+        assert!(a.contains("Injected token"), "{a}");
+    }
+}

@@ -10,77 +10,123 @@
 //! (gdb) info links
 //! (gdb) help
 //! ```
+//!
+//! With `--connect <addr>` the same REPL drives a remote `dfdbg-serve`
+//! instance over the wire protocol instead of an in-process session:
+//!
+//! ```text
+//! cargo run --bin dfdbg-repl -- --connect 127.0.0.1:4711 deadlock 8
+//! ```
+//!
+//! The `(gdb) ` prompt is printed only when stdin is a terminal, so piped
+//! transcripts (CI, `diff`-based tests, scripted sessions) stay clean.
 
-use std::io::{BufRead, Write as _};
+use std::io::{BufRead, IsTerminal, Write as _};
 
-use dataflow_debugger::bcv;
-use dataflow_debugger::dfa::AnalysisInput;
-use dataflow_debugger::dfdbg::cli::{render_help, Cli};
-use dataflow_debugger::dfdbg::Session;
-use dataflow_debugger::h264::{attach_env, build_decoder, decoder_sources, Bug};
-use dataflow_debugger::p2012::PlatformConfig;
+use dataflow_debugger::h264::Bug;
+use dataflow_debugger::server::{
+    build_cli, parse_variant, session::attach_banner, variant_name, Client, DEFAULT_N_MBS,
+};
 
-/// Auto-checkpoint interval for the interactive session: cheap enough to
-/// be invisible (see EXPERIMENTS.md E6), close enough that reverse
-/// execution replays at most this many cycles.
-const CHECKPOINT_INTERVAL: u64 = 10_000;
+const USAGE: &str = "usage: dfdbg-repl [--connect <addr>] \
+                     [none|rate|value|deadlock|oob|race|dma [n_mbs]]";
+
+struct Args {
+    connect: Option<String>,
+    bug: Bug,
+    n_mbs: u64,
+}
+
+/// Parse the command line. Usage problems (unknown variant, unparsable
+/// `n_mbs`) are *rejected* with a nonzero exit — silently debugging the
+/// wrong workload is worse than no session at all.
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => {
+                let addr = args.next().ok_or("--connect needs an address")?;
+                connect = Some(addr);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let bug = match positional.first() {
+        None => Bug::None,
+        Some(s) => parse_variant(s).ok_or_else(|| {
+            format!("unknown variant `{s}` (none|rate|value|deadlock|oob|race|dma)")
+        })?,
+    };
+    let n_mbs = match positional.get(1) {
+        None => DEFAULT_N_MBS,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format!("bad n_mbs `{s}`: expected a positive integer")),
+        },
+    };
+    if let Some(extra) = positional.get(2) {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    Ok(Args {
+        connect,
+        bug,
+        n_mbs,
+    })
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let bug = match args.next().as_deref() {
-        None | Some("none") => Bug::None,
-        Some("rate") => Bug::RateMismatch,
-        Some("value") => Bug::WrongValue,
-        Some("deadlock") => Bug::Deadlock,
-        Some("oob") => Bug::OobStore,
-        Some("race") => Bug::SharedScratch,
-        Some("dma") => Bug::DmaOverlap,
-        Some(other) => {
-            eprintln!("unknown variant `{other}` (none|rate|value|deadlock|oob|race|dma)");
-            std::process::exit(1);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dfdbg: {e}\n{USAGE}");
+            std::process::exit(2);
         }
     };
-    let n_mbs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let result = match &args.connect {
+        Some(addr) => run_remote(addr, args.bug, args.n_mbs),
+        None => run_local(args.bug, args.n_mbs),
+    };
+    if let Err(e) = result {
+        eprintln!("dfdbg: {e}");
+        std::process::exit(1);
+    }
+}
 
-    let (sys, mut app) =
-        build_decoder(bug, n_mbs, PlatformConfig::default()).expect("build decoder");
-    let boot = app.boot_entry;
-    let analysis = AnalysisInput::from_app(&app, &decoder_sources(bug));
-    let bcv_input = bcv::AnalysisInput::from_app(&app);
-    let info = std::mem::take(&mut app.info);
-    let mut session = Session::attach(sys, info);
-    session.load_analysis(analysis);
-    session.load_bcv_input(bcv_input);
-    session.boot(boot).expect("boot");
-    attach_env(&mut session.sys, &app, n_mbs, 0xbeef).expect("env");
-    session.enable_time_travel(CHECKPOINT_INTERVAL);
-    println!(
-        "dfdbg: attached to the H.264 decoder ({:?}, {n_mbs} macroblocks), \
-         graph reconstructed: {} actors, {} links.\nType `help` for commands.",
-        bug,
-        session.model.graph.actors.len(),
-        session.model.graph.links.len()
-    );
-
-    let mut cli = Cli::new(session);
-    let stdin = std::io::stdin();
-    loop {
+/// Print the prompt only on a terminal: piped stdin (tests, CI, scripted
+/// transcripts) must see command output alone on stdout.
+fn prompt(interactive: bool) {
+    if interactive {
         print!("(gdb) ");
         std::io::stdout().flush().ok();
+    }
+}
+
+fn run_local(bug: Bug, n_mbs: u64) -> Result<(), String> {
+    let mut cli = build_cli(bug, n_mbs)?;
+    println!(
+        "dfdbg: {}.\nType `help` for commands.",
+        attach_banner(bug, n_mbs, &cli)
+    );
+    let interactive = std::io::stdin().is_terminal();
+    let stdin = std::io::stdin();
+    loop {
+        prompt(interactive);
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {}
-            Err(e) => {
-                eprintln!("{e}");
-                break;
-            }
+            Err(e) => return Err(format!("reading stdin: {e}")),
         }
         let line = line.trim();
         match line {
             "" => continue,
             "quit" | "q" | "exit" => break,
-            "help" | "h" => println!("{}", render_help()),
             _ => {
                 let out = cli.exec(line);
                 if !out.is_empty() {
@@ -89,4 +135,45 @@ fn main() {
             }
         }
     }
+    Ok(())
+}
+
+fn run_remote(addr: &str, bug: Bug, n_mbs: u64) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let attach = client.request(&format!("attach {} {n_mbs}", variant_name(bug)))?;
+    if !attach.ok {
+        return Err(format!("attach failed: {}", attach.output));
+    }
+    println!(
+        "dfdbg: {} [remote {addr}].\nType `help` for commands.",
+        attach.output
+    );
+    let interactive = std::io::stdin().is_terminal();
+    let stdin = std::io::stdin();
+    loop {
+        prompt(interactive);
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("reading stdin: {e}")),
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if matches!(line, "quit" | "q" | "exit") {
+            let _ = client.request("quit");
+            break;
+        }
+        let events_before = client.events.len();
+        let reply = client.request(line)?;
+        for (event, detail) in &client.events[events_before..] {
+            eprintln!("[{event}] {detail}");
+        }
+        if !reply.output.is_empty() {
+            println!("{}", reply.output);
+        }
+    }
+    Ok(())
 }

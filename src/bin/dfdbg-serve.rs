@@ -1,0 +1,232 @@
+//! `dfdbg-serve` — the remote multi-session debug server.
+//!
+//! ```text
+//! dfdbg-serve --serve 127.0.0.1:4711 [--idle-timeout-ms N] [--cmd-timeout-ms N]
+//!             [--max-output-bytes N]
+//! dfdbg-serve --self-check
+//! ```
+//!
+//! `--serve` binds the wire protocol (see README "Remote debugging") and
+//! blocks until SIGTERM/SIGINT or a client issues `shutdown`; either way
+//! the server drains gracefully, checkpointing live time-travel sessions
+//! before closing.
+//!
+//! `--self-check` is the CI gate: it boots the server on an ephemeral
+//! port, drives the scripted §III deadlock diagnosis over real TCP,
+//! byte-compares the remote transcript against the in-process run of the
+//! same script, scrapes `/metrics` over HTTP and sanity-checks the
+//! counters. Any difference exits nonzero with both transcripts printed.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use dataflow_debugger::h264::Bug;
+use dataflow_debugger::server::{
+    local_transcript, remote_transcript, scrape_metrics, Server, ServerConfig, Shared,
+    DEADLOCK_SCRIPT, SCRIPT_N_MBS,
+};
+
+const USAGE: &str = "usage: dfdbg-serve --serve <addr> [--idle-timeout-ms N] \
+                     [--cmd-timeout-ms N] [--max-output-bytes N] | --self-check";
+
+/// The signal handler can only reach process globals; the serving
+/// instance registers its shared state here.
+static SIGNALLED: OnceLock<Arc<Shared>> = OnceLock::new();
+
+#[cfg(unix)]
+mod sig {
+    //! Minimal SIGTERM/SIGINT hookup without the libc crate (the build
+    //! environment is offline): `signal` comes from the C runtime we are
+    //! already linked against, and the handler only performs an atomic
+    //! store, which is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(shared) = super::SIGNALLED.get() {
+            shared.request_shutdown();
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut self_check = false;
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    let missing = |flag: &str| {
+        eprintln!("dfdbg-serve: {flag} needs a value\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--serve" => addr = Some(args.next().unwrap_or_else(|| missing("--serve"))),
+            "--self-check" => self_check = true,
+            "--idle-timeout-ms" => {
+                let v = args.next().unwrap_or_else(|| missing("--idle-timeout-ms"));
+                cfg.idle_timeout = Duration::from_millis(parse_num(&v, "--idle-timeout-ms"));
+            }
+            "--cmd-timeout-ms" => {
+                let v = args.next().unwrap_or_else(|| missing("--cmd-timeout-ms"));
+                cfg.cmd_timeout = Duration::from_millis(parse_num(&v, "--cmd-timeout-ms"));
+            }
+            "--max-output-bytes" => {
+                let v = args.next().unwrap_or_else(|| missing("--max-output-bytes"));
+                cfg.max_output_bytes = parse_num(&v, "--max-output-bytes") as usize;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("dfdbg-serve: unexpected argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if self_check {
+        std::process::exit(run_self_check(cfg));
+    }
+    let Some(addr) = addr else {
+        eprintln!("dfdbg-serve: --serve <addr> or --self-check required\n{USAGE}");
+        std::process::exit(2);
+    };
+    let server = match Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dfdbg-serve: binding {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let shared = server.shared();
+    let _ = SIGNALLED.set(Arc::clone(&shared));
+    #[cfg(unix)]
+    sig::install();
+    println!(
+        "dfdbg-serve: listening on {} (wire protocol; GET /metrics for metrics)",
+        server.local_addr()
+    );
+    server.run();
+    println!("dfdbg-serve: drained, bye");
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    match s.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("dfdbg-serve: bad value `{s}` for {flag}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The CI gate: remote transcript over real TCP must be byte-identical
+/// to the in-process run, and `/metrics` must add up.
+fn run_self_check(cfg: ServerConfig) -> i32 {
+    println!("self-check: booting the server on an ephemeral port");
+    let server = match Server::bind("127.0.0.1:0", cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("self-check: bind failed: {e}");
+            return 1;
+        }
+    };
+    let addr = server.local_addr();
+    let shared = server.shared();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    println!("self-check: running the scripted deadlock diagnosis in-process");
+    let local = match local_transcript(Bug::Deadlock, SCRIPT_N_MBS, DEADLOCK_SCRIPT) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("self-check: in-process transcript failed: {e}");
+            shared.request_shutdown();
+            let _ = server_thread.join();
+            return 1;
+        }
+    };
+    println!("self-check: replaying the same script over TCP ({addr})");
+    let remote = match remote_transcript(addr, Bug::Deadlock, SCRIPT_N_MBS, DEADLOCK_SCRIPT) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("self-check: remote transcript failed: {e}");
+            shared.request_shutdown();
+            let _ = server_thread.join();
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    if local == remote {
+        println!(
+            "self-check: transcripts are byte-identical ({} bytes, {} commands)",
+            local.len(),
+            DEADLOCK_SCRIPT.len()
+        );
+    } else {
+        failures += 1;
+        eprintln!("self-check: TRANSCRIPTS DIFFER");
+        eprintln!("---- in-process ----\n{local}");
+        eprintln!("---- remote ----\n{remote}");
+    }
+
+    let metrics = match scrape_metrics(addr) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("self-check: /metrics scrape failed: {e}");
+            shared.request_shutdown();
+            let _ = server_thread.join();
+            return 1;
+        }
+    };
+    println!("self-check: /metrics scraped ({} bytes)", metrics.len());
+    for (name, at_least) in [
+        ("dfdbg_sessions_total", 1),
+        ("dfdbg_commands_total", DEADLOCK_SCRIPT.len() as u64),
+        ("dfdbg_command_seconds_count", DEADLOCK_SCRIPT.len() as u64),
+        ("dfdbg_bytes_out_total", 1),
+    ] {
+        match metric_value(&metrics, name) {
+            Some(v) if v >= at_least => {
+                println!("self-check: {name} = {v} (>= {at_least})");
+            }
+            Some(v) => {
+                failures += 1;
+                eprintln!("self-check: {name} = {v}, expected >= {at_least}");
+            }
+            None => {
+                failures += 1;
+                eprintln!("self-check: {name} missing from /metrics:\n{metrics}");
+            }
+        }
+    }
+
+    shared.request_shutdown();
+    let _ = server_thread.join();
+    if failures == 0 {
+        println!("self-check: OK");
+        0
+    } else {
+        eprintln!("self-check: {failures} failure(s)");
+        1
+    }
+}
+
+/// Read one un-labelled counter/gauge value from the text exposition.
+fn metric_value(metrics: &str, name: &str) -> Option<u64> {
+    metrics.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse::<f64>().ok().map(|v| v as u64)
+    })
+}

@@ -15,6 +15,8 @@
 //!   debugger's time-travel commands;
 //! * [`dfdbg`] — the dataflow-aware interactive debugger (the paper's
 //!   contribution);
+//! * [`server`] — the remote multi-session debug server (TCP, newline-
+//!   delimited JSON wire protocol, metrics and event log) and its client;
 //! * [`h264`] — the H.264-style case-study application (§VI).
 
 pub use bcv;
@@ -27,3 +29,4 @@ pub use mind;
 pub use p2012;
 pub use pedf;
 pub use replay;
+pub use server;

@@ -187,6 +187,54 @@ fn every_listed_command_reaches_its_dispatch_arm() {
     assert!(out.contains("unknown command"), "{out}");
 }
 
+/// The remote `help` embeds the local command table verbatim (plus the
+/// server section), so the remote surface cannot drift from the local
+/// one: every local usage line must appear in the remote help too.
+#[test]
+fn remote_help_is_a_superset_of_the_local_table() {
+    use dataflow_debugger::server::{render_remote_help, SERVER_COMMANDS};
+    use dfdbg::cli::COMMANDS;
+    let remote = render_remote_help();
+    for spec in COMMANDS {
+        assert!(
+            remote.contains(spec.usage),
+            "local `{}` usage missing from the remote help",
+            spec.name
+        );
+    }
+    for spec in SERVER_COMMANDS {
+        assert!(
+            remote.contains(spec.usage),
+            "server `{}` usage missing from the remote help",
+            spec.name
+        );
+    }
+}
+
+/// Server-side command names must not shadow any local debugger command
+/// or alias — the dispatcher tries the server surface first, so a
+/// collision would silently steal a debugger command.
+#[test]
+fn server_command_names_do_not_collide_with_the_debugger() {
+    use dataflow_debugger::server::SERVER_COMMANDS;
+    use dfdbg::cli::COMMANDS;
+    for s in SERVER_COMMANDS {
+        for local in COMMANDS {
+            assert_ne!(
+                s.name, local.name,
+                "`{}` shadows a debugger command",
+                s.name
+            );
+            assert!(
+                !local.aliases.contains(&s.name),
+                "`{}` shadows an alias of `{}`",
+                s.name,
+                local.name
+            );
+        }
+    }
+}
+
 /// `help` is rendered from the same table the dispatcher validates
 /// against, so every usage line appears verbatim.
 #[test]

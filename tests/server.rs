@@ -1,0 +1,292 @@
+//! Remote debug-server integration tests: concurrency/isolation across
+//! ≥16 simultaneous sessions, graceful shutdown under load, the HTTP
+//! metrics endpoint, timeouts, protocol error handling and output
+//! bounding — all over real TCP sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dataflow_debugger::h264::Bug;
+use dataflow_debugger::server::{
+    local_transcript, remote_transcript, scrape_metrics, Client, Frame, Server, ServerConfig,
+    Shared, DEADLOCK_SCRIPT,
+};
+
+/// Boot a server on an ephemeral port; the caller must
+/// `shared.request_shutdown()` and join the handle.
+fn boot(cfg: ServerConfig) -> (SocketAddr, Arc<Shared>, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let shared = server.shared();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, shared, handle)
+}
+
+/// The acceptance gate: sixteen concurrent sessions each replay the §III
+/// deadlock diagnosis; every remote transcript must be byte-identical to
+/// the in-process run — any cross-session interference (shared simulator
+/// state, interleaved responses, misrouted frames) breaks the equality.
+#[test]
+fn sixteen_concurrent_deadlock_diagnoses_are_isolated() {
+    const N: usize = 16;
+    const N_MBS: u64 = 4;
+    let reference = local_transcript(Bug::Deadlock, N_MBS, DEADLOCK_SCRIPT).expect("reference");
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let workers: Vec<_> = (0..N)
+        .map(|_| {
+            std::thread::spawn(move || {
+                remote_transcript(addr, Bug::Deadlock, N_MBS, DEADLOCK_SCRIPT)
+            })
+        })
+        .collect();
+    for (i, w) in workers.into_iter().enumerate() {
+        let transcript = w.join().expect("no panic").expect("session completed");
+        assert_eq!(
+            transcript, reference,
+            "session {i} transcript diverged from the in-process run"
+        );
+    }
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+    assert_eq!(
+        shared
+            .metrics
+            .sessions_open
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+}
+
+/// Sessions attached to *different* variants at the same time must each
+/// see their own workload's behaviour.
+#[test]
+fn concurrent_sessions_on_different_variants_do_not_bleed() {
+    let script: &[&str] = &["analyze", "continue"];
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let deadlock = std::thread::spawn(move || remote_transcript(addr, Bug::Deadlock, 4, script));
+    let clean = std::thread::spawn(move || remote_transcript(addr, Bug::None, 4, script));
+    let deadlock = deadlock.join().unwrap().expect("deadlock session");
+    let clean = clean.join().unwrap().expect("clean session");
+    assert_eq!(
+        deadlock,
+        local_transcript(Bug::Deadlock, 4, script).unwrap()
+    );
+    assert_eq!(clean, local_transcript(Bug::None, 4, script).unwrap());
+    assert_ne!(
+        deadlock, clean,
+        "the two variants should behave differently"
+    );
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// A `shutdown` request drains every live session gracefully: each one
+/// checkpoints its time-travel state, announces it in a `shutdown` event
+/// frame, and the accept loop joins all threads before returning.
+#[test]
+fn shutdown_under_load_checkpoints_live_sessions() {
+    let (addr, _shared, handle) = boot(ServerConfig::default());
+    let mut busy = Client::connect(addr.to_string()).expect("connect");
+    let attach = busy.request("attach deadlock 4").expect("attach");
+    assert!(attach.ok, "{}", attach.output);
+    let run = busy.request("continue").expect("continue");
+    assert!(run.ok, "{}", run.output);
+
+    let mut operator = Client::connect(addr.to_string()).expect("connect operator");
+    let reply = operator.request("shutdown").expect("shutdown request");
+    assert!(reply.ok, "{}", reply.output);
+    assert!(reply.output.contains("draining"), "{}", reply.output);
+
+    busy.drain_events();
+    let shutdown_event = busy
+        .events
+        .iter()
+        .find(|(event, _)| event == "shutdown")
+        .unwrap_or_else(|| panic!("no shutdown event; got {:?}", busy.events));
+    assert!(
+        shutdown_event.1.contains("checkpoint"),
+        "live time-travel session was not checkpointed on drain: {}",
+        shutdown_event.1
+    );
+    handle
+        .join()
+        .expect("server drained after shutdown command");
+}
+
+/// `/metrics` over plain HTTP: counters reflect the traffic, and a
+/// scrape is not itself counted as a debug session.
+#[test]
+fn http_metrics_endpoint_reflects_traffic() {
+    let script: &[&str] = &["info filters"];
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    remote_transcript(addr, Bug::None, 2, script).expect("one scripted session");
+    let metrics = scrape_metrics(addr).expect("scrape");
+    let value = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from metrics:\n{metrics}"))
+    };
+    assert_eq!(value("dfdbg_sessions_total") as u64, 1);
+    assert_eq!(value("dfdbg_commands_total") as u64, script.len() as u64);
+    assert!(value("dfdbg_bytes_out_total") > 0.0);
+    assert!(value("dfdbg_command_seconds_count") as u64 >= script.len() as u64);
+
+    // Unknown paths 404 rather than leaking the metrics body.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /nope HTTP/1.0\r\n\r\n")
+        .expect("write");
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .expect("status line");
+    assert!(line.starts_with("HTTP/1.0 404"), "{line}");
+
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// A session with no traffic is reaped by the idle timeout, with an
+/// explicit `idle-timeout` event before the close.
+#[test]
+fn idle_sessions_are_reaped_with_an_event() {
+    let cfg = ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let (addr, shared, handle) = boot(cfg);
+    let mut client = Client::connect(addr.to_string()).expect("connect");
+    client.drain_events(); // blocks until the server closes the socket
+    assert!(
+        client
+            .events
+            .iter()
+            .any(|(event, _)| event == "idle-timeout"),
+        "expected an idle-timeout event, got {:?}",
+        client.events
+    );
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// Garbage on the wire is answered (id 0, ok false), not dropped, and
+/// does not poison the connection for well-formed requests after it.
+#[test]
+fn unparsable_requests_are_answered_not_dropped() {
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    writer
+        .write_all(b"this is not json\n")
+        .expect("write garbage");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response");
+    match Frame::decode(line.trim_end()).expect("well-formed response frame") {
+        Frame::Response { id, ok, output } => {
+            assert_eq!(id, 0);
+            assert!(!ok);
+            assert!(output.contains("bad request"), "{output}");
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // The connection is still usable afterwards.
+    writer
+        .write_all(b"{\"id\": 7, \"cmd\": \"sessions\"}\n")
+        .expect("write request");
+    line.clear();
+    reader.read_line(&mut line).expect("response");
+    match Frame::decode(line.trim_end()).expect("frame") {
+        Frame::Response { id, ok, .. } => {
+            assert_eq!(id, 7);
+            assert!(ok);
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// Oversized outputs are truncated with an explicit marker — never
+/// silently — and the truncation is counted.
+#[test]
+fn oversized_outputs_are_truncated_with_a_marker() {
+    let cfg = ServerConfig {
+        max_output_bytes: 64,
+        ..ServerConfig::default()
+    };
+    let (addr, shared, handle) = boot(cfg);
+    let mut client = Client::connect(addr.to_string()).expect("connect");
+    let reply = client.request("help").expect("help");
+    assert!(reply.ok);
+    assert!(
+        reply.output.contains("[output truncated:"),
+        "missing truncation marker: {}",
+        reply.output
+    );
+    let metrics = scrape_metrics(addr).expect("scrape");
+    assert!(
+        metrics.contains("dfdbg_output_truncated_total 1"),
+        "{metrics}"
+    );
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// Server-surface commands work without an attached session, and debug
+/// commands without one fail with a helpful error.
+#[test]
+fn server_commands_and_unattached_errors() {
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let mut client = Client::connect(addr.to_string()).expect("connect");
+
+    let reply = client.request("continue").expect("reply");
+    assert!(!reply.ok);
+    assert!(
+        reply.output.contains("no session attached"),
+        "{}",
+        reply.output
+    );
+
+    let reply = client.request("detach").expect("reply");
+    assert!(!reply.ok, "detach with nothing attached must error");
+
+    let reply = client.request("attach deadlock 2").expect("reply");
+    assert!(reply.ok, "{}", reply.output);
+    let reply = client.request("attach deadlock 2").expect("reply");
+    assert!(!reply.ok, "double attach must error: {}", reply.output);
+
+    let reply = client.request("sessions").expect("reply");
+    assert!(reply.ok);
+    assert!(reply.output.contains("deadlock"), "{}", reply.output);
+
+    let reply = client.request("log 5").expect("reply");
+    assert!(reply.ok);
+    assert!(reply.output.contains("attached"), "{}", reply.output);
+
+    let reply = client.request("metrics").expect("reply");
+    assert!(reply.ok);
+    assert!(
+        reply.output.contains("dfdbg_sessions_open"),
+        "{}",
+        reply.output
+    );
+
+    let reply = client.request("detach").expect("reply");
+    assert!(reply.ok, "{}", reply.output);
+
+    let reply = client.request("attach frob").expect("reply");
+    assert!(!reply.ok);
+    assert!(reply.output.contains("unknown variant"), "{}", reply.output);
+
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
