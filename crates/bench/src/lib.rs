@@ -21,9 +21,11 @@
 //! * [`replay`] — experiment E6: time-travel recording cost per
 //!   checkpoint interval, and reverse-execution latency.
 
-//! * [`server`] — experiment E7: remote debug-server load — N concurrent
-//!   TCP sessions each replaying the scripted deadlock diagnosis, with
-//!   throughput, latency quantiles and transcript-isolation checks.
+//! * [`server`] — experiments E7/E8: remote debug-server load — N
+//!   concurrent TCP sessions each replaying the scripted deadlock
+//!   diagnosis (E7), and the attach-latency scaling study with the
+//!   compile-once cache on and off (E8) — throughput, latency quantiles
+//!   and transcript-isolation checks.
 
 pub mod analysis;
 pub mod localization;
@@ -37,4 +39,4 @@ pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
 pub use replay::{checkpoint_overhead, reverse_continue_latency, ReplayPoint, ReverseLatency};
 pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};
-pub use server::{server_load, ServerLoadResult};
+pub use server::{attach_load, server_load, AttachLoadResult, ServerLoadResult};

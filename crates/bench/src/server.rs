@@ -1,12 +1,19 @@
-//! Experiment E7: remote debug-server load.
+//! Experiments E7 and E8: remote debug-server load.
 //!
-//! Drives N concurrent TCP sessions, each replaying the scripted §III
-//! deadlock diagnosis end to end (attach, static analysis, run to the
-//! deadlock, inspect filters/links, inject the missing token, run to
+//! **E7** drives N concurrent TCP sessions, each replaying the scripted
+//! §III deadlock diagnosis end to end (attach, static analysis, run to
+//! the deadlock, inspect filters/links, inject the missing token, run to
 //! completion, checkpoint). The harness reports throughput
-//! (sessions/sec), per-command latency quantiles, and — the property the
-//! server exists to guarantee — *isolation*: every remote transcript must
-//! be byte-identical to the in-process run of the same script.
+//! (sessions/sec), session-setup (`attach`) and steady-state command
+//! latencies *separately* — conflating them hid the attach-latency
+//! scaling bug this module's E8 half now pins — and the property the
+//! server exists to guarantee: *isolation*, every remote transcript
+//! byte-identical to the in-process run.
+//!
+//! **E8** is the attach-density experiment: N clients connect, then
+//! attach the same variant simultaneously, with the compile-once cache
+//! either enabled (one build, N copy-on-write forks) or disabled (the
+//! old per-session-recompile behaviour, kept as the measured baseline).
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -29,9 +36,12 @@ pub struct ServerLoadResult {
     pub commands: u64,
     /// Commands the server answered with `ok: false`.
     pub errors: u64,
-    /// Mean `attach` latency — the dominant per-session cost (builds the
-    /// whole simulator, runs both static analyses).
+    /// Session-setup (`attach`) latency, reported separately from the
+    /// steady-state command quantiles below so setup cannot be conflated
+    /// with steady-state (the E6 discipline).
     pub attach_mean: Duration,
+    pub attach_p50: Duration,
+    pub attach_p99: Duration,
     /// Per-command latency quantiles across every session's commands.
     pub p50: Duration,
     pub p99: Duration,
@@ -121,7 +131,9 @@ pub fn server_load(n_sessions: usize, n_mbs: u64) -> ServerLoadResult {
 
     let mut latencies: Vec<Duration> = results.iter().flat_map(|r| r.latencies.clone()).collect();
     latencies.sort();
-    let attach_total: Duration = results.iter().map(|r| r.attach).sum();
+    let mut attaches: Vec<Duration> = results.iter().map(|r| r.attach).collect();
+    attaches.sort();
+    let attach_total: Duration = attaches.iter().sum();
     ServerLoadResult {
         sessions: n_sessions,
         wall,
@@ -129,8 +141,253 @@ pub fn server_load(n_sessions: usize, n_mbs: u64) -> ServerLoadResult {
         commands: latencies.len() as u64,
         errors: results.iter().map(|r| r.errors).sum(),
         attach_mean: attach_total / n_sessions.max(1) as u32,
+        attach_p50: quantile(&attaches, 0.50),
+        attach_p99: quantile(&attaches, 0.99),
         p50: quantile(&latencies, 0.50),
         p99: quantile(&latencies, 0.99),
+        isolated: results.iter().all(|r| r.transcript == reference),
+    }
+}
+
+/// Aggregate result of one E8 attach-density run.
+#[derive(Debug, Clone)]
+pub struct AttachLoadResult {
+    pub sessions: usize,
+    /// Whether the compile-once cache served the attaches (false = the
+    /// per-session-recompile baseline).
+    pub cached: bool,
+    /// One-time session setup: the cache-warming compile + boot. Zero in
+    /// baseline mode, where every attach pays it instead.
+    pub setup: Duration,
+    /// Wall time for all `sessions` simultaneous attaches to complete
+    /// (first attach sent → last attach reply), computed from the
+    /// workers' own timestamps — the orchestrating thread can be
+    /// descheduled for the whole storm on a loaded box, so its clock
+    /// cannot be trusted for this.
+    pub storm: Duration,
+    /// Attach latency measured by a dedicated probe client performing
+    /// [`PROBE_ATTACHES`] attach/detach cycles while all `sessions` stay
+    /// resident. A single in-flight probe isolates the per-attach cost
+    /// from the thundering-herd queueing the storm necessarily has.
+    pub attach_mean: Duration,
+    pub attach_p50: Duration,
+    pub attach_p99: Duration,
+    /// Number of probe attach/detach cycles behind the quantiles.
+    pub probes: u64,
+    /// Per-session attach latency observed inside the storm itself
+    /// (client-measured; includes the herd's queueing).
+    pub storm_attach_p50: Duration,
+    pub storm_attach_p99: Duration,
+    /// Steady-state command quantiles, measured while all sessions are
+    /// attached (density held by a barrier).
+    pub steady_p50: Duration,
+    pub steady_p99: Duration,
+    /// Compile-cache traffic (misses == compiles in cached mode; the
+    /// baseline bypasses the cache so both stay 0 there).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub errors: u64,
+    /// Every session's two-command transcript byte-identical to a fresh
+    /// uncached in-process build — the no-state-leak gate.
+    pub isolated: bool,
+}
+
+/// Steady-state probe commands: read-only inspection, deterministic
+/// output for the isolation byte-compare.
+const STEADY_SCRIPT: &[&str] = &["info filters", "info links"];
+
+/// Attach/detach cycles the probe client performs at full density; p99
+/// is then the second-worst sample rather than the single worst.
+const PROBE_ATTACHES: usize = 100;
+
+struct AttachWorker {
+    /// When this worker left the start barrier and sent its attach.
+    started: Instant,
+    /// When its attach reply arrived.
+    attached_at: Instant,
+    attach: Duration,
+    steady: Vec<Duration>,
+    transcript: String,
+    errors: u64,
+}
+
+fn drive_attach(
+    addr: std::net::SocketAddr,
+    n_mbs: u64,
+    start_line: &Barrier,
+    hold: &Barrier,
+    release: &Barrier,
+) -> Result<AttachWorker, String> {
+    // Connect with retry: thousands of simultaneous connects can
+    // transiently overflow the accept backlog.
+    let mut client = None;
+    for _ in 0..100 {
+        match Client::connect(addr) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let run = |client: &mut Client| -> Result<AttachWorker, String> {
+        let started = Instant::now();
+        let reply = client.request(&format!("attach deadlock {n_mbs}"))?;
+        let attached_at = Instant::now();
+        let attach = attached_at - started;
+        if !reply.ok {
+            return Err(format!("attach failed: {}", reply.output));
+        }
+        let mut steady = Vec::with_capacity(STEADY_SCRIPT.len());
+        let mut transcript = String::new();
+        let mut errors = 0;
+        for cmd in STEADY_SCRIPT {
+            let t = Instant::now();
+            let reply = client.request(cmd)?;
+            steady.push(t.elapsed());
+            if !reply.ok {
+                errors += 1;
+            }
+            transcript.push_str(&reply.output);
+            transcript.push('\n');
+        }
+        Ok(AttachWorker {
+            started,
+            attached_at,
+            attach,
+            steady,
+            transcript,
+            errors,
+        })
+    };
+    start_line.wait();
+    let result = match client.as_mut() {
+        Some(c) => run(c),
+        None => Err("could not connect".into()),
+    };
+    // Both barriers are reached on success and failure alike — a missing
+    // waiter would deadlock the rest. `hold` marks this session resident;
+    // `release` keeps it resident until the probe has finished measuring,
+    // so the probe's quantiles reflect N *concurrent* sessions.
+    hold.wait();
+    release.wait();
+    if let Some(mut c) = client {
+        let _ = c.request("quit");
+    }
+    result
+}
+
+/// Run the E8 attach-density experiment: `n_sessions` clients attach the
+/// same variant simultaneously and stay resident, cache on (`cached`) or
+/// off (recompile baseline); a probe client then measures attach latency
+/// at that density with repeated attach/detach cycles.
+pub fn attach_load(n_sessions: usize, n_mbs: u64, cached: bool) -> AttachLoadResult {
+    let reference = local_transcript(Bug::Deadlock, n_mbs, STEADY_SCRIPT)
+        .expect("in-process reference transcript");
+    let cfg = ServerConfig {
+        attach_cache: cached,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let shared = server.shared();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Warm the cache: this one compile+boot is *session setup*, reported
+    // separately (E6 discipline). In baseline mode there is nothing to
+    // warm — every attach pays the compile, which is the point.
+    let t0 = Instant::now();
+    let setup = if cached {
+        let mut warm = Client::connect(addr).expect("warm-up connect");
+        let reply = warm
+            .request(&format!("attach deadlock {n_mbs}"))
+            .expect("warm-up attach");
+        assert!(reply.ok, "warm-up attach failed: {}", reply.output);
+        let _ = warm.request("quit");
+        t0.elapsed()
+    } else {
+        Duration::ZERO
+    };
+
+    let start_line = Arc::new(Barrier::new(n_sessions + 1));
+    let hold = Arc::new(Barrier::new(n_sessions + 1));
+    let release = Arc::new(Barrier::new(n_sessions + 1));
+    let workers: Vec<_> = (0..n_sessions)
+        .map(|_| {
+            let start_line = Arc::clone(&start_line);
+            let hold = Arc::clone(&hold);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || drive_attach(addr, n_mbs, &start_line, &hold, &release))
+        })
+        .collect();
+    start_line.wait();
+    hold.wait(); // every session attached and measured
+
+    // The probe: one client, one request in flight, at full density.
+    let mut attaches: Vec<Duration> = Vec::with_capacity(PROBE_ATTACHES);
+    let mut probe_errors = 0;
+    match Client::connect(addr) {
+        Ok(mut probe) => {
+            for _ in 0..PROBE_ATTACHES {
+                let t = Instant::now();
+                match probe.request(&format!("attach deadlock {n_mbs}")) {
+                    Ok(r) if r.ok => attaches.push(t.elapsed()),
+                    _ => probe_errors += 1,
+                }
+                if probe.request("detach").is_err() {
+                    probe_errors += 1;
+                    break;
+                }
+            }
+            let _ = probe.request("quit");
+        }
+        Err(_) => probe_errors += 1,
+    }
+    release.wait();
+    let results: Vec<AttachWorker> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker panicked").expect("session failed"))
+        .collect();
+
+    let storm = match (
+        results.iter().map(|r| r.started).min(),
+        results.iter().map(|r| r.attached_at).max(),
+    ) {
+        (Some(first), Some(last)) => last.saturating_duration_since(first),
+        _ => Duration::ZERO,
+    };
+
+    // Raw cache counters: in cached mode misses == total compiles (the
+    // warm-up's one); in baseline mode the cache is bypassed entirely
+    // and every attach compiled (misses stays 0, compiles ==
+    // sessions + probes).
+    let cache_hits = shared.cache.hits();
+    let cache_misses = shared.cache.misses();
+    shared.request_shutdown();
+    let _ = server_thread.join();
+
+    attaches.sort();
+    let mut storm_attaches: Vec<Duration> = results.iter().map(|r| r.attach).collect();
+    storm_attaches.sort();
+    let mut steady: Vec<Duration> = results.iter().flat_map(|r| r.steady.clone()).collect();
+    steady.sort();
+    let attach_total: Duration = attaches.iter().sum();
+    AttachLoadResult {
+        sessions: n_sessions,
+        cached,
+        setup,
+        storm,
+        attach_mean: attach_total / attaches.len().max(1) as u32,
+        attach_p50: quantile(&attaches, 0.50),
+        attach_p99: quantile(&attaches, 0.99),
+        probes: attaches.len() as u64,
+        storm_attach_p50: quantile(&storm_attaches, 0.50),
+        storm_attach_p99: quantile(&storm_attaches, 0.99),
+        steady_p50: quantile(&steady, 0.50),
+        steady_p99: quantile(&steady, 0.99),
+        cache_hits,
+        cache_misses,
+        errors: results.iter().map(|r| r.errors).sum::<u64>() + probe_errors,
         isolated: results.iter().all(|r| r.transcript == reference),
     }
 }
@@ -147,5 +404,28 @@ mod tests {
         assert_eq!(r.errors, 0, "scripted diagnosis should not error");
         assert!(r.isolated, "remote transcripts diverged from in-process");
         assert!(r.p50 <= r.p99);
+        assert!(r.attach_p50 <= r.attach_p99);
+    }
+
+    #[test]
+    fn attach_storm_compiles_once_and_stays_isolated() {
+        let r = attach_load(8, 4, true);
+        assert_eq!(r.sessions, 8);
+        assert_eq!(
+            r.cache_misses, 1,
+            "8 attaches of one variant must compile exactly once"
+        );
+        assert!(r.cache_hits >= 8, "storm attaches should all hit the cache");
+        assert_eq!(r.errors, 0);
+        assert!(r.isolated, "forked sessions diverged from a fresh build");
+        assert!(r.attach_p50 <= r.attach_p99);
+    }
+
+    #[test]
+    fn uncached_baseline_recompiles_per_session() {
+        let r = attach_load(2, 2, false);
+        assert_eq!(r.cache_misses, 0, "baseline must bypass the cache");
+        assert_eq!(r.cache_hits, 0);
+        assert!(r.isolated);
     }
 }

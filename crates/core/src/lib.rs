@@ -32,10 +32,12 @@
 //! `mind` tool-chain, then [`Session::boot`] — the graph is reconstructed
 //! live from the framework's registration calls via function breakpoints.
 
+pub mod appcache;
 pub mod cli;
 pub mod dataflow;
 pub mod session;
 
+pub use appcache::{AppCache, CachedApp};
 pub use dataflow::{
     CaptureMode, CatchCond, DfEvent, DfModel, DfSched, DfStop, FlowBehavior, TokenId, TokenRec,
     TokenStore, RECORD_LIMIT,

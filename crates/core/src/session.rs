@@ -15,6 +15,7 @@
 //! semantics.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use debuginfo::{CodeAddr, DebugInfo, Value, Word};
 use p2012::{PeId, PeStatus, VmFault};
@@ -123,7 +124,9 @@ const TT_DISABLED: &str = "time travel is not enabled (use `checkpoint` first)";
 /// The debugger.
 pub struct Session {
     pub sys: System,
-    pub info: DebugInfo,
+    /// Immutable tool-chain debug info, shared across sessions forked from
+    /// the same compiled app (the compile-once cache hands out one `Arc`).
+    pub info: Arc<DebugInfo>,
     pub model: DfModel,
     pub capture: Capture,
     breakpoints: Vec<Breakpoint>,
@@ -166,8 +169,11 @@ pub struct Session {
 
 impl Session {
     /// Attach to a built system. The debug info comes from the tool-chain
-    /// (DWARF equivalent); everything else is observed at runtime.
-    pub fn attach(mut sys: System, info: DebugInfo) -> Self {
+    /// (DWARF equivalent); everything else is observed at runtime. Accepts
+    /// either an owned `DebugInfo` or an `Arc<DebugInfo>` shared with
+    /// other sessions of the same compiled app.
+    pub fn attach(mut sys: System, info: impl Into<Arc<DebugInfo>>) -> Self {
+        let info = info.into();
         let capture = Capture::new(&info, &sys.platform.program, sys.platform.pe_count());
         // Host-side environment I/O is invisible to breakpoints (no fabric
         // code runs it); subscribe to just those events.
@@ -198,6 +204,42 @@ impl Session {
             bcv_input: None,
             last_bcv: None,
             tt: None,
+        }
+    }
+
+    /// Fork an independent session from this one. Simulator memory is
+    /// shared copy-on-write with the parent (see [`pedf::System::fork`]),
+    /// the immutable debug info is `Arc`-shared, and every piece of
+    /// mutable debugger state — model, capture, breakpoints, time-travel
+    /// chain — is deep-copied. The fork and the parent diverge freely;
+    /// neither can observe the other's writes. This is what makes
+    /// attaching the N-th session of a variant O(dirtied pages) instead
+    /// of O(recompile + boot).
+    pub fn fork(&mut self) -> Session {
+        Session {
+            sys: self.sys.fork(),
+            info: Arc::clone(&self.info),
+            model: self.model.clone(),
+            capture: self.capture.clone(),
+            breakpoints: self.breakpoints.clone(),
+            bp_addrs: self.bp_addrs.clone(),
+            bp_lo: self.bp_lo,
+            bp_hi: self.bp_hi,
+            next_bp: self.next_bp,
+            skip: self.skip.clone(),
+            watchpoints: self.watchpoints.clone(),
+            next_watch: self.next_watch,
+            focus: self.focus,
+            step_mode: self.step_mode,
+            stop_queue: self.stop_queue.clone(),
+            graph_learned: self.graph_learned,
+            inv_seen: self.inv_seen.clone(),
+            value_history: self.value_history.clone(),
+            analysis: self.analysis.clone(),
+            last_analysis: self.last_analysis.clone(),
+            bcv_input: self.bcv_input.clone(),
+            last_bcv: self.last_bcv.clone(),
+            tt: self.tt.clone(),
         }
     }
 

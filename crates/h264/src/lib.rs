@@ -14,8 +14,8 @@ pub mod app;
 pub mod golden;
 
 pub use app::{decoder_sources, Bug, DECODER_ADL};
+pub use mind::CompiledApp;
 
-use mind::CompiledApp;
 use p2012::PlatformConfig;
 use pedf::{ActorId, EnvSink, EnvSource, System, ValueGen};
 

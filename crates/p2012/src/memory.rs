@@ -13,6 +13,17 @@
 //! that the debugger drains after each simulated cycle. When no watchpoints
 //! are set the check is a single branch on an empty `Vec`, keeping the
 //! undebuggged fast path honest for the overhead benchmarks (experiment E1).
+//!
+//! Banks are stored as copy-on-write pages ([`PAGE_WORDS`] words each): a
+//! page is either shared (`Arc`, refcounted with every fork and base image
+//! that references it) or privately owned. Reads never promote; the first
+//! store to a shared page copies just that page. This is what makes
+//! [`Memory::fork`] — and with it debugger-session forking and checkpoint
+//! base images — O(pages) in pointers rather than O(words) in copies: a
+//! thousand forked sessions of the same booted application share one set
+//! of page buffers until they actually diverge.
+
+use std::sync::Arc;
 
 use debuginfo::Word;
 
@@ -128,31 +139,142 @@ pub struct PageId {
     pub page: u32,
 }
 
-/// A full copy of every memory bank — the base image a checkpoint chain
-/// starts from. Deltas (dirty pages) apply on top of this.
+/// One copy-on-write page of bank backing store. `Shared` pages are
+/// referenced by forked memories and checkpoint base images; the first
+/// store promotes the page to `Owned` by copying it.
+#[derive(Debug, Clone)]
+enum Page {
+    Shared(Arc<[Word]>),
+    Owned(Vec<Word>),
+}
+
+impl Page {
+    #[inline]
+    fn as_slice(&self) -> &[Word] {
+        match self {
+            Page::Shared(p) => p,
+            Page::Owned(p) => p,
+        }
+    }
+
+    /// Private, writable view; copies the page if it is shared.
+    #[inline]
+    fn make_owned(&mut self) -> &mut [Word] {
+        if let Page::Shared(p) = self {
+            *self = Page::Owned(p.to_vec());
+        }
+        match self {
+            Page::Owned(p) => p,
+            Page::Shared(_) => unreachable!("just promoted"),
+        }
+    }
+
+    /// Freeze into shared form (fork/snapshot time) and hand out the Arc.
+    fn share(&mut self) -> Arc<[Word]> {
+        if let Page::Owned(v) = self {
+            *self = Page::Shared(Arc::from(std::mem::take(v).into_boxed_slice()));
+        }
+        match self {
+            Page::Shared(p) => Arc::clone(p),
+            Page::Owned(_) => unreachable!("just shared"),
+        }
+    }
+}
+
+/// One bank as a vector of COW pages (the last page may be partial).
+#[derive(Debug, Clone)]
+struct Bank {
+    pages: Vec<Page>,
+}
+
+impl Bank {
+    fn new(words: u32) -> Bank {
+        // Untouched banks are all zeros: every full page starts as a
+        // reference to one shared zero page, so constructing (and forking)
+        // a memory costs pointers, not megabytes.
+        let zero: Arc<[Word]> = Arc::from(vec![0; PAGE_WORDS as usize].into_boxed_slice());
+        let mut pages = Vec::with_capacity(pages_for(words));
+        let mut remaining = words as usize;
+        while remaining >= PAGE_WORDS as usize {
+            pages.push(Page::Shared(Arc::clone(&zero)));
+            remaining -= PAGE_WORDS as usize;
+        }
+        if remaining > 0 {
+            pages.push(Page::Shared(Arc::from(
+                vec![0; remaining].into_boxed_slice(),
+            )));
+        }
+        Bank { pages }
+    }
+
+    #[inline]
+    fn get(&self, off: u32) -> Word {
+        self.pages[(off / PAGE_WORDS) as usize].as_slice()[(off % PAGE_WORDS) as usize]
+    }
+
+    #[inline]
+    fn get_mut(&mut self, off: u32) -> &mut Word {
+        &mut self.pages[(off / PAGE_WORDS) as usize].make_owned()[(off % PAGE_WORDS) as usize]
+    }
+
+    fn page(&self, page: u32) -> &[Word] {
+        self.pages[page as usize].as_slice()
+    }
+
+    fn restore_page(&mut self, page: u32, data: &[Word]) {
+        // Restores always carry a whole page; replacing the buffer avoids
+        // promoting (copying) a shared page only to overwrite it.
+        debug_assert_eq!(data.len(), self.pages[page as usize].as_slice().len());
+        self.pages[page as usize] = Page::Owned(data.to_vec());
+    }
+
+    /// Freeze every page into shared form, returning the Arcs (snapshot).
+    fn share(&mut self) -> Vec<Arc<[Word]>> {
+        self.pages.iter_mut().map(Page::share).collect()
+    }
+
+    /// Freeze every page into shared form without collecting (fork).
+    fn share_in_place(&mut self) {
+        for p in &mut self.pages {
+            p.share();
+        }
+    }
+
+    fn restore_from(&mut self, shared: &[Arc<[Word]>]) {
+        for (p, s) in self.pages.iter_mut().zip(shared) {
+            *p = Page::Shared(Arc::clone(s));
+        }
+    }
+
+    fn hash_into<H: std::hash::Hasher>(&self, h: &mut H) {
+        for p in &self.pages {
+            for w in p.as_slice() {
+                h.write_u32(*w);
+            }
+        }
+    }
+}
+
+/// A full image of every memory bank — the base a checkpoint chain starts
+/// from. Pages are shared with the live memory they were snapshotted
+/// from, so taking (and keeping) an image costs refcounts, not copies;
+/// deltas (dirty pages) apply on top of this.
 #[derive(Debug, Clone)]
 pub struct MemImage {
-    l1: Vec<Vec<Word>>,
-    l2: Vec<Word>,
-    l3: Vec<Word>,
+    l1: Vec<Vec<Arc<[Word]>>>,
+    l2: Vec<Arc<[Word]>>,
+    l3: Vec<Arc<[Word]>>,
 }
 
 impl MemImage {
     /// The words of `page` within this image (last page may be partial).
     pub fn page_data(&self, p: PageId) -> &[Word] {
-        let bank: &[Word] = match p.region {
-            Region::L1 { cluster } => &self.l1[cluster as usize],
-            Region::L2 => &self.l2,
-            Region::L3 => &self.l3,
-        };
-        page_slice(bank, p.page)
+        match p.region {
+            Region::L1 { cluster } => &self.l1[cluster as usize][p.page as usize],
+            Region::L2 => &self.l2[p.page as usize],
+            Region::L3 => &self.l3[p.page as usize],
+        }
     }
-}
-
-fn page_slice(bank: &[Word], page: u32) -> &[Word] {
-    let lo = (page * PAGE_WORDS) as usize;
-    let hi = (lo + PAGE_WORDS as usize).min(bank.len());
-    &bank[lo..hi]
 }
 
 /// Watchpoint trigger kind.
@@ -183,12 +305,12 @@ pub struct WatchHit {
 }
 
 /// The simulated memory system.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Memory {
     map: MemoryMap,
-    l1: Vec<Vec<Word>>,
-    l2: Vec<Word>,
-    l3: Vec<Word>,
+    l1: Vec<Bank>,
+    l2: Bank,
+    l3: Bank,
     watches: Vec<Watch>,
     hits: Vec<WatchHit>,
     /// Dirty-page flags per bank, mirroring the bank layout above, plus an
@@ -210,12 +332,10 @@ fn pages_for(words: u32) -> usize {
 
 impl Memory {
     pub fn new(map: MemoryMap) -> Self {
-        let l1 = (0..map.clusters)
-            .map(|_| vec![0; map.l1_words as usize])
-            .collect();
+        let l1 = (0..map.clusters).map(|_| Bank::new(map.l1_words)).collect();
         Memory {
-            l2: vec![0; map.l2_words as usize],
-            l3: vec![0; map.l3_words as usize],
+            l2: Bank::new(map.l2_words),
+            l3: Bank::new(map.l3_words),
             l1,
             dirty_l1: (0..map.clusters)
                 .map(|_| vec![false; pages_for(map.l1_words)])
@@ -248,26 +368,33 @@ impl Memory {
         }
     }
 
-    fn slot(&mut self, addr: u32, mutate: bool) -> Result<(&mut Word, u32), MemError> {
-        let (region, off) = self.map.decode(addr)?;
-        if mutate {
-            self.mark_dirty(region, off);
+    #[inline]
+    fn bank(&self, region: Region) -> &Bank {
+        match region {
+            Region::L1 { cluster } => &self.l1[cluster as usize],
+            Region::L2 => &self.l2,
+            Region::L3 => &self.l3,
         }
-        let lat = self.map.latency(region);
-        let cell = match region {
-            Region::L1 { cluster } => &mut self.l1[cluster as usize][off as usize],
-            Region::L2 => &mut self.l2[off as usize],
-            Region::L3 => &mut self.l3[off as usize],
-        };
-        Ok((cell, lat))
     }
 
-    /// Load a word; returns `(value, stall_cycles)`.
+    #[inline]
+    fn bank_mut(&mut self, region: Region) -> &mut Bank {
+        match region {
+            Region::L1 { cluster } => &mut self.l1[cluster as usize],
+            Region::L2 => &mut self.l2,
+            Region::L3 => &mut self.l3,
+        }
+    }
+
+    /// Load a word; returns `(value, stall_cycles)`. Reads never promote a
+    /// shared page — forked sessions stay deduplicated under read-mostly
+    /// inspection workloads.
     pub fn read(&mut self, addr: u32) -> Result<(Word, u32), MemError> {
         self.reads += 1;
         let watched = self.match_watch(addr, false);
-        let (cell, lat) = self.slot(addr, false)?;
-        let v = *cell;
+        let (region, off) = self.map.decode(addr)?;
+        let lat = self.map.latency(region);
+        let v = self.bank(region).get(off);
         if let Some(id) = watched {
             self.hits.push(WatchHit {
                 id,
@@ -284,7 +411,10 @@ impl Memory {
     pub fn write(&mut self, addr: u32, value: Word) -> Result<u32, MemError> {
         self.writes += 1;
         let watched = self.match_watch(addr, true);
-        let (cell, lat) = self.slot(addr, true)?;
+        let (region, off) = self.map.decode(addr)?;
+        self.mark_dirty(region, off);
+        let lat = self.map.latency(region);
+        let cell = self.bank_mut(region).get_mut(off);
         let old = *cell;
         *cell = value;
         if let Some(id) = watched {
@@ -305,19 +435,16 @@ impl Memory {
     /// "does not alter the execution semantic".
     pub fn peek(&self, addr: u32) -> Result<Word, MemError> {
         let (region, off) = self.map.decode(addr)?;
-        Ok(match region {
-            Region::L1 { cluster } => self.l1[cluster as usize][off as usize],
-            Region::L2 => self.l2[off as usize],
-            Region::L3 => self.l3[off as usize],
-        })
+        Ok(self.bank(region).get(off))
     }
 
     /// Write without latency/watch side effects: used by loaders and by the
     /// debugger's token-alteration commands (§III "Altering the Normal
     /// Execution").
     pub fn poke(&mut self, addr: u32, value: Word) -> Result<(), MemError> {
-        let (cell, _) = self.slot(addr, true)?;
-        *cell = value;
+        let (region, off) = self.map.decode(addr)?;
+        self.mark_dirty(region, off);
+        *self.bank_mut(region).get_mut(off) = value;
         Ok(())
     }
 
@@ -378,44 +505,52 @@ impl Memory {
 
     /// The live words of `page` (last page of a bank may be partial).
     pub fn page_data(&self, p: PageId) -> &[Word] {
-        let bank: &[Word] = match p.region {
-            Region::L1 { cluster } => &self.l1[cluster as usize],
-            Region::L2 => &self.l2,
-            Region::L3 => &self.l3,
-        };
-        page_slice(bank, p.page)
+        self.bank(p.region).page(p.page)
     }
 
     /// Overwrite one page with checkpointed content. Bypasses dirty
     /// marking: a restore rewinds the memory image, it is not a write the
     /// replayed execution performed.
     pub fn restore_page(&mut self, p: PageId, data: &[Word]) {
-        let bank: &mut Vec<Word> = match p.region {
-            Region::L1 { cluster } => &mut self.l1[cluster as usize],
-            Region::L2 => &mut self.l2,
-            Region::L3 => &mut self.l3,
-        };
-        let lo = (p.page * PAGE_WORDS) as usize;
-        bank[lo..lo + data.len()].copy_from_slice(data);
+        self.bank_mut(p.region).restore_page(p.page, data);
     }
 
-    /// Full copy of all banks (checkpoint base image).
-    pub fn snapshot_full(&self) -> MemImage {
+    /// Full image of all banks (checkpoint base image). Freezes every page
+    /// into shared form, so the image and the live memory reference the
+    /// same buffers until the simulation writes again — taking a baseline
+    /// is O(pages), not O(words).
+    pub fn snapshot_full(&mut self) -> MemImage {
         MemImage {
-            l1: self.l1.clone(),
-            l2: self.l2.clone(),
-            l3: self.l3.clone(),
+            l1: self.l1.iter_mut().map(Bank::share).collect(),
+            l2: self.l2.share(),
+            l3: self.l3.share(),
         }
     }
 
-    /// Restore every bank from a full image. Clears pending watch hits
-    /// (they belong to the abandoned timeline) but keeps the installed
-    /// watches — like GDB, watchpoints survive time travel.
+    /// Restore every bank from a full image (shared page references — the
+    /// next write promotes). Clears pending watch hits (they belong to the
+    /// abandoned timeline) but keeps the installed watches — like GDB,
+    /// watchpoints survive time travel.
     pub fn restore_full(&mut self, img: &MemImage) {
-        self.l1.clone_from(&img.l1);
-        self.l2.clone_from(&img.l2);
-        self.l3.clone_from(&img.l3);
+        for (bank, shared) in self.l1.iter_mut().zip(&img.l1) {
+            bank.restore_from(shared);
+        }
+        self.l2.restore_from(&img.l2);
+        self.l3.restore_from(&img.l3);
         self.hits.clear();
+    }
+
+    /// Copy-on-write fork: every page of every bank becomes shared between
+    /// `self` and the returned memory; the first store on either side
+    /// copies just the page it touches. Watches, dirty tracking and access
+    /// counters carry over verbatim.
+    pub fn fork(&mut self) -> Memory {
+        for b in &mut self.l1 {
+            b.share_in_place();
+        }
+        self.l2.share_in_place();
+        self.l3.share_in_place();
+        self.clone()
     }
 
     /// Feed the complete memory content to a hasher (baseline hash of a
@@ -424,16 +559,10 @@ impl Memory {
     /// monomorphisation lets the hasher's word fast path inline.
     pub fn hash_full<H: std::hash::Hasher>(&self, h: &mut H) {
         for bank in &self.l1 {
-            for w in bank {
-                h.write_u32(*w);
-            }
+            bank.hash_into(h);
         }
-        for w in &self.l2 {
-            h.write_u32(*w);
-        }
-        for w in &self.l3 {
-            h.write_u32(*w);
-        }
+        self.l2.hash_into(h);
+        self.l3.hash_into(h);
     }
 }
 
@@ -587,6 +716,53 @@ mod tests {
             })[2],
             22
         );
+    }
+
+    #[test]
+    fn forked_memories_do_not_alias() {
+        let mut m = mem();
+        m.write(L2_BASE, 1).unwrap();
+        m.write(L3_BASE + 9, 7).unwrap();
+        let mut child = m.fork();
+        // Writes on either side stay invisible to the other.
+        child.write(L2_BASE, 100).unwrap();
+        m.write(L3_BASE + 9, 200).unwrap();
+        assert_eq!(m.peek(L2_BASE).unwrap(), 1);
+        assert_eq!(child.peek(L2_BASE).unwrap(), 100);
+        assert_eq!(m.peek(L3_BASE + 9).unwrap(), 200);
+        assert_eq!(child.peek(L3_BASE + 9).unwrap(), 7);
+        // Untouched words are shared and identical.
+        assert_eq!(
+            m.peek(L1_BASE + 5).unwrap(),
+            child.peek(L1_BASE + 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn fork_preserves_dirty_tracking_independence() {
+        let mut m = mem();
+        m.write(L2_BASE, 1).unwrap();
+        m.take_dirty();
+        let mut child = m.fork();
+        child.write(L2_BASE + 1, 2).unwrap();
+        assert_eq!(child.take_dirty().len(), 1);
+        assert!(m.take_dirty().is_empty(), "parent saw the child's write");
+    }
+
+    #[test]
+    fn snapshot_stays_frozen_while_live_memory_moves_on() {
+        let mut m = mem();
+        m.write(L2_BASE + 3, 33).unwrap();
+        let img = m.snapshot_full();
+        m.write(L2_BASE + 3, 44).unwrap();
+        let p = PageId {
+            region: Region::L2,
+            page: 0,
+        };
+        assert_eq!(img.page_data(p)[3], 33, "image must not track live writes");
+        assert_eq!(m.peek(L2_BASE + 3).unwrap(), 44);
+        m.restore_full(&img);
+        assert_eq!(m.peek(L2_BASE + 3).unwrap(), 33);
     }
 
     #[test]

@@ -128,7 +128,7 @@ pub struct PlatformState {
 }
 
 /// The simulated machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Platform {
     pub config: PlatformConfig,
     pub infos: Vec<PeInfo>,
@@ -364,6 +364,22 @@ impl Platform {
             }
         }
         any_blocked && self.dma.iter().all(|d| d.in_flight() == 0)
+    }
+
+    /// Copy-on-write fork of the whole machine: PE/DMA/clock state is
+    /// cloned outright (it is small), memory forks page-wise via
+    /// [`Memory::fork`] so the two machines share every untouched page.
+    pub fn fork(&mut self) -> Platform {
+        let mem = self.mem.fork();
+        Platform {
+            config: self.config.clone(),
+            infos: self.infos.clone(),
+            pes: self.pes.clone(),
+            mem,
+            dma: self.dma.clone(),
+            program: self.program.clone(),
+            clock: self.clock,
+        }
     }
 
     /// Capture everything about the machine except memory content, which

@@ -114,7 +114,11 @@ pub struct RuntimeState {
 
 /// The runtime system. Implements [`TrapHandler`]; owns all dynamic
 /// dataflow state.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: every field is plain data (env sources/sinks
+/// included), so session forking can duplicate the whole runtime in one
+/// deep copy instead of re-running boot + environment setup.
+#[derive(Debug, Clone)]
 pub struct Runtime {
     /// Shared type table (same ids as the image's debug info).
     pub types: TypeTable,

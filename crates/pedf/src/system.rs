@@ -11,7 +11,7 @@ use p2012::{PeId, Platform};
 use crate::runtime::Runtime;
 
 /// A booted (or bootable) PEDF machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct System {
     pub platform: Platform,
     pub runtime: Runtime,
@@ -20,6 +20,17 @@ pub struct System {
 impl System {
     pub fn new(platform: Platform, runtime: Runtime) -> Self {
         System { platform, runtime }
+    }
+
+    /// Fork this system into an independent copy that shares memory pages
+    /// copy-on-write with `self`. Both halves diverge freely afterwards;
+    /// only pages one side writes are physically duplicated. This is the
+    /// cheap path for spawning many sessions from one booted baseline.
+    pub fn fork(&mut self) -> System {
+        System {
+            platform: self.platform.fork(),
+            runtime: self.runtime.clone(),
+        }
     }
 
     /// Advance one cycle.

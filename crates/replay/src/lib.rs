@@ -168,7 +168,7 @@ pub struct CheckpointInfo {
 }
 
 /// The checkpoint chain plus divergence findings.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CheckpointManager<X> {
     /// Auto-checkpoint interval in cycles.
     pub interval: u64,

@@ -19,6 +19,8 @@ pub enum EventKind {
     IdleTimeout,
     Truncated,
     ShutdownCheckpoint,
+    Evicted,
+    Resumed,
     Disconnected,
 }
 
@@ -32,6 +34,8 @@ impl EventKind {
             EventKind::IdleTimeout => "idle-timeout",
             EventKind::Truncated => "truncated",
             EventKind::ShutdownCheckpoint => "shutdown-checkpoint",
+            EventKind::Evicted => "evicted",
+            EventKind::Resumed => "resumed",
             EventKind::Disconnected => "disconnected",
         }
     }

@@ -30,6 +30,7 @@ pub mod eventlog;
 pub mod metrics;
 pub mod proto;
 pub mod registry;
+pub mod resume;
 pub mod server;
 pub mod session;
 
@@ -37,8 +38,9 @@ pub use client::{remote_transcript, scrape_metrics, Client, Reply};
 pub use metrics::Metrics;
 pub use proto::{Frame, Request};
 pub use registry::{Registry, SessionInfo, SessionState};
+pub use resume::SessionRecipe;
 pub use server::{render_remote_help, Server, ServerConfig, Shared, SERVER_COMMANDS};
 pub use session::{
-    build_cli, local_transcript, parse_variant, variant_name, CHECKPOINT_INTERVAL, DEADLOCK_SCRIPT,
-    DEFAULT_N_MBS, SCRIPT_N_MBS,
+    build_app, build_cli, build_cli_cached, cache_key, local_transcript, parse_variant,
+    variant_name, DecoderCache, CHECKPOINT_INTERVAL, DEADLOCK_SCRIPT, DEFAULT_N_MBS, SCRIPT_N_MBS,
 };

@@ -18,6 +18,74 @@ pub const LATENCY_BUCKETS_US: &[u64] = &[
     1_000_000, 2_500_000, 5_000_000, 10_000_000,
 ];
 
+/// One fixed-bucket latency histogram (lock-free).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    /// Interpolated quantile (0.0 ..= 1.0), in microseconds. `None` until
+    /// at least one observation.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        let count = self.count.load(Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let rank = q * count as f64;
+        let mut seen = 0u64;
+        let mut lo = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Relaxed);
+            let hi = LATENCY_BUCKETS_US
+                .get(i)
+                .copied()
+                .unwrap_or(LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1] * 2);
+            if n > 0 && (seen + n) as f64 >= rank {
+                let into = (rank - seen as f64) / n as f64;
+                return Some(lo as f64 + into * (hi - lo) as f64);
+            }
+            seen += n;
+            lo = hi;
+        }
+        Some(lo as f64)
+    }
+
+    /// Append the Prometheus text exposition of this histogram.
+    fn render_into(&self, out: &mut String, name: &str, help: &str) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &le) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                le as f64 / 1e6
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_us.load(Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!("{name}_count {}\n", self.count.load(Relaxed)));
+    }
+}
+
 #[derive(Default)]
 pub struct Metrics {
     /// Currently open connections (a connection is a session slot).
@@ -41,9 +109,21 @@ pub struct Metrics {
     pub bytes_out_total: AtomicU64,
     /// `/metrics` scrapes served.
     pub scrapes_total: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    latency_sum_us: AtomicU64,
-    latency_count: AtomicU64,
+    /// Compile-once cache traffic: attaches served by forking an already
+    /// built app vs. attaches that ran the compile. Mirrors of the
+    /// `AppCache` counters, synced on every attach.
+    pub attach_cache_hits: AtomicU64,
+    pub attach_cache_misses: AtomicU64,
+    /// Idle sessions demoted to a replay recipe (memory freed).
+    pub evictions_total: AtomicU64,
+    /// Sessions transparently rebuilt from a recipe (next-command revive
+    /// or explicit `resume <token>`).
+    pub resumes_total: AtomicU64,
+    /// Per-command execution latency.
+    pub command_seconds: Histogram,
+    /// `attach` latency, separated from command latency so session setup
+    /// and steady-state cannot be conflated (E7/E8).
+    pub attach_seconds: Histogram,
 }
 
 impl Metrics {
@@ -53,40 +133,13 @@ impl Metrics {
 
     /// Record one command execution latency.
     pub fn observe_latency(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&le| us <= le)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency_buckets[idx].fetch_add(1, Relaxed);
-        self.latency_sum_us.fetch_add(us, Relaxed);
-        self.latency_count.fetch_add(1, Relaxed);
+        self.command_seconds.observe(d);
     }
 
-    /// Interpolated latency quantile (0.0 ..= 1.0) from the histogram, in
+    /// Interpolated command-latency quantile (0.0 ..= 1.0), in
     /// microseconds. `None` until at least one command was observed.
     pub fn latency_quantile_us(&self, q: f64) -> Option<f64> {
-        let count = self.latency_count.load(Relaxed);
-        if count == 0 {
-            return None;
-        }
-        let rank = q * count as f64;
-        let mut seen = 0u64;
-        let mut lo = 0u64;
-        for (i, bucket) in self.latency_buckets.iter().enumerate() {
-            let n = bucket.load(Relaxed);
-            let hi = LATENCY_BUCKETS_US
-                .get(i)
-                .copied()
-                .unwrap_or(LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1] * 2);
-            if n > 0 && (seen + n) as f64 >= rank {
-                let into = (rank - seen as f64) / n as f64;
-                return Some(lo as f64 + into * (hi - lo) as f64);
-            }
-            seen += n;
-            lo = hi;
-        }
-        Some(lo as f64)
+        self.command_seconds.quantile_us(q)
     }
 
     /// Render in the Prometheus text exposition format.
@@ -168,30 +221,37 @@ impl Metrics {
             "/metrics scrapes served",
             self.scrapes_total.load(Relaxed),
         );
-        out.push_str(
-            "# HELP dfdbg_command_seconds command execution latency\n\
-             # TYPE dfdbg_command_seconds histogram\n",
+        counter(
+            &mut out,
+            "dfdbg_attach_cache_hits_total",
+            "attaches served by forking an already compiled app",
+            self.attach_cache_hits.load(Relaxed),
         );
-        let mut cumulative = 0u64;
-        for (i, &le) in LATENCY_BUCKETS_US.iter().enumerate() {
-            cumulative += self.latency_buckets[i].load(Relaxed);
-            out.push_str(&format!(
-                "dfdbg_command_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
-                le as f64 / 1e6
-            ));
-        }
-        cumulative += self.latency_buckets[LATENCY_BUCKETS_US.len()].load(Relaxed);
-        out.push_str(&format!(
-            "dfdbg_command_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
-        ));
-        out.push_str(&format!(
-            "dfdbg_command_seconds_sum {}\n",
-            self.latency_sum_us.load(Relaxed) as f64 / 1e6
-        ));
-        out.push_str(&format!(
-            "dfdbg_command_seconds_count {}\n",
-            self.latency_count.load(Relaxed)
-        ));
+        counter(
+            &mut out,
+            "dfdbg_attach_cache_misses_total",
+            "attaches that compiled the app (one per variant key)",
+            self.attach_cache_misses.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_evictions_total",
+            "idle sessions demoted to a replay recipe",
+            self.evictions_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_resumes_total",
+            "sessions rebuilt from a replay recipe",
+            self.resumes_total.load(Relaxed),
+        );
+        self.command_seconds.render_into(
+            &mut out,
+            "dfdbg_command_seconds",
+            "command execution latency",
+        );
+        self.attach_seconds
+            .render_into(&mut out, "dfdbg_attach_seconds", "session attach latency");
         out
     }
 }

@@ -16,6 +16,9 @@ pub enum SessionState {
     Connected,
     /// Attached to a decoder variant and accepting debug commands.
     Attached,
+    /// Idle-evicted: the simulator was demoted to a replay recipe; the
+    /// next debug command transparently rebuilds it.
+    Evicted,
     /// Draining: a shutdown was requested and the session is closing.
     Draining,
 }

@@ -1,0 +1,191 @@
+//! Persisted session recipes: how a drained or reaped session survives a
+//! server restart.
+//!
+//! The simulator has no serialised state format (and the offline build
+//! environment has no serde), but it does have something stronger:
+//! deterministic execution. A session is therefore persisted as a
+//! *replay recipe* — the decoder variant, the macroblock count and the
+//! exact journal of debug commands the session executed — plus the
+//! full-state hash of the machine at persist time. Resuming rebuilds the
+//! session (one compile-cache fork), replays the journal, and verifies
+//! the replayed machine hashes to the recorded value before handing the
+//! session back; a hash mismatch is an error, never a silent divergence
+//! (the same discipline [`replay`]'s checkpoint chain applies).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Everything needed to rebuild a session deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecipe {
+    /// Canonical variant name (see `variant_name`).
+    pub variant: String,
+    pub n_mbs: u64,
+    /// Simulated clock at persist time (what the drain announces).
+    pub clock: u64,
+    /// `replay::full_state_hash` of the machine at persist time; resume
+    /// verifies the replayed session against this.
+    pub state_hash: u64,
+    /// The checkpoint id announced by the drain (the resumed session
+    /// recreates it by replaying the journal's trailing `checkpoint`).
+    pub checkpoint: u32,
+    /// Every debug command the session executed, in order.
+    pub journal: Vec<String>,
+}
+
+const MAGIC: &str = "dfdbg-session v1";
+
+impl SessionRecipe {
+    /// The filename-safe resume token: stable for one persisted session,
+    /// unique across sessions (id) and states (hash).
+    pub fn token(&self, session_id: u64) -> String {
+        format!("s{session_id}-{:016x}", self.state_hash)
+    }
+
+    /// Plain-text encoding: header lines, then the journal verbatim (one
+    /// command per line — commands are single lines by construction, the
+    /// wire protocol rejects embedded newlines).
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "{MAGIC}\nvariant {}\nn_mbs {}\nclock {}\nstate_hash {:#018x}\ncheckpoint {}\njournal {}\n",
+            self.variant,
+            self.n_mbs,
+            self.clock,
+            self.state_hash,
+            self.checkpoint,
+            self.journal.len()
+        );
+        for cmd in &self.journal {
+            out.push_str(cmd);
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn decode(text: &str) -> Result<SessionRecipe, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(format!("not a {MAGIC} file"));
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing `{name}`"))?;
+            line.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected `{name} ...`, got `{line}`"))
+        };
+        let variant = field("variant")?;
+        let n_mbs = parse_u64(&field("n_mbs")?)?;
+        let clock = parse_u64(&field("clock")?)?;
+        let state_hash = parse_u64(&field("state_hash")?)?;
+        let checkpoint = parse_u64(&field("checkpoint")?)? as u32;
+        let count = parse_u64(&field("journal")?)? as usize;
+        let journal: Vec<String> = lines.map(str::to_string).collect();
+        if journal.len() != count {
+            return Err(format!(
+                "journal count mismatch: header says {count}, file has {}",
+                journal.len()
+            ));
+        }
+        Ok(SessionRecipe {
+            variant,
+            n_mbs,
+            clock,
+            state_hash,
+            checkpoint,
+            journal,
+        })
+    }
+
+    /// Persist under `dir` as `<token>.session`; the write goes through a
+    /// temp file + rename so a crash cannot leave a half-written recipe.
+    pub fn save(&self, dir: &Path, token: &str) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{token}.session"));
+        let tmp = dir.join(format!("{token}.session.tmp"));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.encode().as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| format!("writing {}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// Load `<token>.session` from `dir`. The token is validated before
+    /// it touches the filesystem, so a wire-supplied token cannot escape
+    /// the state directory.
+    pub fn load(dir: &Path, token: &str) -> Result<SessionRecipe, String> {
+        if token.is_empty()
+            || !token
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("malformed resume token `{token}`"));
+        }
+        let path = dir.join(format!("{token}.session"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("no persisted session for token `{token}`: {e}"))?;
+        Self::decode(&text)
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let (s, radix) = match s.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (s, 10),
+    };
+    u64::from_str_radix(s, radix).map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recipe() -> SessionRecipe {
+        SessionRecipe {
+            variant: "deadlock".into(),
+            n_mbs: 8,
+            clock: 123_456,
+            state_hash: 0x3100_2e8e_b74a_e062,
+            checkpoint: 3,
+            journal: vec![
+                "analyze".into(),
+                "continue".into(),
+                "token inject red::red_ipred_out 42".into(),
+                "checkpoint".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = recipe();
+        assert_eq!(SessionRecipe::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_tokens_are_sanitised() {
+        let dir = std::env::temp_dir().join(format!("dfdbg-resume-test-{}", std::process::id()));
+        let r = recipe();
+        let token = r.token(7);
+        r.save(&dir, &token).unwrap();
+        assert_eq!(SessionRecipe::load(&dir, &token).unwrap(), r);
+        assert!(SessionRecipe::load(&dir, "../etc/passwd").is_err());
+        assert!(SessionRecipe::load(&dir, "").is_err());
+        assert!(SessionRecipe::load(&dir, "no-such-token").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let r = recipe();
+        let text = r.encode();
+        // Drop the last journal line: count no longer matches.
+        let cut = text.trim_end().rfind('\n').unwrap();
+        let err = SessionRecipe::decode(&text[..cut + 1]).unwrap_err();
+        assert!(err.contains("journal count mismatch"), "{err}");
+        assert!(SessionRecipe::decode("garbage").is_err());
+    }
+}

@@ -24,22 +24,34 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dfdbg::cli::Cli;
 use dfdbg::Stop;
+use h264_pipeline::Bug;
 
 use crate::eventlog::{EventKind, EventLog};
 use crate::metrics::Metrics;
 use crate::proto::{Frame, Request};
 use crate::registry::{Registry, SessionInfo, SessionState};
-use crate::session::{attach_banner, build_cli, parse_variant, variant_name, DEFAULT_N_MBS};
+use crate::resume::SessionRecipe;
+use crate::session::{
+    attach_banner, build_cli, build_cli_cached, parse_variant, variant_name, DecoderCache,
+    DEFAULT_N_MBS,
+};
 
 /// How often blocked reads wake up to poll the shutdown flag and the
 /// idle clock.
 const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// How long the accept loop sleeps when no connection is pending. This
+/// must stay far below the attach latencies E8 measures: a freshly
+/// connected client's first request sits unread until the accept loop
+/// wakes, so this sleep is a floor on observed attach time.
+const ACCEPT_SLICE: Duration = Duration::from_millis(1);
 
 /// Server tuning; the defaults suit both interactive use and CI.
 #[derive(Debug, Clone)]
@@ -56,6 +68,18 @@ pub struct ServerConfig {
     pub cycle_budget: u64,
     /// Bounded event-log capacity.
     pub log_capacity: usize,
+    /// Serve attaches from the compile-once cache (fork a prototype)
+    /// instead of rebuilding per session. Disabled only to measure the
+    /// per-session-recompile baseline (E8).
+    pub attach_cache: bool,
+    /// Demote a session idle this long to a replay recipe, freeing its
+    /// simulator memory; the next debug command rebuilds it
+    /// transparently. `None` disables the eviction tier.
+    pub evict_after: Option<Duration>,
+    /// Where drained/reaped sessions persist their replay recipes; a
+    /// reconnecting client resumes with `resume <token>`. `None`
+    /// disables persistence.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +91,9 @@ impl Default for ServerConfig {
             max_request_bytes: 1 << 16,
             cycle_budget: 10_000_000,
             log_capacity: 4096,
+            attach_cache: true,
+            evict_after: None,
+            state_dir: None,
         }
     }
 }
@@ -78,6 +105,9 @@ pub struct Shared {
     pub registry: Registry,
     pub log: EventLog,
     pub cfg: ServerConfig,
+    /// The compile-once app cache: one build per `(variant, n_mbs)` for
+    /// the server's lifetime; attaches fork its prototypes.
+    pub cache: DecoderCache,
     shutdown: AtomicBool,
     start: Instant,
     next_session: AtomicU64,
@@ -133,6 +163,11 @@ pub const SERVER_COMMANDS: &[ServerCommandSpec] = &[
         help: "tail of the structured session event log",
     },
     ServerCommandSpec {
+        name: "resume",
+        usage: "resume <token>",
+        help: "rebuild a drained/reaped session from its persisted recipe",
+    },
+    ServerCommandSpec {
         name: "shutdown",
         usage: "shutdown",
         help: "drain all sessions (checkpointing them) and stop the server",
@@ -169,6 +204,7 @@ impl Server {
                 registry: Registry::new(),
                 log: EventLog::new(log_capacity),
                 cfg,
+                cache: DecoderCache::new(),
                 shutdown: AtomicBool::new(false),
                 start: Instant::now(),
                 next_session: AtomicU64::new(1),
@@ -199,9 +235,9 @@ impl Server {
                     }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_SLICE / 2);
+                    std::thread::sleep(ACCEPT_SLICE);
                 }
-                Err(_) => std::thread::sleep(POLL_SLICE / 2),
+                Err(_) => std::thread::sleep(ACCEPT_SLICE),
             }
             threads.retain(|t| !t.is_finished());
         }
@@ -216,8 +252,44 @@ struct Connection {
     id: u64,
     stream: TcpStream,
     shared: Arc<Shared>,
-    cli: Option<Cli>,
+    attached: Attached,
     commands: u64,
+}
+
+/// The session slot's attachment tier. `Live` owns a full simulator;
+/// `Evicted` holds only the replay recipe an idle session was demoted to
+/// (its ~5MB simulator freed) — the next debug command transparently
+/// rebuilds and verifies it.
+enum Attached {
+    None,
+    Live(Box<Slot>),
+    Evicted(Evicted),
+}
+
+/// A live attached session plus what persistence needs to recreate it.
+struct Slot {
+    cli: Cli,
+    bug: Bug,
+    n_mbs: u64,
+    /// Every debug command executed, in order — the deterministic replay
+    /// recipe behind eviction and drain/resume.
+    journal: Vec<String>,
+}
+
+/// A session demoted to its recipe: variant + journal + the state hash
+/// the rebuilt session must reproduce.
+struct Evicted {
+    bug: Bug,
+    n_mbs: u64,
+    journal: Vec<String>,
+    state_hash: u64,
+    clock: u64,
+}
+
+impl Attached {
+    fn is_some(&self) -> bool {
+        !matches!(self, Attached::None)
+    }
 }
 
 /// What the dispatcher asks the connection loop to do next.
@@ -249,7 +321,7 @@ impl Connection {
             id,
             stream,
             shared,
-            cli: None,
+            attached: Attached::None,
             commands: 0,
         };
         conn.read_loop();
@@ -285,14 +357,27 @@ impl Connection {
                 self.shared
                     .log
                     .push(self.shared.uptime_ms(), self.id, EventKind::IdleTimeout, "");
+                let mut detail = format!(
+                    "no request for {:?}; closing the session",
+                    self.shared.cfg.idle_timeout
+                );
+                if let Some(token) = self.persist_recipe() {
+                    detail.push_str(&format!(
+                        "; resume with `resume {token}` after reconnecting"
+                    ));
+                }
                 self.send(&Frame::Event {
                     event: "idle-timeout".into(),
-                    detail: format!(
-                        "no request for {:?}; closing the session",
-                        self.shared.cfg.idle_timeout
-                    ),
+                    detail,
                 });
                 return;
+            }
+            if let Some(evict_after) = self.shared.cfg.evict_after {
+                if matches!(self.attached, Attached::Live(_))
+                    && last_activity.elapsed() > evict_after
+                {
+                    self.evict();
+                }
             }
             match reader.read_until(b'\n', &mut buf) {
                 Ok(0) => return, // EOF
@@ -360,6 +445,15 @@ impl Connection {
                 Disposition::Continue => {}
                 Disposition::Close => return,
             }
+            // The idle clock measures the gap between request
+            // *completions*. Re-arming it only before dispatch (as the
+            // read path above does) let a command that legitimately ran
+            // longer than the idle timeout get its session reaped at the
+            // very next loop iteration — an active session closed mid-use.
+            // Dispatch and the reaper run on this one thread, so resetting
+            // here makes reap-vs-dispatch mutually exclusive by
+            // construction.
+            last_activity = Instant::now();
         }
     }
 
@@ -378,7 +472,8 @@ impl Connection {
                 Disposition::Continue
             }
             "detach" => {
-                let had = self.cli.take().is_some();
+                let had = self.attached.is_some();
+                self.attached = Attached::None;
                 self.shared.registry.update(self.id, |s| {
                     s.state = SessionState::Connected;
                     s.variant = None;
@@ -414,6 +509,11 @@ impl Connection {
                 self.respond(req.id, true, out);
                 Disposition::Continue
             }
+            "resume" => {
+                let (ok, output) = self.cmd_resume(&words[1..]);
+                self.respond(req.id, ok, output);
+                Disposition::Continue
+            }
             "shutdown" => {
                 self.shared.request_shutdown();
                 let n = self.shared.registry.len();
@@ -438,7 +538,7 @@ impl Connection {
     }
 
     fn cmd_attach(&mut self, args: &[&str]) -> (bool, String) {
-        if self.cli.is_some() {
+        if self.attached.is_some() {
             return (false, "error: already attached (use `detach` first)".into());
         }
         let Some(&variant) = args.first() else {
@@ -468,11 +568,32 @@ impl Connection {
             },
         };
         let t0 = Instant::now();
-        match build_cli(bug, n_mbs) {
+        let built = if self.shared.cfg.attach_cache {
+            build_cli_cached(bug, n_mbs, &self.shared.cache)
+        } else {
+            build_cli(bug, n_mbs)
+        };
+        // Mirror the cache counters into /metrics (monotonic, so a plain
+        // store after each attach is exact).
+        self.shared
+            .metrics
+            .attach_cache_hits
+            .store(self.shared.cache.hits(), Relaxed);
+        self.shared
+            .metrics
+            .attach_cache_misses
+            .store(self.shared.cache.misses(), Relaxed);
+        match built {
             Ok(mut cli) => {
+                self.shared.metrics.attach_seconds.observe(t0.elapsed());
                 cli.budget = cli.budget.min(self.shared.cfg.cycle_budget);
                 let banner = attach_banner(bug, n_mbs, &cli);
-                self.cli = Some(cli);
+                self.attached = Attached::Live(Box::new(Slot {
+                    cli,
+                    bug,
+                    n_mbs,
+                    journal: Vec::new(),
+                }));
                 self.shared.registry.update(self.id, |s| {
                     s.state = SessionState::Attached;
                     s.variant = Some(variant_name(bug).to_string());
@@ -490,9 +611,212 @@ impl Connection {
         }
     }
 
+    /// `resume <token>` — rebuild a persisted session from its replay
+    /// recipe: fork the cached app, replay the journal, verify the full
+    /// state hash, and attach the result to this connection.
+    fn cmd_resume(&mut self, args: &[&str]) -> (bool, String) {
+        if self.attached.is_some() {
+            return (false, "error: already attached (use `detach` first)".into());
+        }
+        let Some(dir) = self.shared.cfg.state_dir.clone() else {
+            return (
+                false,
+                "error: this server has no state directory (start with --state-dir)".into(),
+            );
+        };
+        let Some(&token) = args.first() else {
+            return (false, "error: usage: resume <token>".into());
+        };
+        let recipe = match SessionRecipe::load(&dir, token) {
+            Ok(r) => r,
+            Err(e) => return (false, format!("error: {e}")),
+        };
+        let Some(bug) = parse_variant(&recipe.variant) else {
+            return (
+                false,
+                format!("error: recipe names unknown variant `{}`", recipe.variant),
+            );
+        };
+        match self.rebuild(bug, recipe.n_mbs, &recipe.journal, recipe.state_hash) {
+            Ok(cli) => {
+                let clock = cli.session.clock();
+                self.attached = Attached::Live(Box::new(Slot {
+                    cli,
+                    bug,
+                    n_mbs: recipe.n_mbs,
+                    journal: recipe.journal.clone(),
+                }));
+                self.shared.registry.update(self.id, |s| {
+                    s.state = SessionState::Attached;
+                    s.variant = Some(recipe.variant.clone());
+                    s.n_mbs = recipe.n_mbs;
+                });
+                self.shared.metrics.resumes_total.fetch_add(1, Relaxed);
+                self.shared.log.push(
+                    self.shared.uptime_ms(),
+                    self.id,
+                    EventKind::Resumed,
+                    format!("token {token} ({} commands replayed)", recipe.journal.len()),
+                );
+                (
+                    true,
+                    format!(
+                        "resumed {} ({} macroblocks) at cycle {clock}: \
+                         {} command(s) replayed, state hash verified, \
+                         checkpoint {} available",
+                        recipe.variant,
+                        recipe.n_mbs,
+                        recipe.journal.len(),
+                        recipe.checkpoint
+                    ),
+                )
+            }
+            Err(e) => (false, format!("error: {e}")),
+        }
+    }
+
+    /// Rebuild a session from a replay recipe and verify it reproduces
+    /// the recorded machine state exactly.
+    fn rebuild(
+        &self,
+        bug: Bug,
+        n_mbs: u64,
+        journal: &[String],
+        expect_hash: u64,
+    ) -> Result<Cli, String> {
+        let mut cli = if self.shared.cfg.attach_cache {
+            build_cli_cached(bug, n_mbs, &self.shared.cache)?
+        } else {
+            build_cli(bug, n_mbs)?
+        };
+        cli.budget = cli.budget.min(self.shared.cfg.cycle_budget);
+        for cmd in journal {
+            let _ = cli.exec(cmd);
+        }
+        let got = cli.session.state_hash();
+        if got != expect_hash {
+            return Err(format!(
+                "replay diverged: rebuilt state hash {got:#018x} != recorded {expect_hash:#018x}"
+            ));
+        }
+        Ok(cli)
+    }
+
+    /// Demote an idle live session to its replay recipe, freeing the
+    /// simulator.
+    fn evict(&mut self) {
+        let Attached::Live(slot) = std::mem::replace(&mut self.attached, Attached::None) else {
+            return;
+        };
+        let evicted = Evicted {
+            bug: slot.bug,
+            n_mbs: slot.n_mbs,
+            journal: slot.journal,
+            state_hash: slot.cli.session.state_hash(),
+            clock: slot.cli.session.clock(),
+        };
+        // `slot.cli` (the ~5MB simulator) drops here; only the recipe stays.
+        let detail = format!(
+            "idle session demoted to a replay recipe at cycle {} ({} journaled commands)",
+            evicted.clock,
+            evicted.journal.len()
+        );
+        self.attached = Attached::Evicted(evicted);
+        self.shared.metrics.evictions_total.fetch_add(1, Relaxed);
+        self.shared
+            .registry
+            .update(self.id, |s| s.state = SessionState::Evicted);
+        self.shared
+            .log
+            .push(self.shared.uptime_ms(), self.id, EventKind::Evicted, detail);
+    }
+
+    /// Rebuild an evicted session in place (the transparent resume on the
+    /// next debug command).
+    fn revive(&mut self) -> Result<(), String> {
+        let Attached::Evicted(e) = std::mem::replace(&mut self.attached, Attached::None) else {
+            return Ok(());
+        };
+        match self.rebuild(e.bug, e.n_mbs, &e.journal, e.state_hash) {
+            Ok(cli) => {
+                self.attached = Attached::Live(Box::new(Slot {
+                    cli,
+                    bug: e.bug,
+                    n_mbs: e.n_mbs,
+                    journal: e.journal,
+                }));
+                self.shared.metrics.resumes_total.fetch_add(1, Relaxed);
+                self.shared
+                    .registry
+                    .update(self.id, |s| s.state = SessionState::Attached);
+                self.shared.log.push(
+                    self.shared.uptime_ms(),
+                    self.id,
+                    EventKind::Resumed,
+                    format!("transparent revive at cycle {}", e.clock),
+                );
+                Ok(())
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Build the replay recipe for whatever is attached, if anything.
+    fn make_recipe(&mut self, checkpoint: u32) -> Option<SessionRecipe> {
+        match &mut self.attached {
+            Attached::None => None,
+            Attached::Live(slot) => Some(SessionRecipe {
+                variant: variant_name(slot.bug).to_string(),
+                n_mbs: slot.n_mbs,
+                clock: slot.cli.session.clock(),
+                state_hash: slot.cli.session.state_hash(),
+                checkpoint,
+                journal: slot.journal.clone(),
+            }),
+            Attached::Evicted(e) => Some(SessionRecipe {
+                variant: variant_name(e.bug).to_string(),
+                n_mbs: e.n_mbs,
+                clock: e.clock,
+                state_hash: e.state_hash,
+                checkpoint,
+                journal: e.journal.clone(),
+            }),
+        }
+    }
+
+    /// Persist the attached session's recipe to the state directory (if
+    /// both exist), returning the resume token.
+    fn persist_recipe(&mut self) -> Option<String> {
+        self.persist_recipe_at(0)
+    }
+
+    fn persist_recipe_at(&mut self, checkpoint: u32) -> Option<String> {
+        let dir = self.shared.cfg.state_dir.clone()?;
+        let recipe = self.make_recipe(checkpoint)?;
+        let token = recipe.token(self.id);
+        match recipe.save(&dir, &token) {
+            Ok(_) => Some(token),
+            Err(e) => {
+                self.shared.log.push(
+                    self.shared.uptime_ms(),
+                    self.id,
+                    EventKind::ShutdownCheckpoint,
+                    format!("persisting the session recipe failed: {e}"),
+                );
+                None
+            }
+        }
+    }
+
     /// A debugger command proper: forwarded verbatim to the session CLI.
     fn cmd_debug(&mut self, req: &Request) {
-        let Some(cli) = self.cli.as_mut() else {
+        if matches!(self.attached, Attached::Evicted(_)) {
+            if let Err(e) = self.revive() {
+                self.respond(req.id, false, format!("error: reviving the session: {e}"));
+                return;
+            }
+        }
+        let Attached::Live(slot) = &mut self.attached else {
             self.respond(
                 req.id,
                 false,
@@ -500,6 +824,7 @@ impl Connection {
             );
             return;
         };
+        let cli = &mut slot.cli;
         let fault_before = matches!(cli.last_stop, Some(Stop::Fault { .. }));
         let t0 = Instant::now();
         let output = cli.exec(&req.cmd);
@@ -508,6 +833,7 @@ impl Connection {
         if matches!(cli.last_stop, Some(Stop::Fault { .. })) && !fault_before {
             self.shared.metrics.faults_total.fetch_add(1, Relaxed);
         }
+        slot.journal.push(req.cmd.clone());
         self.commands += 1;
         self.shared.metrics.commands_total.fetch_add(1, Relaxed);
         if !ok {
@@ -549,28 +875,57 @@ impl Connection {
         }
     }
 
-    /// Graceful drain: checkpoint a live time-travel session, announce,
-    /// close.
+    /// Graceful drain: checkpoint a live time-travel session, persist its
+    /// replay recipe (so the announced checkpoint is actually usable
+    /// after a reconnect), announce, close.
     fn drain(&mut self) {
         self.shared
             .registry
             .update(self.id, |s| s.state = SessionState::Draining);
-        let detail = match self.cli.as_mut() {
-            Some(cli) if cli.session.time_travel_enabled() => match cli.session.checkpoint_now() {
-                Ok(id) => {
-                    let d = format!("checkpoint {id} at cycle {}", cli.session.clock());
-                    self.shared.log.push(
-                        self.shared.uptime_ms(),
-                        self.id,
-                        EventKind::ShutdownCheckpoint,
-                        d.clone(),
-                    );
-                    d
+        // Stage 1 (exclusive borrow of the slot): checkpoint the live
+        // session and journal the `checkpoint` command — replaying the
+        // recipe recreates the same checkpoint id at the same cycle
+        // (ids are deterministic), which is what makes the announcement
+        // below *usable* by a resumed session, not just informative.
+        let staged: Result<Option<(u32, u64)>, String> = match &mut self.attached {
+            Attached::Live(slot) if slot.cli.session.time_travel_enabled() => {
+                match slot.cli.session.checkpoint_now() {
+                    Ok(id) => {
+                        slot.journal.push("checkpoint".into());
+                        Ok(Some((id, slot.cli.session.clock())))
+                    }
+                    Err(e) => Err(e),
                 }
-                Err(e) => format!("checkpoint failed: {e}"),
+            }
+            _ => Ok(None),
+        };
+        // Stage 2: persist the recipe and compose the announcement.
+        let evicted = matches!(self.attached, Attached::Evicted(_));
+        let detail = match staged {
+            Ok(Some((id, clock))) => {
+                let mut d = format!("checkpoint {id} at cycle {clock}");
+                if let Some(token) = self.persist_recipe_at(id) {
+                    d.push_str(&format!(
+                        "; resume with `resume {token}` after reconnecting"
+                    ));
+                }
+                self.shared.log.push(
+                    self.shared.uptime_ms(),
+                    self.id,
+                    EventKind::ShutdownCheckpoint,
+                    d.clone(),
+                );
+                d
+            }
+            Err(e) => format!("checkpoint failed: {e}"),
+            Ok(None) if evicted => match self.persist_recipe() {
+                Some(token) => format!(
+                    "evicted session persisted; resume with `resume {token}` after reconnecting"
+                ),
+                None => "evicted session discarded (no state directory)".into(),
             },
-            Some(_) => "session had no time travel enabled".into(),
-            None => "server draining".into(),
+            Ok(None) if self.attached.is_some() => "session had no time travel enabled".into(),
+            Ok(None) => "server draining".into(),
         };
         self.send(&Frame::Event {
             event: "shutdown".into(),

@@ -9,8 +9,8 @@
 use bcv;
 use dfa::AnalysisInput;
 use dfdbg::cli::Cli;
-use dfdbg::Session;
-use h264_pipeline::{attach_env, build_decoder, decoder_sources, Bug};
+use dfdbg::{AppCache, CachedApp, Session};
+use h264_pipeline::{attach_env, build_decoder, decoder_sources, Bug, CompiledApp};
 use p2012::PlatformConfig;
 
 /// Auto-checkpoint interval used by every interactive front end: cheap
@@ -53,18 +53,29 @@ pub fn variant_name(bug: Bug) -> &'static str {
     }
 }
 
-/// Build, boot and instrument a decoder debug session, returning the CLI
-/// wrapper ready to execute command lines. Identical to what the local
-/// REPL does on startup: static-analysis inputs loaded, environment
-/// attached, time travel enabled.
-pub fn build_cli(bug: Bug, n_mbs: u64) -> Result<Cli, String> {
-    let (sys, mut app) = build_decoder(bug, n_mbs, PlatformConfig::default())
+/// The server's compile-once cache: one entry per `(variant, n_mbs)`
+/// key, each holding the immutable compiled app plus a booted prototype
+/// session every attach forks from.
+pub type DecoderCache = AppCache<CachedApp<CompiledApp>>;
+
+/// Cache key for a decoder build: the variant and the macroblock count
+/// are the only inputs that change the compiled artifact or the booted
+/// baseline (the environment seed is a shared constant).
+pub fn cache_key(bug: Bug, n_mbs: u64) -> String {
+    format!("{}:{n_mbs}", variant_name(bug))
+}
+
+/// The expensive path: ADL elaboration, kernel codegen, linking, boot
+/// under the debugger, environment attach, time-travel baseline. Returns
+/// the compiled app alongside the instrumented prototype session so the
+/// pair can be cached and forked.
+pub fn build_app(bug: Bug, n_mbs: u64) -> Result<(CompiledApp, Session), String> {
+    let (sys, app) = build_decoder(bug, n_mbs, PlatformConfig::default())
         .map_err(|e| format!("building the decoder failed: {e}"))?;
     let boot = app.boot_entry;
     let analysis = AnalysisInput::from_app(&app, &decoder_sources(bug));
     let bcv_input = bcv::AnalysisInput::from_app(&app);
-    let info = std::mem::take(&mut app.info);
-    let mut session = Session::attach(sys, info);
+    let mut session = Session::attach(sys, app.info.clone());
     session.load_analysis(analysis);
     session.load_bcv_input(bcv_input);
     session
@@ -73,7 +84,28 @@ pub fn build_cli(bug: Bug, n_mbs: u64) -> Result<Cli, String> {
     attach_env(&mut session.sys, &app, n_mbs, ENV_SEED)
         .map_err(|e| format!("attaching the environment failed: {e}"))?;
     session.enable_time_travel(CHECKPOINT_INTERVAL);
+    Ok((app, session))
+}
+
+/// Build, boot and instrument a decoder debug session, returning the CLI
+/// wrapper ready to execute command lines. Identical to what the local
+/// REPL does on startup: static-analysis inputs loaded, environment
+/// attached, time travel enabled. This is the uncached reference path —
+/// the server's attach goes through [`build_cli_cached`].
+pub fn build_cli(bug: Bug, n_mbs: u64) -> Result<Cli, String> {
+    let (_app, session) = build_app(bug, n_mbs)?;
     Ok(Cli::new(session))
+}
+
+/// The fixed attach path: one compile per `(variant, n_mbs)` key for the
+/// whole server lifetime; every session is a copy-on-write fork of the
+/// cached prototype. A storm of concurrent attaches for the same key
+/// runs [`build_app`] exactly once — the rest block and then fork.
+pub fn build_cli_cached(bug: Bug, n_mbs: u64, cache: &DecoderCache) -> Result<Cli, String> {
+    let cached = cache.get_or_build(&cache_key(bug, n_mbs), || {
+        build_app(bug, n_mbs).map(|(app, proto)| CachedApp::new(app, proto))
+    })?;
+    Ok(Cli::new(cached.fork()))
 }
 
 /// The banner a session front end prints after attaching.
@@ -149,5 +181,25 @@ mod tests {
         assert_eq!(a, b, "in-process transcript must be run-to-run stable");
         assert!(a.contains("Deadlock"), "{a}");
         assert!(a.contains("Injected token"), "{a}");
+    }
+
+    /// A session forked from the cached prototype must be observably
+    /// identical to one built from scratch — and two forks of the same
+    /// prototype must not share mutable state (the cache compiles once,
+    /// forks many).
+    #[test]
+    fn cached_fork_matches_fresh_build() {
+        let cache = DecoderCache::new();
+        let script = ["info filters", "info links", "analyze", "continue"];
+        let mut fresh = build_cli(Bug::Deadlock, 2).expect("fresh build");
+        let mut a = build_cli_cached(Bug::Deadlock, 2, &cache).expect("first cached");
+        let mut b = build_cli_cached(Bug::Deadlock, 2, &cache).expect("second cached");
+        for cmd in script {
+            let want = fresh.exec(cmd);
+            assert_eq!(a.exec(cmd), want, "fork A diverged on `{cmd}`");
+            assert_eq!(b.exec(cmd), want, "fork B diverged on `{cmd}`");
+        }
+        assert_eq!(cache.misses(), 1, "one compile serves every fork");
+        assert_eq!(cache.hits(), 1);
     }
 }

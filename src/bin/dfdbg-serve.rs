@@ -2,14 +2,21 @@
 //!
 //! ```text
 //! dfdbg-serve --serve 127.0.0.1:4711 [--idle-timeout-ms N] [--cmd-timeout-ms N]
-//!             [--max-output-bytes N]
+//!             [--max-output-bytes N] [--evict-after-ms N] [--state-dir DIR]
+//!             [--no-attach-cache]
 //! dfdbg-serve --self-check
 //! ```
 //!
 //! `--serve` binds the wire protocol (see README "Remote debugging") and
 //! blocks until SIGTERM/SIGINT or a client issues `shutdown`; either way
 //! the server drains gracefully, checkpointing live time-travel sessions
-//! before closing.
+//! before closing. With `--state-dir`, the drain also persists each
+//! session's replay recipe and announces a resume token; a reconnecting
+//! `dfdbg-repl --connect` continues with `resume <token>`. With
+//! `--evict-after-ms`, idle sessions are demoted to their recipe (memory
+//! freed) and transparently rebuilt on the next command.
+//! `--no-attach-cache` disables the compile-once attach cache — only
+//! useful to measure the per-session-recompile baseline (E8).
 //!
 //! `--self-check` is the CI gate: it boots the server on an ephemeral
 //! port, drives the scripted §III deadlock diagnosis over real TCP,
@@ -27,7 +34,8 @@ use dataflow_debugger::server::{
 };
 
 const USAGE: &str = "usage: dfdbg-serve --serve <addr> [--idle-timeout-ms N] \
-                     [--cmd-timeout-ms N] [--max-output-bytes N] | --self-check";
+                     [--cmd-timeout-ms N] [--max-output-bytes N] [--evict-after-ms N] \
+                     [--state-dir DIR] [--no-attach-cache] | --self-check";
 
 /// The signal handler can only reach process globals; the serving
 /// instance registers its shared state here.
@@ -85,6 +93,15 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| missing("--max-output-bytes"));
                 cfg.max_output_bytes = parse_num(&v, "--max-output-bytes") as usize;
             }
+            "--evict-after-ms" => {
+                let v = args.next().unwrap_or_else(|| missing("--evict-after-ms"));
+                cfg.evict_after = Some(Duration::from_millis(parse_num(&v, "--evict-after-ms")));
+            }
+            "--state-dir" => {
+                let v = args.next().unwrap_or_else(|| missing("--state-dir"));
+                cfg.state_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--no-attach-cache" => cfg.attach_cache = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -195,6 +212,8 @@ fn run_self_check(cfg: ServerConfig) -> i32 {
         ("dfdbg_commands_total", DEADLOCK_SCRIPT.len() as u64),
         ("dfdbg_command_seconds_count", DEADLOCK_SCRIPT.len() as u64),
         ("dfdbg_bytes_out_total", 1),
+        ("dfdbg_attach_cache_misses_total", 1),
+        ("dfdbg_attach_seconds_count", 1),
     ] {
         match metric_value(&metrics, name) {
             Some(v) if v >= at_least => {

@@ -5,13 +5,13 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use dataflow_debugger::h264::Bug;
 use dataflow_debugger::server::{
-    local_transcript, remote_transcript, scrape_metrics, Client, Frame, Server, ServerConfig,
-    Shared, DEADLOCK_SCRIPT,
+    build_cli, local_transcript, remote_transcript, scrape_metrics, Client, Frame, Server,
+    ServerConfig, Shared, DEADLOCK_SCRIPT,
 };
 
 /// Boot a server on an ephemeral port; the caller must
@@ -237,6 +237,203 @@ fn oversized_outputs_are_truncated_with_a_marker() {
         metrics.contains("dfdbg_output_truncated_total 1"),
         "{metrics}"
     );
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// Read one un-labelled metric value from the text exposition.
+fn metric(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name)?.trim().parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("{name} missing from metrics:\n{metrics}")) as u64
+}
+
+/// The attach-cache gate: 64 simultaneous attaches of the same variant
+/// must compile exactly once — every other session forks the shared
+/// baseline — and each fork must still be byte-identical from the
+/// client's point of view.
+#[test]
+fn sixty_four_simultaneous_attaches_compile_once() {
+    const N: usize = 64;
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let start = Arc::new(Barrier::new(N));
+    let workers: Vec<_> = (0..N)
+        .map(|_| {
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr.to_string()).expect("connect");
+                start.wait();
+                let attach = client.request("attach deadlock 2").expect("attach");
+                assert!(attach.ok, "{}", attach.output);
+                let links = client.request("info links").expect("info links");
+                assert!(links.ok, "{}", links.output);
+                let _ = client.request("quit");
+                links.output
+            })
+        })
+        .collect();
+    let outputs: Vec<String> = workers
+        .into_iter()
+        .map(|w| w.join().expect("no panic"))
+        .collect();
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(
+            out, &outputs[0],
+            "session {i}'s `info links` diverged from session 0's"
+        );
+    }
+
+    // One more attach after the storm has fully drained: its counter sync
+    // reads the cache's final totals, making the assertion exact (the
+    // storm's own syncs can interleave).
+    let mut late = Client::connect(addr.to_string()).expect("connect");
+    assert!(late.request("attach deadlock 2").expect("attach").ok);
+    let metrics = scrape_metrics(addr).expect("scrape");
+    assert_eq!(
+        metric(&metrics, "dfdbg_attach_cache_misses_total"),
+        1,
+        "64 simultaneous attaches of one variant must compile exactly once"
+    );
+    assert_eq!(metric(&metrics, "dfdbg_attach_cache_hits_total"), N as u64);
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// The reap-vs-dispatch race: a command that legitimately runs longer
+/// than the idle timeout must not get its session reaped — the idle
+/// clock measures the gap between request completions, not the span of a
+/// dispatch. The cold-compile attach and the long `continue` both exceed
+/// the timeout here.
+#[test]
+fn slow_command_at_idle_boundary_is_not_reaped() {
+    let cfg = ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let (addr, shared, handle) = boot(cfg);
+    let mut client = Client::connect(addr.to_string()).expect("connect");
+    let attach = client.request("attach none 128").expect("attach");
+    assert!(attach.ok, "{}", attach.output);
+    // Full decode of 128 macroblocks: far longer than 200ms in a debug
+    // build, and the point either way — dispatch time must not count as
+    // idle time.
+    let run = client.request("continue").expect("slow command");
+    assert!(run.ok, "{}", run.output);
+    let follow_up = client
+        .request("info filters")
+        .expect("session must still be live");
+    assert!(follow_up.ok, "{}", follow_up.output);
+    assert!(
+        !client
+            .events
+            .iter()
+            .any(|(event, _)| event == "idle-timeout"),
+        "active session was reaped mid-use: {:?}",
+        client.events
+    );
+    let metrics = scrape_metrics(addr).expect("scrape");
+    assert_eq!(metric(&metrics, "dfdbg_idle_timeouts_total"), 0);
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
+/// Drain announces `checkpoint N at cycle C` *and* a resume token; a
+/// server restarted on the same state directory must rebuild the session
+/// from its replay recipe — with the announced checkpoint usable — and
+/// behave exactly like the original.
+#[test]
+fn drain_checkpoint_survives_restart_via_resume() {
+    let state_dir = std::env::temp_dir().join(format!("dfdbg-resume-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let cfg = || ServerConfig {
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let (addr, _shared, handle) = boot(cfg());
+    let mut busy = Client::connect(addr.to_string()).expect("connect");
+    assert!(busy.request("attach deadlock 4").expect("attach").ok);
+    assert!(busy.request("continue").expect("continue").ok);
+    let mut operator = Client::connect(addr.to_string()).expect("connect operator");
+    assert!(operator.request("shutdown").expect("shutdown").ok);
+    busy.drain_events();
+    let (_, detail) = busy
+        .events
+        .iter()
+        .find(|(event, _)| event == "shutdown")
+        .unwrap_or_else(|| panic!("no shutdown event; got {:?}", busy.events));
+    assert!(detail.contains("checkpoint"), "{detail}");
+    let token = detail
+        .split("resume with `resume ")
+        .nth(1)
+        .and_then(|rest| rest.split('`').next())
+        .unwrap_or_else(|| panic!("no resume token in shutdown detail: {detail}"))
+        .to_string();
+    handle.join().expect("first server drained");
+
+    // A brand-new server process (fresh cache, same state directory).
+    let (addr2, shared2, handle2) = boot(cfg());
+    let mut revived = Client::connect(addr2.to_string()).expect("connect");
+    let reply = revived
+        .request(&format!("resume {token}"))
+        .expect("resume request");
+    assert!(reply.ok, "{}", reply.output);
+    assert!(
+        reply.output.contains("state hash verified"),
+        "{}",
+        reply.output
+    );
+    assert!(reply.output.contains("checkpoint"), "{}", reply.output);
+    let links = revived.request("info links").expect("info links");
+    assert!(links.ok);
+
+    // Reference: the same journal replayed in-process. The drain appended
+    // a literal `checkpoint` command to the journal, so the resumed
+    // session re-created the announced checkpoint deterministically.
+    let mut reference = build_cli(Bug::Deadlock, 4).expect("reference build");
+    reference.exec("continue");
+    reference.exec("checkpoint");
+    assert_eq!(links.output, reference.exec("info links"));
+
+    shared2.request_shutdown();
+    handle2.join().expect("second server drained");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+/// The eviction tier: an idle session is demoted to its replay recipe
+/// (simulator freed), shows up as `evicted` in the session table, and the
+/// next debug command transparently rebuilds it with identical behaviour.
+#[test]
+fn idle_sessions_evict_and_revive_transparently() {
+    let cfg = ServerConfig {
+        evict_after: Some(Duration::from_millis(250)),
+        idle_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let (addr, shared, handle) = boot(cfg);
+    let mut client = Client::connect(addr.to_string()).expect("connect");
+    assert!(client.request("attach deadlock 2").expect("attach").ok);
+    let before = client.request("info filters").expect("info filters");
+    assert!(before.ok);
+
+    std::thread::sleep(Duration::from_millis(700));
+    let table = client.request("sessions").expect("sessions");
+    assert!(
+        table.output.contains("evicted"),
+        "idle session was not evicted: {}",
+        table.output
+    );
+
+    let after = client.request("info filters").expect("revived command");
+    assert!(after.ok, "{}", after.output);
+    assert_eq!(
+        after.output, before.output,
+        "transparent revive changed observable session state"
+    );
+    let metrics = scrape_metrics(addr).expect("scrape");
+    assert!(metric(&metrics, "dfdbg_evictions_total") >= 1);
+    assert!(metric(&metrics, "dfdbg_resumes_total") >= 1);
     shared.request_shutdown();
     handle.join().expect("server drained");
 }
