@@ -372,6 +372,15 @@ mod tests {
     use p2012::{Insn, ProgramBuilder};
     use pedf::graph::{Dir, LinkClass};
 
+    #[test]
+    fn rules_table_matches_the_registry() {
+        for (id, summary) in rules::ALL {
+            let r = debuginfo::registry::find(id)
+                .unwrap_or_else(|| panic!("{id} missing from debuginfo::registry"));
+            assert_eq!(r.summary, *summary, "{id} summary drifted");
+        }
+    }
+
     fn base_input(program: Program) -> AnalysisInput {
         AnalysisInput {
             program,

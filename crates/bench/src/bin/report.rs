@@ -1,9 +1,10 @@
-//! Regenerates the paper's evaluation as text tables (experiments E1–E8
+//! Regenerates the paper's evaluation as text tables (experiments E1–E9
 //! of DESIGN.md / EXPERIMENTS.md).
 //!
 //! ```text
 //! cargo run --release -p bench --bin report [n_mbs] [--json]
 //! cargo run --release -p bench --bin report -- --e8-smoke
+//! cargo run --release -p bench --bin report -- --e9-smoke
 //! ```
 //!
 //! With `--json`, each experiment additionally writes a machine-readable
@@ -14,12 +15,19 @@
 //! the compile cache must be hit exactly once, transcripts must stay
 //! byte-identical, and attach p99 must stay bounded) and exits nonzero on
 //! any violation — this is what CI runs.
+//!
+//! `--e9-smoke` runs only the E9 throughput-bound gate at 8 macroblocks:
+//! every variant/provisioning cell must finish and measure at or above the
+//! static per-iteration bound, and `BENCH_E9.json` is (re)written — the
+//! checked-in artifact is byte-stable because every field in it is a
+//! deterministic simulation quantity.
 
 use std::fmt::Write as _;
 
 use bench::{
     analyze_decoder, attach_load, checkpoint_overhead, localization, reverse_continue_latency,
-    run_overhead, scaling, server_load, verify_decoder, DebugConfig,
+    row_label, run_overhead, scaling, server_load, throughput_study, verify_decoder, BoundRow,
+    DebugConfig,
 };
 use h264_pipeline::Bug;
 
@@ -98,6 +106,78 @@ fn run_e8_smoke() -> i32 {
     }
 }
 
+/// Render the E9 table and the machine-readable rows.
+fn e9_table(rows: &[BoundRow]) -> Vec<String> {
+    println!(
+        "{:<22} {:>5} {:>12} {:>10} {:>8} {:>8}  {:<24} holds",
+        "variant", "mbs", "cycles", "per-iter", "bound", "margin", "bottleneck"
+    );
+    let mut out = Vec::new();
+    for r in rows {
+        let margin = if r.static_bound > 0 {
+            format!("{:.1}x", r.margin)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<22} {:>5} {:>12} {:>10.1} {:>8} {:>8}  {:<24} {}",
+            row_label(r),
+            r.n_mbs,
+            r.cycles,
+            r.per_iteration,
+            r.static_bound,
+            margin,
+            r.bottleneck,
+            if r.bound_holds { "yes" } else { "NO" },
+        );
+        out.push(format!(
+            "{{\"variant\": {}, \"capacities\": {}, \"n_mbs\": {}, \
+             \"cycles\": {}, \"per_iteration\": {:.3}, \"static_bound\": {}, \
+             \"margin\": {:.3}, \"bottleneck\": {}, \"bound_holds\": {}}}",
+            jstr(server::variant_name(r.bug)),
+            jstr(r.capacities),
+            r.n_mbs,
+            r.cycles,
+            r.per_iteration,
+            r.static_bound,
+            r.margin,
+            jstr(&r.bottleneck),
+            r.bound_holds,
+        ));
+    }
+    out
+}
+
+fn write_e9_json(rows: &[String], n_mbs: u64) {
+    write_json(
+        "BENCH_E9.json",
+        &format!(
+            "{{\"experiment\": \"E9\", \"n_mbs\": {n_mbs}, \"rows\": [{}]}}\n",
+            rows.join(", ")
+        ),
+    );
+}
+
+/// The CI gate behind `--e9-smoke`: the static throughput bound must hold
+/// dynamically for every E9 cell, at smoke scale. Always rewrites
+/// `BENCH_E9.json` (deterministic fields only) so CI can diff it against
+/// the checked-in artifact.
+fn run_e9_smoke() -> i32 {
+    const N_MBS: u64 = 8;
+    println!("e9-smoke: static throughput bound vs. measured, {N_MBS} macroblocks");
+    let rows = throughput_study(N_MBS);
+    let json_rows = e9_table(&rows);
+    write_e9_json(&json_rows, N_MBS);
+    let violations = rows.iter().filter(|r| !r.bound_holds).count();
+    if violations == 0 {
+        println!("e9-smoke: OK");
+        0
+    } else {
+        eprintln!("e9-smoke: FAIL: {violations} cell(s) measured below the static bound");
+        1
+    }
+}
+
 fn main() {
     let mut n_mbs: u64 = 64;
     let mut json = false;
@@ -106,10 +186,12 @@ fn main() {
             json = true;
         } else if a == "--e8-smoke" {
             std::process::exit(run_e8_smoke());
+        } else if a == "--e9-smoke" {
+            std::process::exit(run_e9_smoke());
         } else if let Ok(n) = a.parse() {
             n_mbs = n;
         } else {
-            eprintln!("usage: report [n_mbs] [--json] [--e8-smoke] (got `{a}`)");
+            eprintln!("usage: report [n_mbs] [--json] [--e8-smoke] [--e9-smoke] (got `{a}`)");
             std::process::exit(1);
         }
     }
@@ -635,5 +717,22 @@ fn main() {
          per-attach cost with\nN sessions resident. The baseline row shows \
          the old recompile-per-attach\ncost at the same fan-in, and every \
          forked transcript is byte-identical\nto a freshly-built session's."
+    );
+
+    println!();
+    println!("=====================================================================");
+    println!("E9  Static throughput bound vs. measured throughput");
+    println!("=====================================================================");
+    let e9_rows = throughput_study(8);
+    let e9_json = e9_table(&e9_rows);
+    if json {
+        write_e9_json(&e9_json, 8);
+    }
+    println!(
+        "\nShape check (EXPERIMENTS.md E9): every cell measures at or above \
+         the\nstatic per-iteration bound (`margin` >= 1x — the bound is a \
+         sound lower\nbound, loose because it ignores framework and blocking \
+         overhead), and\nsqueezing the clean decoder to its predicted minimal \
+         capacities trades\ncycles for memory without ever crossing the bound."
     );
 }

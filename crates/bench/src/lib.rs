@@ -32,6 +32,7 @@ pub mod localization;
 pub mod overhead;
 pub mod replay;
 pub mod scaling;
+pub mod sched_bound;
 pub mod server;
 
 pub use analysis::{analyze_decoder, verify_decoder, AnalysisResult, VerifyResult};
@@ -39,4 +40,5 @@ pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
 pub use replay::{checkpoint_overhead, reverse_continue_latency, ReplayPoint, ReverseLatency};
 pub use scaling::{bounded_storm, catchpoint_scaling, ScalingPoint, StormResult};
+pub use sched_bound::{row_label, throughput_bound, throughput_study, BoundRow};
 pub use server::{attach_load, server_load, AttachLoadResult, ServerLoadResult};

@@ -200,7 +200,7 @@ fn dataflow_aware(bug: Bug) -> (u32, String, bool) {
         }
         // The memory/race bugs are static-analysis targets (see `bcv`), not
         // interactive-localization subjects.
-        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap => {
+        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap | Bug::TightFifo => {
             (0, "nothing to find".into(), false)
         }
     }
@@ -345,7 +345,7 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
                 None => (n, "no blocked thread found".into(), false),
             }
         }
-        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap => {
+        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap | Bug::TightFifo => {
             (0, "nothing to find".into(), false)
         }
     }

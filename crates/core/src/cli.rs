@@ -319,13 +319,7 @@ impl Cli {
             }
             "analyze" => match rest {
                 [] => self.session.analyze(false),
-                ["rules"] => {
-                    let mut out = String::new();
-                    for (id, summary) in dfa::rules::ALL.iter().chain(bcv::rules::ALL) {
-                        out.push_str(&format!("{id}  {summary}\n"));
-                    }
-                    Ok(out)
-                }
+                ["rules"] => Ok(debuginfo::registry::render_listing()),
                 ["--json"] => self.session.analyze_json(),
                 ["--deny", "warnings"] => self.session.analyze(true),
                 _ => Err("usage: analyze [rules | --json | --deny warnings]".into()),

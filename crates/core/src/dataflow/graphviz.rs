@@ -26,6 +26,10 @@ pub struct DotAnnotations {
     pub yellow_actors: HashSet<u32>,
     pub yellow_links: HashSet<u32>,
     pub race_pairs: Vec<(u32, u32)>,
+    /// Throughput-critical cycle from the sched analysis: drawn **bold**
+    /// (heavier outline/edges), composing with the color paint above.
+    pub bold_actors: HashSet<u32>,
+    pub bold_links: HashSet<u32>,
 }
 
 /// Derive the DOT paint from a static-analysis report.
@@ -36,6 +40,8 @@ pub fn annotations_from(report: &dfa::Report) -> DotAnnotations {
         yellow_actors: report.rate_actors.iter().copied().collect(),
         yellow_links: report.rate_links.iter().copied().collect(),
         race_pairs: Vec::new(),
+        bold_actors: HashSet::new(),
+        bold_links: HashSet::new(),
     }
 }
 
@@ -101,9 +107,16 @@ pub fn to_dot_annotated(model: &DfModel, ann: Option<&DotAnnotations>) -> String
                 }
                 ActorKind::Filter => {
                     let state = model.actors[child.id.0 as usize].sched.label();
-                    let paint = match ann.and_then(|a| a.actor_fill(child.id.0)) {
-                        Some(color) => format!(" style=\"rounded,filled\" fillcolor={color}"),
-                        None => " style=rounded".to_string(),
+                    let bold = ann.is_some_and(|a| a.bold_actors.contains(&child.id.0));
+                    let paint = match (ann.and_then(|a| a.actor_fill(child.id.0)), bold) {
+                        (Some(color), true) => {
+                            format!(" style=\"rounded,filled,bold\" fillcolor={color} penwidth=3")
+                        }
+                        (Some(color), false) => {
+                            format!(" style=\"rounded,filled\" fillcolor={color}")
+                        }
+                        (None, true) => " style=\"rounded,bold\" penwidth=3".to_string(),
+                        (None, false) => " style=rounded".to_string(),
                     };
                     let _ = writeln!(
                         out,
@@ -152,9 +165,12 @@ pub fn to_dot_annotated(model: &DfModel, ann: Option<&DotAnnotations>) -> String
         } else {
             String::new()
         };
-        let paint = match ann.and_then(|a| a.link_color(l.id.0)) {
-            Some(color) => format!(" color={color} penwidth=2"),
-            None => String::new(),
+        let bold = ann.is_some_and(|a| a.bold_links.contains(&l.id.0));
+        let paint = match (ann.and_then(|a| a.link_color(l.id.0)), bold) {
+            (Some(color), true) => format!(" color={color} penwidth=3"),
+            (Some(color), false) => format!(" color={color} penwidth=2"),
+            (None, true) => " penwidth=3".to_string(),
+            (None, false) => String::new(),
         };
         let _ = writeln!(out, "  {from} -> {to} [style={style}{label}{paint}];");
     }

@@ -161,6 +161,13 @@ pub struct Session {
     /// Result of the most recent bytecode verification, consumed by
     /// `graph dot` to draw race pairs as dashed red edges.
     pub last_bcv: Option<bcv::Report>,
+    /// Static performance-analysis input (graph + kernels + image),
+    /// loaded via [`Session::load_sched_input`]; `analyze` runs the
+    /// buffer-sizing/WCET/throughput passes alongside `dfa` and `bcv`.
+    sched_input: Option<sched::AnalysisInput>,
+    /// Result of the most recent sched analysis, consumed by `graph dot`
+    /// to paint the throughput-critical cycle bold.
+    pub last_sched: Option<sched::Report>,
     /// The time-travel engine (checkpoint chain + divergence findings),
     /// present once `enable_time_travel` ran. Taken out of the session
     /// while the run-loop hook uses it (it needs `&mut self` alongside).
@@ -203,6 +210,8 @@ impl Session {
             last_analysis: None,
             bcv_input: None,
             last_bcv: None,
+            sched_input: None,
+            last_sched: None,
             tt: None,
         }
     }
@@ -239,6 +248,8 @@ impl Session {
             last_analysis: self.last_analysis.clone(),
             bcv_input: self.bcv_input.clone(),
             last_bcv: self.last_bcv.clone(),
+            sched_input: self.sched_input.clone(),
+            last_sched: self.last_sched.clone(),
             tt: self.tt.clone(),
         }
     }
@@ -256,6 +267,14 @@ impl Session {
     /// into the same table.
     pub fn load_bcv_input(&mut self, input: bcv::AnalysisInput) {
         self.bcv_input = Some(input);
+    }
+
+    /// Supply the static performance analyzer's input (built with
+    /// `sched::AnalysisInput::from_app`). Once loaded, `analyze` also
+    /// reports minimal FIFO capacities, WCET intervals and the
+    /// throughput bound, merging the findings into the same table.
+    pub fn load_sched_input(&mut self, input: sched::AnalysisInput) {
+        self.sched_input = Some(input);
     }
 
     /// `analyze [--deny warnings]` — run the static dataflow analyzer over
@@ -302,6 +321,12 @@ impl Session {
             let br = bcv::verify(bi);
             findings.extend(br.findings.iter().cloned());
             self.last_bcv = Some(br);
+        }
+        if let Some(si) = &self.sched_input {
+            let mut sr = sched::analyze(si);
+            sr.resolve_spans(&self.info.lines);
+            findings.extend(sr.findings.iter().cloned());
+            self.last_sched = Some(sr);
         }
         debuginfo::sort_and_dedup_findings(&mut findings);
         Ok(findings)
@@ -1779,8 +1804,9 @@ impl Session {
 
     /// The application graph as Graphviz DOT (Figs. 2 and 4). When an
     /// `analyze` report exists, deadlocked cycles render red,
-    /// rate-inconsistent endpoints yellow, and statically detected race
-    /// pairs as dashed red edges between the offending actors.
+    /// rate-inconsistent endpoints yellow, statically detected race
+    /// pairs as dashed red edges between the offending actors, and the
+    /// throughput-critical cycle (sched SCH504) bold.
     pub fn graph_dot(&self) -> String {
         let mut ann = self.last_analysis.as_ref().map(graphviz::annotations_from);
         if let Some(b) = &self.last_bcv {
@@ -1788,6 +1814,13 @@ impl Session {
                 ann.get_or_insert_with(Default::default)
                     .race_pairs
                     .extend(b.race_pairs.iter().copied());
+            }
+        }
+        if let Some(s) = &self.last_sched {
+            if !s.bold_actors.is_empty() || !s.bold_links.is_empty() {
+                let a = ann.get_or_insert_with(Default::default);
+                a.bold_actors.extend(s.bold_actors.iter().copied());
+                a.bold_links.extend(s.bold_links.iter().copied());
             }
         }
         graphviz::to_dot_annotated(&self.model, ann.as_ref())

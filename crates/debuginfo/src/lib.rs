@@ -24,6 +24,7 @@
 pub mod finding;
 pub mod lines;
 pub mod mangle;
+pub mod registry;
 pub mod symbols;
 pub mod types;
 pub mod value;

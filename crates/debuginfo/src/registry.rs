@@ -1,0 +1,265 @@
+//! The single registry of every static-analysis rule id.
+//!
+//! Rule ids are spread across analyzer crates (`dfa`, `bcv`, `replay`,
+//! `sched`) that all sit *above* `debuginfo` in the dependency graph, so
+//! the only place a complete list can live without a cycle is here. The
+//! registry is the source of truth for the CLI's `analyze rules` listing
+//! and the README rule tables; each analyzer crate carries a drift test
+//! asserting its local `rules::ALL` table matches this registry, and a
+//! top-level test asserts the README tables are byte-identical to
+//! [`render_readme_table`] output. Add a rule in one place or the build
+//! goes red.
+
+/// One registered rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable id, e.g. `"DFA004"`.
+    pub id: &'static str,
+    /// Rule family — the id's alphabetic prefix.
+    pub group: &'static str,
+    /// One-line summary (also the README "meaning" column).
+    pub summary: &'static str,
+    /// Human severity note for the README table (a rule may be emitted
+    /// at several severities depending on what the analyzer can prove).
+    pub severity: &'static str,
+}
+
+const fn rule(
+    id: &'static str,
+    group: &'static str,
+    summary: &'static str,
+    severity: &'static str,
+) -> Rule {
+    Rule {
+        id,
+        group,
+        summary,
+        severity,
+    }
+}
+
+/// Every rule any analyzer in the workspace can emit, in listing order
+/// (family by family, ids ascending).
+pub const REGISTRY: &[Rule] = &[
+    // dfa — graph-level dataflow analysis.
+    rule(
+        "DFA001",
+        "DFA",
+        "port not bound to any link",
+        "error / warning",
+    ),
+    rule("DFA002", "DFA", "link has zero FIFO capacity", "error"),
+    rule(
+        "DFA003",
+        "DFA",
+        "SDF balance equation fails on this link",
+        "error",
+    ),
+    rule(
+        "DFA004",
+        "DFA",
+        "dependency cycle with no token source",
+        "error",
+    ),
+    rule(
+        "DFA005",
+        "DFA",
+        "per-firing demand exceeds FIFO capacity",
+        "error",
+    ),
+    rule(
+        "DFA006",
+        "DFA",
+        "link is never fed or never drained",
+        "error",
+    ),
+    rule(
+        "DFA007",
+        "DFA",
+        "data-dependent rate excluded from balance analysis",
+        "info",
+    ),
+    // dfa — kernel-level lints.
+    rule(
+        "DFA101",
+        "DFA",
+        "local read before initialization",
+        "error / warning",
+    ),
+    rule(
+        "DFA102",
+        "DFA",
+        "constant io index out of FIFO bounds",
+        "error",
+    ),
+    rule("DFA103", "DFA", "statement is unreachable", "warning"),
+    rule(
+        "DFA104",
+        "DFA",
+        "declared port never accessed by the kernel",
+        "warning",
+    ),
+    rule("KC001", "KC", "kernel fails to compile", "error"),
+    // bcv — bytecode verification.
+    rule("BCV201", "BCV", "operand stack underflow", "error"),
+    rule(
+        "BCV202",
+        "BCV",
+        "operand stack exceeds the VM limit",
+        "error",
+    ),
+    rule(
+        "BCV203",
+        "BCV",
+        "control flow escapes the function",
+        "error",
+    ),
+    rule("BCV204", "BCV", "unbalanced stack depth at a join", "error"),
+    rule(
+        "BCV205",
+        "BCV",
+        "worst-case call depth exceeds the VM limit",
+        "error / warning",
+    ),
+    // bcv — static memory classification.
+    rule(
+        "MEM301",
+        "MEM",
+        "access to a statically unmapped address",
+        "error",
+    ),
+    rule("MEM302", "MEM", "access into an unbacked L1 hole", "error"),
+    rule(
+        "MEM303",
+        "MEM",
+        "L1 access targets a remote cluster",
+        "warning",
+    ),
+    rule(
+        "MEM304",
+        "MEM",
+        "computed local index outside the frame",
+        "error",
+    ),
+    // bcv — shared-memory races.
+    rule(
+        "RACE401",
+        "RACE",
+        "unordered firings share memory with a write",
+        "error",
+    ),
+    rule(
+        "RACE402",
+        "RACE",
+        "raw access overlaps a DMA transfer window",
+        "error",
+    ),
+    // replay — determinism checking.
+    rule(
+        "REPLAY501",
+        "REPLAY",
+        "replayed execution diverges from the recording",
+        "error",
+    ),
+    // sched — static schedule & buffer provisioning.
+    rule(
+        "SCH501",
+        "SCH",
+        "FIFO capacity below the minimal deadlock-free size",
+        "error",
+    ),
+    rule(
+        "SCH502",
+        "SCH",
+        "FIFO capacity above the minimal deadlock-free size",
+        "info",
+    ),
+    rule(
+        "SCH503",
+        "SCH",
+        "static throughput bound for the steady state",
+        "info",
+    ),
+    rule("SCH504", "SCH", "critical-cycle bottleneck actor", "info"),
+    // sched — per-kernel WCET.
+    rule(
+        "WCET601",
+        "WCET",
+        "worst-case execution time unbounded (interval widened)",
+        "warning",
+    ),
+];
+
+/// Look up a rule by id.
+pub fn find(id: &str) -> Option<&'static Rule> {
+    REGISTRY.iter().find(|r| r.id == id)
+}
+
+/// All rules of one family, in registry order.
+pub fn group(name: &str) -> Vec<&'static Rule> {
+    REGISTRY.iter().filter(|r| r.group == name).collect()
+}
+
+/// The plain-text listing behind the CLI's `analyze rules`.
+pub fn render_listing() -> String {
+    let mut out = String::new();
+    for r in REGISTRY {
+        out.push_str(&format!("{}  {}\n", r.id, r.summary));
+    }
+    out
+}
+
+/// One README markdown table covering the given families, in registry
+/// order. The README embeds the output verbatim; a drift test re-renders
+/// and byte-compares.
+pub fn render_readme_table(groups: &[&str]) -> String {
+    let mut out = String::from("| rule | meaning | severity |\n|---|---|---|\n");
+    for r in REGISTRY.iter().filter(|r| groups.contains(&r.group)) {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            r.id, r.summary, r.severity
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_sorted_within_groups_and_prefix_matches_group() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in REGISTRY {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+            assert!(
+                r.id.starts_with(r.group),
+                "{} not prefixed by its group {}",
+                r.id,
+                r.group
+            );
+            let digits: String = r.id.chars().filter(|c| c.is_ascii_digit()).collect();
+            assert!(!digits.is_empty(), "{} has no number", r.id);
+        }
+        // Within each group, ids ascend.
+        let groups: std::collections::BTreeSet<_> = REGISTRY.iter().map(|r| r.group).collect();
+        for g in groups {
+            let ids: Vec<_> = group(g).into_iter().map(|r| r.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "group {g} not in id order");
+        }
+    }
+
+    #[test]
+    fn lookup_and_rendering_work() {
+        assert_eq!(find("DFA004").unwrap().group, "DFA");
+        assert!(find("NOPE999").is_none());
+        let listing = render_listing();
+        assert!(listing.contains("SCH501  FIFO capacity below"));
+        let table = render_readme_table(&["SCH", "WCET"]);
+        assert!(table.starts_with("| rule | meaning | severity |"));
+        assert!(table.contains("`WCET601`"));
+        assert!(!table.contains("`DFA001`"));
+    }
+}

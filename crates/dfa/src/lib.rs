@@ -280,4 +280,13 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids, sorted);
     }
+
+    #[test]
+    fn rules_table_matches_the_registry() {
+        for (id, summary) in rules::ALL {
+            let r = debuginfo::registry::find(id)
+                .unwrap_or_else(|| panic!("{id} missing from debuginfo::registry"));
+            assert_eq!(r.summary, *summary, "{id} summary drifted");
+        }
+    }
 }

@@ -44,6 +44,12 @@ pub enum Bug {
     /// DMA bug: `mc` pokes a word inside a host-boundary FIFO window that
     /// the DMA engine copies asynchronously (bcv: RACE402).
     DmaOverlap,
+    /// Buffer-sizing bug: `red` bursts both residual halves into
+    /// `red_ipred_out` before releasing the macroblock header, and the
+    /// ADL pins that FIFO to a single slot — one below the minimal
+    /// deadlock-free capacity (sched: SCH501; at runtime `red` wedges in
+    /// `SpaceWait` on the undersized link).
+    TightFifo,
 }
 
 /// Architecture description (shared by every variant; behaviour bugs live
@@ -201,6 +207,22 @@ primitive Mc {
 }
 ";
 
+/// Architecture description for a decoder variant. Identical to
+/// [`DECODER_ADL`] except for [`Bug::TightFifo`], which pins the
+/// `red -> ipred` residual FIFO to one slot — the seeded sizing defect
+/// the static buffer analysis (SCH501) and the `--sched-check capacity`
+/// differential gate both point at.
+pub fn decoder_adl(bug: Bug) -> String {
+    if bug == Bug::TightFifo {
+        DECODER_ADL.replace(
+            "binds red.red_ipred_out to ipred.Red_in;",
+            "binds red.red_ipred_out to ipred.Red_in cap 1;",
+        )
+    } else {
+        DECODER_ADL.to_string()
+    }
+}
+
 const FRONT_CTRL: &str = "\
 void work() {
     while (pedf.run()) {
@@ -276,6 +298,26 @@ void work() {{
 /// resolves as a wavefront, which is exactly the dynamic-dataflow
 /// behaviour a decidable model would reject.
 fn pipe_src(bug: Bug) -> String {
+    if bug == Bug::TightFifo {
+        // Sizing variant: the macroblock header is consumed *before* the
+        // pred-side outputs are released, closing the dependency cycle
+        // red -> pipe -> ipred that makes the residual FIFO's size
+        // matter: with fewer than two slots, `red`'s burst wedges.
+        return "\
+void work() {
+    U32 mbtype = pedf.io.MbType_in[0];
+    CbCrMB_t mb;
+    mb = pedf.io.Red2PipeCbMB_in[0];
+    pedf.io.pipe_ipred_out[0] = mbtype + pedf.data.seq;
+    pedf.io.pipe_ipf_out[0] = mbtype * 2 + 1;
+    I32 rec = pedf.io.mb_in[0];
+    U32 m = pedf.io.mc_in[0];
+    pedf.io.frame_out[0] = (mb.Izz + rec + m + mbtype) & 0xFFFFFF;
+    pedf.data.seq = pedf.data.seq + 1;
+}
+"
+        .to_string();
+    }
     let dispatch = if bug == Bug::RateMismatch {
         // Architecture bug: three tokens pushed per step instead of one.
         "    U32 i;
@@ -303,6 +345,27 @@ void work() {{
 }
 
 fn red_src(bug: Bug) -> String {
+    if bug == Bug::TightFifo {
+        // Sizing variant: both residual halves burst out first; the
+        // header token that unblocks `pipe` (and transitively `ipred`'s
+        // pops) only leaves after the burst fits in the FIFO.
+        return "\
+void work() {
+    U32 v = pedf.io.bh_in[0];
+    U32 izz = (v * 13 + 7) & 0xFFFF;
+    pedf.io.red_ipred_out[0] = v >> 1;
+    pedf.io.red_ipred_out[1] = v >> 3;
+    CbCrMB_t mb;
+    mb.Addr = pedf.data.mb_count * 16 + 0x1000;
+    mb.InterNotIntra = v & 1;
+    mb.Izz = izz;
+    pedf.io.Red2PipeCbMB_out[0] = mb;
+    pedf.io.red_mc_out[0] = v >> 2;
+    pedf.data.mb_count = pedf.data.mb_count + 1;
+}
+"
+        .to_string();
+    }
     let izz = if bug == Bug::WrongValue {
         // Value bug: one specific macroblock gets a corrupted residual.
         "    U32 izz = (v * 13 + 7) & 0xFFFF;
@@ -362,6 +425,23 @@ void work() {
 }
 ";
 
+/// `ipred` for [`Bug::TightFifo`]: consumes both residual halves `red`
+/// bursts per step — the rates balance (2:2), only the FIFO is too small.
+const IPRED_WIDE: &str = "\
+U32 clip255(U32 v) {
+    if (v > 255) { return 255; }
+    return v;
+}
+void work() {
+    U32 p = pedf.io.Pipe_in[0];
+    U32 h = pedf.io.Hwcfg_in[0];
+    U32 r = pedf.io.Red_in[0] + pedf.io.Red_in[1];
+    U32 pred = (p + h) * 2 + r;
+    pedf.io.Add2Dblock_ipf_out[0] = clip255(pred);
+    pedf.io.Add2Dblock_MB_out[0] = pred ^ 0xF;
+}
+";
+
 const IPF: &str = "\
 void work() {
     U32 a = pedf.io.pipe_in[0];
@@ -400,10 +480,10 @@ pub fn decoder_sources(bug: Bug) -> SourceRegistry {
     s.add("red.c", &red_src(bug));
     s.add(
         "ipred.c",
-        if bug == Bug::Deadlock {
-            IPRED_DEADLOCK
-        } else {
-            IPRED
+        match bug {
+            Bug::Deadlock => IPRED_DEADLOCK,
+            Bug::TightFifo => IPRED_WIDE,
+            _ => IPRED,
         },
     );
     s.add("ipf.c", IPF);

@@ -13,8 +13,10 @@
 pub mod app;
 pub mod golden;
 
-pub use app::{decoder_sources, Bug, DECODER_ADL};
+pub use app::{decoder_adl, decoder_sources, Bug, DECODER_ADL};
 pub use mind::CompiledApp;
+
+use std::collections::BTreeMap;
 
 use p2012::PlatformConfig;
 use pedf::{ActorId, EnvSink, EnvSource, System, ValueGen};
@@ -26,7 +28,21 @@ pub fn build_decoder(
     n_mbs: u64,
     config: PlatformConfig,
 ) -> Result<(System, CompiledApp), mind::BuildError> {
-    let (mut sys, app) = mind::build(DECODER_ADL, &decoder_sources(bug), config)?;
+    build_decoder_with_caps(bug, n_mbs, config, &BTreeMap::new())
+}
+
+/// [`build_decoder`], with FIFO capacity overrides (producer
+/// `actor::conn` → slots) applied over the ADL's `cap` annotations —
+/// the hook the `analyze --sched-check` differential gate uses to replay
+/// statically predicted buffer sizes on the real simulator.
+pub fn build_decoder_with_caps(
+    bug: Bug,
+    n_mbs: u64,
+    config: PlatformConfig,
+    caps: &BTreeMap<String, u32>,
+) -> Result<(System, CompiledApp), mind::BuildError> {
+    let (mut sys, app) =
+        mind::build_with_caps(&decoder_adl(bug), &decoder_sources(bug), config, caps)?;
     for m in ["front", "pred"] {
         let id = app.actor(m).expect("module exists");
         sys.runtime.set_max_steps(id, n_mbs);
@@ -201,6 +217,41 @@ mod tests {
         let link = app.graph.conn(pipe_conn).link.unwrap();
         // 12 steps x 3 pushed, 12 consumed -> 24 left queued.
         assert_eq!(sys.runtime.occupancy(link), 24);
+    }
+
+    #[test]
+    fn tight_fifo_wedges_at_one_slot_and_runs_at_two() {
+        // At the ADL's single slot, `red` blocks pushing the second
+        // residual half while `pipe` waits for the header: deadlock,
+        // blamed on the undersized red -> ipred link.
+        let (mut sys, app) = build_decoder(Bug::TightFifo, 8, PlatformConfig::default()).unwrap();
+        sys.boot(app.boot_entry).unwrap();
+        attach_env(&mut sys, &app, 8, 1).unwrap();
+        assert!(!sys.run_to_quiescence(500_000), "cap 1 must wedge");
+        assert!(sys.platform.is_deadlocked());
+        let red_conn = app.conn("red::red_ipred_out").unwrap();
+        let link = app.graph.conn(red_conn).link.unwrap();
+        let red_pe = sys.runtime.graph.actor(actor(&app, "red")).pe.unwrap();
+        assert!(matches!(
+            sys.pe_status(red_pe),
+            p2012::PeStatus::Blocked(p2012::BlockReason::SpaceWait { link: l }) if l == link.0
+        ));
+        // One more slot is exactly enough.
+        let caps: BTreeMap<String, u32> = [("red::red_ipred_out".to_string(), 2)].into();
+        let (mut sys, app) =
+            build_decoder_with_caps(Bug::TightFifo, 8, PlatformConfig::default(), &caps).unwrap();
+        sys.boot(app.boot_entry).unwrap();
+        attach_env(&mut sys, &app, 8, 1).unwrap();
+        assert!(sys.run_to_quiescence(2_000_000), "cap 2 must complete");
+        assert_eq!(sys.first_fault(), None);
+    }
+
+    #[test]
+    fn capacity_override_typo_is_a_build_error() {
+        let caps: BTreeMap<String, u32> = [("red::no_such_conn".to_string(), 2)].into();
+        let err = build_decoder_with_caps(Bug::None, 1, PlatformConfig::default(), &caps)
+            .expect_err("unknown override must fail the build");
+        assert!(err.to_string().contains("no_such_conn"), "{err}");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!    `pedf_boot_complete` — the very calls the debugger breakpoints to
 //!    reconstruct the graph (Contribution #1).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use debuginfo::{mangle, CodeAddr, DebugInfo, DebugInfoBuilder, SymbolKind, TypeId, TypeTable};
 use kernelc::{CompileEnv, KernelOwner};
@@ -464,6 +464,23 @@ pub fn build(
     sources: &SourceRegistry,
     config: PlatformConfig,
 ) -> Result<(System, CompiledApp), BuildError> {
+    build_with_caps(adl_src, sources, config, &BTreeMap::new())
+}
+
+/// [`build`], with per-link FIFO capacity overrides applied on top of the
+/// ADL's `cap` annotations. Keys use the producer endpoint in the
+/// debugger's `actor::conn` syntax (e.g. `red::red_ipred_out`); a key
+/// matching no elaborated data link is a build error, so a typo cannot
+/// silently leave a capacity untouched. This is the knob the static
+/// buffer-sizing gate (`analyze --sched-check`) turns to replay its
+/// predicted minimal capacities — and one slot less — on the real
+/// simulator.
+pub fn build_with_caps(
+    adl_src: &str,
+    sources: &SourceRegistry,
+    config: PlatformConfig,
+    cap_overrides: &BTreeMap<String, u32>,
+) -> Result<(System, CompiledApp), BuildError> {
     let adl = adl::parse(adl_src)?;
     let root_decl = adl.root()?.clone();
 
@@ -649,6 +666,7 @@ pub fn build(
 
     // Chain starts: concrete outputs, or root inputs.
     let mut links: Vec<LinkSpec> = Vec::new();
+    let mut used_overrides: std::collections::BTreeSet<String> = Default::default();
     let start_keys: Vec<u32> = {
         let mut keys: Vec<u32> = out_edges.keys().copied().collect();
         keys.sort_unstable();
@@ -693,11 +711,26 @@ pub fn build(
                     conn_label(next, &elab)
                 ));
             }
-            let capacity = cap.unwrap_or(64);
+            let mut capacity = cap.unwrap_or(64);
             let token_words = elab.types.size_words(from_ty);
             // Placement & class.
             let from_actor = elab.conns[start as usize].actor;
             let to_actor = elab.conns[next as usize].actor;
+            {
+                let c = elab.conns[start as usize];
+                let key = format!(
+                    "{}::{}",
+                    elab.actors[c.actor as usize].short,
+                    elab.actors[c.actor as usize].ports[c.port].name
+                );
+                if let Some(&o) = cap_overrides.get(&key) {
+                    if o == 0 {
+                        return err(format!("capacity override `{key}` is zero"));
+                    }
+                    capacity = o;
+                    used_overrides.insert(key);
+                }
+            }
             let boundary = from_actor == root_actor || to_actor == root_actor;
             let class = if boundary {
                 LinkClass::DmaControl
@@ -729,6 +762,11 @@ pub fn build(
             });
             break;
         }
+    }
+    if let Some(key) = cap_overrides.keys().find(|k| !used_overrides.contains(*k)) {
+        return err(format!(
+            "capacity override `{key}` matches no elaborated link"
+        ));
     }
     if let Some((conn, edge)) = out_edges.iter().find(|(_, e)| !e.used) {
         return err(format!(

@@ -20,7 +20,7 @@ pub mod adl;
 pub mod elaborate;
 
 pub use adl::{AdlError, AdlFile};
-pub use elaborate::{build, BuildError, CompiledApp, SourceRegistry};
+pub use elaborate::{build, build_with_caps, BuildError, CompiledApp, SourceRegistry};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,111 @@
+//! Static cycle-cost model of the ISA — the platform-side half of WCET
+//! analysis.
+//!
+//! The functional simulator's timing contract is simple and exact: every
+//! retired instruction costs one cycle, and a `LoadMem`/`StoreMem` stalls
+//! the PE for the target region's latency minus one additional cycles
+//! (see `vm.rs`). Blocking traps cost one cycle once they unblock; the
+//! waiting time is scheduling, not computation, so it is excluded from
+//! per-firing execution-time bounds.
+//!
+//! The analyzer in `crates/sched` consumes these tables instead of
+//! re-deriving them, so a platform retune (say, a slower L3) moves every
+//! static WCET the same way it moves the simulator.
+
+use crate::isa::Insn;
+use crate::memory::{MemoryMap, Region};
+
+/// Cycles to retire any instruction (the simulator is single-issue,
+/// one retirement per cycle).
+pub const BASE_COST: u32 = 1;
+
+/// Cycles a runtime trap costs once it does not block: the trap retires
+/// in one cycle; handler work is modelled on the host and free.
+pub const TRAP_COST: u32 = 1;
+
+/// Cycles of a complete runtime stub invocation as kernelc emits it:
+/// `Call` + `Trap` + `Ret`.
+pub const STUB_CALL_COST: u32 = 2 * BASE_COST + TRAP_COST;
+
+/// Inclusive `[best, worst]` cycle cost of one raw memory access whose
+/// target region is statically known.
+pub fn access_cost(map: &MemoryMap, region: Region) -> (u32, u32) {
+    let lat = map.latency(region).max(1);
+    (lat, lat)
+}
+
+/// Inclusive `[best, worst]` cycle cost of a raw memory access about
+/// which nothing is known: best case a local L1 hit, worst case L3.
+pub fn unknown_access_cost(map: &MemoryMap) -> (u32, u32) {
+    let lats = [map.l1_latency, map.l2_latency, map.l3_latency];
+    (
+        lats.iter().copied().min().unwrap_or(1).max(1),
+        lats.iter().copied().max().unwrap_or(1).max(1),
+    )
+}
+
+/// Inclusive `[best, worst]` cycle cost of a raw access whose address is
+/// only known as a word interval `[lo, hi]`: the envelope over every
+/// region the interval intersects (an interval reaching outside every
+/// region keeps the unknown-access envelope — the access would fault,
+/// and faulting cost is not the analyzer's concern).
+pub fn access_cost_bounds(map: &MemoryMap, lo: u32, hi: u32) -> (u32, u32) {
+    match (map.decode(lo), map.decode(hi)) {
+        (Ok((ra, _)), Ok((rb, _))) if ra == rb => access_cost(map, ra),
+        _ => unknown_access_cost(map),
+    }
+}
+
+/// Inclusive `[best, worst]` cycle cost of one instruction, excluding
+/// callee/blocking time. `mem_addr` is the static `[lo, hi]` word-address
+/// interval for `LoadMem`/`StoreMem` operands when the caller knows one.
+pub fn insn_cost(map: &MemoryMap, insn: &Insn, mem_addr: Option<(u32, u32)>) -> (u32, u32) {
+    match insn {
+        Insn::LoadMem | Insn::StoreMem => match mem_addr {
+            Some((lo, hi)) => access_cost_bounds(map, lo, hi),
+            None => unknown_access_cost(map),
+        },
+        Insn::Trap { .. } => (TRAP_COST, TRAP_COST),
+        _ => (BASE_COST, BASE_COST),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{L1_BASE, L2_BASE, L3_BASE};
+
+    #[test]
+    fn memory_costs_follow_the_map_latencies() {
+        let map = MemoryMap::default();
+        assert_eq!(access_cost(&map, Region::L1 { cluster: 0 }), (1, 1));
+        assert_eq!(access_cost(&map, Region::L2), (8, 8));
+        assert_eq!(access_cost(&map, Region::L3), (32, 32));
+        assert_eq!(unknown_access_cost(&map), (1, 32));
+    }
+
+    #[test]
+    fn interval_costs_collapse_within_one_region_and_widen_across() {
+        let map = MemoryMap::default();
+        assert_eq!(access_cost_bounds(&map, L2_BASE, L2_BASE + 100), (8, 8));
+        assert_eq!(access_cost_bounds(&map, L1_BASE, L3_BASE + 4), (1, 32));
+    }
+
+    #[test]
+    fn insn_costs_match_the_simulator_contract() {
+        let map = MemoryMap::default();
+        assert_eq!(insn_cost(&map, &Insn::Add, None), (1, 1));
+        assert_eq!(insn_cost(&map, &Insn::LoadMem, None), (1, 32));
+        assert_eq!(
+            insn_cost(&map, &Insn::LoadMem, Some((L3_BASE, L3_BASE))),
+            (32, 32)
+        );
+        let trap = Insn::Trap {
+            id: 0,
+            argc: 0,
+            retc: 0,
+        };
+        assert_eq!(insn_cost(&map, &trap, None), (TRAP_COST, TRAP_COST));
+        assert_eq!(STUB_CALL_COST, 3);
+    }
+}

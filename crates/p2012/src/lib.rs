@@ -21,6 +21,7 @@
 //!   instructions wrapped in symbol-carrying stub functions, which is what
 //!   lets the debugger observe framework activity purely through breakpoints.
 
+pub mod cost;
 pub mod dma;
 pub mod isa;
 pub mod memory;

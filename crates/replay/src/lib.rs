@@ -403,6 +403,12 @@ mod tests {
     use super::*;
     use debuginfo::TypeTable;
     use p2012::memory::L2_BASE;
+
+    #[test]
+    fn divergence_rule_is_registered() {
+        let r = debuginfo::registry::find(RULE_DIVERGENCE).expect("registered");
+        assert_eq!(r.group, "REPLAY");
+    }
     use p2012::{Insn, PeId, Platform, PlatformConfig, ProgramBuilder};
     use pedf::Runtime;
 

@@ -1,0 +1,296 @@
+//! Repetition vector, throughput bound and critical-cycle bottleneck.
+//!
+//! From the `dfa` per-port token rates (exact ones only) the classic SDF
+//! repetition vector is solved by rational propagation; combined with the
+//! per-kernel cycle bounds of [`crate::wcet`] it yields a *sound upper
+//! bound on steady-state throughput*: each filter is pinned to one PE, so
+//! its `rep(a)` firings per graph iteration serialize, and no schedule
+//! can finish an iteration faster than the busiest actor's
+//! `rep(a) × BCET(a)` cycles. (Cycle-ratio terms over feedback cycles can
+//! only lengthen the period further; the max-cycle-ratio machinery here
+//! is used to *attribute* the bound to a cycle for diagnostics, not to
+//! tighten the enforced bound.)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pedf::graph::AppGraph;
+
+use crate::wcet::CycleBounds;
+
+/// A non-negative rational, kept reduced (same idiom as `dfa::graph`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frac {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Frac {
+    fn new(num: u64, den: u64) -> Frac {
+        let g = gcd(num, den.max(1));
+        Frac {
+            num: num / g,
+            den: den.max(1) / g,
+        }
+    }
+
+    fn mul(self, num: u64, den: u64) -> Frac {
+        Frac::new(self.num * num, self.den * den)
+    }
+}
+
+/// Solve the repetition vector over data links between filters whose
+/// both rates are exact and positive. Returns `None` when the balance
+/// equations conflict (dfa's DFA003 already reports that) or when the
+/// integer scaling would explode.
+pub fn repetition_vector(
+    g: &AppGraph,
+    rates: &BTreeMap<u32, BTreeMap<String, (u32, u32)>>,
+) -> Option<BTreeMap<u32, u32>> {
+    // rates: actor -> conn -> (pushes, pops) per firing; exact entries only.
+    let mut rep: BTreeMap<u32, Frac> = BTreeMap::new();
+    let filters: Vec<u32> = g.filters().map(|a| a.id.0).collect();
+    for &f in &filters {
+        if rep.contains_key(&f) {
+            continue;
+        }
+        rep.insert(f, Frac::new(1, 1));
+        let mut queue = vec![f];
+        while let Some(a) = queue.pop() {
+            let ra = rep[&a];
+            for l in g.data_links() {
+                let (from, to) = g.link_ends(l.id);
+                let (other, prod_side) = if from.0 == a && to.0 != a {
+                    (to.0, true)
+                } else if to.0 == a && from.0 != a {
+                    (from.0, false)
+                } else {
+                    continue;
+                };
+                if !filters.contains(&other) {
+                    continue;
+                }
+                let prod_conn = &g.conn(l.from).name;
+                let cons_conn = &g.conn(l.to).name;
+                let prod_rate = rates
+                    .get(&if prod_side { a } else { other })?
+                    .get(prod_conn)
+                    .map(|r| r.0);
+                let cons_rate = rates
+                    .get(&if prod_side { other } else { a })?
+                    .get(cons_conn)
+                    .map(|r| r.1);
+                let (Some(p), Some(c)) = (prod_rate, cons_rate) else {
+                    continue;
+                };
+                if p == 0 || c == 0 {
+                    continue;
+                }
+                // rep(prod) * p == rep(cons) * c.
+                let want = if prod_side {
+                    ra.mul(u64::from(p), u64::from(c))
+                } else {
+                    ra.mul(u64::from(c), u64::from(p))
+                };
+                match rep.get(&other) {
+                    Some(have) if *have != want => return None,
+                    Some(_) => {}
+                    None => {
+                        rep.insert(other, want);
+                        queue.push(other);
+                    }
+                }
+            }
+        }
+    }
+    // Scale each value to an integer via the lcm of denominators.
+    let mut lcm: u64 = 1;
+    for f in rep.values() {
+        lcm = lcm / gcd(lcm, f.den) * f.den;
+        if lcm > 1 << 20 {
+            return None;
+        }
+    }
+    let ints: BTreeMap<u32, u64> = rep
+        .iter()
+        .map(|(&a, f)| (a, f.num * (lcm / f.den)))
+        .collect();
+    let g0 = ints.values().fold(0, |acc, &v| gcd(acc, v)).max(1);
+    let scaled: BTreeMap<u32, u32> = ints
+        .iter()
+        .map(|(&a, &v)| (a, u32::try_from(v / g0).unwrap_or(u32::MAX)))
+        .collect();
+    if scaled.values().any(|&v| v == 0 || v > 1 << 16) {
+        return None;
+    }
+    Some(scaled)
+}
+
+/// The throughput verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Throughput {
+    /// Sound lower bound on the steady-state period: cycles per graph
+    /// iteration. Zero when no filter had usable bounds.
+    pub period_lb: u64,
+    /// The filter attaining the bound.
+    pub bottleneck: Option<u32>,
+    /// Actors / links of the dependency cycle through the bottleneck
+    /// (for `graph dot` bold paint); just the bottleneck when it sits on
+    /// no cycle.
+    pub cycle_actors: BTreeSet<u32>,
+    pub cycle_links: BTreeSet<u32>,
+}
+
+/// Compute the bound from repetition counts and per-kernel cycle bounds.
+pub fn analyze(
+    g: &AppGraph,
+    reps: &BTreeMap<u32, u32>,
+    bounds: &BTreeMap<u32, CycleBounds>,
+) -> Throughput {
+    let mut out = Throughput::default();
+    for a in g.filters() {
+        let rep = u64::from(reps.get(&a.id.0).copied().unwrap_or(1));
+        let Some(b) = bounds.get(&a.id.0) else {
+            continue;
+        };
+        let load = rep * b.bcet;
+        if load > out.period_lb {
+            out.period_lb = load;
+            out.bottleneck = Some(a.id.0);
+        }
+    }
+    if let Some(b) = out.bottleneck {
+        let (actors, links) = cycle_through(g, b);
+        out.cycle_actors = actors;
+        out.cycle_links = links;
+    }
+    out
+}
+
+/// The strongly connected component of `start` in the filter/data-link
+/// graph, with its internal links — the feedback structure the bound
+/// propagates around. Falls back to the lone actor when none.
+fn cycle_through(g: &AppGraph, start: u32) -> (BTreeSet<u32>, BTreeSet<u32>) {
+    let filters: BTreeSet<u32> = g.filters().map(|a| a.id.0).collect();
+    let edges: Vec<(u32, u32, u32)> = g
+        .data_links()
+        .filter_map(|l| {
+            let (f, t) = g.link_ends(l.id);
+            (filters.contains(&f.0) && filters.contains(&t.0)).then_some((f.0, t.0, l.id.0))
+        })
+        .collect();
+    let reach = |from: u32, to: u32| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![from];
+        while let Some(a) = queue.pop() {
+            for &(s, d, _) in &edges {
+                if s == a && seen.insert(d) {
+                    if d == to {
+                        return true;
+                    }
+                    queue.push(d);
+                }
+            }
+        }
+        false
+    };
+    let scc: BTreeSet<u32> = filters
+        .iter()
+        .copied()
+        .filter(|&a| a == start || (reach(start, a) && reach(a, start)))
+        .collect();
+    if scc.len() <= 1 && !reach(start, start) {
+        return ([start].into(), BTreeSet::new());
+    }
+    let links: BTreeSet<u32> = edges
+        .iter()
+        .filter(|(s, d, _)| scc.contains(s) && scc.contains(d))
+        .map(|&(_, _, l)| l)
+        .collect();
+    (scc, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedf::graph::{ActorKind, Dir, LinkClass};
+
+    fn rates_of(entries: &[(u32, &str, u32, u32)]) -> BTreeMap<u32, BTreeMap<String, (u32, u32)>> {
+        let mut m: BTreeMap<u32, BTreeMap<String, (u32, u32)>> = BTreeMap::new();
+        for &(actor, conn, pushes, pops) in entries {
+            m.entry(actor)
+                .or_default()
+                .insert(conn.to_string(), (pushes, pops));
+        }
+        m
+    }
+
+    fn pipeline() -> AppGraph {
+        let mut g = AppGraph::new();
+        let root = g
+            .register_actor(0, "root", ActorKind::Module, None, None, None)
+            .unwrap();
+        let m = g
+            .register_actor(1, "m", ActorKind::Module, Some(root), None, None)
+            .unwrap();
+        let a = g
+            .register_actor(2, "a", ActorKind::Filter, Some(m), None, None)
+            .unwrap();
+        let b = g
+            .register_actor(3, "b", ActorKind::Filter, Some(m), None, None)
+            .unwrap();
+        let out = g
+            .register_conn(0, a, "out", Dir::Out, debuginfo::TypeId(0))
+            .unwrap();
+        let inp = g
+            .register_conn(1, b, "in", Dir::In, debuginfo::TypeId(0))
+            .unwrap();
+        g.register_link(0, out, inp, 4, LinkClass::Data, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn one_to_two_rates_give_one_two_repetitions() {
+        let g = pipeline();
+        // a pushes 2 per firing, b pops 1: b fires twice per a firing.
+        let rates = rates_of(&[(2, "out", 2, 0), (3, "in", 0, 1)]);
+        let reps = repetition_vector(&g, &rates).expect("consistent");
+        assert_eq!(reps[&2], 1);
+        assert_eq!(reps[&3], 2);
+    }
+
+    #[test]
+    fn bottleneck_is_the_heaviest_rep_weighted_actor() {
+        let g = pipeline();
+        let rates = rates_of(&[(2, "out", 1, 0), (3, "in", 0, 1)]);
+        let reps = repetition_vector(&g, &rates).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert(
+            2,
+            CycleBounds {
+                bcet: 10,
+                wcet: Some(12),
+            },
+        );
+        bounds.insert(
+            3,
+            CycleBounds {
+                bcet: 40,
+                wcet: Some(90),
+            },
+        );
+        let t = analyze(&g, &reps, &bounds);
+        assert_eq!(t.period_lb, 40);
+        assert_eq!(t.bottleneck, Some(3));
+        // An acyclic pipeline: the "cycle" degenerates to the actor.
+        assert_eq!(t.cycle_actors, [3].into());
+        assert!(t.cycle_links.is_empty());
+    }
+}

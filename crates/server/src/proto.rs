@@ -239,12 +239,15 @@ impl Parser<'_> {
             Some('t') => self.literal("true", JsonValue::Bool(true)),
             Some('f') => self.literal("false", JsonValue::Bool(false)),
             Some(c) if c.is_ascii_digit() => {
+                // No `unwrap` on wire bytes: the peeked digit is re-read
+                // through `to_digit`, and a `None` anywhere simply ends
+                // the number.
                 let mut n = 0u64;
-                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                    let d = self.next().unwrap().to_digit(10).unwrap() as u64;
+                while let Some(d) = self.peek().and_then(|c| c.to_digit(10)) {
+                    self.next();
                     n = n
                         .checked_mul(10)
-                        .and_then(|n| n.checked_add(d))
+                        .and_then(|n| n.checked_add(d as u64))
                         .ok_or("integer out of range")?;
                 }
                 Ok(JsonValue::Int(n))

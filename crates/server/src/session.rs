@@ -12,6 +12,7 @@ use dfdbg::cli::Cli;
 use dfdbg::{AppCache, CachedApp, Session};
 use h264_pipeline::{attach_env, build_decoder, decoder_sources, Bug, CompiledApp};
 use p2012::PlatformConfig;
+use sched;
 
 /// Auto-checkpoint interval used by every interactive front end: cheap
 /// enough to be invisible (EXPERIMENTS.md E6), close enough that reverse
@@ -36,6 +37,7 @@ pub fn parse_variant(s: &str) -> Option<Bug> {
         "oob" => Bug::OobStore,
         "race" => Bug::SharedScratch,
         "dma" => Bug::DmaOverlap,
+        "capacity" => Bug::TightFifo,
         _ => return None,
     })
 }
@@ -50,6 +52,7 @@ pub fn variant_name(bug: Bug) -> &'static str {
         Bug::OobStore => "oob",
         Bug::SharedScratch => "race",
         Bug::DmaOverlap => "dma",
+        Bug::TightFifo => "capacity",
     }
 }
 
@@ -73,11 +76,14 @@ pub fn build_app(bug: Bug, n_mbs: u64) -> Result<(CompiledApp, Session), String>
     let (sys, app) = build_decoder(bug, n_mbs, PlatformConfig::default())
         .map_err(|e| format!("building the decoder failed: {e}"))?;
     let boot = app.boot_entry;
-    let analysis = AnalysisInput::from_app(&app, &decoder_sources(bug));
+    let sources = decoder_sources(bug);
+    let analysis = AnalysisInput::from_app(&app, &sources);
     let bcv_input = bcv::AnalysisInput::from_app(&app);
+    let sched_input = sched::AnalysisInput::from_app(&app, &sources);
     let mut session = Session::attach(sys, app.info.clone());
     session.load_analysis(analysis);
     session.load_bcv_input(bcv_input);
+    session.load_sched_input(sched_input);
     session
         .boot(boot)
         .map_err(|e| format!("boot under debugger failed: {e}"))?;
@@ -139,6 +145,12 @@ pub const DEADLOCK_SCRIPT: &[&str] = &[
 /// Decoder size the scripted diagnosis runs at (the §III scenario).
 pub const SCRIPT_N_MBS: u64 = 8;
 
+/// The static-analysis parity script: the findings table and its JSON
+/// rendering (dfa + bcv + sched merged). `--self-check` replays it for a
+/// dataflow bug and a race bug so the remote analyzer output can never
+/// drift from the in-process one.
+pub const ANALYZE_SCRIPT: &[&str] = &["analyze", "analyze --json"];
+
 /// Execute a script against an in-process session and return the
 /// transcript: for each command, its exact output followed by one
 /// newline. The remote transcript is assembled the same way from the
@@ -168,6 +180,7 @@ mod tests {
             Bug::OobStore,
             Bug::SharedScratch,
             Bug::DmaOverlap,
+            Bug::TightFifo,
         ] {
             assert_eq!(parse_variant(variant_name(bug)), Some(bug));
         }

@@ -1,16 +1,19 @@
 //! `analyze` — run the static analyzers (dataflow `dfa` + bytecode
-//! verifier `bcv`) over the H.264 case-study graphs from the command line,
-//! for CI gating and quick inspection.
+//! verifier `bcv` + performance analyzer `sched`) over the H.264
+//! case-study graphs from the command line, for CI gating and quick
+//! inspection.
 //!
 //! ```text
-//! analyze [clean|deadlock|rate|oob|race|dma] [--deny warnings]
+//! analyze [clean|deadlock|rate|oob|race|dma|capacity] [--deny warnings]
 //!         [--expect-findings] [--json]
 //! ```
 //!
 //! Exit status is non-zero when `--deny warnings` sees a finding at
-//! warning level or above, or when `--expect-findings` sees none — the
-//! two directions a CI gate needs (clean graphs must stay clean, known-bad
-//! graphs must stay detected). `--json` replaces the human-readable output
+//! warning level or above, or when `--expect-findings` sees none at
+//! warning level or above (info-level findings — FIFO slack, throughput
+//! bounds — are unconditionally present, so they satisfy neither gate) —
+//! the two directions a CI gate needs (clean graphs must stay clean,
+//! known-bad graphs must stay detected). `--json` replaces the human-readable output
 //! with machine-readable findings in a deterministic, byte-stable order.
 //!
 //! `--replay-check` instead *executes* the variant under the debugger with
@@ -19,14 +22,27 @@
 //! byte-compares the outputs: any nondeterminism in the simulator, the
 //! replay engine or the analyzers shows up as a diff or as a `REPLAY501`
 //! finding (non-zero exit).
+//!
+//! `--sched-check` is the differential gate for the `sched` capacity and
+//! throughput predictions: it rebuilds the variant with every analyzed
+//! FIFO pinned to its *predicted minimal* capacity and requires the run to
+//! complete; then, for every link whose minimum exceeds the floor of one,
+//! rebuilds with that single link one slot below the minimum and requires
+//! the run to wedge with a producer blocked on exactly the link the static
+//! `SCH501` finding blames. The measured end-to-end cycle count must also
+//! respect the static throughput lower bound. Everything printed is
+//! byte-stable, so CI can diff two invocations.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use dataflow_debugger::dfdbg::{Session, Stop};
-use dataflow_debugger::h264::{attach_env, build_decoder, decoder_sources, Bug};
-use dataflow_debugger::p2012::PlatformConfig;
-use dataflow_debugger::{bcv, dfa};
+use dataflow_debugger::h264::{
+    attach_env, build_decoder, build_decoder_with_caps, decoder_sources, golden, Bug,
+};
+use dataflow_debugger::p2012::{BlockReason, PeStatus, PlatformConfig};
+use dataflow_debugger::{bcv, dfa, sched};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +51,7 @@ fn main() -> ExitCode {
     let mut expect_findings = false;
     let mut json = false;
     let mut replay_check = false;
+    let mut sched_check = false;
     for a in &args {
         match a.as_str() {
             "clean" => variant = Bug::None,
@@ -43,16 +60,18 @@ fn main() -> ExitCode {
             "oob" => variant = Bug::OobStore,
             "race" => variant = Bug::SharedScratch,
             "dma" => variant = Bug::DmaOverlap,
+            "capacity" => variant = Bug::TightFifo,
             "--deny" => {}
             "warnings" => deny_warnings = true,
             "--expect-findings" => expect_findings = true,
             "--json" => json = true,
             "--replay-check" => replay_check = true,
+            "--sched-check" => sched_check = true,
             other => {
                 eprintln!(
-                    "usage: analyze [clean|deadlock|rate|oob|race|dma] \
+                    "usage: analyze [clean|deadlock|rate|oob|race|dma|capacity] \
                      [--deny warnings] [--expect-findings] [--json] \
-                     [--replay-check] (got `{other}`)"
+                     [--replay-check] [--sched-check] (got `{other}`)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -60,6 +79,9 @@ fn main() -> ExitCode {
     }
     if replay_check {
         return run_replay_check(variant);
+    }
+    if sched_check {
+        return run_sched_check(variant);
     }
 
     let (_sys, app) = match build_decoder(variant, 4, PlatformConfig::default()) {
@@ -72,15 +94,19 @@ fn main() -> ExitCode {
     let sources = decoder_sources(variant);
     let input = dfa::AnalysisInput::from_app(&app, &sources);
     let bcv_input = bcv::AnalysisInput::from_app(&app);
+    let sched_input = sched::AnalysisInput::from_app(&app, &sources);
 
     let t0 = Instant::now();
     let mut report = dfa::analyze(&input);
     report.resolve_spans(&app.info.lines);
     let bcv_report = bcv::verify(&bcv_input);
+    let mut sched_report = sched::analyze(&sched_input);
+    sched_report.resolve_spans(&app.info.lines);
     let wall = t0.elapsed();
 
     let mut findings = report.findings.clone();
     findings.extend(bcv_report.findings.iter().cloned());
+    findings.extend(sched_report.findings.iter().cloned());
     dataflow_debugger::debuginfo::sort_and_dedup_findings(&mut findings);
 
     if json {
@@ -127,8 +153,8 @@ fn main() -> ExitCode {
         eprintln!("error: findings at or above warning level (denied)");
         return ExitCode::FAILURE;
     }
-    if expect_findings && findings.is_empty() {
-        eprintln!("error: expected findings, analyzer reported none");
+    if expect_findings && worst < Some(dfa::Severity::Warning) {
+        eprintln!("error: expected warning-or-worse findings, analyzer reported none");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -236,4 +262,208 @@ fn run_replay_check(variant: Bug) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// One simulator run for the sched gate: build `variant` with explicit
+/// capacity overrides, boot, attach the environment, run. Returns the
+/// system (for blame inspection), the app, and whether it reached
+/// quiescence. Faults are gate failures in their own right.
+fn run_with_caps(
+    variant: Bug,
+    caps: &BTreeMap<String, u32>,
+    max_cycles: u64,
+) -> Result<
+    (
+        dataflow_debugger::pedf::System,
+        dataflow_debugger::h264::CompiledApp,
+        bool,
+    ),
+    String,
+> {
+    const N_MBS: u64 = 8;
+    let (mut sys, app) = build_decoder_with_caps(variant, N_MBS, PlatformConfig::default(), caps)
+        .map_err(|e| format!("build failed: {e}"))?;
+    sys.boot(app.boot_entry)?;
+    attach_env(&mut sys, &app, N_MBS, 0xbeef)?;
+    let finished = sys.run_to_quiescence(max_cycles);
+    if let Some((pe, fault)) = sys.first_fault() {
+        return Err(format!("fault on {pe}: {fault}"));
+    }
+    Ok((sys, app, finished))
+}
+
+/// The differential gate for the static performance analyzer: every
+/// capacity the abstract model calls minimal must be dynamically minimal
+/// on the real simulator — sufficient at the predicted size, insufficient
+/// one slot below it (with the dynamic deadlock blamed on the very link
+/// the static `SCH501` names) — and the measured cycle count must respect
+/// the static throughput lower bound.
+fn run_sched_check(variant: Bug) -> ExitCode {
+    const N_MBS: u64 = 8;
+    const MAX_CYCLES: u64 = 5_000_000;
+
+    // Static pass over the variant exactly as the ADL builds it.
+    let (_sys, app) = match build_decoder(variant, N_MBS, PlatformConfig::default()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sources = decoder_sources(variant);
+    let input = sched::AnalysisInput::from_app(&app, &sources);
+    let report = sched::analyze(&input);
+    if report.structural {
+        eprintln!("error: abstract network deadlocks at any capacity; sizing not applicable");
+        return ExitCode::FAILURE;
+    }
+    let caps = report.min_caps_by_label(&app.graph);
+    if caps.is_empty() {
+        eprintln!("error: no analyzable link (nothing to check)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sched-check {variant:?}: {} analyzed links, period bound {} cycles",
+        caps.len(),
+        report.period_lb
+    );
+    for (label, cap) in &caps {
+        println!("  min cap {label} = {cap}");
+    }
+
+    // Static detection direction: the seeded capacity bug must already be
+    // an SCH501 on the as-built graph; the clean graph must carry none.
+    let sch501: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == sched::rules::CAPACITY_BELOW_MIN)
+        .map(|f| f.subject.clone())
+        .collect();
+    match variant {
+        Bug::TightFifo if sch501.is_empty() => {
+            eprintln!("error: seeded tight FIFO produced no SCH501 finding");
+            return ExitCode::FAILURE;
+        }
+        Bug::None if !sch501.is_empty() => {
+            eprintln!("error: clean graph produced SCH501 findings: {sch501:?}");
+            return ExitCode::FAILURE;
+        }
+        _ => {}
+    }
+
+    // Arm A: at the predicted minimal sizes the real decoder completes.
+    let (sys, app_min, finished) = match run_with_caps(variant, &caps, MAX_CYCLES) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: run at minimal capacities: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !finished {
+        eprintln!("error: decoder wedged at the predicted minimal capacities");
+        return ExitCode::FAILURE;
+    }
+    let cycles = sys.clock();
+    println!("minimal capacities: completed in {cycles} cycles");
+
+    // The clean variant's output must still match the golden model — the
+    // squeeze changes scheduling, never values.
+    if matches!(variant, Bug::None) {
+        let expect = golden::decode_stream(N_MBS as u32, 0xbeef);
+        let sink = sys
+            .runtime
+            .sink_for(app_min.boundary_out["frame_out"])
+            .expect("sink attached");
+        if sink.checksum != golden::checksum(&expect) {
+            eprintln!("error: output diverged from the golden model at minimal capacities");
+            return ExitCode::FAILURE;
+        }
+        println!("golden checksum intact at minimal capacities");
+    }
+
+    // Throughput: no schedule beats rep x BCET at the bottleneck, so the
+    // measured whole-run cycle count must sit at or above the bound.
+    if report.period_lb > 0 {
+        let bound = report.period_lb * N_MBS;
+        if cycles < bound {
+            eprintln!(
+                "error: measured {cycles} cycles beats the static bound {bound} \
+                 ({} per iteration): the bound is unsound",
+                report.period_lb
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("throughput: {cycles} cycles for {N_MBS} iterations >= static bound {bound}");
+    }
+
+    // Arm B: one slot below the minimum each above-floor link wedges the
+    // decoder, and the dynamically blamed producer matches the prediction.
+    let mut squeezed = 0usize;
+    for (label, &cap) in &caps {
+        if cap < 2 {
+            continue;
+        }
+        squeezed += 1;
+        let mut tight = caps.clone();
+        tight.insert(label.clone(), cap - 1);
+        let (sys, app_tight, finished) = match run_with_caps(variant, &tight, MAX_CYCLES) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: run with {label} squeezed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if finished {
+            eprintln!(
+                "error: decoder completed with {label} at {} — the predicted \
+                 minimum {cap} is not minimal",
+                cap - 1
+            );
+            return ExitCode::FAILURE;
+        }
+        if !sys.platform.is_deadlocked() {
+            eprintln!("error: squeezed run hit the cycle limit without deadlocking");
+            return ExitCode::FAILURE;
+        }
+        let conn = app_tight.conn(label).expect("label round-trips");
+        let victim = app_tight.graph.conn(conn).link.expect("bound conn");
+        let blamed = sys.runtime.graph.actors.iter().any(|a| {
+            a.pe.is_some_and(|pe| {
+                matches!(
+                    sys.pe_status(pe),
+                    PeStatus::Blocked(BlockReason::SpaceWait { link: l }) if l == victim.0
+                )
+            })
+        });
+        if !blamed {
+            eprintln!("error: deadlock not blamed on {label}: no producer space-waits on it");
+            return ExitCode::FAILURE;
+        }
+        // Cross-check the static side on the squeezed build: the same
+        // link must carry the SCH501.
+        let squeezed_input = sched::AnalysisInput::from_app(&app_tight, &sources);
+        let squeezed_report = sched::analyze(&squeezed_input);
+        let label_full = app_tight.graph.link_label(victim);
+        let hit = squeezed_report
+            .findings
+            .iter()
+            .any(|f| f.rule == sched::rules::CAPACITY_BELOW_MIN && f.subject == label_full);
+        if !hit {
+            eprintln!("error: squeezed build carries no SCH501 on {label_full}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  {label} at {}: wedges, dynamic blame and SCH501 agree on {label_full}",
+            cap - 1
+        );
+    }
+    if squeezed == 0 {
+        println!("no analyzed link above the one-slot floor; squeeze arm vacuous");
+    }
+    if matches!(variant, Bug::TightFifo) && squeezed == 0 {
+        eprintln!("error: seeded tight FIFO exposed no above-floor link to squeeze");
+        return ExitCode::FAILURE;
+    }
+    println!("sched-check PASS");
+    ExitCode::SUCCESS
 }

@@ -21,8 +21,10 @@
 //! `--self-check` is the CI gate: it boots the server on an ephemeral
 //! port, drives the scripted §III deadlock diagnosis over real TCP,
 //! byte-compares the remote transcript against the in-process run of the
-//! same script, scrapes `/metrics` over HTTP and sanity-checks the
-//! counters. Any difference exits nonzero with both transcripts printed.
+//! same script, repeats the comparison for the static-analysis script
+//! (`analyze` + `analyze --json`) on the deadlock and race variants,
+//! scrapes `/metrics` over HTTP and sanity-checks the counters. Any
+//! difference exits nonzero with both transcripts printed.
 
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -30,7 +32,7 @@ use std::time::Duration;
 use dataflow_debugger::h264::Bug;
 use dataflow_debugger::server::{
     local_transcript, remote_transcript, scrape_metrics, Server, ServerConfig, Shared,
-    DEADLOCK_SCRIPT, SCRIPT_N_MBS,
+    ANALYZE_SCRIPT, DEADLOCK_SCRIPT, SCRIPT_N_MBS,
 };
 
 const USAGE: &str = "usage: dfdbg-serve --serve <addr> [--idle-timeout-ms N] \
@@ -195,6 +197,40 @@ fn run_self_check(cfg: ServerConfig) -> i32 {
         eprintln!("self-check: TRANSCRIPTS DIFFER");
         eprintln!("---- in-process ----\n{local}");
         eprintln!("---- remote ----\n{remote}");
+    }
+
+    // Static-analysis parity: the findings table and its JSON rendering
+    // (dfa + bcv + sched merged) must be byte-identical remotely for a
+    // dataflow bug and a race bug.
+    for (bug, name) in [(Bug::Deadlock, "deadlock"), (Bug::SharedScratch, "race")] {
+        println!("self-check: analyzer parity on the {name} variant");
+        let local = match local_transcript(bug, SCRIPT_N_MBS, ANALYZE_SCRIPT) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("self-check: in-process {name} analysis failed: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let remote = match remote_transcript(addr, bug, SCRIPT_N_MBS, ANALYZE_SCRIPT) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("self-check: remote {name} analysis failed: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if local == remote {
+            println!(
+                "self-check: {name} analyzer transcripts are byte-identical ({} bytes)",
+                local.len()
+            );
+        } else {
+            failures += 1;
+            eprintln!("self-check: {name} ANALYZER TRANSCRIPTS DIFFER");
+            eprintln!("---- in-process ----\n{local}");
+            eprintln!("---- remote ----\n{remote}");
+        }
     }
 
     let metrics = match scrape_metrics(addr) {

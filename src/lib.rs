@@ -11,6 +11,8 @@
 //!   kernel lints before execution);
 //! * [`bcv`] — the bytecode verifier and static shared-memory race/DMA
 //!   analysis over the linked image;
+//! * [`sched`] — the static performance analyzer (minimal deadlock-free
+//!   FIFO capacities, WCET intervals, throughput bounds);
 //! * [`replay`] — the deterministic checkpoint/replay engine behind the
 //!   debugger's time-travel commands;
 //! * [`dfdbg`] — the dataflow-aware interactive debugger (the paper's
@@ -29,4 +31,5 @@ pub use mind;
 pub use p2012;
 pub use pedf;
 pub use replay;
+pub use sched;
 pub use server;

@@ -178,7 +178,13 @@ fn analyze_binary_gates_both_directions() {
     // --expect-findings. These are the exact CI invocations.
     let (_, ok) = run_analyze(&["clean", "--deny", "warnings"]);
     assert!(ok, "clean graph must pass the deny gate");
-    for variant in ["oob", "race", "dma", "deadlock", "rate"] {
+    // Info-level findings (FIFO slack, throughput bounds) are always
+    // present, so they must not satisfy --expect-findings: the gate
+    // demands warning-or-worse, or it could no longer tell a seeded bug
+    // from a clean build.
+    let (_, ok) = run_analyze(&["clean", "--expect-findings"]);
+    assert!(!ok, "clean graph must fail --expect-findings");
+    for variant in ["oob", "race", "dma", "deadlock", "rate", "capacity"] {
         let (_, ok) = run_analyze(&[variant, "--expect-findings"]);
         assert!(ok, "{variant}: expected findings");
         let (_, ok) = run_analyze(&[variant, "--deny", "warnings"]);
@@ -207,16 +213,53 @@ fn analyze_json_golden_oob() {
     assert!(ok);
     let want = r#"{
   "findings": [
-    {"rule": "MEM302", "severity": "error", "subject": "decoder.front.hwcfg", "message": "store to [0x10004000, 0x10004000] lands in an unbacked hole of the L1 window (each bank maps 16384 words)", "file": "hwcfg.c", "line": 3, "col": 0, "addr": 115}
+    {"rule": "MEM302", "severity": "error", "subject": "decoder.front.hwcfg", "message": "store to [0x10004000, 0x10004000] lands in an unbacked hole of the L1 window (each bank maps 16384 words)", "file": "hwcfg.c", "line": 3, "col": 0, "addr": 115},
+    {"rule": "SCH502", "severity": "info", "subject": "bh::red_out -> red::bh_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "hwcfg::ipred_cfg_out -> ipred::Hwcfg_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "hwcfg::pipe_MbType_out -> pipe::MbType_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "ipf::ipf_mc_out -> mc::ipf_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "ipred::Add2Dblock_MB_out -> pipe::mb_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "ipred::Add2Dblock_ipf_out -> ipf::Add2Dblock_ipred_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "mc::mc_out -> pipe::mc_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "pipe::pipe_ipf_out -> ipf::pipe_in", "message": "capacity 32 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "pipe::pipe_ipred_out -> ipred::Pipe_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "red::Red2PipeCbMB_out -> pipe::Red2PipeCbMB_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "red::red_ipred_out -> ipred::Red_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "red::red_mc_out -> mc::red_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH503", "severity": "info", "subject": "steady state", "message": "no schedule completes a graph iteration in fewer than 90 cycles", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH504", "severity": "info", "subject": "decoder.front.pipe", "message": "critical-cycle bottleneck: rep 1 x 90 cycles per firing dominates the period", "file": null, "line": null, "col": null, "addr": null}
   ]
 }
 "#;
     assert_eq!(got, want);
 }
 
+/// The clean variant is no longer finding-free: the performance analyzer
+/// contributes info-level capacity headroom (SCH502) and throughput
+/// (SCH503/SCH504) findings. They are pinned byte for byte — severity
+/// stays below warning so `--deny warnings` still passes.
 #[test]
 fn analyze_json_golden_clean() {
     let (got, ok) = run_analyze(&["clean", "--json"]);
     assert!(ok);
-    assert_eq!(got, "{\n  \"findings\": []\n}\n");
+    let want = r#"{
+  "findings": [
+    {"rule": "SCH502", "severity": "info", "subject": "bh::red_out -> red::bh_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "hwcfg::ipred_cfg_out -> ipred::Hwcfg_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "hwcfg::pipe_MbType_out -> pipe::MbType_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "ipf::ipf_mc_out -> mc::ipf_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "ipred::Add2Dblock_MB_out -> pipe::mb_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "ipred::Add2Dblock_ipf_out -> ipf::Add2Dblock_ipred_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "mc::mc_out -> pipe::mc_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "pipe::pipe_ipf_out -> ipf::pipe_in", "message": "capacity 32 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "pipe::pipe_ipred_out -> ipred::Pipe_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "red::Red2PipeCbMB_out -> pipe::Red2PipeCbMB_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "red::red_ipred_out -> ipred::Red_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH502", "severity": "info", "subject": "red::red_mc_out -> mc::red_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH503", "severity": "info", "subject": "steady state", "message": "no schedule completes a graph iteration in fewer than 90 cycles", "file": null, "line": null, "col": null, "addr": null},
+    {"rule": "SCH504", "severity": "info", "subject": "decoder.front.pipe", "message": "critical-cycle bottleneck: rep 1 x 90 cycles per firing dominates the period", "file": null, "line": null, "col": null, "addr": null}
+  ]
+}
+"#;
+    assert_eq!(got, want);
 }

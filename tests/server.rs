@@ -487,3 +487,75 @@ fn server_commands_and_unattached_errors() {
     shared.request_shutdown();
     handle.join().expect("server drained");
 }
+
+/// Malformed wire frames must come back as `id: 0` error responses — the
+/// connection survives, the server never panics, and a well-formed
+/// request afterwards still works. The battery covers every branch of the
+/// hand-rolled JSON reader that inspects untrusted bytes: truncated
+/// objects, bad literals, non-scalar escapes, overlong integers, nested
+/// values the flat protocol rejects, and raw binary junk.
+#[test]
+fn malformed_frames_get_error_responses_not_a_dead_server() {
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let battery: &[&[u8]] = &[
+        b"{",
+        b"}",
+        b"nonsense",
+        b"{\"id\": }",
+        b"{\"id\": 1",
+        b"{\"id\": 1, \"cmd\": \"x\"} trailing",
+        b"{\"id\": 99999999999999999999999, \"cmd\": \"x\"}",
+        b"{\"id\": -3, \"cmd\": \"x\"}",
+        b"{\"id\": 1, \"cmd\": tru}",
+        b"{\"id\": 1, \"cmd\": \"\\ud800\"}",
+        b"{\"id\": 1, \"cmd\": \"\\u12\"}",
+        b"{\"id\": 1, \"cmd\": \"unterminated",
+        b"{\"id\": 1, \"cmd\": [\"no\", \"arrays\"]}",
+        b"{\"id\": 1, \"cmd\": {\"no\": \"nesting\"}}",
+        b"{\"id\" \"cmd\"}",
+        b"\x00\xff\xfe{\"id\": 1}",
+        b"{\"cmd\": \"info links\"}",
+        b"{\"id\": 1}",
+    ];
+    for bad in battery {
+        writer.write_all(bad).expect("write");
+        writer.write_all(b"\n").expect("newline");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("server replied");
+        let frame = Frame::decode(line.trim_end()).expect("reply is a valid frame");
+        let Frame::Response { id, ok, output } = frame else {
+            panic!("expected a response frame, got {frame:?}");
+        };
+        assert_eq!(id, 0, "malformed lines answer with id 0: {output}");
+        assert!(
+            !ok,
+            "malformed line accepted: {}",
+            String::from_utf8_lossy(bad)
+        );
+        assert!(output.contains("bad request"), "{output}");
+    }
+
+    // The connection is still healthy: a real request round-trips.
+    writer
+        .write_all(b"{\"id\": 7, \"cmd\": \"sessions\"}\n")
+        .expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("server replied");
+    let frame = Frame::decode(line.trim_end()).expect("reply frame");
+    let Frame::Response { id, ok, output } = frame else {
+        panic!("expected a response frame, got {frame:?}");
+    };
+    assert_eq!(id, 7);
+    assert!(ok, "healthy request failed after the battery: {output}");
+    assert!(output.contains("connected"), "{output}");
+
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}

@@ -236,3 +236,34 @@ proptest! {
         }
     }
 }
+
+/// The README rule tables are rendered from `debuginfo::registry` and
+/// embedded verbatim; this test re-renders and byte-compares each one,
+/// so editing either side alone goes red. The CLI listing is covered the
+/// same way: every registered id must appear in `analyze rules`.
+#[test]
+fn readme_rule_tables_match_the_registry() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md is readable");
+    for groups in [
+        &["DFA", "KC"][..],
+        &["BCV", "MEM", "RACE"][..],
+        &["REPLAY"][..],
+        &["SCH", "WCET"][..],
+    ] {
+        let table = debuginfo::registry::render_readme_table(groups);
+        assert!(
+            readme.contains(&table),
+            "README table for {groups:?} drifted from the registry; \
+             expected verbatim:\n{table}"
+        );
+    }
+    let listing = debuginfo::registry::render_listing();
+    for rule in debuginfo::registry::REGISTRY {
+        assert!(
+            listing.contains(rule.id),
+            "registry rule {} missing from the CLI listing",
+            rule.id
+        );
+    }
+}
