@@ -1,0 +1,369 @@
+//! Seeded, deterministic random generation of [`AppSpec`]s.
+//!
+//! Every shape the static analyzers claim to understand is represented:
+//! clean pipelines (chains, diamonds, fan-out/fan-in, optionally split
+//! across two modules/clusters), cycles whose kernels either break the
+//! token dependency by pushing first (statically clean, dynamically
+//! complete) or pop first (DFA004, dynamic wedge), gated bursts whose
+//! minimal FIFO capacity exceeds one slot (SCH501 when built below it),
+//! rate mismatches (DFA003 backlog), data-dependent rates
+//! (`pedf.available` drains, conditional pushes — DFA007 territory), and
+//! raw `pedf.mem[]` traffic against clean, hole (MEM302) and unmapped
+//! (MEM301) addresses. The same seed always yields byte-identical specs.
+
+use proptest::prelude::TestRng;
+
+use crate::spec::{AppSpec, FilterSpec, KernelOp, LinkSpec, ModuleSpec};
+
+/// Clean per-actor L2 scratch words: one unique word per global filter
+/// index, far from the h264 scratch and the FIFO heap.
+const L2_SCRATCH: u32 = 0x2000_E000;
+/// The unbacked hole just past a cluster's L1 bank (MEM302 + runtime trap).
+const L1_HOLE: u32 = 0x1000_4000;
+/// An address no region of the platform maps (MEM301 + runtime trap).
+const UNMAPPED: u32 = 0x4000_0000;
+
+/// How a generated app is expected to relate to the analyzers — recorded
+/// on the spec as the `shape` tag (provenance, not consulted by the
+/// oracle, which trusts only the static findings).
+const SHAPES: &[&str] = &[
+    "chain",
+    "chain-2mod",
+    "diamond",
+    "fanout",
+    "cycle-push-first",
+    "cycle-pop-first",
+    "gated-burst",
+    "rate-mismatch",
+    "data-dep",
+    "mem-clean",
+    "mem-hole",
+    "mem-unmapped",
+];
+
+/// Generate the app for `seed`. Deterministic: same seed, same spec.
+pub fn generate(seed: u64) -> AppSpec {
+    let mut rng = TestRng::seeded(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let shape = SHAPES[rng.below(SHAPES.len() as u64) as usize];
+    let steps = 2 + rng.below(7);
+    let mut spec = match shape {
+        "chain" => chain(&mut rng, false),
+        "chain-2mod" => chain(&mut rng, true),
+        "diamond" => diamond(&mut rng),
+        "fanout" => fanout(&mut rng),
+        "cycle-push-first" => cycle(&mut rng, true),
+        "cycle-pop-first" => cycle(&mut rng, false),
+        "gated-burst" => gated_burst(&mut rng),
+        "rate-mismatch" => rate_mismatch(&mut rng),
+        "data-dep" => data_dep(&mut rng),
+        "mem-clean" => with_mem(chain(&mut rng, false), &mut rng, MemKind::Clean),
+        "mem-hole" => with_mem(chain(&mut rng, false), &mut rng, MemKind::Hole),
+        "mem-unmapped" => with_mem(chain(&mut rng, false), &mut rng, MemKind::Unmapped),
+        _ => unreachable!(),
+    };
+    spec.seed = seed;
+    spec.steps = steps;
+    spec.shape = shape.to_string();
+    debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+    spec
+}
+
+fn empty() -> AppSpec {
+    AppSpec {
+        seed: 0,
+        steps: 0,
+        shape: String::new(),
+        modules: vec![ModuleSpec::default()],
+        links: Vec::new(),
+    }
+}
+
+fn cap(rng: &mut TestRng) -> u32 {
+    1 + rng.below(4) as u32
+}
+
+/// Linear pipeline of 2–5 filters, unit rates; optionally split across
+/// two modules at a random point (exercising boundary-port flattening and
+/// second-cluster placement).
+fn chain(rng: &mut TestRng, two_modules: bool) -> AppSpec {
+    let n = 2 + rng.below(4) as usize;
+    let mut spec = empty();
+    let split = if two_modules && n >= 2 {
+        spec.modules.push(ModuleSpec::default());
+        1 + rng.below(n as u64 - 1) as usize
+    } else {
+        n
+    };
+    let place = |i: usize| -> (usize, usize) {
+        if i < split {
+            (0, i)
+        } else {
+            (1, i - split)
+        }
+    };
+    for i in 0..n {
+        let (m, _) = place(i);
+        spec.modules[m].filters.push(FilterSpec::default());
+    }
+    for l in 0..n - 1 {
+        spec.links.push(LinkSpec {
+            from: place(l),
+            to: place(l + 1),
+            cap: cap(rng),
+        });
+        let (fm, fi) = place(l);
+        let (tm, ti) = place(l + 1);
+        spec.modules[fm].filters[fi]
+            .ops
+            .push(KernelOp::Push { link: l, count: 1 });
+        spec.modules[tm].filters[ti]
+            .ops
+            .insert(0, KernelOp::Pop { link: l, count: 1 });
+    }
+    spec
+}
+
+/// Split/join: f0 fans out to f1/f2, which join into f3.
+fn diamond(rng: &mut TestRng) -> AppSpec {
+    let mut spec = empty();
+    for _ in 0..4 {
+        spec.modules[0].filters.push(FilterSpec::default());
+    }
+    let edges = [(0usize, 1usize), (0, 2), (1, 3), (2, 3)];
+    for (l, &(a, b)) in edges.iter().enumerate() {
+        spec.links.push(LinkSpec {
+            from: (0, a),
+            to: (0, b),
+            cap: cap(rng),
+        });
+        spec.modules[0].filters[a]
+            .ops
+            .push(KernelOp::Push { link: l, count: 1 });
+        spec.modules[0].filters[b]
+            .ops
+            .insert(0, KernelOp::Pop { link: l, count: 1 });
+    }
+    spec
+}
+
+/// One producer feeding 2–3 independent consumers.
+fn fanout(rng: &mut TestRng) -> AppSpec {
+    let k = 2 + rng.below(2) as usize;
+    let mut spec = empty();
+    for _ in 0..k + 1 {
+        spec.modules[0].filters.push(FilterSpec::default());
+    }
+    for l in 0..k {
+        spec.links.push(LinkSpec {
+            from: (0, 0),
+            to: (0, l + 1),
+            cap: cap(rng),
+        });
+        spec.modules[0].filters[0]
+            .ops
+            .push(KernelOp::Push { link: l, count: 1 });
+        spec.modules[0].filters[l + 1]
+            .ops
+            .push(KernelOp::Pop { link: l, count: 1 });
+    }
+    spec
+}
+
+/// A 2–3 filter ring. `push_first`: the first member writes its output
+/// before reading its cycle input — the classic initial-token breaker, so
+/// the ring is statically clean and dynamically live. Otherwise every
+/// member pops first: DFA004 and a guaranteed wedge.
+fn cycle(rng: &mut TestRng, push_first: bool) -> AppSpec {
+    let n = 2 + rng.below(2) as usize;
+    let mut spec = empty();
+    for _ in 0..n {
+        spec.modules[0].filters.push(FilterSpec::default());
+    }
+    // Link l: filter l -> filter (l+1) % n.
+    for l in 0..n {
+        spec.links.push(LinkSpec {
+            from: (0, l),
+            to: (0, (l + 1) % n),
+            cap: 2,
+        });
+    }
+    for i in 0..n {
+        let inc = (i + n - 1) % n; // link into filter i
+        let out = i; // link out of filter i
+        let ops = &mut spec.modules[0].filters[i].ops;
+        if push_first && i == 0 {
+            ops.push(KernelOp::Push {
+                link: out,
+                count: 1,
+            });
+            ops.push(KernelOp::Pop {
+                link: inc,
+                count: 1,
+            });
+        } else {
+            ops.push(KernelOp::Pop {
+                link: inc,
+                count: 1,
+            });
+            ops.push(KernelOp::Push {
+                link: out,
+                count: 1,
+            });
+        }
+    }
+    spec
+}
+
+/// The SCH501 shape: the producer bursts two tokens on link `a` before
+/// releasing the gate token on `g`; the consumer takes the gate first.
+/// Minimal capacity of `a` is 2 — building it at 1 wedges both worlds.
+fn gated_burst(rng: &mut TestRng) -> AppSpec {
+    let mut spec = empty();
+    spec.modules[0].filters.push(FilterSpec::default());
+    spec.modules[0].filters.push(FilterSpec::default());
+    let a_cap = 1 + rng.below(3) as u32; // 1 => SCH501 + wedge, >=2 => clean
+    spec.links.push(LinkSpec {
+        from: (0, 0),
+        to: (0, 1),
+        cap: a_cap,
+    }); // link 0: a
+    spec.links.push(LinkSpec {
+        from: (0, 0),
+        to: (0, 1),
+        cap: 2,
+    }); // link 1: g
+    spec.modules[0].filters[0].ops = vec![
+        KernelOp::Push { link: 0, count: 2 },
+        KernelOp::Push { link: 1, count: 1 },
+    ];
+    spec.modules[0].filters[1].ops = vec![
+        KernelOp::Pop { link: 1, count: 1 },
+        KernelOp::Pop { link: 0, count: 2 },
+    ];
+    spec
+}
+
+/// Reconvergent rate inconsistency — the Fig. 4 bug shape: the top path
+/// of a diamond carries 2–3 tokens per firing where the bottom carries
+/// one, so the SDF balance equations have no repetition vector (DFA003).
+/// Dynamically the roomy top FIFO just accumulates backlog and the run
+/// still reaches quiescence — which is why DFA003 only gets the weak
+/// "no fault, no timeout" oracle.
+fn rate_mismatch(rng: &mut TestRng) -> AppSpec {
+    let burst = 2 + rng.below(2) as u32;
+    let mut spec = empty();
+    for _ in 0..4 {
+        spec.modules[0].filters.push(FilterSpec::default());
+    }
+    let edges = [(0usize, 1usize), (0, 2), (1, 3), (2, 3)];
+    for &(a, b) in &edges {
+        spec.links.push(LinkSpec {
+            from: (0, a),
+            to: (0, b),
+            cap: 64,
+        });
+    }
+    spec.modules[0].filters[0].ops = vec![
+        KernelOp::PushLoop {
+            link: 0,
+            count: burst,
+        },
+        KernelOp::Push { link: 1, count: 1 },
+    ];
+    spec.modules[0].filters[1].ops = vec![
+        KernelOp::Pop { link: 0, count: 1 },
+        KernelOp::Push { link: 2, count: 1 },
+    ];
+    spec.modules[0].filters[2].ops = vec![
+        KernelOp::Pop { link: 1, count: 1 },
+        KernelOp::Push { link: 3, count: 1 },
+    ];
+    spec.modules[0].filters[3].ops = vec![
+        KernelOp::Pop { link: 2, count: 1 },
+        KernelOp::Pop { link: 3, count: 1 },
+    ];
+    spec
+}
+
+/// Data-dependent rates: the producer pushes one token plus a parity-
+/// conditional second; the consumer drains whatever `pedf.available`
+/// reports without ever blocking. DFA007 excludes the link from balance.
+fn data_dep(rng: &mut TestRng) -> AppSpec {
+    let mut spec = empty();
+    spec.modules[0].filters.push(FilterSpec::default());
+    spec.modules[0].filters.push(FilterSpec::default());
+    spec.links.push(LinkSpec {
+        from: (0, 0),
+        to: (0, 1),
+        cap: 4 + rng.below(4) as u32,
+    });
+    spec.modules[0].filters[0].ops = vec![
+        KernelOp::Push { link: 0, count: 1 },
+        KernelOp::CondPush { link: 0 },
+    ];
+    spec.modules[0].filters[1].ops = vec![KernelOp::DrainAvail { link: 0 }];
+    spec
+}
+
+enum MemKind {
+    Clean,
+    Hole,
+    Unmapped,
+}
+
+/// Decorate a clean pipeline with raw `pedf.mem[]` traffic on one filter:
+/// a private L2 scratch word (no findings), a store into the L1 bank hole
+/// (MEM302), or a store to an unmapped address (MEM301). The two faulting
+/// kinds must trap at runtime — that is exactly what the oracle checks.
+fn with_mem(mut spec: AppSpec, rng: &mut TestRng, kind: MemKind) -> AppSpec {
+    let victim = rng.below(spec.n_filters() as u64) as usize;
+    let mut global = 0usize;
+    for (m, module) in spec.modules.iter().enumerate() {
+        for i in 0..module.filters.len() {
+            if global == victim {
+                let ops = &mut spec.modules[m].filters[i].ops;
+                match kind {
+                    MemKind::Clean => {
+                        let addr = L2_SCRATCH + global as u32;
+                        ops.push(KernelOp::MemWrite { addr });
+                        ops.push(KernelOp::MemRead { addr });
+                    }
+                    MemKind::Hole => ops.push(KernelOp::MemWrite { addr: L1_HOLE }),
+                    MemKind::Unmapped => ops.push(KernelOp::MemWrite { addr: UNMAPPED }),
+                }
+                return spec;
+            }
+            global += 1;
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in 0..64u64 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a, b);
+            assert_eq!(a.to_adl(), b.to_adl());
+            a.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(a.n_filters() >= 2);
+            assert!(a.steps >= 2);
+        }
+    }
+
+    #[test]
+    fn all_shapes_are_reachable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..256u64 {
+            seen.insert(generate(seed).shape.clone());
+        }
+        for shape in SHAPES {
+            assert!(seen.contains(*shape), "shape {shape} never generated");
+        }
+    }
+}

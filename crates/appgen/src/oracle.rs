@@ -1,0 +1,491 @@
+//! The differential oracle: run a generated app through the static
+//! analyzers and through the simulator, and require the two worlds to
+//! agree.
+//!
+//! Directions checked (each divergence names its oracle so shrinking can
+//! preserve the failure kind):
+//!
+//! * **D1** — no error-severity finding ⟹ the app completes (no wedge,
+//!   no fault, no cycle-limit timeout).
+//! * **D2** — a `DFA004` structural-deadlock verdict ⟹ the app wedges,
+//!   and at least one statically blamed cycle member is dynamically
+//!   blocked.
+//! * **D3** — `sched`'s capacity minima are dynamically minimal: the app
+//!   completes with every analyzed FIFO at its predicted minimum, and
+//!   wedges (blamed via `SpaceWait` on the squeezed link, with the static
+//!   re-pass agreeing) one slot below any above-floor minimum.
+//! * **D4** — a `MEM301`/`MEM302` verdict ⟹ the run traps, and a trap
+//!   ⟹ an error-severity finding exists (no silent faults).
+//! * **D5** — on unit-rate apps that complete, measured cycles never beat
+//!   `period_lb × steps` (the static throughput bound is a true bound).
+//! * **D6** — record → reverse-continue → replay is a fixpoint: the
+//!   state hash round-trips and no `REPLAY501` finding appears.
+//!
+//! `DFA003` (rate inconsistency) deliberately gets only a weak oracle —
+//! the backlog direction of a mismatch still completes while the
+//! starvation direction wedges, so the only sound expectation is "no
+//! fault, no timeout".
+
+use std::collections::BTreeMap;
+
+use debuginfo::{Finding, Severity};
+use dfdbg::{Session, Stop};
+use p2012::{BlockReason, PeStatus, PlatformConfig};
+
+use crate::spec::AppSpec;
+
+/// Cycle budget for one dynamic run of a generated app (tiny graphs; a
+/// run that needs more than this is wedged-by-livelock and counts as a
+/// timeout).
+pub const MAX_CYCLES: u64 = 200_000;
+/// Checkpoint interval for the replay fixpoint check — small, so even a
+/// short generated run crosses several checkpoint boundaries.
+const TT_INTERVAL: u64 = 500;
+
+/// A static-vs-dynamic disagreement (or a generator/build bug — oracle
+/// `BUILD`), carrying the oracle id that shrinking must preserve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which direction fired: `D1`..`D6`, or `BUILD`.
+    pub oracle: String,
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(oracle: &str, detail: impl Into<String>) -> Self {
+        Divergence {
+            oracle: oracle.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// What the simulator did with the app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observed {
+    Completed { cycles: u64 },
+    Wedged { blocked: Vec<String> },
+    Fault { msg: String },
+    Timeout,
+}
+
+impl Observed {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Observed::Completed { .. } => "completed",
+            Observed::Wedged { .. } => "wedged",
+            Observed::Fault { .. } => "fault",
+            Observed::Timeout => "timeout",
+        }
+    }
+}
+
+/// What the merged static findings predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    Complete,
+    Wedge,
+    Fault,
+    /// Rate-inconsistent (DFA003): completion and wedge are both
+    /// legitimate; only faults and timeouts contradict the analysis.
+    NoFaultOnly,
+}
+
+/// The merged static verdict over one spec.
+pub struct StaticVerdict {
+    pub findings: Vec<Finding>,
+    pub sched: sched::Report,
+    pub dfa: dfa::Report,
+}
+
+impl StaticVerdict {
+    pub fn has(&self, rule: &str) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+    pub fn has_error(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+}
+
+/// Everything one oracle pass did — feeds the E10 table and the fuzz
+/// driver's stats line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    pub expected: String,
+    pub observed: String,
+    /// Links exercised by the D3 squeeze arm (cap-at-min and min−1).
+    pub squeezed_links: usize,
+    /// Whether the D5 throughput bound applied.
+    pub throughput_checked: bool,
+    /// Whether the D6 replay fixpoint ran.
+    pub replay_checked: bool,
+}
+
+fn build(
+    spec: &AppSpec,
+    caps: &BTreeMap<String, u32>,
+) -> Result<(pedf::System, mind::CompiledApp), String> {
+    let (mut sys, app) = mind::build_with_caps(
+        &spec.to_adl(),
+        &spec.to_sources(),
+        PlatformConfig::default(),
+        caps,
+    )
+    .map_err(|e| e.to_string())?;
+    for m in 0..spec.modules.len() {
+        let id = app
+            .actor(&format!("m{m}"))
+            .ok_or_else(|| format!("module m{m} missing after elaboration"))?;
+        sys.runtime.set_max_steps(id, spec.steps);
+    }
+    Ok((sys, app))
+}
+
+/// Run the three analyzers over the spec and merge the findings the same
+/// way the `analyze` CLI does.
+pub fn static_pass(spec: &AppSpec) -> Result<StaticVerdict, String> {
+    let (_sys, app) = build(spec, &BTreeMap::new())?;
+    let sources = spec.to_sources();
+    let dfa_rep = dfa::analyze(&dfa::AnalysisInput::from_app(&app, &sources));
+    let bcv_rep = bcv::verify(&bcv::AnalysisInput::from_app(&app));
+    let sched_rep = sched::analyze(&sched::AnalysisInput::from_app(&app, &sources));
+    let mut findings = dfa_rep.findings.clone();
+    findings.extend(bcv_rep.findings.iter().cloned());
+    findings.extend(sched_rep.findings.iter().cloned());
+    debuginfo::sort_and_dedup_findings(&mut findings);
+    Ok(StaticVerdict {
+        findings,
+        sched: sched_rep,
+        dfa: dfa_rep,
+    })
+}
+
+/// Boot and run the spec with capacity overrides; classify the outcome.
+pub fn dynamic_run(
+    spec: &AppSpec,
+    caps: &BTreeMap<String, u32>,
+) -> Result<(pedf::System, mind::CompiledApp, Observed), String> {
+    let (mut sys, app) = build(spec, caps)?;
+    sys.boot(app.boot_entry)?;
+    // Generated apps have no environment sources, so a deadlock or fault
+    // is terminal — no need to burn the rest of the cycle budget
+    // (shrinking runs thousands of these). `is_deadlocked` is transiently
+    // true during step handoffs (controller parked, filter not yet
+    // dispatched), so require it to hold for a stability window before
+    // bailing.
+    let mut stuck = 0u32;
+    sys.run_until(MAX_CYCLES, |s| {
+        if s.platform.is_quiescent() || s.first_fault().is_some() {
+            return true;
+        }
+        if s.platform.is_deadlocked() {
+            stuck += 1;
+        } else {
+            stuck = 0;
+        }
+        stuck > 1_000
+    });
+    let finished = sys.platform.is_quiescent();
+    let observed = if let Some((pe, fault)) = sys.first_fault() {
+        Observed::Fault {
+            msg: format!("{pe}: {fault}"),
+        }
+    } else if finished {
+        Observed::Completed {
+            cycles: sys.clock(),
+        }
+    } else if sys.platform.is_deadlocked() {
+        let blocked = sys
+            .runtime
+            .graph
+            .actors
+            .iter()
+            .filter(|a| {
+                a.pe.is_some_and(|pe| matches!(sys.pe_status(pe), PeStatus::Blocked(_)))
+            })
+            .map(|a| a.name.clone())
+            .collect();
+        Observed::Wedged { blocked }
+    } else {
+        Observed::Timeout
+    };
+    Ok((sys, app, observed))
+}
+
+fn expected_outcome(v: &StaticVerdict) -> Result<Expect, Divergence> {
+    if v.has(bcv::rules::UNMAPPED_ACCESS) || v.has(bcv::rules::REGION_HOLE) {
+        return Ok(Expect::Fault);
+    }
+    if v.has(dfa::rules::STRUCTURAL_DEADLOCK) || v.has(sched::rules::CAPACITY_BELOW_MIN) {
+        return Ok(Expect::Wedge);
+    }
+    if v.has(dfa::rules::RATE_INCONSISTENT) {
+        return Ok(Expect::NoFaultOnly);
+    }
+    if let Some(f) = v.findings.iter().find(|f| f.severity == Severity::Error) {
+        // A generated app should never trip any other error rule — that
+        // is a generator (or analyzer) bug worth shrinking and keeping.
+        return Err(Divergence::new(
+            "BUILD",
+            format!("unexpected static error {} on {}", f.rule, f.subject),
+        ));
+    }
+    Ok(Expect::Complete)
+}
+
+/// D2 blame: at least one statically named cycle member must be blocked.
+fn deadlock_blame(sys: &pedf::System, dfa_rep: &dfa::Report) -> bool {
+    dfa_rep.deadlock_actors.iter().any(|&id| {
+        sys.runtime
+            .graph
+            .actors
+            .iter()
+            .find(|a| a.id.0 == id)
+            .and_then(|a| a.pe)
+            .is_some_and(|pe| matches!(sys.pe_status(pe), PeStatus::Blocked(_)))
+    })
+}
+
+/// D3: the capacity-minimum differential arms, mirroring
+/// `analyze --sched-check`.
+fn check_capacity_arms(
+    spec: &AppSpec,
+    verdict: &StaticVerdict,
+    report: &mut CheckReport,
+) -> Result<(), Divergence> {
+    let sources = spec.to_sources();
+    let (_sys, app) = build(spec, &BTreeMap::new()).map_err(|e| Divergence::new("BUILD", e))?;
+    let caps = verdict.sched.min_caps_by_label(&app.graph);
+    if caps.is_empty() {
+        return Ok(());
+    }
+    // Arm A: complete at the predicted minima.
+    let (_sys, _app, observed) =
+        dynamic_run(spec, &caps).map_err(|e| Divergence::new("BUILD", e))?;
+    if !matches!(observed, Observed::Completed { .. }) {
+        return Err(Divergence::new(
+            "D3",
+            format!(
+                "app {} at the predicted minimal capacities {caps:?}",
+                observed.label()
+            ),
+        ));
+    }
+    // Arm B: one slot below any above-floor minimum must wedge, blamed on
+    // the squeezed link, with the static re-pass agreeing.
+    for (label, &cap) in &caps {
+        if cap < 2 {
+            continue;
+        }
+        report.squeezed_links += 1;
+        let mut tight = caps.clone();
+        tight.insert(label.clone(), cap - 1);
+        let (sys, app_tight, observed) =
+            dynamic_run(spec, &tight).map_err(|e| Divergence::new("BUILD", e))?;
+        if !matches!(observed, Observed::Wedged { .. }) {
+            return Err(Divergence::new(
+                "D3",
+                format!(
+                    "app {} with {label} squeezed to {} (predicted minimum {cap})",
+                    observed.label(),
+                    cap - 1
+                ),
+            ));
+        }
+        let conn = app_tight
+            .conn(label)
+            .ok_or_else(|| Divergence::new("BUILD", format!("label {label} lost in rebuild")))?;
+        let victim = app_tight.graph.conn(conn).link.expect("bound conn");
+        let blamed = sys.runtime.graph.actors.iter().any(|a| {
+            a.pe.is_some_and(|pe| {
+                matches!(
+                    sys.pe_status(pe),
+                    PeStatus::Blocked(BlockReason::SpaceWait { link: l }) if l == victim.0
+                )
+            })
+        });
+        if !blamed {
+            return Err(Divergence::new(
+                "D3",
+                format!("wedge not blamed on squeezed {label}: no producer space-waits on it"),
+            ));
+        }
+        let squeezed_rep = sched::analyze(&sched::AnalysisInput::from_app(&app_tight, &sources));
+        let label_full = app_tight.graph.link_label(victim);
+        if !squeezed_rep
+            .findings
+            .iter()
+            .any(|f| f.rule == sched::rules::CAPACITY_BELOW_MIN && f.subject == label_full)
+        {
+            return Err(Divergence::new(
+                "D3",
+                format!("squeezed build carries no SCH501 on {label_full}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// D6: record → reverse-continue → replay must be a fixpoint, whatever
+/// the app's terminal state is.
+fn check_replay_fixpoint(spec: &AppSpec) -> Result<(), Divergence> {
+    let (sys, mut app) = build(spec, &BTreeMap::new()).map_err(|e| Divergence::new("BUILD", e))?;
+    let boot = app.boot_entry;
+    let info = std::mem::take(&mut app.info);
+    let mut session = Session::attach(sys, info);
+    session
+        .boot(boot)
+        .map_err(|e| Divergence::new("BUILD", format!("boot: {e}")))?;
+    session.enable_time_travel(TT_INTERVAL);
+    session
+        .catch_step(None, true)
+        .map_err(|e| Divergence::new("BUILD", format!("catch step: {e}")))?;
+    let mut stops = 0u64;
+    loop {
+        match session.run(MAX_CYCLES) {
+            Stop::Deadlock | Stop::Quiescent | Stop::CycleLimit | Stop::Fault { .. } => break,
+            _ => stops += 1,
+        }
+        if stops > 100_000 {
+            return Err(Divergence::new("D6", "runaway stop loop under recording"));
+        }
+    }
+    let end_clock = session.sys.clock();
+    let end_hash = session.state_hash();
+    session
+        .reverse_continue()
+        .map_err(|e| Divergence::new("D6", format!("reverse-continue failed: {e}")))?;
+    session
+        .goto_cycle(end_clock)
+        .map_err(|e| Divergence::new("D6", format!("replay to end failed: {e}")))?;
+    let replayed_hash = session.state_hash();
+    if replayed_hash != end_hash {
+        return Err(Divergence::new(
+            "D6",
+            format!("state hash diverged: {end_hash:#018x} -> {replayed_hash:#018x}"),
+        ));
+    }
+    if session.sys.clock() != end_clock {
+        return Err(Divergence::new(
+            "D6",
+            format!("replay landed at {} not {end_clock}", session.sys.clock()),
+        ));
+    }
+    let findings = session.replay_findings();
+    if !findings.is_empty() {
+        return Err(Divergence::new(
+            "D6",
+            format!("{} replay findings ({})", findings.len(), findings[0].rule),
+        ));
+    }
+    Ok(())
+}
+
+/// Run every oracle direction over one spec.
+pub fn check_spec(spec: &AppSpec) -> Result<CheckReport, Divergence> {
+    spec.validate().map_err(|e| Divergence::new("BUILD", e))?;
+    let verdict = static_pass(spec).map_err(|e| Divergence::new("BUILD", e))?;
+    let expect = expected_outcome(&verdict)?;
+    let (sys, _app, observed) =
+        dynamic_run(spec, &BTreeMap::new()).map_err(|e| Divergence::new("BUILD", e))?;
+
+    let mut report = CheckReport {
+        expected: format!("{expect:?}"),
+        observed: observed.label().to_string(),
+        ..CheckReport::default()
+    };
+
+    match (expect, &observed) {
+        (Expect::Fault, Observed::Fault { .. }) => {}
+        (Expect::Fault, other) => {
+            return Err(Divergence::new(
+                "D4",
+                format!("static MEM3xx error but the run {}", other.label()),
+            ));
+        }
+        (Expect::Wedge, Observed::Wedged { .. }) => {
+            if verdict.has(dfa::rules::STRUCTURAL_DEADLOCK) && !deadlock_blame(&sys, &verdict.dfa) {
+                return Err(Divergence::new(
+                    "D2",
+                    "wedged, but no statically blamed cycle member is blocked",
+                ));
+            }
+        }
+        (Expect::Wedge, other) => {
+            let rule = if verdict.has(dfa::rules::STRUCTURAL_DEADLOCK) {
+                "DFA004"
+            } else {
+                "SCH501"
+            };
+            let oracle = if rule == "DFA004" { "D2" } else { "D3" };
+            return Err(Divergence::new(
+                oracle,
+                format!(
+                    "static {rule} predicts a wedge but the run {}",
+                    other.label()
+                ),
+            ));
+        }
+        (Expect::Complete, Observed::Completed { .. }) => {}
+        (Expect::Complete, other) => {
+            return Err(Divergence::new(
+                "D1",
+                format!("no static error finding but the run {}", other.label()),
+            ));
+        }
+        (Expect::NoFaultOnly, Observed::Fault { msg }) => {
+            return Err(Divergence::new(
+                "D4",
+                format!("rate-inconsistent app faulted: {msg}"),
+            ));
+        }
+        (Expect::NoFaultOnly, Observed::Timeout) => {
+            return Err(Divergence::new(
+                "D1",
+                "rate-inconsistent app hit the cycle limit (livelock)",
+            ));
+        }
+        (Expect::NoFaultOnly, _) => {}
+    }
+
+    // Soundness completeness: a trap with no error-severity finding means
+    // the memory analysis missed something.
+    if matches!(observed, Observed::Fault { .. }) && !verdict.has_error() {
+        return Err(Divergence::new(
+            "D4",
+            "the run faulted but the static pass carries no error finding",
+        ));
+    }
+
+    // D5: the throughput bound, where it soundly applies.
+    if let Observed::Completed { cycles } = observed {
+        if spec.all_unit_rates() && verdict.sched.period_lb > 0 {
+            report.throughput_checked = true;
+            let bound = verdict.sched.period_lb * spec.steps;
+            if cycles < bound {
+                return Err(Divergence::new(
+                    "D5",
+                    format!(
+                        "measured {cycles} cycles beats the static bound {bound} \
+                         ({} per iteration)",
+                        verdict.sched.period_lb
+                    ),
+                ));
+            }
+        }
+    }
+
+    // D3: capacity minima, on apps the capacity model claims to cover.
+    if matches!(expect, Expect::Complete)
+        && !verdict.sched.structural
+        && matches!(observed, Observed::Completed { .. })
+    {
+        check_capacity_arms(spec, &verdict, &mut report)?;
+    }
+
+    // D6: the replay fixpoint, on every app.
+    report.replay_checked = true;
+    check_replay_fixpoint(spec)?;
+
+    Ok(report)
+}

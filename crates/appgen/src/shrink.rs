@@ -1,0 +1,186 @@
+//! Greedy deterministic shrinking of a divergent app.
+//!
+//! The vendored proptest shim has no shrink support, so the farm carries
+//! its own: a fixed-order pass list (drop filters, drop links, drop ops,
+//! decrement counts/capacities/steps) applied greedily — a candidate is
+//! kept iff [`check_spec`] still reports a divergence with the *same
+//! oracle id*. The order is deterministic, so the same divergent spec
+//! always shrinks to the same minimal spec (pinned by a test).
+
+use std::collections::BTreeSet;
+
+use crate::oracle::{check_spec, Divergence};
+use crate::spec::{AppSpec, KernelOp, ModuleSpec};
+
+/// Remove a set of links: strip every op that references one, remap the
+/// link indices of the survivors.
+fn drop_links(spec: &AppSpec, dead: &BTreeSet<usize>) -> AppSpec {
+    let mut remap = vec![None; spec.links.len()];
+    let mut next = 0usize;
+    for (l, slot) in remap.iter_mut().enumerate() {
+        if !dead.contains(&l) {
+            *slot = Some(next);
+            next += 1;
+        }
+    }
+    let map_op = |op: &KernelOp| -> Option<KernelOp> {
+        let with = |l: usize, f: &dyn Fn(usize) -> KernelOp| remap[l].map(f);
+        match *op {
+            KernelOp::Pop { link, count } => with(link, &|l| KernelOp::Pop { link: l, count }),
+            KernelOp::Push { link, count } => with(link, &|l| KernelOp::Push { link: l, count }),
+            KernelOp::PushLoop { link, count } => {
+                with(link, &|l| KernelOp::PushLoop { link: l, count })
+            }
+            KernelOp::CondPush { link } => with(link, &|l| KernelOp::CondPush { link: l }),
+            KernelOp::DrainAvail { link } => with(link, &|l| KernelOp::DrainAvail { link: l }),
+            other => Some(other),
+        }
+    };
+    let mut out = spec.clone();
+    out.links = spec
+        .links
+        .iter()
+        .enumerate()
+        .filter(|(l, _)| !dead.contains(l))
+        .map(|(_, link)| *link)
+        .collect();
+    for module in &mut out.modules {
+        for f in &mut module.filters {
+            f.ops = f.ops.iter().filter_map(&map_op).collect();
+        }
+    }
+    out
+}
+
+/// Remove one filter (plus its links), dropping any module left empty and
+/// remapping module indices.
+fn drop_filter(spec: &AppSpec, fm: usize, fi: usize) -> Option<AppSpec> {
+    if spec.n_filters() <= 1 {
+        return None;
+    }
+    let dead: BTreeSet<usize> = spec
+        .links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.from == (fm, fi) || l.to == (fm, fi))
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = drop_links(spec, &dead);
+    out.modules[fm].filters.remove(fi);
+    // Shift filter indices within the module.
+    for link in &mut out.links {
+        for end in [&mut link.from, &mut link.to] {
+            if end.0 == fm && end.1 > fi {
+                end.1 -= 1;
+            }
+        }
+    }
+    // Drop empty modules and remap module indices.
+    let kept: Vec<usize> = (0..out.modules.len())
+        .filter(|&m| !out.modules[m].filters.is_empty())
+        .collect();
+    if kept.len() != out.modules.len() {
+        let mut remap = vec![None; out.modules.len()];
+        for (new, &old) in kept.iter().enumerate() {
+            remap[old] = Some(new);
+        }
+        out.modules = kept
+            .iter()
+            .map(|&m| std::mem::take(&mut out.modules[m]))
+            .collect::<Vec<ModuleSpec>>();
+        for link in &mut out.links {
+            for end in [&mut link.from, &mut link.to] {
+                end.0 = remap[end.0]?;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// All single-step shrink candidates, in deterministic order, smallest
+/// structural change last (filters first — they shrink hardest).
+fn candidates(spec: &AppSpec) -> Vec<AppSpec> {
+    let mut out = Vec::new();
+    for m in 0..spec.modules.len() {
+        for i in 0..spec.modules[m].filters.len() {
+            if let Some(c) = drop_filter(spec, m, i) {
+                out.push(c);
+            }
+        }
+    }
+    for l in 0..spec.links.len() {
+        out.push(drop_links(spec, &BTreeSet::from([l])));
+    }
+    for m in 0..spec.modules.len() {
+        for i in 0..spec.modules[m].filters.len() {
+            for k in 0..spec.modules[m].filters[i].ops.len() {
+                let mut c = spec.clone();
+                c.modules[m].filters[i].ops.remove(k);
+                out.push(c);
+            }
+        }
+    }
+    for m in 0..spec.modules.len() {
+        for i in 0..spec.modules[m].filters.len() {
+            for k in 0..spec.modules[m].filters[i].ops.len() {
+                let mut c = spec.clone();
+                let op = &mut c.modules[m].filters[i].ops[k];
+                let changed = match op {
+                    KernelOp::Pop { count, .. }
+                    | KernelOp::Push { count, .. }
+                    | KernelOp::PushLoop { count, .. }
+                        if *count > 1 =>
+                    {
+                        *count -= 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if changed {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    for l in 0..spec.links.len() {
+        if spec.links[l].cap > 1 {
+            let mut c = spec.clone();
+            c.links[l].cap -= 1;
+            out.push(c);
+        }
+    }
+    if spec.steps > 1 {
+        let mut c = spec.clone();
+        c.steps /= 2;
+        out.push(c);
+        let mut c = spec.clone();
+        c.steps -= 1;
+        out.push(c);
+    }
+    out
+}
+
+/// Shrink `spec` while preserving a divergence with the same oracle id as
+/// `div`. Deterministic; bounded by the monotonically shrinking spec.
+pub fn shrink(spec: &AppSpec, div: &Divergence) -> AppSpec {
+    let keeps = |c: &AppSpec| -> bool {
+        if c.validate().is_err() {
+            return false;
+        }
+        matches!(check_spec(c), Err(d) if d.oracle == div.oracle)
+    };
+    let mut cur = spec.clone();
+    loop {
+        let mut improved = false;
+        for c in candidates(&cur) {
+            if keeps(&c) {
+                cur = c;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}

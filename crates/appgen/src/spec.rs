@@ -1,0 +1,533 @@
+//! The generated-application model and its three renderings: MIND ADL
+//! text, kernelc sources, and the versioned corpus text format.
+//!
+//! An [`AppSpec`] is a complete dataflow application held in a form small
+//! enough to mutate, shrink and serialize: modules of filters, links
+//! between filters, and per-filter kernel bodies as a list of [`KernelOp`]s
+//! rendered into kernelc. Rendering is deterministic — the same spec
+//! always produces byte-identical ADL and source text, which is what makes
+//! same-seed fuzz runs reproducible down to the `analyze --json` bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mind::SourceRegistry;
+
+/// One kernel statement in a generated filter body. `link` indexes
+/// [`AppSpec::links`]; ops on a link render against the filter-local port
+/// names `i{link}` / `o{link}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelOp {
+    /// Pop `count` tokens: `acc = acc + pedf.io.i{l}[j];` for `j < count`.
+    Pop { link: usize, count: u32 },
+    /// Push `count` tokens: `pedf.io.o{l}[j] = acc + j;` for `j < count`.
+    Push { link: usize, count: u32 },
+    /// Push `count` tokens from a bounded counted loop (exercises the
+    /// analyzers' loop unrolling instead of straight-line stores).
+    PushLoop { link: usize, count: u32 },
+    /// Data-dependent extra token: after an unconditional `Push{l,1}`,
+    /// `if ((acc & 1) == 1) { pedf.io.o{l}[1] = acc; }` — rate [1,2].
+    CondPush { link: usize },
+    /// Non-blocking data-dependent consumer:
+    /// `n = pedf.available(i{l}); for (k < n) acc += pedf.io.i{l}[k];`.
+    DrainAvail { link: usize },
+    /// Raw store through the memory map: `pedf.mem[addr] = acc;`.
+    MemWrite { addr: u32 },
+    /// Raw load through the memory map: `acc = acc + pedf.mem[addr];`.
+    MemRead { addr: u32 },
+}
+
+/// One filter: just its kernel body. Ports are derived from the links
+/// that reference it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterSpec {
+    pub ops: Vec<KernelOp>,
+}
+
+/// One module: a controller (synthesized) plus its filters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModuleSpec {
+    pub filters: Vec<FilterSpec>,
+}
+
+/// A FIFO link between two filters, addressed as (module, filter) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    pub from: (usize, usize),
+    pub to: (usize, usize),
+    pub cap: u32,
+}
+
+/// A complete generated application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Generator seed this spec came from (provenance only; rendering
+    /// does not depend on it).
+    pub seed: u64,
+    /// Module step bound (`set_max_steps`) — iterations of every
+    /// controller loop.
+    pub steps: u64,
+    /// Shape tag the generator picked (`chain`, `cycle-pop-first`, ...).
+    pub shape: String,
+    pub modules: Vec<ModuleSpec>,
+    pub links: Vec<LinkSpec>,
+}
+
+impl AppSpec {
+    /// Filter instance name, globally unique (`f{module}_{index}`).
+    pub fn filter_name(m: usize, i: usize) -> String {
+        format!("f{m}_{i}")
+    }
+
+    /// Filter type name (`F{module}_{index}`).
+    pub fn filter_type(m: usize, i: usize) -> String {
+        format!("F{m}_{i}")
+    }
+
+    /// The `actor::conn` label of a link's producer endpoint — the key
+    /// space of `mind::build_with_caps` overrides and of
+    /// `sched::Report::min_caps_by_label`.
+    pub fn link_label(&self, l: usize) -> String {
+        let (m, i) = self.links[l].from;
+        format!("{}::o{}", Self::filter_name(m, i), l)
+    }
+
+    /// Total number of filters (the "actors" of the shrink target).
+    pub fn n_filters(&self) -> usize {
+        self.modules.iter().map(|m| m.filters.len()).sum()
+    }
+
+    /// True when every io op moves exactly one token per firing and no
+    /// op is data-dependent — the precondition for the throughput oracle
+    /// (module steps == graph iterations == repetition-vector firings).
+    pub fn all_unit_rates(&self) -> bool {
+        self.modules.iter().all(|m| {
+            m.filters.iter().all(|f| {
+                f.ops.iter().all(|op| match *op {
+                    KernelOp::Pop { count, .. } | KernelOp::Push { count, .. } => count == 1,
+                    KernelOp::PushLoop { .. } | KernelOp::CondPush { .. } => false,
+                    KernelOp::DrainAvail { .. } => false,
+                    KernelOp::MemWrite { .. } | KernelOp::MemRead { .. } => true,
+                })
+            })
+        })
+    }
+
+    /// Links whose producer or consumer fell off the spec (after a shrink
+    /// pass) are a bug in the caller; validate early with a clear message.
+    pub fn validate(&self) -> Result<(), String> {
+        for (l, link) in self.links.iter().enumerate() {
+            for (tag, (m, i)) in [("from", link.from), ("to", link.to)] {
+                if m >= self.modules.len() || i >= self.modules[m].filters.len() {
+                    return Err(format!("link {l} {tag} endpoint ({m},{i}) out of range"));
+                }
+            }
+            if link.cap == 0 {
+                return Err(format!("link {l} has zero capacity"));
+            }
+            if link.from == link.to {
+                return Err(format!("link {l} is a self-loop"));
+            }
+        }
+        for (m, module) in self.modules.iter().enumerate() {
+            if module.filters.is_empty() {
+                return Err(format!("module {m} has no filters"));
+            }
+            for (i, f) in module.filters.iter().enumerate() {
+                for op in &f.ops {
+                    let (l, endpoint) = match *op {
+                        KernelOp::Pop { link, .. } | KernelOp::DrainAvail { link } => (link, "to"),
+                        KernelOp::Push { link, .. }
+                        | KernelOp::PushLoop { link, .. }
+                        | KernelOp::CondPush { link } => (link, "from"),
+                        _ => continue,
+                    };
+                    let Some(spec) = self.links.get(l) else {
+                        return Err(format!("filter ({m},{i}) references dead link {l}"));
+                    };
+                    let end = if endpoint == "to" { spec.to } else { spec.from };
+                    if end != (m, i) {
+                        return Err(format!(
+                            "filter ({m},{i}) uses link {l} whose {endpoint} is {end:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the MIND architecture description.
+    pub fn to_adl(&self) -> String {
+        let mut out = String::new();
+        // Per-filter port lists, derived from the links.
+        for (m, module) in self.modules.iter().enumerate() {
+            out.push_str("@Module\n");
+            let _ = writeln!(out, "composite M{m} {{");
+            let _ = writeln!(out, "  contains as controller {{");
+            let _ = writeln!(out, "    source m{m}_ctrl.c;");
+            out.push_str("  }\n");
+            // Boundary ports for cross-module links touching this module.
+            for (l, link) in self.links.iter().enumerate() {
+                if link.from.0 == link.to.0 {
+                    continue;
+                }
+                if link.from.0 == m {
+                    let _ = writeln!(out, "  output U32 as x{l};");
+                } else if link.to.0 == m {
+                    let _ = writeln!(out, "  input U32 as y{l};");
+                }
+            }
+            for i in 0..module.filters.len() {
+                let _ = writeln!(
+                    out,
+                    "  contains {} as {};",
+                    Self::filter_type(m, i),
+                    Self::filter_name(m, i)
+                );
+            }
+            for (l, link) in self.links.iter().enumerate() {
+                let same = link.from.0 == link.to.0;
+                if same && link.from.0 == m {
+                    let _ = writeln!(
+                        out,
+                        "  binds {}.o{l} to {}.i{l} cap {};",
+                        Self::filter_name(link.from.0, link.from.1),
+                        Self::filter_name(link.to.0, link.to.1),
+                        link.cap
+                    );
+                } else if !same && link.from.0 == m {
+                    let _ = writeln!(
+                        out,
+                        "  binds {}.o{l} to this.x{l};",
+                        Self::filter_name(link.from.0, link.from.1)
+                    );
+                } else if !same && link.to.0 == m {
+                    let _ = writeln!(
+                        out,
+                        "  binds this.y{l} to {}.i{l};",
+                        Self::filter_name(link.to.0, link.to.1)
+                    );
+                }
+            }
+            out.push_str("}\n\n");
+        }
+        // Filter declarations.
+        for (m, module) in self.modules.iter().enumerate() {
+            for (i, _f) in module.filters.iter().enumerate() {
+                out.push_str("@Filter\n");
+                let _ = writeln!(out, "primitive {} {{", Self::filter_type(m, i));
+                out.push_str("  data stddefs.h:U32 st;\n");
+                let _ = writeln!(out, "  source {}.c;", Self::filter_name(m, i));
+                for (l, link) in self.links.iter().enumerate() {
+                    if link.to == (m, i) {
+                        let _ = writeln!(out, "  input stddefs.h:U32 as i{l};");
+                    }
+                    if link.from == (m, i) {
+                        let _ = writeln!(out, "  output stddefs.h:U32 as o{l};");
+                    }
+                }
+                out.push_str("}\n\n");
+            }
+        }
+        // Root assembly containing every module, carrying cross-module caps.
+        out.push_str("@Module\ncomposite App {\n");
+        for m in 0..self.modules.len() {
+            let _ = writeln!(out, "  contains M{m} as m{m};");
+        }
+        for (l, link) in self.links.iter().enumerate() {
+            if link.from.0 != link.to.0 {
+                let _ = writeln!(
+                    out,
+                    "  binds m{}.x{l} to m{}.y{l} cap {};",
+                    link.from.0, link.to.0, link.cap
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render every kernel source into a fresh registry.
+    pub fn to_sources(&self) -> SourceRegistry {
+        let mut reg = SourceRegistry::new();
+        for (m, module) in self.modules.iter().enumerate() {
+            let mut ctrl = String::from("void work() {\n    while (pedf.run()) {\n");
+            ctrl.push_str("        pedf.step_begin();\n");
+            for i in 0..module.filters.len() {
+                let _ = writeln!(ctrl, "        pedf.fire({});", Self::filter_name(m, i));
+            }
+            ctrl.push_str("        pedf.wait_init();\n");
+            ctrl.push_str("        pedf.wait_sync();\n");
+            ctrl.push_str("        pedf.step_end();\n    }\n}\n");
+            reg.add(&format!("m{m}_ctrl.c"), &ctrl);
+            for (i, f) in module.filters.iter().enumerate() {
+                reg.add(&format!("{}.c", Self::filter_name(m, i)), &render_kernel(f));
+            }
+        }
+        reg
+    }
+
+    /// Serialize to the versioned corpus text format; [`AppSpec::from_text`]
+    /// round-trips it exactly.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "spec v1");
+        let _ = writeln!(out, "seed {:#x}", self.seed);
+        let _ = writeln!(out, "steps {}", self.steps);
+        let _ = writeln!(out, "shape {}", self.shape);
+        for (m, module) in self.modules.iter().enumerate() {
+            for (i, f) in module.filters.iter().enumerate() {
+                let ops: Vec<String> = f.ops.iter().map(op_to_text).collect();
+                let _ = writeln!(out, "filter {m}.{i} {}", ops.join(" "));
+            }
+        }
+        for link in &self.links {
+            let _ = writeln!(
+                out,
+                "link {}.{} -> {}.{} cap {}",
+                link.from.0, link.from.1, link.to.0, link.to.1, link.cap
+            );
+        }
+        out
+    }
+
+    /// Parse the corpus text format.
+    pub fn from_text(text: &str) -> Result<AppSpec, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("spec v1") {
+            return Err("missing `spec v1` header".into());
+        }
+        let mut spec = AppSpec {
+            seed: 0,
+            steps: 0,
+            shape: String::new(),
+            modules: Vec::new(),
+            links: Vec::new(),
+        };
+        for line in lines {
+            let (kw, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad line: {line}"))?;
+            match kw {
+                "seed" => {
+                    let hex = rest.strip_prefix("0x").ok_or("seed must be hex")?;
+                    spec.seed = u64::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                }
+                "steps" => {
+                    spec.steps = rest
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?
+                }
+                "shape" => spec.shape = rest.to_string(),
+                "filter" => {
+                    let (addr, ops_text) = match rest.split_once(' ') {
+                        Some((a, o)) => (a, o),
+                        None => (rest, ""),
+                    };
+                    let (m, i) = parse_pair(addr)?;
+                    while spec.modules.len() <= m {
+                        spec.modules.push(ModuleSpec::default());
+                    }
+                    while spec.modules[m].filters.len() <= i {
+                        spec.modules[m].filters.push(FilterSpec::default());
+                    }
+                    let mut ops = Vec::new();
+                    for tok in ops_text.split(';') {
+                        let tok = tok.trim();
+                        if !tok.is_empty() {
+                            ops.push(op_from_text(tok)?);
+                        }
+                    }
+                    spec.modules[m].filters[i].ops = ops;
+                }
+                "link" => {
+                    let parts: Vec<&str> = rest.split_whitespace().collect();
+                    if parts.len() != 5 || parts[1] != "->" || parts[3] != "cap" {
+                        return Err(format!("bad link line: {line}"));
+                    }
+                    spec.links.push(LinkSpec {
+                        from: parse_pair(parts[0])?,
+                        to: parse_pair(parts[2])?,
+                        cap: parts[4]
+                            .parse()
+                            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                    });
+                }
+                other => return Err(format!("unknown keyword `{other}`")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Capacity overrides that pin every link to the given per-label map,
+    /// in `build_with_caps` key space.
+    pub fn caps_map(&self, per_link: &BTreeMap<usize, u32>) -> BTreeMap<String, u32> {
+        per_link
+            .iter()
+            .map(|(&l, &c)| (self.link_label(l), c))
+            .collect()
+    }
+}
+
+fn parse_pair(s: &str) -> Result<(usize, usize), String> {
+    let (a, b) = s.split_once('.').ok_or_else(|| format!("bad pair: {s}"))?;
+    Ok((
+        a.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+        b.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+    ))
+}
+
+fn op_to_text(op: &KernelOp) -> String {
+    match *op {
+        KernelOp::Pop { link, count } => format!("pop({link},{count});"),
+        KernelOp::Push { link, count } => format!("push({link},{count});"),
+        KernelOp::PushLoop { link, count } => format!("pushloop({link},{count});"),
+        KernelOp::CondPush { link } => format!("condpush({link});"),
+        KernelOp::DrainAvail { link } => format!("drain({link});"),
+        KernelOp::MemWrite { addr } => format!("memw({addr:#x});"),
+        KernelOp::MemRead { addr } => format!("memr({addr:#x});"),
+    }
+}
+
+fn op_from_text(tok: &str) -> Result<KernelOp, String> {
+    let (name, rest) = tok
+        .split_once('(')
+        .ok_or_else(|| format!("bad op: {tok}"))?;
+    let args = rest.trim_end_matches(';').trim_end_matches(')');
+    let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+    let num = |s: &str| -> Result<u64, String> {
+        if let Some(h) = s.strip_prefix("0x") {
+            u64::from_str_radix(h, 16).map_err(|e| e.to_string())
+        } else {
+            s.parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())
+        }
+    };
+    let op = match (name, parts.len()) {
+        ("pop", 2) => KernelOp::Pop {
+            link: num(parts[0])? as usize,
+            count: num(parts[1])? as u32,
+        },
+        ("push", 2) => KernelOp::Push {
+            link: num(parts[0])? as usize,
+            count: num(parts[1])? as u32,
+        },
+        ("pushloop", 2) => KernelOp::PushLoop {
+            link: num(parts[0])? as usize,
+            count: num(parts[1])? as u32,
+        },
+        ("condpush", 1) => KernelOp::CondPush {
+            link: num(parts[0])? as usize,
+        },
+        ("drain", 1) => KernelOp::DrainAvail {
+            link: num(parts[0])? as usize,
+        },
+        ("memw", 1) => KernelOp::MemWrite {
+            addr: num(parts[0])? as u32,
+        },
+        ("memr", 1) => KernelOp::MemRead {
+            addr: num(parts[0])? as u32,
+        },
+        _ => return Err(format!("unknown op: {tok}")),
+    };
+    Ok(op)
+}
+
+fn render_kernel(f: &FilterSpec) -> String {
+    let mut s = String::from("void work() {\n    U32 acc = pedf.data.st;\n");
+    for op in &f.ops {
+        match *op {
+            KernelOp::Pop { link, count } => {
+                for j in 0..count {
+                    let _ = writeln!(s, "    acc = acc + pedf.io.i{link}[{j}];");
+                }
+            }
+            KernelOp::Push { link, count } => {
+                for j in 0..count {
+                    let _ = writeln!(s, "    pedf.io.o{link}[{j}] = acc + {j};");
+                }
+            }
+            KernelOp::PushLoop { link, count } => {
+                let _ = writeln!(s, "    U32 k{link};");
+                let _ = writeln!(
+                    s,
+                    "    for (k{link} = 0; k{link} < {count}; k{link} = k{link} + 1) {{"
+                );
+                let _ = writeln!(s, "        pedf.io.o{link}[k{link}] = acc + k{link};");
+                s.push_str("    }\n");
+            }
+            KernelOp::CondPush { link } => {
+                s.push_str("    if ((acc & 1) == 1) {\n");
+                let _ = writeln!(s, "        pedf.io.o{link}[1] = acc;");
+                s.push_str("    }\n");
+            }
+            KernelOp::DrainAvail { link } => {
+                let _ = writeln!(s, "    U32 n{link} = pedf.available(i{link});");
+                let _ = writeln!(s, "    U32 k{link};");
+                let _ = writeln!(
+                    s,
+                    "    for (k{link} = 0; k{link} < n{link}; k{link} = k{link} + 1) {{"
+                );
+                let _ = writeln!(s, "        acc = acc + pedf.io.i{link}[k{link}];");
+                s.push_str("    }\n");
+            }
+            KernelOp::MemWrite { addr } => {
+                let _ = writeln!(s, "    pedf.mem[{addr:#x}] = acc;");
+            }
+            KernelOp::MemRead { addr } => {
+                let _ = writeln!(s, "    acc = acc + pedf.mem[{addr:#x}];");
+            }
+        }
+    }
+    s.push_str("    pedf.data.st = acc * 5 + 1;\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AppSpec {
+        AppSpec {
+            seed: 0xabc,
+            steps: 4,
+            shape: "chain".into(),
+            modules: vec![ModuleSpec {
+                filters: vec![
+                    FilterSpec {
+                        ops: vec![KernelOp::Push { link: 0, count: 1 }],
+                    },
+                    FilterSpec {
+                        ops: vec![KernelOp::Pop { link: 0, count: 1 }],
+                    },
+                ],
+            }],
+            links: vec![LinkSpec {
+                from: (0, 0),
+                to: (0, 1),
+                cap: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let spec = tiny();
+        let text = spec.to_text();
+        let back = AppSpec::from_text(&text).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let spec = tiny();
+        assert_eq!(spec.to_adl(), spec.to_adl());
+        assert!(spec.to_adl().contains("binds f0_0.o0 to f0_1.i0 cap 2;"));
+        assert!(spec.validate().is_ok());
+    }
+}

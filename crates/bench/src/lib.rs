@@ -27,7 +27,12 @@
 //!   compile-once cache on and off (E8) — throughput, latency quantiles
 //!   and transcript-isolation checks.
 
+//! * [`fuzz_farm`] — experiment E10: differential-fuzzing divergence
+//!   rates (static verdicts vs. simulated ground truth over generated
+//!   apps) and the DFA004 mutation self-check.
+
 pub mod analysis;
+pub mod fuzz_farm;
 pub mod localization;
 pub mod overhead;
 pub mod replay;
@@ -36,6 +41,7 @@ pub mod sched_bound;
 pub mod server;
 
 pub use analysis::{analyze_decoder, verify_decoder, AnalysisResult, VerifyResult};
+pub use fuzz_farm::{fuzz_study, mutation_study, FarmSummary, MutationOutcome};
 pub use localization::{localize, LocalizationResult, Strategy};
 pub use overhead::{run_overhead, DebugConfig, OverheadResult};
 pub use replay::{checkpoint_overhead, reverse_continue_latency, ReplayPoint, ReverseLatency};

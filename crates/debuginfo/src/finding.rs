@@ -102,6 +102,15 @@ impl Finding {
         subject: impl Into<String>,
         message: impl Into<String>,
     ) -> Self {
+        // Every rule id must be registered: the registry drives `analyze
+        // rules`, the README tables and the fuzz farm's oracle mapping,
+        // so an unregistered id is a bug in whichever analyzer minted it.
+        // Checked at construction (debug builds) so no grep-based audit
+        // is needed to keep the registry exhaustive.
+        debug_assert!(
+            crate::registry::find(rule).is_some(),
+            "finding uses unregistered rule id {rule:?} — add it to debuginfo::registry"
+        );
         Finding {
             rule,
             severity,
@@ -187,9 +196,16 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Version of the JSON report layout produced by [`render_findings_json`].
+/// Bump it whenever a field is added, removed, renamed, or re-ordered so
+/// downstream consumers can gate on the shape they were written against.
+pub const FINDINGS_SCHEMA_VERSION: u32 = 1;
+
 /// Render findings as machine-readable JSON with stable field names,
 /// sorted by rule id then resolved code address (then the remaining span
-/// coordinates), so CI runs diff byte-for-byte.
+/// coordinates), so CI runs diff byte-for-byte. The top-level
+/// `schema_version` field ([`FINDINGS_SCHEMA_VERSION`]) identifies the
+/// layout.
 pub fn render_findings_json(findings: &[Finding]) -> String {
     use std::fmt::Write as _;
     let mut fs: Vec<&Finding> = findings.iter().collect();
@@ -205,7 +221,8 @@ pub fn render_findings_json(findings: &[Finding]) -> String {
         };
         (f.rule, addr, file, line, col, f.subject.clone())
     });
-    let mut out = String::from("{\n  \"findings\": [");
+    let mut out =
+        format!("{{\n  \"schema_version\": {FINDINGS_SCHEMA_VERSION},\n  \"findings\": [");
     for (i, f) in fs.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -31,6 +31,7 @@ pub mod value;
 
 pub use finding::{
     render_findings, render_findings_json, sort_and_dedup_findings, Finding, Severity, Span,
+    FINDINGS_SCHEMA_VERSION,
 };
 pub use lines::{FileId, LineEntry, LineTable, SourceFile};
 pub use symbols::{ParamInfo, Symbol, SymbolId, SymbolKind, SymbolTable};

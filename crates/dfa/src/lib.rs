@@ -25,6 +25,27 @@ pub mod graph;
 pub mod interval;
 pub mod kernel;
 
+/// Test-only mutation hooks for the differential fuzz farm's self-check
+/// (`dfdbg-fuzz --mutate dfa004`): deliberately weakening a rule must
+/// make the farm report a divergence, proving the oracles have teeth.
+/// Never set outside tests/fuzz drivers.
+#[doc(hidden)]
+pub mod testhook {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static WEAKEN_DFA004: AtomicBool = AtomicBool::new(false);
+
+    /// Suppress every DFA004 structural-deadlock finding while `on`.
+    pub fn weaken_dfa004(on: bool) {
+        WEAKEN_DFA004.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether DFA004 is currently weakened.
+    pub fn dfa004_weakened() -> bool {
+        WEAKEN_DFA004.load(Ordering::SeqCst)
+    }
+}
+
 pub use debuginfo::{render_findings, Finding, Severity, Span};
 pub use graph::{analyze_graph, GraphAnalysis};
 pub use kernel::{analyze_kernel, KernelReport, PortUse, Rate};

@@ -10,9 +10,20 @@ use crate::ast::*;
 use crate::lexer::{lex, Spanned, Tok};
 use crate::CompileError;
 
+/// Hard ceiling on statement/expression nesting. Recursive descent means
+/// parser recursion tracks source nesting; without a ceiling a generated
+/// kernel like `((((…))))` or a thousand-deep `else if` chain overflows
+/// the stack — a crash, where a fuzzer-facing front end must return a
+/// `CompileError` (surfaced as a KC001 finding) instead. Each level costs
+/// the whole precedence chain (~10 frames), so the ceiling must stay well
+/// under what a 2 MiB debug-build thread stack can absorb; real kernels
+/// nest single digits deep.
+const MAX_NEST_DEPTH: u32 = 64;
+
 pub struct Parser<'a> {
     toks: Vec<Spanned>,
     pos: usize,
+    depth: u32,
     is_type: &'a dyn Fn(&str) -> bool,
 }
 
@@ -26,8 +37,18 @@ impl<'a> Parser<'a> {
         Ok(Parser {
             toks,
             pos: 0,
+            depth: 0,
             is_type,
         })
+    }
+
+    fn enter_nested(&mut self) -> Result<(), CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            self.err(format!("nesting deeper than {MAX_NEST_DEPTH} levels"))
+        } else {
+            Ok(())
+        }
     }
 
     fn peek(&self) -> &Tok {
@@ -166,6 +187,13 @@ impl<'a> Parser<'a> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.enter_nested()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, CompileError> {
         let line = self.line();
         match self.peek().clone() {
             Tok::LBrace => Ok(Stmt::Nested(self.block()?)),
@@ -318,7 +346,10 @@ impl<'a> Parser<'a> {
     // ---- expression precedence climbing --------------------------------
 
     pub fn expr(&mut self) -> Result<Expr, CompileError> {
-        self.logical_or()
+        self.enter_nested()?;
+        let r = self.logical_or();
+        self.depth -= 1;
+        r
     }
 
     fn logical_or(&mut self) -> Result<Expr, CompileError> {
@@ -458,8 +489,10 @@ impl<'a> Parser<'a> {
         };
         if let Some(op) = op {
             self.bump();
-            let inner = self.unary()?;
-            return Ok(Expr::Unary(op, Box::new(inner)));
+            self.enter_nested()?;
+            let inner = self.unary();
+            self.depth -= 1;
+            return Ok(Expr::Unary(op, Box::new(inner?)));
         }
         self.primary()
     }

@@ -1,0 +1,190 @@
+//! Front-end hardening: the kernel compiler is the first thing the fuzz
+//! farm's generated (and shrunk, i.e. increasingly mangled) sources hit,
+//! so it must never panic or blow the stack on bad input — every failure
+//! has to come back as a `CompileError` that renders as a KC001 finding.
+
+use kernelc::parser;
+use kernelc::{compile_kernel, CompileEnv, KernelOwner};
+
+use debuginfo::{DebugInfoBuilder, Severity, TypeTable};
+use p2012::ProgramBuilder;
+use proptest::prelude::*;
+
+/// Run the full front end (lex + parse + codegen) on `src` the way
+/// `mind` does for a filter kernel, returning the error if any. The
+/// value of this helper is what it *doesn't* do: unwrap.
+fn try_compile(src: &str) -> Result<(), kernelc::CompileError> {
+    let mut b = ProgramBuilder::new();
+    let mut di = DebugInfoBuilder::new();
+    let stubs = pedf::api::emit_stubs(&mut b, &mut di);
+    let types = TypeTable::new();
+    let env = CompileEnv::bare(stubs, &types, "fuzz.c", KernelOwner::Filter("fuzz".into()));
+    compile_kernel(src, &env, &mut b, &mut di).map(|_| ())
+}
+
+fn try_parse(src: &str) -> Result<(), kernelc::CompileError> {
+    parser::parse(src, &|s| s == "Macroblock").map(|_| ())
+}
+
+/// Every compile error must render as a well-formed KC001 finding —
+/// that is the contract the fuzz farm's BUILD oracle relies on.
+fn assert_kc001(e: &kernelc::CompileError) {
+    let f = e.finding("fuzz.c");
+    assert_eq!(f.rule, "KC001");
+    assert_eq!(f.severity, Severity::Error);
+    assert!(!f.message.is_empty(), "empty diagnostic for {e:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw character soup drawn from the language's own alphabet (the
+    /// nastiest inputs: they lex fine and die in the parser in arbitrary
+    /// states) never panics the front end.
+    #[test]
+    fn token_soup_never_panics(
+        src in "([a-z A-Z0-9_(){};,=+*/<>!&|\\[\\]-]|pedf\\.|io\\.|U32 |if|else|for|while|return|void ){0,120}",
+    ) {
+        if let Err(e) = try_parse(&src) {
+            assert_kc001(&e);
+        }
+    }
+
+    /// Statement-shaped fragments spliced into a `work` body: valid
+    /// prefix, arbitrary garbage at a random seam.
+    #[test]
+    fn mangled_work_bodies_never_panic(
+        stmts in prop::collection::vec(
+            "(U32 [a-c];|[a-c] = [a-c] [+*-] [0-9];|if \\([a-c] < [0-9]\\) \\{ [a-c] = 0; \\}|return;|\\{|\\}|;;|= =|\\+\\+|pedf\\.io\\.|for \\(|while|else \\{ \\})",
+            0..12,
+        ),
+    ) {
+        let src = format!("void work() {{ {} }}", stmts.join(" "));
+        if let Err(e) = try_parse(&src) {
+            assert_kc001(&e);
+        }
+    }
+
+    /// The full pipeline — through codegen, where undeclared names and
+    /// unknown `pedf.*` accesses surface — returns Err, never panics.
+    #[test]
+    fn full_compile_never_panics(
+        body in "(acc = [a-z]{1,4};|pedf\\.(io\\.[a-z]{1,3}\\[[0-9]\\]|data\\.[a-z]{1,3}|mem\\[[0-9]{1,6}\\]|fire\\([a-z]{1,3}\\)|available\\([a-z]{1,3}\\)) = [0-9];|U32 acc;){0,6}",
+    ) {
+        if let Err(e) = try_compile(&format!("void work() {{ {body} }}")) {
+            assert_kc001(&e);
+        }
+    }
+}
+
+/// Unbalanced parens deeper than the recursive-descent parser's stack can
+/// take must come back as a diagnostic, not a stack overflow.
+#[test]
+fn deep_parens_error_instead_of_overflowing() {
+    let src = format!(
+        "void work() {{ U32 x; x = {}1{}; }}",
+        "(".repeat(20_000),
+        ")".repeat(20_000)
+    );
+    let e = try_parse(&src).expect_err("20k nested parens must be rejected");
+    assert!(
+        e.msg.contains("nesting"),
+        "unexpected diagnostic: {}",
+        e.msg
+    );
+    assert_kc001(&e);
+}
+
+#[test]
+fn deep_unary_chain_errors() {
+    let src = format!("void work() {{ U32 x; x = {}1; }}", "-".repeat(20_000));
+    let e = try_parse(&src).expect_err("20k unary minus must be rejected");
+    assert!(
+        e.msg.contains("nesting"),
+        "unexpected diagnostic: {}",
+        e.msg
+    );
+    assert_kc001(&e);
+}
+
+#[test]
+fn deep_block_nesting_errors() {
+    let src = format!(
+        "void work() {{ {}{} }}",
+        "{".repeat(20_000),
+        "}".repeat(20_000)
+    );
+    let e = try_parse(&src).expect_err("20k nested blocks must be rejected");
+    assert!(
+        e.msg.contains("nesting"),
+        "unexpected diagnostic: {}",
+        e.msg
+    );
+    assert_kc001(&e);
+}
+
+#[test]
+fn deep_else_if_chain_errors() {
+    let mut src = String::from("void work() { U32 x; x = 0; ");
+    for _ in 0..20_000 {
+        src.push_str("if (x) { } else ");
+    }
+    src.push_str("{ } }");
+    let e = try_parse(&src).expect_err("20k else-if chain must be rejected");
+    assert!(
+        e.msg.contains("nesting"),
+        "unexpected diagnostic: {}",
+        e.msg
+    );
+    assert_kc001(&e);
+}
+
+/// Reasonable nesting (well under the limit) still parses: the guard
+/// must not reject real kernels.
+#[test]
+fn moderate_nesting_still_parses() {
+    let src = format!(
+        "void work() {{ U32 x; x = {}1{}; }}",
+        "(".repeat(32),
+        ")".repeat(32)
+    );
+    try_parse(&src).expect("32 nested parens are a legal expression");
+}
+
+/// A grab-bag of historically panic-prone shapes: truncation at every
+/// boundary of a realistic kernel.
+#[test]
+fn every_truncation_point_is_handled() {
+    let full = "U32 helper(U32 a) { return a * 2; } \
+                void work() { U32 acc; acc = helper(3); \
+                for (acc = 0; acc < 4; acc = acc + 1) { acc = acc + 1; } \
+                if (acc == 8) { acc = 0; } else { acc = 1; } }";
+    for cut in 0..full.len() {
+        if !full.is_char_boundary(cut) {
+            continue;
+        }
+        if let Err(e) = try_parse(&full[..cut]) {
+            assert_kc001(&e);
+        }
+    }
+}
+
+/// Non-ASCII and control bytes in the stream are diagnosed, not crashed on.
+#[test]
+fn weird_bytes_are_diagnosed() {
+    for src in [
+        "void work() { \u{0} }",
+        "void work() { \u{7f}\u{1b}[2J }",
+        "vöid wörk() { }",
+        "void work() { U32 \u{3b1}; }",
+        "\"unterminated",
+        "/* unterminated comment",
+        "void work() { x = 1e; }",
+        "void work() { x = 0x; }",
+        "void work() { x = 99999999999999999999999; }",
+    ] {
+        if let Err(e) = try_parse(src) {
+            assert_kc001(&e);
+        }
+    }
+}

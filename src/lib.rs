@@ -21,6 +21,7 @@
 //!   delimited JSON wire protocol, metrics and event log) and its client;
 //! * [`h264`] — the H.264-style case-study application (§VI).
 
+pub use appgen;
 pub use bcv;
 pub use debuginfo;
 pub use dfa;

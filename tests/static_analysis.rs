@@ -267,3 +267,48 @@ fn readme_rule_tables_match_the_registry() {
         );
     }
 }
+
+/// The registry is exhaustive in both directions, with no grep involved:
+/// the union of every analyzer crate's own rule table is exactly the
+/// registry — no analyzer emits an unregistered id (also enforced at
+/// `Finding::new` in debug builds), and the registry carries no dead rows
+/// for rules nothing can emit.
+#[test]
+fn registry_matches_the_union_of_all_analyzer_rule_tables() {
+    use std::collections::BTreeSet;
+    let mut emitted: BTreeSet<&str> = BTreeSet::new();
+    for (id, _) in rules::ALL {
+        assert!(emitted.insert(id), "rule {id} declared twice");
+    }
+    for (id, _) in bcv::rules::ALL {
+        assert!(emitted.insert(id), "rule {id} declared twice");
+    }
+    for (id, _) in sched::rules::ALL {
+        assert!(emitted.insert(id), "rule {id} declared twice");
+    }
+    assert!(
+        emitted.insert(replay::RULE_DIVERGENCE),
+        "replay's rule id collides with an analyzer table"
+    );
+
+    let registered: BTreeSet<&str> = debuginfo::registry::REGISTRY.iter().map(|r| r.id).collect();
+    let unregistered: Vec<_> = emitted.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "analyzer rules missing from debuginfo::registry: {unregistered:?}"
+    );
+    let dead: Vec<_> = registered.difference(&emitted).collect();
+    assert!(
+        dead.is_empty(),
+        "dead registry rows no analyzer declares: {dead:?}"
+    );
+
+    // And every declared id resolves through the lookup the CLI and the
+    // fuzz farm use.
+    for id in &emitted {
+        assert!(
+            debuginfo::registry::find(id).is_some(),
+            "registry::find cannot resolve {id}"
+        );
+    }
+}
