@@ -18,6 +18,9 @@ use crate::spec::{AppSpec, FilterSpec, KernelOp, LinkSpec, ModuleSpec};
 /// Clean per-actor L2 scratch words: one unique word per global filter
 /// index, far from the h264 scratch and the FIFO heap.
 const L2_SCRATCH: u32 = 0x2000_E000;
+/// The deliberately shared L2 word of the `mem-shared` shape, above every
+/// per-actor scratch word (RACE401 + D8 explore-agreement territory).
+const L2_SHARED: u32 = 0x2000_E080;
 /// The unbacked hole just past a cluster's L1 bank (MEM302 + runtime trap).
 const L1_HOLE: u32 = 0x1000_4000;
 /// An address no region of the platform maps (MEM301 + runtime trap).
@@ -39,6 +42,7 @@ const SHAPES: &[&str] = &[
     "mem-clean",
     "mem-hole",
     "mem-unmapped",
+    "mem-shared",
 ];
 
 /// Generate the app for `seed`. Deterministic: same seed, same spec.
@@ -59,6 +63,7 @@ pub fn generate(seed: u64) -> AppSpec {
         "mem-clean" => with_mem(chain(&mut rng, false), &mut rng, MemKind::Clean),
         "mem-hole" => with_mem(chain(&mut rng, false), &mut rng, MemKind::Hole),
         "mem-unmapped" => with_mem(chain(&mut rng, false), &mut rng, MemKind::Unmapped),
+        "mem-shared" => mem_shared(&mut rng),
         _ => unreachable!(),
     };
     spec.seed = seed;
@@ -302,6 +307,40 @@ fn data_dep(rng: &mut TestRng) -> AppSpec {
         KernelOp::CondPush { link: 0 },
     ];
     spec.modules[0].filters[1].ops = vec![KernelOp::DrainAvail { link: 0 }];
+    spec
+}
+
+/// The RACE401 shape: a producer fans out to two consumers with no token
+/// path (and no shared PE) ordering them, and the pair shares one raw L2
+/// word — the writer stores its accumulator, the reader loads it and
+/// prints. The app always completes, but the printed value depends on
+/// which firing touched the word first, so the race is dynamically
+/// observable: exactly what the D8 explore-agreement oracle needs.
+fn mem_shared(rng: &mut TestRng) -> AppSpec {
+    let mut spec = empty();
+    for _ in 0..3 {
+        spec.modules[0].filters.push(FilterSpec::default());
+    }
+    for l in 0..2 {
+        spec.links.push(LinkSpec {
+            from: (0, 0),
+            to: (0, l + 1),
+            cap: cap(rng),
+        });
+        spec.modules[0].filters[0]
+            .ops
+            .push(KernelOp::Push { link: l, count: 1 });
+        spec.modules[0].filters[l + 1]
+            .ops
+            .push(KernelOp::Pop { link: l, count: 1 });
+    }
+    spec.modules[0].filters[1]
+        .ops
+        .push(KernelOp::MemWrite { addr: L2_SHARED });
+    spec.modules[0].filters[2]
+        .ops
+        .push(KernelOp::MemRead { addr: L2_SHARED });
+    spec.modules[0].filters[2].ops.push(KernelOp::Print);
     spec
 }
 

@@ -20,11 +20,19 @@
 //!   `period_lb × steps` (the static throughput bound is a true bound).
 //! * **D6** — record → reverse-continue → replay is a fixpoint: the
 //!   state hash round-trips and no `REPLAY501` finding appears.
+//! * **D8** — on maybe-race (`RACE401`) and maybe-deadlock
+//!   (`DFA003`/`DFA004`) apps, the optimized multiverse search (sleep
+//!   sets + equivalence pruning) must reach the same witness-existence
+//!   verdict as the brute-force enumeration of the identical bounded
+//!   override space — the pruning may only skip *redundant* universes,
+//!   never load-bearing ones.
 //!
 //! `DFA003` (rate inconsistency) deliberately gets only a weak oracle —
 //! the backlog direction of a mismatch still completes while the
 //! starvation direction wedges, so the only sound expectation is "no
-//! fault, no timeout".
+//! fault, no timeout". `RACE401` likewise predicts nothing about the
+//! terminal outcome (the generated racy apps complete either way); its
+//! teeth are the D8 agreement check.
 
 use std::collections::BTreeMap;
 
@@ -46,7 +54,7 @@ const TT_INTERVAL: u64 = 500;
 /// `BUILD`), carrying the oracle id that shrinking must preserve.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
-    /// Which direction fired: `D1`..`D6`, or `BUILD`.
+    /// Which direction fired: `D1`..`D6`, `D8`, or `BUILD`.
     pub oracle: String,
     pub detail: String,
 }
@@ -96,6 +104,7 @@ pub struct StaticVerdict {
     pub findings: Vec<Finding>,
     pub sched: sched::Report,
     pub dfa: dfa::Report,
+    pub bcv: bcv::Report,
 }
 
 impl StaticVerdict {
@@ -119,6 +128,9 @@ pub struct CheckReport {
     pub throughput_checked: bool,
     /// Whether the D6 replay fixpoint ran.
     pub replay_checked: bool,
+    /// Whether the D8 explore-agreement check ran (maybe-race or
+    /// maybe-deadlock apps only).
+    pub explore_checked: bool,
 }
 
 fn build(
@@ -157,6 +169,7 @@ pub fn static_pass(spec: &AppSpec) -> Result<StaticVerdict, String> {
         findings,
         sched: sched_rep,
         dfa: dfa_rep,
+        bcv: bcv_rep,
     })
 }
 
@@ -222,7 +235,15 @@ fn expected_outcome(v: &StaticVerdict) -> Result<Expect, Divergence> {
     if v.has(dfa::rules::RATE_INCONSISTENT) {
         return Ok(Expect::NoFaultOnly);
     }
-    if let Some(f) = v.findings.iter().find(|f| f.severity == Severity::Error) {
+    // RACE401 (the mem-shared shape) predicts a schedule-dependent
+    // *output*, not a failed run: the app completes under every schedule,
+    // so it falls through to `Complete` here and gets its real oracle in
+    // the D8 explore-agreement check.
+    if let Some(f) = v
+        .findings
+        .iter()
+        .find(|f| f.severity == Severity::Error && f.rule != bcv::rules::UNORDERED_SHARED_ACCESS)
+    {
         // A generated app should never trip any other error rule — that
         // is a generator (or analyzer) bug worth shrinking and keeping.
         return Err(Divergence::new(
@@ -381,6 +402,122 @@ fn check_replay_fixpoint(spec: &AppSpec) -> Result<(), Divergence> {
     Ok(())
 }
 
+/// D8: one bounded multiverse search over the spec's interleavings.
+/// `optimized` toggles the two pruning mechanisms together; everything
+/// else (depth, points, codes, budget) is identical, so the two runs
+/// enumerate the same override space.
+fn explore_once(
+    spec: &AppSpec,
+    verdict: &StaticVerdict,
+    until: multiverse::Until,
+    optimized: bool,
+) -> Result<multiverse::ExploreReport, Divergence> {
+    let (mut sys, app) = build(spec, &BTreeMap::new()).map_err(|e| Divergence::new("BUILD", e))?;
+    sys.boot(app.boot_entry)
+        .map_err(|e| Divergence::new("BUILD", format!("boot: {e}")))?;
+    let race_sites = verdict
+        .bcv
+        .race_sites
+        .iter()
+        .map(|s| multiverse::RaceSite {
+            lo: s.lo,
+            hi: s.hi,
+            actors: (s.a.0, s.b.0),
+            label: format!(
+                "{} <-> {}",
+                app.graph.qualified_name(s.a),
+                app.graph.qualified_name(s.b)
+            ),
+        })
+        .collect();
+    let cfg = multiverse::ExploreConfig {
+        budget: 256,
+        horizon: 50_000,
+        until,
+        max_points: 8,
+        max_dma_points: 2,
+        max_depth: 1,
+        sleep_sets: optimized,
+        prune_equivalent: optimized,
+        pool_max: 4,
+        actor_codes: vec![1, 3, 5],
+        dma_codes: vec![1],
+        race_sites,
+        anchor: 0,
+    };
+    Ok(multiverse::explore(sys, &cfg))
+}
+
+/// One D8 arm over a spec, for tests and probes: runs the static pass,
+/// then one bounded explore in the requested mode (race hunt when the
+/// verdict carries RACE401, deadlock hunt otherwise).
+pub fn explore_probe(
+    spec: &AppSpec,
+    optimized: bool,
+) -> Result<multiverse::ExploreReport, Divergence> {
+    let verdict = static_pass(spec).map_err(|e| Divergence::new("BUILD", e))?;
+    let until = if verdict.has(bcv::rules::UNORDERED_SHARED_ACCESS) {
+        multiverse::Until::Race
+    } else {
+        multiverse::Until::Deadlock
+    };
+    explore_once(spec, &verdict, until, optimized)
+}
+
+/// D8: the optimized search must agree with brute force on whether the
+/// bounded space holds a witness — and on which rule it witnesses.
+fn check_explore_agreement(
+    spec: &AppSpec,
+    verdict: &StaticVerdict,
+    report: &mut CheckReport,
+) -> Result<(), Divergence> {
+    let maybe_race = verdict.has(bcv::rules::UNORDERED_SHARED_ACCESS);
+    let maybe_deadlock =
+        verdict.has(dfa::rules::STRUCTURAL_DEADLOCK) || verdict.has(dfa::rules::RATE_INCONSISTENT);
+    if !maybe_race && !maybe_deadlock {
+        return Ok(());
+    }
+    report.explore_checked = true;
+    let until = if maybe_race {
+        multiverse::Until::Race
+    } else {
+        multiverse::Until::Deadlock
+    };
+    let fast = explore_once(spec, verdict, until, true)?;
+    let brute = explore_once(spec, verdict, until, false)?;
+    if brute.witness.is_none() && !brute.space_covered {
+        // The ground truth did not finish enumerating (budget artifact);
+        // "no witness" proves nothing, so there is nothing to compare.
+        return Ok(());
+    }
+    match (&fast.witness, &brute.witness) {
+        (Some(a), Some(b)) if a.rule != b.rule => Err(Divergence::new(
+            "D8",
+            format!(
+                "optimized explore witnessed {} where brute force witnessed {}",
+                a.rule, b.rule
+            ),
+        )),
+        (Some(_), Some(_)) | (None, None) => Ok(()),
+        (Some(w), None) => Err(Divergence::new(
+            "D8",
+            format!(
+                "optimized explore found witness {w} but brute force covered the same \
+                 space ({} universes) without one",
+                brute.stats.universes_explored
+            ),
+        )),
+        (None, Some(w)) => Err(Divergence::new(
+            "D8",
+            format!(
+                "brute force found witness {w} but the optimized search missed it \
+                 (pruned {}, sleep-set hits {})",
+                fast.stats.universes_pruned, fast.stats.sleep_set_hits
+            ),
+        )),
+    }
+}
+
 /// Run every oracle direction over one spec.
 pub fn check_spec(spec: &AppSpec) -> Result<CheckReport, Divergence> {
     spec.validate().map_err(|e| Divergence::new("BUILD", e))?;
@@ -486,6 +623,10 @@ pub fn check_spec(spec: &AppSpec) -> Result<CheckReport, Divergence> {
     // D6: the replay fixpoint, on every app.
     report.replay_checked = true;
     check_replay_fixpoint(spec)?;
+
+    // D8: bounded explore vs. brute-force ground truth, on apps whose
+    // static verdict says an interleaving search has something to find.
+    check_explore_agreement(spec, &verdict, &mut report)?;
 
     Ok(report)
 }

@@ -35,6 +35,11 @@ pub enum KernelOp {
     MemWrite { addr: u32 },
     /// Raw load through the memory map: `acc = acc + pedf.mem[addr];`.
     MemRead { addr: u32 },
+    /// Observable output: `pedf.print(acc);` — lands on the runtime
+    /// console, which the multiverse explorer treats as part of a
+    /// universe's signature (so schedule-dependent values become
+    /// witnessable divergences).
+    Print,
 }
 
 /// One filter: just its kernel body. Ports are derived from the links
@@ -108,6 +113,7 @@ impl AppSpec {
                     KernelOp::PushLoop { .. } | KernelOp::CondPush { .. } => false,
                     KernelOp::DrainAvail { .. } => false,
                     KernelOp::MemWrite { .. } | KernelOp::MemRead { .. } => true,
+                    KernelOp::Print => true,
                 })
             })
         })
@@ -390,6 +396,7 @@ fn op_to_text(op: &KernelOp) -> String {
         KernelOp::DrainAvail { link } => format!("drain({link});"),
         KernelOp::MemWrite { addr } => format!("memw({addr:#x});"),
         KernelOp::MemRead { addr } => format!("memr({addr:#x});"),
+        KernelOp::Print => "print();".to_string(),
     }
 }
 
@@ -432,6 +439,7 @@ fn op_from_text(tok: &str) -> Result<KernelOp, String> {
         ("memr", 1) => KernelOp::MemRead {
             addr: num(parts[0])? as u32,
         },
+        ("print", _) => KernelOp::Print,
         _ => return Err(format!("unknown op: {tok}")),
     };
     Ok(op)
@@ -480,6 +488,9 @@ fn render_kernel(f: &FilterSpec) -> String {
             }
             KernelOp::MemRead { addr } => {
                 let _ = writeln!(s, "    acc = acc + pedf.mem[{addr:#x}];");
+            }
+            KernelOp::Print => {
+                s.push_str("    pedf.print(acc);\n");
             }
         }
     }

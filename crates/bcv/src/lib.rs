@@ -125,6 +125,10 @@ pub struct Report {
     /// Unordered actor-id pairs with a confirmed race, `(lo, hi)` sorted —
     /// the graphviz renderer draws these as dashed red edges.
     pub race_pairs: Vec<(u32, u32)>,
+    /// The concrete overlapping address ranges behind `race_pairs`
+    /// (RACE401 only) — the multiverse explorer watches these words to
+    /// witness an access-order flip dynamically.
+    pub race_sites: Vec<race::RaceSite>,
 }
 
 impl Report {
@@ -247,7 +251,7 @@ pub fn verify(input: &AnalysisInput) -> Report {
                 .collect(),
         })
         .collect();
-    let (race_findings, race_pairs) =
+    let (race_findings, race_pairs, race_sites) =
         race::find_races(&input.graph, &input.types, &actor_accesses, lines);
     findings.extend(race_findings);
 
@@ -255,6 +259,7 @@ pub fn verify(input: &AnalysisInput) -> Report {
     Report {
         findings,
         race_pairs,
+        race_sites,
     }
 }
 

@@ -28,6 +28,18 @@ pub struct ActorAccesses {
     pub accesses: Vec<Access>,
 }
 
+/// One statically detected RACE401 site: the unordered actor pair and the
+/// overlapping word range their raw accesses share. The dynamic witness
+/// machinery watches `[lo, hi]` to observe the access order actually
+/// taken by a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceSite {
+    pub a: ActorId,
+    pub b: ActorId,
+    pub lo: u32,
+    pub hi: u32,
+}
+
 /// Transitive reachability over data links, treating module actors as
 /// opaque (a module's boundary conns are aliases resolved by the
 /// elaborator; routing *through* a module node would invent false
@@ -66,9 +78,10 @@ pub fn find_races(
     types: &TypeTable,
     actors: &[ActorAccesses],
     lines: &LineTable,
-) -> (Vec<Finding>, Vec<(u32, u32)>) {
+) -> (Vec<Finding>, Vec<(u32, u32)>, Vec<RaceSite>) {
     let mut findings = Vec::new();
     let mut pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut sites: Vec<RaceSite> = Vec::new();
     let reach = reach_map(graph);
     let same_pe = |a: ActorId, b: ActorId| {
         let (pa, pb) = (graph.actor(a).pe, graph.actor(b).pe);
@@ -119,6 +132,12 @@ pub fn find_races(
                 (b.id.0, a.id.0)
             };
             pairs.insert((lo, hi));
+            sites.push(RaceSite {
+                a: ActorId(lo),
+                b: ActorId(hi),
+                lo: x.lo.max(y.lo),
+                hi: x.hi.min(y.hi),
+            });
         }
     }
 
@@ -170,5 +189,7 @@ pub fn find_races(
             }
         }
     }
-    (findings, pairs.into_iter().collect())
+    sites.sort_by_key(|s| (s.a.0, s.b.0, s.lo, s.hi));
+    sites.dedup();
+    (findings, pairs.into_iter().collect(), sites)
 }

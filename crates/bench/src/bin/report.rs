@@ -1,4 +1,4 @@
-//! Regenerates the paper's evaluation as text tables (experiments E1–E10
+//! Regenerates the paper's evaluation as text tables (experiments E1–E11
 //! of DESIGN.md / EXPERIMENTS.md).
 //!
 //! ```text
@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin report -- --e8-smoke
 //! cargo run --release -p bench --bin report -- --e9-smoke
 //! cargo run --release -p bench --bin report -- --e10-smoke
+//! cargo run --release -p bench --bin report -- --e11-smoke
 //! ```
 //!
 //! With `--json`, each experiment additionally writes a machine-readable
@@ -27,6 +28,12 @@
 //! apps through every oracle (zero divergences required) plus the DFA004
 //! mutation self-check (must be caught and shrunk), and `BENCH_E10.json`
 //! is (re)written — byte-stable for the same reason.
+//!
+//! `--e11-smoke` runs only the E11 multiverse-exploration gate: the
+//! seeded deadlock and race variants must yield their MV701/MV702
+//! witnesses and the pruned search must not explore more universes than
+//! brute force; `BENCH_E11.json` is (re)written — wall-clock figures are
+//! printed but never serialized, so the artifact stays byte-stable.
 
 use std::fmt::Write as _;
 
@@ -218,8 +225,9 @@ fn e10_tables() -> (FarmSummary, MutationOutcome) {
         println!("{:<10} {:>6}   {right}", oracle, s.divergences[*oracle]);
     }
     println!(
-        "squeeze arms {} links, throughput bounds {}, replay fixpoints {}",
-        s.squeezed_links, s.throughput_checks, s.replay_checks
+        "squeeze arms {} links, throughput bounds {}, replay fixpoints {}, \
+         explore agreements {}",
+        s.squeezed_links, s.throughput_checks, s.replay_checks, s.explore_checks
     );
     let m = mutation_study(E10_MUTATE_ITERS, fuzz_farm::seed_of(E10_MUTATE_SEED));
     if m.caught {
@@ -249,7 +257,8 @@ fn write_e10_json(s: &FarmSummary, m: &MutationOutcome) {
             "{{\"experiment\": \"E10\", \"iters\": {}, \"seed\": {}, \
              \"divergences\": {{{}}}, \"outcomes\": {{{}}}, \"shapes\": {{{}}}, \
              \"squeezed_links\": {}, \"throughput_checks\": {}, \
-             \"replay_checks\": {}, \"mutation\": {{\"rule\": \"DFA004\", \
+             \"replay_checks\": {}, \"explore_checks\": {}, \
+             \"mutation\": {{\"rule\": \"DFA004\", \
              \"seed\": {}, \"caught\": {}, \"caught_at\": {}, \"oracle\": {}, \
              \"witness_filters\": {}}}}}\n",
             s.iters,
@@ -260,6 +269,7 @@ fn write_e10_json(s: &FarmSummary, m: &MutationOutcome) {
             s.squeezed_links,
             s.throughput_checks,
             s.replay_checks,
+            s.explore_checks,
             jstr(E10_MUTATE_SEED),
             m.caught,
             m.caught_at,
@@ -304,6 +314,132 @@ fn run_e10_smoke() -> i32 {
     }
 }
 
+/// Render the E11 table (wall-clock figures printed only) and the
+/// machine-readable rows (deterministic fields only).
+fn e11_tables() -> Vec<bench::ExploreRow> {
+    let rows = bench::explore_study().unwrap_or_else(|e| panic!("E11 exploration failed: {e}"));
+    println!(
+        "{:<14} {:<9} {:>6} {:>9} {:>8} {:>7} {:>12} {:>12}  witness",
+        "row", "until", "univ", "pruned", "sleep", "points", "univ/sec", "to-witness"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<9} {:>6} {:>9} {:>8} {:>7} {:>12.1} {:>10.2}ms  {}",
+            r.label,
+            r.until,
+            r.stats.universes_explored,
+            r.stats.universes_pruned,
+            r.stats.sleep_set_hits,
+            r.stats.actor_points + r.stats.dma_points,
+            r.universes_per_sec(),
+            r.wall.as_secs_f64() * 1e3,
+            r.witness.as_deref().unwrap_or("-"),
+        );
+    }
+    println!(
+        "pruning ratio (race brute-force / optimized universes): {:.2}x",
+        bench::pruning_ratio(&rows)
+    );
+    rows
+}
+
+fn write_e11_json(rows: &[bench::ExploreRow]) {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\": {}, \"until\": {}, \"optimized\": {}, \
+                 \"witness\": {}, \"witness_overrides\": {}, \
+                 \"universes_forked\": {}, \"universes_explored\": {}, \
+                 \"universes_pruned\": {}, \"sleep_set_hits\": {}, \
+                 \"actor_points\": {}, \"dma_points\": {}, \
+                 \"space_covered\": {}}}",
+                jstr(&r.label),
+                jstr(&r.until),
+                r.optimized,
+                r.witness.as_deref().map_or("null".to_string(), jstr),
+                r.witness_overrides,
+                r.stats.universes_forked,
+                r.stats.universes_explored,
+                r.stats.universes_pruned,
+                r.stats.sleep_set_hits,
+                r.stats.actor_points,
+                r.stats.dma_points,
+                r.space_covered,
+            )
+        })
+        .collect();
+    write_json(
+        "BENCH_E11.json",
+        &format!(
+            "{{\"experiment\": \"E11\", \"n_mbs\": {}, \"rows\": [{}], \
+             \"pruning_ratio\": {:.2}}}\n",
+            bench::E11_N_MBS,
+            body.join(", "),
+            bench::pruning_ratio(rows),
+        ),
+    );
+}
+
+/// The CI gate behind `--e11-smoke`: the seeded deadlock must yield the
+/// trivial MV701 witness, both race hunts must find an MV702 witness, and
+/// the optimized search must never run more universes than brute force.
+/// Always rewrites `BENCH_E11.json` (deterministic fields only) so CI can
+/// diff it against the checked-in artifact.
+fn run_e11_smoke() -> i32 {
+    println!(
+        "e11-smoke: multiverse exploration, {} macroblocks",
+        bench::E11_N_MBS
+    );
+    let rows = e11_tables();
+    write_e11_json(&rows);
+    let mut failures = 0;
+    let witness_of = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .and_then(|r| r.witness.clone())
+            .unwrap_or_default()
+    };
+    if !witness_of("deadlock").contains("MV701") {
+        failures += 1;
+        eprintln!("e11-smoke: FAIL: deadlock row found no MV701 witness");
+    }
+    if rows
+        .iter()
+        .find(|r| r.label == "deadlock")
+        .is_some_and(|r| r.witness_overrides != 0)
+    {
+        failures += 1;
+        eprintln!("e11-smoke: FAIL: the reference deadlock needed schedule overrides");
+    }
+    for label in ["race", "race-noprune"] {
+        if !witness_of(label).contains("MV702") {
+            failures += 1;
+            eprintln!("e11-smoke: FAIL: {label} row found no MV702 witness");
+        }
+    }
+    let explored = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map_or(0, |r| r.stats.universes_explored)
+    };
+    if explored("race") > explored("race-noprune") {
+        failures += 1;
+        eprintln!(
+            "e11-smoke: FAIL: optimized search ran more universes ({}) than brute force ({})",
+            explored("race"),
+            explored("race-noprune")
+        );
+    }
+    if failures == 0 {
+        println!("e11-smoke: OK");
+        0
+    } else {
+        eprintln!("e11-smoke: {failures} failure(s)");
+        1
+    }
+}
+
 fn main() {
     let mut n_mbs: u64 = 64;
     let mut json = false;
@@ -316,12 +452,14 @@ fn main() {
             std::process::exit(run_e9_smoke());
         } else if a == "--e10-smoke" {
             std::process::exit(run_e10_smoke());
+        } else if a == "--e11-smoke" {
+            std::process::exit(run_e11_smoke());
         } else if let Ok(n) = a.parse() {
             n_mbs = n;
         } else {
             eprintln!(
                 "usage: report [n_mbs] [--json] [--e8-smoke] [--e9-smoke] [--e10-smoke] \
-                 (got `{a}`)"
+                 [--e11-smoke] (got `{a}`)"
             );
             std::process::exit(1);
         }
@@ -880,5 +1018,21 @@ fn main() {
          oracle\ndirection counts zero divergences over the generated apps; \
          deliberately\nweakening DFA004 is caught within the iteration budget \
          and the find\nshrinks to a witness small enough to read."
+    );
+
+    println!();
+    println!("=====================================================================");
+    println!("E11 Multiverse exploration: time-to-witness and pruning ratio");
+    println!("=====================================================================");
+    let e11_rows = e11_tables();
+    if json {
+        write_e11_json(&e11_rows);
+    }
+    println!(
+        "\nShape check (EXPERIMENTS.md E11): the seeded deadlock is its own \
+         witness\n(the default schedule wedges, no overrides needed); the \
+         seeded race needs\nthe search to find an access-order flip with \
+         divergent output, and the\nsleep-set/equivalence pruning reaches the \
+         same witness while running a\nfraction of the brute-force universes."
     );
 }

@@ -17,7 +17,7 @@ use appgen::{check_spec, generate, shrink};
 /// Oracle directions the farm cross-checks (`appgen::oracle`), plus the
 /// `BUILD` bucket for generated apps the toolchain itself rejects. Listed
 /// exhaustively so the JSON artifact always carries every key, zero or not.
-pub const ORACLES: &[&str] = &["BUILD", "D1", "D2", "D3", "D4", "D5", "D6"];
+pub const ORACLES: &[&str] = &["BUILD", "D1", "D2", "D3", "D4", "D5", "D6", "D8"];
 
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -56,6 +56,9 @@ pub struct FarmSummary {
     pub throughput_checks: u64,
     /// Apps that ran the D6 record→reverse→replay fixpoint.
     pub replay_checks: u64,
+    /// Apps that ran the D8 explore-agreement check (maybe-race or
+    /// maybe-deadlock verdicts).
+    pub explore_checks: u64,
 }
 
 impl FarmSummary {
@@ -78,6 +81,7 @@ pub fn fuzz_study(iters: u64, base_seed: u64) -> FarmSummary {
         squeezed_links: 0,
         throughput_checks: 0,
         replay_checks: 0,
+        explore_checks: 0,
     };
     for iter in 0..iters {
         let spec = generate(iter_seed(base_seed, iter));
@@ -88,6 +92,7 @@ pub fn fuzz_study(iters: u64, base_seed: u64) -> FarmSummary {
                 s.squeezed_links += rep.squeezed_links as u64;
                 s.throughput_checks += rep.throughput_checked as u64;
                 s.replay_checks += rep.replay_checked as u64;
+                s.explore_checks += rep.explore_checked as u64;
             }
             Err(div) => {
                 *s.divergences.entry(div.oracle.clone()).or_default() += 1;

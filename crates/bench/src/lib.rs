@@ -31,15 +31,21 @@
 //!   rates (static verdicts vs. simulated ground truth over generated
 //!   apps) and the DFA004 mutation self-check.
 
+//! * [`multiverse`] — experiment E11: the exploration engine's search
+//!   throughput (universes/sec), time-to-witness for the seeded deadlock
+//!   and race, and the pruning ratio with sleep sets on vs. off.
+
 pub mod analysis;
 pub mod fuzz_farm;
 pub mod localization;
+pub mod multiverse;
 pub mod overhead;
 pub mod replay;
 pub mod scaling;
 pub mod sched_bound;
 pub mod server;
 
+pub use self::multiverse::{explore_study, pruning_ratio, ExploreRow, E11_N_MBS};
 pub use analysis::{analyze_decoder, verify_decoder, AnalysisResult, VerifyResult};
 pub use fuzz_farm::{fuzz_study, mutation_study, FarmSummary, MutationOutcome};
 pub use localization::{localize, LocalizationResult, Strategy};

@@ -200,9 +200,12 @@ fn dataflow_aware(bug: Bug) -> (u32, String, bool) {
         }
         // The memory/race bugs are static-analysis targets (see `bcv`), not
         // interactive-localization subjects.
-        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap | Bug::TightFifo => {
-            (0, "nothing to find".into(), false)
-        }
+        Bug::None
+        | Bug::OobStore
+        | Bug::SharedScratch
+        | Bug::BenignScratch
+        | Bug::DmaOverlap
+        | Bug::TightFifo => (0, "nothing to find".into(), false),
     }
 }
 
@@ -345,9 +348,12 @@ fn source_level(bug: Bug) -> (u32, String, bool) {
                 None => (n, "no blocked thread found".into(), false),
             }
         }
-        Bug::None | Bug::OobStore | Bug::SharedScratch | Bug::DmaOverlap | Bug::TightFifo => {
-            (0, "nothing to find".into(), false)
-        }
+        Bug::None
+        | Bug::OobStore
+        | Bug::SharedScratch
+        | Bug::BenignScratch
+        | Bug::DmaOverlap
+        | Bug::TightFifo => (0, "nothing to find".into(), false),
     }
 }
 

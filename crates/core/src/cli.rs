@@ -62,6 +62,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "reverse-next", aliases: &["rn"], usage: "reverse-next", help: "like reverse-step, staying in the frame", group: TT },
     CommandSpec { name: "reverse-stepi", aliases: &["rsi"], usage: "reverse-stepi", help: "undo one machine instruction", group: TT },
     CommandSpec { name: "replay", aliases: &[], usage: "replay findings", help: "REPLAY501 divergence findings from replays", group: TT },
+    CommandSpec { name: "explore", aliases: &["mv"], usage: "explore [--budget N] [--horizon N] [--until deadlock|race|finding <RULE>] | explore replay <witness>", help: "search scheduler interleavings for a witness / replay one", group: TT },
     CommandSpec { name: "break", aliases: &["b"], usage: "break <symbol|file:line>", help: "set a code breakpoint", group: BP },
     CommandSpec { name: "watch", aliases: &[], usage: "watch <object>", help: "stop when a data object is written", group: BP },
     CommandSpec { name: "delete", aliases: &[], usage: "delete <id>", help: "remove a break/catch/watchpoint", group: BP },
@@ -347,12 +348,69 @@ impl Cli {
                     "info what? (filters/links/platform/breakpoints/checkpoints), got {other:?}"
                 )),
             },
+            "explore" | "mv" => self.explore_cmd(rest),
             "filter" => self.filter_cmd(rest),
             "iface" => self.iface_cmd(rest),
             "catch" => self.catch_cmd(rest),
             "token" => self.token_cmd(rest),
             other => Err(format!("unknown command `{other}`")),
         }
+    }
+
+    /// `explore [--budget N] [--horizon N] [--until ...]` and
+    /// `explore replay <witness>`.
+    fn explore_cmd(&mut self, rest: &[&str]) -> Result<String, String> {
+        if rest.first() == Some(&"replay") {
+            let w = rest.get(1).ok_or("usage: explore replay <witness>")?;
+            return self.session.explore_replay(w);
+        }
+        let mut budget = None;
+        let mut horizon = None;
+        let mut until = multiverse::Until::Any;
+        let mut it = rest.iter();
+        while let Some(&w) = it.next() {
+            match w {
+                "--budget" => {
+                    budget = Some(
+                        it.next()
+                            .ok_or("--budget needs a universe count")?
+                            .parse::<usize>()
+                            .map_err(|_| "bad budget")?,
+                    )
+                }
+                "--horizon" => {
+                    horizon = Some(
+                        it.next()
+                            .ok_or("--horizon needs a cycle count")?
+                            .parse::<u64>()
+                            .map_err(|_| "bad horizon")?,
+                    )
+                }
+                "--until" => {
+                    until = match *it.next().ok_or("--until deadlock|race|finding <RULE>")? {
+                        "deadlock" => multiverse::Until::Deadlock,
+                        "race" => multiverse::Until::Race,
+                        "any" => multiverse::Until::Any,
+                        // A rule id maps onto the failure class it describes.
+                        "finding" => {
+                            let rule = it.next().ok_or("--until finding <RULE>")?;
+                            if rule.to_ascii_uppercase().contains("RACE") {
+                                multiverse::Until::Race
+                            } else {
+                                multiverse::Until::Deadlock
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "--until deadlock|race|any|finding <RULE>, got `{other}`"
+                            ))
+                        }
+                    }
+                }
+                other => return Err(format!("unknown explore option `{other}`")),
+            }
+        }
+        self.session.explore(budget, horizon, until)
     }
 
     /// `filter <name> catch ... | configure ... | info last_token` and

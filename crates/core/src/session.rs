@@ -172,6 +172,9 @@ pub struct Session {
     /// present once `enable_time_travel` ran. Taken out of the session
     /// while the run-loop hook uses it (it needs `&mut self` alongside).
     tt: Option<CheckpointManager<SessionSnap>>,
+    /// Result of the most recent `explore`, kept for the server's
+    /// per-session multiverse counters and for witness reuse.
+    pub last_explore: Option<multiverse::ExploreReport>,
 }
 
 impl Session {
@@ -213,6 +216,7 @@ impl Session {
             sched_input: None,
             last_sched: None,
             tt: None,
+            last_explore: None,
         }
     }
 
@@ -251,6 +255,7 @@ impl Session {
             sched_input: self.sched_input.clone(),
             last_sched: self.last_sched.clone(),
             tt: self.tt.clone(),
+            last_explore: self.last_explore.clone(),
         }
     }
 
@@ -457,12 +462,15 @@ impl Session {
                 return s;
             }
 
-            // Progress checks only when nothing executed.
+            // Progress checks only when nothing executed. A policy-deferred
+            // WORK start (witness replay) still counts as progress pending.
             if report.executed == 0 && report.completions == 0 {
                 if self.sys.platform.is_quiescent() {
                     return Stop::Quiescent;
                 }
-                if self.sys.platform.is_deadlocked() {
+                if self.sys.platform.is_deadlocked()
+                    && !self.sys.runtime.pending_deferred(self.sys.clock())
+                {
                     return Stop::Deadlock;
                 }
             }
@@ -1781,6 +1789,130 @@ impl Session {
 
     pub fn replay_findings(&self) -> &[debuginfo::Finding] {
         self.tt.as_ref().map_or(&[], |m| m.findings())
+    }
+
+    // ---- multiverse exploration -------------------------------------------
+
+    /// The statically racy shared ranges (bcv RACE401 sites) as dynamic
+    /// watch targets for the explorer, with actor names resolved. Runs the
+    /// bytecode verifier on demand if `analyze` hasn't yet.
+    fn explore_race_sites(&mut self) -> Vec<multiverse::RaceSite> {
+        if self.last_bcv.is_none() {
+            if let Some(bi) = &self.bcv_input {
+                self.last_bcv = Some(bcv::verify(bi));
+            }
+        }
+        let graph = &self.sys.runtime.graph;
+        let name = |id: ActorId| {
+            if (id.0 as usize) < graph.actors.len() {
+                graph.qualified_name(id)
+            } else {
+                format!("actor#{}", id.0)
+            }
+        };
+        self.last_bcv
+            .as_ref()
+            .map(|r| {
+                r.race_sites
+                    .iter()
+                    .map(|s| multiverse::RaceSite {
+                        lo: s.lo,
+                        hi: s.hi,
+                        actors: (s.a.0, s.b.0),
+                        label: format!("{} <-> {}", name(s.a), name(s.b)),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// `explore [--budget N] [--horizon N] [--until ...]` — fork COW
+    /// universes from the current state and search scheduler
+    /// interleavings for a deadlock/wedge or an observable race. The
+    /// session itself does not advance; the result (witness or bounded
+    /// refutation) is kept in [`Session::last_explore`].
+    pub fn explore(
+        &mut self,
+        budget: Option<usize>,
+        horizon: Option<u64>,
+        until: multiverse::Until,
+    ) -> CmdResult<String> {
+        let mut cfg = multiverse::ExploreConfig {
+            until,
+            ..Default::default()
+        };
+        if let Some(b) = budget {
+            if b == 0 {
+                return Err("explore budget must be at least 1".into());
+            }
+            cfg.budget = b;
+        }
+        if let Some(h) = horizon {
+            cfg.horizon = h;
+        }
+        cfg.race_sites = self.explore_race_sites();
+        cfg.anchor = self.state_hash();
+        let root = self.sys.fork();
+        let report = multiverse::explore(root, &cfg);
+        let text = report.transcript.join("\n");
+        self.last_explore = Some(report);
+        Ok(text)
+    }
+
+    /// `explore replay <witness>` — re-run a witnessed universe in *this*
+    /// session: install its choice-trace overrides, enable time travel so
+    /// the failure neighbourhood is navigable, and run to the witness's
+    /// failure cycle.
+    pub fn explore_replay(&mut self, witness: &str) -> CmdResult<String> {
+        let w = multiverse::Witness::parse(witness)?;
+        let here = self.state_hash();
+        if w.anchor != 0 && w.anchor != here {
+            return Err(format!(
+                "witness anchor {:016x} does not match this session's state hash {here:016x}; \
+                 replay must start from the machine the witness was found on",
+                w.anchor
+            ));
+        }
+        if self.clock() >= w.failure_cycle && w.failure_cycle > 0 {
+            return Err(format!(
+                "session is already at cycle {} (witness fails at {}); restart first",
+                self.clock(),
+                w.failure_cycle
+            ));
+        }
+        self.sys.runtime.policy.set_overrides(&w.overrides);
+        if !self.time_travel_enabled() {
+            self.enable_time_travel(1_000);
+        }
+        let mut last = Stop::CycleLimit;
+        let mut stops = 0u32;
+        while self.clock() < w.failure_cycle {
+            let remaining = w.failure_cycle - self.clock();
+            last = self.run(remaining);
+            match last {
+                Stop::CycleLimit => continue,
+                Stop::Quiescent | Stop::Deadlock | Stop::Fault { .. } => break,
+                _ => {
+                    // Breakpoints etc.: keep driving towards the failure,
+                    // but never spin forever on a pathological stop storm.
+                    stops += 1;
+                    if stops > 100_000 {
+                        return Err("too many stops while replaying the witness".into());
+                    }
+                }
+            }
+        }
+        let mut out = format!(
+            "replayed witness ({} override{}) to cycle {}: {}",
+            w.overrides.len(),
+            if w.overrides.len() == 1 { "" } else { "s" },
+            self.clock(),
+            self.describe(&last).lines().next().unwrap_or("stopped"),
+        );
+        if !w.rule.is_empty() {
+            out.push_str(&format!("\nwitnessed rule: {}", w.rule));
+        }
+        Ok(out)
     }
 
     /// The execution-altering commands (§III: token inject/set/drop)

@@ -93,6 +93,11 @@ pub struct Finding {
     pub subject: String,
     pub message: String,
     pub span: Option<Span>,
+    /// Replayable dynamic witness (`mv1:...` choice-trace string) when a
+    /// multiverse exploration confirmed the finding with a concrete
+    /// interleaving. Static analyzers leave it `None`; the JSON renderer
+    /// omits the field entirely in that case.
+    pub witness: Option<String>,
 }
 
 impl Finding {
@@ -117,11 +122,17 @@ impl Finding {
             subject: subject.into(),
             message: message.into(),
             span: None,
+            witness: None,
         }
     }
 
     pub fn with_span(mut self, span: Span) -> Self {
         self.span = Some(span);
+        self
+    }
+
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Self {
+        self.witness = Some(witness.into());
         self
     }
 }
@@ -199,7 +210,9 @@ fn json_escape(s: &str) -> String {
 /// Version of the JSON report layout produced by [`render_findings_json`].
 /// Bump it whenever a field is added, removed, renamed, or re-ordered so
 /// downstream consumers can gate on the shape they were written against.
-pub const FINDINGS_SCHEMA_VERSION: u32 = 1;
+/// v2: optional `witness` field (replayable multiverse choice trace),
+/// present only on dynamically witnessed findings.
+pub const FINDINGS_SCHEMA_VERSION: u32 = 2;
 
 /// Render findings as machine-readable JSON with stable field names,
 /// sorted by rule id then resolved code address (then the remaining span
@@ -236,6 +249,9 @@ pub fn render_findings_json(findings: &[Finding]) -> String {
             json_escape(&f.subject),
             json_escape(&f.message),
         );
+        if let Some(w) = &f.witness {
+            let _ = write!(out, ", \"witness\": \"{}\"", json_escape(w));
+        }
         match &f.span {
             Some(s) => {
                 let _ = write!(

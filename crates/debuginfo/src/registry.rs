@@ -188,6 +188,25 @@ pub const REGISTRY: &[Rule] = &[
         "worst-case execution time unbounded (interval widened)",
         "warning",
     ),
+    // multiverse — dynamic interleaving witnesses.
+    rule(
+        "MV701",
+        "MV",
+        "witnessed schedule deadlocks or wedges the application",
+        "error",
+    ),
+    rule(
+        "MV702",
+        "MV",
+        "witnessed schedule flips a racy access order and diverges output",
+        "error",
+    ),
+    rule(
+        "MV703",
+        "MV",
+        "no divergence witnessed within the exploration budget",
+        "info",
+    ),
 ];
 
 /// Look up a rule by id.

@@ -41,6 +41,12 @@ pub enum Bug {
     /// Race bug: `hwcfg` writes a "scratch" L2 word that `bh` reads, with
     /// no token dependency ordering their firings (bcv: RACE401).
     SharedScratch,
+    /// Data-dependent RACE401 false positive: the same unordered
+    /// store/load pair on the L2 scratch word, but `bh` multiplies the
+    /// loaded value by zero — statically indistinguishable from
+    /// [`Bug::SharedScratch`], dynamically unobservable under *every*
+    /// schedule. The multiverse witness gate must refute it.
+    BenignScratch,
     /// DMA bug: `mc` pokes a word inside a host-boundary FIFO window that
     /// the DMA engine copies asynchronously (bcv: RACE402).
     DmaOverlap,
@@ -259,7 +265,7 @@ fn hwcfg_src(bug: Bug) -> String {
         Bug::OobStore => "\n    pedf.mem[0x10004000] = c;",
         // Race bug: publish the config word through a raw L2 scratch word
         // instead of a FIFO; nothing orders `bh` against this store.
-        Bug::SharedScratch => "\n    pedf.mem[0x2000F000] = c;",
+        Bug::SharedScratch | Bug::BenignScratch => "\n    pedf.mem[0x2000F000] = c;",
         _ => "",
     };
     format!(
@@ -277,11 +283,13 @@ void work() {{
 }
 
 fn bh_src(bug: Bug) -> String {
-    let mask = if bug == Bug::SharedScratch {
+    let mask = match bug {
         // Race bug (consumer side): read hwcfg's scratch word raw.
-        "pedf.mem[0x2000F000]"
-    } else {
-        "0x5A5A"
+        Bug::SharedScratch => "pedf.mem[0x2000F000]",
+        // Benign variant: same raw read, but its value is multiplied away
+        // — no schedule can make the race observable.
+        Bug::BenignScratch => "(pedf.mem[0x2000F000] * 0 + 0x5A5A)",
+        _ => "0x5A5A",
     };
     format!(
         "\

@@ -1,0 +1,153 @@
+//! Witness strings: the portable, replayable identity of a found universe.
+//!
+//! A witness pins down (a) *which* machine it applies to — the anchor, a
+//! state hash of the booted system exploration started from — and (b)
+//! *how to get to the failure*: the sparse choice-trace overrides plus the
+//! cycle at which the failure manifests. `explore replay` parses one,
+//! refuses to run against a different anchor, installs the overrides and
+//! lands a time-travel session at the failure cycle.
+//!
+//! Grammar (one line, no spaces):
+//!
+//! ```text
+//! mv1:<anchor hex16>:<rule>:<failure_cycle>:<overrides>
+//! overrides := '-' | choice ('+' choice)*
+//! choice    := <kind tag>.<decision index>.<code>      e.g. a.11.4
+//! ```
+
+use pedf::ChoiceRec;
+
+/// A minimal, replayable witness for a schedule-dependent failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// State hash of the system the exploration forked from; replay must
+    /// match it or the choice indices mean something else entirely.
+    pub anchor: u64,
+    /// Rule witnessed: `MV701` (deadlock/wedge) or `MV702` (race).
+    pub rule: String,
+    /// Cycle (absolute clock) at which the failure manifests under the
+    /// overridden schedule.
+    pub failure_cycle: u64,
+    /// The choice-trace overrides identifying the universe. Empty means
+    /// the default schedule itself fails.
+    pub overrides: Vec<ChoiceRec>,
+    /// Human-readable blame (actors / edge / address). Carried alongside,
+    /// not encoded in the string form.
+    pub blame: String,
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mv1:{:016x}:{}:{}:",
+            self.anchor, self.rule, self.failure_cycle
+        )?;
+        if self.overrides.is_empty() {
+            return f.write_str("-");
+        }
+        for (i, ov) in self.overrides.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{ov}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Witness {
+    /// Parse the `Display` form. The blame field is not part of the
+    /// encoding and comes back empty.
+    pub fn parse(s: &str) -> Result<Witness, String> {
+        let parts: Vec<&str> = s.trim().split(':').collect();
+        let [magic, anchor, rule, cycle, ovs] = parts.as_slice() else {
+            return Err(format!(
+                "malformed witness: expected 5 ':'-separated fields, got {}",
+                parts.len()
+            ));
+        };
+        if *magic != "mv1" {
+            return Err(format!("unknown witness version `{magic}` (want mv1)"));
+        }
+        let anchor =
+            u64::from_str_radix(anchor, 16).map_err(|e| format!("bad witness anchor: {e}"))?;
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(format!("bad witness rule `{rule}`"));
+        }
+        let failure_cycle = cycle
+            .parse()
+            .map_err(|e| format!("bad witness failure cycle: {e}"))?;
+        let overrides = if *ovs == "-" {
+            Vec::new()
+        } else {
+            ovs.split('+')
+                .map(|c| ChoiceRec::parse(c).ok_or_else(|| format!("bad witness choice `{c}`")))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(Witness {
+            anchor,
+            rule: rule.to_string(),
+            failure_cycle,
+            overrides,
+            blame: String::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedf::ChoiceKind;
+
+    fn rec(index: u64, code: u8) -> ChoiceRec {
+        ChoiceRec {
+            kind: ChoiceKind::ActorStart,
+            index,
+            code,
+        }
+    }
+
+    #[test]
+    fn round_trips_with_overrides() {
+        let w = Witness {
+            anchor: 0xdead_beef_0123_4567,
+            rule: "MV702".into(),
+            failure_cycle: 1519,
+            overrides: vec![rec(11, 4), rec(12, 2)],
+            blame: "hwcfg <-> bh".into(),
+        };
+        let s = w.to_string();
+        assert_eq!(s, "mv1:deadbeef01234567:MV702:1519:a.11.4+a.12.2");
+        let back = Witness::parse(&s).unwrap();
+        assert_eq!(back.anchor, w.anchor);
+        assert_eq!(back.rule, w.rule);
+        assert_eq!(back.failure_cycle, w.failure_cycle);
+        assert_eq!(back.overrides, w.overrides);
+        assert_eq!(back.blame, ""); // not encoded
+    }
+
+    #[test]
+    fn round_trips_empty_overrides() {
+        let w = Witness {
+            anchor: 1,
+            rule: "MV701".into(),
+            failure_cycle: 5000,
+            overrides: vec![],
+            blame: String::new(),
+        };
+        let s = w.to_string();
+        assert_eq!(s, "mv1:0000000000000001:MV701:5000:-");
+        assert_eq!(Witness::parse(&s).unwrap(), w);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Witness::parse("mv2:0:MV701:1:-").is_err());
+        assert!(Witness::parse("mv1:zz:MV701:1:-").is_err());
+        assert!(Witness::parse("mv1:0:MV701:x:-").is_err());
+        assert!(Witness::parse("mv1:0:MV701:1:q.1.1").is_err());
+        assert!(Witness::parse("mv1:0:MV701:1").is_err());
+        assert!(Witness::parse("mv1:0::1:-").is_err());
+    }
+}

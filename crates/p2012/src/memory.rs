@@ -253,6 +253,14 @@ impl Bank {
             }
         }
     }
+
+    fn owned_words(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| matches!(p, Page::Owned(_)))
+            .map(|p| p.as_slice().len())
+            .sum()
+    }
 }
 
 /// A full image of every memory bank — the base a checkpoint chain starts
@@ -551,6 +559,15 @@ impl Memory {
         self.l2.share_in_place();
         self.l3.share_in_place();
         self.clone()
+    }
+
+    /// Words privately owned by this memory (copy-on-write pages actually
+    /// duplicated, not shared with a fork ancestor). The multiverse
+    /// universe pool uses this to account real bytes, not address space.
+    pub fn owned_words(&self) -> usize {
+        self.l1.iter().map(Bank::owned_words).sum::<usize>()
+            + self.l2.owned_words()
+            + self.l3.owned_words()
     }
 
     /// Feed the complete memory content to a hasher (baseline hash of a

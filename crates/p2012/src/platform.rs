@@ -232,8 +232,23 @@ impl Platform {
             pes: &mut self.pes,
             clock: self.clock,
         });
-        for d in &mut self.dma {
-            d.step(&mut self.mem);
+        // DMA-completion ordering is a scheduler choice point: when two or
+        // more engines are in flight, the handler elects which advances
+        // first (rotation over the active set). The default answer keeps
+        // the historical index order, and engines with nothing in flight
+        // never observe the rotation (their step is a no-op).
+        let active: Vec<usize> = (0..self.dma.len())
+            .filter(|&i| self.dma[i].in_flight() > 0)
+            .collect();
+        if active.len() >= 2 {
+            let r =
+                handler.choose_dma_order(active.len() as u32, self.clock) as usize % active.len();
+            for k in 0..active.len() {
+                let i = active[(k + r) % active.len()];
+                self.dma[i].step(&mut self.mem);
+            }
+        } else if let Some(&i) = active.first() {
+            self.dma[i].step(&mut self.mem);
         }
 
         for i in 0..self.pes.len() {

@@ -86,6 +86,17 @@ pub trait TrapHandler {
     fn on_cycle(&mut self, ctx: &mut TrapCtx<'_>) {
         let _ = ctx;
     }
+
+    /// Elect the order in which the `n_active` concurrently in-flight DMA
+    /// engines advance this cycle: the return value rotates the engine
+    /// list (`r % n_active`). Only called when two or more engines have
+    /// transfers in flight — a genuine nondeterministic choice point on
+    /// real hardware that the deterministic simulator must pick *some*
+    /// answer for. The default (0) keeps the historical index order.
+    fn choose_dma_order(&mut self, n_active: u32, clock: u64) -> u32 {
+        let _ = (n_active, clock);
+        0
+    }
 }
 
 /// A handler that faults on every trap — used by platform-only tests and as

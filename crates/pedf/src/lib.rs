@@ -13,6 +13,8 @@
 //! * [`fifo`] — token FIFOs in simulated memory;
 //! * [`api`] — the exported framework functions (bytecode stubs with
 //!   symbols), trap numbers, and the boot-time string pool;
+//! * [`policy`] — the explicit scheduler-choice seam (default election
+//!   order + injected choice overrides; multiverse exploration);
 //! * [`runtime`] — the trap handler: scheduling, token transport, boot;
 //! * [`envio`] — host-side environment sources/sinks;
 //! * [`events`] — the direct event stream (framework-cooperation ablation);
@@ -23,6 +25,7 @@ pub mod envio;
 pub mod events;
 pub mod fifo;
 pub mod graph;
+pub mod policy;
 pub mod runtime;
 pub mod system;
 
@@ -34,5 +37,6 @@ pub use graph::{
     Actor, ActorId, ActorKind, AppGraph, ConnId, Connection, Dir, GraphError, Link, LinkClass,
     LinkId,
 };
+pub use policy::{ChoiceKind, ChoiceRec, DecisionPoint, SchedulePolicy, DELAYS};
 pub use runtime::{FilterSched, Runtime, RuntimeState, RuntimeStats};
 pub use system::System;

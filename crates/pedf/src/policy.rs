@@ -1,0 +1,259 @@
+//! The explicit scheduler-choice seam (multiverse debugging, ROADMAP 5).
+//!
+//! The cycle-stepped simulator is deterministic, but two of its orders are
+//! *policy*, not physics: which moment an elected filter's WORK actually
+//! begins (the runtime may lawfully delay the invocation while the PE is
+//! "busy"), and the order in which concurrently in-flight DMA engines
+//! advance within a cycle. [`SchedulePolicy`] reifies both as numbered
+//! decision points: every election consumes one decision, the default
+//! answer (code 0) reproduces today's behaviour bit for bit, and a sparse
+//! set of *overrides* — `(kind, decision index) -> code` — identifies any
+//! other universe. Execution is a pure function of the override set, which
+//! is what makes a universe byte-replayable from its choice trace.
+
+use std::collections::BTreeMap;
+
+/// Kind of nondeterministic decision point. Each kind has its own
+/// monotonically increasing decision counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChoiceKind {
+    /// A filter election: the runtime is about to invoke WORK on an idle
+    /// PE. The choice code maps to a start delay via [`DELAYS`].
+    ActorStart,
+    /// Two or more DMA engines are in flight this cycle; the choice code
+    /// rotates the order in which they advance.
+    DmaOrder,
+}
+
+impl ChoiceKind {
+    pub const ALL: [ChoiceKind; 2] = [ChoiceKind::ActorStart, ChoiceKind::DmaOrder];
+
+    /// Index of this kind's decision counter (stable: ActorStart=0,
+    /// DmaOrder=1).
+    pub fn slot(self) -> usize {
+        match self {
+            ChoiceKind::ActorStart => 0,
+            ChoiceKind::DmaOrder => 1,
+        }
+    }
+
+    /// One-letter tag used in witness strings.
+    pub fn tag(self) -> char {
+        match self {
+            ChoiceKind::ActorStart => 'a',
+            ChoiceKind::DmaOrder => 'd',
+        }
+    }
+
+    pub fn from_tag(c: char) -> Option<ChoiceKind> {
+        match c {
+            'a' => Some(ChoiceKind::ActorStart),
+            'd' => Some(ChoiceKind::DmaOrder),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ChoiceKind::ActorStart => "actor-start",
+            ChoiceKind::DmaOrder => "dma-order",
+        }
+    }
+}
+
+/// Start-delay alphabet for [`ChoiceKind::ActorStart`]: choice code `c`
+/// delays the elected WORK invocation by `DELAYS[c % DELAYS.len()]`
+/// cycles. Code 0 (the default) starts immediately — today's behaviour.
+pub const DELAYS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
+/// One executed decision, as recorded in a universe's choice trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChoiceRec {
+    pub kind: ChoiceKind,
+    pub index: u64,
+    pub code: u8,
+}
+
+impl std::fmt::Display for ChoiceRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.kind.tag(), self.index, self.code)
+    }
+}
+
+impl ChoiceRec {
+    /// Parse the `Display` form (`a.<index>.<code>`).
+    pub fn parse(s: &str) -> Option<ChoiceRec> {
+        let mut it = s.splitn(3, '.');
+        let kind = ChoiceKind::from_tag(it.next()?.chars().next()?)?;
+        let index = it.next()?.parse().ok()?;
+        let code = it.next()?.parse().ok()?;
+        Some(ChoiceRec { kind, index, code })
+    }
+}
+
+/// What a decision point resolved to, for the explorer's reference-run
+/// recording (which actor was elected at each index, at which cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionPoint {
+    pub kind: ChoiceKind,
+    pub index: u64,
+    /// Actor id for `ActorStart`, number of in-flight engines for
+    /// `DmaOrder`.
+    pub subject: u32,
+    pub clock: u64,
+}
+
+/// The scheduling policy: default deterministic election order plus a
+/// sparse set of overrides. Lives inside the runtime, travels with
+/// checkpoints (the decision counters are machine state: re-running from a
+/// restored checkpoint must re-consume the same decision indices).
+#[derive(Debug, Clone, Default)]
+pub struct SchedulePolicy {
+    overrides: BTreeMap<(u8, u64), u8>,
+    counters: [u64; 2],
+    /// When set, every decision point is appended (explorer reference
+    /// runs only; `None` in normal sessions, so the hot path stays an
+    /// integer increment).
+    pub recording: Option<Vec<DecisionPoint>>,
+}
+
+impl SchedulePolicy {
+    /// Consume the next decision of `kind`; returns the chosen code
+    /// (0 unless overridden). `subject` is recorded when recording is on.
+    pub fn decide(&mut self, kind: ChoiceKind, subject: u32, clock: u64) -> u8 {
+        let slot = kind.slot();
+        let index = self.counters[slot];
+        self.counters[slot] += 1;
+        if let Some(rec) = &mut self.recording {
+            rec.push(DecisionPoint {
+                kind,
+                index,
+                subject,
+                clock,
+            });
+        }
+        if self.overrides.is_empty() {
+            return 0;
+        }
+        self.overrides
+            .get(&(slot as u8, index))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Decisions of `kind` consumed so far.
+    pub fn decisions(&self, kind: ChoiceKind) -> u64 {
+        self.counters[kind.slot()]
+    }
+
+    /// Install one override: the `index`-th decision of `kind` answers
+    /// `code` instead of 0.
+    pub fn set_override(&mut self, rec: ChoiceRec) {
+        self.overrides
+            .insert((rec.kind.slot() as u8, rec.index), rec.code);
+    }
+
+    pub fn set_overrides(&mut self, recs: &[ChoiceRec]) {
+        for r in recs {
+            self.set_override(*r);
+        }
+    }
+
+    pub fn clear_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// The installed overrides in deterministic order.
+    pub fn overrides(&self) -> Vec<ChoiceRec> {
+        self.overrides
+            .iter()
+            .map(|(&(slot, index), &code)| ChoiceRec {
+                kind: if slot == 0 {
+                    ChoiceKind::ActorStart
+                } else {
+                    ChoiceKind::DmaOrder
+                },
+                index,
+                code,
+            })
+            .collect()
+    }
+
+    pub fn is_default(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Feed the policy state to a hasher (divergence checks): counters and
+    /// overrides are machine state, the recording buffer is not.
+    pub fn hash_state(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u64(self.counters[0]);
+        h.write_u64(self.counters[1]);
+        h.write_usize(self.overrides.len());
+        for (&(slot, index), &code) in &self.overrides {
+            h.write_u8(slot);
+            h.write_u64(index);
+            h.write_u8(code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_answers_zero_and_counts() {
+        let mut p = SchedulePolicy::default();
+        assert_eq!(p.decide(ChoiceKind::ActorStart, 7, 10), 0);
+        assert_eq!(p.decide(ChoiceKind::ActorStart, 8, 11), 0);
+        assert_eq!(p.decide(ChoiceKind::DmaOrder, 2, 11), 0);
+        assert_eq!(p.decisions(ChoiceKind::ActorStart), 2);
+        assert_eq!(p.decisions(ChoiceKind::DmaOrder), 1);
+        assert!(p.is_default());
+    }
+
+    #[test]
+    fn overrides_hit_their_index_only() {
+        let mut p = SchedulePolicy::default();
+        p.set_override(ChoiceRec {
+            kind: ChoiceKind::ActorStart,
+            index: 1,
+            code: 4,
+        });
+        assert_eq!(p.decide(ChoiceKind::ActorStart, 0, 0), 0);
+        assert_eq!(p.decide(ChoiceKind::ActorStart, 0, 0), 4);
+        assert_eq!(p.decide(ChoiceKind::ActorStart, 0, 0), 0);
+        // DmaOrder counters are independent.
+        assert_eq!(p.decide(ChoiceKind::DmaOrder, 2, 0), 0);
+    }
+
+    #[test]
+    fn recording_captures_decision_points() {
+        let mut p = SchedulePolicy {
+            recording: Some(Vec::new()),
+            ..Default::default()
+        };
+        p.decide(ChoiceKind::ActorStart, 3, 100);
+        p.decide(ChoiceKind::DmaOrder, 2, 101);
+        let rec = p.recording.take().unwrap();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec[0].subject, 3);
+        assert_eq!(rec[1].kind, ChoiceKind::DmaOrder);
+    }
+
+    #[test]
+    fn choice_rec_round_trips_through_display() {
+        let r = ChoiceRec {
+            kind: ChoiceKind::ActorStart,
+            index: 12,
+            code: 4,
+        };
+        assert_eq!(ChoiceRec::parse(&r.to_string()), Some(r));
+        assert_eq!(
+            ChoiceRec::parse("d.0.2").unwrap().kind,
+            ChoiceKind::DmaOrder
+        );
+        assert!(ChoiceRec::parse("x.0.2").is_none());
+        assert!(ChoiceRec::parse("a.0").is_none());
+    }
+}

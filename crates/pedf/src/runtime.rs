@@ -35,6 +35,7 @@ use crate::envio::{EnvSink, EnvSource};
 use crate::events::{EventBuffer, RuntimeEvent};
 use crate::fifo::FifoState;
 use crate::graph::{ActorId, ActorKind, AppGraph, ConnId, Dir, LinkId};
+use crate::policy::{ChoiceKind, SchedulePolicy, DELAYS};
 
 /// Scheduling state of a filter within the current step, phrased like the
 /// paper's scheduling monitor: "ready to be executed, not scheduled, or
@@ -68,6 +69,10 @@ struct ActorRt {
     begun: bool,
     sync_requested: bool,
     steps_done: u64,
+    /// Earliest cycle a `Scheduled` filter may begin WORK; 0 (the
+    /// default) means "as soon as the PE is idle". Set by a non-default
+    /// [`SchedulePolicy`] choice to defer an election.
+    defer_until: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -110,6 +115,7 @@ pub struct RuntimeState {
     stats: RuntimeStats,
     sources: Vec<crate::envio::EnvSourceState>,
     sinks: Vec<crate::envio::EnvSinkState>,
+    policy: SchedulePolicy,
 }
 
 /// The runtime system. Implements [`TrapHandler`]; owns all dynamic
@@ -141,6 +147,12 @@ pub struct Runtime {
     sources: Vec<EnvSource>,
     sinks: Vec<EnvSink>,
     pub stats: RuntimeStats,
+    /// The scheduler-choice seam: answers every election with code 0 by
+    /// default (today's deterministic order) unless overrides are
+    /// installed. Machine state — captured, restored and hashed with the
+    /// rest of the runtime so replay from a checkpoint re-consumes the
+    /// same decision indices.
+    pub policy: SchedulePolicy,
     pop_buf: Vec<Word>,
 }
 
@@ -161,6 +173,7 @@ impl Runtime {
             sources: Vec::new(),
             sinks: Vec::new(),
             stats: RuntimeStats::default(),
+            policy: SchedulePolicy::default(),
             pop_buf: Vec::new(),
         }
     }
@@ -428,12 +441,25 @@ impl Runtime {
             return TrapResult::Done;
         }
         if matches!(ctx.pe(pe).status, PeStatus::Idle) {
-            ctx.invoke(pe, work, &[]);
+            // An election: the runtime *may* begin WORK now, or lawfully
+            // defer it. The policy's default answer (code 0) starts
+            // immediately — byte-identical to the historical behaviour.
+            let code = self
+                .policy
+                .decide(ChoiceKind::ActorStart, actor.0, ctx.clock);
+            let delay = DELAYS[code as usize % DELAYS.len()];
             let rt = &mut self.actors_rt[actor.0 as usize];
-            rt.begun = true;
-            rt.sched = FilterSched::Running;
-            self.stats.work_invocations += 1;
-            self.events.push(|| RuntimeEvent::WorkBegun { actor });
+            if delay == 0 {
+                ctx.invoke(pe, work, &[]);
+                rt.begun = true;
+                rt.sched = FilterSched::Running;
+                self.stats.work_invocations += 1;
+                self.events.push(|| RuntimeEvent::WorkBegun { actor });
+            } else {
+                rt.begun = false;
+                rt.sched = FilterSched::Scheduled;
+                rt.defer_until = ctx.clock + delay;
+            }
         } else {
             let rt = &mut self.actors_rt[actor.0 as usize];
             rt.begun = false;
@@ -833,6 +859,12 @@ impl Runtime {
         self.sinks.iter().find(|s| s.conn == conn)
     }
 
+    /// All attached sinks, in attachment order (observable-outcome
+    /// signatures for multiverse exploration).
+    pub fn sinks(&self) -> &[EnvSink] {
+        &self.sinks
+    }
+
     pub fn source_for(&self, conn: ConnId) -> Option<&EnvSource> {
         self.sources.iter().find(|s| s.conn == conn)
     }
@@ -860,6 +892,18 @@ impl Runtime {
 
     pub fn filter_sched(&self, actor: ActorId) -> FilterSched {
         self.actors_rt[actor.0 as usize].sched
+    }
+
+    /// True while a policy-deferred WORK start is still pending: some
+    /// elected filter's `defer_until` lies strictly in the future, so the
+    /// machine *will* make progress even though every PE currently looks
+    /// idle or blocked. Deadlock detection must treat such a state as
+    /// alive — the pending invocation is runtime state the platform
+    /// cannot see. Always false under the default policy.
+    pub fn pending_deferred(&self, clock: u64) -> bool {
+        self.actors_rt
+            .iter()
+            .any(|rt| rt.sched == FilterSched::Scheduled && rt.defer_until > clock)
     }
 
     pub fn steps_done(&self, actor: ActorId) -> u64 {
@@ -950,6 +994,7 @@ impl Runtime {
             stats: self.stats,
             sources: self.sources.iter().map(EnvSource::capture_state).collect(),
             sinks: self.sinks.iter().map(EnvSink::capture_state).collect(),
+            policy: self.policy.clone(),
         }
     }
 
@@ -973,6 +1018,7 @@ impl Runtime {
         for (snk, st) in self.sinks.iter_mut().zip(&s.sinks) {
             snk.restore_state(st);
         }
+        self.policy = s.policy.clone();
         self.pop_buf.clear();
     }
 
@@ -988,6 +1034,7 @@ impl Runtime {
             h.write_u8(u8::from(a.begun));
             h.write_u8(u8::from(a.sync_requested));
             h.write_u64(a.steps_done);
+            h.write_u64(a.defer_until);
         }
         for c in &self.conns_rt {
             h.write_u32(c.window_tokens);
@@ -1013,6 +1060,7 @@ impl Runtime {
             h.write_u64(k.consumed);
             h.write_u64(k.checksum);
         }
+        self.policy.hash_state(h);
     }
 }
 
@@ -1028,7 +1076,11 @@ impl TrapHandler for Runtime {
         self.service(ctx, pe, current, id, args)
     }
 
-    fn on_task_complete(&mut self, _ctx: &mut TrapCtx<'_>, pe: PeId, current: &mut PeState) {
+    fn choose_dma_order(&mut self, n_active: u32, clock: u64) -> u32 {
+        u32::from(self.policy.decide(ChoiceKind::DmaOrder, n_active, clock))
+    }
+
+    fn on_task_complete(&mut self, ctx: &mut TrapCtx<'_>, pe: PeId, current: &mut PeState) {
         let Some(&actor) = self.pe_actor.get(&pe) else {
             return; // boot code finishing on the host
         };
@@ -1059,14 +1111,26 @@ impl TrapHandler for Runtime {
             rt.sched = FilterSched::Synced;
             self.events.push(|| RuntimeEvent::ActorSynced { actor });
         } else if rt.started {
-            // Free-running: immediately begin the next step.
-            let work = self.graph.actor(actor).work_addr.unwrap();
-            current.invoke(work, &[]);
-            let rt = &mut self.actors_rt[actor.0 as usize];
-            rt.begun = true;
-            rt.sched = FilterSched::Running;
-            self.stats.work_invocations += 1;
-            self.events.push(|| RuntimeEvent::WorkBegun { actor });
+            // Free-running: the next step normally begins immediately, but
+            // the re-invocation is an election too — the policy may defer.
+            let code = self
+                .policy
+                .decide(ChoiceKind::ActorStart, actor.0, ctx.clock);
+            let delay = DELAYS[code as usize % DELAYS.len()];
+            if delay == 0 {
+                let work = self.graph.actor(actor).work_addr.unwrap();
+                current.invoke(work, &[]);
+                let rt = &mut self.actors_rt[actor.0 as usize];
+                rt.begun = true;
+                rt.sched = FilterSched::Running;
+                self.stats.work_invocations += 1;
+                self.events.push(|| RuntimeEvent::WorkBegun { actor });
+            } else {
+                let rt = &mut self.actors_rt[actor.0 as usize];
+                rt.begun = false;
+                rt.sched = FilterSched::Scheduled;
+                rt.defer_until = ctx.clock + delay;
+            }
         } else {
             rt.sched = FilterSched::NotScheduled;
         }
@@ -1090,11 +1154,15 @@ impl TrapHandler for Runtime {
                 let (Some(pe), Some(work)) = (a.pe, a.work_addr) else {
                     continue;
                 };
+                if self.actors_rt[actor.0 as usize].defer_until > ctx.clock {
+                    continue; // policy-deferred election not yet due
+                }
                 if matches!(ctx.pe(pe).status, PeStatus::Idle) {
                     ctx.invoke(pe, work, &[]);
                     let rt = &mut self.actors_rt[actor.0 as usize];
                     rt.begun = true;
                     rt.sched = FilterSched::Running;
+                    rt.defer_until = 0;
                     self.stats.work_invocations += 1;
                     self.events.push(|| RuntimeEvent::WorkBegun { actor });
                 }

@@ -15,6 +15,7 @@ pub enum EventKind {
     Connected,
     Attached,
     Command,
+    Explore,
     CommandTimeout,
     IdleTimeout,
     Truncated,
@@ -30,6 +31,7 @@ impl EventKind {
             EventKind::Connected => "connected",
             EventKind::Attached => "attached",
             EventKind::Command => "command",
+            EventKind::Explore => "explore",
             EventKind::CommandTimeout => "command-timeout",
             EventKind::IdleTimeout => "idle-timeout",
             EventKind::Truncated => "truncated",

@@ -35,6 +35,7 @@ pub mod server;
 pub mod session;
 
 pub use client::{remote_transcript, scrape_metrics, Client, Reply};
+pub use eventlog::EventKind;
 pub use metrics::Metrics;
 pub use proto::{Frame, Request};
 pub use registry::{Registry, SessionInfo, SessionState};
@@ -43,5 +44,5 @@ pub use server::{render_remote_help, Server, ServerConfig, Shared, SERVER_COMMAN
 pub use session::{
     build_app, build_cli, build_cli_cached, cache_key, local_transcript, parse_variant,
     variant_name, DecoderCache, ANALYZE_SCRIPT, CHECKPOINT_INTERVAL, DEADLOCK_SCRIPT,
-    DEFAULT_N_MBS, SCRIPT_N_MBS,
+    DEFAULT_N_MBS, EXPLORE_SCRIPT, SCRIPT_N_MBS,
 };

@@ -119,6 +119,20 @@ pub struct Metrics {
     /// Sessions transparently rebuilt from a recipe (next-command revive
     /// or explicit `resume <token>`).
     pub resumes_total: AtomicU64,
+    /// Multiverse explorations run (`explore` commands that searched).
+    pub explores_total: AtomicU64,
+    /// Universes forked / fully run / pruned-as-equivalent across all
+    /// explorations, and DPOR sleep-set skips — the work/savings split
+    /// of the search.
+    pub explore_forked_total: AtomicU64,
+    pub explore_explored_total: AtomicU64,
+    pub explore_pruned_total: AtomicU64,
+    pub explore_sleep_hits_total: AtomicU64,
+    /// Witnesses found across all explorations.
+    pub explore_witnesses_total: AtomicU64,
+    /// High-water mark of any exploration's snapshot-pool footprint
+    /// (bytes actually owned by COW pages — near zero by design).
+    pub explore_pool_peak_bytes: AtomicU64,
     /// Per-command execution latency.
     pub command_seconds: Histogram,
     /// `attach` latency, separated from command latency so session setup
@@ -134,6 +148,23 @@ impl Metrics {
     /// Record one command execution latency.
     pub fn observe_latency(&self, d: Duration) {
         self.command_seconds.observe(d);
+    }
+
+    /// Fold one finished exploration's stats into the server counters.
+    pub fn observe_explore(&self, s: &multiverse::ExploreStats) {
+        self.explores_total.fetch_add(1, Relaxed);
+        self.explore_forked_total
+            .fetch_add(s.universes_forked, Relaxed);
+        self.explore_explored_total
+            .fetch_add(s.universes_explored, Relaxed);
+        self.explore_pruned_total
+            .fetch_add(s.universes_pruned, Relaxed);
+        self.explore_sleep_hits_total
+            .fetch_add(s.sleep_set_hits, Relaxed);
+        self.explore_witnesses_total
+            .fetch_add(s.witnesses_found, Relaxed);
+        self.explore_pool_peak_bytes
+            .fetch_max(s.peak_pool_bytes, Relaxed);
     }
 
     /// Interpolated command-latency quantile (0.0 ..= 1.0), in
@@ -244,6 +275,48 @@ impl Metrics {
             "dfdbg_resumes_total",
             "sessions rebuilt from a replay recipe",
             self.resumes_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_explores_total",
+            "multiverse explorations run",
+            self.explores_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_explore_universes_forked_total",
+            "universes forked across all explorations",
+            self.explore_forked_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_explore_universes_explored_total",
+            "universes fully run across all explorations",
+            self.explore_explored_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_explore_universes_pruned_total",
+            "universes pruned as reference-equivalent",
+            self.explore_pruned_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_explore_sleep_set_hits_total",
+            "candidate universes skipped by sleep sets",
+            self.explore_sleep_hits_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "dfdbg_explore_witnesses_total",
+            "dynamic witnesses found",
+            self.explore_witnesses_total.load(Relaxed),
+        );
+        gauge(
+            &mut out,
+            "dfdbg_explore_pool_peak_bytes",
+            "high-water snapshot-pool footprint of any exploration",
+            self.explore_pool_peak_bytes.load(Relaxed),
         );
         self.command_seconds.render_into(
             &mut out,

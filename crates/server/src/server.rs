@@ -833,6 +833,33 @@ impl Connection {
         if matches!(cli.last_stop, Some(Stop::Fault { .. })) && !fault_before {
             self.shared.metrics.faults_total.fetch_add(1, Relaxed);
         }
+        // A completed exploration (not a replay) carries its stats in the
+        // session's last report; fold them into the server counters and
+        // log the outcome as a structured event.
+        let word = req.cmd.split_whitespace().next().unwrap_or("");
+        let is_replay = req.cmd.split_whitespace().nth(1) == Some("replay");
+        if ok && matches!(word, "explore" | "mv") && !is_replay {
+            if let Some(rep) = &cli.session.last_explore {
+                self.shared.metrics.observe_explore(&rep.stats);
+                let outcome = match &rep.witness {
+                    Some(w) => format!("witness {w}"),
+                    None => "no witness".into(),
+                };
+                self.shared.log.push(
+                    self.shared.uptime_ms(),
+                    self.id,
+                    EventKind::Explore,
+                    format!(
+                        "{outcome} (forked={} explored={} pruned={} sleep-hits={} pool-peak={}B)",
+                        rep.stats.universes_forked,
+                        rep.stats.universes_explored,
+                        rep.stats.universes_pruned,
+                        rep.stats.sleep_set_hits,
+                        rep.stats.peak_pool_bytes
+                    ),
+                );
+            }
+        }
         slot.journal.push(req.cmd.clone());
         self.commands += 1;
         self.shared.metrics.commands_total.fetch_add(1, Relaxed);

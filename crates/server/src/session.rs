@@ -36,6 +36,7 @@ pub fn parse_variant(s: &str) -> Option<Bug> {
         "deadlock" => Bug::Deadlock,
         "oob" => Bug::OobStore,
         "race" => Bug::SharedScratch,
+        "benign" => Bug::BenignScratch,
         "dma" => Bug::DmaOverlap,
         "capacity" => Bug::TightFifo,
         _ => return None,
@@ -51,6 +52,7 @@ pub fn variant_name(bug: Bug) -> &'static str {
         Bug::Deadlock => "deadlock",
         Bug::OobStore => "oob",
         Bug::SharedScratch => "race",
+        Bug::BenignScratch => "benign",
         Bug::DmaOverlap => "dma",
         Bug::TightFifo => "capacity",
     }
@@ -150,6 +152,12 @@ pub const SCRIPT_N_MBS: u64 = 8;
 /// dataflow bug and a race bug so the remote analyzer output can never
 /// drift from the in-process one.
 pub const ANALYZE_SCRIPT: &[&str] = &["analyze", "analyze --json"];
+
+/// The multiverse parity script: a bounded race-hunting exploration whose
+/// transcript (search narration, witness, summary line) is part of the
+/// deterministic surface. `--self-check` byte-compares it remote vs.
+/// local on the race variant.
+pub const EXPLORE_SCRIPT: &[&str] = &["explore --until race"];
 
 /// Execute a script against an in-process session and return the
 /// transcript: for each command, its exact output followed by one

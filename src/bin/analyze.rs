@@ -32,6 +32,16 @@
 //! `SCH501` finding blames. The measured end-to-end cycle count must also
 //! respect the static throughput lower bound. Everything printed is
 //! byte-stable, so CI can diff two invocations.
+//!
+//! `--witness-check` is the differential gate for the multiverse engine
+//! (`crates/multiverse`): the seeded `deadlock` and `race` variants must
+//! yield *replayable* dynamic witnesses (MV701/MV702) that land a fresh
+//! session at the failure with the statically blamed edge/pair confirmed
+//! dynamically, while the `benign` variant — statically indistinguishable
+//! from the race (`RACE401` fires on the same shared word) but
+//! data-dependently immune — must be refuted within the default budget
+//! (MV703). Witnessed findings carry the replayable choice trace in the
+//! findings JSON (`witness` field); the output is byte-stable.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -52,6 +62,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut replay_check = false;
     let mut sched_check = false;
+    let mut witness_check = false;
     for a in &args {
         match a.as_str() {
             "clean" => variant = Bug::None,
@@ -59,6 +70,7 @@ fn main() -> ExitCode {
             "rate" => variant = Bug::RateMismatch,
             "oob" => variant = Bug::OobStore,
             "race" => variant = Bug::SharedScratch,
+            "benign" => variant = Bug::BenignScratch,
             "dma" => variant = Bug::DmaOverlap,
             "capacity" => variant = Bug::TightFifo,
             "--deny" => {}
@@ -67,11 +79,12 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--replay-check" => replay_check = true,
             "--sched-check" => sched_check = true,
+            "--witness-check" => witness_check = true,
             other => {
                 eprintln!(
-                    "usage: analyze [clean|deadlock|rate|oob|race|dma|capacity] \
+                    "usage: analyze [clean|deadlock|rate|oob|race|benign|dma|capacity] \
                      [--deny warnings] [--expect-findings] [--json] \
-                     [--replay-check] [--sched-check] (got `{other}`)"
+                     [--replay-check] [--sched-check] [--witness-check] (got `{other}`)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -82,6 +95,9 @@ fn main() -> ExitCode {
     }
     if sched_check {
         return run_sched_check(variant);
+    }
+    if witness_check {
+        return run_witness_check(variant);
     }
 
     let (_sys, app) = match build_decoder(variant, 4, PlatformConfig::default()) {
@@ -466,4 +482,278 @@ fn run_sched_check(variant: Bug) -> ExitCode {
     }
     println!("sched-check PASS");
     ExitCode::SUCCESS
+}
+
+/// Build `variant` fresh, boot it under the debugger, attach the
+/// environment, and replay `witness` — the same construction path the
+/// witness was found on, so the anchor hash must match. Returns the
+/// landed session for postcondition checks.
+fn replay_in_fresh_session(variant: Bug, n_mbs: u64, witness: &str) -> Result<Session, String> {
+    let (sys, mut app) = build_decoder(variant, n_mbs, PlatformConfig::default())
+        .map_err(|e| format!("rebuild failed: {e}"))?;
+    let boot = app.boot_entry;
+    let info = std::mem::take(&mut app.info);
+    let mut session = Session::attach(sys, info);
+    session
+        .boot(boot)
+        .map_err(|e| format!("boot failed: {e}"))?;
+    attach_env(&mut session.sys, &app, n_mbs, 0xbeef).map_err(|e| format!("env: {e}"))?;
+    let out = session.explore_replay(witness)?;
+    println!("{out}");
+    Ok(session)
+}
+
+/// The differential gate for the multiverse engine: the seeded `deadlock`
+/// and `race` variants must yield dynamic witnesses whose replay lands a
+/// *fresh* session at the failure with the statically blamed edge/pair
+/// confirmed dynamically; the `benign` variant — same static `RACE401`,
+/// data-dependently immune — must be refuted within the default budget.
+/// Witnessed findings carry the choice trace in the findings JSON.
+/// Everything printed is byte-stable, so CI can diff two invocations.
+fn run_witness_check(variant: Bug) -> ExitCode {
+    const N_MBS: u64 = 4;
+    use dataflow_debugger::debuginfo::Finding;
+    use dataflow_debugger::multiverse;
+    use dataflow_debugger::pedf::LinkId;
+
+    let until = match variant {
+        Bug::Deadlock => multiverse::Until::Deadlock,
+        Bug::SharedScratch | Bug::BenignScratch => multiverse::Until::Race,
+        _ => {
+            eprintln!("error: --witness-check supports the deadlock, race and benign variants");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expect_witness = !matches!(variant, Bug::BenignScratch);
+
+    // Static pass first: these are the claims the dynamic gate must
+    // confirm or refute (spans resolve while the app still owns its
+    // debug info).
+    let (sys, mut app) = match build_decoder(variant, N_MBS, PlatformConfig::default()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sources = decoder_sources(variant);
+    let input = dfa::AnalysisInput::from_app(&app, &sources);
+    let bcv_input = bcv::AnalysisInput::from_app(&app);
+    let mut dfa_report = dfa::analyze(&input);
+    dfa_report.resolve_spans(&app.info.lines);
+    let bcv_report = bcv::verify(&bcv_input);
+    let mut findings = dfa_report.findings.clone();
+    findings.extend(bcv_report.findings.iter().cloned());
+    dataflow_debugger::debuginfo::sort_and_dedup_findings(&mut findings);
+
+    let static_edge = findings
+        .iter()
+        .find(|f| (f.rule == "DFA003" || f.rule == "DFA004") && f.subject.contains("->"))
+        .map(|f| f.subject.clone());
+    let race_pair = findings
+        .iter()
+        .find(|f| f.rule == bcv::rules::UNORDERED_SHARED_ACCESS)
+        .map(|f| f.subject.clone());
+    match variant {
+        Bug::Deadlock if static_edge.is_none() => {
+            eprintln!("error: deadlock variant carries no static DFA003/DFA004 edge finding");
+            return ExitCode::FAILURE;
+        }
+        Bug::SharedScratch | Bug::BenignScratch if race_pair.is_none() => {
+            eprintln!("error: variant carries no static RACE401 — nothing to witness-check");
+            return ExitCode::FAILURE;
+        }
+        _ => {}
+    }
+    if let Some(pair) = &race_pair {
+        println!("static RACE401 pair: {pair}");
+    }
+    if let Some(edge) = &static_edge {
+        println!("static deadlock edge: {edge}");
+    }
+
+    // Boot the debugger session and explore from the initial state.
+    let boot = app.boot_entry;
+    let info = std::mem::take(&mut app.info);
+    let mut session = Session::attach(sys, info);
+    if let Err(e) = session.boot(boot) {
+        eprintln!("boot failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = attach_env(&mut session.sys, &app, N_MBS, 0xbeef) {
+        eprintln!("env attach failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    session.load_bcv_input(bcv_input);
+    println!(
+        "witness-check {variant:?} ({} direction, until {})",
+        if expect_witness {
+            "must-witness"
+        } else {
+            "must-refute"
+        },
+        until.label()
+    );
+    let transcript = match session.explore(None, None, until) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("explore failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{transcript}");
+    let report = session
+        .last_explore
+        .clone()
+        .expect("explore stores its report");
+
+    let mut ok = true;
+    match (&report.witness, expect_witness) {
+        (Some(w), true) => {
+            let expected_rule = match variant {
+                Bug::Deadlock => multiverse::rules::WITNESSED_DEADLOCK,
+                _ => multiverse::rules::WITNESSED_RACE,
+            };
+            if w.rule != expected_rule {
+                eprintln!("error: witness rule {} (expected {expected_rule})", w.rule);
+                ok = false;
+            }
+            // The dynamic blame must name the statically blamed pair.
+            if matches!(variant, Bug::SharedScratch) {
+                let pair = race_pair.as_deref().unwrap_or("");
+                for name in pair.split(" <-> ") {
+                    if !w.blame.contains(name) {
+                        eprintln!(
+                            "error: witness blame misses racy actor `{name}`: {}",
+                            w.blame
+                        );
+                        ok = false;
+                    }
+                }
+            }
+            // Replay in a fresh session (anchor must match a from-scratch
+            // build) and confirm the failure dynamically.
+            let wstr = w.to_string();
+            match replay_in_fresh_session(variant, N_MBS, &wstr) {
+                Ok(landed) => {
+                    match variant {
+                        Bug::Deadlock => {
+                            let clock = landed.sys.clock();
+                            if !landed.sys.platform.is_deadlocked()
+                                || landed.sys.runtime.pending_deferred(clock)
+                            {
+                                eprintln!("error: replayed session is not deadlocked");
+                                ok = false;
+                            }
+                            // The statically blamed edge starves an actor in
+                            // the replayed machine.
+                            let edge = static_edge.as_deref().unwrap_or("");
+                            let g = &landed.sys.runtime.graph;
+                            let starved = g.actors.iter().any(|a| {
+                                a.pe.is_some_and(|pe| match landed.sys.pe_status(pe) {
+                                    PeStatus::Blocked(
+                                        BlockReason::TokenWait { link }
+                                        | BlockReason::SpaceWait { link },
+                                    ) => g.link_label(LinkId(link)) == edge,
+                                    _ => false,
+                                })
+                            });
+                            if !starved {
+                                eprintln!("error: no PE blocked on the blamed edge `{edge}`");
+                                ok = false;
+                            }
+                            println!("replay confirmed: deadlocked at cycle {clock}, blocked on `{edge}`");
+                        }
+                        _ => {
+                            if landed.sys.clock() != w.failure_cycle {
+                                eprintln!(
+                                    "error: replay landed at cycle {} (witness fails at {})",
+                                    landed.sys.clock(),
+                                    w.failure_cycle
+                                );
+                                ok = false;
+                            } else {
+                                println!(
+                                    "replay confirmed: landed at failure cycle {}",
+                                    w.failure_cycle
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: witness replay failed: {e}");
+                    ok = false;
+                }
+            }
+            // Attach the replayable trace to the static finding it
+            // confirms, and record the dynamic finding itself.
+            for f in findings.iter_mut() {
+                let confirms = match variant {
+                    Bug::Deadlock => {
+                        (f.rule == "DFA003" || f.rule == "DFA004")
+                            && Some(&f.subject) == static_edge.as_ref()
+                    }
+                    _ => f.rule == bcv::rules::UNORDERED_SHARED_ACCESS,
+                };
+                if confirms {
+                    f.witness = Some(wstr.clone());
+                }
+            }
+            let subject = match variant {
+                Bug::Deadlock => static_edge.clone().unwrap_or_default(),
+                _ => race_pair.clone().unwrap_or_default(),
+            };
+            findings.push(
+                Finding::new(
+                    expected_rule,
+                    dfa::Severity::Error,
+                    subject,
+                    format!(
+                        "{} (witnessed at cycle {} under {} schedule override{})",
+                        w.blame,
+                        w.failure_cycle,
+                        w.overrides.len(),
+                        if w.overrides.len() == 1 { "" } else { "s" }
+                    ),
+                )
+                .with_witness(wstr),
+            );
+        }
+        (None, true) => {
+            eprintln!("error: expected a witness, exploration found none");
+            ok = false;
+        }
+        (Some(w), false) => {
+            eprintln!("error: data-dependent false positive produced a witness: {w}");
+            ok = false;
+        }
+        (None, false) => {
+            println!(
+                "refuted: static RACE401 is a data-dependent false positive here \
+                 ({} universes explored, none diverged)",
+                report.stats.universes_explored
+            );
+            findings.push(Finding::new(
+                multiverse::rules::BUDGET_EXHAUSTED,
+                dfa::Severity::Info,
+                race_pair.clone().unwrap_or_default(),
+                format!(
+                    "no divergence witnessed in {} universes (bounded refutation of RACE401)",
+                    report.stats.universes_explored
+                ),
+            ));
+        }
+    }
+
+    print!(
+        "{}",
+        dataflow_debugger::debuginfo::render_findings_json(&findings)
+    );
+    if ok {
+        println!("witness-check PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -184,6 +184,7 @@ fn main() -> ExitCode {
     let mut squeezed = 0usize;
     let mut throughput = 0u64;
     let mut replays = 0u64;
+    let mut explores = 0u64;
     let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
 
     for iter in 0..args.iters {
@@ -195,6 +196,7 @@ fn main() -> ExitCode {
                 squeezed += rep.squeezed_links;
                 throughput += rep.throughput_checked as u64;
                 replays += rep.replay_checked as u64;
+                explores += rep.explore_checked as u64;
                 *outcomes.entry(rep.observed).or_default() += 1;
             }
             Err(div) => {
@@ -274,7 +276,7 @@ fn main() -> ExitCode {
     let outcome_line: Vec<String> = outcomes.iter().map(|(s, n)| format!("{s}:{n}")).collect();
     println!(
         "outcomes: {} | squeezed links {squeezed}, throughput bounds {throughput}, \
-         replay fixpoints {replays}",
+         replay fixpoints {replays}, explore agreements {explores}",
         outcome_line.join(" ")
     );
     ExitCode::SUCCESS

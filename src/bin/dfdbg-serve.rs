@@ -32,7 +32,7 @@ use std::time::Duration;
 use dataflow_debugger::h264::Bug;
 use dataflow_debugger::server::{
     local_transcript, remote_transcript, scrape_metrics, Server, ServerConfig, Shared,
-    ANALYZE_SCRIPT, DEADLOCK_SCRIPT, SCRIPT_N_MBS,
+    ANALYZE_SCRIPT, DEADLOCK_SCRIPT, EXPLORE_SCRIPT, SCRIPT_N_MBS,
 };
 
 const USAGE: &str = "usage: dfdbg-serve --serve <addr> [--idle-timeout-ms N] \
@@ -230,6 +230,38 @@ fn run_self_check(cfg: ServerConfig) -> i32 {
             eprintln!("self-check: {name} ANALYZER TRANSCRIPTS DIFFER");
             eprintln!("---- in-process ----\n{local}");
             eprintln!("---- remote ----\n{remote}");
+        }
+    }
+
+    // Multiverse parity: the bounded exploration (search narration,
+    // witness line, summary) is deterministic, so the remote transcript
+    // must be byte-identical to the in-process one.
+    const EXPLORE_N_MBS: u64 = 4;
+    println!("self-check: explore parity on the race variant");
+    match (
+        local_transcript(Bug::SharedScratch, EXPLORE_N_MBS, EXPLORE_SCRIPT),
+        remote_transcript(addr, Bug::SharedScratch, EXPLORE_N_MBS, EXPLORE_SCRIPT),
+    ) {
+        (Ok(local), Ok(remote)) if local == remote => {
+            if local.contains("WITNESS MV702") {
+                println!(
+                    "self-check: explore transcripts are byte-identical ({} bytes, witnessed)",
+                    local.len()
+                );
+            } else {
+                failures += 1;
+                eprintln!("self-check: explore found no MV702 witness\n{local}");
+            }
+        }
+        (Ok(local), Ok(remote)) => {
+            failures += 1;
+            eprintln!("self-check: EXPLORE TRANSCRIPTS DIFFER");
+            eprintln!("---- in-process ----\n{local}");
+            eprintln!("---- remote ----\n{remote}");
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            failures += 1;
+            eprintln!("self-check: explore transcript failed: {e}");
         }
     }
 

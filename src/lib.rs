@@ -29,6 +29,7 @@ pub use dfdbg;
 pub use h264_pipeline as h264;
 pub use kernelc;
 pub use mind;
+pub use multiverse;
 pub use p2012;
 pub use pedf;
 pub use replay;

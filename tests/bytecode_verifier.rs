@@ -157,7 +157,7 @@ fn analyze_json_in_the_cli_is_machine_readable() {
     let mut c = cli(Bug::OobStore);
     let out = c.exec("analyze --json");
     assert!(
-        out.starts_with("{\n  \"schema_version\": 1,\n  \"findings\": ["),
+        out.starts_with("{\n  \"schema_version\": 2,\n  \"findings\": ["),
         "{out}"
     );
     assert!(out.contains("\"rule\": \"MEM302\""), "{out}");
@@ -215,7 +215,7 @@ fn analyze_json_golden_oob() {
     let (got, ok) = run_analyze(&["oob", "--json"]);
     assert!(ok);
     let want = r#"{
-  "schema_version": 1,
+  "schema_version": 2,
   "findings": [
     {"rule": "MEM302", "severity": "error", "subject": "decoder.front.hwcfg", "message": "store to [0x10004000, 0x10004000] lands in an unbacked hole of the L1 window (each bank maps 16384 words)", "file": "hwcfg.c", "line": 3, "col": 0, "addr": 115},
     {"rule": "SCH502", "severity": "info", "subject": "bh::red_out -> red::bh_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
@@ -247,7 +247,7 @@ fn analyze_json_golden_clean() {
     let (got, ok) = run_analyze(&["clean", "--json"]);
     assert!(ok);
     let want = r#"{
-  "schema_version": 1,
+  "schema_version": 2,
   "findings": [
     {"rule": "SCH502", "severity": "info", "subject": "bh::red_out -> red::bh_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},
     {"rule": "SCH502", "severity": "info", "subject": "hwcfg::ipred_cfg_out -> ipred::Hwcfg_in", "message": "capacity 64 exceeds the minimal deadlock-free size 1", "file": null, "line": null, "col": null, "addr": null},

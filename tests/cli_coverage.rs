@@ -160,6 +160,21 @@ fn info_breakpoints_lists_everything() {
     assert!(out.contains("TokenReceivedOn"), "{out}");
 }
 
+/// The multiverse family: `explore` (and its `mv` alias) runs a bounded
+/// search and prints the byte-stable transcript; `explore replay`
+/// demands a witness argument.
+#[test]
+fn explore_family_via_cli() {
+    let mut c = cli(Bug::None, 2);
+    let out = c.exec("explore --budget 2");
+    assert!(out.contains("explore: budget=2"), "{out}");
+    assert!(out.contains("summary: forked="), "{out}");
+    let out = c.exec("mv --budget 2 --until deadlock");
+    assert!(out.contains("until=deadlock"), "{out}");
+    let out = c.exec("explore replay");
+    assert!(out.contains("usage") || out.contains("error"), "{out}");
+}
+
 // ---- structural drift prevention: the command table IS the interface ----
 
 /// Every command (and alias) in the table must reach its dispatch arm:

@@ -71,7 +71,7 @@ fn analyze_json_is_byte_stable_for_generated_apps() {
         assert_eq!(j1, j2, "seed {seed}: analyze JSON drifted between runs");
         if let Ok(j) = j1 {
             assert!(
-                j.starts_with("{\n  \"schema_version\": 1,"),
+                j.starts_with("{\n  \"schema_version\": 2,"),
                 "seed {seed}: missing schema_version:\n{j}"
             );
         }
@@ -93,6 +93,68 @@ fn corpus_replays_clean() {
     for s in &scenarios {
         s.replay().unwrap_or_else(|e| panic!("{}: {e}", s.name));
     }
+}
+
+/// The D8 direction end to end on the racy shape: `mem-shared` statically
+/// yields RACE401, the bounded explore finds a dynamic MV702 witness, and
+/// the optimized search agrees with brute force while running strictly
+/// fewer universes — the pruning skips only redundant work.
+#[test]
+fn mem_shared_explore_agreement_has_a_witness() {
+    let _g = lock();
+    let spec = (0..2000u64)
+        .map(generate)
+        .find(|s| s.shape == "mem-shared")
+        .expect("mem-shared shape is reachable");
+    let verdict = appgen::static_pass(&spec).expect("static pass");
+    assert!(
+        verdict.findings.iter().any(|f| f.rule == "RACE401"),
+        "mem-shared must trip RACE401"
+    );
+    let rep = check_spec(&spec).expect("all oracles agree on the racy app");
+    assert!(rep.explore_checked, "D8 must have run on a RACE401 app");
+
+    let fast = appgen::explore_probe(&spec, true).expect("optimized probe");
+    let brute = appgen::explore_probe(&spec, false).expect("brute probe");
+    let fw = fast
+        .witness
+        .expect("optimized search finds the race witness");
+    let bw = brute.witness.expect("brute force finds the race witness");
+    assert_eq!(fw.rule, "MV702");
+    assert_eq!(fw.rule, bw.rule);
+    assert!(brute.space_covered, "ground truth must cover the space");
+    assert!(
+        fast.stats.universes_explored < brute.stats.universes_explored,
+        "pruning saved nothing: {} vs {}",
+        fast.stats.universes_explored,
+        brute.stats.universes_explored
+    );
+    assert!(fast.stats.sleep_set_hits > 0, "sleep set never fired");
+}
+
+/// D8 on the deadlock direction: the pop-first ring's reference schedule
+/// already wedges, so both search modes must report the trivial MV701
+/// witness (empty choice trace) — and agree.
+#[test]
+fn pop_first_ring_explore_agreement_is_trivial() {
+    let _g = lock();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let ring = load_dir(&dir)
+        .expect("corpus loads")
+        .into_iter()
+        .find(|s| s.name.contains("dfa004"))
+        .expect("the DFA004 ring witness is checked in")
+        .spec;
+    let fast = appgen::explore_probe(&ring, true).expect("optimized probe");
+    let brute = appgen::explore_probe(&ring, false).expect("brute probe");
+    let fw = fast.witness.expect("reference deadlock is its own witness");
+    let bw = brute.witness.expect("brute force sees the same deadlock");
+    assert_eq!(fw.rule, "MV701");
+    assert_eq!(bw.rule, "MV701");
+    assert!(
+        fw.overrides.is_empty(),
+        "trivial witness needs no overrides"
+    );
 }
 
 /// The mutation self-check end to end, in-process: weaken DFA004 via the

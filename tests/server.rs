@@ -149,6 +149,40 @@ fn http_metrics_endpoint_reflects_traffic() {
     handle.join().expect("server drained");
 }
 
+/// A remote `explore` is byte-identical to the in-process run, folds its
+/// search stats into the `/metrics` explore counters, and leaves a
+/// structured `explore` event carrying the witness.
+#[test]
+fn remote_explore_updates_metrics_and_event_log() {
+    use dataflow_debugger::server::EventKind;
+    let script: &[&str] = &["explore --until race"];
+    let reference = local_transcript(Bug::SharedScratch, 4, script).expect("reference");
+    let (addr, shared, handle) = boot(ServerConfig::default());
+    let remote = remote_transcript(addr, Bug::SharedScratch, 4, script).expect("session");
+    assert_eq!(remote, reference, "remote explore transcript diverged");
+
+    let metrics = scrape_metrics(addr).expect("scrape");
+    let value = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from metrics:\n{metrics}"))
+    };
+    assert_eq!(value("dfdbg_explores_total"), 1);
+    assert!(value("dfdbg_explore_universes_explored_total") > 0);
+    assert!(value("dfdbg_explore_universes_pruned_total") > 0);
+    assert!(value("dfdbg_explore_sleep_set_hits_total") > 0);
+    assert_eq!(value("dfdbg_explore_witnesses_total"), 1);
+
+    assert_eq!(shared.log.count(EventKind::Explore), 1);
+    let tail = shared.log.render_tail(100, None);
+    assert!(tail.contains("witness mv1:"), "{tail}");
+    assert!(tail.contains("explored="), "{tail}");
+
+    shared.request_shutdown();
+    handle.join().expect("server drained");
+}
+
 /// A session with no traffic is reaped by the idle timeout, with an
 /// explicit `idle-timeout` event before the close.
 #[test]

@@ -250,6 +250,7 @@ fn readme_rule_tables_match_the_registry() {
         &["BCV", "MEM", "RACE"][..],
         &["REPLAY"][..],
         &["SCH", "WCET"][..],
+        &["MV"][..],
     ] {
         let table = debuginfo::registry::render_readme_table(groups);
         assert!(
@@ -290,6 +291,9 @@ fn registry_matches_the_union_of_all_analyzer_rule_tables() {
         emitted.insert(replay::RULE_DIVERGENCE),
         "replay's rule id collides with an analyzer table"
     );
+    for (id, _) in multiverse::rules::ALL {
+        assert!(emitted.insert(id), "rule {id} declared twice");
+    }
 
     let registered: BTreeSet<&str> = debuginfo::registry::REGISTRY.iter().map(|r| r.id).collect();
     let unregistered: Vec<_> = emitted.difference(&registered).collect();
